@@ -1,0 +1,85 @@
+//! GPU comparison (§7.2): RTX 3090 scheme vs ECSSD.
+//!
+//! A single RTX 3090 cannot hold the parameters of a 100M-category layer
+//! (400 GB ≫ 24 GB), so its performance degrades to the same
+//! storage-streaming regime as the CPU baselines. Holding everything in
+//! GPU memory needs ≥18 devices at 573× the power of the ECSSD scheme.
+
+use serde::{Deserialize, Serialize};
+
+/// Power/capacity model of the GPU alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuComparison {
+    /// GPU memory capacity, bytes (RTX 3090: 24 GB).
+    pub gpu_memory_bytes: u64,
+    /// GPU board power, watts (RTX 3090: 350 W).
+    pub gpu_power_w: f64,
+    /// Power of one ECSSD (device + inserted accelerator), watts. ~11 W
+    /// makes both §7.2 ratios come out (350/11 ≈ 32, 6300/11 ≈ 573) and is
+    /// consistent with §7.3's 4.55 GFLOPS/W at 50 GFLOPS.
+    pub ecssd_power_w: f64,
+}
+
+impl GpuComparison {
+    /// The paper's RTX 3090 vs ECSSD setting.
+    pub fn paper_default() -> Self {
+        GpuComparison {
+            gpu_memory_bytes: 24 << 30,
+            gpu_power_w: 350.0,
+            ecssd_power_w: 11.0,
+        }
+    }
+
+    /// GPUs needed to hold `fp32_matrix_bytes` entirely in device memory
+    /// (with ~10 % reserved for activations/runtime).
+    pub fn gpus_needed(&self, fp32_matrix_bytes: u64) -> u64 {
+        let usable = (self.gpu_memory_bytes as f64 * 0.9) as u64;
+        fp32_matrix_bytes.div_ceil(usable.max(1))
+    }
+
+    /// Power ratio of a single GPU vs one ECSSD.
+    pub fn single_gpu_power_ratio(&self) -> f64 {
+        self.gpu_power_w / self.ecssd_power_w
+    }
+
+    /// Power ratio of the N-GPU in-memory scheme vs one ECSSD.
+    pub fn multi_gpu_power_ratio(&self, fp32_matrix_bytes: u64) -> f64 {
+        self.gpus_needed(fp32_matrix_bytes) as f64 * self.gpu_power_w / self.ecssd_power_w
+    }
+}
+
+impl Default for GpuComparison {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S100M_BYTES: u64 = 409_600_000_000;
+
+    #[test]
+    fn hundred_million_categories_need_18_gpus() {
+        // §7.2: "at least 18 RTX 3090 GPUs are needed".
+        let g = GpuComparison::paper_default();
+        assert_eq!(g.gpus_needed(S100M_BYTES), 18);
+    }
+
+    #[test]
+    fn power_ratios_match_section72() {
+        let g = GpuComparison::paper_default();
+        // "even one single RTX 3090 consumes 32x higher power".
+        assert!((g.single_gpu_power_ratio() - 32.0).abs() < 1.0);
+        // "at least 573x higher power consumption".
+        let multi = g.multi_gpu_power_ratio(S100M_BYTES);
+        assert!((multi - 573.0).abs() < 15.0, "multi-GPU ratio {multi}");
+    }
+
+    #[test]
+    fn small_models_fit_one_gpu() {
+        let g = GpuComparison::paper_default();
+        assert_eq!(g.gpus_needed(4 << 30), 1);
+    }
+}

@@ -1,0 +1,369 @@
+//! Analytic performance models of the Fig. 13 baselines.
+
+use ecssd_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// The eight baseline architectures of §6.7, in the order Fig. 13 plots
+/// them (slowest expected first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaselineArch {
+    /// Xeon-class host, no approximate screening: streams the full FP32
+    /// matrix from the SSD for every batch.
+    CpuN,
+    /// SmartSSD without screening: full FP32 stream over the P2P switch.
+    SmartSsdN,
+    /// GenStore-like in-storage computing without screening: per-channel
+    /// naive FP32 accelerators consume their own channel's stream.
+    GenStoreN,
+    /// SmartSSD-H without screening: hypothetical 6 GB/s switch.
+    SmartSsdHN,
+    /// Host with approximate screening: INT4 screener lives in host DRAM,
+    /// candidate rows are 4 KB random reads from the SSD.
+    CpuAp,
+    /// SmartSSD with screening: INT4 + candidates over the switch
+    /// (homogeneous layout — both cross the same link).
+    SmartSsdAp,
+    /// GenStore-like with screening: SSD-level INT4 accelerator, uniform
+    /// striping, homogeneous layout, per-channel naive FP32 accelerators.
+    GenStoreAp,
+    /// SmartSSD-H with screening.
+    SmartSsdHAp,
+}
+
+impl BaselineArch {
+    /// All baselines in Fig. 13's order.
+    pub const ALL: [BaselineArch; 8] = [
+        BaselineArch::CpuN,
+        BaselineArch::SmartSsdN,
+        BaselineArch::GenStoreN,
+        BaselineArch::SmartSsdHN,
+        BaselineArch::CpuAp,
+        BaselineArch::SmartSsdAp,
+        BaselineArch::GenStoreAp,
+        BaselineArch::SmartSsdHAp,
+    ];
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BaselineArch::CpuN => "CPU-N",
+            BaselineArch::CpuAp => "CPU-AP",
+            BaselineArch::GenStoreN => "GenStore-N",
+            BaselineArch::GenStoreAp => "GenStore-AP",
+            BaselineArch::SmartSsdN => "SmartSSD-N",
+            BaselineArch::SmartSsdAp => "SmartSSD-AP",
+            BaselineArch::SmartSsdHN => "SmartSSD-H-N",
+            BaselineArch::SmartSsdHAp => "SmartSSD-H-AP",
+        }
+    }
+
+    /// Whether the baseline uses the approximate screening algorithm.
+    pub fn uses_screening(self) -> bool {
+        matches!(
+            self,
+            BaselineArch::CpuAp
+                | BaselineArch::GenStoreAp
+                | BaselineArch::SmartSsdAp
+                | BaselineArch::SmartSsdHAp
+        )
+    }
+
+    /// The paper's reported average speedup of ECSSD over this baseline
+    /// (§6.7), for EXPERIMENTS.md comparisons.
+    // 6.28 is the paper's published number, not an approximation of 2π.
+    #[allow(clippy::approx_constant)]
+    pub fn paper_speedup(self) -> f64 {
+        match self {
+            BaselineArch::CpuN => 49.87,
+            BaselineArch::SmartSsdN => 37.83,
+            BaselineArch::GenStoreN => 24.51,
+            BaselineArch::SmartSsdHN => 19.11,
+            BaselineArch::CpuAp => 8.22,
+            BaselineArch::SmartSsdAp => 6.28,
+            BaselineArch::GenStoreAp => 4.05,
+            BaselineArch::SmartSsdHAp => 3.24,
+        }
+    }
+}
+
+impl std::fmt::Display for BaselineArch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Calibration constants of the baseline models. Every constant is a
+/// documented physical assumption, not a free fudge factor; together they
+/// reproduce the Fig. 13 speedup ordering and rough magnitudes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineParams {
+    /// Inference batch size (matches the ECSSD machine).
+    pub batch: usize,
+    /// Candidate ratio of the screening variants.
+    pub candidate_ratio: f64,
+    /// Host effective *sequential* storage read bandwidth, GB/s. PCIe 3.0
+    /// ×4 is 4 GB/s raw (~3.2 GB/s after protocol overhead); a host
+    /// re-streaming hundreds of GB per batch through the filesystem and
+    /// into pinned compute buffers without device-side overlap sustains
+    /// ~40 % of that (§6.7: CPU baselines suffer movement "from SSD storage
+    /// to main memory and later to the caches").
+    pub host_seq_gbps: f64,
+    /// Host 4 KB random-read throughput, expressed in GB/s
+    /// (200 K IOPS × 4 KB ≈ 0.82 GB/s, a typical PCIe 3.0 NVMe figure).
+    pub host_rand_gbps: f64,
+    /// Host DRAM streaming bandwidth for the in-memory INT4 screener, GB/s.
+    pub host_dram_gbps: f64,
+    /// Sustained host FP32 GEMM/GEMV throughput, GFLOPS (Xeon Silver 4110:
+    /// 8 cores × AVX-512, memory-bound GEMV with batch reuse).
+    pub host_fp32_gflops: f64,
+    /// Sustained host INT8 screening throughput, GOPS.
+    pub host_int8_gops: f64,
+    /// SmartSSD P2P switch nominal bandwidth, GB/s (3.0; "H" models 6.0).
+    pub smartssd_link_gbps: f64,
+    /// Fraction of the nominal switch bandwidth sustained by P2P DMA.
+    /// NASCENT (FPGA '21) measures ~1.5–2 GB/s over the nominal 3 GB/s
+    /// switch; we use 0.57.
+    pub smartssd_link_efficiency: f64,
+    /// Additional multiplier for 4 KB-granular random candidate reads over
+    /// the switch.
+    pub smartssd_random_penalty: f64,
+    /// FPGA compute throughput, GFLOPS (large; rarely binding).
+    pub smartssd_fpga_gflops: f64,
+    /// Flash channels and per-channel bandwidth (GB/s) of the in-storage
+    /// baselines (same device as ECSSD).
+    pub channels: usize,
+    /// Per-channel bandwidth, GB/s.
+    pub channel_gbps: f64,
+    /// Naive FP32 throughput of ONE GenStore channel-level accelerator,
+    /// GFLOPS. The ECSSD area budget split 8 ways gives ~23,000 µm² per
+    /// channel; after each accelerator replicates its own control logic
+    /// and SRAM buffers (~10,000 µm² — GenStore's per-channel accelerators
+    /// are self-contained), 3 naive MAC lanes remain: 3 × 2 × 0.4 GHz
+    /// = 2.4 GFLOPS.
+    pub genstore_channel_gflops: f64,
+    /// Busiest-channel load factor under uniform striping of candidates
+    /// (max/mean ≈ 1.5 at ~51 candidates per 512-row tile; measured by the
+    /// `ecssd-layout` balance study).
+    pub uniform_imbalance: f64,
+}
+
+impl BaselineParams {
+    /// Calibrated defaults (see field docs and DESIGN.md §3).
+    pub fn paper_default() -> Self {
+        BaselineParams {
+            batch: 16,
+            candidate_ratio: 0.10,
+            host_seq_gbps: 1.28,
+            host_rand_gbps: 0.82,
+            host_dram_gbps: 60.0,
+            host_fp32_gflops: 150.0,
+            host_int8_gops: 300.0,
+            smartssd_link_gbps: 3.0,
+            smartssd_link_efficiency: 0.57,
+            smartssd_random_penalty: 0.8,
+            smartssd_fpga_gflops: 500.0,
+            channels: 8,
+            channel_gbps: 1.0,
+            genstore_channel_gflops: 2.4,
+            uniform_imbalance: 1.5,
+        }
+    }
+
+    fn smartssd_eff_gbps(&self, high_bandwidth: bool) -> f64 {
+        let nominal = if high_bandwidth {
+            self.smartssd_link_gbps * 2.0
+        } else {
+            self.smartssd_link_gbps
+        };
+        nominal * self.smartssd_link_efficiency
+    }
+
+    /// Estimated nanoseconds to classify one batch on `arch` for
+    /// `benchmark`. All transfers are per batch: none of the baselines can
+    /// cache a weight matrix that exceeds host/FPGA memory.
+    ///
+    /// ```
+    /// use ecssd_baselines::{BaselineArch, BaselineParams};
+    /// use ecssd_workloads::Benchmark;
+    /// let params = BaselineParams::paper_default();
+    /// let bench = Benchmark::by_abbrev("XMLCNN-S100M").unwrap();
+    /// let cpu = params.ns_per_batch(BaselineArch::CpuN, &bench);
+    /// let smart = params.ns_per_batch(BaselineArch::SmartSsdHAp, &bench);
+    /// assert!(cpu > 10.0 * smart); // Fig. 13's spread
+    /// ```
+    pub fn ns_per_batch(&self, arch: BaselineArch, benchmark: &Benchmark) -> f64 {
+        let l = benchmark.categories as f64;
+        let d = benchmark.hidden as f64;
+        let b = self.batch as f64;
+        let r = self.candidate_ratio;
+        let fp32_bytes = benchmark.fp32_matrix_bytes() as f64;
+        let int4_bytes = benchmark.int4_matrix_bytes() as f64;
+        // Candidate rows are fetched at page granularity (4 KB pages).
+        let page = 4096.0;
+        let cand_rows = r * l;
+        let cand_bytes = cand_rows * (benchmark.pages_per_row(4096) as f64) * page;
+        let full_flops = 2.0 * d * l * b;
+        let cand_flops = full_flops * r;
+        let screen_ops = 2.0 * (benchmark.projected_dim() as f64) * l * b;
+
+        // GB/s == bytes/ns; GFLOPS == FLOP/ns.
+        match arch {
+            BaselineArch::CpuN => {
+                // Stream everything, then compute; the long stream cannot
+                // overlap compute because each tile must be staged through
+                // the memory hierarchy first and the working set thrashes
+                // every cache level.
+                fp32_bytes / self.host_seq_gbps + full_flops / self.host_fp32_gflops
+            }
+            BaselineArch::CpuAp => {
+                // INT4 screener streams from host DRAM; candidates are 4 KB
+                // random reads from the SSD.
+                let screen = (int4_bytes / self.host_dram_gbps)
+                    .max(screen_ops / self.host_int8_gops);
+                screen
+                    + cand_bytes / self.host_rand_gbps
+                    + cand_flops / self.host_fp32_gflops
+            }
+            BaselineArch::SmartSsdN | BaselineArch::SmartSsdHN => {
+                let link = self.smartssd_eff_gbps(arch == BaselineArch::SmartSsdHN);
+                (fp32_bytes / link).max(full_flops / self.smartssd_fpga_gflops)
+            }
+            BaselineArch::SmartSsdAp | BaselineArch::SmartSsdHAp => {
+                let link = self.smartssd_eff_gbps(arch == BaselineArch::SmartSsdHAp);
+                // Homogeneous layout: INT4 stream and random candidate
+                // reads share the same P2P link.
+                let int4_time = int4_bytes / link;
+                let cand_time = cand_bytes / (link * self.smartssd_random_penalty);
+                int4_time
+                    + cand_time
+                    + (screen_ops + cand_flops) / self.smartssd_fpga_gflops
+            }
+            BaselineArch::GenStoreN => {
+                // Each channel-level accelerator consumes its own channel's
+                // sequential stream: per channel, the larger of transfer
+                // and naive-MAC compute, fully parallel across channels.
+                let per_ch_bytes = fp32_bytes / self.channels as f64;
+                let per_ch_flops = full_flops / self.channels as f64;
+                (per_ch_bytes / self.channel_gbps)
+                    .max(per_ch_flops / self.genstore_channel_gflops)
+            }
+            BaselineArch::GenStoreAp => {
+                // Uniformly striped candidates: the busiest channel carries
+                // `uniform_imbalance` × the mean, in both transfer and
+                // channel-local compute; the homogeneous INT4 stream rides
+                // the same buses.
+                let per_ch_cand = cand_bytes / self.channels as f64 * self.uniform_imbalance;
+                let per_ch_int4 = int4_bytes / self.channels as f64;
+                let transfer = (per_ch_cand + per_ch_int4) / self.channel_gbps;
+                let per_ch_flops =
+                    cand_flops / self.channels as f64 * self.uniform_imbalance;
+                let compute = per_ch_flops / self.genstore_channel_gflops;
+                transfer.max(compute)
+            }
+        }
+    }
+
+    /// Speedup of a reference design (ns per batch) over `arch`.
+    pub fn speedup_over(
+        &self,
+        arch: BaselineArch,
+        benchmark: &Benchmark,
+        reference_ns_per_batch: f64,
+    ) -> f64 {
+        self.ns_per_batch(arch, benchmark) / reference_ns_per_batch
+    }
+}
+
+impl Default for BaselineParams {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s100m() -> Benchmark {
+        Benchmark::by_abbrev("XMLCNN-S100M").unwrap()
+    }
+
+    #[test]
+    fn screening_variants_are_faster_than_their_naive_twins() {
+        let p = BaselineParams::paper_default();
+        let b = s100m();
+        for (ap, n) in [
+            (BaselineArch::CpuAp, BaselineArch::CpuN),
+            (BaselineArch::GenStoreAp, BaselineArch::GenStoreN),
+            (BaselineArch::SmartSsdAp, BaselineArch::SmartSsdN),
+            (BaselineArch::SmartSsdHAp, BaselineArch::SmartSsdHN),
+        ] {
+            assert!(
+                p.ns_per_batch(ap, &b) < p.ns_per_batch(n, &b),
+                "{ap} should beat {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig13_ordering_holds() {
+        // Fig. 13: CPU-N slowest, then SmartSSD-N, GenStore-N,
+        // SmartSSD-H-N, CPU-AP, SmartSSD-AP, GenStore-AP, SmartSSD-H-AP.
+        let p = BaselineParams::paper_default();
+        let b = s100m();
+        let times: Vec<f64> = BaselineArch::ALL
+            .iter()
+            .map(|&a| p.ns_per_batch(a, &b))
+            .collect();
+        for w in times.windows(2) {
+            assert!(w[0] > w[1], "ordering violated: {times:?}");
+        }
+    }
+
+    #[test]
+    fn higher_smartssd_bandwidth_helps() {
+        let p = BaselineParams::paper_default();
+        let b = s100m();
+        let ratio = p.ns_per_batch(BaselineArch::SmartSsdN, &b)
+            / p.ns_per_batch(BaselineArch::SmartSsdHN, &b);
+        assert!((ratio - 2.0).abs() < 0.2, "doubling the link ≈ halves time");
+    }
+
+    #[test]
+    fn cpu_n_is_io_bound() {
+        let p = BaselineParams::paper_default();
+        let b = s100m();
+        let total = p.ns_per_batch(BaselineArch::CpuN, &b);
+        let io = b.fp32_matrix_bytes() as f64 / p.host_seq_gbps;
+        assert!(io / total > 0.9, "I/O should dominate CPU-N");
+    }
+
+    #[test]
+    fn genstore_n_is_compute_bound() {
+        let p = BaselineParams::paper_default();
+        let b = s100m();
+        let total = p.ns_per_batch(BaselineArch::GenStoreN, &b);
+        let per_ch_flops = 2.0 * 1024.0 * 1.0e8 * 16.0 / 8.0;
+        let compute = per_ch_flops / p.genstore_channel_gflops;
+        assert!((total - compute).abs() / total < 1e-9);
+    }
+
+    #[test]
+    fn rough_magnitudes_against_paper(){
+        // With the ECSSD reference near 6.4s/batch on S100M (see the Fig 13
+        // harness), the modeled baselines should land within ~40% of the
+        // paper's reported speedups. This is a smoke bound; EXPERIMENTS.md
+        // records exact numbers.
+        let p = BaselineParams::paper_default();
+        let b = s100m();
+        let reference_ns = 6.4e9;
+        for arch in BaselineArch::ALL {
+            let speedup = p.speedup_over(arch, &b, reference_ns);
+            let paper = arch.paper_speedup();
+            assert!(
+                speedup > paper * 0.55 && speedup < paper * 1.6,
+                "{arch}: modeled {speedup:.2} vs paper {paper}"
+            );
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! A *simulated* SmartSSD-like machine (§6.7): a conventional SSD feeding a
+//! near-storage FPGA through a PCIe P2P switch.
+//!
+//! The switch is the defining bottleneck: the SSD's eight internal channels
+//! can source 8 GB/s, but everything the FPGA touches must cross a 3 GB/s
+//! (nominal) link that sustains ~57 % of that in P2P DMA (NASCENT measures
+//! 1.5–2 GB/s). The "H" variant doubles the nominal link (§6.7's bandwidth
+//! sensitivity study).
+
+use ecssd_core::ComputeEngine;
+use ecssd_ssd::{Bandwidth, FlashSim, PhysPageAddr, SimTime, SsdConfig};
+use ecssd_workloads::CandidateSource;
+use serde::{Deserialize, Serialize};
+
+/// SmartSSD variant under simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmartSsdVariant {
+    /// Whether the approximate screening algorithm runs on the FPGA.
+    pub screening: bool,
+    /// Whether the hypothetical 6 GB/s switch is fitted ("H" models).
+    pub high_bandwidth: bool,
+}
+
+/// Result of a simulated SmartSSD run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmartSsdReport {
+    /// Simulated ns per query batch over the window.
+    pub ns_per_query: f64,
+    /// Extrapolated ns per query batch over the full matrix.
+    pub ns_per_query_full: f64,
+    /// Busy fraction of the P2P link.
+    pub link_busy: f64,
+}
+
+/// The simulated SmartSSD machine.
+pub struct SmartSsdMachine {
+    config: SsdConfig,
+    variant: SmartSsdVariant,
+    source: Box<dyn CandidateSource>,
+    flash: FlashSim,
+    /// The P2P switch, modeled as a serialized link at effective bandwidth.
+    link_bw: Bandwidth,
+    link_free: SimTime,
+    link_busy_ns: u64,
+    /// FPGA compute (INT4 screening + FP32 classification folded into one
+    /// well-provisioned engine — the FPGA is never the bottleneck, §6.7).
+    fpga: ComputeEngine,
+    /// Batch size.
+    batch: usize,
+}
+
+impl std::fmt::Debug for SmartSsdMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmartSsdMachine")
+            .field("variant", &self.variant)
+            .field("benchmark", &self.source.benchmark().abbrev)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SmartSsdMachine {
+    /// Builds the machine with the calibrated link efficiency (0.57 of the
+    /// nominal switch bandwidth) and a 500 GFLOPS FPGA.
+    pub fn new(
+        config: SsdConfig,
+        variant: SmartSsdVariant,
+        source: Box<dyn CandidateSource>,
+        batch: usize,
+    ) -> Self {
+        let nominal = if variant.high_bandwidth { 6.0 } else { 3.0 };
+        SmartSsdMachine {
+            flash: FlashSim::new(config.geometry, config.timing),
+            link_bw: Bandwidth::from_gbps(nominal * 0.57),
+            link_free: SimTime::ZERO,
+            link_busy_ns: 0,
+            fpga: ComputeEngine::new(500.0),
+            batch,
+            config,
+            variant,
+            source,
+        }
+    }
+
+    fn link_transfer(&mut self, bytes: u64, issue: SimTime) -> SimTime {
+        if bytes == 0 {
+            return issue;
+        }
+        let start = issue.max(self.link_free);
+        let done = start + self.link_bw.transfer_ns(bytes);
+        self.link_busy_ns += done - start;
+        self.link_free = done;
+        done
+    }
+
+    fn row_addr(&self, global_row: u64, page: u64) -> PhysPageAddr {
+        let g = self.config.geometry;
+        let mut h = global_row.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (page << 7);
+        h ^= h >> 29;
+        PhysPageAddr {
+            channel: (global_row % g.channels as u64) as usize,
+            die: (h % g.dies_per_channel as u64) as usize,
+            plane: ((h >> 8) % g.planes_per_die as u64) as usize,
+            block: ((h >> 16) % g.blocks_per_plane as u64) as usize,
+            page: ((h >> 32) % g.pages_per_block as u64) as usize,
+        }
+    }
+
+    /// Runs `queries` batches over the first `max_tiles` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries == 0`.
+    pub fn run_window(&mut self, queries: usize, max_tiles: usize) -> SmartSsdReport {
+        assert!(queries > 0, "need at least one query");
+        let bench = *self.source.benchmark();
+        let tiles_total = self.source.num_tiles();
+        let tiles = tiles_total.min(max_tiles);
+        let page_bytes = self.config.geometry.page_bytes as u64;
+        let pages_per_row = bench.pages_per_row(page_bytes as usize);
+        let d = bench.hidden as u64;
+        let k = bench.projected_dim() as u64;
+        let b = self.batch as u64;
+
+        let mut makespan = SimTime::ZERO;
+        for q in 0..queries {
+            for t in 0..tiles {
+                let range = self.source.tile_row_range(t);
+                let tile_len = range.end - range.start;
+                let mut cursor = SimTime::ZERO;
+                let rows: Vec<u64> = if self.variant.screening {
+                    // Homogeneous layout: the INT4 tile crosses the switch
+                    // too, then the FPGA screens.
+                    let int4_done =
+                        self.link_transfer(tile_len * bench.int4_row_bytes(), cursor);
+                    cursor = self.fpga.compute(2 * k * tile_len * b, int4_done);
+                    self.source.candidates(q, t)
+                } else {
+                    range.clone().collect()
+                };
+                // Candidate pages: internal flash read, then the switch.
+                let mut addrs = Vec::with_capacity(rows.len() * pages_per_row as usize);
+                for &row in &rows {
+                    for p in 0..pages_per_row {
+                        addrs.push(self.row_addr(row, p));
+                    }
+                }
+                let fetch = self.flash.read_batch_gated(&addrs, cursor, cursor);
+                let arrive = self.link_transfer(
+                    rows.len() as u64 * pages_per_row * page_bytes,
+                    fetch.done,
+                );
+                let done = self.fpga.compute(2 * d * rows.len() as u64 * b, arrive);
+                makespan = makespan.max(done);
+            }
+        }
+        SmartSsdReport {
+            ns_per_query: makespan.as_ns() as f64 / queries as f64,
+            ns_per_query_full: makespan.as_ns() as f64 / queries as f64
+                * tiles_total as f64
+                / tiles.max(1) as f64,
+            link_busy: self.link_busy_ns as f64 / makespan.as_ns().max(1) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaselineArch, BaselineParams};
+    use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
+
+    fn machine(screening: bool, high: bool) -> SmartSsdMachine {
+        let bench = Benchmark::by_abbrev("XMLCNN-S10M").unwrap();
+        let workload = SampledWorkload::new(bench, TraceConfig::paper_default());
+        SmartSsdMachine::new(
+            SsdConfig::paper_default(),
+            SmartSsdVariant {
+                screening,
+                high_bandwidth: high,
+            },
+            Box::new(workload),
+            16,
+        )
+    }
+
+    #[test]
+    fn link_is_the_bottleneck() {
+        let r = machine(false, false).run_window(1, 8);
+        assert!(r.link_busy > 0.9, "link busy {}", r.link_busy);
+    }
+
+    #[test]
+    fn screening_and_bandwidth_both_help() {
+        let n = machine(false, false).run_window(1, 8).ns_per_query;
+        let ap = machine(true, false).run_window(1, 8).ns_per_query;
+        let hn = machine(false, true).run_window(1, 8).ns_per_query;
+        assert!(ap < n / 3.0, "screening cuts link traffic ~10x");
+        assert!(hn < n, "a faster switch helps the naive variant");
+        let ratio = n / hn;
+        assert!((1.7..=2.2).contains(&ratio), "doubling the link: {ratio}");
+    }
+
+    #[test]
+    fn simulation_validates_the_analytic_model() {
+        let params = BaselineParams::paper_default();
+        let bench = Benchmark::by_abbrev("XMLCNN-S10M").unwrap();
+        for (screening, high, arch) in [
+            (false, false, BaselineArch::SmartSsdN),
+            (true, false, BaselineArch::SmartSsdAp),
+            (false, true, BaselineArch::SmartSsdHN),
+            (true, true, BaselineArch::SmartSsdHAp),
+        ] {
+            let sim = machine(screening, high).run_window(1, 10).ns_per_query_full;
+            let analytic = params.ns_per_batch(arch, &bench);
+            let ratio = sim / analytic;
+            assert!(
+                (0.6..=1.6).contains(&ratio),
+                "{arch}: sim {sim:.3e} vs analytic {analytic:.3e} ({ratio:.2})"
+            );
+        }
+    }
+}

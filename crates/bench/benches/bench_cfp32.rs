@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of the CFP32 numerics: pre-alignment and the
+//! three MAC-organization dot-product models.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecssd_float::{alignment_free_dot, naive_fp32_dot, skhynix_dot, Cfp32Vector};
+
+fn vectors(n: usize) -> (Vec<f32>, Vec<f32>) {
+    let x: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.37).sin() * 1.3).collect();
+    let w: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.11).cos() * 0.7).collect();
+    (x, w)
+}
+
+fn bench_prealign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prealign");
+    for n in [256usize, 1024, 4096] {
+        let (x, _) = vectors(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| Cfp32Vector::from_f32(black_box(x)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_dot_products(c: &mut Criterion) {
+    let n = 1024;
+    let (x, w) = vectors(n);
+    let xa = Cfp32Vector::from_f32(&x).unwrap();
+    let wa = Cfp32Vector::from_f32(&w).unwrap();
+    let mut g = c.benchmark_group("dot1024");
+    g.bench_function("naive_fp32", |b| {
+        b.iter(|| naive_fp32_dot(black_box(&x), black_box(&w)))
+    });
+    g.bench_function("skhynix", |b| {
+        b.iter(|| skhynix_dot(black_box(&x), black_box(&w)))
+    });
+    g.bench_function("alignment_free", |b| {
+        b.iter(|| alignment_free_dot(black_box(&xa), black_box(&wa)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_prealign, bench_dot_products
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of the layout framework and trace sampling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecssd_layout::InterleavingStrategy;
+use ecssd_workloads::{Benchmark, CandidateSource, SampledWorkload, TraceConfig};
+
+fn bench_assignment(c: &mut Criterion) {
+    let predicted: Vec<f32> = (0..512)
+        .map(|i| (((i * 2654435761usize) % 1000) as f32) * 0.1)
+        .collect();
+    let freq: Vec<u32> = (0..512).map(|i| (i % 24) as u32).collect();
+    let mut g = c.benchmark_group("assign_tile_512");
+    for strategy in [
+        InterleavingStrategy::Sequential,
+        InterleavingStrategy::Uniform,
+        InterleavingStrategy::Learned(Default::default()),
+    ] {
+        g.bench_function(strategy.label(), |b| {
+            b.iter(|| {
+                strategy.assign_tile(0, 64, 0, black_box(&predicted), Some(&freq), 8)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_sampling(c: &mut Criterion) {
+    let bench = Benchmark::by_abbrev("XMLCNN-S100M").unwrap();
+    let mut w = SampledWorkload::new(bench, TraceConfig::paper_default());
+    c.bench_function("sample_candidates_100m_tile", |b| {
+        let mut q = 0usize;
+        b.iter(|| {
+            q += 1;
+            w.candidates(black_box(q), 123_456)
+        })
+    });
+    c.bench_function("predicted_hotness_tile", |b| {
+        b.iter(|| w.predicted_hotness(black_box(7)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_assignment, bench_trace_sampling
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion micro-benchmarks of the full ECSSD pipeline simulation: how
+//! many simulated tiles per second the model itself sustains.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecssd_core::{EcssdConfig, EcssdMachine, MachineVariant};
+use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
+
+fn bench_machine_window(c: &mut Criterion) {
+    let bench = Benchmark::by_abbrev("Transformer-W268K").unwrap();
+    c.bench_function("ecssd_machine_2q_16tiles", |b| {
+        b.iter(|| {
+            let workload = SampledWorkload::new(bench, TraceConfig::paper_default());
+            let mut machine = EcssdMachine::new(
+                EcssdConfig::paper_default(),
+                MachineVariant::paper_ecssd(),
+                Box::new(workload),
+            );
+            machine.run_window(2, 16)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_machine_window
+}
+criterion_main!(benches);

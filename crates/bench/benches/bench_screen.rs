@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of the approximate screening pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecssd_screen::{DenseMatrix, ScreenerConfig, ScreeningPipeline};
+
+fn bench_screening(c: &mut Criterion) {
+    let weights = DenseMatrix::random(4096, 256, 7);
+    let pipeline = ScreeningPipeline::new(&weights, ScreenerConfig::paper_default()).unwrap();
+    let x: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.21).sin()).collect();
+    let mut g = c.benchmark_group("screening_l4096_d256");
+    g.bench_function("infer_top10", |b| {
+        b.iter(|| pipeline.infer(black_box(&x), 10).unwrap())
+    });
+    g.bench_function("screen_only", |b| {
+        b.iter(|| {
+            pipeline
+                .screener()
+                .screen(black_box(&x), pipeline.config().threshold)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let weights = DenseMatrix::random(2048, 256, 9);
+    c.bench_function("pipeline_build_l2048_d256", |b| {
+        b.iter(|| ScreeningPipeline::new(black_box(&weights), ScreenerConfig::paper_default()).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_screening, bench_build
+}
+criterion_main!(benches);

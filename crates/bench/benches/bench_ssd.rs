@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the SSD simulator substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecssd_ssd::{
+    AllocationPolicy, FlashSim, FlashTiming, Ftl, PhysPageAddr, SimTime, SsdGeometry,
+};
+
+fn bench_flash_batch(c: &mut Criterion) {
+    let geometry = SsdGeometry::paper_default();
+    let addrs: Vec<PhysPageAddr> = (0..512u64)
+        .map(|i| PhysPageAddr {
+            channel: (i % 8) as usize,
+            die: ((i / 8) % 8) as usize,
+            plane: 0,
+            block: (i % 64) as usize,
+            page: (i % 2048) as usize,
+        })
+        .collect();
+    c.bench_function("flash_read_batch_512", |b| {
+        b.iter(|| {
+            let mut flash = FlashSim::new(geometry, FlashTiming::paper_default());
+            flash.read_batch(black_box(&addrs), SimTime::ZERO)
+        })
+    });
+}
+
+fn bench_ftl_writes(c: &mut Criterion) {
+    // The tiny geometry exports 1536 logical pages at 25% overprovisioning.
+    c.bench_function("ftl_write_1500_lpns", |b| {
+        b.iter(|| {
+            let mut ftl = Ftl::new(SsdGeometry::tiny(), AllocationPolicy::Striped, 0.25);
+            for lpn in 0..1500u64 {
+                ftl.write(black_box(lpn)).unwrap();
+            }
+            ftl.mapped_pages()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_flash_batch, bench_ftl_writes
+}
+criterion_main!(benches);

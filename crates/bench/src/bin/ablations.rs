@@ -1,0 +1,5 @@
+//! Runs the DESIGN.md §5 ablation studies.
+use ecssd_bench::experiments::common::Window;
+fn main() {
+    println!("{}", ecssd_bench::ablations::run(Window::standard()));
+}

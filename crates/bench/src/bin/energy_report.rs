@@ -1,0 +1,5 @@
+//! Runs the measured-energy study.
+use ecssd_bench::experiments::common::Window;
+fn main() {
+    println!("{}", ecssd_bench::energy_report::run(Window::standard()));
+}

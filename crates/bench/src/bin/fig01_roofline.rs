@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1 (roofline points).
+fn main() {
+    println!("{}", ecssd_bench::fig01_roofline::run());
+}

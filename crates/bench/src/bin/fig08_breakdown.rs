@@ -1,0 +1,5 @@
+//! Regenerates Fig. 8 (technique breakdown).
+use ecssd_bench::experiments::common::Window;
+fn main() {
+    println!("{}", ecssd_bench::fig08_breakdown::run(Window::standard()));
+}

@@ -1,0 +1,35 @@
+//! Fig. 8 companion: the technique breakdown per benchmark rather than
+//! averaged, showing where each technique matters most (the alignment-free
+//! MAC on compute-heavy D=1024 models, the layout techniques on the
+//! page-bound D=512 models).
+
+use ecssd_bench::experiments::common::{run_point, Window};
+use ecssd_bench::fig08_breakdown::variants;
+use ecssd_bench::table::TextTable;
+use ecssd_workloads::{Benchmark, TraceConfig};
+
+fn main() {
+    let window = Window::standard();
+    let trace = TraceConfig::paper_default();
+    let mut t = TextTable::new([
+        "benchmark",
+        "baseline",
+        "+uniform",
+        "+AF MAC",
+        "+hetero",
+        "+learned",
+        "total",
+    ]);
+    for bench in Benchmark::suite() {
+        let times: Vec<f64> = variants()
+            .into_iter()
+            .map(|(_, variant, _, _)| run_point(bench, variant, trace, window).ns_per_query())
+            .collect();
+        let mut row = vec![bench.abbrev.to_string(), "1.00x".to_string()];
+        row.extend(times[1..].iter().map(|&ns| format!("{:.2}x", times[0] / ns)));
+        row.push(format!("{:.2}x", times[0] / times[4]));
+        t.row(row);
+    }
+    println!("Fig. 8 detail — cumulative speedup vs the per-benchmark baseline\n");
+    println!("{t}");
+}

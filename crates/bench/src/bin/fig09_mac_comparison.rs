@@ -1,0 +1,4 @@
+//! Regenerates Fig. 9 (MAC circuit area/power comparison).
+fn main() {
+    println!("{}", ecssd_bench::fig09_mac::run());
+}

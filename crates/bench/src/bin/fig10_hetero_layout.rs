@@ -1,0 +1,5 @@
+//! Regenerates Fig. 10 (heterogeneous vs homogeneous layout).
+use ecssd_bench::experiments::common::Window;
+fn main() {
+    println!("{}", ecssd_bench::fig10_hetero::run(Window::standard()));
+}

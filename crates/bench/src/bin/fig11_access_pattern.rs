@@ -1,0 +1,4 @@
+//! Regenerates Fig. 11 (channel access patterns).
+fn main() {
+    println!("{}", ecssd_bench::fig11_access::run());
+}

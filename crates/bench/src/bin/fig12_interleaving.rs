@@ -1,0 +1,5 @@
+//! Regenerates Fig. 12 (storing-strategy comparison).
+use ecssd_bench::experiments::common::Window;
+fn main() {
+    println!("{}", ecssd_bench::fig12_interleaving::run(Window::standard()));
+}

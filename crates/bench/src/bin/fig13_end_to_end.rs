@@ -1,0 +1,5 @@
+//! Regenerates Fig. 13 (end-to-end baseline comparison).
+use ecssd_bench::experiments::common::Window;
+fn main() {
+    println!("{}", ecssd_bench::fig13_end_to_end::run(Window::standard()));
+}

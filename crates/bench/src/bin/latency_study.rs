@@ -1,0 +1,4 @@
+//! Runs the open-loop serving-latency study.
+fn main() {
+    println!("{}", ecssd_bench::latency_study::run());
+}

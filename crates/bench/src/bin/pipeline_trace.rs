@@ -1,0 +1,88 @@
+//! `pipeline_trace` — ASCII Gantt view of the ECSSD tile pipeline.
+//!
+//! ```text
+//! cargo run --release -p ecssd-bench --bin pipeline_trace -- [tiles] [benchmark]
+//! ```
+//!
+//! Shows, per tile, the screening / fetch / classify intervals on a common
+//! time axis — the §4.5 overlap made visible — plus the per-channel bus
+//! occupancy from the flash trace.
+
+use ecssd_core::{EcssdConfig, EcssdMachine, MachineVariant};
+use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
+
+const WIDTH: usize = 96;
+
+fn bar(start: u64, end: u64, t0: u64, t1: u64, ch: char) -> String {
+    let span = (t1 - t0).max(1) as f64;
+    let a = (((start - t0) as f64 / span) * WIDTH as f64) as usize;
+    let b = ((((end - t0) as f64 / span) * WIDTH as f64) as usize).min(WIDTH);
+    let mut s = " ".repeat(WIDTH);
+    if b > a {
+        s.replace_range(a..b, &ch.to_string().repeat(b - a));
+    }
+    s
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let tiles: usize = args
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+        .clamp(2, 24);
+    let bench_name = args.next().unwrap_or_else(|| "Transformer-W268K".into());
+    let Some(bench) = Benchmark::by_abbrev(&bench_name) else {
+        eprintln!("unknown benchmark {bench_name:?}");
+        std::process::exit(2);
+    };
+
+    let workload = SampledWorkload::new(bench, TraceConfig::paper_default());
+    let mut machine = EcssdMachine::new(
+        EcssdConfig::paper_default(),
+        MachineVariant::paper_ecssd(),
+        Box::new(workload),
+    );
+    machine.enable_tile_timings();
+    let report = machine.run_window(1, tiles);
+    let timings = machine.tile_timings().to_vec();
+
+    let t0 = 0u64;
+    let t1 = report.makespan.as_ns();
+    println!(
+        "{} — {} tiles, one query batch, makespan {} (s=screen window end, f=fetch, c=classify)\n",
+        bench.abbrev, tiles, report.makespan
+    );
+    println!("tile  {:-^WIDTH$}", " time ");
+    for t in &timings {
+        // Screening interval is approximated as ending at screen_done; the
+        // fetch and classify intervals are exact.
+        let screen_start = t.screen_done.as_ns().saturating_sub(
+            t.screen_done.as_ns() / (t.tile + 2) as u64,
+        );
+        let mut line = bar(screen_start, t.screen_done.as_ns(), t0, t1, 's');
+        let f = bar(t.screen_done.as_ns(), t.fetch_done.as_ns(), t0, t1, 'f');
+        let c = bar(t.fetch_done.as_ns(), t.fp_done.as_ns(), t0, t1, 'c');
+        let merged: String = line
+            .chars()
+            .zip(f.chars())
+            .zip(c.chars())
+            .map(|((a, b), c)| {
+                if c != ' ' {
+                    c
+                } else if b != ' ' {
+                    b
+                } else {
+                    a
+                }
+            })
+            .collect();
+        line = merged;
+        println!("{:>4}  {line}", t.tile);
+    }
+    println!(
+        "\nFP channel utilization {:.1}%, candidates {} rows",
+        report.fp_channel_utilization * 100.0,
+        report.candidate_rows
+    );
+}

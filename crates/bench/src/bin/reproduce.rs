@@ -1,0 +1,75 @@
+//! Runs every experiment of the ECSSD reproduction and writes both a
+//! human-readable transcript (stdout) and a machine-readable JSON summary
+//! (`reproduce_results.json` in the working directory).
+
+use ecssd_bench::experiments::common::Window;
+use serde_json::json;
+
+fn main() {
+    let window = Window::standard();
+
+    println!("================ ECSSD reproduction — full experiment sweep ================\n");
+
+    let t02 = ecssd_bench::table02_config::run();
+    println!("{t02}\n");
+    let t03 = ecssd_bench::table03_benchmarks::run();
+    println!("{t03}\n");
+    let t04 = ecssd_bench::table04_area_power::run();
+    println!("{t04}\n");
+    let f01 = ecssd_bench::fig01_roofline::run();
+    println!("{f01}\n");
+    let s42 = ecssd_bench::sec42_alignment_free::run();
+    println!("{s42}\n");
+    let f09 = ecssd_bench::fig09_mac::run();
+    println!("{f09}\n");
+    let f08 = ecssd_bench::fig08_breakdown::run(window);
+    println!("{f08}\n");
+    let f10 = ecssd_bench::fig10_hetero::run(window);
+    println!("{f10}\n");
+    let f11 = ecssd_bench::fig11_access::run();
+    println!("{f11}\n");
+    let f12 = ecssd_bench::fig12_interleaving::run(window);
+    println!("{f12}\n");
+    let f13 = ecssd_bench::fig13_end_to_end::run(window);
+    println!("{f13}\n");
+    let s71 = ecssd_bench::sec71_scalability::run();
+    println!("{s71}\n");
+    let s72 = ecssd_bench::sec72_gpu::run();
+    println!("{s72}\n");
+    let s73 = ecssd_bench::sec73_enmc::run();
+    println!("{s73}\n");
+    let sweep = ecssd_bench::sweep_compensation::run();
+    println!("{sweep}\n");
+    let energy = ecssd_bench::energy_report::run(window);
+    println!("{energy}\n");
+    let abl = ecssd_bench::ablations::run(window);
+    println!("{abl}");
+    let latency = ecssd_bench::latency_study::run();
+    println!("{latency}\n");
+
+    let summary = json!({
+        "table02": t02,
+        "table03": t03,
+        "table04": t04,
+        "fig01": f01,
+        "sec42": s42,
+        "fig08": f08,
+        "fig09": f09,
+        "fig10": f10,
+        "fig11": f11,
+        "fig12": f12,
+        "fig13": f13,
+        "sec71": s71,
+        "sec72": s72,
+        "sec73": s73,
+        "sweep_compensation": sweep,
+        "energy": energy,
+        "ablations": abl,
+        "latency": latency,
+    });
+    let path = "reproduce_results.json";
+    match std::fs::write(path, serde_json::to_string_pretty(&summary).expect("serializable")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

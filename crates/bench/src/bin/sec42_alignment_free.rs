@@ -1,0 +1,4 @@
+//! Regenerates the Section 4.2 measurements.
+fn main() {
+    println!("{}", ecssd_bench::sec42_alignment_free::run());
+}

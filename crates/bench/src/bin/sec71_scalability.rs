@@ -1,0 +1,4 @@
+//! Regenerates the Section 7.1 scalability analysis.
+fn main() {
+    println!("{}", ecssd_bench::sec71_scalability::run());
+}

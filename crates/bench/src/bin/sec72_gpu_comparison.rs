@@ -1,0 +1,4 @@
+//! Regenerates the Section 7.2 GPU comparison.
+fn main() {
+    println!("{}", ecssd_bench::sec72_gpu::run());
+}

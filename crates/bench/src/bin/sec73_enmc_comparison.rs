@@ -1,0 +1,4 @@
+//! Regenerates the Section 7.3 ENMC comparison.
+fn main() {
+    println!("{}", ecssd_bench::sec73_enmc::run());
+}

@@ -1,0 +1,201 @@
+//! `simulate` — run one ECSSD design point from the command line.
+//!
+//! ```text
+//! cargo run --release -p ecssd-bench --bin simulate -- \
+//!     --benchmark Transformer-W268K --interleaving learned \
+//!     --placement hetero --mac af --ratio 0.1 --batch 16 \
+//!     --queries 2 --tiles 64 [--json]
+//! ```
+//!
+//! Every flag has a paper-default; `--help` lists them.
+
+use ecssd_core::{DataPlacement, EcssdConfig, EcssdMachine, MachineVariant};
+use ecssd_float::MacCircuit;
+use ecssd_layout::InterleavingStrategy;
+use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
+
+const HELP: &str = "\
+simulate — run one ECSSD design point
+
+options (all optional):
+  --benchmark <abbrev>     Table-3 benchmark (default Transformer-W268K)
+  --interleaving <s>       sequential | uniform | learned (default learned)
+  --placement <p>          hetero | homog (default hetero)
+  --mac <m>                naive | skhynix | af (default af)
+  --ratio <f>              candidate ratio in (0,1] (default 0.1)
+  --batch <n>              inference batch (default 16)
+  --tile-rows <n>          weight rows per tile (default 512)
+  --queries <n>            query batches to simulate (default 2)
+  --tiles <n>              tiles per query (default 64)
+  --json                   emit the RunReport as JSON
+  --help                   this text
+";
+
+struct Args {
+    benchmark: String,
+    interleaving: String,
+    placement: String,
+    mac: String,
+    ratio: f64,
+    batch: usize,
+    tile_rows: usize,
+    queries: usize,
+    tiles: usize,
+    json: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            benchmark: "Transformer-W268K".into(),
+            interleaving: "learned".into(),
+            placement: "hetero".into(),
+            mac: "af".into(),
+            ratio: 0.1,
+            batch: 16,
+            tile_rows: 512,
+            queries: 2,
+            tiles: 64,
+            json: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--benchmark" => args.benchmark = value("--benchmark")?,
+                "--interleaving" => args.interleaving = value("--interleaving")?,
+                "--placement" => args.placement = value("--placement")?,
+                "--mac" => args.mac = value("--mac")?,
+                "--ratio" => {
+                    args.ratio = value("--ratio")?
+                        .parse()
+                        .map_err(|e| format!("--ratio: {e}"))?;
+                }
+                "--batch" => {
+                    args.batch = value("--batch")?
+                        .parse()
+                        .map_err(|e| format!("--batch: {e}"))?;
+                }
+                "--tile-rows" => {
+                    args.tile_rows = value("--tile-rows")?
+                        .parse()
+                        .map_err(|e| format!("--tile-rows: {e}"))?;
+                }
+                "--queries" => {
+                    args.queries = value("--queries")?
+                        .parse()
+                        .map_err(|e| format!("--queries: {e}"))?;
+                }
+                "--tiles" => {
+                    args.tiles = value("--tiles")?
+                        .parse()
+                        .map_err(|e| format!("--tiles: {e}"))?;
+                }
+                "--json" => args.json = true,
+                "--help" | "-h" => {
+                    print!("{HELP}");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            std::process::exit(2);
+        }
+    };
+    let Some(bench) = Benchmark::by_abbrev(&args.benchmark) else {
+        eprintln!(
+            "error: unknown benchmark {:?}; known: {}",
+            args.benchmark,
+            Benchmark::suite()
+                .iter()
+                .map(|b| b.abbrev)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    };
+    let interleaving = match args.interleaving.as_str() {
+        "sequential" => InterleavingStrategy::Sequential,
+        "uniform" => InterleavingStrategy::Uniform,
+        "learned" => InterleavingStrategy::Learned(Default::default()),
+        other => {
+            eprintln!("error: unknown interleaving {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let placement = match args.placement.as_str() {
+        "hetero" => DataPlacement::Heterogeneous,
+        "homog" => DataPlacement::Homogeneous,
+        other => {
+            eprintln!("error: unknown placement {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let mac = match args.mac.as_str() {
+        "naive" => MacCircuit::Naive,
+        "skhynix" => MacCircuit::SkHynix,
+        "af" => MacCircuit::AlignmentFree,
+        other => {
+            eprintln!("error: unknown mac {other:?}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut config = EcssdConfig::paper_default();
+    config.accelerator.batch = args.batch;
+    let trace = TraceConfig::paper_default()
+        .with_candidate_ratio(args.ratio)
+        .with_tile_rows(args.tile_rows);
+    let variant = MachineVariant {
+        mac,
+        placement,
+        interleaving,
+        ..MachineVariant::paper_ecssd()
+    };
+    let workload = SampledWorkload::new(bench, trace);
+    let mut machine = EcssdMachine::new(config, variant, Box::new(workload));
+    let report = machine.run_window(args.queries, args.tiles);
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+        return;
+    }
+    println!("benchmark            {}", bench.abbrev);
+    println!(
+        "design point         {} / {} / {} (batch {}, ratio {:.0}%, {}-row tiles)",
+        mac.label(),
+        args.placement,
+        interleaving.label(),
+        args.batch,
+        args.ratio * 100.0,
+        args.tile_rows
+    );
+    println!("window               {} queries x {} tiles", report.queries, report.tiles_simulated);
+    println!("ns/query (window)    {:.0}", report.ns_per_query());
+    println!(
+        "ns/query (full)      {:.0}  ({:.3} s over {} tiles)",
+        report.ns_per_query_full(),
+        report.ns_per_query_full() / 1e9,
+        report.tiles_total
+    );
+    println!(
+        "FP channel util      {:.1}%   balance {:.2}",
+        report.fp_channel_utilization * 100.0,
+        report.fp_imbalance().balance()
+    );
+    println!("candidate rows       {}", report.candidate_rows);
+}

@@ -1,0 +1,6 @@
+//! Runs the channel-count device-class sweep.
+use ecssd_bench::experiments::common::Window;
+fn main() {
+    let reports = ecssd_bench::sweep_channels::run(Window::standard());
+    print!("{}", ecssd_bench::sweep_channels::render(&reports));
+}

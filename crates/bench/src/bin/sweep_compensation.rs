@@ -1,0 +1,4 @@
+//! Runs the compensation-width design-space sweep (§4.2).
+fn main() {
+    println!("{}", ecssd_bench::sweep_compensation::run());
+}

@@ -1,0 +1,4 @@
+//! Prints Table 2 (ECSSD configuration).
+fn main() {
+    println!("{}", ecssd_bench::table02_config::run());
+}

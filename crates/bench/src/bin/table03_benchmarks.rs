@@ -1,0 +1,4 @@
+//! Prints Table 3 (benchmark suite).
+fn main() {
+    println!("{}", ecssd_bench::table03_benchmarks::run());
+}

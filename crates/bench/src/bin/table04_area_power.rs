@@ -1,0 +1,4 @@
+//! Prints Table 4 (accelerator area/power).
+fn main() {
+    println!("{}", ecssd_bench::table04_area_power::run());
+}

@@ -1,0 +1,363 @@
+//! Ablation studies for the design choices DESIGN.md §5 calls out:
+//!
+//! * **overlap** — the §4.5 dual-module/ping-pong overlap on vs off;
+//! * **scheduler** — per-tile transfer sync (the paper's busiest-channel
+//!   model) vs aggressive per-channel run-ahead;
+//! * **predictor** — oracle vs noisy |INT4| prediction, with and without
+//!   training-frequency fine-tuning (§5.3);
+//! * **tile size** — weight-tile granularity vs balance and buffering;
+//! * **batch** — inference batch vs the compute/bandwidth crossover;
+//! * **skew** — candidate-hotness skew vs the learned layout's advantage.
+
+use ecssd_core::{EcssdConfig, EcssdMachine, MachineVariant, RunReport};
+use ecssd_layout::{GradeConfig, InterleavingStrategy, LearnedConfig};
+use ecssd_workloads::{Benchmark, HotnessModel, PredictorModel, SampledWorkload, TraceConfig};
+use serde::Serialize;
+
+use crate::experiments::common::Window;
+use crate::table::TextTable;
+
+/// A labeled design point result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Point label.
+    pub label: String,
+    /// ns per query batch.
+    pub ns_per_query: f64,
+    /// FP-traffic channel utilization.
+    pub fp_utilization: f64,
+}
+
+/// One ablation axis with its measured points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Axis {
+    /// Axis name.
+    pub name: &'static str,
+    /// Measured points, in sweep order.
+    pub points: Vec<Point>,
+}
+
+/// The full ablation report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// All axes.
+    pub axes: Vec<Axis>,
+}
+
+fn measure(
+    bench: Benchmark,
+    variant: MachineVariant,
+    trace: TraceConfig,
+    config: EcssdConfig,
+    window: Window,
+) -> RunReport {
+    let workload = SampledWorkload::new(bench, trace);
+    EcssdMachine::new(config, variant, Box::new(workload))
+        .run_window(window.queries, window.max_tiles)
+}
+
+fn point(label: impl Into<String>, r: &RunReport) -> Point {
+    Point {
+        label: label.into(),
+        ns_per_query: r.ns_per_query(),
+        fp_utilization: r.fp_channel_utilization,
+    }
+}
+
+/// Overlap + scheduler ablation (Transformer-W268K).
+pub fn overlap_axis(window: Window) -> Axis {
+    let bench = Benchmark::by_abbrev("Transformer-W268K").expect("known");
+    let trace = TraceConfig::paper_default();
+    let cfg = EcssdConfig::paper_default();
+    let full = MachineVariant::paper_ecssd();
+    let points = vec![
+        point("full pipeline", &measure(bench, full, trace, cfg.clone(), window)),
+        point(
+            "no dual-module overlap",
+            &measure(
+                bench,
+                MachineVariant { overlap: false, ..full },
+                trace,
+                cfg.clone(),
+                window,
+            ),
+        ),
+        point(
+            "run-ahead scheduler (no per-tile sync)",
+            &measure(
+                bench,
+                MachineVariant { per_tile_sync: false, ..full },
+                trace,
+                cfg,
+                window,
+            ),
+        ),
+    ];
+    Axis { name: "overlap/scheduler", points }
+}
+
+/// Predictor-quality ablation (GNMT-E32K): oracle vs noisy, with/without
+/// frequency fine-tuning, vs uniform.
+pub fn predictor_axis(window: Window) -> Axis {
+    let bench = Benchmark::by_abbrev("GNMT-E32K").expect("known");
+    let cfg = EcssdConfig::paper_default();
+    let noisy = TraceConfig::paper_default();
+    let oracle = TraceConfig {
+        predictor: PredictorModel::oracle(),
+        ..noisy
+    };
+    let very_noisy = TraceConfig {
+        predictor: PredictorModel {
+            noise_sigma: 1.5,
+            seed: 0x9ced,
+        },
+        ..noisy
+    };
+    let learned = MachineVariant::paper_ecssd();
+    let magnitude_only = MachineVariant {
+        interleaving: InterleavingStrategy::Learned(LearnedConfig {
+            use_frequency: false,
+            grading: GradeConfig::paper_default(),
+        }),
+        training_queries: 0,
+        ..learned
+    };
+    let uniform = MachineVariant {
+        interleaving: InterleavingStrategy::Uniform,
+        training_queries: 0,
+        ..learned
+    };
+    let points = vec![
+        point("oracle prediction + frequency", &measure(bench, learned, oracle, cfg.clone(), window)),
+        point("noisy |INT4| + frequency (paper)", &measure(bench, learned, noisy, cfg.clone(), window)),
+        point("noisy |INT4| only (no fine-tune)", &measure(bench, magnitude_only, noisy, cfg.clone(), window)),
+        point(
+            "very noisy prediction, no fine-tune",
+            &measure(bench, magnitude_only, very_noisy, cfg.clone(), window),
+        ),
+        point("uniform interleaving", &measure(bench, uniform, noisy, cfg, window)),
+    ];
+    Axis { name: "hot-degree predictor", points }
+}
+
+/// Tile-size sweep (Transformer-W268K).
+pub fn tile_size_axis(window: Window) -> Axis {
+    let bench = Benchmark::by_abbrev("Transformer-W268K").expect("known");
+    let cfg = EcssdConfig::paper_default();
+    let points = [128usize, 256, 512, 1024, 2048]
+        .into_iter()
+        .map(|tile_rows| {
+            let trace = TraceConfig::paper_default().with_tile_rows(tile_rows);
+            let r = measure(bench, MachineVariant::paper_ecssd(), trace, cfg.clone(), window);
+            Point {
+                label: format!("{tile_rows} rows/tile"),
+                // Normalize per weight row: a fixed tile-count window
+                // covers tile_rows × window.max_tiles rows.
+                ns_per_query: r.ns_per_query()
+                    / (tile_rows as f64 * r.tiles_simulated as f64),
+                fp_utilization: r.fp_channel_utilization,
+            }
+        })
+        .collect();
+    Axis { name: "tile size (ns per weight row)", points }
+}
+
+/// Batch sweep (XMLCNN-S100M): where compute overtakes bandwidth.
+pub fn batch_axis(window: Window) -> Axis {
+    let bench = Benchmark::by_abbrev("XMLCNN-S100M").expect("known");
+    let points = [4usize, 8, 16, 32, 64]
+        .into_iter()
+        .map(|batch| {
+            let mut cfg = EcssdConfig::paper_default();
+            cfg.accelerator.batch = batch;
+            let r = measure(
+                bench,
+                MachineVariant::paper_ecssd(),
+                TraceConfig::paper_default(),
+                cfg,
+                window,
+            );
+            Point {
+                label: format!("batch {batch}"),
+                // Normalize to per-input cost so the crossover is visible.
+                ns_per_query: r.ns_per_query() / batch as f64,
+                fp_utilization: r.fp_channel_utilization,
+            }
+        })
+        .collect();
+    Axis { name: "batch (ns per single input)", points }
+}
+
+/// Skew sweep (GNMT-E32K): learned-over-uniform speedup vs hot fraction.
+pub fn skew_axis(window: Window) -> Axis {
+    let bench = Benchmark::by_abbrev("GNMT-E32K").expect("known");
+    let cfg = EcssdConfig::paper_default();
+    let points = [0.02f64, 0.05, 0.10, 0.20]
+        .into_iter()
+        .map(|hot| {
+            let trace = TraceConfig {
+                hotness: HotnessModel {
+                    hot_cluster_prob: hot,
+                    ..HotnessModel::paper_default(0xec55d)
+                },
+                ..TraceConfig::paper_default()
+            };
+            let learned = measure(bench, MachineVariant::paper_ecssd(), trace, cfg.clone(), window);
+            let uniform = measure(
+                bench,
+                MachineVariant {
+                    interleaving: InterleavingStrategy::Uniform,
+                    training_queries: 0,
+                    ..MachineVariant::paper_ecssd()
+                },
+                trace,
+                cfg.clone(),
+                window,
+            );
+            Point {
+                label: format!(
+                    "hot fraction {:.0}% -> learned/uniform {:.2}x",
+                    hot * 100.0,
+                    uniform.ns_per_query() / learned.ns_per_query()
+                ),
+                ns_per_query: learned.ns_per_query(),
+                fp_utilization: learned.fp_channel_utilization,
+            }
+        })
+        .collect();
+    Axis { name: "candidate skew", points }
+}
+
+/// Fault-injection sweep (Transformer-W268K): NAND read-retry probability
+/// vs throughput. Multi-plane parallelism and the screening lead absorb
+/// sporadic retries; sustained high retry rates surface as lost bandwidth.
+pub fn fault_axis(window: Window) -> Axis {
+    let bench = Benchmark::by_abbrev("Transformer-W268K").expect("known");
+    let points = [0.0f64, 0.01, 0.05, 0.2]
+        .into_iter()
+        .map(|p| {
+            let mut cfg = EcssdConfig::paper_default();
+            cfg.ssd.timing = cfg.ssd.timing.with_read_retries(p);
+            let r = measure(
+                bench,
+                MachineVariant::paper_ecssd(),
+                TraceConfig::paper_default(),
+                cfg,
+                window,
+            );
+            point(format!("retry prob {:.0}%", p * 100.0), &r)
+        })
+        .collect();
+    Axis { name: "read-retry fault injection", points }
+}
+
+/// Runs every ablation axis.
+pub fn run(window: Window) -> Report {
+    Report {
+        axes: vec![
+            overlap_axis(window),
+            predictor_axis(window),
+            tile_size_axis(window),
+            batch_axis(window),
+            skew_axis(window),
+            fault_axis(window),
+        ],
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for axis in &self.axes {
+            writeln!(f, "ablation — {}", axis.name)?;
+            let mut t = TextTable::new(["point", "ns/query", "FP util"]);
+            for p in &axis.points {
+                t.row([
+                    p.label.clone(),
+                    format!("{:.0}", p.ns_per_query),
+                    format!("{:.1}%", p.fp_utilization * 100.0),
+                ]);
+            }
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: Window = Window { queries: 2, max_tiles: 24 };
+
+    #[test]
+    fn overlap_and_sync_ablations_behave() {
+        let axis = overlap_axis(W);
+        let full = axis.points[0].ns_per_query;
+        let no_overlap = axis.points[1].ns_per_query;
+        let run_ahead = axis.points[2].ns_per_query;
+        assert!(
+            no_overlap > full * 1.1,
+            "overlap must matter: {no_overlap} vs {full}"
+        );
+        assert!(run_ahead <= full * 1.02, "run-ahead can only help");
+    }
+
+    #[test]
+    fn predictor_quality_orders_results() {
+        let axis = predictor_axis(W);
+        let oracle = axis.points[0].ns_per_query;
+        let uniform = axis.points[4].ns_per_query;
+        assert!(oracle < uniform, "oracle learned must beat uniform");
+        // Fine-tuned noisy prediction beats very-noisy magnitude-only.
+        assert!(axis.points[1].ns_per_query <= axis.points[3].ns_per_query * 1.02);
+    }
+
+    #[test]
+    fn small_tiles_pay_overheads() {
+        let axis = tile_size_axis(W);
+        // 128-row tiles suffer worse balance (fewer candidates per tile);
+        // utilization grows and per-row cost falls with tile size.
+        let first = &axis.points[0];
+        let mid = &axis.points[2];
+        assert!(
+            mid.fp_utilization > first.fp_utilization,
+            "bigger tiles balance better"
+        );
+        assert!(mid.ns_per_query < first.ns_per_query, "per-row cost falls");
+    }
+
+    #[test]
+    fn batch_sweep_shows_amortization_then_compute_bound() {
+        let axis = batch_axis(W);
+        // Per-input cost falls from batch 4 to 16 (weight-fetch
+        // amortization)…
+        assert!(axis.points[2].ns_per_query < axis.points[0].ns_per_query);
+        // …but flattens (compute-bound) by batch 64: much less than
+        // proportional improvement from 16 to 64.
+        let b16 = axis.points[2].ns_per_query;
+        let b64 = axis.points[4].ns_per_query;
+        assert!(b64 > b16 * 0.5, "b16 {b16} b64 {b64}");
+    }
+
+    #[test]
+    fn faults_cost_throughput_monotonically() {
+        let axis = fault_axis(W);
+        assert!(
+            axis.points[3].ns_per_query > axis.points[0].ns_per_query,
+            "20% retries must slow the pipeline: {:?}",
+            axis.points.iter().map(|p| p.ns_per_query).collect::<Vec<_>>()
+        );
+        // Sporadic (1%) retries are almost fully absorbed.
+        let degradation = axis.points[1].ns_per_query / axis.points[0].ns_per_query;
+        assert!(degradation < 1.05, "1% retries cost {degradation}");
+    }
+
+    #[test]
+    fn learned_advantage_grows_until_saturation() {
+        let axis = skew_axis(W);
+        assert_eq!(axis.points.len(), 4);
+        for p in &axis.points {
+            assert!(p.ns_per_query > 0.0);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Shared helpers for the experiment harness.
+
+use ecssd_core::{EcssdConfig, EcssdMachine, MachineVariant, RunReport};
+use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
+use serde::{Deserialize, Serialize};
+
+/// Simulation window used by the figure harnesses: enough tiles and query
+/// batches for the pipeline to reach steady state, small enough that the
+/// whole suite reruns in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    /// Query batches simulated.
+    pub queries: usize,
+    /// Weight tiles simulated per query (capped at the benchmark's total).
+    pub max_tiles: usize,
+}
+
+impl Window {
+    /// Default harness window: long enough that the pipeline's warm-up
+    /// (the first few tiles, where screening has not yet built up its lead
+    /// over the FP32 stage) is amortized.
+    pub fn standard() -> Self {
+        Window {
+            queries: 2,
+            max_tiles: 64,
+        }
+    }
+}
+
+/// Builds an [`EcssdMachine`] over a sampled trace for one design point.
+pub fn machine_for(
+    benchmark: Benchmark,
+    variant: MachineVariant,
+    trace: TraceConfig,
+) -> EcssdMachine {
+    let workload = SampledWorkload::new(benchmark, trace);
+    EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(workload))
+}
+
+/// Runs one design point over the window and returns its report.
+pub fn run_point(
+    benchmark: Benchmark,
+    variant: MachineVariant,
+    trace: TraceConfig,
+    window: Window,
+) -> RunReport {
+    machine_for(benchmark, variant, trace).run_window(window.queries, window.max_tiles)
+}
+
+/// Geometric mean of a slice of positive ratios.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

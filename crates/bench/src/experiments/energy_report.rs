@@ -1,0 +1,117 @@
+//! Measured energy efficiency: integrates the energy model over simulated
+//! runs, giving GFLOPS/W from the pipeline instead of from peak numbers
+//! (complements §7.3's 4.55 GFLOPS/W figure).
+
+use ecssd_core::{EcssdConfig, EnergyModel, EnergyReport, MachineVariant};
+use ecssd_float::AcceleratorEstimate;
+use ecssd_workloads::{Benchmark, TraceConfig};
+use serde::Serialize;
+
+use crate::experiments::common::{run_point, Window};
+use crate::table::TextTable;
+
+/// One benchmark's measured energy figures.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Benchmark abbreviation.
+    pub benchmark: String,
+    /// Mean device power over the run, W.
+    pub mean_power_w: f64,
+    /// Achieved throughput, GFLOPS.
+    pub achieved_gflops: f64,
+    /// Measured efficiency, GFLOPS/W.
+    pub gflops_per_watt: f64,
+    /// Energy per query batch, mJ.
+    pub mj_per_query: f64,
+}
+
+/// The energy report across benchmarks.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Rows per benchmark.
+    pub rows: Vec<Row>,
+}
+
+fn energy_for(bench: Benchmark, window: Window) -> (EnergyReport, usize) {
+    let run = run_point(
+        bench,
+        MachineVariant::paper_ecssd(),
+        TraceConfig::paper_default(),
+        window,
+    );
+    let report = EnergyModel::paper_default().estimate(
+        &run,
+        &AcceleratorEstimate::paper_default(),
+        EcssdConfig::paper_default().ssd.geometry.page_bytes,
+    );
+    (report, run.queries)
+}
+
+/// Runs the measured-energy study.
+pub fn run(window: Window) -> Report {
+    let rows = [
+        "GNMT-E32K",
+        "Transformer-W268K",
+        "XMLCNN-S100M",
+    ]
+    .into_iter()
+    .map(|name| {
+        let bench = Benchmark::by_abbrev(name).expect("known");
+        let (e, queries) = energy_for(bench, window);
+        Row {
+            benchmark: name.to_string(),
+            mean_power_w: e.mean_power_w,
+            achieved_gflops: e.achieved_gflops,
+            gflops_per_watt: e.gflops_per_watt(),
+            mj_per_query: e.total_mj() / queries as f64,
+        }
+    })
+    .collect();
+    Report { rows }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "measured energy (window runs; §7.3 quotes 4.55 GFLOPS/W at peak)"
+        )?;
+        let mut t = TextTable::new([
+            "benchmark", "mean power W", "achieved GFLOPS", "GFLOPS/W", "mJ/query",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.benchmark.clone(),
+                format!("{:.2}", r.mean_power_w),
+                format!("{:.1}", r.achieved_gflops),
+                format!("{:.2}", r.gflops_per_watt),
+                format!("{:.2}", r.mj_per_query),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_efficiency_is_plausible() {
+        let r = run(Window { queries: 2, max_tiles: 32 });
+        for row in &r.rows {
+            assert!(
+                (6.0..16.0).contains(&row.mean_power_w),
+                "{}: {} W",
+                row.benchmark,
+                row.mean_power_w
+            );
+            assert!(
+                (1.5..6.5).contains(&row.gflops_per_watt),
+                "{}: {} GFLOPS/W",
+                row.benchmark,
+                row.gflops_per_watt
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Fig. 1: roofline analysis of ECSSD vs the in-storage-computing baseline.
+
+use ecssd_core::roofline::{paper_points, RooflinePoint};
+use ecssd_core::AcceleratorConfig;
+use serde::Serialize;
+
+use crate::table::TextTable;
+
+/// The Fig. 1 result: the three design points.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Report {
+    /// Points A (baseline), B (alignment-free MAC), C (full design).
+    pub points: Vec<RooflinePoint>,
+    /// Operational intensity of candidate-only classification, FLOP/byte.
+    pub intensity: f64,
+}
+
+/// Computes the roofline points for the paper accelerator.
+pub fn run() -> Report {
+    let accel = AcceleratorConfig::paper_default();
+    let points = paper_points(&accel, 8).to_vec();
+    Report {
+        intensity: points[0].intensity,
+        points,
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig. 1 — roofline points at intensity {:.1} FLOP/byte",
+            self.intensity
+        )?;
+        let mut t = TextTable::new(["point", "GFLOPS", "regime"]);
+        for p in &self.points {
+            let regime = match p.label {
+                "A" => "compute-bound (naive MAC ceiling)",
+                "B" => "memory-bound (bandwidth under-utilized)",
+                _ => "near ridge (balanced)",
+            };
+            t.row([p.label.to_string(), format!("{:.1}", p.gflops), regime.into()]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn points_are_ordered() {
+        let r = super::run();
+        assert!(r.points[0].gflops < r.points[1].gflops);
+        assert!(r.points[1].gflops < r.points[2].gflops);
+    }
+}

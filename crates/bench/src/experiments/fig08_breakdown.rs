@@ -1,0 +1,170 @@
+//! Fig. 8: step-by-step breakdown of the three proposed techniques,
+//! averaged over all Table-3 benchmarks.
+//!
+//! Steps (cumulative):
+//! 1. baseline — naive FP MAC, sequential storing, homogeneous layout;
+//! 2. + uniform interleaving (paper: 4.06× speedup, 44.31 % FP util);
+//! 3. + alignment-free FP MAC;
+//! 4. + heterogeneous data layout (paper: 67.6 % FP util);
+//! 5. + learning-based adaptive interleaving (paper: 94.7 % FP util, 10.5× total).
+
+use ecssd_core::{DataPlacement, MachineVariant};
+use ecssd_float::MacCircuit;
+use ecssd_layout::InterleavingStrategy;
+use ecssd_workloads::{Benchmark, TraceConfig};
+use serde::Serialize;
+
+use crate::experiments::common::{geomean, mean, run_point, Window};
+use crate::table::TextTable;
+
+/// One cumulative step of the breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Step {
+    /// Step label.
+    pub name: &'static str,
+    /// Geomean speedup vs step 1 across benchmarks.
+    pub speedup: f64,
+    /// Mean FP32 channel-bandwidth utilization across benchmarks.
+    pub fp_utilization: f64,
+    /// The paper's reported value for the same row, if it reports one
+    /// (speedup, utilization).
+    pub paper_speedup: Option<f64>,
+    /// Paper utilization, if reported.
+    pub paper_utilization: Option<f64>,
+}
+
+/// The Fig. 8 result.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Report {
+    /// The five cumulative steps.
+    pub steps: Vec<Step>,
+}
+
+/// The five cumulative variants of Fig. 8.
+pub fn variants() -> [(&'static str, MachineVariant, Option<f64>, Option<f64>); 5] {
+    let base = MachineVariant::baseline_start();
+    [
+        ("baseline (naive+seq+homog)", base, Some(1.0), Some(0.10)),
+        (
+            "+ uniform interleaving",
+            MachineVariant {
+                interleaving: InterleavingStrategy::Uniform,
+                ..base
+            },
+            Some(4.06),
+            Some(0.4431),
+        ),
+        (
+            "+ alignment-free FP MAC",
+            MachineVariant {
+                interleaving: InterleavingStrategy::Uniform,
+                mac: MacCircuit::AlignmentFree,
+                ..base
+            },
+            None,
+            None,
+        ),
+        (
+            "+ heterogeneous layout",
+            MachineVariant {
+                interleaving: InterleavingStrategy::Uniform,
+                mac: MacCircuit::AlignmentFree,
+                placement: DataPlacement::Heterogeneous,
+                ..base
+            },
+            None,
+            Some(0.676),
+        ),
+        (
+            "+ learned interleaving",
+            MachineVariant::paper_ecssd(),
+            Some(10.5),
+            Some(0.947),
+        ),
+    ]
+}
+
+/// Runs the breakdown over every Table-3 benchmark.
+pub fn run(window: Window) -> Report {
+    let benchmarks = Benchmark::suite();
+    let trace = TraceConfig::paper_default();
+    // Per-benchmark time of each step.
+    let mut per_step_times: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    let mut per_step_utils: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for bench in benchmarks {
+        for (i, (_, variant, _, _)) in variants().into_iter().enumerate() {
+            let report = run_point(bench, variant, trace, window);
+            per_step_times[i].push(report.ns_per_query());
+            per_step_utils[i].push(report.fp_channel_utilization);
+        }
+    }
+    let steps = variants()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, _, paper_speedup, paper_utilization))| {
+            let speedups: Vec<f64> = per_step_times[0]
+                .iter()
+                .zip(&per_step_times[i])
+                .map(|(&base, &now)| base / now)
+                .collect();
+            Step {
+                name,
+                speedup: geomean(&speedups),
+                fp_utilization: mean(&per_step_utils[i]),
+                paper_speedup,
+                paper_utilization,
+            }
+        })
+        .collect();
+    Report { steps }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = TextTable::new([
+            "step",
+            "speedup vs baseline",
+            "FP util",
+            "paper speedup",
+            "paper util",
+        ]);
+        for s in &self.steps {
+            t.row([
+                s.name.to_string(),
+                format!("{:.2}x", s.speedup),
+                format!("{:.1}%", s.fp_utilization * 100.0),
+                s.paper_speedup.map_or("-".into(), |v| format!("{v:.2}x")),
+                s.paper_utilization
+                    .map_or("-".into(), |v| format!("{:.1}%", v * 100.0)),
+            ]);
+        }
+        writeln!(f, "Fig. 8 — technique breakdown (avg over Table-3 suite)")?;
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_improve_monotonically() {
+        let r = run(Window { queries: 2, max_tiles: 48 });
+        assert_eq!(r.steps.len(), 5);
+        for w in r.steps.windows(2) {
+            assert!(
+                w[1].speedup >= w[0].speedup * 0.98,
+                "step {} regressed: {} -> {}",
+                w[1].name,
+                w[0].speedup,
+                w[1].speedup
+            );
+        }
+        // Total speedup lands in the paper's regime (10.5x).
+        let total = r.steps.last().unwrap().speedup;
+        assert!(total > 6.0 && total < 18.0, "total {total}");
+        // Baseline utilization <10%-ish, final high.
+        assert!(r.steps[0].fp_utilization < 0.15);
+        assert!(r.steps[4].fp_utilization > 0.7);
+    }
+}

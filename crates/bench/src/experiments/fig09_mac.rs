@@ -1,0 +1,89 @@
+//! Fig. 9: normalized area/power of the naive, SK Hynix and alignment-free
+//! FP MAC circuits at iso-performance (50 GFLOPS).
+
+use ecssd_float::{MacCircuit, MacCircuitModel};
+use serde::{Deserialize, Serialize};
+
+use crate::table::TextTable;
+
+/// One MAC organization's normalized cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MacRow {
+    /// Circuit label.
+    pub circuit: String,
+    /// Area in mm² for 50 GFLOPS.
+    pub area_mm2: f64,
+    /// Power in mW for 50 GFLOPS.
+    pub power_mw: f64,
+    /// Area normalized to the alignment-free circuit.
+    pub area_ratio: f64,
+    /// Power normalized to the alignment-free circuit.
+    pub power_ratio: f64,
+    /// Paper's reported (area, power) ratios.
+    pub paper_ratios: (f64, f64),
+}
+
+/// The Fig. 9 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Rows in plot order: naive, SK Hynix, alignment-free.
+    pub rows: Vec<MacRow>,
+}
+
+/// Computes the iso-performance comparison.
+pub fn run() -> Report {
+    let model = MacCircuitModel::new();
+    let af = model.fp_engine_for_gflops(MacCircuit::AlignmentFree, 50.0);
+    let rows = MacCircuit::ALL
+        .iter()
+        .map(|&c| {
+            let e = model.fp_engine_for_gflops(c, 50.0);
+            let paper_ratios = match c {
+                MacCircuit::Naive => (1.73, 1.53),
+                MacCircuit::SkHynix => (1.38, 1.19),
+                MacCircuit::AlignmentFree => (1.0, 1.0),
+            };
+            MacRow {
+                circuit: c.label().to_string(),
+                area_mm2: e.area_mm2(),
+                power_mw: e.power_mw(),
+                area_ratio: e.area_um2 / af.area_um2,
+                power_ratio: e.power_uw / af.power_uw,
+                paper_ratios,
+            }
+        })
+        .collect();
+    Report { rows }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 9 — FP MAC circuits at iso-performance (50 GFLOPS)")?;
+        let mut t = TextTable::new([
+            "circuit", "area mm2", "power mW", "area ratio", "power ratio", "paper (area, power)",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.circuit.clone(),
+                format!("{:.3}", r.area_mm2),
+                format!("{:.1}", r.power_mw),
+                format!("{:.2}x", r.area_ratio),
+                format!("{:.2}x", r.power_ratio),
+                format!("{:.2}x, {:.2}x", r.paper_ratios.0, r.paper_ratios.1),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ratios_track_the_paper() {
+        let r = super::run();
+        for row in &r.rows {
+            assert!((row.area_ratio - row.paper_ratios.0).abs() < 0.05, "{row:?}");
+            assert!((row.power_ratio - row.paper_ratios.1).abs() < 0.05, "{row:?}");
+        }
+    }
+}

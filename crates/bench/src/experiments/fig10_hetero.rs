@@ -1,0 +1,107 @@
+//! Fig. 10: heterogeneous vs homogeneous data layout on Transformer-W268K
+//! at candidate ratios 5 %, 10 %, 15 %, 20 % (paper: 1.73× at 5 %, ≈1.43×
+//! average).
+
+use ecssd_core::{DataPlacement, MachineVariant};
+use ecssd_workloads::{Benchmark, TraceConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::common::{mean, run_point, Window};
+use crate::table::TextTable;
+
+/// One candidate-ratio point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioPoint {
+    /// Candidate ratio.
+    pub ratio: f64,
+    /// ns/query with the homogeneous layout.
+    pub homogeneous_ns: f64,
+    /// ns/query with the heterogeneous layout.
+    pub heterogeneous_ns: f64,
+}
+
+impl RatioPoint {
+    /// Heterogeneous speedup over homogeneous.
+    pub fn speedup(&self) -> f64 {
+        self.homogeneous_ns / self.heterogeneous_ns
+    }
+}
+
+/// The Fig. 10 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Points at 5/10/15/20 %.
+    pub points: Vec<RatioPoint>,
+    /// Mean speedup (paper: 1.43×).
+    pub average_speedup: f64,
+}
+
+/// Runs the layout comparison.
+pub fn run(window: Window) -> Report {
+    let bench = Benchmark::by_abbrev("Transformer-W268K").expect("known benchmark");
+    let points: Vec<RatioPoint> = [0.05, 0.10, 0.15, 0.20]
+        .into_iter()
+        .map(|ratio| {
+            let trace = TraceConfig::paper_default().with_candidate_ratio(ratio);
+            let hetero = run_point(bench, MachineVariant::paper_ecssd(), trace, window);
+            let homo = run_point(
+                bench,
+                MachineVariant {
+                    placement: DataPlacement::Homogeneous,
+                    ..MachineVariant::paper_ecssd()
+                },
+                trace,
+                window,
+            );
+            RatioPoint {
+                ratio,
+                homogeneous_ns: homo.ns_per_query(),
+                heterogeneous_ns: hetero.ns_per_query(),
+            }
+        })
+        .collect();
+    let speedups: Vec<f64> = points.iter().map(RatioPoint::speedup).collect();
+    Report {
+        points,
+        average_speedup: mean(&speedups),
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 10 — heterogeneous vs homogeneous layout (Transformer-W268K)")?;
+        let mut t = TextTable::new(["candidate ratio", "homog ns/query", "hetero ns/query", "speedup"]);
+        for p in &self.points {
+            t.row([
+                format!("{:.0}%", p.ratio * 100.0),
+                format!("{:.0}", p.homogeneous_ns),
+                format!("{:.0}", p.heterogeneous_ns),
+                format!("{:.2}x", p.speedup()),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "average speedup: {:.2}x (paper: 1.43x; paper @5%: 1.73x)",
+            self.average_speedup
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hetero_always_wins_and_gain_shrinks_with_ratio() {
+        let r = run(Window { queries: 2, max_tiles: 16 });
+        assert_eq!(r.points.len(), 4);
+        for p in &r.points {
+            assert!(p.speedup() > 1.0, "hetero must win at {}", p.ratio);
+        }
+        // The relative weight of the 4-bit stream shrinks as the candidate
+        // ratio grows, so the gain at 5% exceeds the gain at 20%.
+        assert!(r.points[0].speedup() > r.points[3].speedup());
+        assert!(r.average_speedup > 1.05);
+    }
+}

@@ -1,0 +1,116 @@
+//! Fig. 11: flash-channel access patterns of uniform vs learning-based
+//! interleaving on one 32-bit weight tile of GNMT-E32K at a 10 % candidate
+//! ratio.
+
+use ecssd_core::{EcssdConfig, EcssdMachine, MachineVariant};
+use ecssd_layout::InterleavingStrategy;
+use ecssd_ssd::ImbalanceReport;
+use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::table::TextTable;
+
+/// The Fig. 11 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Per-channel candidate accesses of the representative tile, uniform.
+    pub uniform_loads: Vec<u64>,
+    /// Per-channel candidate accesses of the same tile, learned.
+    pub learned_loads: Vec<u64>,
+    /// Mean balance (mean/max) over `sampled_tiles` (query, tile) pairs.
+    pub uniform_mean_balance: f64,
+    /// Mean balance under the learned layout.
+    pub learned_mean_balance: f64,
+    /// Number of (query, tile) pairs averaged.
+    pub sampled_tiles: usize,
+}
+
+fn machines() -> (EcssdMachine, EcssdMachine) {
+    let bench = Benchmark::by_abbrev("GNMT-E32K").expect("known benchmark");
+    let trace = TraceConfig::paper_default();
+    let learned = EcssdMachine::new(
+        EcssdConfig::paper_default(),
+        MachineVariant::paper_ecssd(),
+        Box::new(SampledWorkload::new(bench, trace)),
+    );
+    let uniform = EcssdMachine::new(
+        EcssdConfig::paper_default(),
+        MachineVariant {
+            interleaving: InterleavingStrategy::Uniform,
+            training_queries: 0,
+            ..MachineVariant::paper_ecssd()
+        },
+        Box::new(SampledWorkload::new(bench, trace)),
+    );
+    (learned, uniform)
+}
+
+/// Measures the access patterns.
+pub fn run() -> Report {
+    let (mut learned, mut uniform) = machines();
+    // Representative tile: the paper plots "one specific 32-bit weight
+    // data tile"; we use (query 0, tile 1) and also report the average
+    // balance over a grid of pairs.
+    let learned_loads = learned.tile_channel_loads(0, 1);
+    let uniform_loads = uniform.tile_channel_loads(0, 1);
+    let mut ub = 0.0;
+    let mut lb = 0.0;
+    let mut n = 0usize;
+    for q in 0..5 {
+        for t in 0..8 {
+            lb += ImbalanceReport::from_loads(&learned.tile_channel_loads(q, t)).balance();
+            ub += ImbalanceReport::from_loads(&uniform.tile_channel_loads(q, t)).balance();
+            n += 1;
+        }
+    }
+    Report {
+        uniform_loads,
+        learned_loads,
+        uniform_mean_balance: ub / n as f64,
+        learned_mean_balance: lb / n as f64,
+        sampled_tiles: n,
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig. 11 — per-channel accesses of one GNMT-E32K tile (10% candidates)"
+        )?;
+        let max = self
+            .uniform_loads
+            .iter()
+            .chain(&self.learned_loads)
+            .copied()
+            .max()
+            .unwrap_or(1) as f64;
+        let mut t = TextTable::new(["channel", "uniform", "", "learned", ""]);
+        for ch in 0..self.uniform_loads.len() {
+            t.row([
+                ch.to_string(),
+                self.uniform_loads[ch].to_string(),
+                crate::table::ascii_bar(self.uniform_loads[ch] as f64, max, 16),
+                self.learned_loads[ch].to_string(),
+                crate::table::ascii_bar(self.learned_loads[ch] as f64, max, 16),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "mean balance over {} (query,tile) pairs: uniform {:.2}, learned {:.2}",
+            self.sampled_tiles, self.uniform_mean_balance, self.learned_mean_balance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn learned_is_more_balanced_on_average() {
+        let r = super::run();
+        assert!(r.learned_mean_balance > r.uniform_mean_balance + 0.1);
+        assert!(r.learned_mean_balance > 0.8);
+        assert_eq!(r.uniform_loads.len(), 8);
+    }
+}

@@ -1,0 +1,110 @@
+//! Fig. 12: sequential storing vs uniform vs learning-based adaptive
+//! interleaving on the four small benchmarks (paper: learned is 1.43× over
+//! uniform and 7.57× over sequential on average).
+
+use ecssd_core::MachineVariant;
+use ecssd_layout::InterleavingStrategy;
+use ecssd_workloads::{Benchmark, TraceConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::common::{geomean, run_point, Window};
+use crate::table::TextTable;
+
+/// Per-benchmark times of the three strategies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Benchmark abbreviation.
+    pub benchmark: String,
+    /// ns/query with sequential storing.
+    pub sequential_ns: f64,
+    /// ns/query with uniform interleaving.
+    pub uniform_ns: f64,
+    /// ns/query with learned interleaving.
+    pub learned_ns: f64,
+}
+
+/// The Fig. 12 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// One row per small benchmark.
+    pub rows: Vec<BenchRow>,
+    /// Geomean speedup of learned over uniform (paper: 1.43×).
+    pub learned_over_uniform: f64,
+    /// Geomean speedup of learned over sequential (paper: 7.57×).
+    pub learned_over_sequential: f64,
+}
+
+/// Runs the interleaving comparison.
+pub fn run(window: Window) -> Report {
+    let trace = TraceConfig::paper_default();
+    let variant = |interleaving| MachineVariant {
+        interleaving,
+        ..MachineVariant::paper_ecssd()
+    };
+    let rows: Vec<BenchRow> = Benchmark::small_suite()
+        .into_iter()
+        .map(|bench| {
+            let seq = run_point(bench, variant(InterleavingStrategy::Sequential), trace, window);
+            let uni = run_point(bench, variant(InterleavingStrategy::Uniform), trace, window);
+            let lrn = run_point(bench, MachineVariant::paper_ecssd(), trace, window);
+            BenchRow {
+                benchmark: bench.abbrev.to_string(),
+                sequential_ns: seq.ns_per_query(),
+                uniform_ns: uni.ns_per_query(),
+                learned_ns: lrn.ns_per_query(),
+            }
+        })
+        .collect();
+    let over_uniform: Vec<f64> = rows.iter().map(|r| r.uniform_ns / r.learned_ns).collect();
+    let over_sequential: Vec<f64> =
+        rows.iter().map(|r| r.sequential_ns / r.learned_ns).collect();
+    Report {
+        rows,
+        learned_over_uniform: geomean(&over_uniform),
+        learned_over_sequential: geomean(&over_sequential),
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 12 — storing-strategy comparison (ns/query, lower is better)")?;
+        let mut t = TextTable::new(["benchmark", "sequential", "uniform", "learned", "lrn/uni", "lrn/seq"]);
+        for r in &self.rows {
+            t.row([
+                r.benchmark.clone(),
+                format!("{:.0}", r.sequential_ns),
+                format!("{:.0}", r.uniform_ns),
+                format!("{:.0}", r.learned_ns),
+                format!("{:.2}x", r.uniform_ns / r.learned_ns),
+                format!("{:.2}x", r.sequential_ns / r.learned_ns),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "geomean: learned {:.2}x over uniform (paper 1.43x), {:.2}x over sequential (paper 7.57x)",
+            self.learned_over_uniform, self.learned_over_sequential
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_holds() {
+        let r = run(Window { queries: 2, max_tiles: 16 });
+        assert_eq!(r.rows.len(), 4);
+        assert!(
+            r.learned_over_uniform > 1.1 && r.learned_over_uniform < 2.0,
+            "learned/uniform {}",
+            r.learned_over_uniform
+        );
+        assert!(
+            r.learned_over_sequential > 4.5 && r.learned_over_sequential < 11.0,
+            "learned/sequential {}",
+            r.learned_over_sequential
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Fig. 13: end-to-end comparison of ECSSD against the eight baselines on
+//! the three large synthetic benchmarks (paper: 49.87×…3.24× average
+//! speedups).
+
+use ecssd_baselines::{BaselineArch, BaselineParams};
+use ecssd_core::MachineVariant;
+use ecssd_workloads::{Benchmark, TraceConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::common::{geomean, run_point, Window};
+use crate::table::TextTable;
+
+/// Speedups of ECSSD over each baseline on one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchColumn {
+    /// Benchmark abbreviation.
+    pub benchmark: String,
+    /// ECSSD ns per batch (full matrix, extrapolated from the window).
+    pub ecssd_ns: f64,
+    /// Per-baseline ns per batch, ordered as [`BaselineArch::ALL`].
+    pub baseline_ns: Vec<f64>,
+}
+
+/// The Fig. 13 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// One column per large benchmark.
+    pub columns: Vec<BenchColumn>,
+    /// Geomean speedup of ECSSD over each baseline across benchmarks.
+    pub average_speedups: Vec<(String, f64, f64)>,
+    /// Cross-validation on XMLCNN-S10M: the GenStore baselines re-run as
+    /// full simulations on the DES substrate, as `(label, simulated ns,
+    /// analytic ns)` pairs.
+    pub genstore_cross_check: Vec<(String, f64, f64)>,
+}
+
+/// Runs the end-to-end comparison.
+pub fn run(window: Window) -> Report {
+    let params = BaselineParams::paper_default();
+    let trace = TraceConfig::paper_default();
+    let columns: Vec<BenchColumn> = Benchmark::large_suite()
+        .into_iter()
+        .map(|bench| {
+            let ecssd = run_point(bench, MachineVariant::paper_ecssd(), trace, window);
+            BenchColumn {
+                benchmark: bench.abbrev.to_string(),
+                ecssd_ns: ecssd.ns_per_query_full(),
+                baseline_ns: BaselineArch::ALL
+                    .iter()
+                    .map(|&a| params.ns_per_batch(a, &bench))
+                    .collect(),
+            }
+        })
+        .collect();
+    let average_speedups = BaselineArch::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &arch)| {
+            let per_bench: Vec<f64> = columns
+                .iter()
+                .map(|c| c.baseline_ns[i] / c.ecssd_ns)
+                .collect();
+            (arch.label().to_string(), geomean(&per_bench), arch.paper_speedup())
+        })
+        .collect();
+    // Re-run the GenStore rows as full simulations (same substrate as the
+    // ECSSD machine) to validate the analytic model's closed forms.
+    let s10m = Benchmark::by_abbrev("XMLCNN-S10M").expect("known");
+    let genstore_cross_check = [
+        (ecssd_baselines::GenStoreVariant::Naive, BaselineArch::GenStoreN),
+        (
+            ecssd_baselines::GenStoreVariant::Screening,
+            BaselineArch::GenStoreAp,
+        ),
+    ]
+    .into_iter()
+    .map(|(variant, arch)| {
+        let workload = ecssd_workloads::SampledWorkload::new(s10m, trace);
+        let mut machine = ecssd_baselines::GenStoreMachine::new(
+            ecssd_core::EcssdConfig::paper_default(),
+            variant,
+            Box::new(workload),
+            params.genstore_channel_gflops,
+        );
+        let sim = machine.run_window(1, 12).ns_per_query_full;
+        (
+            arch.label().to_string(),
+            sim,
+            params.ns_per_batch(arch, &s10m),
+        )
+    })
+    .collect();
+    Report {
+        columns,
+        average_speedups,
+        genstore_cross_check,
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 13 — end-to-end time per batch (seconds)")?;
+        let mut header = vec!["architecture".to_string()];
+        header.extend(self.columns.iter().map(|c| c.benchmark.clone()));
+        let mut t = TextTable::new(header);
+        let mut ecssd_row = vec!["ECSSD".to_string()];
+        ecssd_row.extend(self.columns.iter().map(|c| format!("{:.2}", c.ecssd_ns / 1e9)));
+        t.row(ecssd_row);
+        for (i, arch) in BaselineArch::ALL.iter().enumerate() {
+            let mut row = vec![arch.label().to_string()];
+            row.extend(
+                self.columns
+                    .iter()
+                    .map(|c| format!("{:.2}", c.baseline_ns[i] / 1e9)),
+            );
+            t.row(row);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(f, "ECSSD speedup (geomean over benchmarks):")?;
+        let mut s = TextTable::new(["baseline", "measured", "paper"]);
+        for (label, measured, paper) in &self.average_speedups {
+            s.row([
+                label.clone(),
+                format!("{measured:.2}x"),
+                format!("{paper:.2}x"),
+            ]);
+        }
+        writeln!(f, "{s}")?;
+        writeln!(f, "cross-check (XMLCNN-S10M, simulated vs analytic):")?;
+        for (label, sim, analytic) in &self.genstore_cross_check {
+            writeln!(
+                f,
+                "  {label}: DES {:.2} s vs closed form {:.2} s ({:.0}% apart)",
+                sim / 1e9,
+                analytic / 1e9,
+                (sim / analytic - 1.0).abs() * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups_track_paper_within_40_percent() {
+        let r = run(Window { queries: 2, max_tiles: 16 });
+        assert_eq!(r.columns.len(), 3);
+        for (label, measured, paper) in &r.average_speedups {
+            assert!(
+                *measured > paper * 0.6 && *measured < paper * 1.65,
+                "{label}: measured {measured:.2} vs paper {paper:.2}"
+            );
+        }
+        // Ordering: each successive baseline is faster.
+        for w in r.average_speedups.windows(2) {
+            assert!(w[0].1 > w[1].1, "{} vs {}", w[0].0, w[1].0);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Serving-latency study: query batches arriving on an open-loop schedule
+//! (the "simple host" of §6.1) at increasing load, against both ECSSD and
+//! the naive in-storage baseline.
+//!
+//! Throughput numbers (Figs. 8–13) say how fast the device drains work;
+//! a serving host also needs the *latency* story: where the hockey stick
+//! starts, and how much more load ECSSD absorbs before it does.
+
+use ecssd_core::{ArrivalSchedule, EcssdConfig, EcssdMachine, HostCoordinator, MachineVariant};
+use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
+use serde::Serialize;
+
+use crate::table::TextTable;
+
+/// One load point of one design.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LoadPoint {
+    /// Offered load relative to the *ECSSD* service rate (so both designs
+    /// see identical arrival streams).
+    pub load: f64,
+    /// Mean batch latency, ms.
+    pub mean_ms: f64,
+    /// p99 batch latency, ms.
+    pub p99_ms: f64,
+}
+
+/// The latency study result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// ECSSD load points.
+    pub ecssd: Vec<LoadPoint>,
+    /// Naive-baseline (sequential + homogeneous + naive MAC) load points.
+    pub baseline: Vec<LoadPoint>,
+}
+
+fn machine(variant: MachineVariant) -> EcssdMachine {
+    let bench = Benchmark::by_abbrev("Transformer-W268K").expect("known");
+    let workload = SampledWorkload::new(bench, TraceConfig::paper_default());
+    EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(workload))
+}
+
+fn sweep(variant: MachineVariant, service_ns: f64, loads: &[f64]) -> Vec<LoadPoint> {
+    loads
+        .iter()
+        .map(|&load| {
+            let mut m = machine(variant);
+            let report = HostCoordinator::new(ArrivalSchedule::at_load(service_ns, load))
+                .serve(&mut m, 40, 16);
+            LoadPoint {
+                load,
+                mean_ms: report.mean_ns() / 1e6,
+                p99_ms: report.quantile_ns(0.99) as f64 / 1e6,
+            }
+        })
+        .collect()
+}
+
+/// Runs the study.
+pub fn run() -> Report {
+    // Service rate reference: ECSSD's steady-state time per batch.
+    let ecssd_service = machine(MachineVariant::paper_ecssd())
+        .run_window(2, 16)
+        .ns_per_query();
+    let loads = [0.3, 0.6, 0.9, 1.2];
+    Report {
+        ecssd: sweep(MachineVariant::paper_ecssd(), ecssd_service, &loads),
+        baseline: sweep(MachineVariant::baseline_start(), ecssd_service, &loads),
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serving latency under open-loop load (Transformer-W268K; load relative to ECSSD's service rate)"
+        )?;
+        let mut t = TextTable::new([
+            "load", "ECSSD mean ms", "ECSSD p99 ms", "baseline mean ms", "baseline p99 ms",
+        ]);
+        for (e, b) in self.ecssd.iter().zip(&self.baseline) {
+            t.row([
+                format!("{:.0}%", e.load * 100.0),
+                format!("{:.2}", e.mean_ms),
+                format!("{:.2}", e.p99_ms),
+                format!("{:.2}", b.mean_ms),
+                format!("{:.2}", b.p99_ms),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn baseline_saturates_where_ecssd_is_comfortable() {
+        let r = super::run();
+        // At 90% of ECSSD's rate, ECSSD is stable…
+        let e90 = &r.ecssd[2];
+        assert!(e90.p99_ms < e90.mean_ms * 20.0 + 50.0);
+        // …while the ~7x-slower baseline is deep into overload: its p99
+        // dwarfs ECSSD's.
+        let b90 = &r.baseline[2];
+        assert!(
+            b90.p99_ms > 10.0 * e90.p99_ms,
+            "baseline p99 {} vs ecssd {}",
+            b90.p99_ms,
+            e90.p99_ms
+        );
+        // Latency grows with load for both designs.
+        for pts in [&r.ecssd, &r.baseline] {
+            for w in pts.windows(2) {
+                assert!(w[1].mean_ms >= w[0].mean_ms * 0.95);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! §7.1 — scalability: DRAM capacity vs maximum classification scale, and
+//! the multi-device scale-out plan.
+
+use ecssd_core::scale::{run_scale_out, DramScaling, ScaleOutPlan, ScaleOutRun};
+use ecssd_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+use crate::table::TextTable;
+
+/// One DRAM-size scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramRow {
+    /// Device DRAM, GB.
+    pub dram_gb: u64,
+    /// Maximum categories a single ECSSD supports.
+    pub max_categories: u64,
+    /// DRAM power relative to the 16 GB design.
+    pub relative_power: f64,
+}
+
+/// The §7.1 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// The 8/16/32 GB scenarios.
+    pub rows: Vec<DramRow>,
+    /// The 500M-category scale-out plan.
+    pub scale_out: ScaleOutPlan,
+    /// The plan *executed* on the simulator: per-device shard runs plus the
+    /// measured parallel speedup over a single hypothetical device.
+    pub executed: ScaleOutRun,
+}
+
+/// Runs the scalability analysis.
+pub fn run() -> Report {
+    let rows = [8u64, 16, 32]
+        .into_iter()
+        .map(|gb| {
+            let d = DramScaling::paper_default().with_dram_gb(gb);
+            DramRow {
+                dram_gb: gb,
+                max_categories: d.max_categories(),
+                relative_power: d.relative_power(),
+            }
+        })
+        .collect();
+    let plan = ScaleOutPlan::plan(500_000_000, DramScaling::paper_default());
+    let bench = Benchmark::by_abbrev("XMLCNN-S100M").expect("known");
+    Report {
+        rows,
+        scale_out: plan,
+        executed: run_scale_out(bench, plan, 1, 16),
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "§7.1 — scaling up (single-device DRAM capacity)")?;
+        let mut t = TextTable::new(["DRAM", "max categories", "relative power"]);
+        for r in &self.rows {
+            t.row([
+                format!("{} GB", r.dram_gb),
+                format!("{:.1} M", r.max_categories as f64 / 1e6),
+                format!("{:.2}x", r.relative_power),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "scaling out: {} categories -> {} ECSSDs, {:.1} M categories each (paper: 500M over 5 devices)",
+            self.scale_out.categories,
+            self.scale_out.devices,
+            self.scale_out.per_device as f64 / 1e6
+        )?;
+        writeln!(
+            f,
+            "executed on the simulator: slowest shard {:.2} s/batch, measured parallel speedup {:.2}x over one device",
+            self.executed.makespan_ns / 1e9,
+            self.executed.speedup()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn section71_numbers() {
+        let r = super::run();
+        assert!(r.rows[0].max_categories >= 50_000_000);
+        assert!(r.rows[1].max_categories >= 100_000_000);
+        assert!(r.rows[2].max_categories >= 200_000_000);
+        assert!(r.rows[2].relative_power >= 1.4);
+        assert_eq!(r.scale_out.devices, 5);
+    }
+}

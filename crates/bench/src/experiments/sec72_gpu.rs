@@ -1,0 +1,57 @@
+//! §7.2 — comparison with the multi-GPU scheme.
+
+use ecssd_baselines::gpu::GpuComparison;
+use ecssd_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// The §7.2 result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// GPUs needed to hold the 100M-category FP32 matrix in device memory.
+    pub gpus_needed: u64,
+    /// Power of one RTX 3090 relative to one ECSSD (paper: 32×).
+    pub single_gpu_power_ratio: f64,
+    /// Power of the multi-GPU scheme relative to one ECSSD (paper: 573×).
+    pub multi_gpu_power_ratio: f64,
+}
+
+/// Runs the GPU comparison on XMLCNN-S100M.
+pub fn run() -> Report {
+    let g = GpuComparison::paper_default();
+    let bytes = Benchmark::by_abbrev("XMLCNN-S100M")
+        .expect("known")
+        .fp32_matrix_bytes();
+    Report {
+        gpus_needed: g.gpus_needed(bytes),
+        single_gpu_power_ratio: g.single_gpu_power_ratio(),
+        multi_gpu_power_ratio: g.multi_gpu_power_ratio(bytes),
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "§7.2 — GPU comparison (XMLCNN-S100M)")?;
+        writeln!(f, "GPUs needed to hold 400 GB of FP32 weights: {} (paper: ≥18)", self.gpus_needed)?;
+        writeln!(
+            f,
+            "single RTX 3090 power vs ECSSD: {:.0}x (paper: 32x)",
+            self.single_gpu_power_ratio
+        )?;
+        writeln!(
+            f,
+            "multi-GPU scheme power vs ECSSD: {:.0}x (paper: ≥573x)",
+            self.multi_gpu_power_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn section72_numbers() {
+        let r = super::run();
+        assert_eq!(r.gpus_needed, 18);
+        assert!((r.single_gpu_power_ratio - 32.0).abs() < 1.0);
+        assert!((r.multi_gpu_power_ratio - 573.0).abs() < 15.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! §7.3 — comparison with the near-DRAM-computing ENMC accelerator.
+
+use ecssd_baselines::enmc::EnmcComparison;
+use serde::{Deserialize, Serialize};
+
+use crate::table::TextTable;
+
+/// The §7.3 result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// ECSSD GFLOPS per dollar (paper: 0.018).
+    pub ecssd_gflops_per_dollar: f64,
+    /// ENMC GFLOPS per dollar (paper: 0.002).
+    pub enmc_gflops_per_dollar: f64,
+    /// ECSSD GFLOPS per watt (paper: 4.55).
+    pub ecssd_gflops_per_watt: f64,
+    /// ENMC GFLOPS per watt (paper: 3.805).
+    pub enmc_gflops_per_watt: f64,
+    /// Cost-efficiency ratio (paper: 8.87×).
+    pub cost_efficiency_ratio: f64,
+    /// Energy-efficiency ratio (paper: 1.19×).
+    pub energy_efficiency_ratio: f64,
+    /// ENMC chip-area disadvantage (paper: 154×).
+    pub area_ratio: f64,
+    /// ENMC power disadvantage (paper: 19.1×).
+    pub power_ratio: f64,
+}
+
+/// Runs the ENMC comparison.
+pub fn run() -> Report {
+    let c = EnmcComparison::paper_default();
+    Report {
+        ecssd_gflops_per_dollar: c.ecssd.gflops_per_dollar(),
+        enmc_gflops_per_dollar: c.enmc.gflops_per_dollar(),
+        ecssd_gflops_per_watt: c.ecssd.gflops_per_watt(),
+        enmc_gflops_per_watt: c.enmc.gflops_per_watt(),
+        cost_efficiency_ratio: c.cost_efficiency_ratio(),
+        energy_efficiency_ratio: c.energy_efficiency_ratio(),
+        area_ratio: c.area_ratio(),
+        power_ratio: c.power_ratio(),
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "§7.3 — ENMC comparison")?;
+        let mut t = TextTable::new(["metric", "ECSSD", "ENMC", "paper"]);
+        t.row([
+            "GFLOPS/$".to_string(),
+            format!("{:.3}", self.ecssd_gflops_per_dollar),
+            format!("{:.3}", self.enmc_gflops_per_dollar),
+            "0.018 / 0.002".to_string(),
+        ]);
+        t.row([
+            "GFLOPS/W".to_string(),
+            format!("{:.2}", self.ecssd_gflops_per_watt),
+            format!("{:.2}", self.enmc_gflops_per_watt),
+            "4.55 / 3.805".to_string(),
+        ]);
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "cost efficiency {:.2}x (paper 8.87x); energy efficiency {:.2}x (paper 1.19x); ENMC area {:.0}x (paper 154x), power {:.1}x (paper 19.1x)",
+            self.cost_efficiency_ratio, self.energy_efficiency_ratio, self.area_ratio, self.power_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn section73_numbers() {
+        let r = super::run();
+        assert!((r.cost_efficiency_ratio - 8.87).abs() < 0.4);
+        assert!((r.energy_efficiency_ratio - 1.19).abs() < 0.03);
+    }
+}

@@ -1,0 +1,128 @@
+//! Channel-count sensitivity: the ECSSD design across SSD device classes
+//! (4 / 8 / 16 channels). Complements §6.7's SmartSSD-H bandwidth study —
+//! internal bandwidth is ECSSD's "link", and the sweep shows where the
+//! 51.2 GFLOPS alignment-free array becomes the next wall.
+
+use ecssd_core::{EcssdConfig, EcssdMachine, MachineVariant};
+use ecssd_ssd::SsdGeometry;
+use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
+use serde::Serialize;
+
+use crate::experiments::common::Window;
+use crate::table::TextTable;
+
+/// One device-class point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ChannelPoint {
+    /// Flash channels.
+    pub channels: usize,
+    /// ns per query batch.
+    pub ns_per_query: f64,
+    /// FP-traffic channel utilization.
+    pub fp_utilization: f64,
+    /// Speedup vs the 4-channel device.
+    pub speedup_vs_4ch: f64,
+}
+
+/// The sweep result (per benchmark class: page-bound and compute-near).
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Benchmark used.
+    pub benchmark: String,
+    /// Points at 4/8/16 channels.
+    pub points: Vec<ChannelPoint>,
+}
+
+/// Runs the sweep on one benchmark.
+pub fn run_for(bench_name: &str, window: Window) -> Report {
+    let bench = Benchmark::by_abbrev(bench_name).expect("known benchmark");
+    let geometries = [
+        SsdGeometry::low_end_4ch(),
+        SsdGeometry::paper_default(),
+        SsdGeometry::high_end_16ch(),
+    ];
+    let raw: Vec<(usize, f64, f64)> = geometries
+        .into_iter()
+        .map(|geometry| {
+            let mut config = EcssdConfig::paper_default();
+            config.ssd.geometry = geometry;
+            let workload = SampledWorkload::new(bench, TraceConfig::paper_default());
+            let mut machine =
+                EcssdMachine::new(config, MachineVariant::paper_ecssd(), Box::new(workload));
+            let r = machine.run_window(window.queries, window.max_tiles);
+            (geometry.channels, r.ns_per_query(), r.fp_channel_utilization)
+        })
+        .collect();
+    let base = raw[0].1;
+    Report {
+        benchmark: bench_name.to_string(),
+        points: raw
+            .into_iter()
+            .map(|(channels, ns, util)| ChannelPoint {
+                channels,
+                ns_per_query: ns,
+                fp_utilization: util,
+                speedup_vs_4ch: base / ns,
+            })
+            .collect(),
+    }
+}
+
+/// Runs the sweep on a page-bound and a compute-near benchmark.
+pub fn run(window: Window) -> Vec<Report> {
+    vec![
+        run_for("Transformer-W268K", window),
+        run_for("XMLCNN-S100M", window),
+    ]
+}
+
+/// Renders the reports.
+pub fn render(reports: &[Report]) -> String {
+    let mut out = String::from("ECSSD across SSD device classes (channels sweep)\n\n");
+    for r in reports {
+        out.push_str(&format!("{}:\n", r.benchmark));
+        let mut t = TextTable::new(["channels", "ns/query", "FP util", "vs 4ch"]);
+        for p in &r.points {
+            t.row([
+                p.channels.to_string(),
+                format!("{:.0}", p.ns_per_query),
+                format!("{:.1}%", p.fp_utilization * 100.0),
+                format!("{:.2}x", p.speedup_vs_4ch),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_channels_help_until_compute_binds() {
+        let w = Window { queries: 2, max_tiles: 24 };
+        for r in run(w) {
+            // Monotone non-worsening with channel count.
+            for pair in r.points.windows(2) {
+                assert!(
+                    pair[1].ns_per_query <= pair[0].ns_per_query * 1.02,
+                    "{}: {:?}",
+                    r.benchmark,
+                    r.points
+                );
+            }
+            // 4→8 must help substantially; 8→16 shows diminishing returns
+            // as the FP32 array becomes the wall.
+            let s8 = r.points[1].speedup_vs_4ch;
+            let s16 = r.points[2].speedup_vs_4ch;
+            assert!(s8 > 1.3, "{}: 8ch speedup {s8}", r.benchmark);
+            assert!(
+                s16 / s8 < s8 / 1.0,
+                "{}: returns must diminish ({s8} then {s16})",
+                r.benchmark
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Compensation-width design space (§4.2): how many of the freed exponent
+//! bits should become compensation bits?
+//!
+//! For each width `N`, we measure (a) the fraction of locality-distributed
+//! weights that pre-align losslessly, and (b) the area of an
+//! alignment-free MAC lane whose mantissa datapath is `24 + N` bits wide.
+//! The paper picks `N = 7` — the full freed field — which this sweep shows
+//! to be the knee: ≥95 % lossless at a few percent of lane area over
+//! narrower datapaths.
+
+use ecssd_float::{compensation_sweep, MacCircuitModel};
+use ecssd_screen::DenseMatrix;
+use serde::Serialize;
+
+use crate::table::TextTable;
+
+/// One width point.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct WidthPoint {
+    /// Compensation bits.
+    pub comp_bits: u32,
+    /// Fraction of nonzero weights pre-aligned losslessly.
+    pub lossless_fraction: f64,
+    /// Alignment-free lane area at this width, µm².
+    pub lane_area_um2: f64,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Points in width order.
+    pub points: Vec<WidthPoint>,
+}
+
+/// Runs the sweep on synthetic trained-layer-like weight rows.
+pub fn run() -> Report {
+    let weights = DenseMatrix::random(512, 256, 77);
+    let vectors: Vec<Vec<f32>> = weights.rows_iter().map(<[f32]>::to_vec).collect();
+    let widths = [0u32, 1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16];
+    let accuracy = compensation_sweep(&vectors, &widths);
+    let model = MacCircuitModel::new();
+    let points = accuracy
+        .into_iter()
+        .map(|(comp_bits, lossless_fraction)| WidthPoint {
+            comp_bits,
+            lossless_fraction,
+            lane_area_um2: model.af_lane_with_compensation(comp_bits).area_um2,
+        })
+        .collect();
+    Report { points }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "§4.2 design space — compensation width sweep")?;
+        let mut t = TextTable::new(["comp bits", "lossless", "AF lane area (um2)"]);
+        for p in &self.points {
+            let marker = if p.comp_bits == 7 { "  <- paper (CFP32)" } else { "" };
+            t.row([
+                format!("{}{}", p.comp_bits, marker),
+                format!("{:.2}%", p.lossless_fraction * 100.0),
+                format!("{:.0}", p.lane_area_um2),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seven_bits_is_past_the_95_percent_knee() {
+        let r = super::run();
+        let at = |n: u32| {
+            r.points
+                .iter()
+                .find(|p| p.comp_bits == n)
+                .expect("width present")
+        };
+        assert!(at(7).lossless_fraction > 0.95, "paper's claim at N=7");
+        assert!(at(0).lossless_fraction < 0.6, "block FP loses bits");
+        // Monotone accuracy, monotone cost.
+        for w in r.points.windows(2) {
+            assert!(w[1].lossless_fraction >= w[0].lossless_fraction);
+            assert!(w[1].lane_area_um2 > w[0].lane_area_um2);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Table 2 — the ECSSD configuration.
+
+use ecssd_core::EcssdConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::table::TextTable;
+
+/// The Table 2 result: the configuration actually used by the harness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// The configuration.
+    pub config: EcssdConfig,
+}
+
+/// Loads the paper configuration.
+pub fn run() -> Report {
+    Report {
+        config: EcssdConfig::paper_default(),
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = &self.config;
+        writeln!(f, "Table 2 — ECSSD configuration")?;
+        let mut t = TextTable::new(["parameter", "value", "paper"]);
+        let g = c.ssd.geometry;
+        t.row([
+            "flash capacity".to_string(),
+            format!("{} TiB", g.capacity_bytes() >> 40),
+            "4 TB".to_string(),
+        ]);
+        t.row(["flash channels".to_string(), g.channels.to_string(), "8".into()]);
+        t.row(["page size".to_string(), format!("{} B", g.page_bytes), "4 KB".into()]);
+        t.row([
+            "DRAM".to_string(),
+            format!("{} GiB @ {:.1} GB/s", c.ssd.dram_bytes >> 30, c.ssd.dram_gbps),
+            "16 GB".into(),
+        ]);
+        t.row([
+            "data buffer".to_string(),
+            format!("{} MiB", c.ssd.buffer_bytes >> 20),
+            "4 MB".into(),
+        ]);
+        t.row([
+            "FP32 MAC lanes".to_string(),
+            c.accelerator.fp32_lanes.to_string(),
+            "64".into(),
+        ]);
+        t.row([
+            "INT4 MAC lanes".to_string(),
+            c.accelerator.int4_lanes.to_string(),
+            "256".into(),
+        ]);
+        t.row([
+            "clock".to_string(),
+            format!("{} MHz", (c.accelerator.clock_ghz * 1000.0) as u64),
+            "400 MHz".into(),
+        ]);
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table2_matches() {
+        let r = super::run();
+        assert_eq!(r.config.ssd.geometry.channels, 8);
+        assert_eq!(r.config.ssd.geometry.capacity_bytes() >> 40, 4);
+    }
+}

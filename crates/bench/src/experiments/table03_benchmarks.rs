@@ -1,0 +1,50 @@
+//! Table 3 — the benchmark suite.
+
+use ecssd_workloads::Benchmark;
+use serde::Serialize;
+
+use crate::table::TextTable;
+
+/// The Table 3 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// The suite.
+    pub benchmarks: Vec<Benchmark>,
+}
+
+/// Loads the suite.
+pub fn run() -> Report {
+    Report {
+        benchmarks: Benchmark::suite().to_vec(),
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Table 3 — benchmark models and datasets")?;
+        let mut t = TextTable::new([
+            "abbr", "model", "dataset", "categories", "hidden D", "K", "FP32 matrix", "INT4 matrix",
+        ]);
+        for b in &self.benchmarks {
+            t.row([
+                b.abbrev.to_string(),
+                b.model.to_string(),
+                b.dataset.to_string(),
+                b.categories.to_string(),
+                b.hidden.to_string(),
+                b.projected_dim().to_string(),
+                format!("{:.1} GB", b.fp32_matrix_bytes() as f64 / 1e9),
+                format!("{:.2} GB", b.int4_matrix_bytes() as f64 / 1e9),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seven_benchmarks() {
+        assert_eq!(super::run().benchmarks.len(), 7);
+    }
+}

@@ -1,0 +1,56 @@
+//! Table 4 — area and power estimation of the inserted accelerator.
+
+use ecssd_float::{AcceleratorBudget, AcceleratorEstimate, PAPER_ACCEL_AREA_MM2, PAPER_ACCEL_POWER_MW};
+use serde::{Deserialize, Serialize};
+
+use crate::table::TextTable;
+
+/// The Table 4 result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// The modeled breakdown.
+    pub estimate: AcceleratorEstimate,
+    /// Whether the estimate fits the Cortex-R5 area budget (§3.3).
+    pub fits_budget: bool,
+}
+
+/// Builds the paper-default estimate.
+pub fn run() -> Report {
+    let estimate = AcceleratorEstimate::paper_default();
+    Report {
+        fits_budget: AcceleratorBudget::cortex_r5().admits(&estimate),
+        estimate,
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Table 4 — accelerator area and power (28 nm, 400 MHz, 0.9 V)")?;
+        let mut t = TextTable::new(["block", "area mm2", "power mW"]);
+        let e = &self.estimate;
+        t.row(["FP32 MAC".to_string(), format!("{:.4}", e.fp32.area_mm2()), format!("{:.2}", e.fp32.power_mw())]);
+        t.row(["INT4 MAC".to_string(), format!("{:.4}", e.int4.area_mm2()), format!("{:.2}", e.int4.power_mw())]);
+        t.row(["comparator".to_string(), format!("{:.4}", e.comparator.area_mm2()), format!("{:.3}", e.comparator.power_mw())]);
+        t.row(["scheduler".to_string(), format!("{:.4}", e.scheduler.area_mm2()), format!("{:.3}", e.scheduler.power_mw())]);
+        let total = e.total();
+        t.row(["TOTAL".to_string(), format!("{:.4}", total.area_mm2()), format!("{:.2}", total.power_mw())]);
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "paper totals: {PAPER_ACCEL_AREA_MM2} mm2, {PAPER_ACCEL_POWER_MW} mW; fits 0.21 mm2 Cortex-R5 budget: {}",
+            self.fits_budget
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn totals_match_paper() {
+        let r = super::run();
+        let t = r.estimate.total();
+        assert!((t.area_mm2() - 0.1836).abs() < 0.002);
+        assert!((t.power_mw() - 52.93).abs() < 0.3);
+        assert!(r.fits_budget);
+    }
+}

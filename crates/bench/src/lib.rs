@@ -1,0 +1,18 @@
+//! Experiment harness for the ECSSD reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§6) and discussion
+//! (§7) has a module here that regenerates its rows/series, and a matching
+//! binary under `src/bin/`. `cargo run -p ecssd-bench --bin reproduce`
+//! runs the full set and emits a machine-readable summary next to the
+//! human-readable tables.
+//!
+//! The modules return plain result structs so integration tests can assert
+//! on the numbers and EXPERIMENTS.md can record paper-vs-measured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

@@ -1,0 +1,107 @@
+//! Minimal fixed-width table printer for harness output.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a horizontal ASCII bar of `value` against `max`, `width` cells
+/// wide — used by the figure harnesses to sketch the paper's bar charts in
+/// terminal output.
+pub fn ascii_bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let cells = ((value / max) * width as f64).round() as usize;
+    "#".repeat(cells.clamp(1, width))
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["alpha", "1"]).row(["b", "22222"]);
+        let s = t.render();
+        assert!(s.contains("alpha"));
+        assert!(s.lines().count() == 4);
+        // All data lines have the same prefix width up to the second column.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2].find('1'), lines[3].find('2'));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["x"]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn bars_scale_and_clamp() {
+        assert_eq!(ascii_bar(5.0, 10.0, 10), "#####");
+        assert_eq!(ascii_bar(10.0, 10.0, 4), "####");
+        assert_eq!(ascii_bar(0.01, 10.0, 10), "#", "nonzero shows at least one cell");
+        assert_eq!(ascii_bar(0.0, 10.0, 10), "");
+        assert_eq!(ascii_bar(1.0, 0.0, 10), "");
+    }
+}

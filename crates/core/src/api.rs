@@ -1,0 +1,415 @@
+//! The host-facing ECSSD device with the Table-1 software API.
+//!
+//! [`Ecssd`] is a *functional* emulator: it executes the real approximate
+//! screening math (projection, INT4 screening, threshold filtering, CFP32
+//! candidate-only classification) against weights physically placed through
+//! the FTL, and charges simulated time for every transfer it performs. It
+//! is the integration point the examples drive end-to-end; the
+//! cycle-approximate throughput studies use [`crate::EcssdMachine`].
+
+use ecssd_float::Cfp32Vector;
+use ecssd_screen::{
+    candidate_only_classify, ClassifyPrecision, DenseMatrix, Prediction, Projector, ScreenError,
+    Screener, ThresholdPolicy,
+};
+use ecssd_ssd::{SimTime, SsdDevice, SsdError};
+
+use crate::EcssdConfig;
+
+/// Working mode (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EcssdMode {
+    /// Conventional SSD: the accelerator is disabled and ignored.
+    Ssd,
+    /// The device only serves the extreme-classification accelerator.
+    Accelerator,
+}
+
+/// Errors surfaced by the Table-1 API.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EcssdError {
+    /// The call is not valid in the current mode.
+    WrongMode {
+        /// Mode the device is in.
+        current: EcssdMode,
+    },
+    /// Weights were not deployed yet.
+    NoWeights,
+    /// No inputs are queued for the requested computation.
+    NoInputs,
+    /// An error from the screening algorithm.
+    Screen(ScreenError),
+    /// An error from the SSD substrate.
+    Ssd(SsdError),
+}
+
+impl std::fmt::Display for EcssdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EcssdError::WrongMode { current } => {
+                write!(f, "operation invalid in {current:?} mode")
+            }
+            EcssdError::NoWeights => write!(f, "no weights deployed"),
+            EcssdError::NoInputs => write!(f, "no inputs queued"),
+            EcssdError::Screen(e) => write!(f, "screening error: {e}"),
+            EcssdError::Ssd(e) => write!(f, "ssd error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EcssdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EcssdError::Screen(e) => Some(e),
+            EcssdError::Ssd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScreenError> for EcssdError {
+    fn from(e: ScreenError) -> Self {
+        EcssdError::Screen(e)
+    }
+}
+
+impl From<SsdError> for EcssdError {
+    fn from(e: SsdError) -> Self {
+        EcssdError::Ssd(e)
+    }
+}
+
+/// A deployed input batch awaiting screening/classification.
+#[derive(Debug, Default)]
+struct InputQueue {
+    /// Original feature vectors (host side keeps them for verification).
+    features: Vec<Vec<f32>>,
+    /// Screening candidates per queued input, filled by `int4_screen`.
+    candidates: Vec<Vec<usize>>,
+}
+
+/// The ECSSD device handle (Table 1 API).
+#[derive(Debug)]
+pub struct Ecssd {
+    mode: EcssdMode,
+    device: SsdDevice,
+    clock: SimTime,
+    weights: Option<DenseMatrix>,
+    screener: Option<Screener>,
+    /// First LPN of each weight row in flash.
+    row_lpns: Vec<u64>,
+    pages_per_row: u64,
+    threshold: ThresholdPolicy,
+    queue: InputQueue,
+    results: Vec<Prediction>,
+}
+
+impl Ecssd {
+    /// Powers on a device in SSD mode.
+    pub fn new(config: EcssdConfig) -> Self {
+        Ecssd {
+            mode: EcssdMode::Ssd,
+            device: SsdDevice::new(config.ssd),
+            clock: SimTime::ZERO,
+            weights: None,
+            screener: None,
+            row_lpns: Vec::new(),
+            pages_per_row: 1,
+            threshold: ThresholdPolicy::TopRatio(0.1),
+            queue: InputQueue::default(),
+            results: Vec::new(),
+        }
+    }
+
+    /// `ECSSD_enable()`: switch to accelerator mode.
+    pub fn enable(&mut self) {
+        self.mode = EcssdMode::Accelerator;
+    }
+
+    /// `ECSSD_disable()`: switch back to SSD mode.
+    pub fn disable(&mut self) {
+        self.mode = EcssdMode::Ssd;
+    }
+
+    /// Current working mode.
+    pub fn mode(&self) -> EcssdMode {
+        self.mode
+    }
+
+    /// Simulated time consumed so far.
+    pub fn elapsed(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The underlying SSD (e.g. for SSD-mode I/O in tests).
+    pub fn device_mut(&mut self) -> &mut SsdDevice {
+        &mut self.device
+    }
+
+    fn require_accelerator(&self) -> Result<(), EcssdError> {
+        if self.mode != EcssdMode::Accelerator {
+            return Err(EcssdError::WrongMode { current: self.mode });
+        }
+        Ok(())
+    }
+
+    /// `Pre_align()`: host-side pre-alignment of a feature vector into
+    /// CFP32 (weights are pre-aligned inside `weight_deploy`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CFP32 conversion errors (non-finite input).
+    pub fn pre_align(features: &[f32]) -> Result<Cfp32Vector, ecssd_float::FloatError> {
+        Cfp32Vector::from_f32(features)
+    }
+
+    /// `Weight_deploy()`: project + quantize the screener into device DRAM
+    /// and write every FP32 weight row into NAND through the FTL.
+    ///
+    /// # Errors
+    ///
+    /// Fails when not in accelerator mode, when the INT4 matrix does not
+    /// fit DRAM, or when the flash is out of space.
+    pub fn weight_deploy(&mut self, weights: &DenseMatrix) -> Result<(), EcssdError> {
+        self.require_accelerator()?;
+        // Host ships the whole FP32 matrix + INT4 matrix over PCIe.
+        let projector = Projector::paper_scale(weights.cols(), 0x5eed)
+            .map_err(EcssdError::Screen)?;
+        let screener = Screener::from_weights(weights, projector)?;
+        let int4_bytes = screener.weights4().storage_bytes() as u64;
+        self.device.dram_mut().reserve(int4_bytes)?;
+        let page_bytes = self.device.config().geometry.page_bytes as u64;
+        let fp32_row_bytes = 4 * weights.cols() as u64;
+        self.pages_per_row = fp32_row_bytes.div_ceil(page_bytes);
+        let host_done = self.device.host_mut().transfer(
+            weights.rows() as u64 * fp32_row_bytes + int4_bytes,
+            self.clock,
+        );
+        // Place rows through the FTL (consecutive LPNs; the machine-level
+        // layout studies live in EcssdMachine).
+        self.row_lpns.clear();
+        let mut t = host_done;
+        let mut lpn = 0u64;
+        for _row in 0..weights.rows() {
+            self.row_lpns.push(lpn);
+            for _ in 0..self.pages_per_row {
+                let addr = self.device.ftl_mut().write(lpn)?;
+                t = t.max(self.device.flash_mut().program_page(addr, host_done));
+                lpn += 1;
+            }
+        }
+        self.clock = t;
+        self.weights = Some(weights.clone());
+        self.screener = Some(screener);
+        Ok(())
+    }
+
+    /// `Filter_threshold()`: set the screening threshold policy.
+    pub fn filter_threshold(&mut self, policy: ThresholdPolicy) -> Result<(), EcssdError> {
+        self.require_accelerator()?;
+        policy.validate()?;
+        self.threshold = policy;
+        Ok(())
+    }
+
+    /// `INT4_input_send()` + `CFP32_input_send()`: queue one input's 4-bit
+    /// projected features and 32-bit pre-aligned features. The host sends
+    /// both up front so screening and classification can pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Fails outside accelerator mode or before weights are deployed.
+    pub fn input_send(&mut self, features: &[f32]) -> Result<(), EcssdError> {
+        self.require_accelerator()?;
+        let screener = self.screener.as_ref().ok_or(EcssdError::NoWeights)?;
+        // Validate dimensions eagerly (the projection will re-check).
+        let _ = screener.prepare_input(features)?;
+        let d = features.len() as u64;
+        let k = screener.projected_dim() as u64;
+        self.clock = self
+            .device
+            .host_mut()
+            .transfer(4 * d + 1 + k.div_ceil(2), self.clock);
+        self.queue.features.push(features.to_vec());
+        Ok(())
+    }
+
+    /// `INT4_screen()`: run low-precision screening + threshold filtering
+    /// for every queued input, charging DRAM traffic for the INT4 weights.
+    ///
+    /// # Errors
+    ///
+    /// Fails without deployed weights or queued inputs.
+    pub fn int4_screen(&mut self) -> Result<(), EcssdError> {
+        self.require_accelerator()?;
+        let screener = self.screener.as_ref().ok_or(EcssdError::NoWeights)?;
+        if self.queue.features.is_empty() {
+            return Err(EcssdError::NoInputs);
+        }
+        let int4_bytes = screener.weights4().storage_bytes() as u64;
+        self.queue.candidates.clear();
+        let mut t = self.clock;
+        for features in &self.queue.features {
+            // Stream the INT4 matrix from DRAM for each input batch.
+            t = self.device.dram_mut().transfer(int4_bytes, t);
+            let cands = screener.screen(features, self.threshold)?;
+            self.queue.candidates.push(cands);
+        }
+        self.clock = t;
+        Ok(())
+    }
+
+    /// `CFP32_classify()`: fetch candidate rows from flash and run CFP32
+    /// candidate-only classification, keeping the top `k` per input.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `int4_screen` has not produced candidates.
+    pub fn cfp32_classify(&mut self, k: usize) -> Result<(), EcssdError> {
+        self.require_accelerator()?;
+        let weights = self.weights.as_ref().ok_or(EcssdError::NoWeights)?;
+        if self.queue.candidates.len() != self.queue.features.len()
+            || self.queue.features.is_empty()
+        {
+            return Err(EcssdError::NoInputs);
+        }
+        let mut t = self.clock;
+        let mut results = Vec::with_capacity(self.queue.features.len());
+        for (features, cands) in self.queue.features.iter().zip(&self.queue.candidates) {
+            // Timing: translate + batch-read every candidate row's pages.
+            let mut addrs = Vec::with_capacity(cands.len() * self.pages_per_row as usize);
+            for &c in cands {
+                let first = self.row_lpns[c];
+                for p in 0..self.pages_per_row {
+                    addrs.push(self.device.ftl().translate(first + p)?);
+                }
+            }
+            let batch = self.device.flash_mut().read_batch(&addrs, t);
+            t = batch.done;
+            // Function: CFP32 candidate-only classification.
+            let mut scores =
+                candidate_only_classify(weights, features, cands, ClassifyPrecision::Cfp32)?;
+            scores.truncate(k);
+            results.push(Prediction {
+                candidates: cands.clone(),
+                top_k: scores,
+            });
+        }
+        self.clock = t;
+        self.results = results;
+        self.queue.features.clear();
+        self.queue.candidates.clear();
+        Ok(())
+    }
+
+    /// `Get_results()`: drain the finished predictions, charging the return
+    /// transfer.
+    ///
+    /// # Errors
+    ///
+    /// Fails outside accelerator mode.
+    pub fn get_results(&mut self) -> Result<Vec<Prediction>, EcssdError> {
+        self.require_accelerator()?;
+        let bytes: u64 = self
+            .results
+            .iter()
+            .map(|p| (p.top_k.len() * 8) as u64)
+            .sum();
+        self.clock = self.device.host_mut().transfer(bytes, self.clock);
+        Ok(std::mem::take(&mut self.results))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecssd_screen::full_classify;
+
+    fn small_device() -> Ecssd {
+        Ecssd::new(EcssdConfig::tiny())
+    }
+
+    fn query(d: usize, phase: f32) -> Vec<f32> {
+        (0..d).map(|i| ((i as f32) * 0.13 + phase).sin()).collect()
+    }
+
+    #[test]
+    fn full_accelerator_flow() {
+        let mut dev = small_device();
+        dev.enable();
+        let weights = DenseMatrix::random(256, 64, 9);
+        dev.weight_deploy(&weights).unwrap();
+        dev.filter_threshold(ThresholdPolicy::TopRatio(0.1)).unwrap();
+        dev.input_send(&query(64, 0.0)).unwrap();
+        dev.input_send(&query(64, 1.0)).unwrap();
+        dev.int4_screen().unwrap();
+        dev.cfp32_classify(5).unwrap();
+        let results = dev.get_results().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].top_k.len(), 5);
+        assert!(dev.elapsed() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn predictions_match_brute_force_on_separable_data() {
+        let mut dev = small_device();
+        dev.enable();
+        let x = query(64, 0.5);
+        let mut weights = DenseMatrix::random(256, 64, 10);
+        for r in [3usize, 99, 200] {
+            let row = weights.row_mut(r);
+            for (rv, &xv) in row.iter_mut().zip(&x) {
+                *rv = 1.8 * xv + 0.1 * *rv;
+            }
+        }
+        dev.weight_deploy(&weights).unwrap();
+        dev.input_send(&x).unwrap();
+        dev.int4_screen().unwrap();
+        dev.cfp32_classify(3).unwrap();
+        let results = dev.get_results().unwrap();
+        let reference = full_classify(&weights, &x, ClassifyPrecision::Fp32).unwrap();
+        let got: Vec<usize> = results[0].top_k.iter().map(|s| s.category).collect();
+        let want: Vec<usize> = reference.iter().take(3).map(|s| s.category).collect();
+        assert_eq!(got, want, "screened top-3 must match brute force");
+    }
+
+    #[test]
+    fn mode_gating() {
+        let mut dev = small_device();
+        // SSD mode rejects accelerator calls.
+        assert!(matches!(
+            dev.weight_deploy(&DenseMatrix::random(4, 8, 0)),
+            Err(EcssdError::WrongMode { .. })
+        ));
+        dev.enable();
+        assert_eq!(dev.mode(), EcssdMode::Accelerator);
+        // Accelerator calls before deployment fail cleanly.
+        assert!(matches!(dev.input_send(&[0.0; 8]), Err(EcssdError::NoWeights)));
+        assert!(matches!(dev.int4_screen(), Err(EcssdError::NoWeights)));
+        dev.disable();
+        assert_eq!(dev.mode(), EcssdMode::Ssd);
+    }
+
+    #[test]
+    fn ssd_mode_still_serves_io() {
+        let mut dev = small_device();
+        let done = dev.device_mut().host_write(0, 4, SimTime::ZERO).unwrap();
+        assert!(dev.device_mut().host_read(0, 4, done).is_ok());
+    }
+
+    #[test]
+    fn screening_requires_inputs() {
+        let mut dev = small_device();
+        dev.enable();
+        dev.weight_deploy(&DenseMatrix::random(64, 32, 2)).unwrap();
+        assert!(matches!(dev.int4_screen(), Err(EcssdError::NoInputs)));
+        assert!(matches!(dev.cfp32_classify(1), Err(EcssdError::NoInputs)));
+    }
+
+    #[test]
+    fn pre_align_is_hosts_job() {
+        let v = Ecssd::pre_align(&[1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(v.to_f32_vec(), vec![1.0, 2.0, 4.0]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Functional multi-ECSSD scale-out (§7.1): a classification layer
+//! partitioned over several devices, queried in parallel, with host-side
+//! top-k merging.
+//!
+//! This is the API-level counterpart of [`crate::scale::run_scale_out`]
+//! (which measures throughput): every shard is a real [`Ecssd`] running the
+//! full screening + CFP32 pipeline, and the merged predictions carry
+//! global category ids.
+
+use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
+use ecssd_ssd::SimTime;
+
+use crate::{Ecssd, EcssdConfig, EcssdError};
+
+/// A host-managed group of ECSSDs, each holding one contiguous shard of
+/// the classification layer.
+#[derive(Debug)]
+pub struct EcssdCluster {
+    devices: Vec<Ecssd>,
+    /// First global row of each shard (plus a trailing end marker).
+    shard_starts: Vec<usize>,
+}
+
+impl EcssdCluster {
+    /// Powers on `devices` ECSSDs in accelerator mode.
+    ///
+    /// ```
+    /// use ecssd_core::{EcssdCluster, EcssdConfig};
+    /// use ecssd_screen::{DenseMatrix, ThresholdPolicy};
+    /// # fn main() -> Result<(), ecssd_core::EcssdError> {
+    /// let mut cluster = EcssdCluster::new(EcssdConfig::tiny(), 2);
+    /// cluster.weight_deploy(&DenseMatrix::random(600, 32, 1))?;
+    /// cluster.filter_threshold(ThresholdPolicy::TopRatio(0.1))?;
+    /// let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.2).sin()).collect();
+    /// let top = cluster.classify(&x, 3)?;
+    /// assert_eq!(top.len(), 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices == 0`.
+    pub fn new(config: EcssdConfig, devices: usize) -> Self {
+        assert!(devices > 0, "a cluster needs at least one device");
+        EcssdCluster {
+            devices: (0..devices)
+                .map(|_| {
+                    let mut d = Ecssd::new(config.clone());
+                    d.enable();
+                    d
+                })
+                .collect(),
+            shard_starts: Vec::new(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Partitions `weights` into contiguous row shards and deploys one per
+    /// device (§7.1: "the huge classification layer will be partitioned
+    /// into 5 ECSSDs for parallel execution").
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-device deployment errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer rows than devices.
+    pub fn weight_deploy(&mut self, weights: &DenseMatrix) -> Result<(), EcssdError> {
+        let n = self.devices.len();
+        let rows = weights.rows();
+        assert!(rows >= n, "fewer rows than devices");
+        let per = rows.div_ceil(n);
+        self.shard_starts.clear();
+        for (i, device) in self.devices.iter_mut().enumerate() {
+            let start = i * per;
+            let end = ((i + 1) * per).min(rows);
+            self.shard_starts.push(start);
+            let mut data = Vec::with_capacity((end - start) * weights.cols());
+            for r in start..end {
+                data.extend_from_slice(weights.row(r));
+            }
+            let shard = DenseMatrix::from_vec(end - start, weights.cols(), data)
+                .map_err(EcssdError::Screen)?;
+            device.weight_deploy(&shard)?;
+        }
+        self.shard_starts.push(rows);
+        Ok(())
+    }
+
+    /// Sets the screening threshold on every device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-device errors.
+    pub fn filter_threshold(&mut self, policy: ThresholdPolicy) -> Result<(), EcssdError> {
+        for device in &mut self.devices {
+            device.filter_threshold(policy)?;
+        }
+        Ok(())
+    }
+
+    /// Classifies one feature vector across all shards and merges the
+    /// per-device top-k into a global top-k (category ids are global).
+    ///
+    /// # Errors
+    ///
+    /// Fails if weights were not deployed, and propagates device errors.
+    pub fn classify(&mut self, features: &[f32], k: usize) -> Result<Vec<Score>, EcssdError> {
+        if self.shard_starts.is_empty() {
+            return Err(EcssdError::NoWeights);
+        }
+        let mut merged: Vec<Score> = Vec::new();
+        for (i, device) in self.devices.iter_mut().enumerate() {
+            device.input_send(features)?;
+            device.int4_screen()?;
+            device.cfp32_classify(k)?;
+            let mut results = device.get_results()?;
+            let prediction = results.pop().ok_or(EcssdError::NoInputs)?;
+            let offset = self.shard_starts[i];
+            merged.extend(prediction.top_k.into_iter().map(|s| Score {
+                category: s.category + offset,
+                value: s.value,
+            }));
+        }
+        merged.sort_by(|a, b| b.value.partial_cmp(&a.value).expect("finite scores"));
+        merged.truncate(k);
+        Ok(merged)
+    }
+
+    /// The slowest device's simulated elapsed time — the cluster's
+    /// end-to-end latency (devices run in parallel).
+    pub fn elapsed(&self) -> SimTime {
+        self.devices
+            .iter()
+            .map(Ecssd::elapsed)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecssd_screen::{full_classify, topk_recall, ClassifyPrecision};
+
+    fn planted(l: usize, d: usize) -> DenseMatrix {
+        let mut w = DenseMatrix::random(l, d, 77);
+        for r in 0..l {
+            if r % 9 == 4 {
+                for v in w.row_mut(r) {
+                    *v *= 2.5;
+                }
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn cluster_matches_single_device_semantics() {
+        let d = 64;
+        let weights = planted(1200, d);
+        let mut cluster = EcssdCluster::new(EcssdConfig::tiny(), 3);
+        cluster.weight_deploy(&weights).unwrap();
+        cluster
+            .filter_threshold(ThresholdPolicy::TopRatio(0.1))
+            .unwrap();
+        // Query aligned with a planted row in the middle shard: its global
+        // id must survive sharding, screening, and the merge.
+        let target = 400; // 400 % 9 == 4: a planted (hot) row
+        let x: Vec<f32> = weights
+            .row(target)
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + 0.05 * ((i as f32) * 0.31).sin())
+            .collect();
+        let merged = cluster.classify(&x, 5).unwrap();
+        assert_eq!(merged.len(), 5);
+        assert!(merged.windows(2).all(|p| p[0].value >= p[1].value));
+        // Global ids are valid and the top-1 is the planted row.
+        assert!(merged.iter().all(|s| s.category < 1200));
+        let reference = full_classify(&weights, &x, ClassifyPrecision::Fp32).unwrap();
+        assert_eq!(reference[0].category, target, "sanity: brute force agrees");
+        assert_eq!(merged[0].category, target, "cluster must find the target");
+        let recall = topk_recall(&reference, &merged, 5);
+        assert!(recall.recall() >= 0.6, "recall {}", recall.recall());
+    }
+
+    #[test]
+    fn classify_before_deploy_fails() {
+        let mut cluster = EcssdCluster::new(EcssdConfig::tiny(), 2);
+        assert!(matches!(
+            cluster.classify(&[0.0; 8], 3),
+            Err(EcssdError::NoWeights)
+        ));
+    }
+
+    #[test]
+    fn elapsed_is_the_slowest_device() {
+        let weights = planted(600, 32);
+        let mut cluster = EcssdCluster::new(EcssdConfig::tiny(), 2);
+        cluster.weight_deploy(&weights).unwrap();
+        let per_device: Vec<SimTime> = (0..2)
+            .map(|i| cluster.devices[i].elapsed())
+            .collect();
+        assert_eq!(cluster.elapsed(), per_device.into_iter().max().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_cluster_panics() {
+        let _ = EcssdCluster::new(EcssdConfig::tiny(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! ECSSD configuration (Table 2).
+
+use ecssd_float::{MacCircuit, MacCircuitModel};
+use ecssd_ssd::SsdConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the inserted accelerator (Table 2, lower half).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Clock frequency in GHz (400 MHz).
+    pub clock_ghz: f64,
+    /// FP32 MAC lanes (64).
+    pub fp32_lanes: usize,
+    /// INT4 MAC lanes (256).
+    pub int4_lanes: usize,
+    /// INT4 weight buffer bytes (128 KB).
+    pub int4_weight_buffer: u64,
+    /// FP32 weight buffer bytes (400 KB).
+    pub fp32_weight_buffer: u64,
+    /// FP32/INT4 input buffers, output buffers and index buffer, summed
+    /// (≈111 KB).
+    pub side_buffers: u64,
+    /// Inference batch size processed per weight pass. Each fetched weight
+    /// row is reused across the whole batch, so the FP compute per fetched
+    /// byte scales with this (see DESIGN.md §3).
+    pub batch: usize,
+}
+
+impl AcceleratorConfig {
+    /// Table 2 values with the calibrated batch of 16.
+    pub fn paper_default() -> Self {
+        AcceleratorConfig {
+            clock_ghz: 0.4,
+            fp32_lanes: 64,
+            int4_lanes: 256,
+            int4_weight_buffer: 128 << 10,
+            fp32_weight_buffer: 400 << 10,
+            side_buffers: 111 << 10,
+            batch: 16,
+        }
+    }
+
+    /// Peak FP32 throughput of `circuit` under the accelerator's FP area
+    /// budget, in GFLOPS (alignment-free: ≈50; naive: ≈29.2; SK Hynix in
+    /// between — §4.2, §6.4).
+    pub fn fp32_gflops(&self, circuit: MacCircuit) -> f64 {
+        let model = MacCircuitModel { clock_ghz: self.clock_ghz };
+        let af_area = model
+            .fp_engine(MacCircuit::AlignmentFree, self.fp32_lanes)
+            .area_um2;
+        model.fp_gflops_at_area(circuit, af_area)
+    }
+
+    /// Peak INT4 throughput in GOPS (≈200, Table 2).
+    pub fn int4_gops(&self) -> f64 {
+        let model = MacCircuitModel { clock_ghz: self.clock_ghz };
+        model.int4_gops(self.int4_lanes)
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Full ECSSD configuration: the SSD device plus the inserted accelerator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EcssdConfig {
+    /// Underlying SSD (Table 2, upper half).
+    pub ssd: SsdConfig,
+    /// Inserted accelerator (Table 2, lower half).
+    pub accelerator: AcceleratorConfig,
+}
+
+impl EcssdConfig {
+    /// The paper's Table 2 configuration.
+    pub fn paper_default() -> Self {
+        EcssdConfig {
+            ssd: SsdConfig::paper_default(),
+            accelerator: AcceleratorConfig::paper_default(),
+        }
+    }
+
+    /// A small configuration for fast tests (same mechanisms, tiny flash
+    /// array).
+    pub fn tiny() -> Self {
+        EcssdConfig {
+            ssd: SsdConfig::tiny(),
+            accelerator: AcceleratorConfig::paper_default(),
+        }
+    }
+}
+
+impl Default for EcssdConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughputs_match_table2() {
+        let a = AcceleratorConfig::paper_default();
+        let af = a.fp32_gflops(MacCircuit::AlignmentFree);
+        let naive = a.fp32_gflops(MacCircuit::Naive);
+        assert!((af - 50.0).abs() < 2.0, "AF {af}");
+        assert!((naive - 29.2).abs() < 1.0, "naive {naive}");
+        assert!((a.int4_gops() - 200.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn sk_hynix_sits_between() {
+        let a = AcceleratorConfig::paper_default();
+        let sk = a.fp32_gflops(MacCircuit::SkHynix);
+        assert!(sk > a.fp32_gflops(MacCircuit::Naive));
+        assert!(sk < a.fp32_gflops(MacCircuit::AlignmentFree));
+    }
+
+    #[test]
+    fn paper_config_composes() {
+        let c = EcssdConfig::paper_default();
+        assert_eq!(c.ssd.geometry.channels, 8);
+        assert_eq!(c.accelerator.fp32_lanes, 64);
+    }
+}

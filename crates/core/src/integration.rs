@@ -1,0 +1,147 @@
+//! Framework integration (§4.4): "the major Python-style APIs for ECSSD …
+//! could be integrated with existing machine learning frameworks flexibly."
+//!
+//! [`ClassifierLayer`] is the Rust equivalent: a drop-in final-layer
+//! interface that any model-serving stack can call per forward pass, hiding
+//! the device workflow (mode switch, deployment, screening, classification,
+//! result gathering) behind a `forward`-shaped API.
+
+use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
+use ecssd_ssd::SimTime;
+
+use crate::{Ecssd, EcssdConfig, EcssdError};
+
+/// A final classification layer served by an ECSSD device.
+///
+/// ```
+/// use ecssd_core::{ClassifierLayer, EcssdConfig};
+/// use ecssd_screen::DenseMatrix;
+///
+/// # fn main() -> Result<(), ecssd_core::EcssdError> {
+/// let weights = DenseMatrix::random(512, 64, 9);
+/// let mut layer = ClassifierLayer::deploy(EcssdConfig::tiny(), &weights, 0.1)?;
+/// let features: Vec<f32> = (0..64).map(|i| (i as f32 * 0.2).sin()).collect();
+/// let top = layer.forward(&features, 5)?;
+/// assert_eq!(top.len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ClassifierLayer {
+    device: Ecssd,
+    categories: usize,
+    hidden: usize,
+}
+
+impl ClassifierLayer {
+    /// Deploys `weights` into a fresh device at `candidate_ratio`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deployment and configuration errors.
+    pub fn deploy(
+        config: EcssdConfig,
+        weights: &DenseMatrix,
+        candidate_ratio: f64,
+    ) -> Result<Self, EcssdError> {
+        let mut device = Ecssd::new(config);
+        device.enable();
+        device.weight_deploy(weights)?;
+        device.filter_threshold(ThresholdPolicy::TopRatio(candidate_ratio))?;
+        Ok(ClassifierLayer {
+            device,
+            categories: weights.rows(),
+            hidden: weights.cols(),
+        })
+    }
+
+    /// Category count `L`.
+    pub fn categories(&self) -> usize {
+        self.categories
+    }
+
+    /// Hidden dimension `D`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// One forward pass: top-`k` categories for `features`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension and device errors.
+    pub fn forward(&mut self, features: &[f32], k: usize) -> Result<Vec<Score>, EcssdError> {
+        self.device.input_send(features)?;
+        self.device.int4_screen()?;
+        self.device.cfp32_classify(k)?;
+        let mut results = self.device.get_results()?;
+        Ok(results.pop().map(|p| p.top_k).unwrap_or_default())
+    }
+
+    /// Batched forward pass: top-`k` per input, one device round trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension and device errors.
+    pub fn forward_batch(
+        &mut self,
+        inputs: &[Vec<f32>],
+        k: usize,
+    ) -> Result<Vec<Vec<Score>>, EcssdError> {
+        for x in inputs {
+            self.device.input_send(x)?;
+        }
+        self.device.int4_screen()?;
+        self.device.cfp32_classify(k)?;
+        Ok(self
+            .device
+            .get_results()?
+            .into_iter()
+            .map(|p| p.top_k)
+            .collect())
+    }
+
+    /// Simulated device time consumed so far.
+    pub fn elapsed(&self) -> SimTime {
+        self.device.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_returns_ranked_topk() {
+        let weights = DenseMatrix::random(400, 32, 4);
+        let mut layer = ClassifierLayer::deploy(EcssdConfig::tiny(), &weights, 0.1).unwrap();
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.3).cos()).collect();
+        let top = layer.forward(&x, 4).unwrap();
+        assert_eq!(top.len(), 4);
+        assert!(top.windows(2).all(|p| p[0].value >= p[1].value));
+        assert_eq!(layer.categories(), 400);
+        assert_eq!(layer.hidden(), 32);
+        assert!(layer.elapsed() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn batched_forward_matches_sequential() {
+        let weights = DenseMatrix::random(300, 32, 6);
+        let inputs: Vec<Vec<f32>> = (0..3)
+            .map(|q| (0..32).map(|i| ((i + q * 5) as f32 * 0.21).sin()).collect())
+            .collect();
+        let mut a = ClassifierLayer::deploy(EcssdConfig::tiny(), &weights, 0.1).unwrap();
+        let batched = a.forward_batch(&inputs, 3).unwrap();
+        let mut b = ClassifierLayer::deploy(EcssdConfig::tiny(), &weights, 0.1).unwrap();
+        for (x, expected) in inputs.iter().zip(&batched) {
+            assert_eq!(&b.forward(x, 3).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let weights = DenseMatrix::random(100, 16, 2);
+        let mut layer = ClassifierLayer::deploy(EcssdConfig::tiny(), &weights, 0.1).unwrap();
+        assert!(layer.forward(&[0.0; 8], 3).is_err());
+    }
+}

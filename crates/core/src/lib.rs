@@ -1,0 +1,60 @@
+//! The ECSSD machine: the paper's primary contribution assembled on top of
+//! the substrates.
+//!
+//! ECSSD (ISCA '23) inserts a dual-precision accelerator next to the data
+//! buffer of a conventional SSD and co-designs three things around the
+//! approximate screening algorithm:
+//!
+//! 1. an **alignment-free FP32 MAC** datapath fed with CFP32 operands
+//!    (`ecssd-float`), lifting in-SSD FP throughput from 29.2 to 50 GFLOPS
+//!    within the 0.21 mm² area budget,
+//! 2. a **heterogeneous data layout** — INT4 screener weights in device
+//!    DRAM, FP32 weight rows in NAND — removing 4-bit/32-bit transfer
+//!    interference ([`DataPlacement`]),
+//! 3. **learning-based adaptive interleaving** of FP32 rows over flash
+//!    channels (`ecssd-layout`), lifting channel bandwidth utilization to
+//!    ~95 %.
+//!
+//! [`EcssdMachine`] is the cycle-approximate performance model driving the
+//! `ecssd-ssd` discrete-event substrate; [`Ecssd`] is the functional
+//! host-facing device with the Table-1 API; [`roofline`] and [`scale`]
+//! reproduce the paper's analytical figures.
+//!
+//! ```
+//! use ecssd_core::{EcssdConfig, EcssdMachine, MachineVariant};
+//! use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
+//!
+//! let bench = Benchmark::by_abbrev("GNMT-E32K").unwrap();
+//! let workload = SampledWorkload::new(bench, TraceConfig::paper_default());
+//! let mut machine = EcssdMachine::new(
+//!     EcssdConfig::paper_default(),
+//!     MachineVariant::paper_ecssd(),
+//!     Box::new(workload),
+//! );
+//! let report = machine.run(2); // two query batches
+//! assert!(report.makespan.as_ns() > 0);
+//! assert!(report.fp_channel_utilization > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accelerator;
+mod api;
+mod cluster;
+mod config;
+mod energy;
+mod host;
+mod integration;
+mod pipeline;
+pub mod roofline;
+pub mod scale;
+
+pub use accelerator::{ComputeEngine, Int4Engine, Fp32Engine};
+pub use api::{Ecssd, EcssdError, EcssdMode};
+pub use cluster::EcssdCluster;
+pub use config::{AcceleratorConfig, EcssdConfig};
+pub use energy::{EnergyModel, EnergyReport};
+pub use host::{ArrivalSchedule, HostCoordinator, ServiceReport};
+pub use integration::ClassifierLayer;
+pub use pipeline::{DataPlacement, EcssdMachine, MachineVariant, RunReport, TileTiming};

@@ -1,0 +1,669 @@
+//! The ECSSD execution pipeline: tile-by-tile, dual-precision, double
+//! buffered (§4.5).
+//!
+//! Per query batch and per weight tile:
+//!
+//! 1. the INT4 screener weights of the tile stream in — from device DRAM
+//!    under the heterogeneous layout, or from the flash channels (sharing
+//!    the buses with FP32 traffic) under the homogeneous baseline;
+//! 2. the INT4 MAC array computes approximate scores, the comparator
+//!    filters candidates;
+//! 3. candidate FP32 (CFP32) weight rows are fetched from the flash
+//!    channels into a ping-pong buffer bank;
+//! 4. the FP32 MAC array runs candidate-only classification.
+//!
+//! All stages are timeline resources, so the ping-pong overlap of §4.5
+//! (INT4 of tile *t+1* concurrent with FP32 of tile *t*, fetch of *t+1*
+//! concurrent with compute of *t*) emerges from the dependency graph rather
+//! than being hard-coded.
+
+use ecssd_float::MacCircuit;
+use ecssd_layout::{InterleavingStrategy, TileLayout};
+use ecssd_ssd::{
+    Dram, FlashSim, HostInterface, ImbalanceReport, PhysPageAddr, PingPongBuffer, SimTime,
+};
+use ecssd_workloads::CandidateSource;
+use serde::{Deserialize, Serialize};
+
+use crate::{ComputeEngine, EcssdConfig};
+
+/// Where the INT4 screener weights live (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataPlacement {
+    /// ECSSD's heterogeneous layout: INT4 in device DRAM, FP32 in NAND.
+    Heterogeneous,
+    /// Baseline: both INT4 and FP32 weights in NAND flash; their transfers
+    /// interfere on the channel buses.
+    Homogeneous,
+}
+
+/// One architecture point: MAC circuit × placement × interleaving × overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineVariant {
+    /// FP32 MAC circuit implementation.
+    pub mac: MacCircuit,
+    /// INT4/FP32 data placement.
+    pub placement: DataPlacement,
+    /// FP32 row interleaving over channels.
+    pub interleaving: InterleavingStrategy,
+    /// Whether the dual-module / ping-pong overlap of §4.5 is enabled
+    /// (disabling it is the ablation of DESIGN.md §5).
+    pub overlap: bool,
+    /// Whether the scheduler drains one tile's candidate transfers before
+    /// issuing the next tile's (§4.5 passes candidate addresses to the
+    /// flash controllers tile by tile; §5.2: "the final data access time is
+    /// decided by the busiest flash channel"). Disabling it models a more
+    /// aggressive per-channel run-ahead scheduler — an ablation.
+    pub per_tile_sync: bool,
+    /// Training queries used to fine-tune hot degrees (0 disables the
+    /// frequency signal even if the strategy asks for it).
+    pub training_queries: usize,
+}
+
+impl MachineVariant {
+    /// The full ECSSD design point.
+    pub fn paper_ecssd() -> Self {
+        MachineVariant {
+            mac: MacCircuit::AlignmentFree,
+            placement: DataPlacement::Heterogeneous,
+            interleaving: InterleavingStrategy::Learned(Default::default()),
+            overlap: true,
+            per_tile_sync: true,
+            training_queries: 24,
+        }
+    }
+
+    /// The Fig. 8 starting baseline: naive FP MAC, sequential storing,
+    /// homogeneous placement.
+    pub fn baseline_start() -> Self {
+        MachineVariant {
+            mac: MacCircuit::Naive,
+            placement: DataPlacement::Homogeneous,
+            interleaving: InterleavingStrategy::Sequential,
+            overlap: true,
+            per_tile_sync: true,
+            training_queries: 0,
+        }
+    }
+}
+
+/// Outcome of a pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// End-to-end simulated time.
+    pub makespan: SimTime,
+    /// Query batches executed.
+    pub queries: usize,
+    /// Tiles simulated per query.
+    pub tiles_simulated: usize,
+    /// Tiles the full matrix would need per query.
+    pub tiles_total: usize,
+    /// Candidate rows fetched in total.
+    pub candidate_rows: u64,
+    /// Channel-bandwidth utilization of FP32 weight traffic only (the
+    /// quantity Fig. 8 reports).
+    pub fp_channel_utilization: f64,
+    /// Per-channel FP32 bytes moved.
+    pub fp_channel_bytes: Vec<u64>,
+    /// INT4 engine busy time, ns.
+    pub int4_busy_ns: u64,
+    /// FP32 engine busy time, ns.
+    pub fp32_busy_ns: u64,
+    /// DRAM interface busy time, ns.
+    pub dram_busy_ns: u64,
+    /// Producer stalls waiting for a buffer bank, ns.
+    pub buffer_stall_ns: u64,
+}
+
+impl RunReport {
+    /// Simulated nanoseconds per query batch over the simulated window.
+    pub fn ns_per_query(&self) -> f64 {
+        self.makespan.as_ns() as f64 / self.queries.max(1) as f64
+    }
+
+    /// Extrapolated nanoseconds per query batch over the full weight
+    /// matrix (window time scaled by the tile ratio; valid because the
+    /// pipeline is in steady state within the window).
+    pub fn ns_per_query_full(&self) -> f64 {
+        self.ns_per_query() * self.tiles_total as f64 / self.tiles_simulated.max(1) as f64
+    }
+
+    /// Imbalance of the per-channel FP32 byte loads.
+    pub fn fp_imbalance(&self) -> ImbalanceReport {
+        ImbalanceReport::from_loads(&self.fp_channel_bytes)
+    }
+}
+
+/// Per-tile timing record (optional instrumentation; see
+/// [`EcssdMachine::enable_tile_timings`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileTiming {
+    /// Query batch index.
+    pub query: usize,
+    /// Tile index.
+    pub tile: usize,
+    /// Candidate rows this tile fetched.
+    pub candidates: usize,
+    /// When screening finished (candidates known).
+    pub screen_done: SimTime,
+    /// When the last candidate page arrived in the buffer bank.
+    pub fetch_done: SimTime,
+    /// When FP32 classification finished.
+    pub fp_done: SimTime,
+}
+
+/// The assembled ECSSD performance model.
+pub struct EcssdMachine {
+    config: EcssdConfig,
+    variant: MachineVariant,
+    source: Box<dyn CandidateSource>,
+    flash: FlashSim,
+    dram: Dram,
+    host: HostInterface,
+    buffer: PingPongBuffer,
+    int4: ComputeEngine,
+    fp32: ComputeEngine,
+    /// Cached per-tile layouts (keyed by tile index).
+    layouts: std::collections::HashMap<usize, TileLayout>,
+    /// FP32-only traffic accounting (bus busy ns, bytes) per channel.
+    fp_busy: Vec<u64>,
+    fp_bytes: Vec<u64>,
+    /// Optional per-tile timing instrumentation.
+    tile_timings: Option<Vec<TileTiming>>,
+}
+
+impl std::fmt::Debug for EcssdMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EcssdMachine")
+            .field("variant", &self.variant)
+            .field("benchmark", &self.source.benchmark().abbrev)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Fixed scheduler/comparator latency charged per tile, ns.
+const TILE_CONTROL_NS: u64 = 200;
+
+impl EcssdMachine {
+    /// Builds the machine for one benchmark trace.
+    pub fn new(
+        config: EcssdConfig,
+        variant: MachineVariant,
+        source: Box<dyn CandidateSource>,
+    ) -> Self {
+        let geometry = config.ssd.geometry;
+        let flash = FlashSim::new(geometry, config.ssd.timing);
+        let mut dram = Dram::new(
+            config.ssd.dram_bytes,
+            ecssd_ssd::Bandwidth::from_gbps(config.ssd.dram_gbps),
+        );
+        if variant.placement == DataPlacement::Heterogeneous {
+            // Reserve the INT4 matrix in DRAM; panics are deliberate — the
+            // paper sizes DRAM so this always fits (§7.1).
+            dram.reserve(source.benchmark().int4_matrix_bytes().min(dram.capacity_bytes()))
+                .expect("INT4 matrix must fit device DRAM");
+        }
+        let accel = config.accelerator;
+        EcssdMachine {
+            buffer: PingPongBuffer::new(config.ssd.buffer_bytes),
+            int4: ComputeEngine::new(accel.int4_gops()),
+            fp32: ComputeEngine::new(accel.fp32_gflops(variant.mac)),
+            flash,
+            dram,
+            host: HostInterface::pcie3_x4(),
+            layouts: std::collections::HashMap::new(),
+            fp_busy: vec![0; geometry.channels],
+            fp_bytes: vec![0; geometry.channels],
+            tile_timings: None,
+            config,
+            variant,
+            source,
+        }
+    }
+
+    /// Records a [`TileTiming`] for every (query, tile) processed by
+    /// subsequent runs — the data behind pipeline-visualization tooling.
+    pub fn enable_tile_timings(&mut self) {
+        self.tile_timings = Some(Vec::new());
+    }
+
+    /// The recorded per-tile timings (empty unless enabled).
+    pub fn tile_timings(&self) -> &[TileTiming] {
+        self.tile_timings.as_deref().unwrap_or(&[])
+    }
+
+    /// The variant under test.
+    pub fn variant(&self) -> &MachineVariant {
+        &self.variant
+    }
+
+    /// The trace source.
+    pub fn source(&self) -> &dyn CandidateSource {
+        self.source.as_ref()
+    }
+
+    /// The per-tile layout (computed on first use).
+    pub fn tile_layout(&mut self, tile: usize) -> &TileLayout {
+        if !self.layouts.contains_key(&tile) {
+            let channels = self.config.ssd.geometry.channels;
+            let num_tiles = self.source.num_tiles();
+            let range = self.source.tile_row_range(tile);
+            let predicted = self.source.predicted_hotness(tile);
+            let freq = if self.variant.training_queries > 0 {
+                Some(
+                    self.source
+                        .training_frequency(tile, self.variant.training_queries),
+                )
+            } else {
+                None
+            };
+            let layout = self.variant.interleaving.assign_tile(
+                tile,
+                num_tiles,
+                range.start,
+                &predicted,
+                freq.as_deref(),
+                channels,
+            );
+            self.layouts.insert(tile, layout);
+        }
+        &self.layouts[&tile]
+    }
+
+    /// Physical address of page `p` of a tile-local candidate row, honoring
+    /// the layout's channel and spreading rows over the channel's dies.
+    fn row_page_addr(&self, layout: &TileLayout, global_row: u64, local_row: usize, page: u64) -> PhysPageAddr {
+        let g = self.config.ssd.geometry;
+        let channel = layout.channel_of(local_row);
+        // Deterministic die/block placement derived from the row id; only
+        // channel and die affect timing.
+        let mut h = global_row.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (page << 7);
+        h ^= h >> 29;
+        let die = (h % g.dies_per_channel as u64) as usize;
+        let plane = ((h >> 8) % g.planes_per_die as u64) as usize;
+        let block = ((h >> 16) % g.blocks_per_plane as u64) as usize;
+        let pg = ((h >> 32) % g.pages_per_block as u64) as usize;
+        PhysPageAddr { channel, die, plane, block, page: pg }
+    }
+
+    /// Runs `queries` query batches over the first `max_tiles` tiles of the
+    /// matrix (use `usize::MAX` for all tiles). Returns the run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries == 0`.
+    pub fn run_window(&mut self, queries: usize, max_tiles: usize) -> RunReport {
+        assert!(queries > 0, "need at least one query");
+        let tiles_total = self.source.num_tiles();
+        let tiles = tiles_total.min(max_tiles);
+        let bench = *self.source.benchmark();
+        let accel = self.config.accelerator;
+        let batch = accel.batch as u64;
+        let page_bytes = self.config.ssd.geometry.page_bytes;
+        let channels = self.config.ssd.geometry.channels;
+        let pages_per_row = bench.pages_per_row(page_bytes);
+        let k = bench.projected_dim() as u64;
+        let d = bench.hidden as u64;
+
+        let mut makespan = SimTime::ZERO;
+        let mut candidate_rows = 0u64;
+        // Without overlap, each stage of each tile waits for the previous
+        // tile to finish completely (the ablation point).
+        let mut serial_cursor = SimTime::ZERO;
+
+        for q in 0..queries {
+            // Host sends the batch's CFP32 features (4 bytes + shared
+            // exponent per vector) and INT4 projected features.
+            let feature_bytes = batch * (4 * d + 1) + batch * k.div_ceil(2);
+            let host_done = self.host.transfer(feature_bytes, serial_cursor);
+            makespan = makespan.max(host_done);
+
+            // The INT4 screening stage runs PREFETCH tiles ahead of the
+            // FP32 stage (§4.5: "when the FP32 MAC circuit is computing
+            // with the first weight tile, the INT4 MAC circuit is computing
+            // with the second weight tile"). The 128 KB INT4 weight buffer
+            // double-buffers the screener tiles, so the INT4 stream of tile
+            // t may start once tile t-2 has been consumed; interleaving the
+            // bus submissions in this order lets the prefetched INT4
+            // traffic and the earlier tiles' FP32 transfers share the buses
+            // the way a real channel scheduler would.
+            const PREFETCH: usize = 2;
+            let mut screen_done_q: std::collections::VecDeque<(SimTime, Vec<u64>)> =
+                std::collections::VecDeque::new();
+            let mut screen_history: Vec<SimTime> = Vec::with_capacity(tiles);
+            let mut prev_fetch_done = SimTime::ZERO;
+            for step in 0..tiles + PREFETCH {
+                // --- INT4 screening phase for tile `step` ----------------
+                if step < tiles {
+                    let t = step;
+                    let range = self.source.tile_row_range(t);
+                    let tile_len = (range.end - range.start) as usize;
+                    let int4_tile_bytes = tile_len as u64 * bench.int4_row_bytes();
+                    let buffer_ready = if t >= PREFETCH {
+                        screen_history[t - PREFETCH]
+                    } else {
+                        SimTime::ZERO
+                    };
+                    let int4_issue = if self.variant.overlap {
+                        host_done.max(buffer_ready)
+                    } else {
+                        serial_cursor.max(host_done)
+                    };
+                    let int4_fetch_done = match self.variant.placement {
+                        DataPlacement::Heterogeneous => {
+                            self.dram.transfer(int4_tile_bytes, int4_issue)
+                        }
+                        DataPlacement::Homogeneous => {
+                            // INT4 weights stream from flash, sharing the
+                            // buses with FP32 candidate traffic. Sequential
+                            // storing co-locates them with the tile's FP32
+                            // rows; the interleaved layouts spread them
+                            // over all buses.
+                            match self.variant.interleaving {
+                                InterleavingStrategy::Sequential => {
+                                    let ch = (t * channels / tiles_total).min(channels - 1);
+                                    self.flash.bus_transfer(ch, int4_tile_bytes, int4_issue)
+                                }
+                                _ => {
+                                    let per = int4_tile_bytes / channels as u64;
+                                    let mut done = int4_issue;
+                                    for ch in 0..channels {
+                                        done = done
+                                            .max(self.flash.bus_transfer(ch, per, int4_issue));
+                                    }
+                                    done
+                                }
+                            }
+                        }
+                    };
+                    let int4_ops = 2 * k * tile_len as u64 * batch;
+                    let screen_done =
+                        self.int4.compute(int4_ops, int4_fetch_done) + TILE_CONTROL_NS;
+                    let cands = self.source.candidates(q, t);
+                    candidate_rows += cands.len() as u64;
+                    screen_history.push(screen_done);
+                    screen_done_q.push_back((screen_done, cands));
+                }
+
+                // --- FP32 phase for tile `step - PREFETCH` ---------------
+                if step < PREFETCH {
+                    continue;
+                }
+                let t = step - PREFETCH;
+                let (mut screen_done, cands) =
+                    screen_done_q.pop_front().expect("screening ran ahead");
+                if !self.variant.overlap {
+                    // Serial ablation: this tile's FP32 phase starts only
+                    // after the previous tile fully completed.
+                    screen_done = screen_done.max(serial_cursor);
+                }
+                let range = self.source.tile_row_range(t);
+                let cand_bytes = cands.len() as u64 * pages_per_row * page_bytes as u64;
+
+                // Fetch into a ping-pong bank.
+                let layout = self.tile_layout(t).clone();
+                let bank = self
+                    .buffer
+                    .acquire(cand_bytes.max(1), screen_done)
+                    .expect("tile candidates fit one buffer bank");
+                let mut addrs = Vec::with_capacity(cands.len() * pages_per_row as usize);
+                for &row in &cands {
+                    let local = (row - range.start) as usize;
+                    for p in 0..pages_per_row {
+                        addrs.push(self.row_page_addr(&layout, row, local, p));
+                    }
+                }
+                // Sense commands go to the dies as soon as screening
+                // resolved the addresses; data leaves the page registers
+                // once the ping-pong bank is ours — and, with the paper's
+                // per-tile scheduler, once the previous tile's transfers
+                // drained ("the final data access time is decided by the
+                // busiest flash channel", §5.2).
+                let gate = if self.variant.per_tile_sync {
+                    bank.max(prev_fetch_done)
+                } else {
+                    bank
+                };
+                let fetch = self.flash.read_batch_gated(&addrs, screen_done, gate);
+                prev_fetch_done = fetch.done;
+                // FP32-only traffic accounting.
+                let per_page_ns = self.config.ssd.timing.page_transfer_ns(page_bytes);
+                for a in &addrs {
+                    self.fp_busy[a.channel] += per_page_ns;
+                    self.fp_bytes[a.channel] += page_bytes as u64;
+                }
+
+                // FP32 candidate-only classification.
+                let flops = 2 * d * cands.len() as u64 * batch;
+                let fp_issue = fetch.done.max(host_done);
+                let fp_done = self.fp32.compute(flops, fp_issue);
+                self.buffer.release(fp_done);
+
+                if let Some(timings) = &mut self.tile_timings {
+                    timings.push(TileTiming {
+                        query: q,
+                        tile: t,
+                        candidates: cands.len(),
+                        screen_done,
+                        fetch_done: fetch.done,
+                        fp_done,
+                    });
+                }
+                // Results return to host: batch × candidates × 4 bytes.
+                let result_done = self
+                    .host
+                    .transfer(batch * cands.len() as u64 * 4, fp_done);
+                makespan = makespan.max(result_done);
+                if !self.variant.overlap {
+                    serial_cursor = result_done;
+                }
+            }
+        }
+
+        let total_fp_busy: u64 = self.fp_busy.iter().sum();
+        RunReport {
+            makespan,
+            queries,
+            tiles_simulated: tiles,
+            tiles_total,
+            candidate_rows,
+            fp_channel_utilization: total_fp_busy as f64
+                / (makespan.as_ns().max(1) as f64 * channels as f64),
+            fp_channel_bytes: self.fp_bytes.clone(),
+            int4_busy_ns: self.int4.busy_ns(),
+            fp32_busy_ns: self.fp32.busy_ns(),
+            dram_busy_ns: self.dram.busy_ns(),
+            buffer_stall_ns: self.buffer.stall_ns(),
+        }
+    }
+
+    /// Runs `queries` query batches over the whole matrix.
+    pub fn run(&mut self, queries: usize) -> RunReport {
+        self.run_window(queries, usize::MAX)
+    }
+
+    /// Per-channel candidate access counts of one `(query, tile)` pair —
+    /// the Fig. 11 measurement.
+    pub fn tile_channel_loads(&mut self, query: usize, tile: usize) -> Vec<u64> {
+        let range = self.source.tile_row_range(tile);
+        let cands = self.source.candidates(query, tile);
+        let layout = self.tile_layout(tile);
+        let local: Vec<usize> = cands.iter().map(|&r| (r - range.start) as usize).collect();
+        ecssd_layout::channel_loads(layout, &local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
+
+    fn machine(variant: MachineVariant, bench: &str) -> EcssdMachine {
+        let b = Benchmark::by_abbrev(bench).unwrap();
+        let w = SampledWorkload::new(b, TraceConfig::paper_default());
+        EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(w))
+    }
+
+    fn window_report(variant: MachineVariant, bench: &str) -> RunReport {
+        machine(variant, bench).run_window(3, 24)
+    }
+
+    #[test]
+    fn ecssd_outperforms_baseline() {
+        let ecssd = window_report(MachineVariant::paper_ecssd(), "Transformer-W268K");
+        let base = window_report(MachineVariant::baseline_start(), "Transformer-W268K");
+        let speedup = base.ns_per_query() / ecssd.ns_per_query();
+        assert!(speedup > 5.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn sequential_baseline_leaves_channels_idle() {
+        let base = window_report(MachineVariant::baseline_start(), "Transformer-W268K");
+        assert!(
+            base.fp_channel_utilization < 0.15,
+            "utilization {}",
+            base.fp_channel_utilization
+        );
+        // Most channels never see FP32 traffic in a 24-tile window.
+        assert!(base.fp_imbalance().idle_channels >= 6);
+    }
+
+    #[test]
+    fn learned_interleaving_balances_fp_traffic() {
+        let r = window_report(MachineVariant::paper_ecssd(), "Transformer-W268K");
+        assert!(r.fp_imbalance().balance() > 0.9, "balance {}", r.fp_imbalance().balance());
+        assert!(
+            r.fp_channel_utilization > 0.65,
+            "utilization {}",
+            r.fp_channel_utilization
+        );
+    }
+
+    #[test]
+    fn uniform_sits_between_sequential_and_learned() {
+        let mk = |interleaving| MachineVariant {
+            interleaving,
+            ..MachineVariant::paper_ecssd()
+        };
+        let seq = window_report(mk(InterleavingStrategy::Sequential), "Transformer-W268K");
+        let uni = window_report(mk(InterleavingStrategy::Uniform), "Transformer-W268K");
+        let lrn = window_report(MachineVariant::paper_ecssd(), "Transformer-W268K");
+        assert!(seq.ns_per_query() > uni.ns_per_query());
+        assert!(uni.ns_per_query() > lrn.ns_per_query());
+    }
+
+    #[test]
+    fn heterogeneous_beats_homogeneous() {
+        let hetero = window_report(MachineVariant::paper_ecssd(), "Transformer-W268K");
+        let homo = window_report(
+            MachineVariant {
+                placement: DataPlacement::Homogeneous,
+                ..MachineVariant::paper_ecssd()
+            },
+            "Transformer-W268K",
+        );
+        assert!(homo.ns_per_query() > hetero.ns_per_query() * 1.05);
+        assert!(homo.dram_busy_ns < hetero.dram_busy_ns);
+    }
+
+    #[test]
+    fn alignment_free_beats_naive_on_compute_bound_benchmarks() {
+        // GNMT (D=1024) is compute-heavy at batch 16; the naive MAC stalls.
+        let af = window_report(MachineVariant::paper_ecssd(), "GNMT-E32K");
+        let naive = window_report(
+            MachineVariant {
+                mac: MacCircuit::Naive,
+                ..MachineVariant::paper_ecssd()
+            },
+            "GNMT-E32K",
+        );
+        assert!(
+            naive.ns_per_query() > af.ns_per_query() * 1.2,
+            "naive {} vs af {}",
+            naive.ns_per_query(),
+            af.ns_per_query()
+        );
+    }
+
+    #[test]
+    fn overlap_ablation_slows_the_pipeline() {
+        let on = window_report(MachineVariant::paper_ecssd(), "Transformer-W268K");
+        let off = window_report(
+            MachineVariant {
+                overlap: false,
+                ..MachineVariant::paper_ecssd()
+            },
+            "Transformer-W268K",
+        );
+        assert!(
+            off.ns_per_query() > on.ns_per_query() * 1.1,
+            "no-overlap {} vs overlapped {}",
+            off.ns_per_query(),
+            on.ns_per_query()
+        );
+    }
+
+    #[test]
+    fn extrapolation_scales_with_tiles() {
+        let mut m = machine(MachineVariant::paper_ecssd(), "Transformer-W268K");
+        let r = m.run_window(2, 16);
+        let full = r.ns_per_query_full();
+        assert!(full > r.ns_per_query() * 30.0, "523 tiles vs 16 simulated");
+    }
+
+    #[test]
+    fn fig11_loads_are_more_balanced_under_learned() {
+        let mut lrn = machine(MachineVariant::paper_ecssd(), "GNMT-E32K");
+        let mut uni = machine(
+            MachineVariant {
+                interleaving: InterleavingStrategy::Uniform,
+                training_queries: 0,
+                ..MachineVariant::paper_ecssd()
+            },
+            "GNMT-E32K",
+        );
+        // Average the per-tile balance over several (query, tile) pairs;
+        // any single tile is one random draw.
+        let mut lb = 0.0;
+        let mut ub = 0.0;
+        let pairs = 24;
+        for q in 0..4 {
+            for t in 0..6 {
+                let l = lrn.tile_channel_loads(q, t);
+                let u = uni.tile_channel_loads(q, t);
+                lb += ecssd_ssd::ImbalanceReport::from_loads(&l).balance();
+                ub += ecssd_ssd::ImbalanceReport::from_loads(&u).balance();
+            }
+        }
+        lb /= pairs as f64;
+        ub /= pairs as f64;
+        assert!(lb > ub + 0.1, "learned {lb} vs uniform {ub}");
+    }
+
+    #[test]
+    fn tile_timings_record_the_pipeline_order() {
+        let mut m = machine(MachineVariant::paper_ecssd(), "Transformer-W268K");
+        m.enable_tile_timings();
+        let _ = m.run_window(1, 8);
+        let timings = m.tile_timings();
+        assert_eq!(timings.len(), 8);
+        for t in timings {
+            assert!(t.screen_done <= t.fetch_done);
+            assert!(t.fetch_done <= t.fp_done);
+            assert!(t.candidates > 0);
+        }
+        // Screening runs ahead: by the last tile, its screen_done precedes
+        // the previous tile's fp_done (dual-module overlap, §4.5).
+        let last = &timings[7];
+        let prev = &timings[6];
+        assert!(last.screen_done < prev.fp_done);
+    }
+
+    #[test]
+    fn works_at_100m_scale() {
+        let mut m = machine(MachineVariant::paper_ecssd(), "XMLCNN-S100M");
+        let r = m.run_window(1, 4);
+        assert_eq!(r.tiles_total, 195_313);
+        assert!(r.ns_per_query_full() > 1e6);
+    }
+}

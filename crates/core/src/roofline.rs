@@ -1,0 +1,123 @@
+//! Roofline analysis (Fig. 1): where the design points A, B and C sit.
+//!
+//! * Point **A** — the in-storage-computing baseline with a naive FP MAC:
+//!   compute-bound below the memory roof.
+//! * Point **B** — with the alignment-free MAC the compute ceiling rises
+//!   above the bandwidth needed, turning the problem memory-bound.
+//! * Point **C** — heterogeneous layout + learned interleaving raise the
+//!   *achieved* memory roof (bandwidth utilization) and the operating point
+//!   with it.
+
+use ecssd_float::MacCircuit;
+use serde::{Deserialize, Serialize};
+
+use crate::AcceleratorConfig;
+
+/// A point on the roofline plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Label ("A", "B", "C").
+    pub label: &'static str,
+    /// Operational intensity, FLOP per byte moved from flash.
+    pub intensity: f64,
+    /// Achieved throughput, GFLOPS.
+    pub gflops: f64,
+}
+
+/// The roofline model of the in-storage accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak compute of the active MAC circuit, GFLOPS.
+    pub peak_gflops: f64,
+    /// Raw internal bandwidth (channels × per-channel), GB/s.
+    pub raw_bandwidth_gbps: f64,
+    /// Fraction of the raw bandwidth actually achieved.
+    pub bandwidth_utilization: f64,
+}
+
+impl Roofline {
+    /// Attainable GFLOPS at a given operational intensity.
+    ///
+    /// ```
+    /// use ecssd_core::roofline::Roofline;
+    /// let r = Roofline { peak_gflops: 50.0, raw_bandwidth_gbps: 8.0, bandwidth_utilization: 1.0 };
+    /// assert_eq!(r.attainable(2.0), 16.0); // memory roof
+    /// assert_eq!(r.attainable(100.0), 50.0); // compute roof
+    /// ```
+    pub fn attainable(&self, intensity: f64) -> f64 {
+        let memory_roof = self.raw_bandwidth_gbps * self.bandwidth_utilization * intensity;
+        memory_roof.min(self.peak_gflops)
+    }
+
+    /// The ridge point intensity where compute and memory roofs meet.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_gflops / (self.raw_bandwidth_gbps * self.bandwidth_utilization)
+    }
+}
+
+/// Computes the three Fig. 1 points for the paper's accelerator at the
+/// candidate-only classification intensity (`batch / 2` FLOP per byte:
+/// 2 FLOPs per weight element reused `batch` times, 4 bytes per element).
+pub fn paper_points(accel: &AcceleratorConfig, channels: usize) -> [RooflinePoint; 3] {
+    let intensity = accel.batch as f64 / 2.0;
+    let raw_bw = channels as f64; // 1 GB/s per channel
+    // Bandwidth utilizations: what uniform interleaving achieves from load
+    // imbalance alone (points A and B) vs the full learned layout (point C).
+    let baseline = Roofline {
+        peak_gflops: accel.fp32_gflops(MacCircuit::Naive),
+        raw_bandwidth_gbps: raw_bw,
+        bandwidth_utilization: 0.66,
+    };
+    let lifted = Roofline {
+        peak_gflops: accel.fp32_gflops(MacCircuit::AlignmentFree),
+        raw_bandwidth_gbps: raw_bw,
+        bandwidth_utilization: 0.66,
+    };
+    let full = Roofline {
+        peak_gflops: accel.fp32_gflops(MacCircuit::AlignmentFree),
+        raw_bandwidth_gbps: raw_bw,
+        bandwidth_utilization: 0.947,
+    };
+    [
+        RooflinePoint { label: "A", intensity, gflops: baseline.attainable(intensity) },
+        RooflinePoint { label: "B", intensity, gflops: lifted.attainable(intensity) },
+        RooflinePoint { label: "C", intensity, gflops: full.attainable(intensity) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofs_intersect_at_ridge() {
+        let r = Roofline {
+            peak_gflops: 50.0,
+            raw_bandwidth_gbps: 8.0,
+            bandwidth_utilization: 1.0,
+        };
+        let ridge = r.ridge_intensity();
+        assert!((r.attainable(ridge) - 50.0).abs() < 1e-9);
+        assert!(r.attainable(ridge / 2.0) < 50.0);
+        assert!((r.attainable(100.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn points_ascend_a_to_c() {
+        let pts = paper_points(&AcceleratorConfig::paper_default(), 8);
+        assert!(pts[0].gflops < pts[1].gflops, "A < B");
+        assert!(pts[1].gflops < pts[2].gflops, "B < C");
+        assert_eq!(pts[0].label, "A");
+        assert_eq!(pts[2].label, "C");
+    }
+
+    #[test]
+    fn point_a_is_compute_bound_point_b_memory_bound() {
+        let accel = AcceleratorConfig::paper_default();
+        let pts = paper_points(&accel, 8);
+        // A is pinned at the naive compute ceiling.
+        assert!((pts[0].gflops - accel.fp32_gflops(ecssd_float::MacCircuit::Naive)).abs() < 1e-6);
+        // B is below the alignment-free ceiling: memory-bound.
+        assert!(pts[1].gflops < accel.fp32_gflops(ecssd_float::MacCircuit::AlignmentFree));
+    }
+}

@@ -1,0 +1,233 @@
+//! Scalability analysis (§7.1): DRAM capacity vs maximum classification
+//! scale (scaling up) and multi-device partitioning (scaling out).
+
+use serde::{Deserialize, Serialize};
+
+/// INT4 screener bytes per category at the paper's dimensions
+/// (K = 256 → 128 bytes/row).
+fn int4_bytes_per_category(projected_dim: usize) -> u64 {
+    (projected_dim as u64).div_ceil(2)
+}
+
+/// Scaling-up analysis of a single ECSSD's DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramScaling {
+    /// Device DRAM capacity, bytes.
+    pub dram_bytes: u64,
+    /// DRAM reserved for the L2P table and management data, bytes.
+    pub management_bytes: u64,
+    /// Projected dimension K of the screener.
+    pub projected_dim: usize,
+}
+
+impl DramScaling {
+    /// The paper's device: 16 GB DRAM, K = 256, and ~1.6 GB held back for
+    /// SSD management data and the hot fraction of the L2P table — the
+    /// reserve that makes the §7.1 arithmetic come out (100M categories fit
+    /// 16 GB, 50M bind 8 GB, 500M need 5 devices).
+    pub fn paper_default() -> Self {
+        DramScaling {
+            dram_bytes: 16 << 30,
+            management_bytes: 1_717_986_918, // 1.6 GiB
+            projected_dim: 256,
+        }
+    }
+
+    /// Same analysis at another DRAM size (the §7.1 8 GB / 32 GB scenarios).
+    pub fn with_dram_gb(mut self, gb: u64) -> Self {
+        self.dram_bytes = gb << 30;
+        self
+    }
+
+    /// Maximum categories whose INT4 screener fits the remaining DRAM.
+    pub fn max_categories(&self) -> u64 {
+        let usable = self.dram_bytes.saturating_sub(self.management_bytes);
+        usable / int4_bytes_per_category(self.projected_dim)
+    }
+
+    /// Relative DRAM power vs the 16 GB design (§7.1: "the larger DRAM
+    /// would cause at least 40 % increase in power consumption"). Modeled
+    /// as proportional to device count with a constant refresh floor.
+    pub fn relative_power(&self) -> f64 {
+        let gb = (self.dram_bytes >> 30) as f64;
+        // 0.2 constant + 0.05/GB: 16 GB → 1.0, 32 GB → 1.8, 8 GB → 0.6.
+        (0.2 + 0.05 * gb) / (0.2 + 0.05 * 16.0)
+    }
+}
+
+/// Scaling-out plan: partition a classification layer over multiple ECSSDs
+/// (§7.1: a 500M-category layer over 5 devices).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleOutPlan {
+    /// Total categories of the layer.
+    pub categories: u64,
+    /// Devices used.
+    pub devices: u64,
+    /// Categories per device.
+    pub per_device: u64,
+}
+
+impl ScaleOutPlan {
+    /// Plans the minimum number of ECSSDs whose DRAM holds the partitioned
+    /// INT4 matrix.
+    ///
+    /// ```
+    /// use ecssd_core::scale::{DramScaling, ScaleOutPlan};
+    /// // §7.1: a 500M-category layer needs 5 devices.
+    /// let plan = ScaleOutPlan::plan(500_000_000, DramScaling::paper_default());
+    /// assert_eq!(plan.devices, 5);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `categories == 0`.
+    pub fn plan(categories: u64, device: DramScaling) -> Self {
+        assert!(categories > 0, "empty classification layer");
+        let per_device_max = device.max_categories().max(1);
+        let devices = categories.div_ceil(per_device_max);
+        ScaleOutPlan {
+            categories,
+            devices,
+            per_device: categories.div_ceil(devices),
+        }
+    }
+
+    /// Ideal speedup from parallel partitions (each device screens and
+    /// classifies its shard independently).
+    pub fn parallel_speedup(&self) -> f64 {
+        self.devices as f64
+    }
+}
+
+/// Result of actually *executing* a scale-out plan on the simulator: every
+/// partition runs as an independent ECSSD; the host broadcasts features and
+/// merges per-device top-k results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleOutRun {
+    /// The plan that was executed.
+    pub plan: ScaleOutPlan,
+    /// Extrapolated ns/batch of each device over its shard.
+    pub per_device_ns: Vec<f64>,
+    /// End-to-end ns/batch: slowest device plus the host-side merge.
+    pub makespan_ns: f64,
+    /// Reference ns/batch of a single hypothetical device holding the whole
+    /// layer (its DRAM could not actually hold the screener; this is the
+    /// denominator of the parallel-speedup claim).
+    pub single_device_ns: f64,
+}
+
+impl ScaleOutRun {
+    /// Measured parallel speedup over the single-device reference.
+    pub fn speedup(&self) -> f64 {
+        self.single_device_ns / self.makespan_ns
+    }
+}
+
+/// Executes a scale-out plan: partitions the layer over `plan.devices`
+/// ECSSDs and simulates each shard (§7.1: "partition the larger
+/// classification layer into multiple ECSSDs and do the execution in
+/// parallel").
+pub fn run_scale_out(
+    benchmark: ecssd_workloads::Benchmark,
+    plan: ScaleOutPlan,
+    queries: usize,
+    max_tiles: usize,
+) -> ScaleOutRun {
+    use crate::{EcssdConfig, EcssdMachine, MachineVariant};
+    use ecssd_workloads::{HotnessModel, SampledWorkload, TraceConfig};
+
+    let run_device = |categories: u64, seed: u64| -> f64 {
+        let shard = ecssd_workloads::Benchmark {
+            categories,
+            ..benchmark
+        };
+        let trace = TraceConfig {
+            hotness: HotnessModel::paper_default(0xec55d ^ seed),
+            ..TraceConfig::paper_default()
+        };
+        let workload = SampledWorkload::new(shard, trace);
+        let mut machine = EcssdMachine::new(
+            EcssdConfig::paper_default(),
+            MachineVariant::paper_ecssd(),
+            Box::new(workload),
+        );
+        machine.run_window(queries, max_tiles).ns_per_query_full()
+    };
+
+    let per_device_ns: Vec<f64> = (0..plan.devices)
+        .map(|d| run_device(plan.per_device, d))
+        .collect();
+    let slowest = per_device_ns.iter().cloned().fold(0.0, f64::max);
+    // Host merge: gather top-k candidates from every device over PCIe and
+    // reduce — microseconds against seconds of classification.
+    let merge_ns = plan.devices as f64 * 2_000.0;
+    ScaleOutRun {
+        plan,
+        per_device_ns,
+        makespan_ns: slowest + merge_ns,
+        single_device_ns: run_device(plan.categories, 0xffff),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_gb_holds_100m_categories() {
+        // §7.1: 16 GB DRAM holds the 12.8 GB INT4 matrix of 100M categories.
+        let d = DramScaling::paper_default();
+        assert!(d.max_categories() >= 100_000_000);
+        assert!(d.max_categories() < 200_000_000);
+    }
+
+    #[test]
+    fn eight_gb_is_bound_to_50m() {
+        // §7.1: "the maximum scale ... would be severely bound to
+        // 50-million categories" with 8 GB.
+        let d = DramScaling::paper_default().with_dram_gb(8);
+        assert!(d.max_categories() >= 50_000_000);
+        assert!(d.max_categories() < 100_000_000);
+    }
+
+    #[test]
+    fn thirty_two_gb_reaches_200m_at_power_cost() {
+        // §7.1: 32 GB reaches 200M categories but costs ≥40% more power.
+        let d = DramScaling::paper_default().with_dram_gb(32);
+        assert!(d.max_categories() >= 200_000_000);
+        assert!(d.relative_power() >= 1.4, "power {}", d.relative_power());
+    }
+
+    #[test]
+    fn five_hundred_million_needs_five_devices() {
+        // §7.1: "the huge classification layer will be partitioned into 5
+        // ECSSDs".
+        let plan = ScaleOutPlan::plan(500_000_000, DramScaling::paper_default());
+        assert_eq!(plan.devices, 5);
+        assert!(plan.per_device <= DramScaling::paper_default().max_categories());
+        assert_eq!(plan.parallel_speedup(), 5.0);
+    }
+
+    #[test]
+    fn small_layers_fit_one_device() {
+        let plan = ScaleOutPlan::plan(1_000_000, DramScaling::paper_default());
+        assert_eq!(plan.devices, 1);
+    }
+
+    #[test]
+    fn executed_scale_out_approaches_linear_speedup() {
+        // A 500M-category layer needs 5 devices (§7.1); shard dimensions
+        // follow the S100M benchmark.
+        let bench = ecssd_workloads::Benchmark::by_abbrev("XMLCNN-S100M").unwrap();
+        let plan = ScaleOutPlan::plan(500_000_000, DramScaling::paper_default());
+        assert!(plan.devices >= 2);
+        let run = run_scale_out(bench, plan, 1, 8);
+        assert_eq!(run.per_device_ns.len(), plan.devices as usize);
+        let speedup = run.speedup();
+        assert!(
+            speedup > 0.7 * plan.devices as f64 && speedup < 1.3 * plan.devices as f64,
+            "speedup {speedup} for {} devices",
+            plan.devices
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Degenerate-configuration tests: the pipeline must stay correct (not just
+//! fast) on extreme geometries and workload shapes.
+
+use ecssd_core::{EcssdConfig, EcssdMachine, MachineVariant};
+use ecssd_layout::InterleavingStrategy;
+use ecssd_ssd::SsdGeometry;
+use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
+
+fn machine_with(geometry: SsdGeometry, trace: TraceConfig, variant: MachineVariant) -> EcssdMachine {
+    let bench = Benchmark::by_abbrev("GNMT-E32K").unwrap();
+    let mut config = EcssdConfig::paper_default();
+    config.ssd.geometry = geometry;
+    let workload = SampledWorkload::new(bench, trace);
+    EcssdMachine::new(config, variant, Box::new(workload))
+}
+
+#[test]
+fn single_channel_device_works() {
+    let geometry = SsdGeometry {
+        channels: 1,
+        dies_per_channel: 8,
+        ..SsdGeometry::paper_default()
+    };
+    for interleaving in [
+        InterleavingStrategy::Sequential,
+        InterleavingStrategy::Uniform,
+        InterleavingStrategy::Learned(Default::default()),
+    ] {
+        let variant = MachineVariant {
+            interleaving,
+            ..MachineVariant::paper_ecssd()
+        };
+        let mut m = machine_with(geometry, TraceConfig::paper_default(), variant);
+        let r = m.run_window(1, 4);
+        assert!(r.makespan.as_ns() > 0);
+        // One channel: perfectly "balanced" by definition.
+        assert_eq!(r.fp_imbalance().idle_channels, 0);
+        assert!(r.fp_channel_utilization > 0.0 && r.fp_channel_utilization <= 1.0);
+    }
+}
+
+#[test]
+fn single_die_per_channel_exposes_tr() {
+    // With one die per channel and no plane parallelism, tR cannot hide
+    // behind other dies; throughput must drop but nothing breaks.
+    let fast = SsdGeometry::paper_default();
+    let slow = SsdGeometry {
+        dies_per_channel: 1,
+        planes_per_die: 1,
+        ..fast
+    };
+    let run = |g: SsdGeometry| {
+        machine_with(g, TraceConfig::paper_default(), MachineVariant::paper_ecssd())
+            .run_window(1, 8)
+            .ns_per_query()
+    };
+    let fast_ns = run(fast);
+    let slow_ns = run(slow);
+    assert!(slow_ns >= fast_ns, "{slow_ns} vs {fast_ns}");
+}
+
+#[test]
+fn tiny_tiles_and_full_candidate_ratio_work() {
+    let trace = TraceConfig::paper_default()
+        .with_tile_rows(32)
+        .with_candidate_ratio(1.0);
+    let mut m = machine_with(
+        SsdGeometry::paper_default(),
+        trace,
+        MachineVariant::paper_ecssd(),
+    );
+    let r = m.run_window(1, 4);
+    // Ratio 1.0: essentially every row of every simulated tile is fetched
+    // (the per-tile count jitter may shave a row or two).
+    assert!(r.candidate_rows >= 4 * 32 - 6, "{} rows", r.candidate_rows);
+    assert!(r.candidate_rows <= 4 * 32);
+}
+
+#[test]
+fn sixteen_channel_high_end_device_scales() {
+    // §2.2: "some high-end SSD products... can have 16 flash channels."
+    let wide = SsdGeometry {
+        channels: 16,
+        ..SsdGeometry::paper_default()
+    };
+    let run = |g: SsdGeometry| {
+        machine_with(g, TraceConfig::paper_default(), MachineVariant::paper_ecssd())
+            .run_window(2, 16)
+            .ns_per_query()
+    };
+    let eight = run(SsdGeometry::paper_default());
+    let sixteen = run(wide);
+    // Doubling channels helps until compute binds; it must never hurt.
+    assert!(sixteen <= eight, "16ch {sixteen} vs 8ch {eight}");
+}
+
+#[test]
+fn single_query_single_tile_window() {
+    let mut m = machine_with(
+        SsdGeometry::tiny(),
+        TraceConfig::paper_default(),
+        MachineVariant::paper_ecssd(),
+    );
+    let r = m.run_window(1, 1);
+    assert_eq!(r.tiles_simulated, 1);
+    assert!(r.makespan.as_ns() > 0);
+    assert!(r.ns_per_query_full() > r.ns_per_query());
+}

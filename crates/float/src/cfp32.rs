@@ -1,0 +1,410 @@
+//! The Compensation FP32 (CFP32) data format (paper §4.2, Fig. 5b).
+//!
+//! CFP32 is produced by *vector-wise pre-alignment*: all elements of a vector
+//! are right-shifted so that they share the vector's maximum exponent. The
+//! 8-bit exponent field of each FP32 word is no longer needed per element
+//! (the shared exponent is stored once per vector), so it is reused as
+//! *compensation bits* that keep the least-significant mantissa bits that
+//! would otherwise fall off during the right shift.
+
+use serde::{Deserialize, Serialize};
+
+use crate::FloatError;
+
+/// Number of compensation bits appended to the 24-bit FP32 significand.
+///
+/// One of the freed 8 exponent bits re-homes the hidden leading one, the
+/// remaining 7 keep shifted-out fraction bits (paper §4.2: "the 8-bit space
+/// as the compensation bits for the 1-bit hidden one and the least
+/// significant bits").
+pub const COMPENSATION_BITS: u32 = 7;
+
+/// Total stored mantissa width of a CFP32 element: 24 significand bits
+/// (hidden one + 23 fraction bits) plus [`COMPENSATION_BITS`].
+pub const MANTISSA_BITS: u32 = 24 + COMPENSATION_BITS;
+
+/// Exponent bias used when interpreting a CFP32 mantissa as a real value.
+///
+/// An element with stored mantissa `m` in a vector with shared biased
+/// exponent `E` has value `±m · 2^(E - VALUE_BIAS)`: the FP32 significand
+/// contributes `2^-23`, the FP32 bias `2^-127`, and the compensation shift
+/// `2^-7`, so `VALUE_BIAS = 23 + 127 + 7 = 157`.
+const VALUE_BIAS: i32 = 157;
+
+/// A single pre-aligned CFP32 element: a sign bit and a 31-bit magnitude
+/// mantissa, packed into 32 bits exactly like the hardware word in Fig. 5(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Cfp32 {
+    bits: u32,
+}
+
+impl Cfp32 {
+    /// Builds an element from a sign and a 31-bit mantissa.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mantissa` does not fit in [`MANTISSA_BITS`] bits.
+    pub fn from_parts(negative: bool, mantissa: u32) -> Self {
+        assert!(
+            mantissa < (1 << MANTISSA_BITS),
+            "mantissa {mantissa:#x} exceeds {MANTISSA_BITS} bits"
+        );
+        Cfp32 {
+            bits: (u32::from(negative) << 31) | mantissa,
+        }
+    }
+
+    /// Returns `true` if the element is negative.
+    ///
+    /// A zero mantissa with a set sign bit compares equal to positive zero in
+    /// value but is preserved bit-exactly, matching the hardware word.
+    pub fn is_negative(self) -> bool {
+        self.bits >> 31 == 1
+    }
+
+    /// The 31-bit magnitude mantissa (hidden one already materialized).
+    pub fn mantissa(self) -> u32 {
+        self.bits & 0x7fff_ffff
+    }
+
+    /// Returns `true` if the stored magnitude is zero.
+    pub fn is_zero(self) -> bool {
+        self.mantissa() == 0
+    }
+
+    /// The raw 32-bit hardware word (sign in bit 31, mantissa in bits 30..0).
+    pub fn to_bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Rebuilds an element from a raw hardware word.
+    pub fn from_bits(bits: u32) -> Self {
+        Cfp32 { bits }
+    }
+
+    /// Signed mantissa as an `i64`, the quantity the integer MAC consumes.
+    pub fn signed_mantissa(self) -> i64 {
+        let m = i64::from(self.mantissa());
+        if self.is_negative() {
+            -m
+        } else {
+            m
+        }
+    }
+}
+
+/// Decomposition of a finite `f32` into (biased exponent, 24-bit significand,
+/// sign). Subnormals use the conventional effective biased exponent of 1 with
+/// no hidden bit; zero yields a zero significand.
+fn decompose(v: f32) -> (i32, u32, bool) {
+    let bits = v.to_bits();
+    let negative = bits >> 31 == 1;
+    let biased_exp = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x7f_ffff;
+    if biased_exp == 0 {
+        // Zero or subnormal: value = frac * 2^(1 - 150).
+        (1, frac, negative)
+    } else {
+        ((biased_exp), (1 << 23) | frac, negative)
+    }
+}
+
+/// Per-vector statistics of the lossiness introduced by pre-alignment
+/// (paper §4.2: "with the 7-bit mantissa compensation, more than 95 % of the
+/// floating-point data has no bit information lost").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LosslessStats {
+    /// Number of nonzero elements examined.
+    pub nonzero: usize,
+    /// Number of nonzero elements represented exactly.
+    pub lossless: usize,
+    /// Largest right-shift applied to any element.
+    pub max_shift: u32,
+    /// Mean right-shift over nonzero elements.
+    pub mean_shift: f64,
+    /// Largest relative representation error over nonzero elements.
+    pub max_rel_error: f64,
+}
+
+impl LosslessStats {
+    /// Fraction of nonzero elements represented exactly (1.0 for an all-zero
+    /// or empty vector).
+    pub fn lossless_fraction(&self) -> f64 {
+        if self.nonzero == 0 {
+            1.0
+        } else {
+            self.lossless as f64 / self.nonzero as f64
+        }
+    }
+}
+
+/// A pre-aligned vector: one shared biased exponent plus packed elements.
+///
+/// This is the unit of transfer between the host and the ECSSD accelerator
+/// (input features) and the unit of storage for FP32 weight rows in NAND
+/// flash (weights are pre-aligned offline before deployment, §4.5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cfp32Vector {
+    shared_exp: i32,
+    elems: Vec<Cfp32>,
+}
+
+impl Cfp32Vector {
+    /// Pre-aligns a slice of finite `f32` values into CFP32.
+    ///
+    /// This is the host-side `Pre_align()` operation of Table 1: find the
+    /// vector-wise maximum exponent, then right-shift every mantissa by its
+    /// exponent distance from the maximum.
+    ///
+    /// ```
+    /// use ecssd_float::Cfp32Vector;
+    /// # fn main() -> Result<(), ecssd_float::FloatError> {
+    /// let v = Cfp32Vector::from_f32(&[1.0, 0.5, -0.25])?;
+    /// assert_eq!(v.shared_exponent(), 127); // 1.0's biased exponent
+    /// assert_eq!(v.to_f32_vec(), vec![1.0, 0.5, -0.25]); // lossless here
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloatError::EmptyVector`] for an empty slice and
+    /// [`FloatError::NonFinite`] if any element is NaN or infinite.
+    pub fn from_f32(values: &[f32]) -> Result<Self, FloatError> {
+        if values.is_empty() {
+            return Err(FloatError::EmptyVector);
+        }
+        let mut max_exp = i32::MIN;
+        for (index, &v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(FloatError::NonFinite { index });
+            }
+            if v != 0.0 {
+                let (e, _, _) = decompose(v);
+                max_exp = max_exp.max(e);
+            }
+        }
+        if max_exp == i32::MIN {
+            // All-zero vector: any shared exponent works; use the minimum.
+            max_exp = 1;
+        }
+        let elems = values
+            .iter()
+            .map(|&v| {
+                let (e, s24, negative) = decompose(v);
+                let shift = (max_exp - e) as u32;
+                let wide = u64::from(s24) << COMPENSATION_BITS;
+                let m31 = if shift >= 64 { 0 } else { (wide >> shift) as u32 };
+                Cfp32::from_parts(negative, m31)
+            })
+            .collect();
+        Ok(Cfp32Vector {
+            shared_exp: max_exp,
+            elems,
+        })
+    }
+
+    /// The shared biased exponent (the vector-wise maximum FP32 exponent).
+    pub fn shared_exponent(&self) -> i32 {
+        self.shared_exp
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Returns `true` if the vector holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// The packed elements.
+    pub fn elements(&self) -> &[Cfp32] {
+        &self.elems
+    }
+
+    /// Iterates over the packed elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, Cfp32> {
+        self.elems.iter()
+    }
+
+    /// Decodes element `i` back to `f32`, or `None` if out of bounds.
+    pub fn get_f32(&self, i: usize) -> Option<f32> {
+        self.elems.get(i).map(|e| self.decode(*e))
+    }
+
+    fn decode(&self, e: Cfp32) -> f32 {
+        let scale = exp2_i32(self.shared_exp - VALUE_BIAS);
+        (e.signed_mantissa() as f64 * scale) as f32
+    }
+
+    /// Decodes the whole vector back to `f32`.
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        self.elems.iter().map(|&e| self.decode(e)).collect()
+    }
+
+    /// Size of the vector on the wire / in flash, in bytes.
+    ///
+    /// Each element is a 32-bit word; the shared exponent is stored once per
+    /// vector (§4.2: "the common 8-bit exponent value is stored separately"),
+    /// rounded up to one byte.
+    pub fn storage_bytes(&self) -> usize {
+        self.elems.len() * 4 + 1
+    }
+
+    /// Measures representation loss against the original values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original.len() != self.len()`.
+    pub fn lossless_stats(&self, original: &[f32]) -> LosslessStats {
+        assert_eq!(original.len(), self.len(), "length mismatch");
+        let mut stats = LosslessStats {
+            nonzero: 0,
+            lossless: 0,
+            max_shift: 0,
+            mean_shift: 0.0,
+            max_rel_error: 0.0,
+        };
+        let mut shift_sum = 0u64;
+        for (&orig, &elem) in original.iter().zip(&self.elems) {
+            if orig == 0.0 {
+                continue;
+            }
+            stats.nonzero += 1;
+            let (e, _, _) = decompose(orig);
+            let shift = (self.shared_exp - e) as u32;
+            stats.max_shift = stats.max_shift.max(shift);
+            shift_sum += u64::from(shift);
+            let decoded = self.decode(elem);
+            if decoded == orig {
+                stats.lossless += 1;
+            } else {
+                let rel = ((f64::from(decoded) - f64::from(orig)) / f64::from(orig)).abs();
+                stats.max_rel_error = stats.max_rel_error.max(rel);
+            }
+        }
+        if stats.nonzero > 0 {
+            stats.mean_shift = shift_sum as f64 / stats.nonzero as f64;
+        }
+        stats
+    }
+}
+
+impl<'a> IntoIterator for &'a Cfp32Vector {
+    type Item = &'a Cfp32;
+    type IntoIter = std::slice::Iter<'a, Cfp32>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.iter()
+    }
+}
+
+/// `2^e` as `f64` for exponents far outside the `f32` range.
+fn exp2_i32(e: i32) -> f64 {
+    f64::powi(2.0, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_exact_powers_of_two() {
+        let values = [1.0f32, 0.5, -2.0, 4.0, -0.125];
+        let v = Cfp32Vector::from_f32(&values).unwrap();
+        assert_eq!(v.to_f32_vec(), values);
+        let stats = v.lossless_stats(&values);
+        assert_eq!(stats.lossless, stats.nonzero);
+    }
+
+    #[test]
+    fn shared_exponent_is_vector_max() {
+        let v = Cfp32Vector::from_f32(&[0.25, 8.0, -1.0]).unwrap();
+        // 8.0 = 1.0 * 2^3 -> biased exponent 130.
+        assert_eq!(v.shared_exponent(), 130);
+    }
+
+    #[test]
+    fn within_compensation_range_is_lossless() {
+        // Exponent spread of exactly 7: 1.x vs 2^-7 * 1.y.
+        let values = [1.5f32, 1.0 / 128.0 * 1.25];
+        let v = Cfp32Vector::from_f32(&values).unwrap();
+        let stats = v.lossless_stats(&values);
+        assert_eq!(stats.lossless, 2);
+        assert_eq!(stats.max_shift, 7);
+    }
+
+    #[test]
+    fn beyond_compensation_range_drops_low_bits() {
+        // Spread of 30: the small value keeps only its top bit.
+        let small = f32::from_bits((97u32 << 23) | 0x7f_ffff); // dense mantissa
+        let values = [1.0f32, small];
+        let v = Cfp32Vector::from_f32(&values).unwrap();
+        let stats = v.lossless_stats(&values);
+        assert_eq!(stats.lossless, 1);
+        assert!(stats.max_rel_error > 0.0);
+        assert!(stats.max_rel_error < 1.0, "keeps most significant bits");
+    }
+
+    #[test]
+    fn huge_spread_flushes_to_zero() {
+        let values = [1.0e30f32, 1.0e-30f32];
+        let v = Cfp32Vector::from_f32(&values).unwrap();
+        assert_eq!(v.get_f32(1), Some(0.0));
+        assert_eq!(v.get_f32(0), Some(1.0e30));
+    }
+
+    #[test]
+    fn all_zero_vector_is_representable() {
+        let v = Cfp32Vector::from_f32(&[0.0, -0.0, 0.0]).unwrap();
+        assert_eq!(v.to_f32_vec(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(v.lossless_stats(&[0.0, 0.0, 0.0]).lossless_fraction(), 1.0);
+    }
+
+    #[test]
+    fn subnormals_are_handled() {
+        let sub = f32::from_bits(0x0000_0001); // smallest positive subnormal
+        let v = Cfp32Vector::from_f32(&[sub, sub * 4.0]).unwrap();
+        let decoded = v.to_f32_vec();
+        assert_eq!(decoded[1], sub * 4.0);
+        assert_eq!(decoded[0], sub);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert_eq!(
+            Cfp32Vector::from_f32(&[1.0, f32::NAN]),
+            Err(FloatError::NonFinite { index: 1 })
+        );
+        assert_eq!(
+            Cfp32Vector::from_f32(&[f32::INFINITY]),
+            Err(FloatError::NonFinite { index: 0 })
+        );
+        assert_eq!(Cfp32Vector::from_f32(&[]), Err(FloatError::EmptyVector));
+    }
+
+    #[test]
+    fn storage_matches_fp32_footprint() {
+        let v = Cfp32Vector::from_f32(&[1.0; 1024]).unwrap();
+        // Same 4 bytes per element as FP32 plus a single shared exponent byte:
+        // "without extra heavy data storage or transfer overhead" (§4.2).
+        assert_eq!(v.storage_bytes(), 4 * 1024 + 1);
+    }
+
+    #[test]
+    fn element_word_packs_sign_and_mantissa() {
+        let e = Cfp32::from_parts(true, 0x1234);
+        assert!(e.is_negative());
+        assert_eq!(e.mantissa(), 0x1234);
+        assert_eq!(e.signed_mantissa(), -0x1234);
+        assert_eq!(Cfp32::from_bits(e.to_bits()), e);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_mantissa_panics() {
+        let _ = Cfp32::from_parts(false, 1 << 31);
+    }
+}

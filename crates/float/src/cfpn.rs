@@ -1,0 +1,309 @@
+//! Generalized compensation floating point: CFP32's design space.
+//!
+//! CFP32 fixes the compensation width at 7 bits because the freed FP32
+//! exponent field is 8 bits wide (1 re-homes the hidden one). This module
+//! generalizes the format to `N ∈ 0..=16` compensation bits so the §4.2
+//! design choice can be swept: more compensation bits → fewer values lose
+//! mantissa bits during pre-alignment, but a wider (≈ quadratically more
+//! expensive) integer mantissa multiplier.
+
+use serde::{Deserialize, Serialize};
+
+use crate::FloatError;
+
+/// Maximum supported compensation width.
+pub const MAX_COMPENSATION_BITS: u32 = 16;
+
+/// A pre-aligned vector with a configurable compensation width.
+///
+/// Semantics match [`crate::Cfp32Vector`] (which is the `N = 7` point):
+/// all elements share the vector-wise maximum exponent; each element keeps
+/// `24 + N` mantissa bits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CfpVector {
+    comp_bits: u32,
+    shared_exp: i32,
+    /// Signed mantissas, `24 + comp_bits` significant bits each.
+    mantissas: Vec<i64>,
+}
+
+impl CfpVector {
+    /// Pre-aligns `values` with `comp_bits` compensation bits.
+    ///
+    /// ```
+    /// use ecssd_float::CfpVector;
+    /// # fn main() -> Result<(), ecssd_float::FloatError> {
+    /// // Block floating point (no compensation) loses bits that CFP32
+    /// // (7 compensation bits) keeps.
+    /// let values = [1.0f32, 0.3];
+    /// let bfp = CfpVector::from_f32(&values, 0)?;
+    /// let cfp = CfpVector::from_f32(&values, 7)?;
+    /// assert!(bfp.lossless_fraction(&values) < 1.0);
+    /// assert_eq!(cfp.lossless_fraction(&values), 1.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloatError::EmptyVector`] / [`FloatError::NonFinite`] like
+    /// [`crate::Cfp32Vector::from_f32`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `comp_bits > MAX_COMPENSATION_BITS`.
+    pub fn from_f32(values: &[f32], comp_bits: u32) -> Result<Self, FloatError> {
+        assert!(
+            comp_bits <= MAX_COMPENSATION_BITS,
+            "compensation width {comp_bits} unsupported"
+        );
+        if values.is_empty() {
+            return Err(FloatError::EmptyVector);
+        }
+        let mut max_exp = i32::MIN;
+        for (index, &v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(FloatError::NonFinite { index });
+            }
+            if v != 0.0 {
+                max_exp = max_exp.max(biased_exp(v));
+            }
+        }
+        if max_exp == i32::MIN {
+            max_exp = 1;
+        }
+        let mantissas = values
+            .iter()
+            .map(|&v| {
+                let (e, s24, negative) = decompose(v);
+                let shift = (max_exp - e) as u32;
+                let wide = i64::from(s24) << comp_bits;
+                let m = if shift >= 63 { 0 } else { wide >> shift };
+                if negative {
+                    -m
+                } else {
+                    m
+                }
+            })
+            .collect();
+        Ok(CfpVector {
+            comp_bits,
+            shared_exp: max_exp,
+            mantissas,
+        })
+    }
+
+    /// The compensation width.
+    pub fn comp_bits(&self) -> u32 {
+        self.comp_bits
+    }
+
+    /// The shared biased exponent.
+    pub fn shared_exponent(&self) -> i32 {
+        self.shared_exp
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.mantissas.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mantissas.is_empty()
+    }
+
+    /// Decodes the vector back to `f32`.
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        let scale = f64::powi(2.0, self.shared_exp - 150 - self.comp_bits as i32);
+        self.mantissas
+            .iter()
+            .map(|&m| (m as f64 * scale) as f32)
+            .collect()
+    }
+
+    /// Fraction of nonzero inputs represented exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original.len() != self.len()`.
+    pub fn lossless_fraction(&self, original: &[f32]) -> f64 {
+        assert_eq!(original.len(), self.len(), "length mismatch");
+        let decoded = self.to_f32_vec();
+        let mut nonzero = 0usize;
+        let mut lossless = 0usize;
+        for (&o, &d) in original.iter().zip(&decoded) {
+            if o != 0.0 {
+                nonzero += 1;
+                lossless += usize::from(o == d);
+            }
+        }
+        if nonzero == 0 {
+            1.0
+        } else {
+            lossless as f64 / nonzero as f64
+        }
+    }
+
+    /// Dot product against another vector of the *same* compensation width:
+    /// the integer datapath of the alignment-free MAC at width `24 + N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloatError::LengthMismatch`] on shape mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn dot(&self, other: &CfpVector) -> Result<f32, FloatError> {
+        assert_eq!(self.comp_bits, other.comp_bits, "width mismatch");
+        if self.len() != other.len() {
+            return Err(FloatError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        let acc: i128 = self
+            .mantissas
+            .iter()
+            .zip(&other.mantissas)
+            .map(|(&a, &b)| i128::from(a) * i128::from(b))
+            .sum();
+        let exp = self.shared_exp + other.shared_exp
+            - 2 * (150 + self.comp_bits as i32);
+        Ok((acc as f64 * f64::powi(2.0, exp)) as f32)
+    }
+}
+
+fn biased_exp(v: f32) -> i32 {
+    let e = ((v.to_bits() >> 23) & 0xff) as i32;
+    if e == 0 {
+        1
+    } else {
+        e
+    }
+}
+
+fn decompose(v: f32) -> (i32, u32, bool) {
+    let bits = v.to_bits();
+    let negative = bits >> 31 == 1;
+    let biased = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x7f_ffff;
+    if biased == 0 {
+        (1, frac, negative)
+    } else {
+        (biased, (1 << 23) | frac, negative)
+    }
+}
+
+/// Sweeps compensation widths over a dataset, returning
+/// `(comp_bits, lossless fraction)` pairs — the §4.2 design-space study
+/// behind "with the 7-bit mantissa compensation, more than 95 % of the
+/// floating-point data has no bit information lost".
+pub fn compensation_sweep(vectors: &[Vec<f32>], widths: &[u32]) -> Vec<(u32, f64)> {
+    widths
+        .iter()
+        .map(|&n| {
+            let mut nonzero = 0.0;
+            let mut lossless = 0.0;
+            for values in vectors {
+                if values.is_empty() {
+                    continue;
+                }
+                let v = CfpVector::from_f32(values, n).expect("finite data");
+                let count = values.iter().filter(|&&x| x != 0.0).count() as f64;
+                nonzero += count;
+                lossless += v.lossless_fraction(values) * count;
+            }
+            (n, if nonzero == 0.0 { 1.0 } else { lossless / nonzero })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn locality_vector(seed: usize) -> Vec<f32> {
+        (0..256)
+            .map(|i| {
+                let x = ((i * 37 + seed * 101) % 997) as f32 / 997.0 - 0.5;
+                x * 2.0 * (1.0 + ((i + seed) % 5) as f32 * 0.2)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seven_bits_matches_cfp32() {
+        let values = locality_vector(1);
+        let generic = CfpVector::from_f32(&values, 7).unwrap();
+        let fixed = crate::Cfp32Vector::from_f32(&values).unwrap();
+        assert_eq!(generic.to_f32_vec(), fixed.to_f32_vec());
+        assert_eq!(generic.shared_exponent(), fixed.shared_exponent());
+    }
+
+    #[test]
+    fn more_compensation_is_never_worse() {
+        let vectors: Vec<Vec<f32>> = (0..8).map(locality_vector).collect();
+        let sweep = compensation_sweep(&vectors, &[0, 2, 4, 7, 10, 16]);
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1,
+                "lossless fraction must grow with width: {sweep:?}"
+            );
+        }
+        // 16 bits of compensation covers essentially the whole exponent
+        // spread of locality data.
+        assert!(sweep.last().unwrap().1 > 0.999);
+    }
+
+    #[test]
+    fn zero_compensation_is_block_floating_point() {
+        // Without compensation bits, any shifted value loses bits.
+        let values = vec![1.0f32, 0.3];
+        let v = CfpVector::from_f32(&values, 0).unwrap();
+        assert!(v.lossless_fraction(&values) < 1.0);
+        let v7 = CfpVector::from_f32(&values, 7).unwrap();
+        assert_eq!(v7.lossless_fraction(&values), 1.0);
+    }
+
+    #[test]
+    fn dot_products_stay_accurate() {
+        let x = locality_vector(3);
+        let w = locality_vector(4);
+        let reference: f64 = x
+            .iter()
+            .zip(&w)
+            .map(|(&a, &b)| f64::from(a) * f64::from(b))
+            .sum();
+        for n in [0u32, 4, 7, 12] {
+            let xv = CfpVector::from_f32(&x, n).unwrap();
+            let wv = CfpVector::from_f32(&w, n).unwrap();
+            let got = f64::from(xv.dot(&wv).unwrap());
+            let scale: f64 = x
+                .iter()
+                .zip(&w)
+                .map(|(&a, &b)| (f64::from(a) * f64::from(b)).abs())
+                .sum();
+            let rel = (got - reference).abs() / scale.max(1e-20);
+            // Error shrinks with width; even N=0 is within block-FP bounds.
+            let bound = f64::powi(2.0, -(20 + n as i32));
+            assert!(rel < bound * 256.0, "N={n}: rel {rel} bound {bound}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(CfpVector::from_f32(&[], 7).is_err());
+        assert!(CfpVector::from_f32(&[f32::NAN], 7).is_err());
+        let a = CfpVector::from_f32(&[1.0], 7).unwrap();
+        let b = CfpVector::from_f32(&[1.0, 2.0], 7).unwrap();
+        assert!(a.dot(&b).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn oversized_width_panics() {
+        let _ = CfpVector::from_f32(&[1.0], 17);
+    }
+}

@@ -1,0 +1,38 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or operating on CFP32 data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FloatError {
+    /// The input contained a NaN or infinity, which CFP32 cannot represent.
+    NonFinite {
+        /// Index of the offending element in the source slice.
+        index: usize,
+    },
+    /// The input vector was empty; a shared exponent cannot be chosen.
+    EmptyVector,
+    /// Two vectors passed to a binary operation had different lengths.
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for FloatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloatError::NonFinite { index } => {
+                write!(f, "non-finite value at index {index} cannot be pre-aligned")
+            }
+            FloatError::EmptyVector => write!(f, "empty vector has no shared exponent"),
+            FloatError::LengthMismatch { left, right } => {
+                write!(f, "vector length mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl Error for FloatError {}

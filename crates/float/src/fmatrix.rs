@@ -1,0 +1,151 @@
+//! Offline pre-aligned weight matrices (§4.2/§4.5: "the floating-point
+//! weight data is also offline pre-aligned into CFP32 data format before
+//! storing into flash").
+//!
+//! Each weight row is pre-aligned independently (its own shared exponent),
+//! which is exactly the granularity at which rows are stored in flash and
+//! fetched as candidates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{alignment_free_dot, Cfp32Vector, FloatError};
+
+/// A row-wise pre-aligned CFP32 matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cfp32Matrix {
+    cols: usize,
+    rows: Vec<Cfp32Vector>,
+}
+
+impl Cfp32Matrix {
+    /// Pre-aligns every row of a row-major weight matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloatError::EmptyVector`] for an empty matrix and
+    /// propagates per-row conversion errors.
+    pub fn from_rows<'a, I>(rows: I) -> Result<Self, FloatError>
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let rows: Vec<Cfp32Vector> = rows
+            .into_iter()
+            .map(Cfp32Vector::from_f32)
+            .collect::<Result<_, _>>()?;
+        let cols = match rows.first() {
+            Some(r) => r.len(),
+            None => return Err(FloatError::EmptyVector),
+        };
+        if let Some(bad) = rows.iter().find(|r| r.len() != cols) {
+            return Err(FloatError::LengthMismatch {
+                left: cols,
+                right: bad.len(),
+            });
+        }
+        Ok(Cfp32Matrix { cols, rows })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The pre-aligned row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &Cfp32Vector {
+        &self.rows[i]
+    }
+
+    /// Candidate-only GEMV on the alignment-free MAC: scores of the listed
+    /// rows against a pre-aligned input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dot-product shape errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a candidate index is out of bounds.
+    pub fn gemv_candidates(
+        &self,
+        x: &Cfp32Vector,
+        candidates: &[usize],
+    ) -> Result<Vec<f32>, FloatError> {
+        candidates
+            .iter()
+            .map(|&c| alignment_free_dot(x, &self.rows[c]))
+            .collect()
+    }
+
+    /// Total storage footprint in bytes (per-row shared exponent included).
+    pub fn storage_bytes(&self) -> usize {
+        self.rows.iter().map(Cfp32Vector::storage_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_data() -> Vec<Vec<f32>> {
+        (0..6)
+            .map(|r| {
+                (0..16)
+                    .map(|c| ((r * 16 + c) as f32 * 0.17).sin() * 1.5)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builds_and_round_trips() {
+        let data = matrix_data();
+        let m = Cfp32Matrix::from_rows(data.iter().map(Vec::as_slice)).unwrap();
+        assert_eq!(m.rows(), 6);
+        assert_eq!(m.cols(), 16);
+        // Rows decode close to the originals (locality data: lossless).
+        for (r, original) in data.iter().enumerate() {
+            assert_eq!(&m.row(r).to_f32_vec(), original);
+        }
+    }
+
+    #[test]
+    fn candidate_gemv_matches_reference() {
+        let data = matrix_data();
+        let m = Cfp32Matrix::from_rows(data.iter().map(Vec::as_slice)).unwrap();
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.31).cos()).collect();
+        let xa = Cfp32Vector::from_f32(&x).unwrap();
+        let scores = m.gemv_candidates(&xa, &[1, 4]).unwrap();
+        for (&c, &got) in [1usize, 4].iter().zip(&scores) {
+            let want: f64 = data[c]
+                .iter()
+                .zip(&x)
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum();
+            assert!((f64::from(got) - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_and_empty() {
+        let ragged: Vec<Vec<f32>> = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(Cfp32Matrix::from_rows(ragged.iter().map(Vec::as_slice)).is_err());
+        let empty: Vec<Vec<f32>> = vec![];
+        assert!(Cfp32Matrix::from_rows(empty.iter().map(Vec::as_slice)).is_err());
+    }
+
+    #[test]
+    fn storage_is_fp32_equivalent() {
+        let data = matrix_data();
+        let m = Cfp32Matrix::from_rows(data.iter().map(Vec::as_slice)).unwrap();
+        assert_eq!(m.storage_bytes(), 6 * (16 * 4 + 1));
+    }
+}

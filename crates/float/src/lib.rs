@@ -1,0 +1,59 @@
+//! CFP32 numerics and floating-point MAC circuit models for ECSSD.
+//!
+//! This crate implements the circuit-level contribution of the ECSSD paper
+//! (ISCA '23, §4.2): the **Compensation FP32 (CFP32)** data format produced by
+//! host-side vector-wise pre-alignment, a bit-accurate functional model of the
+//! **alignment-free floating-point MAC** that consumes it, functional models
+//! of the two comparison circuits (the naive FP32 MAC and SK Hynix's
+//! post-multiply-alignment MAC), and an analytic 28 nm **area/power model**
+//! whose component composition reproduces the paper's synthesis results
+//! (Table 4 and Fig. 9).
+//!
+//! # Background
+//!
+//! A naive FP32 MAC spends 37.7 % of its area on alignment hardware: every
+//! adder in the accumulation tree carries an exponent comparator and mantissa
+//! shifters. ECSSD moves alignment to the host: before a feature vector is
+//! sent to the SSD, all elements are right-shifted to share the vector-wise
+//! maximum exponent. The freed 8 exponent bits of each FP32 word are reused
+//! as *compensation bits*, extending the stored mantissa from 24 significant
+//! bits (1 hidden + 23 fraction) to 31 bits, so up to 7 bits of right-shift
+//! are lossless. The in-storage MAC then degenerates into an integer
+//! multiplier plus an integer adder tree with a single final normalizer.
+//!
+//! # Quick example
+//!
+//! ```
+//! use ecssd_float::{Cfp32Vector, alignment_free_dot};
+//!
+//! let x = Cfp32Vector::from_f32(&[1.0, 0.5, -0.25, 3.0]).unwrap();
+//! let w = Cfp32Vector::from_f32(&[0.1, -0.2, 0.3, 0.4]).unwrap();
+//! let got = alignment_free_dot(&x, &w).unwrap();
+//! let want: f32 = 1.0 * 0.1 + 0.5 * -0.2 + -0.25 * 0.3 + 3.0 * 0.4;
+//! assert!((got - want).abs() < 1e-5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod cfp32;
+mod cfpn;
+mod fmatrix;
+mod error;
+mod mac;
+mod prealign;
+
+pub use area::{
+    AcceleratorBudget, AcceleratorEstimate, AreaPower, CircuitComponents, MacCircuit,
+    MacCircuitModel, PAPER_ACCEL_AREA_MM2, PAPER_ACCEL_POWER_MW,
+};
+pub use cfp32::{Cfp32, Cfp32Vector, LosslessStats, COMPENSATION_BITS, MANTISSA_BITS};
+pub use cfpn::{compensation_sweep, CfpVector, MAX_COMPENSATION_BITS};
+pub use fmatrix::Cfp32Matrix;
+pub use error::FloatError;
+pub use mac::{
+    alignment_free_dot, alignment_free_gemv, f64_reference_dot, naive_fp32_dot, skhynix_dot,
+    DotError, MacErrorStats,
+};
+pub use prealign::{PreAlignCostModel, PAPER_PREALIGN_MS_PER_1X1024};

@@ -1,0 +1,282 @@
+//! Functional (bit-behavior) models of the three FP MAC organizations
+//! compared in the paper (§4.2, §6.4, Fig. 5 and Fig. 9).
+//!
+//! * [`naive_fp32_dot`] — a conventional FP32 MAC: every accumulation step
+//!   re-aligns and re-normalizes in FP32 (the adder-tree-of-FP-adders of
+//!   Fig. 5a).
+//! * [`skhynix_dot`] — SK Hynix's pre-alignment-after-multiply circuit
+//!   (ISSCC '22 [18]): products are computed in FP32, then all product
+//!   mantissas are aligned to the largest product exponent once and summed
+//!   as integers.
+//! * [`alignment_free_dot`] — ECSSD's alignment-free MAC: operands arrive
+//!   pre-aligned as CFP32, the datapath is a 31-bit integer multiplier and
+//!   an integer adder tree, and a single normalization happens at the end.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cfp32::Cfp32Vector;
+use crate::FloatError;
+
+/// Errors from dot-product models. Currently an alias of [`FloatError`];
+/// kept as a distinct name so call sites read naturally.
+pub type DotError = FloatError;
+
+/// Exponent bias of a CFP32 element value (see `cfp32::VALUE_BIAS`): an
+/// element is `±m · 2^(E - 157)`, so a product of two elements carries
+/// `2^(Ex + Ew - 314)`.
+const PRODUCT_BIAS: i32 = 314;
+
+/// Dot product on the ECSSD alignment-free MAC.
+///
+/// Both operands must already be pre-aligned ([`Cfp32Vector::from_f32`] for
+/// host inputs; weights are pre-aligned offline). The hardware datapath is
+/// modeled bit-accurately: signed 31-bit mantissas are multiplied and summed
+/// in a wide integer accumulator, and the result is normalized to `f32`
+/// exactly once.
+///
+/// # Errors
+///
+/// Returns [`FloatError::LengthMismatch`] if the operands differ in length
+/// and [`FloatError::EmptyVector`] if they are empty.
+///
+/// ```
+/// use ecssd_float::{Cfp32Vector, alignment_free_dot};
+/// # fn main() -> Result<(), ecssd_float::FloatError> {
+/// let x = Cfp32Vector::from_f32(&[2.0, -1.0])?;
+/// let w = Cfp32Vector::from_f32(&[0.5, 0.5])?;
+/// assert_eq!(alignment_free_dot(&x, &w)?, 0.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn alignment_free_dot(x: &Cfp32Vector, w: &Cfp32Vector) -> Result<f32, DotError> {
+    if x.len() != w.len() {
+        return Err(FloatError::LengthMismatch {
+            left: x.len(),
+            right: w.len(),
+        });
+    }
+    if x.is_empty() {
+        return Err(FloatError::EmptyVector);
+    }
+    let mut acc: i128 = 0;
+    for (xe, we) in x.iter().zip(w.iter()) {
+        // 31-bit * 31-bit signed products summed without any per-term
+        // alignment: this is the whole point of the circuit.
+        acc += i128::from(xe.signed_mantissa()) * i128::from(we.signed_mantissa());
+    }
+    let exp = x.shared_exponent() + w.shared_exponent() - PRODUCT_BIAS;
+    Ok((acc as f64 * f64::powi(2.0, exp)) as f32)
+}
+
+/// Candidate-only GEMV on the alignment-free MAC: one dot product per weight
+/// row, all rows sharing the input vector.
+///
+/// # Errors
+///
+/// Propagates the first per-row error (length mismatch or empty operand).
+pub fn alignment_free_gemv(x: &Cfp32Vector, rows: &[Cfp32Vector]) -> Result<Vec<f32>, DotError> {
+    rows.iter().map(|row| alignment_free_dot(x, row)).collect()
+}
+
+/// Dot product on a conventional (naive) FP32 MAC.
+///
+/// Every multiply rounds to `f32` and every accumulation step is an FP32
+/// addition, i.e. an exponent-compare + mantissa-shift + add + normalize per
+/// term, exactly the datapath of Fig. 5(a).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn naive_fp32_dot(x: &[f32], w: &[f32]) -> f32 {
+    assert_eq!(x.len(), w.len(), "operand length mismatch");
+    let mut acc = 0.0f32;
+    for (&a, &b) in x.iter().zip(w) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// Mantissa width SK Hynix's circuit keeps for aligned products. Products of
+/// 24-bit significands are 48 bits wide; the shifter operates at that width.
+const SKHYNIX_PRODUCT_BITS: u32 = 48;
+
+/// Dot product on the SK Hynix post-multiply-alignment MAC (reference [18]).
+///
+/// Products are formed in FP32 (one rounding per product), then all product
+/// mantissas are aligned once to the maximum product exponent and summed as
+/// 48-bit integers, halving the number of shifters relative to the naive
+/// design (§6.4) at the cost of dropping product bits that fall more than
+/// 48 positions below the maximum.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn skhynix_dot(x: &[f32], w: &[f32]) -> f32 {
+    assert_eq!(x.len(), w.len(), "operand length mismatch");
+    // FP32 multiply (rounded), recorded as (signed significand, exponent).
+    let mut products: Vec<(i64, i32)> = Vec::with_capacity(x.len());
+    let mut max_exp = i32::MIN;
+    for (&a, &b) in x.iter().zip(w) {
+        let p = a * b;
+        if p == 0.0 {
+            continue;
+        }
+        let bits = p.to_bits();
+        let negative = bits >> 31 == 1;
+        let biased = ((bits >> 23) & 0xff) as i32;
+        let (e, s24) = if biased == 0 {
+            (1, i64::from(bits & 0x7f_ffff))
+        } else {
+            (biased, i64::from((bits & 0x7f_ffff) | (1 << 23)))
+        };
+        max_exp = max_exp.max(e);
+        products.push((if negative { -s24 } else { s24 }, e));
+    }
+    if products.is_empty() {
+        return 0.0;
+    }
+    // Single alignment pass to the maximum product exponent, then an
+    // integer adder tree.
+    let mut acc: i128 = 0;
+    let headroom = SKHYNIX_PRODUCT_BITS - 24;
+    for (s24, e) in products {
+        let shift = (max_exp - e) as u32;
+        let wide = i128::from(s24) << headroom;
+        if shift < 127 {
+            acc += wide >> shift;
+        }
+    }
+    // Value of one unit of `acc`: 2^(max_exp - 127 - 23 - headroom).
+    let exp = max_exp - 150 - headroom as i32;
+    (acc as f64 * f64::powi(2.0, exp)) as f32
+}
+
+/// Aggregate numerical-error statistics of a MAC model against an `f64`
+/// reference, used by the §4.2 accuracy experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MacErrorStats {
+    /// Number of dot products compared.
+    pub count: usize,
+    /// Maximum relative error (|got-ref| / max(|ref|, tiny)).
+    pub max_rel_error: f64,
+    /// Root-mean-square of relative errors.
+    pub rms_rel_error: f64,
+}
+
+impl MacErrorStats {
+    /// Compares model outputs against `f64` reference dot products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn compare(reference: &[f64], got: &[f32]) -> Self {
+        assert_eq!(reference.len(), got.len(), "length mismatch");
+        let mut max_rel: f64 = 0.0;
+        let mut sq_sum = 0.0;
+        for (&r, &g) in reference.iter().zip(got) {
+            let denom = r.abs().max(1e-30);
+            let rel = (f64::from(g) - r).abs() / denom;
+            max_rel = max_rel.max(rel);
+            sq_sum += rel * rel;
+        }
+        let count = reference.len();
+        MacErrorStats {
+            count,
+            max_rel_error: max_rel,
+            rms_rel_error: if count == 0 {
+                0.0
+            } else {
+                (sq_sum / count as f64).sqrt()
+            },
+        }
+    }
+}
+
+/// Exact `f64` reference dot product used for error measurement.
+pub fn f64_reference_dot(x: &[f32], w: &[f32]) -> f64 {
+    x.iter()
+        .zip(w)
+        .map(|(&a, &b)| f64::from(a) * f64::from(b))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot_models_agree(x: &[f32], w: &[f32], tol: f64) {
+        let reference = f64_reference_dot(x, w);
+        let xa = Cfp32Vector::from_f32(x).unwrap();
+        let wa = Cfp32Vector::from_f32(w).unwrap();
+        let af = alignment_free_dot(&xa, &wa).unwrap();
+        let naive = naive_fp32_dot(x, w);
+        let sk = skhynix_dot(x, w);
+        let denom = reference.abs().max(1.0);
+        assert!(
+            (f64::from(af) - reference).abs() / denom < tol,
+            "alignment-free: {af} vs {reference}"
+        );
+        assert!(
+            (f64::from(naive) - reference).abs() / denom < tol,
+            "naive: {naive} vs {reference}"
+        );
+        assert!(
+            (f64::from(sk) - reference).abs() / denom < tol,
+            "skhynix: {sk} vs {reference}"
+        );
+    }
+
+    #[test]
+    fn simple_dot_products_match() {
+        dot_models_agree(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], 1e-6);
+        dot_models_agree(&[0.5, -0.25, 0.125], &[-8.0, 16.0, 32.0], 1e-6);
+    }
+
+    #[test]
+    fn mixed_magnitude_dot_products_match() {
+        let x: Vec<f32> = (0..64).map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.37).collect();
+        let w: Vec<f32> = (0..64).map(|i| ((i * 53 % 23) as f32 - 11.0) * 0.091).collect();
+        dot_models_agree(&x, &w, 1e-4);
+    }
+
+    #[test]
+    fn zero_vectors_yield_zero() {
+        let x = [0.0f32; 8];
+        let w = [0.0f32; 8];
+        assert_eq!(naive_fp32_dot(&x, &w), 0.0);
+        assert_eq!(skhynix_dot(&x, &w), 0.0);
+        let xa = Cfp32Vector::from_f32(&x).unwrap();
+        let wa = Cfp32Vector::from_f32(&w).unwrap();
+        assert_eq!(alignment_free_dot(&xa, &wa).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let xa = Cfp32Vector::from_f32(&[1.0, 2.0]).unwrap();
+        let wa = Cfp32Vector::from_f32(&[1.0]).unwrap();
+        assert_eq!(
+            alignment_free_dot(&xa, &wa),
+            Err(FloatError::LengthMismatch { left: 2, right: 1 })
+        );
+    }
+
+    #[test]
+    fn gemv_matches_per_row_dots() {
+        let x = Cfp32Vector::from_f32(&[1.0, -2.0, 0.5]).unwrap();
+        let rows: Vec<Cfp32Vector> = [[3.0f32, 1.0, 2.0], [0.0, 4.0, -8.0]]
+            .iter()
+            .map(|r| Cfp32Vector::from_f32(r).unwrap())
+            .collect();
+        let out = alignment_free_gemv(&x, &rows).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], alignment_free_dot(&x, &rows[0]).unwrap());
+        assert_eq!(out[1], alignment_free_dot(&x, &rows[1]).unwrap());
+    }
+
+    #[test]
+    fn error_stats_flag_worst_case() {
+        let stats = MacErrorStats::compare(&[1.0, 2.0], &[1.0, 2.2]);
+        assert_eq!(stats.count, 2);
+        assert!((stats.max_rel_error - 0.1).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the CFP32 format and the MAC models.
+
+use ecssd_float::{
+    alignment_free_dot, naive_fp32_dot, skhynix_dot, Cfp32Vector, COMPENSATION_BITS,
+};
+use proptest::prelude::*;
+
+/// Finite f32 values in a "deep-learning-like" range (value locality).
+fn dl_value() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-4.0f32..4.0),
+        (-0.5f32..0.5),
+        Just(0.0f32),
+        (-0.01f32..0.01),
+    ]
+}
+
+fn dl_vector(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(dl_value(), 1..max_len)
+}
+
+fn f64_dot(x: &[f32], w: &[f32]) -> f64 {
+    x.iter().zip(w).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum()
+}
+
+proptest! {
+    /// Round-tripping a vector through CFP32 never loses more than the
+    /// bits beyond the 31-bit mantissa: relative error per element is
+    /// bounded by 2^-(23 + 7 - shift) ≈ 2^(shift - 30).
+    #[test]
+    fn round_trip_error_is_bounded(values in dl_vector(256)) {
+        let v = Cfp32Vector::from_f32(&values).unwrap();
+        let decoded = v.to_f32_vec();
+        for (&orig, &dec) in values.iter().zip(&decoded) {
+            if orig == 0.0 {
+                prop_assert_eq!(dec, 0.0);
+                continue;
+            }
+            let rel = ((f64::from(dec) - f64::from(orig)) / f64::from(orig)).abs();
+            // An element shifted by s keeps max(31 - s, 0) mantissa bits;
+            // anything still representable has at least 1 bit, so the error
+            // is at most 100% and shrinks by 2x per kept bit.
+            prop_assert!(rel <= 1.0, "rel error {} for {}", rel, orig);
+        }
+    }
+
+    /// Elements whose exponent is within COMPENSATION_BITS of the maximum
+    /// are always represented exactly.
+    #[test]
+    fn small_spread_is_lossless(values in dl_vector(128)) {
+        let v = Cfp32Vector::from_f32(&values).unwrap();
+        let stats = v.lossless_stats(&values);
+        if stats.max_shift <= COMPENSATION_BITS {
+            prop_assert_eq!(stats.lossless, stats.nonzero);
+        }
+    }
+
+    /// Decoded magnitudes never exceed the original (right shift truncates
+    /// toward zero).
+    #[test]
+    fn truncation_never_grows_magnitude(values in dl_vector(128)) {
+        let v = Cfp32Vector::from_f32(&values).unwrap();
+        for (i, &orig) in values.iter().enumerate() {
+            let dec = v.get_f32(i).unwrap();
+            prop_assert!(dec.abs() <= orig.abs());
+            prop_assert!(dec == 0.0 || dec.signum() == orig.signum());
+        }
+    }
+
+    /// The alignment-free dot product tracks the f64 reference at least as
+    /// well as a plausible FP32 error bound for dot products.
+    #[test]
+    fn alignment_free_dot_accuracy((x, w) in dl_vector(256).prop_flat_map(|x| {
+        let n = x.len();
+        (Just(x), prop::collection::vec(dl_value(), n..=n))
+    })) {
+        let reference = f64_dot(&x, &w);
+        let xa = Cfp32Vector::from_f32(&x).unwrap();
+        let wa = Cfp32Vector::from_f32(&w).unwrap();
+        let af = f64::from(alignment_free_dot(&xa, &wa).unwrap());
+        // Scale-aware tolerance: |x| |w| magnitudes bound the accumulated
+        // truncation error.
+        let scale: f64 = x
+            .iter()
+            .zip(&w)
+            .map(|(&a, &b)| (f64::from(a) * f64::from(b)).abs())
+            .sum::<f64>()
+            .max(1e-20);
+        let rel = (af - reference).abs() / scale;
+        prop_assert!(rel < 1e-3, "af {} vs ref {} (scale {})", af, reference, scale);
+    }
+
+    /// All three MAC organizations agree with each other to FP32-dot-product
+    /// tolerance on locality-distributed data.
+    #[test]
+    fn mac_models_agree((x, w) in dl_vector(128).prop_flat_map(|x| {
+        let n = x.len();
+        (Just(x), prop::collection::vec(dl_value(), n..=n))
+    })) {
+        let reference = f64_dot(&x, &w);
+        let xa = Cfp32Vector::from_f32(&x).unwrap();
+        let wa = Cfp32Vector::from_f32(&w).unwrap();
+        let af = f64::from(alignment_free_dot(&xa, &wa).unwrap());
+        let naive = f64::from(naive_fp32_dot(&x, &w));
+        let sk = f64::from(skhynix_dot(&x, &w));
+        let scale: f64 = x
+            .iter()
+            .zip(&w)
+            .map(|(&a, &b)| (f64::from(a) * f64::from(b)).abs())
+            .sum::<f64>()
+            .max(1e-20);
+        prop_assert!((af - reference).abs() / scale < 1e-3);
+        prop_assert!((naive - reference).abs() / scale < 1e-3);
+        prop_assert!((sk - reference).abs() / scale < 1e-3);
+    }
+
+    /// Storage footprint is identical to FP32 plus one shared exponent byte.
+    #[test]
+    fn no_storage_overhead(values in dl_vector(512)) {
+        let v = Cfp32Vector::from_f32(&values).unwrap();
+        prop_assert_eq!(v.storage_bytes(), values.len() * 4 + 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Deployment through the FTL (§5.3): the framework picks a logical page
+//! number inside the target channel's range-partitioned LPN window; the
+//! stock FTL then physically places the row in that channel.
+
+use ecssd_ssd::{AllocationPolicy, Ftl, SsdError};
+use serde::{Deserialize, Serialize};
+
+use crate::TileLayout;
+
+/// Allocates LPNs inside per-channel logical windows and drives the FTL.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeploymentPlanner {
+    channels: usize,
+    logical_pages: u64,
+    /// Next unused LPN inside each channel's window.
+    next_lpn: Vec<u64>,
+}
+
+impl DeploymentPlanner {
+    /// Builds a planner over an FTL configured with
+    /// [`AllocationPolicy::RangePartitioned`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FTL uses a different policy — directed placement
+    /// requires the per-channel logical windows of §5.3.
+    pub fn new(ftl: &Ftl, channels: usize) -> Self {
+        assert_eq!(
+            ftl.policy(),
+            AllocationPolicy::RangePartitioned,
+            "directed placement needs range-partitioned logical space"
+        );
+        let logical_pages = ftl.logical_pages();
+        let next_lpn = (0..channels)
+            .map(|c| AllocationPolicy::RangePartitioned.range_start(c, logical_pages, channels))
+            .collect();
+        DeploymentPlanner {
+            channels,
+            logical_pages,
+            next_lpn,
+        }
+    }
+
+    /// Reserves the next `pages` consecutive LPNs in `channel`'s window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range or the window is exhausted.
+    pub fn assign_lpns(&mut self, channel: usize, pages: u64) -> std::ops::Range<u64> {
+        assert!(channel < self.channels, "channel {channel} out of range");
+        let start = self.next_lpn[channel];
+        let window_end = if channel + 1 < self.channels {
+            AllocationPolicy::RangePartitioned.range_start(
+                channel + 1,
+                self.logical_pages,
+                self.channels,
+            )
+        } else {
+            self.logical_pages
+        };
+        assert!(
+            start + pages <= window_end,
+            "channel {channel} logical window exhausted"
+        );
+        self.next_lpn[channel] = start + pages;
+        start..start + pages
+    }
+
+    /// Deploys one tile: writes `pages_per_row` pages per row into the
+    /// channel chosen by `layout`, returning each row's first LPN.
+    ///
+    /// ```
+    /// use ecssd_layout::{DeploymentPlanner, TileLayout};
+    /// use ecssd_ssd::{AllocationPolicy, Ftl, SsdGeometry};
+    /// # fn main() -> Result<(), ecssd_ssd::SsdError> {
+    /// let mut ftl = Ftl::new(SsdGeometry::tiny(), AllocationPolicy::RangePartitioned, 0.25);
+    /// let mut planner = DeploymentPlanner::new(&ftl, 4);
+    /// let layout = TileLayout::from_assignment(vec![2, 0, 1], 4);
+    /// let lpns = planner.deploy_tile(&mut ftl, &layout, 1)?;
+    /// // The FTL physically honored the framework's channel choice.
+    /// assert_eq!(ftl.translate(lpns[0])?.channel, 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates FTL write errors.
+    pub fn deploy_tile(
+        &mut self,
+        ftl: &mut Ftl,
+        layout: &TileLayout,
+        pages_per_row: u64,
+    ) -> Result<Vec<u64>, SsdError> {
+        let mut first_lpns = Vec::with_capacity(layout.len());
+        for row in 0..layout.len() {
+            let channel = layout.channel_of(row);
+            let lpns = self.assign_lpns(channel, pages_per_row);
+            for lpn in lpns.clone() {
+                let addr = ftl.write(lpn)?;
+                debug_assert_eq!(
+                    addr.channel, channel,
+                    "FTL must honor the directed channel"
+                );
+            }
+            first_lpns.push(lpns.start);
+        }
+        Ok(first_lpns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecssd_ssd::SsdGeometry;
+
+    fn ftl() -> Ftl {
+        Ftl::new(
+            SsdGeometry::tiny(),
+            AllocationPolicy::RangePartitioned,
+            0.25,
+        )
+    }
+
+    #[test]
+    fn lpns_stay_in_channel_windows() {
+        let f = ftl();
+        let mut p = DeploymentPlanner::new(&f, 4);
+        let r0 = p.assign_lpns(0, 4);
+        let r2 = p.assign_lpns(2, 4);
+        let per = f.logical_pages().div_ceil(4);
+        assert_eq!(r0.start, 0);
+        assert_eq!(r2.start, 2 * per);
+        // Consecutive assignments in a channel are contiguous.
+        let r0b = p.assign_lpns(0, 2);
+        assert_eq!(r0b.start, 4);
+    }
+
+    #[test]
+    fn deploy_places_rows_on_directed_channels() {
+        let mut f = ftl();
+        let mut p = DeploymentPlanner::new(&f, 4);
+        let layout = TileLayout::from_assignment(vec![3, 0, 1, 3, 2, 0], 4);
+        let lpns = p.deploy_tile(&mut f, &layout, 2).unwrap();
+        assert_eq!(lpns.len(), 6);
+        for (row, &lpn) in lpns.iter().enumerate() {
+            let addr = f.translate(lpn).unwrap();
+            assert_eq!(addr.channel, layout.channel_of(row));
+            // Second page of the row too.
+            let addr2 = f.translate(lpn + 1).unwrap();
+            assert_eq!(addr2.channel, layout.channel_of(row));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "range-partitioned")]
+    fn striped_ftl_is_rejected() {
+        let f = Ftl::new(SsdGeometry::tiny(), AllocationPolicy::Striped, 0.25);
+        let _ = DeploymentPlanner::new(&f, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "window exhausted")]
+    fn window_exhaustion_panics() {
+        let f = ftl();
+        let mut p = DeploymentPlanner::new(&f, 4);
+        let per = f.logical_pages().div_ceil(4);
+        let _ = p.assign_lpns(1, per + 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Hot-degree grading (§5.3, Fig. 7): rows are divided into *very hot*,
+//! *medium hot* and *not hot* grades from the predicted hot degree, then
+//! fine-tuned with observed candidate frequencies.
+
+use serde::{Deserialize, Serialize};
+
+/// The three hot-degree grades of Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HotGrade {
+    /// "Very possible to be selected as a candidate."
+    VeryHot,
+    /// Intermediate likelihood.
+    MediumHot,
+    /// Rarely selected.
+    NotHot,
+}
+
+/// Grade-boundary configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GradeConfig {
+    /// Fraction of rows graded very hot.
+    pub very_hot_fraction: f64,
+    /// Fraction graded medium hot.
+    pub medium_hot_fraction: f64,
+    /// Weight of the training-frequency signal relative to the predicted
+    /// magnitude signal during fine-tuning (0 = magnitude only, 1 =
+    /// frequency only).
+    pub frequency_weight: f64,
+}
+
+impl GradeConfig {
+    /// Paper-aligned defaults: the very-hot grade matches the ~10 %
+    /// candidate ratio, fine-tuning leans on observed frequency.
+    pub fn paper_default() -> Self {
+        GradeConfig {
+            very_hot_fraction: 0.10,
+            medium_hot_fraction: 0.30,
+            frequency_weight: 0.7,
+        }
+    }
+}
+
+impl Default for GradeConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Combines the predicted magnitude signal with observed training
+/// frequencies into one ranking score per row, then grades by quantile.
+///
+/// ```
+/// use ecssd_layout::{grade_rows, GradeConfig, HotGrade};
+/// let predicted: Vec<f32> = (0..10).map(|i| i as f32).collect();
+/// let (grades, _) = grade_rows(&predicted, None, &GradeConfig::paper_default());
+/// assert_eq!(grades[9], HotGrade::VeryHot); // top 10%
+/// assert_eq!(grades[0], HotGrade::NotHot);
+/// ```
+///
+/// Returns `(grades, combined_scores)`; the scores are reused by the
+/// assignment step to order rows inside each grade.
+///
+/// # Panics
+///
+/// Panics if `frequency` is provided with a different length than
+/// `predicted`.
+pub fn grade_rows(
+    predicted: &[f32],
+    frequency: Option<&[u32]>,
+    config: &GradeConfig,
+) -> (Vec<HotGrade>, Vec<f64>) {
+    let n = predicted.len();
+    if let Some(f) = frequency {
+        assert_eq!(f.len(), n, "frequency length mismatch");
+    }
+    // Normalize both signals to [0, 1] and blend.
+    let max_pred = predicted.iter().cloned().fold(f32::EPSILON, f32::max);
+    let max_freq = frequency
+        .map(|f| f.iter().copied().max().unwrap_or(0).max(1))
+        .unwrap_or(1);
+    let scores: Vec<f64> = (0..n)
+        .map(|i| {
+            let p = f64::from(predicted[i] / max_pred);
+            match frequency {
+                Some(f) => {
+                    let q = f64::from(f[i]) / f64::from(max_freq);
+                    config.frequency_weight * q + (1.0 - config.frequency_weight) * p
+                }
+                None => p,
+            }
+        })
+        .collect();
+    // Quantile boundaries on the sorted scores.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let very_hot = ((n as f64) * config.very_hot_fraction).round() as usize;
+    let medium = ((n as f64) * config.medium_hot_fraction).round() as usize;
+    let mut grades = vec![HotGrade::NotHot; n];
+    for (rank, &i) in order.iter().enumerate() {
+        grades[i] = if rank < very_hot {
+            HotGrade::VeryHot
+        } else if rank < very_hot + medium {
+            HotGrade::MediumHot
+        } else {
+            HotGrade::NotHot
+        };
+    }
+    (grades, scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grades_follow_quantiles() {
+        let predicted: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let (grades, _) = grade_rows(&predicted, None, &GradeConfig::paper_default());
+        let very = grades.iter().filter(|&&g| g == HotGrade::VeryHot).count();
+        let medium = grades.iter().filter(|&&g| g == HotGrade::MediumHot).count();
+        assert_eq!(very, 10);
+        assert_eq!(medium, 30);
+        // The hottest rows are the largest values.
+        assert_eq!(grades[99], HotGrade::VeryHot);
+        assert_eq!(grades[0], HotGrade::NotHot);
+    }
+
+    #[test]
+    fn frequency_fine_tuning_overrides_magnitude() {
+        // Row 0 looks cold by magnitude but is a frequent candidate.
+        let predicted = vec![0.1f32, 5.0, 4.0, 3.0, 2.0, 1.5, 1.2, 1.1, 1.05, 1.0];
+        let mut freq = vec![0u32; 10];
+        freq[0] = 100;
+        let cfg = GradeConfig {
+            very_hot_fraction: 0.1,
+            medium_hot_fraction: 0.2,
+            frequency_weight: 0.9,
+        };
+        let (grades, _) = grade_rows(&predicted, Some(&freq), &cfg);
+        assert_eq!(grades[0], HotGrade::VeryHot);
+    }
+
+    #[test]
+    fn no_frequency_uses_magnitude_only() {
+        let predicted = vec![1.0f32, 2.0, 3.0];
+        let (g1, s1) = grade_rows(&predicted, None, &GradeConfig::paper_default());
+        let zero = vec![0u32; 3];
+        let (g2, _) = grade_rows(&predicted, Some(&zero), &GradeConfig::paper_default());
+        // All-zero frequency keeps the magnitude ordering.
+        assert_eq!(g1, g2);
+        assert!(s1[2] > s1[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency length mismatch")]
+    fn mismatched_frequency_panics() {
+        let _ = grade_rows(&[1.0], Some(&[1, 2]), &GradeConfig::paper_default());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_grades() {
+        let (g, s) = grade_rows(&[], None, &GradeConfig::paper_default());
+        assert!(g.is_empty());
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Weight-row data layout over flash channels (paper §5).
+//!
+//! After approximate screening, only a sparse, skewed subset of FP32 weight
+//! rows is fetched per tile. How rows are distributed over the SSD's flash
+//! channels therefore decides channel-level bandwidth utilization:
+//!
+//! * [`InterleavingStrategy::Sequential`] (§5.1) — rows stored contiguously;
+//!   a tile's candidates live in one channel, the other seven idle.
+//! * [`InterleavingStrategy::Uniform`] (§5.2, Fig. 6) — rows striped
+//!   round-robin; all channels work, but the discrete, skewed candidate
+//!   pattern leaves them imbalanced ("the final data access time is decided
+//!   by the busiest flash channel").
+//! * [`InterleavingStrategy::Learned`] (§5.3, Fig. 7) — rows are graded
+//!   *very hot / medium hot / not hot* from the |INT4| magnitude signal,
+//!   fine-tuned by candidate frequencies observed on a training trace, and
+//!   dealt across channels so every channel carries the same expected load.
+//!
+//! The framework emits per-tile [`TileLayout`]s (row → channel) and, for
+//! the deployment path, logical page numbers inside each channel's
+//! range-partitioned LPN window so the stock FTL places rows exactly where
+//! the framework decided (§5.3: the framework "only needs to assign a
+//! logical address from the specified logical address range").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deploy;
+mod grade;
+mod metrics;
+mod strategy;
+
+pub use deploy::DeploymentPlanner;
+pub use grade::{grade_rows, GradeConfig, HotGrade};
+pub use metrics::{channel_loads, TileBalance};
+pub use strategy::{InterleavingStrategy, LearnedConfig, TileLayout};

@@ -1,0 +1,292 @@
+//! The three storing strategies of §5 and the per-tile channel assignment
+//! they produce.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{grade_rows, GradeConfig};
+
+/// Configuration of the learning-based adaptive interleaving framework.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearnedConfig {
+    /// Hot-degree grading parameters.
+    pub grading: GradeConfig,
+    /// Whether training-trace frequencies fine-tune the grades (§5.3). When
+    /// `false`, only the |INT4| magnitude prediction is used — the ablation
+    /// point of DESIGN.md §5.
+    pub use_frequency: bool,
+}
+
+impl LearnedConfig {
+    /// The paper's framework: grading plus frequency fine-tuning.
+    pub fn paper_default() -> Self {
+        LearnedConfig {
+            grading: GradeConfig::paper_default(),
+            use_frequency: true,
+        }
+    }
+}
+
+impl Default for LearnedConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Which storing strategy lays out the FP32 weight rows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InterleavingStrategy {
+    /// §5.1: the weight matrix is divided contiguously; each tile lives
+    /// entirely in one channel.
+    Sequential,
+    /// §5.2: rows are striped round-robin over channels (Fig. 6).
+    Uniform,
+    /// §5.3: rows are placed by predicted-and-fine-tuned hot degree so each
+    /// channel carries equal expected candidate load (Fig. 7).
+    Learned(LearnedConfig),
+}
+
+impl InterleavingStrategy {
+    /// Short label used in harness output (matches the paper's legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            InterleavingStrategy::Sequential => "sequential",
+            InterleavingStrategy::Uniform => "uniform",
+            InterleavingStrategy::Learned(_) => "learned",
+        }
+    }
+
+    /// Computes the channel of every row of one tile.
+    ///
+    /// ```
+    /// use ecssd_layout::InterleavingStrategy;
+    /// let hotness: Vec<f32> = (0..16).map(|i| (i % 5) as f32).collect();
+    /// let layout = InterleavingStrategy::Learned(Default::default())
+    ///     .assign_tile(0, 4, 0, &hotness, None, 8);
+    /// // Snake dealing: row counts differ by at most one across channels.
+    /// let counts = layout.channel_row_counts();
+    /// assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+    /// ```
+    ///
+    /// * `tile` / `num_tiles` — position of the tile in the matrix (used by
+    ///   sequential storing, which fills channels contiguously).
+    /// * `global_row_offset` — first global row id of the tile (used by
+    ///   uniform striping so the stripe phase is continuous across tiles).
+    /// * `predicted` — per-row hot-degree prediction (|INT4| magnitudes).
+    /// * `frequency` — optional training-trace candidate frequencies.
+    /// * `channels` — flash channel count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`, `num_tiles == 0`, or `tile >= num_tiles`.
+    pub fn assign_tile(
+        &self,
+        tile: usize,
+        num_tiles: usize,
+        global_row_offset: u64,
+        predicted: &[f32],
+        frequency: Option<&[u32]>,
+        channels: usize,
+    ) -> TileLayout {
+        assert!(channels > 0, "no channels");
+        assert!(num_tiles > 0 && tile < num_tiles, "tile {tile}/{num_tiles}");
+        let n = predicted.len();
+        let row_channel = match self {
+            InterleavingStrategy::Sequential => {
+                // Contiguous fill: tile t lands wholly in channel
+                // floor(t * channels / num_tiles).
+                let ch = (tile * channels / num_tiles).min(channels - 1) as u8;
+                vec![ch; n]
+            }
+            InterleavingStrategy::Uniform => (0..n)
+                .map(|i| ((global_row_offset + i as u64) % channels as u64) as u8)
+                .collect(),
+            InterleavingStrategy::Learned(cfg) => {
+                let freq = if cfg.use_frequency { frequency } else { None };
+                let (_grades, scores) = grade_rows(predicted, freq, &cfg.grading);
+                // Deal rows across channels in descending-score snake order:
+                // every channel receives the same number of rows from every
+                // score stratum, equalizing expected candidate load.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| {
+                    scores[b].partial_cmp(&scores[a]).expect("finite scores")
+                });
+                let mut row_channel = vec![0u8; n];
+                for (rank, &row) in order.iter().enumerate() {
+                    let lap = rank / channels;
+                    let pos = rank % channels;
+                    let ch = if lap.is_multiple_of(2) { pos } else { channels - 1 - pos };
+                    row_channel[row] = ch as u8;
+                }
+                row_channel
+            }
+        };
+        TileLayout { row_channel, channels }
+    }
+}
+
+/// The channel assignment of one tile's rows.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileLayout {
+    row_channel: Vec<u8>,
+    channels: usize,
+}
+
+impl TileLayout {
+    /// Builds a layout from an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any channel index is out of range.
+    pub fn from_assignment(row_channel: Vec<u8>, channels: usize) -> Self {
+        assert!(
+            row_channel.iter().all(|&c| (c as usize) < channels),
+            "channel index out of range"
+        );
+        TileLayout { row_channel, channels }
+    }
+
+    /// Channel of tile-local row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn channel_of(&self, i: usize) -> usize {
+        self.row_channel[i] as usize
+    }
+
+    /// Number of rows in the tile.
+    pub fn len(&self) -> usize {
+        self.row_channel.len()
+    }
+
+    /// Whether the tile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.row_channel.is_empty()
+    }
+
+    /// Channel count this layout targets.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Per-channel row counts.
+    pub fn channel_row_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.channels];
+        for &c in &self.row_channel {
+            counts[c as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predicted(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 2654435761) % 1000) as f32 / 10.0).collect()
+    }
+
+    #[test]
+    fn sequential_puts_tile_in_one_channel() {
+        let s = InterleavingStrategy::Sequential;
+        let p = predicted(64);
+        let l0 = s.assign_tile(0, 64, 0, &p, None, 8);
+        let l63 = s.assign_tile(63, 64, 63 * 64, &p, None, 8);
+        assert!(l0.channel_row_counts()[0] == 64);
+        assert!(l63.channel_row_counts()[7] == 64);
+        // Adjacent tiles share a channel (8 tiles per channel).
+        let l1 = s.assign_tile(1, 64, 64, &p, None, 8);
+        assert_eq!(l1.channel_of(0), l0.channel_of(0));
+    }
+
+    #[test]
+    fn uniform_stripes_rows() {
+        let s = InterleavingStrategy::Uniform;
+        let p = predicted(16);
+        let l = s.assign_tile(0, 4, 0, &p, None, 8);
+        for i in 0..16 {
+            assert_eq!(l.channel_of(i), i % 8);
+        }
+        // Stripe phase continues across tiles via the global offset.
+        let l2 = s.assign_tile(1, 4, 16, &p, None, 8);
+        assert_eq!(l2.channel_of(0), 0);
+        let l3 = s.assign_tile(1, 4, 17, &p, None, 8);
+        assert_eq!(l3.channel_of(0), 1);
+    }
+
+    #[test]
+    fn learned_balances_row_counts() {
+        let s = InterleavingStrategy::Learned(LearnedConfig::paper_default());
+        let p = predicted(512);
+        let l = s.assign_tile(0, 4, 0, &p, None, 8);
+        let counts = l.channel_row_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 512);
+        assert!(counts.iter().all(|&c| c == 64), "counts {counts:?}");
+    }
+
+    #[test]
+    fn learned_spreads_hot_rows_evenly() {
+        // Top-8 hottest rows must land in 8 distinct channels.
+        let s = InterleavingStrategy::Learned(LearnedConfig::paper_default());
+        let mut p = predicted(512);
+        let mut hot_rows = Vec::new();
+        for i in 0..8 {
+            let r = i * 37 + 5;
+            p[r] = 1.0e6 + i as f32;
+            hot_rows.push(r);
+        }
+        let l = s.assign_tile(0, 4, 0, &p, None, 8);
+        let mut channels: Vec<usize> = hot_rows.iter().map(|&r| l.channel_of(r)).collect();
+        channels.sort_unstable();
+        channels.dedup();
+        assert_eq!(channels.len(), 8, "hot rows share channels");
+    }
+
+    #[test]
+    fn learned_uses_frequency_when_enabled() {
+        let cfg = LearnedConfig {
+            grading: GradeConfig {
+                frequency_weight: 1.0,
+                ..GradeConfig::paper_default()
+            },
+            use_frequency: true,
+        };
+        let s = InterleavingStrategy::Learned(cfg);
+        let p = vec![1.0f32; 16];
+        // Frequencies identify 8 hot rows the magnitudes cannot see.
+        let mut freq = vec![0u32; 16];
+        for r in 0..8 {
+            freq[r * 2] = 50;
+        }
+        let l = s.assign_tile(0, 1, 0, &p, Some(&freq), 8);
+        let mut hot_channels: Vec<usize> = (0..8).map(|r| l.channel_of(r * 2)).collect();
+        hot_channels.sort_unstable();
+        hot_channels.dedup();
+        assert_eq!(hot_channels.len(), 8);
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(InterleavingStrategy::Sequential.label(), "sequential");
+        assert_eq!(InterleavingStrategy::Uniform.label(), "uniform");
+        assert_eq!(
+            InterleavingStrategy::Learned(LearnedConfig::paper_default()).label(),
+            "learned"
+        );
+    }
+
+    #[test]
+    fn from_assignment_validates() {
+        let l = TileLayout::from_assignment(vec![0, 1, 2], 4);
+        assert_eq!(l.len(), 3);
+        assert!(!l.is_empty());
+        assert_eq!(l.channels(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel index out of range")]
+    fn bad_assignment_panics() {
+        let _ = TileLayout::from_assignment(vec![0, 9], 4);
+    }
+}

@@ -1,0 +1,143 @@
+//! Candidate-only full-precision classification (Fig. 2, right half).
+
+use ecssd_float::{alignment_free_dot, naive_fp32_dot, Cfp32Vector};
+use serde::{Deserialize, Serialize};
+
+use crate::{DenseMatrix, ScreenError};
+
+/// A classification score attached to its category index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Score {
+    /// Category (weight-matrix row) index.
+    pub category: usize,
+    /// Full-precision score `w_category · x`.
+    pub value: f32,
+}
+
+/// Which full-precision datapath evaluates the candidate rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ClassifyPrecision {
+    /// Conventional FP32 MACs (host/CPU baselines).
+    Fp32,
+    /// ECSSD's CFP32 alignment-free MAC: operands are pre-aligned per vector
+    /// and accumulated as integers. This is the path the paper validates as
+    /// having "no classification accuracy drop" (§4.2).
+    #[default]
+    Cfp32,
+}
+
+/// Scores the candidate rows of `weights` against `x` at full precision,
+/// returning scores sorted by descending value.
+///
+/// # Errors
+///
+/// Returns [`ScreenError::DimensionMismatch`] if `x.len() != weights.cols()`
+/// or any candidate index is out of range, and propagates CFP32 conversion
+/// errors.
+pub fn candidate_only_classify(
+    weights: &DenseMatrix,
+    x: &[f32],
+    candidates: &[usize],
+    precision: ClassifyPrecision,
+) -> Result<Vec<Score>, ScreenError> {
+    if x.len() != weights.cols() {
+        return Err(ScreenError::DimensionMismatch {
+            expected: weights.cols(),
+            got: x.len(),
+        });
+    }
+    if let Some(&bad) = candidates.iter().find(|&&c| c >= weights.rows()) {
+        return Err(ScreenError::DimensionMismatch {
+            expected: weights.rows(),
+            got: bad,
+        });
+    }
+    let mut scores = Vec::with_capacity(candidates.len());
+    match precision {
+        ClassifyPrecision::Fp32 => {
+            for &c in candidates {
+                scores.push(Score {
+                    category: c,
+                    value: naive_fp32_dot(weights.row(c), x),
+                });
+            }
+        }
+        ClassifyPrecision::Cfp32 => {
+            let xa = Cfp32Vector::from_f32(x)?;
+            for &c in candidates {
+                let wa = Cfp32Vector::from_f32(weights.row(c))?;
+                scores.push(Score {
+                    category: c,
+                    value: alignment_free_dot(&xa, &wa)?,
+                });
+            }
+        }
+    }
+    scores.sort_by(|a, b| b.value.partial_cmp(&a.value).expect("finite scores"));
+    Ok(scores)
+}
+
+/// Scores *all* rows (the brute-force baseline without screening),
+/// returning scores sorted by descending value.
+///
+/// # Errors
+///
+/// Same conditions as [`candidate_only_classify`].
+pub fn full_classify(
+    weights: &DenseMatrix,
+    x: &[f32],
+    precision: ClassifyPrecision,
+) -> Result<Vec<Score>, ScreenError> {
+    let all: Vec<usize> = (0..weights.rows()).collect();
+    candidate_only_classify(weights, x, &all, precision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let w = DenseMatrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, -1.0, -1.0]).unwrap();
+        let scores =
+            candidate_only_classify(&w, &[2.0, 3.0], &[0, 1, 2], ClassifyPrecision::Fp32).unwrap();
+        assert_eq!(scores[0], Score { category: 1, value: 3.0 });
+        assert_eq!(scores[1], Score { category: 0, value: 2.0 });
+        assert_eq!(scores[2], Score { category: 2, value: -5.0 });
+    }
+
+    #[test]
+    fn cfp32_matches_fp32_closely() {
+        let w = DenseMatrix::random(50, 64, 5);
+        let x: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.17).sin() * 0.8).collect();
+        let fp = full_classify(&w, &x, ClassifyPrecision::Fp32).unwrap();
+        let cf = full_classify(&w, &x, ClassifyPrecision::Cfp32).unwrap();
+        // Same top-5 categories in the same order: "no classification
+        // accuracy drop" (§4.2).
+        let top_fp: Vec<usize> = fp.iter().take(5).map(|s| s.category).collect();
+        let top_cf: Vec<usize> = cf.iter().take(5).map(|s| s.category).collect();
+        assert_eq!(top_fp, top_cf);
+    }
+
+    #[test]
+    fn candidate_subset_scores_match_full() {
+        let w = DenseMatrix::random(20, 16, 8);
+        let x: Vec<f32> = (0..16).map(|i| i as f32 * 0.1).collect();
+        let full = full_classify(&w, &x, ClassifyPrecision::Fp32).unwrap();
+        let sub = candidate_only_classify(&w, &x, &[3, 7, 11], ClassifyPrecision::Fp32).unwrap();
+        for s in &sub {
+            let f = full.iter().find(|f| f.category == s.category).unwrap();
+            assert_eq!(f.value, s.value);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let w = DenseMatrix::random(4, 4, 0);
+        assert!(candidate_only_classify(&w, &[0.0; 3], &[0], ClassifyPrecision::Fp32).is_err());
+        assert!(candidate_only_classify(&w, &[0.0; 4], &[9], ClassifyPrecision::Fp32).is_err());
+        assert!(candidate_only_classify(&w, &[0.0; 4], &[], ClassifyPrecision::Fp32)
+            .unwrap()
+            .is_empty());
+    }
+}

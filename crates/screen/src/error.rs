@@ -1,0 +1,50 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from constructing or running the screening pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScreenError {
+    /// An input dimension did not match the model.
+    DimensionMismatch {
+        /// What the model expects.
+        expected: usize,
+        /// What the caller supplied.
+        got: usize,
+    },
+    /// A matrix or vector argument was empty.
+    Empty,
+    /// A configuration value was out of range (e.g. a projection scale of 0
+    /// or a candidate ratio outside (0, 1]).
+    InvalidConfig(&'static str),
+    /// A numeric error bubbled up from the CFP32 layer.
+    Float(ecssd_float::FloatError),
+}
+
+impl fmt::Display for ScreenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScreenError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            ScreenError::Empty => write!(f, "empty matrix or vector"),
+            ScreenError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            ScreenError::Float(e) => write!(f, "floating-point error: {e}"),
+        }
+    }
+}
+
+impl Error for ScreenError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScreenError::Float(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ecssd_float::FloatError> for ScreenError {
+    fn from(e: ecssd_float::FloatError) -> Self {
+        ScreenError::Float(e)
+    }
+}

@@ -1,0 +1,55 @@
+//! The approximate screening algorithm for extreme classification.
+//!
+//! ECSSD (ISCA '23) builds on the approximate screening algorithm of ENMC
+//! (MICRO '21, paper reference [22]), reproduced here in full (paper §2.1,
+//! Fig. 2). The final classification layer has a weight matrix of `L` rows
+//! (categories) by `D` columns (hidden dimension) in FP32. Screening avoids
+//! touching most of it:
+//!
+//! 1. **Projection** — a fixed random projection shrinks the hidden
+//!    dimension from `D` to `K = D/4` (the paper's projection scale 0.25).
+//! 2. **Quantization** — the projected weight matrix is quantized to INT4,
+//!    making the screener `L×K` at half a byte per element.
+//! 3. **Low-precision screening** — the projected, quantized input is
+//!    multiplied with the INT4 screener; scores above a pre-trained
+//!    threshold select *candidate* rows (typically ~10 % of `L`).
+//! 4. **Candidate-only classification** — only candidate FP32 weight rows
+//!    are fetched and multiplied with the original input to produce the
+//!    final top-k predictions.
+//!
+//! ```
+//! use ecssd_screen::{DenseMatrix, ScreeningPipeline, ScreenerConfig, ThresholdPolicy};
+//!
+//! # fn main() -> Result<(), ecssd_screen::ScreenError> {
+//! let weights = DenseMatrix::random(256, 64, 7);      // L=256 categories, D=64
+//! let config = ScreenerConfig::paper_default()
+//!     .with_threshold(ThresholdPolicy::TopRatio(0.1)); // 10% candidates
+//! let pipeline = ScreeningPipeline::new(&weights, config)?;
+//! let input: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
+//! let prediction = pipeline.infer(&input, 5)?;
+//! assert_eq!(prediction.top_k.len(), 5);
+//! assert!(prediction.candidates.len() <= 26 + 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+mod error;
+mod matrix;
+mod metrics;
+mod pipeline;
+mod project;
+mod quant;
+mod screener;
+
+pub use classify::{candidate_only_classify, full_classify, ClassifyPrecision, Score};
+pub use error::ScreenError;
+pub use matrix::DenseMatrix;
+pub use metrics::{topk_recall, RecallReport};
+pub use pipeline::{BatchPrediction, Prediction, ScreenerConfig, ScreeningPipeline};
+pub use project::Projector;
+pub use quant::{Int4Matrix, Int4Vector, INT4_MAX, INT4_MIN};
+pub use screener::{Screener, ThresholdPolicy};

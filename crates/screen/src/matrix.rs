@@ -1,0 +1,196 @@
+//! A minimal row-major dense `f32` matrix used for weights and projections.
+
+use rand::distributions::Distribution;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ScreenError;
+
+/// Row-major dense `f32` matrix (`rows × cols`).
+///
+/// Rows are classification categories; columns are hidden dimensions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::DimensionMismatch`] if `data.len() != rows*cols`
+    /// and [`ScreenError::Empty`] for a zero-sized matrix.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ScreenError> {
+        if rows == 0 || cols == 0 {
+            return Err(ScreenError::Empty);
+        }
+        if data.len() != rows * cols {
+            return Err(ScreenError::DimensionMismatch {
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// A zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "zero-sized matrix");
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A seeded random matrix with N(0, 1/sqrt(cols)) entries, mimicking a
+    /// trained classification layer's weight statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `cols == 0`.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        assert!(rows > 0 && cols > 0, "zero-sized matrix");
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let std = 1.0 / (cols as f32).sqrt();
+        let normal = StandardNormal;
+        let data = (0..rows * cols)
+            .map(|_| normal.sample(&mut rng) * std)
+            .collect();
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows (categories).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (hidden dimension).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterates over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// The underlying row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Matrix–vector product `self · x` (length `rows`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>, ScreenError> {
+        if x.len() != self.cols {
+            return Err(ScreenError::DimensionMismatch {
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        Ok(self
+            .rows_iter()
+            .map(|row| row.iter().zip(x).map(|(&a, &b)| a * b).sum())
+            .collect())
+    }
+}
+
+/// Marsaglia-polar standard normal sampler (avoids an external distribution
+/// dependency; `rand`'s `StandardNormal` lives in `rand_distr`).
+struct StandardNormal;
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        loop {
+            let u: f32 = rng.gen_range(-1.0f32..1.0);
+            let v: f32 = rng.gen_range(-1.0f32..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(DenseMatrix::from_vec(2, 3, vec![0.0; 6]).is_ok());
+        assert_eq!(
+            DenseMatrix::from_vec(2, 3, vec![0.0; 5]),
+            Err(ScreenError::DimensionMismatch { expected: 6, got: 5 })
+        );
+        assert_eq!(DenseMatrix::from_vec(0, 3, vec![]), Err(ScreenError::Empty));
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let m = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.rows_iter().count(), 2);
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = DenseMatrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, -1.0, 1.0, 0.5]).unwrap();
+        let y = m.matvec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![7.0, 2.5]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let a = DenseMatrix::random(4, 4, 42);
+        let b = DenseMatrix::random(4, 4, 42);
+        let c = DenseMatrix::random(4, 4, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_has_plausible_scale() {
+        let m = DenseMatrix::random(64, 256, 1);
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / (64.0 * 256.0);
+        let var: f32 =
+            m.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / (64.0 * 256.0);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        // Expected variance 1/256.
+        assert!((var - 1.0 / 256.0).abs() < 0.002, "var {var}");
+    }
+}

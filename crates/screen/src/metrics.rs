@@ -1,0 +1,106 @@
+//! Accuracy metrics: does screening preserve the top-k predictions?
+
+use serde::{Deserialize, Serialize};
+
+use crate::Score;
+
+/// Top-k agreement between a reference ranking and a screened ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecallReport {
+    /// `k` used for the comparison.
+    pub k: usize,
+    /// How many of the reference top-k appear in the screened top-k.
+    pub hits: usize,
+    /// Whether the top-1 prediction matches exactly.
+    pub top1_match: bool,
+}
+
+impl RecallReport {
+    /// Recall@k in `[0, 1]`.
+    pub fn recall(&self) -> f64 {
+        if self.k == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.k as f64
+        }
+    }
+}
+
+/// Compares the top-k of a full (reference) ranking against a screened
+/// ranking. Both inputs must be sorted by descending score, as produced by
+/// [`crate::full_classify`] and [`crate::candidate_only_classify`].
+///
+/// ```
+/// use ecssd_screen::{topk_recall, Score};
+/// let s = |c: usize, v: f32| Score { category: c, value: v };
+/// let reference = [s(7, 3.0), s(2, 2.0), s(9, 1.0)];
+/// let screened = [s(7, 3.0), s(9, 1.1), s(4, 0.5)];
+/// let report = topk_recall(&reference, &screened, 3);
+/// assert_eq!(report.hits, 2); // 7 and 9 recovered, 2 missed
+/// assert!(report.top1_match);
+/// ```
+pub fn topk_recall(reference: &[Score], screened: &[Score], k: usize) -> RecallReport {
+    let k = k.min(reference.len());
+    let ref_top: Vec<usize> = reference.iter().take(k).map(|s| s.category).collect();
+    let scr_top: Vec<usize> = screened.iter().take(k).map(|s| s.category).collect();
+    let hits = ref_top.iter().filter(|c| scr_top.contains(c)).count();
+    let top1_match = match (ref_top.first(), scr_top.first()) {
+        (Some(a), Some(b)) => a == b,
+        (None, None) => true,
+        _ => false,
+    };
+    RecallReport { k, hits, top1_match }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(cats: &[usize]) -> Vec<Score> {
+        cats.iter()
+            .enumerate()
+            .map(|(i, &c)| Score {
+                category: c,
+                value: 100.0 - i as f32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_agreement() {
+        let r = topk_recall(&scores(&[3, 1, 4]), &scores(&[3, 1, 4]), 3);
+        assert_eq!(r.hits, 3);
+        assert!(r.top1_match);
+        assert_eq!(r.recall(), 1.0);
+    }
+
+    #[test]
+    fn partial_agreement() {
+        let r = topk_recall(&scores(&[3, 1, 4]), &scores(&[3, 9, 8]), 3);
+        assert_eq!(r.hits, 1);
+        assert!(r.top1_match);
+        assert!((r.recall() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_within_topk_is_irrelevant() {
+        let r = topk_recall(&scores(&[3, 1, 4]), &scores(&[4, 3, 1]), 3);
+        assert_eq!(r.hits, 3);
+        assert!(!r.top1_match);
+    }
+
+    #[test]
+    fn k_larger_than_reference_is_clamped() {
+        let r = topk_recall(&scores(&[5]), &scores(&[5]), 10);
+        assert_eq!(r.k, 1);
+        assert_eq!(r.recall(), 1.0);
+    }
+
+    #[test]
+    fn empty_rankings() {
+        let r = topk_recall(&[], &[], 5);
+        assert_eq!(r.k, 0);
+        assert_eq!(r.recall(), 1.0);
+        assert!(r.top1_match);
+    }
+}

@@ -1,0 +1,294 @@
+//! End-to-end approximate-screening pipeline (Fig. 2): projection →
+//! quantization → screening → candidate-only full-precision classification.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    candidate_only_classify, ClassifyPrecision, DenseMatrix, Projector, Score, ScreenError,
+    Screener, ThresholdPolicy,
+};
+
+/// Configuration of the screening pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScreenerConfig {
+    /// Projection scale `K/D` (paper default 0.25, §6.1).
+    pub projection_scale: f64,
+    /// Seed of the random projection.
+    pub projection_seed: u64,
+    /// Candidate selection policy.
+    pub threshold: ThresholdPolicy,
+    /// Full-precision datapath for candidate-only classification.
+    pub precision: ClassifyPrecision,
+}
+
+impl ScreenerConfig {
+    /// The paper's configuration: projection scale 0.25, INT4 screener,
+    /// 10 % candidate ratio, CFP32 classification.
+    pub fn paper_default() -> Self {
+        ScreenerConfig {
+            projection_scale: 0.25,
+            projection_seed: 0x5eed,
+            threshold: ThresholdPolicy::TopRatio(0.1),
+            precision: ClassifyPrecision::Cfp32,
+        }
+    }
+
+    /// Replaces the threshold policy.
+    pub fn with_threshold(mut self, policy: ThresholdPolicy) -> Self {
+        self.threshold = policy;
+        self
+    }
+
+    /// Replaces the classification precision.
+    pub fn with_precision(mut self, precision: ClassifyPrecision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Replaces the projection seed.
+    pub fn with_projection_seed(mut self, seed: u64) -> Self {
+        self.projection_seed = seed;
+        self
+    }
+}
+
+impl Default for ScreenerConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The result of one inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Candidate rows selected by the screener (ascending indices).
+    pub candidates: Vec<usize>,
+    /// Top-k categories with full-precision scores, best first.
+    pub top_k: Vec<Score>,
+}
+
+impl Prediction {
+    /// Candidate ratio actually achieved for this input.
+    pub fn candidate_ratio(&self, categories: usize) -> f64 {
+        self.candidates.len() as f64 / categories as f64
+    }
+}
+
+/// A ready-to-run screening pipeline: holds the FP32 weights, the screener,
+/// and the configuration.
+#[derive(Debug, Clone)]
+pub struct ScreeningPipeline {
+    weights: DenseMatrix,
+    screener: Screener,
+    config: ScreenerConfig,
+}
+
+impl ScreeningPipeline {
+    /// Builds the pipeline from full-precision weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::InvalidConfig`] for a projection scale outside
+    /// `(0, 1]`, and propagates projection errors.
+    pub fn new(weights: &DenseMatrix, config: ScreenerConfig) -> Result<Self, ScreenError> {
+        if !(config.projection_scale > 0.0 && config.projection_scale <= 1.0) {
+            return Err(ScreenError::InvalidConfig("projection scale must be in (0, 1]"));
+        }
+        config.threshold.validate()?;
+        let k = ((weights.cols() as f64 * config.projection_scale).round() as usize).max(1);
+        let projector = Projector::new(weights.cols(), k, config.projection_seed)?;
+        let screener = Screener::from_weights(weights, projector)?;
+        Ok(ScreeningPipeline {
+            weights: weights.clone(),
+            screener,
+            config,
+        })
+    }
+
+    /// The screener (e.g. to extract hot degrees for interleaving).
+    pub fn screener(&self) -> &Screener {
+        &self.screener
+    }
+
+    /// The full-precision weights.
+    pub fn weights(&self) -> &DenseMatrix {
+        &self.weights
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ScreenerConfig {
+        &self.config
+    }
+
+    /// Runs one inference: screen, then classify candidates only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension and numeric errors.
+    pub fn infer(&self, x: &[f32], k: usize) -> Result<Prediction, ScreenError> {
+        let candidates = self.screener.screen(x, self.config.threshold)?;
+        let mut scores =
+            candidate_only_classify(&self.weights, x, &candidates, self.config.precision)?;
+        scores.truncate(k);
+        Ok(Prediction {
+            candidates,
+            top_k: scores,
+        })
+    }
+
+    /// Fraction of FP32 MAC work avoided by screening for a given
+    /// prediction: `1 - candidates/L` (the paper's "reduce the amount of
+    /// floating-point computations to 10 %").
+    pub fn compute_saving(&self, prediction: &Prediction) -> f64 {
+        1.0 - prediction.candidate_ratio(self.weights.rows())
+    }
+
+    /// Runs a whole inference batch, the unit ECSSD processes per weight
+    /// pass (§4.5): each fetched weight row is reused across the batch, so
+    /// the flash traffic is governed by the *union* of the batch's
+    /// candidate sets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-input errors.
+    pub fn infer_batch(
+        &self,
+        inputs: &[Vec<f32>],
+        k: usize,
+    ) -> Result<BatchPrediction, ScreenError> {
+        if inputs.is_empty() {
+            return Err(ScreenError::Empty);
+        }
+        let mut per_input = Vec::with_capacity(inputs.len());
+        let mut union: Vec<usize> = Vec::new();
+        for x in inputs {
+            let prediction = self.infer(x, k)?;
+            union.extend_from_slice(&prediction.candidates);
+            per_input.push(prediction);
+        }
+        union.sort_unstable();
+        union.dedup();
+        Ok(BatchPrediction {
+            union_candidates: union,
+            per_input,
+        })
+    }
+}
+
+/// Predictions of a whole inference batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchPrediction {
+    /// Per-input predictions, in input order.
+    pub per_input: Vec<Prediction>,
+    /// Union of all inputs' candidate rows (sorted): the rows that must be
+    /// fetched from flash for this batch.
+    pub union_candidates: Vec<usize>,
+}
+
+impl BatchPrediction {
+    /// The union candidate ratio — how much FP32 weight data the batch
+    /// actually moves. For hot-dominated workloads this stays near the
+    /// per-input ratio (candidates recur across the batch); for
+    /// uncorrelated inputs it approaches `batch × ratio`.
+    pub fn union_ratio(&self, categories: usize) -> f64 {
+        self.union_candidates.len() as f64 / categories as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{full_classify, topk_recall};
+
+    fn query(d: usize, phase: f32) -> Vec<f32> {
+        (0..d).map(|i| ((i as f32) * 0.11 + phase).sin()).collect()
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let w = DenseMatrix::random(400, 64, 77);
+        let p = ScreeningPipeline::new(&w, ScreenerConfig::paper_default()).unwrap();
+        let pred = p.infer(&query(64, 0.0), 10).unwrap();
+        assert_eq!(pred.candidates.len(), 40); // 10% of 400
+        assert_eq!(pred.top_k.len(), 10);
+        assert!((p.compute_saving(&pred) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn screening_preserves_topk_on_separable_data() {
+        // Plant strong categories; screening at 10% must recover the top-5.
+        let d = 128;
+        let x = query(d, 0.3);
+        let mut w = DenseMatrix::random(500, d, 78);
+        for r in [5usize, 77, 201, 333, 498] {
+            let row = w.row_mut(r);
+            for (rv, &xv) in row.iter_mut().zip(&x) {
+                *rv = xv * 1.5 + *rv * 0.1;
+            }
+        }
+        let p = ScreeningPipeline::new(&w, ScreenerConfig::paper_default()).unwrap();
+        let pred = p.infer(&x, 5).unwrap();
+        let reference = full_classify(&w, &x, ClassifyPrecision::Fp32).unwrap();
+        let report = topk_recall(&reference, &pred.top_k, 5);
+        assert!(report.recall() >= 0.8, "recall@5 = {}", report.recall());
+        assert!(report.top1_match);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let w = DenseMatrix::random(10, 8, 0);
+        let bad_scale = ScreenerConfig {
+            projection_scale: 0.0,
+            ..ScreenerConfig::paper_default()
+        };
+        assert!(ScreeningPipeline::new(&w, bad_scale).is_err());
+        let bad_ratio =
+            ScreenerConfig::paper_default().with_threshold(ThresholdPolicy::TopRatio(2.0));
+        assert!(ScreeningPipeline::new(&w, bad_ratio).is_err());
+    }
+
+    #[test]
+    fn batch_inference_unions_candidates() {
+        // Plant shared hot rows so batch candidates overlap heavily.
+        let d = 64;
+        let mut w = DenseMatrix::random(400, d, 91);
+        let hot: Vec<usize> = (0..30).map(|i| i * 13 % 400).collect();
+        for &r in &hot {
+            for v in w.row_mut(r) {
+                *v *= 3.0;
+            }
+        }
+        let p = ScreeningPipeline::new(&w, ScreenerConfig::paper_default()).unwrap();
+        let inputs: Vec<Vec<f32>> = (0..4).map(|q| query(d, q as f32 * 0.3)).collect();
+        let batch = p.infer_batch(&inputs, 5).unwrap();
+        assert_eq!(batch.per_input.len(), 4);
+        let union = batch.union_candidates.len();
+        let sum: usize = batch.per_input.iter().map(|p| p.candidates.len()).sum();
+        assert!(union < sum, "hot rows must recur across the batch");
+        assert!(batch.union_ratio(400) < 0.4, "union ratio {}", batch.union_ratio(400));
+        // Union indeed contains every per-input candidate.
+        for pred in &batch.per_input {
+            for c in &pred.candidates {
+                assert!(batch.union_candidates.binary_search(c).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_an_error() {
+        let w = DenseMatrix::random(50, 16, 1);
+        let p = ScreeningPipeline::new(&w, ScreenerConfig::paper_default()).unwrap();
+        assert!(matches!(p.infer_batch(&[], 3), Err(ScreenError::Empty)));
+    }
+
+    #[test]
+    fn builder_style_config() {
+        let c = ScreenerConfig::paper_default()
+            .with_threshold(ThresholdPolicy::Fixed(0.5))
+            .with_precision(ClassifyPrecision::Fp32)
+            .with_projection_seed(9);
+        assert_eq!(c.threshold, ThresholdPolicy::Fixed(0.5));
+        assert_eq!(c.precision, ClassifyPrecision::Fp32);
+        assert_eq!(c.projection_seed, 9);
+    }
+}

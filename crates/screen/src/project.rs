@@ -1,0 +1,163 @@
+//! Approximate projection from hidden dimension `D` to `K` (§2.1, Fig. 2).
+//!
+//! The paper projects both the weight matrix and the input features with the
+//! same learned/random projection before quantization ("a projected small
+//! weight matrix with low shrunk hidden dimension K (D>K)"). We use a seeded
+//! sparse Achlioptas random projection, which preserves inner products in
+//! expectation (Johnson–Lindenstrauss) without external dependencies.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{DenseMatrix, ScreenError};
+
+/// A `D → K` random projection shared by weights and features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Projector {
+    input_dim: usize,
+    output_dim: usize,
+    /// Row-major `K × D` projection matrix with entries in
+    /// `{ -sqrt(3/K), 0, +sqrt(3/K) }` (Achlioptas sparse projection).
+    matrix: Vec<f32>,
+}
+
+impl Projector {
+    /// Builds a seeded projector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::InvalidConfig`] unless `0 < output_dim <=
+    /// input_dim`.
+    pub fn new(input_dim: usize, output_dim: usize, seed: u64) -> Result<Self, ScreenError> {
+        if output_dim == 0 || input_dim == 0 {
+            return Err(ScreenError::InvalidConfig("projection dims must be nonzero"));
+        }
+        if output_dim > input_dim {
+            return Err(ScreenError::InvalidConfig("projection must shrink the dimension"));
+        }
+        let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let scale = (3.0 / output_dim as f32).sqrt();
+        // Achlioptas: +s with prob 1/6, -s with prob 1/6, 0 with prob 2/3.
+        let matrix = (0..input_dim * output_dim)
+            .map(|_| match rng.gen_range(0..6u8) {
+                0 => scale,
+                1 => -scale,
+                _ => 0.0,
+            })
+            .collect();
+        Ok(Projector {
+            input_dim,
+            output_dim,
+            matrix,
+        })
+    }
+
+    /// Projector with the paper's projection scale `K = D/4` (§6.1: "we set
+    /// the projection scale of hidden dimension as 0.25").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::InvalidConfig`] if `input_dim < 4`.
+    pub fn paper_scale(input_dim: usize, seed: u64) -> Result<Self, ScreenError> {
+        Self::new(input_dim, (input_dim / 4).max(1), seed)
+    }
+
+    /// Source dimension `D`.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Target dimension `K`.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Projects one vector (`D → K`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::DimensionMismatch`] if `x.len() != D`.
+    pub fn project(&self, x: &[f32]) -> Result<Vec<f32>, ScreenError> {
+        if x.len() != self.input_dim {
+            return Err(ScreenError::DimensionMismatch {
+                expected: self.input_dim,
+                got: x.len(),
+            });
+        }
+        Ok((0..self.output_dim)
+            .map(|k| {
+                self.matrix[k * self.input_dim..(k + 1) * self.input_dim]
+                    .iter()
+                    .zip(x)
+                    .map(|(&p, &v)| p * v)
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// Projects every row of a matrix, yielding the `L × K` projected weight
+    /// matrix of Fig. 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::DimensionMismatch`] if `m.cols() != D`.
+    pub fn project_matrix(&self, m: &DenseMatrix) -> Result<DenseMatrix, ScreenError> {
+        let mut out = Vec::with_capacity(m.rows() * self.output_dim);
+        for row in m.rows_iter() {
+            out.extend(self.project(row)?);
+        }
+        DenseMatrix::from_vec(m.rows(), self.output_dim, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_dimensions() {
+        assert!(Projector::new(0, 0, 1).is_err());
+        assert!(Projector::new(4, 8, 1).is_err());
+        assert!(Projector::new(8, 2, 1).is_ok());
+    }
+
+    #[test]
+    fn paper_scale_is_quarter() {
+        let p = Projector::paper_scale(1024, 0).unwrap();
+        assert_eq!(p.output_dim(), 256);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Projector::new(16, 4, 5).unwrap();
+        let b = Projector::new(16, 4, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn preserves_inner_products_approximately() {
+        // JL property: over many random pairs, projected inner products
+        // correlate strongly with the originals.
+        let d = 256;
+        let p = Projector::new(d, 64, 9).unwrap();
+        let m = DenseMatrix::random(40, d, 11);
+        let x: Vec<f32> = DenseMatrix::random(1, d, 13).as_slice().to_vec();
+        let px = p.project(&x).unwrap();
+        let pm = p.project_matrix(&m).unwrap();
+        let exact = m.matvec(&x).unwrap();
+        let approx = pm.matvec(&px).unwrap();
+        let dot: f32 = exact.iter().zip(&approx).map(|(&a, &b)| a * b).sum();
+        let na = exact.iter().map(|&a| a * a).sum::<f32>().sqrt();
+        let nb = approx.iter().map(|&b| b * b).sum::<f32>().sqrt();
+        let cosine = dot / (na * nb);
+        assert!(cosine > 0.5, "projection lost too much signal: cosine {cosine}");
+    }
+
+    #[test]
+    fn rejects_wrong_input_length() {
+        let p = Projector::new(8, 2, 0).unwrap();
+        assert!(p.project(&[0.0; 7]).is_err());
+    }
+}

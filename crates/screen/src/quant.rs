@@ -1,0 +1,345 @@
+//! Symmetric INT4 quantization for the low-precision screener (§2.1, §6.1:
+//! "the precision of the screener to be 4-bit integer").
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DenseMatrix, ScreenError};
+
+/// Largest representable INT4 magnitude (symmetric range, -7..=7, keeping
+/// the encoding sign-symmetric so negation is exact).
+pub const INT4_MAX: i8 = 7;
+/// Smallest representable INT4 value under the symmetric range.
+pub const INT4_MIN: i8 = -7;
+
+/// A quantized vector: 4-bit integer codes plus one `f32` scale, so that
+/// `value ≈ code * scale`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Int4Vector {
+    scale: f32,
+    codes: Vec<i8>,
+}
+
+impl Int4Vector {
+    /// Quantizes a slice with max-abs symmetric scaling.
+    ///
+    /// ```
+    /// use ecssd_screen::{Int4Vector, INT4_MAX};
+    /// # fn main() -> Result<(), ecssd_screen::ScreenError> {
+    /// let q = Int4Vector::quantize(&[2.0, -1.0, 0.5])?;
+    /// assert_eq!(q.codes()[0], INT4_MAX); // the max-abs element saturates
+    /// assert!((q.dequantize()[1] - -1.0).abs() <= q.scale() / 2.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::Empty`] for an empty slice.
+    pub fn quantize(values: &[f32]) -> Result<Self, ScreenError> {
+        if values.is_empty() {
+            return Err(ScreenError::Empty);
+        }
+        let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max_abs == 0.0 {
+            1.0
+        } else {
+            max_abs / f32::from(INT4_MAX)
+        };
+        let codes = values
+            .iter()
+            .map(|&v| {
+                let q = (v / scale).round();
+                q.clamp(f32::from(INT4_MIN), f32::from(INT4_MAX)) as i8
+            })
+            .collect();
+        Ok(Int4Vector { scale, codes })
+    }
+
+    /// The quantization scale (`value ≈ code * scale`).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The 4-bit codes, one per element (stored sign-extended in `i8`).
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Returns `true` if the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Dequantizes back to `f32`.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.codes.iter().map(|&c| f32::from(c) * self.scale).collect()
+    }
+
+    /// Sum of absolute code values — the *hot degree* signal used by the
+    /// learning-based interleaving framework (§5.3: "according to the sum of
+    /// the absolute value of each element in each 4-bit weight vector").
+    pub fn abs_sum(&self) -> u32 {
+        self.codes.iter().map(|&c| u32::from(c.unsigned_abs())) .sum()
+    }
+
+    /// Integer dot product with another INT4 vector, the screener's MAC
+    /// operation. Returns the integer accumulation and leaves scaling to the
+    /// caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::DimensionMismatch`] on length mismatch.
+    pub fn dot(&self, other: &Int4Vector) -> Result<i32, ScreenError> {
+        if self.len() != other.len() {
+            return Err(ScreenError::DimensionMismatch {
+                expected: self.len(),
+                got: other.len(),
+            });
+        }
+        Ok(self
+            .codes
+            .iter()
+            .zip(&other.codes)
+            .map(|(&a, &b)| i32::from(a) * i32::from(b))
+            .sum())
+    }
+
+    /// Approximate real-valued dot product with another INT4 vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::DimensionMismatch`] on length mismatch.
+    pub fn dot_f32(&self, other: &Int4Vector) -> Result<f32, ScreenError> {
+        Ok(self.dot(other)? as f32 * self.scale * other.scale)
+    }
+
+    /// Storage footprint in bytes: two codes per byte (4-bit packing) plus
+    /// the 4-byte scale.
+    pub fn storage_bytes(&self) -> usize {
+        self.codes.len().div_ceil(2) + 4
+    }
+}
+
+/// A row-quantized INT4 matrix: per-row scales, 4-bit codes.
+///
+/// This is the screener weight matrix deployed into the ECSSD's DRAM under
+/// the heterogeneous data layout (§4.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Int4Matrix {
+    rows: usize,
+    cols: usize,
+    scales: Vec<f32>,
+    codes: Vec<i8>,
+}
+
+impl Int4Matrix {
+    /// Quantizes each row of a dense matrix independently.
+    pub fn quantize(m: &DenseMatrix) -> Self {
+        let rows = m.rows();
+        let cols = m.cols();
+        let mut scales = Vec::with_capacity(rows);
+        let mut codes = Vec::with_capacity(rows * cols);
+        for row in m.rows_iter() {
+            let q = Int4Vector::quantize(row).expect("DenseMatrix rows are non-empty");
+            scales.push(q.scale());
+            codes.extend_from_slice(q.codes());
+        }
+        Int4Matrix {
+            rows,
+            cols,
+            scales,
+            codes,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Codes of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_codes(&self, r: usize) -> &[i8] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.codes[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Scale of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+
+    /// Hot-degree signal of every row (sum of absolute 4-bit codes), used by
+    /// the learning-based interleaving framework.
+    pub fn row_abs_sums(&self) -> Vec<u32> {
+        (0..self.rows)
+            .map(|r| {
+                self.row_codes(r)
+                    .iter()
+                    .map(|&c| u32::from(c.unsigned_abs()))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Real-valued hot degree of every row: the L1 norm reconstructed from
+    /// the 4-bit codes (`Σ|code| · scale`). Because this matrix uses per-row
+    /// scales, the raw code sum alone would be scale-invariant and lose the
+    /// magnitude signal the paper's predictor relies on.
+    pub fn row_hotness(&self) -> Vec<f32> {
+        (0..self.rows)
+            .map(|r| {
+                let abs: u32 = self
+                    .row_codes(r)
+                    .iter()
+                    .map(|&c| u32::from(c.unsigned_abs()))
+                    .sum();
+                abs as f32 * self.scales[r]
+            })
+            .collect()
+    }
+
+    /// Screener GEMV: approximate scores of every row against a quantized
+    /// input, `score[r] ≈ W4[r] · x4` in real units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn matvec(&self, x: &Int4Vector) -> Result<Vec<f32>, ScreenError> {
+        if x.len() != self.cols {
+            return Err(ScreenError::DimensionMismatch {
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        let xs = x.codes();
+        Ok((0..self.rows)
+            .map(|r| {
+                let acc: i32 = self
+                    .row_codes(r)
+                    .iter()
+                    .zip(xs)
+                    .map(|(&a, &b)| i32::from(a) * i32::from(b))
+                    .sum();
+                acc as f32 * self.scales[r] * x.scale()
+            })
+            .collect())
+    }
+
+    /// Total storage in bytes under 4-bit packing (two codes per byte) plus
+    /// per-row scales.
+    pub fn storage_bytes(&self) -> usize {
+        self.codes.len().div_ceil(2) + self.rows * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_stay_in_int4_range() {
+        let q = Int4Vector::quantize(&[-10.0, -0.1, 0.0, 0.1, 10.0]).unwrap();
+        for &c in q.codes() {
+            assert!((INT4_MIN..=INT4_MAX).contains(&c), "code {c} out of range");
+        }
+        assert_eq!(q.codes()[0], INT4_MIN);
+        assert_eq!(q.codes()[4], INT4_MAX);
+        assert_eq!(q.codes()[2], 0);
+    }
+
+    #[test]
+    fn dequantize_bounds_error() {
+        let values = [0.93f32, -0.21, 0.44, -0.78, 0.05];
+        let q = Int4Vector::quantize(&values).unwrap();
+        let deq = q.dequantize();
+        // Max quantization error is scale/2.
+        let half_step = q.scale() / 2.0;
+        for (&orig, &d) in values.iter().zip(&deq) {
+            assert!((orig - d).abs() <= half_step + 1e-6, "{orig} vs {d}");
+        }
+    }
+
+    #[test]
+    fn zero_vector_quantizes_to_zero() {
+        let q = Int4Vector::quantize(&[0.0, 0.0]).unwrap();
+        assert_eq!(q.codes(), &[0, 0]);
+        assert_eq!(q.dequantize(), vec![0.0, 0.0]);
+        assert_eq!(q.abs_sum(), 0);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert_eq!(Int4Vector::quantize(&[]), Err(ScreenError::Empty));
+    }
+
+    #[test]
+    fn dot_products_accumulate_in_int() {
+        let a = Int4Vector::quantize(&[1.0, -1.0, 0.5]).unwrap();
+        let b = Int4Vector::quantize(&[1.0, 1.0, 1.0]).unwrap();
+        // codes a = [7, -7, 3]: 0.5/(1/7) = 3.4999998 in f32, rounds to 3.
+        assert_eq!(a.dot(&b).unwrap(), (3 * 7));
+        let approx = a.dot_f32(&b).unwrap();
+        let exact = 1.0 - 1.0 + 0.5;
+        assert!((approx - exact).abs() < 0.2, "{approx} vs {exact}");
+    }
+
+    #[test]
+    fn matrix_quantization_row_wise() {
+        let m = DenseMatrix::from_vec(2, 2, vec![1.0, -0.5, 100.0, 25.0]).unwrap();
+        let q = Int4Matrix::quantize(&m);
+        assert_eq!(q.rows(), 2);
+        assert_eq!(q.row_codes(0), &[7, -3]); // -0.5/(1/7) = -3.4999998 -> -3
+        assert_eq!(q.row_codes(1), &[7, 2]);
+        assert!(q.row_scale(1) > q.row_scale(0));
+    }
+
+    #[test]
+    fn matrix_matvec_tracks_dense_matvec() {
+        let m = DenseMatrix::random(32, 16, 3);
+        let q = Int4Matrix::quantize(&m);
+        let x: Vec<f32> = (0..16).map(|i| ((i * 7 % 5) as f32 - 2.0) * 0.3).collect();
+        let xq = Int4Vector::quantize(&x).unwrap();
+        let approx = q.matvec(&xq).unwrap();
+        let exact = m.matvec(&x).unwrap();
+        // INT4 is lossy; check correlation rather than equality.
+        let dot: f32 = approx.iter().zip(&exact).map(|(&a, &b)| a * b).sum();
+        let na: f32 = approx.iter().map(|&a| a * a).sum::<f32>().sqrt();
+        let nb: f32 = exact.iter().map(|&b| b * b).sum::<f32>().sqrt();
+        let cosine = dot / (na * nb);
+        assert!(cosine > 0.9, "cosine similarity {cosine}");
+    }
+
+    #[test]
+    fn storage_is_half_byte_per_code() {
+        let m = DenseMatrix::random(8, 10, 0);
+        let q = Int4Matrix::quantize(&m);
+        assert_eq!(q.storage_bytes(), 8 * 10 / 2 + 8 * 4);
+        let v = Int4Vector::quantize(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(v.storage_bytes(), 2 + 4);
+    }
+
+    #[test]
+    fn abs_sum_orders_by_magnitude() {
+        let hot = Int4Vector::quantize(&[1.0, -1.0, 1.0]).unwrap();
+        let cold = Int4Vector::quantize(&[0.1, 0.0, 0.05]).unwrap();
+        assert!(hot.abs_sum() > cold.abs_sum());
+    }
+}

@@ -1,0 +1,319 @@
+//! The low-precision approximate screener (Fig. 2, left half): projected
+//! INT4 weights, threshold filtering, candidate selection.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DenseMatrix, Int4Matrix, Int4Vector, Projector, ScreenError};
+
+/// How candidates are selected from the approximate scores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThresholdPolicy {
+    /// A fixed pre-trained threshold (`Filter_threshold()` in Table 1):
+    /// rows whose approximate score is `>= value` become candidates.
+    Fixed(f32),
+    /// Select the top `ratio` fraction of rows by approximate score. Used to
+    /// pin the candidate ratio in architecture experiments (§6.5 sweeps 5 %,
+    /// 10 %, 15 %, 20 %).
+    TopRatio(f64),
+}
+
+impl ThresholdPolicy {
+    /// Validates the policy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::InvalidConfig`] for a non-finite threshold or
+    /// a ratio outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), ScreenError> {
+        match *self {
+            ThresholdPolicy::Fixed(v) if !v.is_finite() => {
+                Err(ScreenError::InvalidConfig("threshold must be finite"))
+            }
+            ThresholdPolicy::TopRatio(r) if !(r > 0.0 && r <= 1.0) => {
+                Err(ScreenError::InvalidConfig("candidate ratio must be in (0, 1]"))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The deployed screener: projector + INT4-quantized projected weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Screener {
+    projector: Projector,
+    weights4: Int4Matrix,
+}
+
+impl Screener {
+    /// Builds a screener from the full-precision `L × D` weight matrix:
+    /// project every row to `K` dimensions, then quantize to INT4.
+    ///
+    /// # Errors
+    ///
+    /// Propagates projection dimension errors.
+    pub fn from_weights(
+        weights: &DenseMatrix,
+        projector: Projector,
+    ) -> Result<Self, ScreenError> {
+        let projected = projector.project_matrix(weights)?;
+        Ok(Screener {
+            projector,
+            weights4: Int4Matrix::quantize(&projected),
+        })
+    }
+
+    /// Number of categories `L`.
+    pub fn categories(&self) -> usize {
+        self.weights4.rows()
+    }
+
+    /// Shrunk hidden dimension `K`.
+    pub fn projected_dim(&self) -> usize {
+        self.weights4.cols()
+    }
+
+    /// The INT4 screener weights (the data deployed into SSD DRAM).
+    pub fn weights4(&self) -> &Int4Matrix {
+        &self.weights4
+    }
+
+    /// Projects and quantizes an input feature vector (host side,
+    /// `INT4_input_send()` in Table 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if `x.len() != D`.
+    pub fn prepare_input(&self, x: &[f32]) -> Result<Int4Vector, ScreenError> {
+        let projected = self.projector.project(x)?;
+        Int4Vector::quantize(&projected)
+    }
+
+    /// Approximate scores of every category for a prepared input.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if `x4.len() != K`.
+    pub fn scores(&self, x4: &Int4Vector) -> Result<Vec<f32>, ScreenError> {
+        self.weights4.matvec(x4)
+    }
+
+    /// Screens a raw input: returns the candidate row indices, sorted
+    /// ascending.
+    ///
+    /// ```
+    /// use ecssd_screen::{DenseMatrix, Projector, Screener, ThresholdPolicy};
+    /// # fn main() -> Result<(), ecssd_screen::ScreenError> {
+    /// let weights = DenseMatrix::random(100, 32, 1);
+    /// let screener = Screener::from_weights(&weights, Projector::paper_scale(32, 2)?)?;
+    /// let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.2).sin()).collect();
+    /// let candidates = screener.screen(&x, ThresholdPolicy::TopRatio(0.1))?;
+    /// assert_eq!(candidates.len(), 10); // 10% of 100 rows
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension/configuration errors.
+    pub fn screen(&self, x: &[f32], policy: ThresholdPolicy) -> Result<Vec<usize>, ScreenError> {
+        policy.validate()?;
+        let x4 = self.prepare_input(x)?;
+        let scores = self.scores(&x4)?;
+        Ok(select_candidates(&scores, policy))
+    }
+
+    /// Screens one *tile* of the weight matrix: candidates among rows
+    /// `range`, returned as global row indices — the per-tile view the
+    /// ECSSD hardware computes (§4.5: "both approximate screener and
+    /// candidate-only classification are implemented tile-by-tile").
+    ///
+    /// Under [`ThresholdPolicy::Fixed`] this equals slicing a global screen;
+    /// under [`ThresholdPolicy::TopRatio`] the ratio applies within the
+    /// tile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension/configuration errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds the matrix.
+    pub fn screen_tile(
+        &self,
+        x: &[f32],
+        policy: ThresholdPolicy,
+        range: std::ops::Range<usize>,
+    ) -> Result<Vec<usize>, ScreenError> {
+        policy.validate()?;
+        assert!(range.end <= self.categories(), "tile range out of bounds");
+        let x4 = self.prepare_input(x)?;
+        let scores = self.scores(&x4)?;
+        let tile_scores = &scores[range.clone()];
+        Ok(select_candidates(tile_scores, policy)
+            .into_iter()
+            .map(|local| local + range.start)
+            .collect())
+    }
+
+    /// Calibrates a fixed threshold so that, over a set of training
+    /// features, the mean candidate ratio is approximately `target_ratio`
+    /// (the paper's "pre-trained threshold", §2.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::Empty`] if no training features are given and
+    /// [`ScreenError::InvalidConfig`] for a ratio outside `(0, 1]`.
+    pub fn calibrate_threshold(
+        &self,
+        training: &[Vec<f32>],
+        target_ratio: f64,
+    ) -> Result<f32, ScreenError> {
+        if training.is_empty() {
+            return Err(ScreenError::Empty);
+        }
+        if !(target_ratio > 0.0 && target_ratio <= 1.0) {
+            return Err(ScreenError::InvalidConfig("candidate ratio must be in (0, 1]"));
+        }
+        let mut all_scores = Vec::new();
+        for x in training {
+            let x4 = self.prepare_input(x)?;
+            all_scores.extend(self.scores(&x4)?);
+        }
+        // The threshold is the (1 - ratio) quantile of the pooled scores.
+        all_scores.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
+        let idx = ((all_scores.len() as f64) * (1.0 - target_ratio)) as usize;
+        Ok(all_scores[idx.min(all_scores.len() - 1)])
+    }
+}
+
+/// Applies a threshold policy to a score vector, returning sorted candidate
+/// indices.
+pub(crate) fn select_candidates(scores: &[f32], policy: ThresholdPolicy) -> Vec<usize> {
+    match policy {
+        ThresholdPolicy::Fixed(t) => scores
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s >= t)
+            .map(|(i, _)| i)
+            .collect(),
+        ThresholdPolicy::TopRatio(r) => {
+            let count = ((scores.len() as f64 * r).ceil() as usize)
+                .clamp(1, scores.len());
+            let mut order: Vec<usize> = (0..scores.len()).collect();
+            order.sort_by(|&a, &b| {
+                scores[b].partial_cmp(&scores[a]).expect("scores are finite")
+            });
+            let mut selected: Vec<usize> = order.into_iter().take(count).collect();
+            selected.sort_unstable();
+            selected
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_screener(l: usize, d: usize) -> Screener {
+        let w = DenseMatrix::random(l, d, 21);
+        let p = Projector::paper_scale(d, 22).unwrap();
+        Screener::from_weights(&w, p).unwrap()
+    }
+
+    #[test]
+    fn dimensions_follow_projection_scale() {
+        let s = make_screener(128, 64);
+        assert_eq!(s.categories(), 128);
+        assert_eq!(s.projected_dim(), 16);
+    }
+
+    #[test]
+    fn top_ratio_selects_exact_count() {
+        let s = make_screener(200, 64);
+        let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.1).cos()).collect();
+        let c = s.screen(&x, ThresholdPolicy::TopRatio(0.1)).unwrap();
+        assert_eq!(c.len(), 20);
+        assert!(c.windows(2).all(|w| w[0] < w[1]), "sorted ascending");
+    }
+
+    #[test]
+    fn fixed_threshold_filters() {
+        let scores = [0.5f32, -1.0, 2.0, 0.49];
+        assert_eq!(
+            select_candidates(&scores, ThresholdPolicy::Fixed(0.5)),
+            vec![0, 2]
+        );
+        // Threshold above everything: no candidates.
+        assert!(select_candidates(&scores, ThresholdPolicy::Fixed(10.0)).is_empty());
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(ThresholdPolicy::TopRatio(0.0).validate().is_err());
+        assert!(ThresholdPolicy::TopRatio(1.5).validate().is_err());
+        assert!(ThresholdPolicy::TopRatio(1.0).validate().is_ok());
+        assert!(ThresholdPolicy::Fixed(f32::NAN).validate().is_err());
+        assert!(ThresholdPolicy::Fixed(0.0).validate().is_ok());
+    }
+
+    #[test]
+    fn calibrated_threshold_hits_target_ratio() {
+        let s = make_screener(500, 64);
+        let training: Vec<Vec<f32>> = (0..8)
+            .map(|t| (0..64).map(|i| ((i + t * 13) as f32 * 0.21).sin()).collect())
+            .collect();
+        let threshold = s.calibrate_threshold(&training, 0.1).unwrap();
+        // Apply to a held-out input: candidate ratio should be near 10%.
+        let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.33).cos()).collect();
+        let c = s.screen(&x, ThresholdPolicy::Fixed(threshold)).unwrap();
+        let ratio = c.len() as f64 / 500.0;
+        assert!(
+            (0.02..=0.3).contains(&ratio),
+            "calibrated ratio {ratio} too far from 0.1"
+        );
+    }
+
+    #[test]
+    fn tile_screening_matches_global_fixed_threshold() {
+        let s = make_screener(300, 64);
+        let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.23).sin()).collect();
+        let policy = ThresholdPolicy::Fixed(0.0);
+        let global = s.screen(&x, policy).unwrap();
+        let mut tiled = Vec::new();
+        for start in (0..300).step_by(100) {
+            tiled.extend(s.screen_tile(&x, policy, start..start + 100).unwrap());
+        }
+        assert_eq!(global, tiled, "tile-by-tile must equal the global screen");
+    }
+
+    #[test]
+    fn tile_screening_top_ratio_is_per_tile() {
+        let s = make_screener(200, 64);
+        let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.31).cos()).collect();
+        let c = s
+            .screen_tile(&x, ThresholdPolicy::TopRatio(0.1), 100..200)
+            .unwrap();
+        assert_eq!(c.len(), 10);
+        assert!(c.iter().all(|&r| (100..200).contains(&r)));
+    }
+
+    #[test]
+    fn screening_keeps_truly_hot_rows() {
+        // Build a weight matrix where rows 0..10 are strongly aligned with
+        // the query; the screener must keep most of them as candidates.
+        let d = 128;
+        let x: Vec<f32> = (0..d).map(|i| ((i as f32) * 0.05).sin()).collect();
+        let mut w = DenseMatrix::random(300, d, 33);
+        for r in 0..10 {
+            let row = w.row_mut(r);
+            for (rv, &xv) in row.iter_mut().zip(&x) {
+                *rv = xv * 2.0 + *rv * 0.05;
+            }
+        }
+        let p = Projector::paper_scale(d, 34).unwrap();
+        let s = Screener::from_weights(&w, p).unwrap();
+        let c = s.screen(&x, ThresholdPolicy::TopRatio(0.1)).unwrap();
+        let kept = (0..10).filter(|r| c.contains(r)).count();
+        assert!(kept >= 8, "screener kept only {kept}/10 hot rows");
+    }
+}

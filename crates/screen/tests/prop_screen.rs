@@ -1,0 +1,108 @@
+//! Property-based tests for the approximate screening algorithm.
+
+use ecssd_screen::{
+    candidate_only_classify, ClassifyPrecision, DenseMatrix, Int4Vector, Projector,
+    ScreenerConfig, ScreeningPipeline, ThresholdPolicy, INT4_MAX, INT4_MIN,
+};
+use proptest::prelude::*;
+
+fn finite_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec((-8.0f32..8.0).prop_map(|v| v * 0.5), n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Quantization always stays in the symmetric INT4 range and the
+    /// reconstruction error is bounded by half a step.
+    #[test]
+    fn quantization_bounds(values in prop::collection::vec(-100.0f32..100.0, 1..128)) {
+        let q = Int4Vector::quantize(&values).unwrap();
+        for &c in q.codes() {
+            prop_assert!((INT4_MIN..=INT4_MAX).contains(&c));
+        }
+        let half = q.scale() / 2.0 + 1e-4;
+        for (&orig, d) in values.iter().zip(q.dequantize()) {
+            prop_assert!((orig - d).abs() <= half, "{orig} vs {d} (half {half})");
+        }
+    }
+
+    /// Screening is deterministic and its candidate count under TopRatio is
+    /// exactly ceil(ratio * L).
+    #[test]
+    fn screening_is_deterministic(seed in 0u64..500, ratio in 0.02f64..0.5) {
+        let weights = DenseMatrix::random(200, 32, seed);
+        let config = ScreenerConfig::paper_default()
+            .with_threshold(ThresholdPolicy::TopRatio(ratio));
+        let p = ScreeningPipeline::new(&weights, config).unwrap();
+        let x: Vec<f32> = (0..32).map(|i| ((i as f32) + seed as f32).sin()).collect();
+        let a = p.infer(&x, 5).unwrap();
+        let b = p.infer(&x, 5).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.candidates.len(), (200.0 * ratio).ceil() as usize);
+    }
+
+    /// A larger candidate ratio yields a superset of candidates (TopRatio
+    /// selections are nested).
+    #[test]
+    fn topratio_selections_are_nested(seed in 0u64..200) {
+        let weights = DenseMatrix::random(150, 32, seed);
+        let x: Vec<f32> = (0..32).map(|i| ((i * 3) as f32 * 0.21).cos()).collect();
+        let candidates_at = |r: f64| {
+            let config = ScreenerConfig::paper_default()
+                .with_threshold(ThresholdPolicy::TopRatio(r));
+            ScreeningPipeline::new(&weights, config)
+                .unwrap()
+                .infer(&x, 1)
+                .unwrap()
+                .candidates
+        };
+        let small = candidates_at(0.1);
+        let large = candidates_at(0.3);
+        for c in &small {
+            prop_assert!(large.binary_search(c).is_ok(), "{c} lost at larger ratio");
+        }
+    }
+
+    /// Projection is linear: P(ax + by) == a·P(x) + b·P(y), elementwise.
+    #[test]
+    fn projection_is_linear(
+        x in finite_vec(48),
+        y in finite_vec(48),
+        a in -2.0f32..2.0,
+        b in -2.0f32..2.0,
+    ) {
+        let p = Projector::new(48, 12, 9).unwrap();
+        let combined: Vec<f32> = x.iter().zip(&y).map(|(&u, &v)| a * u + b * v).collect();
+        let lhs = p.project(&combined).unwrap();
+        let px = p.project(&x).unwrap();
+        let py = p.project(&y).unwrap();
+        for ((l, u), v) in lhs.iter().zip(&px).zip(&py) {
+            let rhs = a * u + b * v;
+            prop_assert!((l - rhs).abs() < 1e-3, "{l} vs {rhs}");
+        }
+    }
+
+    /// CFP32 candidate classification never changes the *set* of scores the
+    /// FP32 path computes by more than FP32 rounding: the rankings agree on
+    /// clearly separated scores.
+    #[test]
+    fn cfp32_ranking_matches_fp32(seed in 0u64..200) {
+        let weights = DenseMatrix::random(80, 24, seed);
+        let x: Vec<f32> = (0..24).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let cands: Vec<usize> = (0..80).step_by(3).collect();
+        let fp = candidate_only_classify(&weights, &x, &cands, ClassifyPrecision::Fp32).unwrap();
+        let cf = candidate_only_classify(&weights, &x, &cands, ClassifyPrecision::Cfp32).unwrap();
+        for (a, b) in fp.iter().zip(&cf) {
+            if a.category != b.category {
+                // Ranking may only swap where scores are within rounding.
+                let a_val = f64::from(a.value);
+                let b_val = f64::from(b.value);
+                prop_assert!(
+                    (a_val - b_val).abs() < 1e-4 * a_val.abs().max(1.0),
+                    "rank swap with separated scores: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! The device DRAM: capacity for SSD management data (L2P table) and — in
+//! ECSSD's heterogeneous layout — the INT4 screener weights, plus a shared
+//! bandwidth timeline (§2.2, §4.3, §6.1: 16 GB at 12.8 GB/s).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Bandwidth, SimTime, SsdError};
+
+/// The SSD's internal DRAM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dram {
+    capacity_bytes: u64,
+    bandwidth: Bandwidth,
+    reserved_bytes: u64,
+    free_at: SimTime,
+    busy_ns: u64,
+    bytes_moved: u64,
+}
+
+impl Dram {
+    /// A DRAM with the given capacity and bandwidth.
+    pub fn new(capacity_bytes: u64, bandwidth: Bandwidth) -> Self {
+        Dram {
+            capacity_bytes,
+            bandwidth,
+            reserved_bytes: 0,
+            free_at: SimTime::ZERO,
+            busy_ns: 0,
+            bytes_moved: 0,
+        }
+    }
+
+    /// The paper's configuration: 16 GB at 12.8 GB/s (§6.1, §7.1).
+    pub fn paper_default() -> Self {
+        Dram::new(16 << 30, Bandwidth::from_gbps(12.8))
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently reserved.
+    pub fn reserved_bytes(&self) -> u64 {
+        self.reserved_bytes
+    }
+
+    /// Bandwidth of the DRAM interface.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Reserves capacity (e.g. the 12.8 GB INT4 weight matrix of the
+    /// 100M-category benchmark, §7.1, or the L2P table).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::DramCapacityExceeded`] if the reservation does
+    /// not fit.
+    pub fn reserve(&mut self, bytes: u64) -> Result<(), SsdError> {
+        let new_total = self.reserved_bytes + bytes;
+        if new_total > self.capacity_bytes {
+            return Err(SsdError::DramCapacityExceeded {
+                requested: bytes,
+                available: self.capacity_bytes - self.reserved_bytes,
+            });
+        }
+        self.reserved_bytes = new_total;
+        Ok(())
+    }
+
+    /// Releases previously reserved capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is released than reserved.
+    pub fn release(&mut self, bytes: u64) {
+        self.reserved_bytes = self
+            .reserved_bytes
+            .checked_sub(bytes)
+            .expect("releasing more DRAM than reserved");
+    }
+
+    /// Schedules a transfer of `bytes` over the DRAM interface; returns the
+    /// completion time. Transfers serialize on the shared interface.
+    ///
+    /// ```
+    /// use ecssd_ssd::{Dram, SimTime};
+    /// let mut dram = Dram::paper_default(); // 12.8 GB/s
+    /// // One 512-row INT4 screener tile (64 KB) takes ~5.1 µs.
+    /// let done = dram.transfer(64 << 10, SimTime::ZERO);
+    /// assert_eq!(done.as_ns(), 5_120);
+    /// ```
+    pub fn transfer(&mut self, bytes: u64, issue: SimTime) -> SimTime {
+        if bytes == 0 {
+            return issue;
+        }
+        let start = issue.max(self.free_at);
+        let dur = self.bandwidth.transfer_ns(bytes);
+        let done = start + dur;
+        self.free_at = done;
+        self.busy_ns += dur;
+        self.bytes_moved += bytes;
+        done
+    }
+
+    /// Accumulated interface busy time, ns.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Total bytes moved.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Earliest time the interface is free.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Clears traffic statistics (capacity reservations are preserved).
+    pub fn reset_stats(&mut self) {
+        self.busy_ns = 0;
+        self.bytes_moved = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table2() {
+        let d = Dram::paper_default();
+        assert_eq!(d.capacity_bytes(), 16 << 30);
+        assert_eq!(d.bandwidth().as_gbps(), 12.8);
+    }
+
+    #[test]
+    fn reservations_respect_capacity() {
+        let mut d = Dram::new(100, Bandwidth::from_gbps(1.0));
+        assert!(d.reserve(60).is_ok());
+        assert!(matches!(
+            d.reserve(50),
+            Err(SsdError::DramCapacityExceeded { requested: 50, available: 40 })
+        ));
+        d.release(60);
+        assert!(d.reserve(100).is_ok());
+    }
+
+    #[test]
+    fn hundred_million_category_int4_matrix_fits() {
+        // §7.1: the 12.8 GB INT4 matrix of the 100M-category layer fits in
+        // 16 GB (alongside a 1 GB-scale L2P table); 50M categories would
+        // also fit in 8 GB but 100M would not.
+        let mut d = Dram::paper_default();
+        let int4_bytes = 100_000_000u64 * 256 / 2; // L=100M, K=256, 4-bit
+        assert_eq!(int4_bytes, 12_800_000_000);
+        assert!(d.reserve(int4_bytes).is_ok());
+        let mut small = Dram::new(8 << 30, Bandwidth::from_gbps(12.8));
+        assert!(small.reserve(int4_bytes).is_err());
+    }
+
+    #[test]
+    fn transfers_serialize() {
+        let mut d = Dram::new(1 << 30, Bandwidth::from_gbps(2.0));
+        let a = d.transfer(1000, SimTime::ZERO);
+        assert_eq!(a.as_ns(), 500);
+        let b = d.transfer(1000, SimTime::ZERO);
+        assert_eq!(b.as_ns(), 1000, "second transfer waits for the first");
+        assert_eq!(d.busy_ns(), 1000);
+        assert_eq!(d.bytes_moved(), 2000);
+    }
+
+    #[test]
+    fn zero_transfer_is_free() {
+        let mut d = Dram::paper_default();
+        assert_eq!(d.transfer(0, SimTime::from_ns(7)), SimTime::from_ns(7));
+        assert_eq!(d.busy_ns(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more")]
+    fn over_release_panics() {
+        let mut d = Dram::new(10, Bandwidth::from_gbps(1.0));
+        d.release(1);
+    }
+}

@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the SSD simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SsdError {
+    /// A DRAM reservation exceeded the remaining capacity.
+    DramCapacityExceeded {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// A tile exceeded one ping-pong buffer bank.
+    BufferOverflow {
+        /// Bytes requested.
+        requested: u64,
+        /// Bank capacity.
+        bank: u64,
+    },
+    /// The FTL ran out of free pages (device full even after GC).
+    DeviceFull,
+    /// A logical page number outside the exported address space.
+    LpnOutOfRange {
+        /// The offending LPN.
+        lpn: u64,
+        /// Exported logical pages.
+        logical_pages: u64,
+    },
+    /// Read of a logical page that was never written.
+    Unmapped {
+        /// The offending LPN.
+        lpn: u64,
+    },
+}
+
+impl fmt::Display for SsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdError::DramCapacityExceeded { requested, available } => write!(
+                f,
+                "DRAM reservation of {requested} bytes exceeds remaining {available} bytes"
+            ),
+            SsdError::BufferOverflow { requested, bank } => write!(
+                f,
+                "tile of {requested} bytes exceeds buffer bank of {bank} bytes"
+            ),
+            SsdError::DeviceFull => write!(f, "no free pages available"),
+            SsdError::LpnOutOfRange { lpn, logical_pages } => {
+                write!(f, "LPN {lpn} outside logical space of {logical_pages} pages")
+            }
+            SsdError::Unmapped { lpn } => write!(f, "LPN {lpn} was never written"),
+        }
+    }
+}
+
+impl Error for SsdError {}

@@ -1,0 +1,640 @@
+//! The flash translation layer (§2.2): logical-to-physical mapping, write
+//! allocation, garbage collection, and wear accounting.
+//!
+//! The FTL is the hook the learning-based interleaving framework uses:
+//! "the firmware of the embedded processor allocates a specific range of
+//! logical addresses to each flash channel. The framework only needs to
+//! assign a logical address from the specified logical address range to the
+//! specific 32-bit weight vector" (§5.3). [`AllocationPolicy`] selects how
+//! logical page numbers map to channels; within a channel the FTL spreads
+//! writes over dies and allocates blocks log-structured.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FlashSim, PhysPageAddr, SimTime, SsdError, SsdGeometry};
+
+/// How logical page numbers are distributed over channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllocationPolicy {
+    /// Consecutive LPNs rotate over channels (`channel = lpn % channels`).
+    /// This is the conventional striping that makes sequential host I/O
+    /// fast, and the mapping used by the *uniform interleaving* method
+    /// (§5.2, Fig. 6).
+    Striped,
+    /// The logical space is divided into one contiguous range per channel
+    /// (`channel = lpn / (logical_pages / channels)`). Sequentially written
+    /// data lands sequentially in one channel — the *sequential storing*
+    /// method (§5.1) — while a placement framework can target any channel
+    /// by picking an LPN inside its range (§5.3).
+    RangePartitioned,
+}
+
+impl AllocationPolicy {
+    /// Channel that owns `lpn` under this policy.
+    pub fn channel_of(self, lpn: u64, logical_pages: u64, channels: usize) -> usize {
+        match self {
+            AllocationPolicy::Striped => (lpn % channels as u64) as usize,
+            AllocationPolicy::RangePartitioned => {
+                let per = logical_pages.div_ceil(channels as u64);
+                ((lpn / per) as usize).min(channels - 1)
+            }
+        }
+    }
+
+    /// First LPN of `channel`'s range under [`AllocationPolicy::RangePartitioned`].
+    pub fn range_start(self, channel: usize, logical_pages: u64, channels: usize) -> u64 {
+        let per = logical_pages.div_ceil(channels as u64);
+        channel as u64 * per
+    }
+}
+
+/// Per-block bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum BlockState {
+    Free,
+    Active,
+    Full,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Block {
+    state: BlockState,
+    next_page: usize,
+    valid: u32,
+    erase_count: u32,
+}
+
+impl Block {
+    fn new() -> Self {
+        Block {
+            state: BlockState::Free,
+            next_page: 0,
+            valid: 0,
+            erase_count: 0,
+        }
+    }
+}
+
+/// Result of a garbage-collection pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GcReport {
+    /// Valid pages relocated.
+    pub moved_pages: u64,
+    /// Blocks erased.
+    pub erased_blocks: u64,
+}
+
+/// Wear-leveling summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WearReport {
+    /// Highest per-block erase count.
+    pub max_erases: u32,
+    /// Mean per-block erase count.
+    pub mean_erases: f64,
+    /// Total erases.
+    pub total_erases: u64,
+}
+
+const UNMAPPED: u64 = u64::MAX;
+
+/// The flash translation layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ftl {
+    geometry: SsdGeometry,
+    policy: AllocationPolicy,
+    logical_pages: u64,
+    /// LPN → flat physical page index.
+    l2p: Vec<u64>,
+    /// Flat physical page index → LPN.
+    p2l: Vec<u64>,
+    /// Per-block bookkeeping, indexed by flat block id.
+    blocks: Vec<Block>,
+    /// Per-die currently-active block (flat block id), if any.
+    active_block: Vec<Option<usize>>,
+    /// Per-die free block count.
+    free_blocks: Vec<u32>,
+    /// Per-channel round-robin die cursor.
+    die_cursor: Vec<usize>,
+    /// GC and host-write counters.
+    gc: GcReport,
+}
+
+impl Ftl {
+    /// Creates an FTL exporting `1 - overprovision` of the raw capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overprovision` is not in `[0, 0.5]`.
+    pub fn new(geometry: SsdGeometry, policy: AllocationPolicy, overprovision: f64) -> Self {
+        assert!(
+            (0.0..=0.5).contains(&overprovision),
+            "overprovision {overprovision} out of range"
+        );
+        let logical_pages =
+            (geometry.total_pages() as f64 * (1.0 - overprovision)).floor() as u64;
+        let total_blocks = geometry.channels
+            * geometry.dies_per_channel
+            * geometry.planes_per_die
+            * geometry.blocks_per_plane;
+        let blocks_per_die = geometry.planes_per_die * geometry.blocks_per_plane;
+        Ftl {
+            l2p: vec![UNMAPPED; logical_pages as usize],
+            p2l: vec![UNMAPPED; geometry.total_pages() as usize],
+            blocks: vec![Block::new(); total_blocks],
+            active_block: vec![None; geometry.total_dies()],
+            free_blocks: vec![blocks_per_die as u32; geometry.total_dies()],
+            die_cursor: vec![0; geometry.channels],
+            gc: GcReport::default(),
+            geometry,
+            policy,
+            logical_pages,
+        }
+    }
+
+    /// FTL with the paper's default 7 % overprovisioning.
+    pub fn paper_default(geometry: SsdGeometry, policy: AllocationPolicy) -> Self {
+        Ftl::new(geometry, policy, 0.07)
+    }
+
+    /// Exported logical pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// The channel policy.
+    pub fn policy(&self) -> AllocationPolicy {
+        self.policy
+    }
+
+    /// Channel that owns `lpn` under the active policy.
+    pub fn channel_of(&self, lpn: u64) -> usize {
+        self.policy
+            .channel_of(lpn, self.logical_pages, self.geometry.channels)
+    }
+
+    fn check_lpn(&self, lpn: u64) -> Result<(), SsdError> {
+        if lpn >= self.logical_pages {
+            Err(SsdError::LpnOutOfRange {
+                lpn,
+                logical_pages: self.logical_pages,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Translates an LPN for reading.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::LpnOutOfRange`] or [`SsdError::Unmapped`].
+    pub fn translate(&self, lpn: u64) -> Result<PhysPageAddr, SsdError> {
+        self.check_lpn(lpn)?;
+        let flat = self.l2p[lpn as usize];
+        if flat == UNMAPPED {
+            return Err(SsdError::Unmapped { lpn });
+        }
+        Ok(self.unflatten_page(flat))
+    }
+
+    /// Writes (or overwrites) an LPN: invalidates the old page if any and
+    /// allocates a fresh physical page in the LPN's channel. Returns the new
+    /// physical address; the caller is responsible for charging timing via
+    /// [`FlashSim::program_page`].
+    ///
+    /// ```
+    /// use ecssd_ssd::{AllocationPolicy, Ftl, SsdGeometry};
+    /// # fn main() -> Result<(), ecssd_ssd::SsdError> {
+    /// let mut ftl = Ftl::new(SsdGeometry::tiny(), AllocationPolicy::Striped, 0.25);
+    /// let addr = ftl.write(5)?;
+    /// assert_eq!(ftl.translate(5)?, addr);
+    /// assert_eq!(addr.channel, 5 % 4); // striped over 4 channels
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::LpnOutOfRange`] or, when the channel is out of
+    /// space even after GC would run, [`SsdError::DeviceFull`].
+    pub fn write(&mut self, lpn: u64) -> Result<PhysPageAddr, SsdError> {
+        self.check_lpn(lpn)?;
+        let old = self.l2p[lpn as usize];
+        if old != UNMAPPED {
+            // Invalidate first so GC can reclaim the page this overwrite
+            // frees; restore the mapping if allocation still fails.
+            self.invalidate_flat(old);
+        }
+        let channel = self.channel_of(lpn);
+        let addr = match self.allocate_page(channel) {
+            Ok(addr) => addr,
+            Err(e) => {
+                if old != UNMAPPED {
+                    let restored = self.unflatten_page(old);
+                    let b = self.flat_block(restored);
+                    if self.blocks[b].state != BlockState::Free {
+                        // Old page still physically present: restore it.
+                        self.blocks[b].valid += 1;
+                        self.p2l[old as usize] = lpn;
+                    } else {
+                        // GC erased the old block while trying to make room
+                        // and then still failed: the version is gone.
+                        self.l2p[lpn as usize] = UNMAPPED;
+                    }
+                }
+                return Err(e);
+            }
+        };
+        let flat = self.flatten_page(addr);
+        self.l2p[lpn as usize] = flat;
+        self.p2l[flat as usize] = lpn;
+        let nb = self.flat_block(addr);
+        self.blocks[nb].valid += 1;
+        Ok(addr)
+    }
+
+    /// Drops the mapping of an LPN (TRIM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::LpnOutOfRange`]; trimming an unmapped LPN is a
+    /// no-op.
+    pub fn trim(&mut self, lpn: u64) -> Result<(), SsdError> {
+        self.check_lpn(lpn)?;
+        let old = self.l2p[lpn as usize];
+        if old != UNMAPPED {
+            self.invalidate_flat(old);
+            self.l2p[lpn as usize] = UNMAPPED;
+        }
+        Ok(())
+    }
+
+    fn invalidate_flat(&mut self, flat: u64) {
+        let addr = self.unflatten_page(flat);
+        let b = self.flat_block(addr);
+        debug_assert!(self.blocks[b].valid > 0, "double invalidate");
+        self.blocks[b].valid -= 1;
+        self.p2l[flat as usize] = UNMAPPED;
+    }
+
+    /// Allocates the next free page on `channel`, spreading over dies
+    /// round-robin and garbage-collecting when every die is out of blocks.
+    fn allocate_page(&mut self, channel: usize) -> Result<PhysPageAddr, SsdError> {
+        match self.allocate_page_no_gc(channel) {
+            Ok(addr) => return Ok(addr),
+            Err(SsdError::DeviceFull) => {}
+            Err(e) => return Err(e),
+        }
+        if self.gc_channel(channel)?.erased_blocks > 0 {
+            return self.allocate_page_no_gc(channel);
+        }
+        Err(SsdError::DeviceFull)
+    }
+
+    /// Allocation without triggering GC (used by GC relocation itself).
+    fn allocate_page_no_gc(&mut self, channel: usize) -> Result<PhysPageAddr, SsdError> {
+        let dies = self.geometry.dies_per_channel;
+        for _attempt in 0..dies {
+            let die_in_ch = self.die_cursor[channel];
+            self.die_cursor[channel] = (die_in_ch + 1) % dies;
+            let die = channel * dies + die_in_ch;
+            match self.allocate_on_die(channel, die_in_ch, die) {
+                Ok(addr) => return Ok(addr),
+                Err(SsdError::DeviceFull) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(SsdError::DeviceFull)
+    }
+
+    fn allocate_on_die(
+        &mut self,
+        channel: usize,
+        die_in_ch: usize,
+        die: usize,
+    ) -> Result<PhysPageAddr, SsdError> {
+        // Ensure there is an active block with room.
+        let need_new = match self.active_block[die] {
+            Some(b) => self.blocks[b].next_page >= self.geometry.pages_per_block,
+            None => true,
+        };
+        if need_new {
+            if let Some(full) = self.active_block[die] {
+                self.blocks[full].state = BlockState::Full;
+            }
+            let blocks_per_die = self.geometry.planes_per_die * self.geometry.blocks_per_plane;
+            let base = die * blocks_per_die;
+            // Dynamic wear leveling: open the least-worn free block.
+            let fresh = (0..blocks_per_die)
+                .map(|i| base + i)
+                .filter(|&b| self.blocks[b].state == BlockState::Free)
+                .min_by_key(|&b| self.blocks[b].erase_count);
+            match fresh {
+                Some(b) => {
+                    self.blocks[b].state = BlockState::Active;
+                    self.blocks[b].next_page = 0;
+                    self.active_block[die] = Some(b);
+                    self.free_blocks[die] -= 1;
+                }
+                None => return Err(SsdError::DeviceFull),
+            }
+        }
+        let b = self.active_block[die].expect("active block just ensured");
+        let page = self.blocks[b].next_page;
+        self.blocks[b].next_page += 1;
+        let within_die = b - die * self.geometry.planes_per_die * self.geometry.blocks_per_plane;
+        Ok(PhysPageAddr {
+            channel,
+            die: die_in_ch,
+            plane: within_die / self.geometry.blocks_per_plane,
+            block: within_die % self.geometry.blocks_per_plane,
+            page,
+        })
+    }
+
+    /// Greedy garbage collection on one channel: pick the full block with
+    /// the fewest valid pages, relocate its valid pages within the channel,
+    /// erase it. Repeats until at least one block per die is free or no
+    /// victim remains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::DeviceFull`] if relocation itself cannot find
+    /// space (device over-filled beyond overprovisioning).
+    pub fn gc_channel(&mut self, channel: usize) -> Result<GcReport, SsdError> {
+        let mut report = GcReport::default();
+        let dies = self.geometry.dies_per_channel;
+        let blocks_per_die = self.geometry.planes_per_die * self.geometry.blocks_per_plane;
+        loop {
+            // Victim: full block on this channel with minimum valid count,
+            // strictly fewer valid pages than capacity (otherwise moving it
+            // frees nothing).
+            let mut victim: Option<(usize, u32)> = None;
+            for die_in_ch in 0..dies {
+                let die = channel * dies + die_in_ch;
+                let base = die * blocks_per_die;
+                for b in base..base + blocks_per_die {
+                    if self.blocks[b].state == BlockState::Full {
+                        let valid = self.blocks[b].valid;
+                        if (valid as usize) < self.geometry.pages_per_block
+                            && victim.is_none_or(|(_, v)| valid < v)
+                        {
+                            victim = Some((b, valid));
+                        }
+                    }
+                }
+            }
+            let Some((victim_block, _)) = victim else {
+                return Ok(report);
+            };
+            // Relocate valid pages (allocate first so a full device fails
+            // before any mapping is dropped).
+            let first_page = victim_block * self.geometry.pages_per_block;
+            for p in first_page..first_page + self.geometry.pages_per_block {
+                let lpn = self.p2l[p];
+                if lpn != UNMAPPED {
+                    let addr = self.allocate_page_no_gc(channel)?;
+                    self.invalidate_flat(p as u64);
+                    let flat = self.flatten_page(addr);
+                    self.l2p[lpn as usize] = flat;
+                    self.p2l[flat as usize] = lpn;
+                    let nb = self.flat_block(addr);
+        self.blocks[nb].valid += 1;
+                    report.moved_pages += 1;
+                    self.gc.moved_pages += 1;
+                }
+            }
+            // Erase the victim.
+            let blk = &mut self.blocks[victim_block];
+            blk.state = BlockState::Free;
+            blk.next_page = 0;
+            blk.valid = 0;
+            blk.erase_count += 1;
+            let die = victim_block / blocks_per_die;
+            self.free_blocks[die] += 1;
+            report.erased_blocks += 1;
+            self.gc.erased_blocks += 1;
+            // Stop once every die on the channel has a free block again.
+            let all_have_free = (0..dies).all(|d| self.free_blocks[channel * dies + d] > 0);
+            if all_have_free {
+                return Ok(report);
+            }
+        }
+    }
+
+    /// Charges the flash-timing cost of a GC report to the simulator
+    /// (page read + program per moved page, erase per block), returning the
+    /// completion time. The caller picks representative addresses; GC cost
+    /// is dominated by counts, not placement.
+    pub fn charge_gc(
+        &self,
+        flash: &mut FlashSim,
+        channel: usize,
+        report: GcReport,
+        issue: SimTime,
+    ) -> SimTime {
+        let mut t = issue;
+        let addr = PhysPageAddr { channel, die: 0, plane: 0, block: 0, page: 0 };
+        for _ in 0..report.moved_pages {
+            let r = flash.read_page(addr, t);
+            t = flash.program_page(addr, r.done);
+        }
+        for _ in 0..report.erased_blocks {
+            t = flash.erase_block(addr, t);
+        }
+        t
+    }
+
+    /// Cumulative GC activity since creation.
+    pub fn gc_totals(&self) -> GcReport {
+        self.gc
+    }
+
+    /// Wear summary over all blocks.
+    pub fn wear(&self) -> WearReport {
+        let max = self.blocks.iter().map(|b| b.erase_count).max().unwrap_or(0);
+        let total: u64 = self.blocks.iter().map(|b| u64::from(b.erase_count)).sum();
+        WearReport {
+            max_erases: max,
+            mean_erases: total as f64 / self.blocks.len() as f64,
+            total_erases: total,
+        }
+    }
+
+    /// Count of mapped logical pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.l2p.iter().filter(|&&v| v != UNMAPPED).count() as u64
+    }
+
+    fn flatten_page(&self, a: PhysPageAddr) -> u64 {
+        let g = &self.geometry;
+        ((((a.channel * g.dies_per_channel + a.die) * g.planes_per_die + a.plane)
+            * g.blocks_per_plane
+            + a.block) as u64)
+            * g.pages_per_block as u64
+            + a.page as u64
+    }
+
+    fn unflatten_page(&self, flat: u64) -> PhysPageAddr {
+        let g = &self.geometry;
+        let page = (flat % g.pages_per_block as u64) as usize;
+        let rest = flat / g.pages_per_block as u64;
+        let block = (rest % g.blocks_per_plane as u64) as usize;
+        let rest = rest / g.blocks_per_plane as u64;
+        let plane = (rest % g.planes_per_die as u64) as usize;
+        let rest = rest / g.planes_per_die as u64;
+        let die = (rest % g.dies_per_channel as u64) as usize;
+        let channel = (rest / g.dies_per_channel as u64) as usize;
+        PhysPageAddr { channel, die, plane, block, page }
+    }
+
+    fn flat_block(&self, a: PhysPageAddr) -> usize {
+        ((a.channel * self.geometry.dies_per_channel + a.die) * self.geometry.planes_per_die
+            + a.plane)
+            * self.geometry.blocks_per_plane
+            + a.block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ftl(policy: AllocationPolicy) -> Ftl {
+        Ftl::new(SsdGeometry::tiny(), policy, 0.25)
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut f = ftl(AllocationPolicy::Striped);
+        let a = f.write(10).unwrap();
+        assert_eq!(f.translate(10).unwrap(), a);
+        assert_eq!(f.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn unmapped_read_is_an_error() {
+        let f = ftl(AllocationPolicy::Striped);
+        assert_eq!(f.translate(3), Err(SsdError::Unmapped { lpn: 3 }));
+        assert!(matches!(
+            f.translate(u64::MAX),
+            Err(SsdError::LpnOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn striped_policy_rotates_channels() {
+        let mut f = ftl(AllocationPolicy::Striped);
+        for lpn in 0..8 {
+            let a = f.write(lpn).unwrap();
+            assert_eq!(a.channel, (lpn % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn range_partitioned_policy_fills_one_channel() {
+        let mut f = ftl(AllocationPolicy::RangePartitioned);
+        let per = f.logical_pages().div_ceil(4);
+        for lpn in 0..8 {
+            let a = f.write(lpn).unwrap();
+            assert_eq!(a.channel, 0, "low LPNs stay in channel 0");
+        }
+        let a = f.write(per).unwrap();
+        assert_eq!(a.channel, 1, "next range lands in channel 1");
+        assert_eq!(
+            AllocationPolicy::RangePartitioned.range_start(1, f.logical_pages(), 4),
+            per
+        );
+    }
+
+    #[test]
+    fn overwrite_invalidates_old_page() {
+        let mut f = ftl(AllocationPolicy::Striped);
+        let a1 = f.write(5).unwrap();
+        let a2 = f.write(5).unwrap();
+        assert_ne!(a1, a2, "log-structured: new page on overwrite");
+        assert_eq!(f.translate(5).unwrap(), a2);
+        assert_eq!(f.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let mut f = ftl(AllocationPolicy::Striped);
+        f.write(7).unwrap();
+        f.trim(7).unwrap();
+        assert_eq!(f.translate(7), Err(SsdError::Unmapped { lpn: 7 }));
+        // Trimming again is a no-op.
+        f.trim(7).unwrap();
+    }
+
+    #[test]
+    fn writes_spread_over_dies() {
+        let mut f = ftl(AllocationPolicy::Striped);
+        let a0 = f.write(0).unwrap(); // channel 0
+        let a4 = f.write(4).unwrap(); // channel 0 again
+        assert_ne!(a0.die, a4.die, "round-robin over the channel's dies");
+    }
+
+    #[test]
+    fn overwrite_churn_triggers_gc_and_survives() {
+        // Tiny geometry: channel 0 under striping owns 1/4 of LPNs. Write a
+        // working set repeatedly until the log wraps; GC must reclaim.
+        let mut f = ftl(AllocationPolicy::Striped);
+        let working_set: Vec<u64> = (0..32).map(|i| i * 4).collect(); // all channel 0
+        for _round in 0..40 {
+            for &lpn in &working_set {
+                f.write(lpn).unwrap();
+            }
+        }
+        assert!(f.gc_totals().erased_blocks > 0, "GC must have run");
+        assert!(f.wear().total_erases > 0);
+        // All LPNs still readable and distinct.
+        let mut seen = std::collections::HashSet::new();
+        for &lpn in &working_set {
+            let addr = f.translate(lpn).unwrap();
+            assert_eq!(addr.channel, 0);
+            assert!(seen.insert(addr), "two LPNs map to one page");
+        }
+    }
+
+    #[test]
+    fn device_full_is_reported() {
+        // Fill the entire exported space of one channel's range, then keep
+        // writing fresh LPNs of that channel beyond capacity.
+        let mut f = Ftl::new(SsdGeometry::tiny(), AllocationPolicy::Striped, 0.0);
+        let mut result = Ok(());
+        let mut lpn = 0;
+        'outer: for _ in 0..f.logical_pages() + 8 {
+            match f.write(lpn % f.logical_pages()) {
+                Ok(_) => lpn += 1,
+                Err(e) => {
+                    result = Err(e);
+                    break 'outer;
+                }
+            }
+        }
+        // With zero overprovisioning the device fills up exactly; writing
+        // every LPN once must succeed, and the pass completed without error
+        // only if we wrapped onto overwrites (which recycle space via GC).
+        if let Err(e) = result {
+            assert_eq!(e, SsdError::DeviceFull);
+        }
+    }
+
+    #[test]
+    fn gc_charge_produces_time() {
+        let g = SsdGeometry::tiny();
+        let f = Ftl::new(g, AllocationPolicy::Striped, 0.25);
+        let mut flash = FlashSim::new(g, crate::FlashTiming::paper_default());
+        let report = GcReport { moved_pages: 2, erased_blocks: 1 };
+        let done = f.charge_gc(&mut flash, 0, report, SimTime::ZERO);
+        assert!(done.as_ns() >= flash.timing().erase_latency_ns);
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let f = ftl(AllocationPolicy::Striped);
+        let a = PhysPageAddr { channel: 3, die: 1, plane: 1, block: 6, page: 13 };
+        assert_eq!(f.unflatten_page(f.flatten_page(a)), a);
+    }
+}

@@ -1,0 +1,181 @@
+//! Physical organization of the NAND flash array (§2.2: "the hierarchical
+//! organization of NAND flash SSD is channel, package, die, plane, block and
+//! page").
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of the flash array. Packages are folded into dies (a package is a
+/// stack of dies; only dies are independent timing units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SsdGeometry {
+    /// Independent flash channels, each with its own controller and bus.
+    pub channels: usize,
+    /// Dies per channel (across all packages on the channel).
+    pub dies_per_channel: usize,
+    /// Planes per die.
+    pub planes_per_die: usize,
+    /// Blocks per plane.
+    pub blocks_per_plane: usize,
+    /// Pages per block.
+    pub pages_per_block: usize,
+    /// Page size in bytes (reads/writes happen at page granularity, §2.2).
+    pub page_bytes: usize,
+}
+
+impl SsdGeometry {
+    /// The paper's Table 2 device: 8 channels, 4 KB pages, 4 TB total.
+    ///
+    /// 8 channels × 8 dies × 4 planes × 2048 blocks × 2048 pages × 4 KB
+    /// = 4 TiB.
+    pub fn paper_default() -> Self {
+        SsdGeometry {
+            channels: 8,
+            dies_per_channel: 8,
+            planes_per_die: 4,
+            blocks_per_plane: 2048,
+            pages_per_block: 2048,
+            page_bytes: 4096,
+        }
+    }
+
+    /// A low-end 4-channel device (half the paper's channels, same media).
+    pub fn low_end_4ch() -> Self {
+        SsdGeometry {
+            channels: 4,
+            ..Self::paper_default()
+        }
+    }
+
+    /// A high-end 16-channel device (§2.2: "some high-end SSD products…
+    /// can have 16 flash channels").
+    pub fn high_end_16ch() -> Self {
+        SsdGeometry {
+            channels: 16,
+            ..Self::paper_default()
+        }
+    }
+
+    /// A small geometry for fast tests (keeps every mechanism, shrinks the
+    /// array).
+    pub fn tiny() -> Self {
+        SsdGeometry {
+            channels: 4,
+            dies_per_channel: 2,
+            planes_per_die: 2,
+            blocks_per_plane: 8,
+            pages_per_block: 16,
+            page_bytes: 4096,
+        }
+    }
+
+    /// Total pages in the device.
+    pub fn total_pages(&self) -> u64 {
+        self.channels as u64
+            * self.dies_per_channel as u64
+            * self.planes_per_die as u64
+            * self.blocks_per_plane as u64
+            * self.pages_per_block as u64
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() * self.page_bytes as u64
+    }
+
+    /// Pages per die.
+    pub fn pages_per_die(&self) -> u64 {
+        self.planes_per_die as u64 * self.blocks_per_plane as u64 * self.pages_per_block as u64
+    }
+
+    /// Total dies in the device.
+    pub fn total_dies(&self) -> usize {
+        self.channels * self.dies_per_channel
+    }
+
+    /// Validates a physical address against this geometry.
+    pub fn contains(&self, addr: PhysPageAddr) -> bool {
+        addr.channel < self.channels
+            && addr.die < self.dies_per_channel
+            && addr.plane < self.planes_per_die
+            && addr.block < self.blocks_per_plane
+            && addr.page < self.pages_per_block
+    }
+
+    /// Pages needed to hold `bytes`.
+    pub fn pages_for_bytes(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.page_bytes as u64)
+    }
+}
+
+/// A physical page address within the flash array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PhysPageAddr {
+    /// Channel index.
+    pub channel: usize,
+    /// Die within the channel.
+    pub die: usize,
+    /// Plane within the die.
+    pub plane: usize,
+    /// Block within the plane.
+    pub block: usize,
+    /// Page within the block.
+    pub page: usize,
+}
+
+impl PhysPageAddr {
+    /// Flat die index across the device (`channel * dies_per_channel + die`).
+    pub fn flat_die(&self, geometry: &SsdGeometry) -> usize {
+        self.channel * geometry.dies_per_channel + self.die
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_is_4tb() {
+        let g = SsdGeometry::paper_default();
+        assert_eq!(g.channels, 8);
+        assert_eq!(g.page_bytes, 4096);
+        assert_eq!(g.capacity_bytes(), 4 << 40); // 4 TiB
+    }
+
+    #[test]
+    fn device_class_presets() {
+        assert_eq!(SsdGeometry::low_end_4ch().channels, 4);
+        assert_eq!(SsdGeometry::high_end_16ch().channels, 16);
+        // Same media per channel as the paper's device.
+        assert_eq!(
+            SsdGeometry::high_end_16ch().pages_per_die(),
+            SsdGeometry::paper_default().pages_per_die()
+        );
+    }
+
+    #[test]
+    fn page_counts_compose() {
+        let g = SsdGeometry::tiny();
+        assert_eq!(g.total_pages(), 4 * 2 * 2 * 8 * 16);
+        assert_eq!(g.pages_per_die(), 2 * 8 * 16);
+        assert_eq!(g.total_dies(), 8);
+    }
+
+    #[test]
+    fn address_validation() {
+        let g = SsdGeometry::tiny();
+        let ok = PhysPageAddr { channel: 3, die: 1, plane: 1, block: 7, page: 15 };
+        let bad = PhysPageAddr { channel: 4, ..ok };
+        assert!(g.contains(ok));
+        assert!(!g.contains(bad));
+        assert_eq!(ok.flat_die(&g), 3 * 2 + 1);
+    }
+
+    #[test]
+    fn pages_for_bytes_rounds_up() {
+        let g = SsdGeometry::tiny();
+        assert_eq!(g.pages_for_bytes(1), 1);
+        assert_eq!(g.pages_for_bytes(4096), 1);
+        assert_eq!(g.pages_for_bytes(4097), 2);
+        assert_eq!(g.pages_for_bytes(0), 0);
+    }
+}

@@ -1,0 +1,355 @@
+//! The assembled SSD device: flash array + FTL + DRAM + data buffer + host
+//! interface, with the conventional *SSD-mode* command path (§4.1: "in SSD
+//! mode, the working principle is very similar to the conventional SSD
+//! product").
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    AllocationPolicy, Dram, FlashSim, FlashTiming, Ftl, HostInterface, PingPongBuffer, SimTime,
+    SsdError, SsdGeometry,
+};
+
+/// Full device configuration (Table 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SsdConfig {
+    /// Flash array shape.
+    pub geometry: SsdGeometry,
+    /// Flash timing parameters.
+    pub timing: FlashTiming,
+    /// LPN → channel policy.
+    pub policy: AllocationPolicy,
+    /// Overprovisioned fraction of raw capacity.
+    pub overprovision: f64,
+    /// Device DRAM capacity in bytes.
+    pub dram_bytes: u64,
+    /// Device DRAM bandwidth in GB/s.
+    pub dram_gbps: f64,
+    /// Data buffer size in bytes.
+    pub buffer_bytes: u64,
+}
+
+impl SsdConfig {
+    /// The paper's Table 2 device: 4 TB, 8 channels, 16 GB DRAM at
+    /// 12.8 GB/s, 4 MB buffer, PCIe 3.0 ×4.
+    pub fn paper_default() -> Self {
+        SsdConfig {
+            geometry: SsdGeometry::paper_default(),
+            timing: FlashTiming::paper_default(),
+            policy: AllocationPolicy::Striped,
+            overprovision: 0.07,
+            dram_bytes: 16 << 30,
+            dram_gbps: 12.8,
+            buffer_bytes: 4 << 20,
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn tiny() -> Self {
+        SsdConfig {
+            geometry: SsdGeometry::tiny(),
+            timing: FlashTiming::paper_default(),
+            policy: AllocationPolicy::Striped,
+            overprovision: 0.25,
+            dram_bytes: 64 << 20,
+            dram_gbps: 12.8,
+            buffer_bytes: 64 << 10,
+        }
+    }
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Latency report of a served SSD-mode request queue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueReport {
+    /// Per-request completion times, in submission order.
+    pub completions: Vec<SimTime>,
+    /// Per-request latencies (completion − arrival), ns.
+    pub latencies_ns: Vec<u64>,
+}
+
+impl QueueReport {
+    fn new(completions: Vec<SimTime>, latencies_ns: Vec<u64>) -> Self {
+        QueueReport {
+            completions,
+            latencies_ns,
+        }
+    }
+
+    /// Mean latency, ns.
+    pub fn mean_ns(&self) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        self.latencies_ns.iter().sum::<u64>() as f64 / self.latencies_ns.len() as f64
+    }
+
+    /// Latency at quantile `q` in `[0, 1]` (e.g. 0.99 for p99), ns.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// An assembled SSD in conventional (SSD-mode) operation.
+#[derive(Debug, Clone)]
+pub struct SsdDevice {
+    flash: FlashSim,
+    ftl: Ftl,
+    dram: Dram,
+    buffer: PingPongBuffer,
+    host: HostInterface,
+    config: SsdConfig,
+}
+
+impl SsdDevice {
+    /// Builds the device from a configuration.
+    pub fn new(config: SsdConfig) -> Self {
+        let flash = FlashSim::new(config.geometry, config.timing);
+        let ftl = Ftl::new(config.geometry, config.policy, config.overprovision);
+        let mut dram = Dram::new(
+            config.dram_bytes,
+            crate::Bandwidth::from_gbps(config.dram_gbps),
+        );
+        // The L2P table lives in DRAM (§2.2): 4 bytes per logical page.
+        dram.reserve(ftl.logical_pages() * 4)
+            .expect("L2P table must fit in DRAM");
+        SsdDevice {
+            flash,
+            ftl,
+            dram,
+            buffer: PingPongBuffer::new(config.buffer_bytes),
+            host: HostInterface::pcie3_x4(),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// The flash array (for accelerator-mode direct access).
+    pub fn flash(&self) -> &FlashSim {
+        &self.flash
+    }
+
+    /// Mutable flash array.
+    pub fn flash_mut(&mut self) -> &mut FlashSim {
+        &mut self.flash
+    }
+
+    /// The FTL.
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// Mutable FTL.
+    pub fn ftl_mut(&mut self) -> &mut Ftl {
+        &mut self.ftl
+    }
+
+    /// The device DRAM.
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Mutable device DRAM.
+    pub fn dram_mut(&mut self) -> &mut Dram {
+        &mut self.dram
+    }
+
+    /// The data buffer.
+    pub fn buffer(&self) -> &PingPongBuffer {
+        &self.buffer
+    }
+
+    /// Mutable data buffer.
+    pub fn buffer_mut(&mut self) -> &mut PingPongBuffer {
+        &mut self.buffer
+    }
+
+    /// The host link.
+    pub fn host(&self) -> &HostInterface {
+        &self.host
+    }
+
+    /// Mutable host link.
+    pub fn host_mut(&mut self) -> &mut HostInterface {
+        &mut self.host
+    }
+
+    /// SSD-mode host read of `pages` logical pages starting at `lpn`:
+    /// translate, fetch from flash, ship over the host link. Returns the
+    /// completion time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation errors.
+    pub fn host_read(
+        &mut self,
+        lpn: u64,
+        pages: u64,
+        issue: SimTime,
+    ) -> Result<SimTime, SsdError> {
+        let addrs: Result<Vec<_>, _> =
+            (lpn..lpn + pages).map(|l| self.ftl.translate(l)).collect();
+        let batch = self.flash.read_batch(&addrs?, issue);
+        // DRAM staging then host transfer of the whole payload.
+        let staged = self
+            .dram
+            .transfer(pages * self.config.geometry.page_bytes as u64, batch.done);
+        Ok(self
+            .host
+            .transfer(pages * self.config.geometry.page_bytes as u64, staged))
+    }
+
+    /// Serves a queue of SSD-mode read requests `(lpn, pages, arrival)` and
+    /// returns per-request completion times plus latency statistics — the
+    /// conventional-workload view of the device (queueing on the host link,
+    /// the flash channels, and the dies all emerge from the timelines).
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation errors; earlier requests remain applied.
+    pub fn host_read_queue(
+        &mut self,
+        requests: &[(u64, u64, SimTime)],
+    ) -> Result<QueueReport, SsdError> {
+        let mut completions = Vec::with_capacity(requests.len());
+        let mut latencies = Vec::with_capacity(requests.len());
+        for &(lpn, pages, arrival) in requests {
+            let done = self.host_read(lpn, pages, arrival)?;
+            latencies.push(done.saturating_since(arrival));
+            completions.push(done);
+        }
+        Ok(QueueReport::new(completions, latencies))
+    }
+
+    /// SSD-mode TRIM of `pages` logical pages starting at `lpn`: drops the
+    /// mappings so GC can reclaim the space. Completes after a short
+    /// command exchange on the host link.
+    ///
+    /// # Errors
+    ///
+    /// Propagates FTL errors.
+    pub fn host_trim(
+        &mut self,
+        lpn: u64,
+        pages: u64,
+        issue: SimTime,
+    ) -> Result<SimTime, SsdError> {
+        for l in lpn..lpn + pages {
+            self.ftl.trim(l)?;
+        }
+        // TRIM is metadata-only: one command, no data payload.
+        Ok(self.host.transfer(64, issue))
+    }
+
+    /// SSD-mode host write of `pages` logical pages starting at `lpn`.
+    /// Returns the completion time of the last program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors.
+    pub fn host_write(
+        &mut self,
+        lpn: u64,
+        pages: u64,
+        issue: SimTime,
+    ) -> Result<SimTime, SsdError> {
+        let bytes = pages * self.config.geometry.page_bytes as u64;
+        let arrived = self.host.transfer(bytes, issue);
+        let staged = self.dram.transfer(bytes, arrived);
+        let mut done = staged;
+        for l in lpn..lpn + pages {
+            let addr = self.ftl.write(l)?;
+            done = done.max(self.flash.program_page(addr, staged));
+        }
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut ssd = SsdDevice::new(SsdConfig::tiny());
+        let w = ssd.host_write(0, 8, SimTime::ZERO).unwrap();
+        assert!(w > SimTime::ZERO);
+        let r = ssd.host_read(0, 8, w).unwrap();
+        assert!(r > w);
+    }
+
+    #[test]
+    fn read_of_unwritten_lpn_fails() {
+        let mut ssd = SsdDevice::new(SsdConfig::tiny());
+        assert!(matches!(
+            ssd.host_read(5, 1, SimTime::ZERO),
+            Err(SsdError::Unmapped { lpn: 5 })
+        ));
+    }
+
+    #[test]
+    fn sequential_read_uses_all_channels_under_striping() {
+        let mut ssd = SsdDevice::new(SsdConfig::tiny());
+        let w = ssd.host_write(0, 16, SimTime::ZERO).unwrap();
+        ssd.flash_mut().reset_stats();
+        ssd.host_read(0, 16, w).unwrap();
+        let stats = ssd.flash().channel_stats();
+        assert_eq!(stats.imbalance().idle_channels, 0, "striping hits every channel");
+    }
+
+    #[test]
+    fn l2p_table_is_reserved_in_dram() {
+        let ssd = SsdDevice::new(SsdConfig::tiny());
+        assert!(ssd.dram().reserved_bytes() >= ssd.ftl().logical_pages() * 4);
+    }
+
+    #[test]
+    fn trim_frees_mappings_for_gc() {
+        let mut ssd = SsdDevice::new(SsdConfig::tiny());
+        let w = ssd.host_write(0, 16, SimTime::ZERO).unwrap();
+        assert_eq!(ssd.ftl().mapped_pages(), 16);
+        let t = ssd.host_trim(0, 8, w).unwrap();
+        assert!(t > w);
+        assert_eq!(ssd.ftl().mapped_pages(), 8);
+        // Trimmed LPNs fail reads; surviving ones still work.
+        assert!(ssd.host_read(0, 1, t).is_err());
+        assert!(ssd.host_read(8, 8, t).is_ok());
+    }
+
+    #[test]
+    fn queued_reads_report_latencies() {
+        let mut ssd = SsdDevice::new(SsdConfig::tiny());
+        let w = ssd.host_write(0, 32, SimTime::ZERO).unwrap();
+        // A burst of 16 single-page reads arriving together queues up.
+        let requests: Vec<(u64, u64, SimTime)> = (0..16).map(|i| (i * 2, 1, w)).collect();
+        let report = ssd.host_read_queue(&requests).unwrap();
+        assert_eq!(report.completions.len(), 16);
+        assert!(report.mean_ns() > 0.0);
+        // Queueing: the p99 latency exceeds the fastest request's latency.
+        assert!(report.quantile_ns(0.99) > report.quantile_ns(0.0));
+        // Completions are monotone for an in-order queue over one link.
+        assert!(report.completions.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn paper_config_capacity() {
+        let c = SsdConfig::paper_default();
+        assert_eq!(c.geometry.capacity_bytes(), 4 << 40);
+        assert_eq!(c.dram_bytes, 16 << 30);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests of the flash simulator's timing invariants, checked
+//! against its own transfer trace.
+
+use ecssd_ssd::{FlashSim, FlashTiming, PhysPageAddr, SimTime, SsdGeometry};
+use proptest::prelude::*;
+
+fn arb_addr(g: SsdGeometry) -> impl Strategy<Value = PhysPageAddr> {
+    (
+        0..g.channels,
+        0..g.dies_per_channel,
+        0..g.planes_per_die,
+        0..g.blocks_per_plane,
+        0..g.pages_per_block,
+    )
+        .prop_map(|(channel, die, plane, block, page)| PhysPageAddr {
+            channel,
+            die,
+            plane,
+            block,
+            page,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any batch: every read's causality chain holds (sense before
+    /// transfer, transfer start before done), bus occupancies on one
+    /// channel never overlap, and the busy accounting equals the traced
+    /// occupancy.
+    #[test]
+    fn batch_timing_invariants(
+        addrs in prop::collection::vec(arb_addr(SsdGeometry::tiny()), 1..80),
+        issue_ns in 0u64..100_000,
+        gate_extra in 0u64..50_000,
+    ) {
+        let mut f = FlashSim::new(SsdGeometry::tiny(), FlashTiming::paper_default());
+        f.enable_tracing(1 << 16);
+        let issue = SimTime::from_ns(issue_ns);
+        let gate = SimTime::from_ns(issue_ns + gate_extra);
+        let batch = f.read_batch_gated(&addrs, issue, gate);
+        prop_assert_eq!(batch.reads.len(), addrs.len());
+        for r in &batch.reads {
+            prop_assert!(r.die_done >= issue);
+            prop_assert!(r.transfer_start >= r.die_done.max(gate));
+            prop_assert!(r.done > r.transfer_start);
+            prop_assert!(batch.done >= r.done);
+        }
+        // Per-channel bus occupancies are disjoint and sum to busy_ns.
+        let stats = f.channel_stats();
+        for ch in 0..4 {
+            let mut events: Vec<_> = f
+                .trace()
+                .iter()
+                .filter(|e| e.channel == ch)
+                .collect();
+            events.sort_by_key(|e| e.start);
+            for pair in events.windows(2) {
+                prop_assert!(
+                    pair[1].start >= pair[0].end,
+                    "bus overlap on channel {ch}"
+                );
+            }
+            let traced: u64 = events.iter().map(|e| e.end - e.start).sum();
+            prop_assert_eq!(traced, stats.busy_ns()[ch]);
+        }
+    }
+
+    /// Fault injection only adds latency, deterministically.
+    #[test]
+    fn retries_are_deterministic_and_slower(
+        addrs in prop::collection::vec(arb_addr(SsdGeometry::tiny()), 1..60),
+    ) {
+        let run = |p: f64| {
+            let mut f = FlashSim::new(
+                SsdGeometry::tiny(),
+                FlashTiming::paper_default().with_read_retries(p),
+            );
+            let b = f.read_batch(&addrs, SimTime::ZERO);
+            (b.done, f.read_retries())
+        };
+        let (clean, r0) = run(0.0);
+        prop_assert_eq!(r0, 0);
+        let (faulty_a, ra) = run(0.4);
+        let (faulty_b, rb) = run(0.4);
+        prop_assert_eq!(faulty_a, faulty_b, "same seed, same outcome");
+        prop_assert_eq!(ra, rb);
+        prop_assert!(faulty_a >= clean, "retries cannot speed a batch up");
+    }
+
+    /// Multi-plane reads never make a batch slower than single-plane.
+    #[test]
+    fn multiplane_never_hurts(
+        addrs in prop::collection::vec(arb_addr(SsdGeometry::tiny()), 1..60),
+    ) {
+        let run = |timing: FlashTiming| {
+            FlashSim::new(SsdGeometry::tiny(), timing)
+                .read_batch(&addrs, SimTime::ZERO)
+                .done
+        };
+        let multi = run(FlashTiming::paper_default());
+        let single = run(FlashTiming::single_plane());
+        prop_assert!(multi <= single, "multi {multi} vs single {single}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of FTL invariants under random workloads.
+
+use std::collections::HashMap;
+
+use ecssd_ssd::{AllocationPolicy, Ftl, SsdGeometry};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u64),
+    Trim(u64),
+}
+
+fn op_strategy(lpns: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..lpns).prop_map(Op::Write),
+        1 => (0..lpns).prop_map(Op::Trim),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any sequence of writes and trims: every mapped LPN translates
+    /// to a unique in-range physical page on the channel its policy
+    /// dictates, and the mapped count equals the live-set size.
+    #[test]
+    fn mapping_invariants_hold(
+        ops in prop::collection::vec(op_strategy(200), 1..400),
+        striped in any::<bool>(),
+    ) {
+        let geometry = SsdGeometry::tiny();
+        let policy = if striped {
+            AllocationPolicy::Striped
+        } else {
+            AllocationPolicy::RangePartitioned
+        };
+        let mut ftl = Ftl::new(geometry, policy, 0.25);
+        let mut live: HashMap<u64, ()> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Write(lpn) => {
+                    ftl.write(lpn).unwrap();
+                    live.insert(lpn, ());
+                }
+                Op::Trim(lpn) => {
+                    ftl.trim(lpn).unwrap();
+                    live.remove(&lpn);
+                }
+            }
+        }
+        prop_assert_eq!(ftl.mapped_pages(), live.len() as u64);
+        let mut seen = std::collections::HashSet::new();
+        for &lpn in live.keys() {
+            let addr = ftl.translate(lpn).unwrap();
+            prop_assert!(geometry.contains(addr), "address out of range");
+            prop_assert_eq!(addr.channel, ftl.channel_of(lpn), "policy violated");
+            prop_assert!(seen.insert(addr), "two LPNs share a physical page");
+        }
+    }
+
+    /// Heavy overwrite churn forces GC; mappings survive and wear spreads
+    /// across more than one block.
+    #[test]
+    fn gc_preserves_mappings(seed in 0u64..1000) {
+        let geometry = SsdGeometry::tiny();
+        let mut ftl = Ftl::new(geometry, AllocationPolicy::Striped, 0.25);
+        let lpns: Vec<u64> = (0..48).map(|i| (i * 7 + seed % 5) % 96).collect();
+        for round in 0..30 {
+            for &lpn in &lpns {
+                ftl.write(lpn).unwrap();
+            }
+            if round == 0 {
+                // Every written LPN resolves from round one on.
+                for &lpn in &lpns {
+                    prop_assert!(ftl.translate(lpn).is_ok());
+                }
+            }
+        }
+        for &lpn in &lpns {
+            prop_assert!(ftl.translate(lpn).is_ok());
+        }
+        // GC either never needed (enough space) or ran and erased blocks.
+        let wear = ftl.wear();
+        prop_assert_eq!(wear.total_erases, ftl.gc_totals().erased_blocks);
+    }
+
+    /// Unwritten LPNs always fail translation, written ones always succeed.
+    #[test]
+    fn translate_matches_write_history(writes in prop::collection::hash_set(0u64..100, 0..50)) {
+        let mut ftl = Ftl::new(SsdGeometry::tiny(), AllocationPolicy::Striped, 0.25);
+        for &lpn in &writes {
+            ftl.write(lpn).unwrap();
+        }
+        for lpn in 0..100 {
+            prop_assert_eq!(ftl.translate(lpn).is_ok(), writes.contains(&lpn));
+        }
+    }
+}

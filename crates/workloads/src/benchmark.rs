@@ -1,0 +1,197 @@
+//! The Table 3 benchmark suite.
+
+use serde::{Deserialize, Serialize};
+
+/// One extreme-classification benchmark (model + dataset + dimensions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Benchmark {
+    /// Abbreviation used throughout the paper (e.g. "GNMT-E32K").
+    pub abbrev: &'static str,
+    /// Model family.
+    pub model: &'static str,
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Classification category count `L` (rows of the weight matrix).
+    pub categories: u64,
+    /// Original hidden dimension `D` (columns of the weight matrix).
+    pub hidden: usize,
+}
+
+impl Benchmark {
+    /// The full Table 3 suite, in the paper's order.
+    ///
+    /// ```
+    /// use ecssd_workloads::Benchmark;
+    /// let suite = Benchmark::suite();
+    /// assert_eq!(suite.len(), 7);
+    /// // XMLCNN-S100M: the 400 GB / 12.8 GB matrices of §6.1.
+    /// assert_eq!(suite[6].fp32_matrix_bytes(), 409_600_000_000);
+    /// ```
+    ///
+    /// Hidden sizes follow §6.1: LSTM-W33K 1500; Transformer-W268K and
+    /// XMLCNN-A670K 512; all others 1024.
+    pub fn suite() -> [Benchmark; 7] {
+        [
+            Benchmark {
+                abbrev: "GNMT-E32K",
+                model: "GNMT",
+                dataset: "WMT16",
+                categories: 32_317,
+                hidden: 1024,
+            },
+            Benchmark {
+                abbrev: "LSTM-W33K",
+                model: "LSTM",
+                dataset: "Wikitext-2",
+                categories: 33_278,
+                hidden: 1500,
+            },
+            Benchmark {
+                abbrev: "Transformer-W268K",
+                model: "Transformer",
+                dataset: "Wikitext-103",
+                categories: 267_744,
+                hidden: 512,
+            },
+            Benchmark {
+                abbrev: "XMLCNN-A670K",
+                model: "XMLCNN",
+                dataset: "Amazon-670k",
+                categories: 670_091,
+                hidden: 512,
+            },
+            Benchmark {
+                abbrev: "XMLCNN-S10M",
+                model: "XMLCNN",
+                dataset: "S10M",
+                categories: 10_000_000,
+                hidden: 1024,
+            },
+            Benchmark {
+                abbrev: "XMLCNN-S50M",
+                model: "XMLCNN",
+                dataset: "S50M",
+                categories: 50_000_000,
+                hidden: 1024,
+            },
+            Benchmark {
+                abbrev: "XMLCNN-S100M",
+                model: "XMLCNN",
+                dataset: "S100M",
+                categories: 100_000_000,
+                hidden: 1024,
+            },
+        ]
+    }
+
+    /// Looks a benchmark up by abbreviation.
+    pub fn by_abbrev(abbrev: &str) -> Option<Benchmark> {
+        Self::suite().into_iter().find(|b| b.abbrev == abbrev)
+    }
+
+    /// The four small benchmarks used for Fig. 12.
+    pub fn small_suite() -> [Benchmark; 4] {
+        let s = Self::suite();
+        [s[0], s[1], s[2], s[3]]
+    }
+
+    /// The three large benchmarks used for Fig. 13.
+    pub fn large_suite() -> [Benchmark; 3] {
+        let s = Self::suite();
+        [s[4], s[5], s[6]]
+    }
+
+    /// Projected hidden dimension `K = D/4` (§6.1 projection scale 0.25).
+    pub fn projected_dim(&self) -> usize {
+        (self.hidden / 4).max(1)
+    }
+
+    /// Bytes of one FP32 weight row (`4·D`).
+    pub fn fp32_row_bytes(&self) -> u64 {
+        4 * self.hidden as u64
+    }
+
+    /// Bytes of the full FP32 weight matrix.
+    pub fn fp32_matrix_bytes(&self) -> u64 {
+        self.categories * self.fp32_row_bytes()
+    }
+
+    /// Bytes of one INT4 screener row (`K/2`).
+    pub fn int4_row_bytes(&self) -> u64 {
+        (self.projected_dim() as u64).div_ceil(2)
+    }
+
+    /// Bytes of the full INT4 screener matrix.
+    pub fn int4_matrix_bytes(&self) -> u64 {
+        self.categories * self.int4_row_bytes()
+    }
+
+    /// Flash pages per FP32 weight row for the given page size.
+    pub fn pages_per_row(&self, page_bytes: usize) -> u64 {
+        self.fp32_row_bytes().div_ceil(page_bytes as u64)
+    }
+
+    /// Whether the paper treats this benchmark as a synthesized large-scale
+    /// dataset (10M+ categories) — we sample its candidate traces instead of
+    /// computing real screening math.
+    pub fn is_large_scale(&self) -> bool {
+        self.categories >= 10_000_000
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table3() {
+        let s = Benchmark::suite();
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[0].categories, 32_317);
+        assert_eq!(s[3].dataset, "Amazon-670k");
+        assert_eq!(s[6].categories, 100_000_000);
+    }
+
+    #[test]
+    fn s100m_matrix_sizes_match_section61() {
+        // §6.1: "the sizes of its 4/32-bit weight matrices are
+        // 12.8GB/400GB respectively" for XMLCNN-S100M.
+        let b = Benchmark::by_abbrev("XMLCNN-S100M").unwrap();
+        assert_eq!(b.projected_dim(), 256);
+        assert_eq!(b.int4_matrix_bytes(), 12_800_000_000);
+        assert_eq!(b.fp32_matrix_bytes(), 409_600_000_000);
+    }
+
+    #[test]
+    fn pages_per_row_depends_on_hidden() {
+        let gnmt = Benchmark::by_abbrev("GNMT-E32K").unwrap();
+        let lstm = Benchmark::by_abbrev("LSTM-W33K").unwrap();
+        let tfm = Benchmark::by_abbrev("Transformer-W268K").unwrap();
+        assert_eq!(gnmt.pages_per_row(4096), 1); // 4 KB row
+        assert_eq!(lstm.pages_per_row(4096), 2); // 6 KB row
+        assert_eq!(tfm.pages_per_row(4096), 1); // 2 KB row (page padded)
+    }
+
+    #[test]
+    fn large_scale_split() {
+        assert!(!Benchmark::by_abbrev("XMLCNN-A670K").unwrap().is_large_scale());
+        assert!(Benchmark::by_abbrev("XMLCNN-S10M").unwrap().is_large_scale());
+        assert_eq!(Benchmark::small_suite().len(), 4);
+        assert_eq!(Benchmark::large_suite().len(), 3);
+    }
+
+    #[test]
+    fn lookup_by_abbrev() {
+        assert!(Benchmark::by_abbrev("nope").is_none());
+        assert_eq!(
+            Benchmark::by_abbrev("LSTM-W33K").unwrap().hidden,
+            1500
+        );
+    }
+}

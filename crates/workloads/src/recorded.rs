@@ -1,0 +1,195 @@
+//! Recorded traces: materialize a candidate trace once, save it to JSON,
+//! and replay it later — cross-run reproducibility and sharing traces
+//! between experiments without re-deriving them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Benchmark, CandidateSource};
+
+/// Serde helpers: `Benchmark` carries `&'static str` names, so it travels
+/// as its abbreviation plus the (possibly clamped) dimensions and is looked
+/// up again on load.
+mod benchmark_serde {
+    use super::Benchmark;
+    use serde::de::Error as _;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    #[derive(Serialize, Deserialize)]
+    struct Repr {
+        abbrev: String,
+        categories: u64,
+        hidden: usize,
+    }
+
+    pub fn serialize<S: Serializer>(b: &Benchmark, s: S) -> Result<S::Ok, S::Error> {
+        Repr {
+            abbrev: b.abbrev.to_string(),
+            categories: b.categories,
+            hidden: b.hidden,
+        }
+        .serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Benchmark, D::Error> {
+        let repr = Repr::deserialize(d)?;
+        let base = Benchmark::by_abbrev(&repr.abbrev)
+            .ok_or_else(|| D::Error::custom(format!("unknown benchmark {}", repr.abbrev)))?;
+        Ok(Benchmark {
+            categories: repr.categories,
+            hidden: repr.hidden,
+            ..base
+        })
+    }
+}
+
+/// A fully materialized candidate trace for a tile window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedTrace {
+    /// The benchmark the trace was recorded from.
+    #[serde(with = "benchmark_serde")]
+    pub benchmark: Benchmark,
+    /// Rows per tile.
+    pub tile_rows: usize,
+    /// Queries recorded.
+    pub queries: usize,
+    /// Tiles recorded (a prefix of the matrix).
+    pub tiles: usize,
+    /// `candidates[q][t]` = sorted global row ids.
+    candidates: Vec<Vec<Vec<u64>>>,
+    /// Per-tile predicted hotness snapshots.
+    hotness: Vec<Vec<f32>>,
+}
+
+impl RecordedTrace {
+    /// Records `queries × tiles` candidate sets from any source.
+    ///
+    /// ```
+    /// use ecssd_workloads::{Benchmark, CandidateSource, RecordedTrace, SampledWorkload, TraceConfig};
+    /// let bench = Benchmark::by_abbrev("GNMT-E32K").unwrap();
+    /// let mut live = SampledWorkload::new(bench, TraceConfig::paper_default());
+    /// let mut replay = RecordedTrace::record(&mut live, 2, 2);
+    /// assert_eq!(replay.candidates(1, 0), live.candidates(1, 0));
+    /// let json = replay.to_json().unwrap(); // shareable artifact
+    /// assert!(json.contains("GNMT-E32K"));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries == 0` or `tiles == 0`.
+    pub fn record(source: &mut dyn CandidateSource, queries: usize, tiles: usize) -> Self {
+        assert!(queries > 0 && tiles > 0, "empty recording window");
+        let tiles = tiles.min(source.num_tiles());
+        let candidates = (0..queries)
+            .map(|q| (0..tiles).map(|t| source.candidates(q, t)).collect())
+            .collect();
+        let hotness = (0..tiles).map(|t| source.predicted_hotness(t)).collect();
+        RecordedTrace {
+            benchmark: *source.benchmark(),
+            tile_rows: source.tile_rows(),
+            queries,
+            tiles,
+            candidates,
+            hotness,
+        }
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization errors.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl CandidateSource for RecordedTrace {
+    fn benchmark(&self) -> &Benchmark {
+        &self.benchmark
+    }
+
+    fn tile_rows(&self) -> usize {
+        self.tile_rows
+    }
+
+    /// Replays the recording; queries and tiles wrap modulo the recorded
+    /// window so a short recording can drive a longer run.
+    fn candidates(&mut self, query: usize, tile: usize) -> Vec<u64> {
+        let q = query % self.queries;
+        let t = tile % self.tiles;
+        // Recorded candidates are tile-local to the recorded tile; remap to
+        // the requested tile's row range so wrapped replay stays in range.
+        let recorded_range = (t * self.tile_rows) as u64;
+        let requested_start = (tile * self.tile_rows) as u64;
+        self.candidates[q][t]
+            .iter()
+            .map(|&row| row - recorded_range + requested_start)
+            .filter(|&row| row < self.benchmark.categories)
+            .collect()
+    }
+
+    fn predicted_hotness(&self, tile: usize) -> Vec<f32> {
+        self.hotness[tile % self.tiles].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SampledWorkload, TraceConfig};
+
+    fn recorded() -> RecordedTrace {
+        let bench = Benchmark::by_abbrev("GNMT-E32K").unwrap();
+        let mut w = SampledWorkload::new(bench, TraceConfig::paper_default());
+        RecordedTrace::record(&mut w, 3, 4)
+    }
+
+    #[test]
+    fn replay_matches_the_original_inside_the_window() {
+        let bench = Benchmark::by_abbrev("GNMT-E32K").unwrap();
+        let mut w = SampledWorkload::new(bench, TraceConfig::paper_default());
+        let mut r = RecordedTrace::record(&mut w, 3, 4);
+        for q in 0..3 {
+            for t in 0..4 {
+                assert_eq!(r.candidates(q, t), w.candidates(q, t), "q{q} t{t}");
+            }
+        }
+        assert_eq!(r.predicted_hotness(2), w.predicted_hotness(2));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = recorded();
+        let json = r.to_json().unwrap();
+        let back = RecordedTrace::from_json(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn wrapped_replay_stays_in_range() {
+        let mut r = recorded();
+        // Query 7 wraps to query 1; tile 9 wraps to tile 1 but remaps rows
+        // into tile 9's range.
+        let c = r.candidates(7, 9);
+        let start = 9 * 512;
+        assert!(!c.is_empty());
+        assert!(c.iter().all(|&row| row >= start && row < start + 512));
+    }
+
+    #[test]
+    fn drives_the_machine() {
+        use ecssd_screen::DenseMatrix;
+        let _ = DenseMatrix::zeros(1, 1); // keep the dev-dependency honest
+        let r = recorded();
+        assert_eq!(r.num_tiles(), 32_317usize.div_ceil(512));
+    }
+}

@@ -1,0 +1,136 @@
+//! Trace statistics: quantifying the candidate-access structure a workload
+//! exposes to the architecture (skew, recurrence, hot coverage).
+
+use serde::{Deserialize, Serialize};
+
+use crate::CandidateSource;
+
+/// Aggregate statistics of a candidate trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Queries sampled.
+    pub queries: usize,
+    /// Tiles sampled.
+    pub tiles: usize,
+    /// Mean candidate ratio (candidates / tile rows).
+    pub mean_candidate_ratio: f64,
+    /// Mean Jaccard similarity between consecutive queries' candidate sets
+    /// of the same tile — how much of the access pattern recurs.
+    pub recurrence: f64,
+    /// Fraction of all candidate hits covered by the top decile of rows by
+    /// hit frequency — the skew the learned layout exploits.
+    pub hot_coverage: f64,
+}
+
+/// Measures a trace over `queries × tiles` samples.
+///
+/// ```
+/// use ecssd_workloads::{analyze, Benchmark, SampledWorkload, TraceConfig};
+/// let bench = Benchmark::by_abbrev("GNMT-E32K").unwrap();
+/// let mut workload = SampledWorkload::new(bench, TraceConfig::paper_default());
+/// let stats = analyze(&mut workload, 4, 4);
+/// assert!((stats.mean_candidate_ratio - 0.1).abs() < 0.05);
+/// assert!(stats.recurrence > 0.5); // hot rows recur across queries
+/// ```
+///
+/// # Panics
+///
+/// Panics if `queries < 2` or `tiles == 0` (recurrence needs pairs).
+pub fn analyze(source: &mut dyn CandidateSource, queries: usize, tiles: usize) -> TraceStats {
+    assert!(queries >= 2 && tiles > 0, "need at least 2 queries and 1 tile");
+    let tiles = tiles.min(source.num_tiles());
+    let mut ratio_sum = 0.0;
+    let mut jaccard_sum = 0.0;
+    let mut jaccard_n = 0usize;
+    let mut total_hits = 0u64;
+    let mut top_decile_hits = 0u64;
+    for t in 0..tiles {
+        let range = source.tile_row_range(t);
+        let tile_len = (range.end - range.start) as usize;
+        let mut freq = vec![0u32; tile_len];
+        let mut prev: Option<Vec<u64>> = None;
+        for q in 0..queries {
+            let cands = source.candidates(q, t);
+            ratio_sum += cands.len() as f64 / tile_len as f64;
+            for &row in &cands {
+                freq[(row - range.start) as usize] += 1;
+            }
+            if let Some(p) = &prev {
+                let inter = cands.iter().filter(|c| p.binary_search(c).is_ok()).count();
+                let union = cands.len() + p.len() - inter;
+                if union > 0 {
+                    jaccard_sum += inter as f64 / union as f64;
+                    jaccard_n += 1;
+                }
+            }
+            prev = Some(cands);
+        }
+        let mut sorted = freq.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let decile = (tile_len / 10).max(1);
+        top_decile_hits += sorted[..decile].iter().map(|&f| u64::from(f)).sum::<u64>();
+        total_hits += freq.iter().map(|&f| u64::from(f)).sum::<u64>();
+    }
+    TraceStats {
+        queries,
+        tiles,
+        mean_candidate_ratio: ratio_sum / (queries * tiles) as f64,
+        recurrence: if jaccard_n == 0 { 0.0 } else { jaccard_sum / jaccard_n as f64 },
+        hot_coverage: if total_hits == 0 {
+            0.0
+        } else {
+            top_decile_hits as f64 / total_hits as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, SampledWorkload, TraceConfig};
+
+    #[test]
+    fn paper_trace_is_skewed_and_recurrent() {
+        let bench = Benchmark::by_abbrev("GNMT-E32K").unwrap();
+        let mut w = SampledWorkload::new(bench, TraceConfig::paper_default());
+        let stats = analyze(&mut w, 6, 10);
+        assert!(
+            (0.08..=0.12).contains(&stats.mean_candidate_ratio),
+            "ratio {}",
+            stats.mean_candidate_ratio
+        );
+        // Hot rows dominate: most candidate hits land in the top decile,
+        // and consecutive queries overlap heavily.
+        assert!(stats.hot_coverage > 0.7, "coverage {}", stats.hot_coverage);
+        assert!(stats.recurrence > 0.6, "recurrence {}", stats.recurrence);
+    }
+
+    #[test]
+    fn flat_hotness_kills_recurrence() {
+        let bench = Benchmark::by_abbrev("GNMT-E32K").unwrap();
+        let trace = TraceConfig {
+            hotness: crate::HotnessModel {
+                hot_cluster_prob: 1.0e-6, // effectively no hot tier
+                warm_cap: 1.01,
+                row_sigma: 0.0,
+                ..crate::HotnessModel::paper_default(1)
+            },
+            ..TraceConfig::paper_default()
+        };
+        let mut w = SampledWorkload::new(bench, trace);
+        let stats = analyze(&mut w, 6, 10);
+        assert!(
+            stats.recurrence < 0.3,
+            "near-uniform weights should not recur: {}",
+            stats.recurrence
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 queries")]
+    fn single_query_panics() {
+        let bench = Benchmark::by_abbrev("GNMT-E32K").unwrap();
+        let mut w = SampledWorkload::new(bench, TraceConfig::paper_default());
+        let _ = analyze(&mut w, 1, 1);
+    }
+}

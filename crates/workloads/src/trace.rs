@@ -1,0 +1,349 @@
+//! Candidate traces: which FP32 weight rows each query fetches, per tile.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Benchmark, HotnessModel, PredictorModel};
+
+/// Query indices at or above this value are *training* queries: the
+/// interleaving framework fine-tunes hot degrees on them (§5.3: "fine-tuned
+/// according to the frequency of being filtered as a candidate on the
+/// training dataset"), while evaluation uses indices below it. Keeping both
+/// in one index space guarantees they are disjoint but identically
+/// distributed.
+pub const TRAINING_QUERY_BASE: usize = 1 << 32;
+
+/// Trace-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Weight rows per processing tile (sized so a tile's candidates fit
+    /// the 400 KB FP32 weight buffer of Table 2: 512 rows × 10 % × 4 KB
+    /// ≈ 205 KB).
+    pub tile_rows: usize,
+    /// Target candidate ratio (paper default 10 %).
+    pub candidate_ratio: f64,
+    /// Relative sigma of the per-(query, tile) candidate-count jitter.
+    pub count_sigma: f64,
+    /// Row-hotness model.
+    pub hotness: HotnessModel,
+    /// Hot-degree predictor model.
+    pub predictor: PredictorModel,
+}
+
+impl TraceConfig {
+    /// The calibrated paper-default trace model (r = 10 %).
+    pub fn paper_default() -> Self {
+        TraceConfig {
+            tile_rows: 512,
+            candidate_ratio: 0.10,
+            count_sigma: 0.05,
+            hotness: HotnessModel::paper_default(0xec55d),
+            predictor: PredictorModel::paper_default(0x9ced),
+        }
+    }
+
+    /// Same model at a different candidate ratio (Fig. 10 sweeps 5–20 %).
+    pub fn with_candidate_ratio(mut self, ratio: f64) -> Self {
+        self.candidate_ratio = ratio;
+        self
+    }
+
+    /// Same model with a different tile size.
+    pub fn with_tile_rows(mut self, tile_rows: usize) -> Self {
+        self.tile_rows = tile_rows;
+        self
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A source of per-tile candidate sets — the interface between workloads
+/// and the architecture pipeline.
+pub trait CandidateSource {
+    /// The benchmark this trace belongs to.
+    fn benchmark(&self) -> &Benchmark;
+
+    /// Rows per tile.
+    fn tile_rows(&self) -> usize;
+
+    /// Number of tiles covering the weight matrix.
+    fn num_tiles(&self) -> usize {
+        (self.benchmark().categories as usize).div_ceil(self.tile_rows())
+    }
+
+    /// Global row range of `tile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile >= num_tiles()`.
+    fn tile_row_range(&self, tile: usize) -> std::ops::Range<u64> {
+        assert!(tile < self.num_tiles(), "tile {tile} out of range");
+        let start = (tile * self.tile_rows()) as u64;
+        let end = (start + self.tile_rows() as u64).min(self.benchmark().categories);
+        start..end
+    }
+
+    /// Candidate global row ids of `query` within `tile`, sorted ascending.
+    /// Query indices `>= TRAINING_QUERY_BASE` form the training trace.
+    fn candidates(&mut self, query: usize, tile: usize) -> Vec<u64>;
+
+    /// The hot-degree *prediction* available to the interleaving framework
+    /// for the rows of `tile` (derived from INT4 weight magnitudes, §5.3).
+    fn predicted_hotness(&self, tile: usize) -> Vec<f32>;
+
+    /// Candidate frequency of each row of `tile` over `n` training queries
+    /// (the fine-tuning signal of §5.3).
+    fn training_frequency(&mut self, tile: usize, n: usize) -> Vec<u32> {
+        let range = self.tile_row_range(tile);
+        let mut counts = vec![0u32; (range.end - range.start) as usize];
+        for q in 0..n {
+            for row in self.candidates(TRAINING_QUERY_BASE + q, tile) {
+                counts[(row - range.start) as usize] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Solves `Σ min(1, λ·w_i) = target` for λ by bisection.
+fn solve_inclusion_lambda(weights: &[f64], target: f64) -> f64 {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let n = weights.len() as f64;
+    let target = target.min(n);
+    let mass = |lambda: f64| -> f64 {
+        weights.iter().map(|&w| (lambda * w).min(1.0)).sum()
+    };
+    let (mut lo, mut hi) = (0.0, 1.0);
+    // Grow hi until it covers the target (bounded: λ=∞ gives n ≥ target).
+    while mass(hi) < target && hi < 1.0e18 {
+        hi *= 2.0;
+    }
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if mass(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// A trace sampled directly from the hotness model (the large-scale path).
+#[derive(Debug, Clone)]
+pub struct SampledWorkload {
+    benchmark: Benchmark,
+    config: TraceConfig,
+}
+
+impl SampledWorkload {
+    /// Builds a sampled trace for any benchmark.
+    pub fn new(benchmark: Benchmark, config: TraceConfig) -> Self {
+        SampledWorkload { benchmark, config }
+    }
+
+    /// The trace configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Candidate count for `(query, tile)`: the target ratio with
+    /// deterministic lognormal jitter.
+    fn candidate_count(&self, query: usize, tile: usize, tile_len: usize) -> usize {
+        let mean = self.config.candidate_ratio * tile_len as f64;
+        let stream = 0x00c0_u64 ^ ((query as u64) << 20) ^ tile as u64;
+        let u = self.config.hotness.uniform(stream, 0);
+        let v = self.config.hotness.uniform(stream, 1);
+        let gauss = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+        let jittered = mean * (self.config.count_sigma * gauss).exp();
+        (jittered.round() as usize).clamp(1, tile_len)
+    }
+}
+
+impl CandidateSource for SampledWorkload {
+    fn benchmark(&self) -> &Benchmark {
+        &self.benchmark
+    }
+
+    fn tile_rows(&self) -> usize {
+        self.config.tile_rows
+    }
+
+    fn candidates(&mut self, query: usize, tile: usize) -> Vec<u64> {
+        let range = self.tile_row_range(tile);
+        let tile_len = (range.end - range.start) as usize;
+        let target = self.candidate_count(query, tile, tile_len);
+        // Per-row inclusion probabilities p_i = min(1, λ·w_i), with λ
+        // solved so that Σ p_i equals the target count. Hot rows saturate
+        // at p = 1 (candidates for every query — the recurring set the
+        // learned layout can spread), warm rows form the per-query random
+        // tail. Deterministic per (query, tile).
+        let weights: Vec<f64> = range.clone().map(|r| self.config.hotness.weight(r)).collect();
+        let lambda = solve_inclusion_lambda(&weights, target as f64);
+        let stream = 0x5a3e_u64 ^ ((query as u64) << 24) ^ ((tile as u64) << 2);
+        let mut rows: Vec<u64> = range
+            .clone()
+            .zip(&weights)
+            .filter(|&(row, &w)| {
+                let p = (lambda * w).min(1.0);
+                self.config.hotness.uniform(stream, row) < p
+            })
+            .map(|(row, _)| row)
+            .collect();
+        if rows.is_empty() {
+            // Degenerate tail-only draw: keep at least the heaviest row so
+            // the pipeline always has work.
+            let best = range
+                .clone()
+                .zip(&weights)
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+                .map(|(row, _)| row)
+                .expect("non-empty tile");
+            rows.push(best);
+        }
+        rows.sort_unstable();
+        rows
+    }
+
+    fn predicted_hotness(&self, tile: usize) -> Vec<f32> {
+        self.tile_row_range(tile)
+            .map(|row| {
+                let t = self.config.hotness.weight(row);
+                self.config.predictor.predict(row, t) as f32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> SampledWorkload {
+        SampledWorkload::new(
+            Benchmark::by_abbrev("GNMT-E32K").unwrap(),
+            TraceConfig::paper_default(),
+        )
+    }
+
+    #[test]
+    fn tiling_covers_the_matrix() {
+        let w = workload();
+        assert_eq!(w.num_tiles(), 32_317usize.div_ceil(512));
+        let last = w.tile_row_range(w.num_tiles() - 1);
+        assert_eq!(last.end, 32_317);
+        assert!(last.start < last.end);
+    }
+
+    #[test]
+    fn candidates_are_deterministic_sorted_in_range() {
+        let mut w = workload();
+        let a = w.candidates(3, 5);
+        let b = w.candidates(3, 5);
+        assert_eq!(a, b);
+        let range = w.tile_row_range(5);
+        assert!(a.windows(2).all(|p| p[0] < p[1]));
+        assert!(a.iter().all(|&r| range.contains(&r)));
+    }
+
+    #[test]
+    fn candidate_ratio_is_near_target() {
+        let mut w = workload();
+        let mut total = 0usize;
+        let queries = 20;
+        let tiles = 10;
+        for q in 0..queries {
+            for t in 0..tiles {
+                total += w.candidates(q, t).len();
+            }
+        }
+        let ratio = total as f64 / (queries * tiles * 512) as f64;
+        assert!((0.08..=0.12).contains(&ratio), "mean ratio {ratio}");
+    }
+
+    #[test]
+    fn different_queries_select_different_rows() {
+        let mut w = workload();
+        let a = w.candidates(0, 0);
+        let b = w.candidates(1, 0);
+        assert_ne!(a, b);
+        // Hot rows recur: averaged over tiles, the intersection is far
+        // above the ~10% expected under independent draws. (Any single
+        // tile may lack a hot cluster entirely.)
+        let mut inter = 0usize;
+        let mut denom = 0usize;
+        for t in 0..12 {
+            let a = w.candidates(0, t);
+            let b = w.candidates(1, t);
+            inter += a.iter().filter(|r| b.contains(r)).count();
+            denom += a.len().min(b.len());
+        }
+        assert!(
+            inter as f64 > 0.4 * denom as f64,
+            "hot rows should recur: {inter}/{denom}"
+        );
+    }
+
+    #[test]
+    fn hot_rows_are_sampled_more() {
+        let mut w = workload();
+        let freq = w.training_frequency(0, 60);
+        let hotness = w.config().hotness.weights(w.tile_row_range(0));
+        // Mean frequency of the top-decile-hotness rows vs the bottom half.
+        let mut idx: Vec<usize> = (0..freq.len()).collect();
+        idx.sort_by(|&a, &b| hotness[b].partial_cmp(&hotness[a]).unwrap());
+        let top: f64 = idx[..51].iter().map(|&i| f64::from(freq[i])).sum::<f64>() / 51.0;
+        let bottom: f64 =
+            idx[256..].iter().map(|&i| f64::from(freq[i])).sum::<f64>() / 256.0;
+        assert!(top > 3.0 * bottom, "top {top} vs bottom {bottom}");
+    }
+
+    #[test]
+    fn predicted_hotness_has_tile_len() {
+        let w = workload();
+        assert_eq!(w.predicted_hotness(0).len(), 512);
+        let last = w.num_tiles() - 1;
+        let range = w.tile_row_range(last);
+        assert_eq!(
+            w.predicted_hotness(last).len(),
+            (range.end - range.start) as usize
+        );
+    }
+
+    #[test]
+    fn training_and_eval_queries_are_disjoint_streams() {
+        let mut w = workload();
+        let eval = w.candidates(0, 0);
+        let train = w.candidates(TRAINING_QUERY_BASE, 0);
+        assert_ne!(eval, train);
+    }
+
+    #[test]
+    fn ratio_override_scales_counts() {
+        let b = Benchmark::by_abbrev("GNMT-E32K").unwrap();
+        let mut w5 =
+            SampledWorkload::new(b, TraceConfig::paper_default().with_candidate_ratio(0.05));
+        let mut w20 =
+            SampledWorkload::new(b, TraceConfig::paper_default().with_candidate_ratio(0.20));
+        let c5: usize = (0..10).map(|q| w5.candidates(q, 0).len()).sum();
+        let c20: usize = (0..10).map(|q| w20.candidates(q, 0).len()).sum();
+        assert!(c20 > 3 * c5, "c20 {c20} vs c5 {c5}");
+    }
+
+    #[test]
+    fn works_at_100m_scale_without_materialization() {
+        let b = Benchmark::by_abbrev("XMLCNN-S100M").unwrap();
+        let mut w = SampledWorkload::new(b, TraceConfig::paper_default());
+        // Sample a tile deep into the matrix.
+        let tile = w.num_tiles() - 2;
+        let c = w.candidates(0, tile);
+        assert!(!c.is_empty());
+        assert!(c.iter().all(|&r| r < b.categories));
+    }
+}

@@ -1,0 +1,77 @@
+//! Multi-device scale-out at the API level (§7.1): a classification layer
+//! partitioned over a cluster of ECSSDs, queried in parallel, merged on the
+//! host.
+//!
+//! ```text
+//! cargo run --example cluster_inference
+//! ```
+
+use ecssd::arch::{ClassifierLayer, EcssdCluster, EcssdConfig};
+use ecssd::screen::{full_classify, topk_recall, ClassifyPrecision, DenseMatrix, ThresholdPolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A layer too large for one tiny device's flash: 3 shards.
+    let l = 3000;
+    let d = 64;
+    let mut weights = DenseMatrix::random(l, d, 31);
+    for r in 0..l {
+        if r % 11 == 5 {
+            for v in weights.row_mut(r) {
+                *v *= 2.8;
+            }
+        }
+    }
+
+    let mut cluster = EcssdCluster::new(EcssdConfig::tiny(), 3);
+    cluster.weight_deploy(&weights)?;
+    cluster.filter_threshold(ThresholdPolicy::TopRatio(0.1))?;
+    println!(
+        "deployed {l}x{d} layer over {} devices ({} rows each)",
+        cluster.devices(),
+        l / 3
+    );
+
+    let mut hits = 0;
+    let queries = 6;
+    for q in 0..queries {
+        // Query near a planted row in a rotating shard.
+        let target = (q * 500 + 16) / 11 * 11 + 5;
+        let x: Vec<f32> = weights
+            .row(target)
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v + 0.1 * ((i + q) as f32).sin())
+            .collect();
+        let merged = cluster.classify(&x, 5)?;
+        let reference = full_classify(&weights, &x, ClassifyPrecision::Fp32)?;
+        let recall = topk_recall(&reference, &merged, 5);
+        hits += usize::from(merged[0].category == target);
+        println!(
+            "query {q}: top-1 = {} (target {target}), recall@5 {:.2}",
+            merged[0].category,
+            recall.recall()
+        );
+    }
+    println!(
+        "\ntop-1 hit rate {hits}/{queries}; cluster latency (slowest device): {}",
+        cluster.elapsed()
+    );
+
+    // Single-device framework-style layer for comparison (one shard's worth
+    // of rows — a tiny device's flash only holds so much).
+    let shard = {
+        let mut data = Vec::with_capacity(1000 * d);
+        for r in 0..1000 {
+            data.extend_from_slice(weights.row(r));
+        }
+        DenseMatrix::from_vec(1000, d, data)?
+    };
+    let mut layer = ClassifierLayer::deploy(EcssdConfig::tiny(), &shard, 0.1)?;
+    let x: Vec<f32> = shard.row(16).to_vec();
+    let top = layer.forward(&x, 3)?;
+    println!(
+        "single-device ClassifierLayer: top-3 = {:?}",
+        top.iter().map(|s| s.category).collect::<Vec<_>>()
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Scale study: the 100-million-category regime (§6, §7) — single-device
+//! simulation, baseline comparison, and multi-device scale-out planning.
+//!
+//! ```text
+//! cargo run --release --example scale_out
+//! ```
+
+use ecssd::arch::scale::{DramScaling, ScaleOutPlan};
+use ecssd::arch::{EcssdConfig, EcssdMachine, MachineVariant};
+use ecssd::baselines::gpu::GpuComparison;
+use ecssd::baselines::{BaselineArch, BaselineParams};
+use ecssd::workloads::{Benchmark, SampledWorkload, TraceConfig};
+
+fn main() {
+    let bench = Benchmark::by_abbrev("XMLCNN-S100M").expect("known benchmark");
+    println!(
+        "XMLCNN-S100M: {} categories, {:.0} GB FP32 weights, {:.1} GB INT4 screener\n",
+        bench.categories,
+        bench.fp32_matrix_bytes() as f64 / 1e9,
+        bench.int4_matrix_bytes() as f64 / 1e9
+    );
+
+    // Simulate a steady-state window on one ECSSD and extrapolate.
+    let workload = SampledWorkload::new(bench, TraceConfig::paper_default());
+    let mut machine = EcssdMachine::new(
+        EcssdConfig::paper_default(),
+        MachineVariant::paper_ecssd(),
+        Box::new(workload),
+    );
+    let report = machine.run_window(2, 48);
+    let ecssd_s = report.ns_per_query_full() / 1e9;
+    println!(
+        "one ECSSD: {:.2} s per batch of 16 (FP channel utilization {:.1}%)",
+        ecssd_s,
+        report.fp_channel_utilization * 100.0
+    );
+
+    // Where do the baselines land?
+    let params = BaselineParams::paper_default();
+    println!("\nbaseline architectures (seconds per batch / ECSSD speedup):");
+    for arch in BaselineArch::ALL {
+        let t = params.ns_per_batch(arch, &bench) / 1e9;
+        println!("  {:<14} {:>8.1} s   {:>6.1}x", arch.label(), t, t / ecssd_s);
+    }
+
+    // GPU alternative (§7.2).
+    let gpu = GpuComparison::paper_default();
+    println!(
+        "\nGPU alternative: {} RTX 3090s to hold the weights, {:.0}x the power of one ECSSD",
+        gpu.gpus_needed(bench.fp32_matrix_bytes()),
+        gpu.multi_gpu_power_ratio(bench.fp32_matrix_bytes())
+    );
+
+    // Scale-out planning (§7.1).
+    println!("\nscale-out plans (16 GB DRAM per device):");
+    for categories in [100_000_000u64, 200_000_000, 500_000_000, 1_000_000_000] {
+        let plan = ScaleOutPlan::plan(categories, DramScaling::paper_default());
+        println!(
+            "  {:>13} categories -> {} devices ({:.0} M each), ideal {}x parallel speedup",
+            categories,
+            plan.devices,
+            plan.per_device as f64 / 1e6,
+            plan.parallel_speedup()
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # ECSSD — in-storage computing for extreme classification
+//!
+//! A full Rust reproduction of *“ECSSD: Hardware/Data Layout Co-Designed
+//! In-Storage-Computing Architecture for Extreme Classification”*
+//! (Li et al., ISCA 2023): the approximate-screening algorithm, the CFP32
+//! alignment-free FP MAC, the heterogeneous data layout, the
+//! learning-based adaptive interleaving framework, a discrete-event SSD
+//! simulator substrate, the paper's baseline architectures, and an
+//! experiment harness that regenerates every table and figure of the
+//! evaluation.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`float`] — CFP32 format, MAC circuit models, 28 nm area/power model;
+//! * [`screen`] — the approximate screening algorithm (projection, INT4
+//!   quantization, threshold filtering, candidate-only classification);
+//! * [`ssd`] — the SSD simulator (flash timing, FTL, DRAM, buffers);
+//! * [`layout`] — sequential / uniform / learned interleaving;
+//! * [`workloads`] — Table-3 benchmarks and candidate-trace generation;
+//! * [`arch`] — the ECSSD machine, Table-1 API, roofline, scaling;
+//! * [`baselines`] — CPU / GenStore / SmartSSD / GPU / ENMC comparisons.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ecssd::arch::{Ecssd, EcssdConfig};
+//! use ecssd::screen::{DenseMatrix, ThresholdPolicy};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Power on a device and switch it to accelerator mode.
+//! let mut device = Ecssd::new(EcssdConfig::tiny());
+//! device.enable();
+//!
+//! // Deploy a classification layer (L=256 categories, D=64 hidden).
+//! let weights = DenseMatrix::random(256, 64, 42);
+//! device.weight_deploy(&weights)?;
+//! device.filter_threshold(ThresholdPolicy::TopRatio(0.1))?;
+//!
+//! // Classify a feature vector.
+//! let features: Vec<f32> = (0..64).map(|i| (i as f32 * 0.1).sin()).collect();
+//! device.input_send(&features)?;
+//! device.int4_screen()?;
+//! device.cfp32_classify(5)?;
+//! let predictions = device.get_results()?;
+//! assert_eq!(predictions[0].top_k.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ecssd_baselines as baselines;
+pub use ecssd_core as arch;
+pub use ecssd_float as float;
+pub use ecssd_layout as layout;
+pub use ecssd_screen as screen;
+pub use ecssd_ssd as ssd;
+pub use ecssd_workloads as workloads;

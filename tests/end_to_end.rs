@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: the Table-1 API, the performance machine,
+//! and the layout/FTL deployment path working together.
+
+use ecssd::arch::{Ecssd, EcssdConfig, EcssdMachine, EcssdMode, MachineVariant};
+use ecssd::layout::{DeploymentPlanner, InterleavingStrategy, LearnedConfig};
+use ecssd::screen::{
+    full_classify, topk_recall, ClassifyPrecision, DenseMatrix, ThresholdPolicy,
+};
+use ecssd::ssd::{AllocationPolicy, Ftl, SimTime, SsdGeometry};
+use ecssd::workloads::{Benchmark, CandidateSource, ComputedWorkload, SampledWorkload, TraceConfig};
+
+fn planted_weights(l: usize, d: usize, seed: u64) -> DenseMatrix {
+    let mut w = DenseMatrix::random(l, d, seed);
+    for r in 0..l {
+        if r % 7 == 2 {
+            for v in w.row_mut(r) {
+                *v *= 2.5;
+            }
+        }
+    }
+    w
+}
+
+#[test]
+fn api_round_trip_with_mode_switching() {
+    let mut dev = Ecssd::new(EcssdConfig::tiny());
+    // SSD mode I/O first.
+    let t = dev.device_mut().host_write(0, 8, SimTime::ZERO).unwrap();
+    dev.device_mut().host_read(0, 8, t).unwrap();
+    // Then accelerator mode inference.
+    dev.enable();
+    assert_eq!(dev.mode(), EcssdMode::Accelerator);
+    let weights = planted_weights(512, 64, 3);
+    dev.weight_deploy(&weights).unwrap();
+    dev.filter_threshold(ThresholdPolicy::TopRatio(0.1)).unwrap();
+    let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.17).cos()).collect();
+    dev.input_send(&x).unwrap();
+    dev.int4_screen().unwrap();
+    dev.cfp32_classify(3).unwrap();
+    let results = dev.get_results().unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].top_k.len(), 3);
+    // Results are ranked.
+    assert!(results[0].top_k[0].value >= results[0].top_k[1].value);
+    // Back to SSD mode, device still serves I/O.
+    dev.disable();
+    dev.device_mut().host_read(0, 4, SimTime::ZERO).unwrap();
+}
+
+#[test]
+fn screened_predictions_track_brute_force_on_structured_layers() {
+    let weights = planted_weights(1024, 128, 5);
+    let mut dev = Ecssd::new(EcssdConfig::tiny());
+    dev.enable();
+    dev.weight_deploy(&weights).unwrap();
+    let mut total_recall = 0.0;
+    let queries = 8;
+    for q in 0..queries {
+        let x: Vec<f32> = (0..128)
+            .map(|i| ((i as f32) * 0.09 + q as f32 * 0.4).sin())
+            .collect();
+        dev.input_send(&x).unwrap();
+        dev.int4_screen().unwrap();
+        dev.cfp32_classify(5).unwrap();
+        let pred = &dev.get_results().unwrap()[0];
+        let reference = full_classify(&weights, &x, ClassifyPrecision::Fp32).unwrap();
+        total_recall += topk_recall(&reference, &pred.top_k, 5).recall();
+    }
+    assert!(
+        total_recall / queries as f64 > 0.7,
+        "mean recall {}",
+        total_recall / queries as f64
+    );
+}
+
+#[test]
+fn computed_and_sampled_workloads_drive_the_same_machine() {
+    let bench = Benchmark::by_abbrev("GNMT-E32K").unwrap();
+    let trace = TraceConfig::paper_default();
+    let sampled = SampledWorkload::new(bench, trace);
+    let computed = ComputedWorkload::generate(bench, 2048, trace, 17).unwrap();
+    let mut machines = [
+        EcssdMachine::new(
+            EcssdConfig::paper_default(),
+            MachineVariant::paper_ecssd(),
+            Box::new(sampled),
+        ),
+        EcssdMachine::new(
+            EcssdConfig::paper_default(),
+            MachineVariant::paper_ecssd(),
+            Box::new(computed),
+        ),
+    ];
+    for m in &mut machines {
+        let r = m.run_window(2, 4);
+        assert!(r.makespan.as_ns() > 0);
+        assert!(r.candidate_rows > 0);
+        assert!(r.fp_channel_utilization > 0.0);
+    }
+}
+
+#[test]
+fn learned_layout_deploys_through_the_stock_ftl() {
+    // The full §5.3 path: predict hotness from the *real* INT4 screener of
+    // a computed workload, fine-tune with training frequencies, assign
+    // channels, deploy via logical addresses, and verify physical
+    // placement and balance.
+    let bench = Benchmark::by_abbrev("GNMT-E32K").unwrap();
+    let mut workload =
+        ComputedWorkload::generate(bench, 1024, TraceConfig::paper_default(), 23).unwrap();
+    let geometry = SsdGeometry::tiny();
+    let mut ftl = Ftl::new(geometry, AllocationPolicy::RangePartitioned, 0.25);
+    let mut planner = DeploymentPlanner::new(&ftl, geometry.channels);
+    let strategy = InterleavingStrategy::Learned(LearnedConfig::paper_default());
+
+    let tiles = workload.num_tiles().min(2);
+    let mut row_lpns = Vec::new();
+    for t in 0..tiles {
+        let predicted = workload.predicted_hotness(t);
+        let freq = workload.training_frequency(t, 12);
+        let range = workload.tile_row_range(t);
+        let layout = strategy.assign_tile(
+            t,
+            workload.num_tiles(),
+            range.start,
+            &predicted,
+            Some(&freq),
+            geometry.channels,
+        );
+        let lpns = planner.deploy_tile(&mut ftl, &layout, 1).unwrap();
+        row_lpns.push((t, layout, lpns));
+    }
+    // Candidates of an eval query hit nearly balanced channels.
+    for (t, layout, lpns) in &row_lpns {
+        let range = workload.tile_row_range(*t);
+        let cands = workload.candidates(0, *t);
+        let mut per_channel = vec![0u64; geometry.channels];
+        for &row in &cands {
+            let local = (row - range.start) as usize;
+            let addr = ftl.translate(lpns[local]).unwrap();
+            assert_eq!(addr.channel, layout.channel_of(local));
+            per_channel[addr.channel] += 1;
+        }
+        let total: u64 = per_channel.iter().sum();
+        assert_eq!(total, cands.len() as u64);
+    }
+}
+
+#[test]
+fn ecssd_beats_every_fig8_intermediate_point() {
+    use ecssd::arch::DataPlacement;
+    use ecssd::float::MacCircuit;
+    let bench = Benchmark::by_abbrev("Transformer-W268K").unwrap();
+    let run = |variant: MachineVariant| {
+        let w = SampledWorkload::new(bench, TraceConfig::paper_default());
+        EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(w))
+            .run_window(2, 24)
+            .ns_per_query()
+    };
+    let full = run(MachineVariant::paper_ecssd());
+    let without_learned = run(MachineVariant {
+        interleaving: InterleavingStrategy::Uniform,
+        ..MachineVariant::paper_ecssd()
+    });
+    let without_hetero = run(MachineVariant {
+        placement: DataPlacement::Homogeneous,
+        ..MachineVariant::paper_ecssd()
+    });
+    let without_af = run(MachineVariant {
+        mac: MacCircuit::Naive,
+        ..MachineVariant::paper_ecssd()
+    });
+    assert!(full < without_learned, "learned interleaving must help");
+    assert!(full < without_hetero, "heterogeneous layout must help");
+    assert!(full <= without_af, "alignment-free MAC must not hurt");
+}

@@ -1,0 +1,95 @@
+//! Cross-crate property tests.
+
+use ecssd::arch::{EcssdConfig, EcssdMachine, MachineVariant};
+use ecssd::layout::{channel_loads, DeploymentPlanner, InterleavingStrategy, TileLayout};
+use ecssd::ssd::{AllocationPolicy, Ftl, SsdGeometry};
+use ecssd::workloads::{Benchmark, SampledWorkload, TraceConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every interleaving strategy assigns every row to a valid channel and
+    /// the learned strategy never produces a worse row-count balance than
+    /// sequential storing.
+    #[test]
+    fn strategies_produce_valid_assignments(
+        n in 16usize..600,
+        channels in 2usize..16,
+        seed in 0u64..1000,
+    ) {
+        let predicted: Vec<f32> = (0..n)
+            .map(|i| (((i as u64).wrapping_mul(seed + 7) % 101) as f32) + 0.5)
+            .collect();
+        for strategy in [
+            InterleavingStrategy::Sequential,
+            InterleavingStrategy::Uniform,
+            InterleavingStrategy::Learned(Default::default()),
+        ] {
+            let layout = strategy.assign_tile(0, 4, 0, &predicted, None, channels);
+            prop_assert_eq!(layout.len(), n);
+            let counts = layout.channel_row_counts();
+            prop_assert_eq!(counts.iter().sum::<usize>(), n);
+            if let InterleavingStrategy::Learned(_) = strategy {
+                // Snake dealing makes counts differ by at most one.
+                let max = counts.iter().max().unwrap();
+                let min = counts.iter().min().unwrap();
+                prop_assert!(max - min <= 1, "counts {:?}", counts);
+            }
+        }
+    }
+
+    /// Channel loads always sum to the candidate count, for any layout.
+    #[test]
+    fn loads_conserve_candidates(
+        assignment in prop::collection::vec(0u8..8, 1..400),
+        picks in prop::collection::vec(any::<prop::sample::Index>(), 0..60),
+    ) {
+        let layout = TileLayout::from_assignment(assignment.clone(), 8);
+        let candidates: Vec<usize> = picks.iter().map(|i| i.index(assignment.len())).collect();
+        let loads = channel_loads(&layout, &candidates);
+        prop_assert_eq!(loads.iter().sum::<u64>(), candidates.len() as u64);
+    }
+
+    /// Deployment through the FTL always lands rows on the planned channel,
+    /// for arbitrary learned layouts.
+    #[test]
+    fn deployment_respects_any_plan(
+        assignment in prop::collection::vec(0u8..4, 1..120),
+        pages_per_row in 1u64..3,
+    ) {
+        let geometry = SsdGeometry::tiny();
+        let mut ftl = Ftl::new(geometry, AllocationPolicy::RangePartitioned, 0.25);
+        let mut planner = DeploymentPlanner::new(&ftl, geometry.channels);
+        let layout = TileLayout::from_assignment(assignment, geometry.channels);
+        let lpns = planner.deploy_tile(&mut ftl, &layout, pages_per_row).unwrap();
+        for (row, &lpn) in lpns.iter().enumerate() {
+            for p in 0..pages_per_row {
+                let addr = ftl.translate(lpn + p).unwrap();
+                prop_assert_eq!(addr.channel, layout.channel_of(row));
+            }
+        }
+    }
+
+    /// The machine's makespan never decreases when the candidate ratio
+    /// grows (more data must move).
+    #[test]
+    fn more_candidates_never_run_faster(seed in 0u64..50) {
+        let bench = Benchmark::by_abbrev("Transformer-W268K").unwrap();
+        let mut times = Vec::new();
+        for ratio in [0.05, 0.15] {
+            let trace = TraceConfig {
+                hotness: ecssd::workloads::HotnessModel::paper_default(seed),
+                ..TraceConfig::paper_default().with_candidate_ratio(ratio)
+            };
+            let w = SampledWorkload::new(bench, trace);
+            let mut m = EcssdMachine::new(
+                EcssdConfig::paper_default(),
+                MachineVariant::paper_ecssd(),
+                Box::new(w),
+            );
+            times.push(m.run_window(1, 8).ns_per_query());
+        }
+        prop_assert!(times[1] > times[0] * 0.99, "{:?}", times);
+    }
+}
