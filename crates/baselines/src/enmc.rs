@@ -133,8 +133,7 @@ impl EnmcMachine {
     /// end-to-end performance would be severely degraded by the lengthy
     /// data movement from storage").
     pub fn fits(&self, benchmark: &ecssd_workloads::Benchmark) -> bool {
-        benchmark.fp32_matrix_bytes() + benchmark.int4_matrix_bytes()
-            <= self.capacity_bytes
+        benchmark.fp32_matrix_bytes() + benchmark.int4_matrix_bytes() <= self.capacity_bytes
     }
 
     /// ns per batch for a benchmark at candidate ratio `r` and batch `b`.
@@ -157,8 +156,7 @@ impl EnmcMachine {
         let cand_rows = per_rank_rows * candidate_ratio * imbalance;
         let transfer = cand_rows * 4.0 * d / self.rank_gbps;
         let compute = 2.0 * d * cand_rows * b / self.rank_gflops;
-        let screen = per_rank_rows * (benchmark.projected_dim() as f64) / 2.0
-            / self.rank_gbps;
+        let screen = per_rank_rows * (benchmark.projected_dim() as f64) / 2.0 / self.rank_gbps;
         let in_memory = screen + transfer.max(compute);
         if self.fits(benchmark) {
             in_memory
@@ -220,11 +218,7 @@ mod tests {
             ..Benchmark::by_abbrev("XMLCNN-S100M").unwrap()
         };
         assert!(!m.fits(&big));
-        let fits_ns = m.ns_per_batch(
-            &Benchmark::by_abbrev("XMLCNN-S100M").unwrap(),
-            0.1,
-            16,
-        );
+        let fits_ns = m.ns_per_batch(&Benchmark::by_abbrev("XMLCNN-S100M").unwrap(), 0.1, 16);
         let spill_ns = m.ns_per_batch(&big, 0.1, 16);
         // Doubling the model size costs far more than 2x once it spills.
         assert!(spill_ns > 10.0 * fits_ns, "{spill_ns} vs {fits_ns}");

@@ -141,8 +141,9 @@ impl GenStoreMachine {
                         fetch_done =
                             fetch_done.max(self.flash.bus_transfer(ch, per, SimTime::ZERO));
                     }
-                    screen_done =
-                        self.int4.compute(2 * k * tile_len as u64 * batch, fetch_done);
+                    screen_done = self
+                        .int4
+                        .compute(2 * k * tile_len as u64 * batch, fetch_done);
                 }
 
                 // Per-channel fetch + channel-local classification.
@@ -154,8 +155,7 @@ impl GenStoreMachine {
                     None,
                     channels,
                 );
-                let mut per_channel_addrs: Vec<Vec<PhysPageAddr>> =
-                    vec![Vec::new(); channels];
+                let mut per_channel_addrs: Vec<Vec<PhysPageAddr>> = vec![Vec::new(); channels];
                 for &row in &rows {
                     let local = (row - range.start) as usize;
                     let ch = layout.channel_of(local);

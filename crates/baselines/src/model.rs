@@ -218,11 +218,9 @@ impl BaselineParams {
             BaselineArch::CpuAp => {
                 // INT4 screener streams from host DRAM; candidates are 4 KB
                 // random reads from the SSD.
-                let screen = (int4_bytes / self.host_dram_gbps)
-                    .max(screen_ops / self.host_int8_gops);
-                screen
-                    + cand_bytes / self.host_rand_gbps
-                    + cand_flops / self.host_fp32_gflops
+                let screen =
+                    (int4_bytes / self.host_dram_gbps).max(screen_ops / self.host_int8_gops);
+                screen + cand_bytes / self.host_rand_gbps + cand_flops / self.host_fp32_gflops
             }
             BaselineArch::SmartSsdN | BaselineArch::SmartSsdHN => {
                 let link = self.smartssd_eff_gbps(arch == BaselineArch::SmartSsdHN);
@@ -234,9 +232,7 @@ impl BaselineParams {
                 // reads share the same P2P link.
                 let int4_time = int4_bytes / link;
                 let cand_time = cand_bytes / (link * self.smartssd_random_penalty);
-                int4_time
-                    + cand_time
-                    + (screen_ops + cand_flops) / self.smartssd_fpga_gflops
+                int4_time + cand_time + (screen_ops + cand_flops) / self.smartssd_fpga_gflops
             }
             BaselineArch::GenStoreN => {
                 // Each channel-level accelerator consumes its own channel's
@@ -244,8 +240,7 @@ impl BaselineParams {
                 // and naive-MAC compute, fully parallel across channels.
                 let per_ch_bytes = fp32_bytes / self.channels as f64;
                 let per_ch_flops = full_flops / self.channels as f64;
-                (per_ch_bytes / self.channel_gbps)
-                    .max(per_ch_flops / self.genstore_channel_gflops)
+                (per_ch_bytes / self.channel_gbps).max(per_ch_flops / self.genstore_channel_gflops)
             }
             BaselineArch::GenStoreAp => {
                 // Uniformly striped candidates: the busiest channel carries
@@ -255,8 +250,7 @@ impl BaselineParams {
                 let per_ch_cand = cand_bytes / self.channels as f64 * self.uniform_imbalance;
                 let per_ch_int4 = int4_bytes / self.channels as f64;
                 let transfer = (per_ch_cand + per_ch_int4) / self.channel_gbps;
-                let per_ch_flops =
-                    cand_flops / self.channels as f64 * self.uniform_imbalance;
+                let per_ch_flops = cand_flops / self.channels as f64 * self.uniform_imbalance;
                 let compute = per_ch_flops / self.genstore_channel_gflops;
                 transfer.max(compute)
             }
@@ -349,7 +343,7 @@ mod tests {
     }
 
     #[test]
-    fn rough_magnitudes_against_paper(){
+    fn rough_magnitudes_against_paper() {
         // With the ECSSD reference near 6.4s/batch on S100M (see the Fig 13
         // harness), the modeled baselines should land within ~40% of the
         // paper's reported speedups. This is a smoke bound; EXPERIMENTS.md

@@ -130,8 +130,7 @@ impl SmartSsdMachine {
                 let rows: Vec<u64> = if self.variant.screening {
                     // Homogeneous layout: the INT4 tile crosses the switch
                     // too, then the FPGA screens.
-                    let int4_done =
-                        self.link_transfer(tile_len * bench.int4_row_bytes(), cursor);
+                    let int4_done = self.link_transfer(tile_len * bench.int4_row_bytes(), cursor);
                     cursor = self.fpga.compute(2 * k * tile_len * b, int4_done);
                     self.source.candidates(q, t)
                 } else {
@@ -145,18 +144,15 @@ impl SmartSsdMachine {
                     }
                 }
                 let fetch = self.flash.read_batch_gated(&addrs, cursor, cursor);
-                let arrive = self.link_transfer(
-                    rows.len() as u64 * pages_per_row * page_bytes,
-                    fetch.done,
-                );
+                let arrive =
+                    self.link_transfer(rows.len() as u64 * pages_per_row * page_bytes, fetch.done);
                 let done = self.fpga.compute(2 * d * rows.len() as u64 * b, arrive);
                 makespan = makespan.max(done);
             }
         }
         SmartSsdReport {
             ns_per_query: makespan.as_ns() as f64 / queries as f64,
-            ns_per_query_full: makespan.as_ns() as f64 / queries as f64
-                * tiles_total as f64
+            ns_per_query_full: makespan.as_ns() as f64 / queries as f64 * tiles_total as f64
                 / tiles.max(1) as f64,
             link_busy: self.link_busy_ns as f64 / makespan.as_ns().max(1) as f64,
         }

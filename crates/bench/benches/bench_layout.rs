@@ -16,9 +16,7 @@ fn bench_assignment(c: &mut Criterion) {
         InterleavingStrategy::Learned(Default::default()),
     ] {
         g.bench_function(strategy.label(), |b| {
-            b.iter(|| {
-                strategy.assign_tile(0, 64, 0, black_box(&predicted), Some(&freq), 8)
-            })
+            b.iter(|| strategy.assign_tile(0, 64, 0, black_box(&predicted), Some(&freq), 8))
         });
     }
     g.finish();

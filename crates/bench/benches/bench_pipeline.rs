@@ -14,8 +14,9 @@ fn bench_machine_window(c: &mut Criterion) {
                 EcssdConfig::paper_default(),
                 MachineVariant::paper_ecssd(),
                 Box::new(workload),
-            );
-            machine.run_window(2, 16)
+            )
+            .expect("screener fits DRAM");
+            machine.run_window(2, 16).expect("fault-free run")
         })
     });
 }

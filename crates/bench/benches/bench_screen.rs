@@ -25,7 +25,9 @@ fn bench_screening(c: &mut Criterion) {
 fn bench_build(c: &mut Criterion) {
     let weights = DenseMatrix::random(2048, 256, 9);
     c.bench_function("pipeline_build_l2048_d256", |b| {
-        b.iter(|| ScreeningPipeline::new(black_box(&weights), ScreenerConfig::paper_default()).unwrap())
+        b.iter(|| {
+            ScreeningPipeline::new(black_box(&weights), ScreenerConfig::paper_default()).unwrap()
+        })
     });
 }
 

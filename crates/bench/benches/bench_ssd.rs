@@ -1,9 +1,7 @@
 //! Criterion micro-benchmarks of the SSD simulator substrate.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use ecssd_ssd::{
-    AllocationPolicy, FlashSim, FlashTiming, Ftl, PhysPageAddr, SimTime, SsdGeometry,
-};
+use ecssd_ssd::{AllocationPolicy, FlashSim, FlashTiming, Ftl, PhysPageAddr, SimTime, SsdGeometry};
 
 fn bench_flash_batch(c: &mut Criterion) {
     let geometry = SsdGeometry::paper_default();

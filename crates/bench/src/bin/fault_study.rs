@@ -1,0 +1,16 @@
+//! Runs the fault-injection study: UECC rate × degradation policy vs
+//! throughput and recall, plus the killed-die interleaving comparison.
+use ecssd_bench::experiments::common::Window;
+
+fn main() {
+    let window = Window {
+        queries: 10,
+        max_tiles: 64,
+    };
+    let report = ecssd_bench::fault_study::run(window);
+    print!("{}", ecssd_bench::fault_study::render(&report));
+    if !report.deterministic {
+        eprintln!("error: same-seed replay diverged");
+        std::process::exit(1);
+    }
+}

@@ -26,7 +26,11 @@ fn main() {
             .map(|(_, variant, _, _)| run_point(bench, variant, trace, window).ns_per_query())
             .collect();
         let mut row = vec![bench.abbrev.to_string(), "1.00x".to_string()];
-        row.extend(times[1..].iter().map(|&ns| format!("{:.2}x", times[0] / ns)));
+        row.extend(
+            times[1..]
+                .iter()
+                .map(|&ns| format!("{:.2}x", times[0] / ns)),
+        );
         row.push(format!("{:.2}x", times[0] / times[4]));
         t.row(row);
     }

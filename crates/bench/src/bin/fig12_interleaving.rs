@@ -1,5 +1,8 @@
 //! Regenerates Fig. 12 (storing-strategy comparison).
 use ecssd_bench::experiments::common::Window;
 fn main() {
-    println!("{}", ecssd_bench::fig12_interleaving::run(Window::standard()));
+    println!(
+        "{}",
+        ecssd_bench::fig12_interleaving::run(Window::standard())
+    );
 }

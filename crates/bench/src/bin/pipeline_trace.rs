@@ -42,9 +42,10 @@ fn main() {
         EcssdConfig::paper_default(),
         MachineVariant::paper_ecssd(),
         Box::new(workload),
-    );
+    )
+    .expect("screener fits DRAM");
     machine.enable_tile_timings();
-    let report = machine.run_window(1, tiles);
+    let report = machine.run_window(1, tiles).expect("fault-free run");
     let timings = machine.tile_timings().to_vec();
 
     let t0 = 0u64;
@@ -57,9 +58,10 @@ fn main() {
     for t in &timings {
         // Screening interval is approximated as ending at screen_done; the
         // fetch and classify intervals are exact.
-        let screen_start = t.screen_done.as_ns().saturating_sub(
-            t.screen_done.as_ns() / (t.tile + 2) as u64,
-        );
+        let screen_start = t
+            .screen_done
+            .as_ns()
+            .saturating_sub(t.screen_done.as_ns() / (t.tile + 2) as u64);
         let mut line = bar(screen_start, t.screen_done.as_ns(), t0, t1, 's');
         let f = bar(t.screen_done.as_ns(), t.fetch_done.as_ns(), t0, t1, 'f');
         let c = bar(t.fetch_done.as_ns(), t.fp_done.as_ns(), t0, t1, 'c');

@@ -46,6 +46,9 @@ fn main() {
     println!("{abl}");
     let latency = ecssd_bench::latency_study::run();
     println!("{latency}\n");
+    let faults = ecssd_bench::fault_study::run(window);
+    print!("{}", ecssd_bench::fault_study::render(&faults));
+    println!();
 
     let summary = json!({
         "table02": t02,
@@ -66,9 +69,13 @@ fn main() {
         "energy": energy,
         "ablations": abl,
         "latency": latency,
+        "fault_study": faults,
     });
     let path = "reproduce_results.json";
-    match std::fs::write(path, serde_json::to_string_pretty(&summary).expect("serializable")) {
+    match std::fs::write(
+        path,
+        serde_json::to_string_pretty(&summary).expect("serializable"),
+    ) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

@@ -60,9 +60,7 @@ impl Args {
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next().ok_or_else(|| format!("{name} needs a value"))
-            };
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
             match flag.as_str() {
                 "--benchmark" => args.benchmark = value("--benchmark")?,
                 "--interleaving" => args.interleaving = value("--interleaving")?,
@@ -164,8 +162,11 @@ fn main() {
         ..MachineVariant::paper_ecssd()
     };
     let workload = SampledWorkload::new(bench, trace);
-    let mut machine = EcssdMachine::new(config, variant, Box::new(workload));
-    let report = machine.run_window(args.queries, args.tiles);
+    let mut machine =
+        EcssdMachine::new(config, variant, Box::new(workload)).expect("screener fits DRAM");
+    let report = machine
+        .run_window(args.queries, args.tiles)
+        .expect("fault-free run");
 
     if args.json {
         println!(
@@ -184,7 +185,10 @@ fn main() {
         args.ratio * 100.0,
         args.tile_rows
     );
-    println!("window               {} queries x {} tiles", report.queries, report.tiles_simulated);
+    println!(
+        "window               {} queries x {} tiles",
+        report.queries, report.tiles_simulated
+    );
     println!("ns/query (window)    {:.0}", report.ns_per_query());
     println!(
         "ns/query (full)      {:.0}  ({:.3} s over {} tiles)",

@@ -53,7 +53,9 @@ fn measure(
 ) -> RunReport {
     let workload = SampledWorkload::new(bench, trace);
     EcssdMachine::new(config, variant, Box::new(workload))
+        .expect("screener fits DRAM")
         .run_window(window.queries, window.max_tiles)
+        .expect("fault-free run")
 }
 
 fn point(label: impl Into<String>, r: &RunReport) -> Point {
@@ -71,12 +73,18 @@ pub fn overlap_axis(window: Window) -> Axis {
     let cfg = EcssdConfig::paper_default();
     let full = MachineVariant::paper_ecssd();
     let points = vec![
-        point("full pipeline", &measure(bench, full, trace, cfg.clone(), window)),
+        point(
+            "full pipeline",
+            &measure(bench, full, trace, cfg.clone(), window),
+        ),
         point(
             "no dual-module overlap",
             &measure(
                 bench,
-                MachineVariant { overlap: false, ..full },
+                MachineVariant {
+                    overlap: false,
+                    ..full
+                },
                 trace,
                 cfg.clone(),
                 window,
@@ -86,14 +94,20 @@ pub fn overlap_axis(window: Window) -> Axis {
             "run-ahead scheduler (no per-tile sync)",
             &measure(
                 bench,
-                MachineVariant { per_tile_sync: false, ..full },
+                MachineVariant {
+                    per_tile_sync: false,
+                    ..full
+                },
                 trace,
                 cfg,
                 window,
             ),
         ),
     ];
-    Axis { name: "overlap/scheduler", points }
+    Axis {
+        name: "overlap/scheduler",
+        points,
+    }
 }
 
 /// Predictor-quality ablation (GNMT-E32K): oracle vs noisy, with/without
@@ -128,16 +142,31 @@ pub fn predictor_axis(window: Window) -> Axis {
         ..learned
     };
     let points = vec![
-        point("oracle prediction + frequency", &measure(bench, learned, oracle, cfg.clone(), window)),
-        point("noisy |INT4| + frequency (paper)", &measure(bench, learned, noisy, cfg.clone(), window)),
-        point("noisy |INT4| only (no fine-tune)", &measure(bench, magnitude_only, noisy, cfg.clone(), window)),
+        point(
+            "oracle prediction + frequency",
+            &measure(bench, learned, oracle, cfg.clone(), window),
+        ),
+        point(
+            "noisy |INT4| + frequency (paper)",
+            &measure(bench, learned, noisy, cfg.clone(), window),
+        ),
+        point(
+            "noisy |INT4| only (no fine-tune)",
+            &measure(bench, magnitude_only, noisy, cfg.clone(), window),
+        ),
         point(
             "very noisy prediction, no fine-tune",
             &measure(bench, magnitude_only, very_noisy, cfg.clone(), window),
         ),
-        point("uniform interleaving", &measure(bench, uniform, noisy, cfg, window)),
+        point(
+            "uniform interleaving",
+            &measure(bench, uniform, noisy, cfg, window),
+        ),
     ];
-    Axis { name: "hot-degree predictor", points }
+    Axis {
+        name: "hot-degree predictor",
+        points,
+    }
 }
 
 /// Tile-size sweep (Transformer-W268K).
@@ -148,18 +177,26 @@ pub fn tile_size_axis(window: Window) -> Axis {
         .into_iter()
         .map(|tile_rows| {
             let trace = TraceConfig::paper_default().with_tile_rows(tile_rows);
-            let r = measure(bench, MachineVariant::paper_ecssd(), trace, cfg.clone(), window);
+            let r = measure(
+                bench,
+                MachineVariant::paper_ecssd(),
+                trace,
+                cfg.clone(),
+                window,
+            );
             Point {
                 label: format!("{tile_rows} rows/tile"),
                 // Normalize per weight row: a fixed tile-count window
                 // covers tile_rows × window.max_tiles rows.
-                ns_per_query: r.ns_per_query()
-                    / (tile_rows as f64 * r.tiles_simulated as f64),
+                ns_per_query: r.ns_per_query() / (tile_rows as f64 * r.tiles_simulated as f64),
                 fp_utilization: r.fp_channel_utilization,
             }
         })
         .collect();
-    Axis { name: "tile size (ns per weight row)", points }
+    Axis {
+        name: "tile size (ns per weight row)",
+        points,
+    }
 }
 
 /// Batch sweep (XMLCNN-S100M): where compute overtakes bandwidth.
@@ -185,7 +222,10 @@ pub fn batch_axis(window: Window) -> Axis {
             }
         })
         .collect();
-    Axis { name: "batch (ns per single input)", points }
+    Axis {
+        name: "batch (ns per single input)",
+        points,
+    }
 }
 
 /// Skew sweep (GNMT-E32K): learned-over-uniform speedup vs hot fraction.
@@ -202,7 +242,13 @@ pub fn skew_axis(window: Window) -> Axis {
                 },
                 ..TraceConfig::paper_default()
             };
-            let learned = measure(bench, MachineVariant::paper_ecssd(), trace, cfg.clone(), window);
+            let learned = measure(
+                bench,
+                MachineVariant::paper_ecssd(),
+                trace,
+                cfg.clone(),
+                window,
+            );
             let uniform = measure(
                 bench,
                 MachineVariant {
@@ -225,7 +271,10 @@ pub fn skew_axis(window: Window) -> Axis {
             }
         })
         .collect();
-    Axis { name: "candidate skew", points }
+    Axis {
+        name: "candidate skew",
+        points,
+    }
 }
 
 /// Fault-injection sweep (Transformer-W268K): NAND read-retry probability
@@ -248,7 +297,10 @@ pub fn fault_axis(window: Window) -> Axis {
             point(format!("retry prob {:.0}%", p * 100.0), &r)
         })
         .collect();
-    Axis { name: "read-retry fault injection", points }
+    Axis {
+        name: "read-retry fault injection",
+        points,
+    }
 }
 
 /// Runs every ablation axis.
@@ -287,7 +339,10 @@ impl std::fmt::Display for Report {
 mod tests {
     use super::*;
 
-    const W: Window = Window { queries: 2, max_tiles: 24 };
+    const W: Window = Window {
+        queries: 2,
+        max_tiles: 24,
+    };
 
     #[test]
     fn overlap_and_sync_ablations_behave() {
@@ -345,7 +400,10 @@ mod tests {
         assert!(
             axis.points[3].ns_per_query > axis.points[0].ns_per_query,
             "20% retries must slow the pipeline: {:?}",
-            axis.points.iter().map(|p| p.ns_per_query).collect::<Vec<_>>()
+            axis.points
+                .iter()
+                .map(|p| p.ns_per_query)
+                .collect::<Vec<_>>()
         );
         // Sporadic (1%) retries are almost fully absorbed.
         let degradation = axis.points[1].ns_per_query / axis.points[0].ns_per_query;

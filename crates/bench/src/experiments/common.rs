@@ -35,6 +35,7 @@ pub fn machine_for(
 ) -> EcssdMachine {
     let workload = SampledWorkload::new(benchmark, trace);
     EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(workload))
+        .expect("screener fits DRAM")
 }
 
 /// Runs one design point over the window and returns its report.
@@ -44,7 +45,9 @@ pub fn run_point(
     trace: TraceConfig,
     window: Window,
 ) -> RunReport {
-    machine_for(benchmark, variant, trace).run_window(window.queries, window.max_tiles)
+    machine_for(benchmark, variant, trace)
+        .run_window(window.queries, window.max_tiles)
+        .expect("fault-free run")
 }
 
 /// Geometric mean of a slice of positive ratios.

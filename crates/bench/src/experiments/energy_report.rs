@@ -49,24 +49,20 @@ fn energy_for(bench: Benchmark, window: Window) -> (EnergyReport, usize) {
 
 /// Runs the measured-energy study.
 pub fn run(window: Window) -> Report {
-    let rows = [
-        "GNMT-E32K",
-        "Transformer-W268K",
-        "XMLCNN-S100M",
-    ]
-    .into_iter()
-    .map(|name| {
-        let bench = Benchmark::by_abbrev(name).expect("known");
-        let (e, queries) = energy_for(bench, window);
-        Row {
-            benchmark: name.to_string(),
-            mean_power_w: e.mean_power_w,
-            achieved_gflops: e.achieved_gflops,
-            gflops_per_watt: e.gflops_per_watt(),
-            mj_per_query: e.total_mj() / queries as f64,
-        }
-    })
-    .collect();
+    let rows = ["GNMT-E32K", "Transformer-W268K", "XMLCNN-S100M"]
+        .into_iter()
+        .map(|name| {
+            let bench = Benchmark::by_abbrev(name).expect("known");
+            let (e, queries) = energy_for(bench, window);
+            Row {
+                benchmark: name.to_string(),
+                mean_power_w: e.mean_power_w,
+                achieved_gflops: e.achieved_gflops,
+                gflops_per_watt: e.gflops_per_watt(),
+                mj_per_query: e.total_mj() / queries as f64,
+            }
+        })
+        .collect();
     Report { rows }
 }
 
@@ -77,7 +73,11 @@ impl std::fmt::Display for Report {
             "measured energy (window runs; §7.3 quotes 4.55 GFLOPS/W at peak)"
         )?;
         let mut t = TextTable::new([
-            "benchmark", "mean power W", "achieved GFLOPS", "GFLOPS/W", "mJ/query",
+            "benchmark",
+            "mean power W",
+            "achieved GFLOPS",
+            "GFLOPS/W",
+            "mJ/query",
         ]);
         for r in &self.rows {
             t.row([
@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn measured_efficiency_is_plausible() {
-        let r = run(Window { queries: 2, max_tiles: 32 });
+        let r = run(Window {
+            queries: 2,
+            max_tiles: 32,
+        });
         for row in &r.rows {
             assert!(
                 (6.0..16.0).contains(&row.mean_power_w),

@@ -1,0 +1,371 @@
+//! Fault-injection study: UECC rate × degradation policy against
+//! throughput and recall, plus a killed-die comparison of the learned and
+//! sequential layouts.
+//!
+//! The study answers the robustness question behind the §5.2 claim ("the
+//! final data access time is decided by the busiest flash channel"): when
+//! pages go uncorrectable or a die dies, which [`DegradationPolicy`] keeps
+//! the service answering, at what throughput cost, and with how much
+//! recall loss? See `docs/faults.md` for the fault model.
+
+use std::collections::HashSet;
+
+use ecssd_core::{DegradationPolicy, EcssdConfig, EcssdMachine, MachineVariant, RunReport};
+use ecssd_layout::InterleavingStrategy;
+use ecssd_ssd::FaultPlan;
+use ecssd_workloads::{Benchmark, CandidateSource, SampledWorkload, TraceConfig};
+use serde::Serialize;
+
+use crate::experiments::common::Window;
+use crate::table::TextTable;
+
+/// Benchmark under fault injection (page-bound: faults hit the critical
+/// path instead of hiding behind compute).
+const BENCH: &str = "Transformer-W268K";
+
+/// Seed of every fault plan in the study (runs replay exactly).
+const FAULT_SEED: u64 = 0xfa57;
+
+/// One (UECC rate, policy) sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Per-attempt UECC probability.
+    pub uecc_rate: f64,
+    /// Policy label.
+    pub policy: String,
+    /// ns per query batch.
+    pub ns_per_query: f64,
+    /// Slowdown vs the fault-free run (≥ 1.0; the throughput penalty).
+    pub slowdown: f64,
+    /// Fraction of queries whose top-1 candidate row survived.
+    pub top1_recall: f64,
+    /// Fraction of top-5 candidate rows (over all queries) that survived.
+    pub top5_recall: f64,
+    /// Fraction of all candidate rows delivered to classification.
+    pub candidate_recall: f64,
+    /// UECC events observed at the flash layer.
+    pub uecc_events: u64,
+    /// Pages recovered by re-reading.
+    pub retried_reads: u64,
+    /// Rows rebuilt from RAID-5 stripe peers.
+    pub reconstructed_rows: u64,
+    /// Rows dropped by the `Skip` policy.
+    pub skipped_rows: u64,
+    /// Rows no policy could save.
+    pub unrecovered_rows: u64,
+}
+
+/// One interleaving strategy under a killed die.
+#[derive(Debug, Clone, Serialize)]
+pub struct DiePoint {
+    /// Interleaving label.
+    pub interleaving: String,
+    /// FP-traffic channel utilization with no faults.
+    pub util_fault_free: f64,
+    /// Same metric with one die killed (channel 0, die 1).
+    pub util_dead_die: f64,
+    /// `util_dead_die / util_fault_free` — the recovery ratio.
+    pub recovery: f64,
+    /// ns per query batch with the dead die.
+    pub ns_per_query: f64,
+    /// Candidate rows dropped (Skip policy) during the faulted run.
+    pub dropped_rows: u64,
+}
+
+/// The full study result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Simulation window used.
+    pub window: Window,
+    /// Fault-free ns per query batch (the slowdown denominator).
+    pub baseline_ns: f64,
+    /// UECC-rate × policy sweep.
+    pub sweep: Vec<SweepPoint>,
+    /// Killed-die comparison (learned vs sequential interleaving).
+    pub die_study: Vec<DiePoint>,
+    /// Whether two identical faulted runs produced identical
+    /// `HealthReport`s and end-to-end latencies.
+    pub deterministic: bool,
+}
+
+fn machine(variant: MachineVariant) -> EcssdMachine {
+    let bench = Benchmark::by_abbrev(BENCH).expect("known benchmark");
+    let workload = SampledWorkload::new(bench, TraceConfig::paper_default());
+    EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(workload))
+        .expect("screener fits DRAM")
+}
+
+fn faulted_run(
+    variant: MachineVariant,
+    plan: FaultPlan,
+    window: Window,
+) -> (RunReport, Vec<(usize, usize, u64)>) {
+    let mut m = machine(variant);
+    m.set_fault_plan(plan);
+    let r = m
+        .run_window(window.queries, window.max_tiles)
+        .expect("degrading policies do not abort");
+    let dropped = m.skipped().to_vec();
+    (r, dropped)
+}
+
+/// Top-k recall over the window: for each query, the k candidate rows with
+/// the highest true hotness weight (the proxy for classification score)
+/// must reach the FP32 stage. `lost` holds the dropped `(query, row)`
+/// pairs.
+fn recall_at_k(window: Window, lost: &HashSet<(usize, u64)>, k: usize) -> f64 {
+    let bench = Benchmark::by_abbrev(BENCH).expect("known benchmark");
+    let trace = TraceConfig::paper_default();
+    let mut w = SampledWorkload::new(bench, trace);
+    let tiles = w.num_tiles().min(window.max_tiles);
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for q in 0..window.queries {
+        let mut rows: Vec<u64> = (0..tiles).flat_map(|t| w.candidates(q, t)).collect();
+        rows.sort_by(|a, b| {
+            trace
+                .hotness
+                .weight(*b)
+                .partial_cmp(&trace.hotness.weight(*a))
+                .expect("finite weights")
+                .then(a.cmp(b))
+        });
+        for &row in rows.iter().take(k) {
+            total += 1;
+            if !lost.contains(&(q, row)) {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / total.max(1) as f64
+}
+
+fn sweep_point(
+    rate: f64,
+    policy: DegradationPolicy,
+    label: &str,
+    baseline_ns: f64,
+    window: Window,
+) -> SweepPoint {
+    let variant = MachineVariant::paper_ecssd().with_degradation(policy);
+    let plan = FaultPlan::with_seed(FAULT_SEED).with_uecc(rate);
+    let (r, dropped) = faulted_run(variant, plan, window);
+    let lost: HashSet<(usize, u64)> = dropped.iter().map(|&(q, _, row)| (q, row)).collect();
+    let lost_rows = r.health.skipped_rows + r.health.unrecovered_rows;
+    SweepPoint {
+        uecc_rate: rate,
+        policy: label.to_string(),
+        ns_per_query: r.ns_per_query(),
+        slowdown: r.ns_per_query() / baseline_ns,
+        top1_recall: recall_at_k(window, &lost, 1),
+        top5_recall: recall_at_k(window, &lost, 5),
+        candidate_recall: 1.0 - lost_rows as f64 / r.candidate_rows.max(1) as f64,
+        uecc_events: r.health.uecc_events,
+        retried_reads: r.health.retried_reads,
+        reconstructed_rows: r.health.reconstructed_rows,
+        skipped_rows: r.health.skipped_rows,
+        unrecovered_rows: r.health.unrecovered_rows,
+    }
+}
+
+fn die_point(label: &str, interleaving: InterleavingStrategy, window: Window) -> DiePoint {
+    let variant = MachineVariant {
+        interleaving,
+        ..MachineVariant::paper_ecssd()
+    }
+    .with_degradation(DegradationPolicy::Skip);
+    let clean = machine(variant)
+        .run_window(window.queries, window.max_tiles)
+        .expect("fault-free run");
+    // Channel 0 so the sequential layout (whose first tiles all live
+    // there) is exposed to the failure as much as the learned one.
+    let plan = FaultPlan::with_seed(FAULT_SEED).with_dead_die(0, 1);
+    let (dead, dropped) = faulted_run(variant, plan, window);
+    DiePoint {
+        interleaving: label.to_string(),
+        util_fault_free: clean.fp_channel_utilization,
+        util_dead_die: dead.fp_channel_utilization,
+        recovery: dead.fp_channel_utilization / clean.fp_channel_utilization,
+        ns_per_query: dead.ns_per_query(),
+        dropped_rows: dropped.len() as u64,
+    }
+}
+
+/// Runs the study over `window`.
+pub fn run(window: Window) -> Report {
+    let baseline = machine(MachineVariant::paper_ecssd())
+        .run_window(window.queries, window.max_tiles)
+        .expect("fault-free run");
+    let baseline_ns = baseline.ns_per_query();
+
+    let policies: [(DegradationPolicy, &str); 3] = [
+        (DegradationPolicy::Retry { max: 2 }, "Retry{2}"),
+        (DegradationPolicy::Reconstruct, "Reconstruct"),
+        (DegradationPolicy::Skip, "Skip"),
+    ];
+    let mut sweep = Vec::new();
+    for &rate in &[1e-5, 1e-4, 1e-3] {
+        for &(policy, label) in &policies {
+            sweep.push(sweep_point(rate, policy, label, baseline_ns, window));
+        }
+    }
+
+    let die_study = vec![
+        die_point(
+            "Learned",
+            InterleavingStrategy::Learned(Default::default()),
+            window,
+        ),
+        die_point("Sequential", InterleavingStrategy::Sequential, window),
+    ];
+
+    // Determinism: the same plan seed must replay byte-identically.
+    let replay = || {
+        faulted_run(
+            MachineVariant::paper_ecssd().with_degradation(DegradationPolicy::Retry { max: 2 }),
+            FaultPlan::with_seed(FAULT_SEED)
+                .with_uecc(1e-3)
+                .with_retry_storms(1e-3),
+            window,
+        )
+    };
+    let (a, da) = replay();
+    let (b, db) = replay();
+    let deterministic = a.health == b.health && a.makespan == b.makespan && da == db;
+
+    Report {
+        window,
+        baseline_ns,
+        sweep,
+        die_study,
+        deterministic,
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&render(self))
+    }
+}
+
+/// Renders the report.
+pub fn render(r: &Report) -> String {
+    let mut out = format!(
+        "Fault-injection study ({BENCH}, {} queries x {} tiles)\n\
+         fault-free baseline: {:.0} ns/query\n\n\
+         UECC rate x degradation policy:\n",
+        r.window.queries, r.window.max_tiles, r.baseline_ns
+    );
+    let mut t = TextTable::new([
+        "UECC",
+        "policy",
+        "ns/query",
+        "slowdown",
+        "top-1",
+        "top-5",
+        "cand recall",
+        "uecc",
+        "retried",
+        "rebuilt",
+        "skipped",
+        "lost",
+    ]);
+    for p in &r.sweep {
+        t.row([
+            format!("{:.0e}", p.uecc_rate),
+            p.policy.clone(),
+            format!("{:.0}", p.ns_per_query),
+            format!("{:.3}x", p.slowdown),
+            format!("{:.3}", p.top1_recall),
+            format!("{:.3}", p.top5_recall),
+            format!("{:.5}", p.candidate_recall),
+            p.uecc_events.to_string(),
+            p.retried_reads.to_string(),
+            p.reconstructed_rows.to_string(),
+            p.skipped_rows.to_string(),
+            p.unrecovered_rows.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nKilled die (channel 0, die 1), Skip policy:\n");
+    let mut t = TextTable::new([
+        "interleaving",
+        "FP util (healthy)",
+        "FP util (dead die)",
+        "recovery",
+        "ns/query",
+        "dropped rows",
+    ]);
+    for p in &r.die_study {
+        t.row([
+            p.interleaving.clone(),
+            format!("{:.1}%", p.util_fault_free * 100.0),
+            format!("{:.1}%", p.util_dead_die * 100.0),
+            format!("{:.2}", p.recovery),
+            format!("{:.0}", p.ns_per_query),
+            p.dropped_rows.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nsame-seed replay: {}\n",
+        if r.deterministic {
+            "byte-identical (HealthReport + latency)"
+        } else {
+            "MISMATCH"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Window {
+        Window {
+            queries: 2,
+            max_tiles: 12,
+        }
+    }
+
+    #[test]
+    fn degrading_policies_never_abort_and_replay_exactly() {
+        let r = run(small());
+        assert!(r.deterministic);
+        for p in &r.sweep {
+            assert!(p.slowdown >= 1.0 - 1e-9, "{}: {}", p.policy, p.slowdown);
+            assert!(p.candidate_recall > 0.9 && p.candidate_recall <= 1.0);
+        }
+    }
+
+    #[test]
+    fn retry_and_reconstruct_lose_nothing_at_moderate_rates() {
+        let w = small();
+        let base = machine(MachineVariant::paper_ecssd())
+            .run_window(w.queries, w.max_tiles)
+            .expect("fault-free run")
+            .ns_per_query();
+        for policy in [
+            DegradationPolicy::Retry { max: 2 },
+            DegradationPolicy::Reconstruct,
+        ] {
+            let p = sweep_point(1e-4, policy, "p", base, w);
+            assert_eq!(p.unrecovered_rows, 0);
+            assert_eq!(p.skipped_rows, 0);
+            assert_eq!(p.top1_recall, 1.0);
+            assert_eq!(p.top5_recall, 1.0);
+        }
+    }
+
+    #[test]
+    fn learned_interleaving_recovers_from_a_killed_die() {
+        let d = die_point(
+            "Learned",
+            InterleavingStrategy::Learned(Default::default()),
+            small(),
+        );
+        assert!(d.recovery >= 0.8, "recovery {}", d.recovery);
+    }
+}

@@ -39,7 +39,11 @@ impl std::fmt::Display for Report {
                 "B" => "memory-bound (bandwidth under-utilized)",
                 _ => "near ridge (balanced)",
             };
-            t.row([p.label.to_string(), format!("{:.1}", p.gflops), regime.into()]);
+            t.row([
+                p.label.to_string(),
+                format!("{:.1}", p.gflops),
+                regime.into(),
+            ]);
         }
         write!(f, "{t}")
     }

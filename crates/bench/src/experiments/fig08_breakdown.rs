@@ -149,7 +149,10 @@ mod tests {
 
     #[test]
     fn steps_improve_monotonically() {
-        let r = run(Window { queries: 2, max_tiles: 48 });
+        let r = run(Window {
+            queries: 2,
+            max_tiles: 48,
+        });
         assert_eq!(r.steps.len(), 5);
         for w in r.steps.windows(2) {
             assert!(

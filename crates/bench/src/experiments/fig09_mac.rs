@@ -60,7 +60,12 @@ impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Fig. 9 — FP MAC circuits at iso-performance (50 GFLOPS)")?;
         let mut t = TextTable::new([
-            "circuit", "area mm2", "power mW", "area ratio", "power ratio", "paper (area, power)",
+            "circuit",
+            "area mm2",
+            "power mW",
+            "area ratio",
+            "power ratio",
+            "paper (area, power)",
         ]);
         for r in &self.rows {
             t.row([
@@ -82,8 +87,14 @@ mod tests {
     fn ratios_track_the_paper() {
         let r = super::run();
         for row in &r.rows {
-            assert!((row.area_ratio - row.paper_ratios.0).abs() < 0.05, "{row:?}");
-            assert!((row.power_ratio - row.paper_ratios.1).abs() < 0.05, "{row:?}");
+            assert!(
+                (row.area_ratio - row.paper_ratios.0).abs() < 0.05,
+                "{row:?}"
+            );
+            assert!(
+                (row.power_ratio - row.paper_ratios.1).abs() < 0.05,
+                "{row:?}"
+            );
         }
     }
 }

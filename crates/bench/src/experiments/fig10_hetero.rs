@@ -69,8 +69,16 @@ pub fn run(window: Window) -> Report {
 
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Fig. 10 — heterogeneous vs homogeneous layout (Transformer-W268K)")?;
-        let mut t = TextTable::new(["candidate ratio", "homog ns/query", "hetero ns/query", "speedup"]);
+        writeln!(
+            f,
+            "Fig. 10 — heterogeneous vs homogeneous layout (Transformer-W268K)"
+        )?;
+        let mut t = TextTable::new([
+            "candidate ratio",
+            "homog ns/query",
+            "hetero ns/query",
+            "speedup",
+        ]);
         for p in &self.points {
             t.row([
                 format!("{:.0}%", p.ratio * 100.0),
@@ -94,7 +102,10 @@ mod tests {
 
     #[test]
     fn hetero_always_wins_and_gain_shrinks_with_ratio() {
-        let r = run(Window { queries: 2, max_tiles: 16 });
+        let r = run(Window {
+            queries: 2,
+            max_tiles: 16,
+        });
         assert_eq!(r.points.len(), 4);
         for p in &r.points {
             assert!(p.speedup() > 1.0, "hetero must win at {}", p.ratio);

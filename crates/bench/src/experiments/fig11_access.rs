@@ -32,7 +32,8 @@ fn machines() -> (EcssdMachine, EcssdMachine) {
         EcssdConfig::paper_default(),
         MachineVariant::paper_ecssd(),
         Box::new(SampledWorkload::new(bench, trace)),
-    );
+    )
+    .expect("screener fits DRAM");
     let uniform = EcssdMachine::new(
         EcssdConfig::paper_default(),
         MachineVariant {
@@ -41,7 +42,8 @@ fn machines() -> (EcssdMachine, EcssdMachine) {
             ..MachineVariant::paper_ecssd()
         },
         Box::new(SampledWorkload::new(bench, trace)),
-    );
+    )
+    .expect("screener fits DRAM");
     (learned, uniform)
 }
 

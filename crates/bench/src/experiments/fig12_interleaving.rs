@@ -44,7 +44,12 @@ pub fn run(window: Window) -> Report {
     let rows: Vec<BenchRow> = Benchmark::small_suite()
         .into_iter()
         .map(|bench| {
-            let seq = run_point(bench, variant(InterleavingStrategy::Sequential), trace, window);
+            let seq = run_point(
+                bench,
+                variant(InterleavingStrategy::Sequential),
+                trace,
+                window,
+            );
             let uni = run_point(bench, variant(InterleavingStrategy::Uniform), trace, window);
             let lrn = run_point(bench, MachineVariant::paper_ecssd(), trace, window);
             BenchRow {
@@ -56,8 +61,10 @@ pub fn run(window: Window) -> Report {
         })
         .collect();
     let over_uniform: Vec<f64> = rows.iter().map(|r| r.uniform_ns / r.learned_ns).collect();
-    let over_sequential: Vec<f64> =
-        rows.iter().map(|r| r.sequential_ns / r.learned_ns).collect();
+    let over_sequential: Vec<f64> = rows
+        .iter()
+        .map(|r| r.sequential_ns / r.learned_ns)
+        .collect();
     Report {
         rows,
         learned_over_uniform: geomean(&over_uniform),
@@ -67,8 +74,18 @@ pub fn run(window: Window) -> Report {
 
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Fig. 12 — storing-strategy comparison (ns/query, lower is better)")?;
-        let mut t = TextTable::new(["benchmark", "sequential", "uniform", "learned", "lrn/uni", "lrn/seq"]);
+        writeln!(
+            f,
+            "Fig. 12 — storing-strategy comparison (ns/query, lower is better)"
+        )?;
+        let mut t = TextTable::new([
+            "benchmark",
+            "sequential",
+            "uniform",
+            "learned",
+            "lrn/uni",
+            "lrn/seq",
+        ]);
         for r in &self.rows {
             t.row([
                 r.benchmark.clone(),
@@ -94,7 +111,10 @@ mod tests {
 
     #[test]
     fn paper_shape_holds() {
-        let r = run(Window { queries: 2, max_tiles: 16 });
+        let r = run(Window {
+            queries: 2,
+            max_tiles: 16,
+        });
         assert_eq!(r.rows.len(), 4);
         assert!(
             r.learned_over_uniform > 1.1 && r.learned_over_uniform < 2.0,

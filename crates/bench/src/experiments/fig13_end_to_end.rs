@@ -60,14 +60,21 @@ pub fn run(window: Window) -> Report {
                 .iter()
                 .map(|c| c.baseline_ns[i] / c.ecssd_ns)
                 .collect();
-            (arch.label().to_string(), geomean(&per_bench), arch.paper_speedup())
+            (
+                arch.label().to_string(),
+                geomean(&per_bench),
+                arch.paper_speedup(),
+            )
         })
         .collect();
     // Re-run the GenStore rows as full simulations (same substrate as the
     // ECSSD machine) to validate the analytic model's closed forms.
     let s10m = Benchmark::by_abbrev("XMLCNN-S10M").expect("known");
     let genstore_cross_check = [
-        (ecssd_baselines::GenStoreVariant::Naive, BaselineArch::GenStoreN),
+        (
+            ecssd_baselines::GenStoreVariant::Naive,
+            BaselineArch::GenStoreN,
+        ),
         (
             ecssd_baselines::GenStoreVariant::Screening,
             BaselineArch::GenStoreAp,
@@ -104,7 +111,11 @@ impl std::fmt::Display for Report {
         header.extend(self.columns.iter().map(|c| c.benchmark.clone()));
         let mut t = TextTable::new(header);
         let mut ecssd_row = vec!["ECSSD".to_string()];
-        ecssd_row.extend(self.columns.iter().map(|c| format!("{:.2}", c.ecssd_ns / 1e9)));
+        ecssd_row.extend(
+            self.columns
+                .iter()
+                .map(|c| format!("{:.2}", c.ecssd_ns / 1e9)),
+        );
         t.row(ecssd_row);
         for (i, arch) in BaselineArch::ALL.iter().enumerate() {
             let mut row = vec![arch.label().to_string()];
@@ -146,7 +157,10 @@ mod tests {
 
     #[test]
     fn speedups_track_paper_within_40_percent() {
-        let r = run(Window { queries: 2, max_tiles: 16 });
+        let r = run(Window {
+            queries: 2,
+            max_tiles: 16,
+        });
         assert_eq!(r.columns.len(), 3);
         for (label, measured, paper) in &r.average_speedups {
             assert!(

@@ -37,6 +37,7 @@ fn machine(variant: MachineVariant) -> EcssdMachine {
     let bench = Benchmark::by_abbrev("Transformer-W268K").expect("known");
     let workload = SampledWorkload::new(bench, TraceConfig::paper_default());
     EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(workload))
+        .expect("screener fits DRAM")
 }
 
 fn sweep(variant: MachineVariant, service_ns: f64, loads: &[f64]) -> Vec<LoadPoint> {
@@ -45,7 +46,8 @@ fn sweep(variant: MachineVariant, service_ns: f64, loads: &[f64]) -> Vec<LoadPoi
         .map(|&load| {
             let mut m = machine(variant);
             let report = HostCoordinator::new(ArrivalSchedule::at_load(service_ns, load))
-                .serve(&mut m, 40, 16);
+                .serve(&mut m, 40, 16)
+                .expect("fault-free run");
             LoadPoint {
                 load,
                 mean_ms: report.mean_ns() / 1e6,
@@ -60,6 +62,7 @@ pub fn run() -> Report {
     // Service rate reference: ECSSD's steady-state time per batch.
     let ecssd_service = machine(MachineVariant::paper_ecssd())
         .run_window(2, 16)
+        .expect("fault-free run")
         .ns_per_query();
     let loads = [0.3, 0.6, 0.9, 1.2];
     Report {
@@ -75,7 +78,11 @@ impl std::fmt::Display for Report {
             "serving latency under open-loop load (Transformer-W268K; load relative to ECSSD's service rate)"
         )?;
         let mut t = TextTable::new([
-            "load", "ECSSD mean ms", "ECSSD p99 ms", "baseline mean ms", "baseline p99 ms",
+            "load",
+            "ECSSD mean ms",
+            "ECSSD p99 ms",
+            "baseline mean ms",
+            "baseline p99 ms",
         ]);
         for (e, b) in self.ecssd.iter().zip(&self.baseline) {
             t.row([

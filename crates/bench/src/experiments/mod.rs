@@ -5,20 +5,21 @@
 pub mod ablations;
 pub mod common;
 pub mod energy_report;
+pub mod fault_study;
 pub mod fig01_roofline;
-pub mod latency_study;
 pub mod fig08_breakdown;
 pub mod fig09_mac;
 pub mod fig10_hetero;
 pub mod fig11_access;
 pub mod fig12_interleaving;
 pub mod fig13_end_to_end;
+pub mod latency_study;
 pub mod sec42_alignment_free;
-pub mod sweep_channels;
-pub mod sweep_compensation;
 pub mod sec71_scalability;
 pub mod sec72_gpu;
 pub mod sec73_enmc;
+pub mod sweep_channels;
+pub mod sweep_compensation;
 pub mod table02_config;
 pub mod table03_benchmarks;
 pub mod table04_area_power;

@@ -96,13 +96,9 @@ pub fn run() -> Report {
         let pipeline = workload.pipeline();
         let screened = pipeline.infer(&x, 5).expect("inference");
         // FP32 classification of the same candidates.
-        let fp32 = candidate_only_classify(
-            &weights,
-            &x,
-            &screened.candidates,
-            ClassifyPrecision::Fp32,
-        )
-        .expect("dims");
+        let fp32 =
+            candidate_only_classify(&weights, &x, &screened.candidates, ClassifyPrecision::Fp32)
+                .expect("dims");
         let agree = topk_recall(&fp32, &screened.top_k, 5);
         agreement_sum += agree.recall();
         top1 += usize::from(agree.top1_match);
@@ -198,10 +194,21 @@ mod tests {
         let r = super::run();
         assert!((r.required_gflops - 34.8).abs() < 0.1);
         assert!(r.naive_gflops < r.required_gflops, "naive must fall short");
-        assert!(r.af_gflops > r.required_gflops, "alignment-free must keep up");
-        assert!(r.lossless_fraction > 0.95, "lossless {}", r.lossless_fraction);
+        assert!(
+            r.af_gflops > r.required_gflops,
+            "alignment-free must keep up"
+        );
+        assert!(
+            r.lossless_fraction > 0.95,
+            "lossless {}",
+            r.lossless_fraction
+        );
         // §4.2: "no classification accuracy drop" of CFP32 vs FP32.
-        assert!(r.cfp32_vs_fp32_top5 >= 0.99, "agreement {}", r.cfp32_vs_fp32_top5);
+        assert!(
+            r.cfp32_vs_fp32_top5 >= 0.99,
+            "agreement {}",
+            r.cfp32_vs_fp32_top5
+        );
         assert!(r.top1_match_rate >= 0.99);
         assert!(r.screening_recall5 > 0.8, "recall {}", r.screening_recall5);
         assert!((r.prealign_ms_per_1x1024 - 0.005).abs() < 1e-9);

@@ -48,7 +48,7 @@ pub fn run() -> Report {
     Report {
         rows,
         scale_out: plan,
-        executed: run_scale_out(bench, plan, 1, 16),
+        executed: run_scale_out(bench, plan, 1, 16).expect("fault-free run"),
     }
 }
 

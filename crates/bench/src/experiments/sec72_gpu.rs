@@ -31,7 +31,11 @@ pub fn run() -> Report {
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "§7.2 — GPU comparison (XMLCNN-S100M)")?;
-        writeln!(f, "GPUs needed to hold 400 GB of FP32 weights: {} (paper: ≥18)", self.gpus_needed)?;
+        writeln!(
+            f,
+            "GPUs needed to hold 400 GB of FP32 weights: {} (paper: ≥18)",
+            self.gpus_needed
+        )?;
         writeln!(
             f,
             "single RTX 3090 power vs ECSSD: {:.0}x (paper: 32x)",

@@ -48,9 +48,16 @@ pub fn run_for(bench_name: &str, window: Window) -> Report {
             config.ssd.geometry = geometry;
             let workload = SampledWorkload::new(bench, TraceConfig::paper_default());
             let mut machine =
-                EcssdMachine::new(config, MachineVariant::paper_ecssd(), Box::new(workload));
-            let r = machine.run_window(window.queries, window.max_tiles);
-            (geometry.channels, r.ns_per_query(), r.fp_channel_utilization)
+                EcssdMachine::new(config, MachineVariant::paper_ecssd(), Box::new(workload))
+                    .expect("screener fits DRAM");
+            let r = machine
+                .run_window(window.queries, window.max_tiles)
+                .expect("fault-free run");
+            (
+                geometry.channels,
+                r.ns_per_query(),
+                r.fp_channel_utilization,
+            )
         })
         .collect();
     let base = raw[0].1;
@@ -102,7 +109,10 @@ mod tests {
 
     #[test]
     fn more_channels_help_until_compute_binds() {
-        let w = Window { queries: 2, max_tiles: 24 };
+        let w = Window {
+            queries: 2,
+            max_tiles: 24,
+        };
         for r in run(w) {
             // Monotone non-worsening with channel count.
             for pair in r.points.windows(2) {

@@ -55,7 +55,11 @@ impl std::fmt::Display for Report {
         writeln!(f, "§4.2 design space — compensation width sweep")?;
         let mut t = TextTable::new(["comp bits", "lossless", "AF lane area (um2)"]);
         for p in &self.points {
-            let marker = if p.comp_bits == 7 { "  <- paper (CFP32)" } else { "" };
+            let marker = if p.comp_bits == 7 {
+                "  <- paper (CFP32)"
+            } else {
+                ""
+            };
             t.row([
                 format!("{}{}", p.comp_bits, marker),
                 format!("{:.2}%", p.lossless_fraction * 100.0),

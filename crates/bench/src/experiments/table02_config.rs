@@ -30,11 +30,23 @@ impl std::fmt::Display for Report {
             format!("{} TiB", g.capacity_bytes() >> 40),
             "4 TB".to_string(),
         ]);
-        t.row(["flash channels".to_string(), g.channels.to_string(), "8".into()]);
-        t.row(["page size".to_string(), format!("{} B", g.page_bytes), "4 KB".into()]);
+        t.row([
+            "flash channels".to_string(),
+            g.channels.to_string(),
+            "8".into(),
+        ]);
+        t.row([
+            "page size".to_string(),
+            format!("{} B", g.page_bytes),
+            "4 KB".into(),
+        ]);
         t.row([
             "DRAM".to_string(),
-            format!("{} GiB @ {:.1} GB/s", c.ssd.dram_bytes >> 30, c.ssd.dram_gbps),
+            format!(
+                "{} GiB @ {:.1} GB/s",
+                c.ssd.dram_bytes >> 30,
+                c.ssd.dram_gbps
+            ),
             "16 GB".into(),
         ]);
         t.row([

@@ -23,7 +23,14 @@ impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Table 3 — benchmark models and datasets")?;
         let mut t = TextTable::new([
-            "abbr", "model", "dataset", "categories", "hidden D", "K", "FP32 matrix", "INT4 matrix",
+            "abbr",
+            "model",
+            "dataset",
+            "categories",
+            "hidden D",
+            "K",
+            "FP32 matrix",
+            "INT4 matrix",
         ]);
         for b in &self.benchmarks {
             t.row([

@@ -1,6 +1,8 @@
 //! Table 4 — area and power estimation of the inserted accelerator.
 
-use ecssd_float::{AcceleratorBudget, AcceleratorEstimate, PAPER_ACCEL_AREA_MM2, PAPER_ACCEL_POWER_MW};
+use ecssd_float::{
+    AcceleratorBudget, AcceleratorEstimate, PAPER_ACCEL_AREA_MM2, PAPER_ACCEL_POWER_MW,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::table::TextTable;
@@ -25,15 +27,38 @@ pub fn run() -> Report {
 
 impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Table 4 — accelerator area and power (28 nm, 400 MHz, 0.9 V)")?;
+        writeln!(
+            f,
+            "Table 4 — accelerator area and power (28 nm, 400 MHz, 0.9 V)"
+        )?;
         let mut t = TextTable::new(["block", "area mm2", "power mW"]);
         let e = &self.estimate;
-        t.row(["FP32 MAC".to_string(), format!("{:.4}", e.fp32.area_mm2()), format!("{:.2}", e.fp32.power_mw())]);
-        t.row(["INT4 MAC".to_string(), format!("{:.4}", e.int4.area_mm2()), format!("{:.2}", e.int4.power_mw())]);
-        t.row(["comparator".to_string(), format!("{:.4}", e.comparator.area_mm2()), format!("{:.3}", e.comparator.power_mw())]);
-        t.row(["scheduler".to_string(), format!("{:.4}", e.scheduler.area_mm2()), format!("{:.3}", e.scheduler.power_mw())]);
+        t.row([
+            "FP32 MAC".to_string(),
+            format!("{:.4}", e.fp32.area_mm2()),
+            format!("{:.2}", e.fp32.power_mw()),
+        ]);
+        t.row([
+            "INT4 MAC".to_string(),
+            format!("{:.4}", e.int4.area_mm2()),
+            format!("{:.2}", e.int4.power_mw()),
+        ]);
+        t.row([
+            "comparator".to_string(),
+            format!("{:.4}", e.comparator.area_mm2()),
+            format!("{:.3}", e.comparator.power_mw()),
+        ]);
+        t.row([
+            "scheduler".to_string(),
+            format!("{:.4}", e.scheduler.area_mm2()),
+            format!("{:.3}", e.scheduler.power_mw()),
+        ]);
         let total = e.total();
-        t.row(["TOTAL".to_string(), format!("{:.4}", total.area_mm2()), format!("{:.2}", total.power_mw())]);
+        t.row([
+            "TOTAL".to_string(),
+            format!("{:.4}", total.area_mm2()),
+            format!("{:.2}", total.power_mw()),
+        ]);
         writeln!(f, "{t}")?;
         writeln!(
             f,

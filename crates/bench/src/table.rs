@@ -100,7 +100,11 @@ mod tests {
     fn bars_scale_and_clamp() {
         assert_eq!(ascii_bar(5.0, 10.0, 10), "#####");
         assert_eq!(ascii_bar(10.0, 10.0, 4), "####");
-        assert_eq!(ascii_bar(0.01, 10.0, 10), "#", "nonzero shows at least one cell");
+        assert_eq!(
+            ascii_bar(0.01, 10.0, 10),
+            "#",
+            "nonzero shows at least one cell"
+        );
         assert_eq!(ascii_bar(0.0, 10.0, 10), "");
         assert_eq!(ascii_bar(1.0, 0.0, 10), "");
     }

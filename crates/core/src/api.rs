@@ -174,8 +174,8 @@ impl Ecssd {
     pub fn weight_deploy(&mut self, weights: &DenseMatrix) -> Result<(), EcssdError> {
         self.require_accelerator()?;
         // Host ships the whole FP32 matrix + INT4 matrix over PCIe.
-        let projector = Projector::paper_scale(weights.cols(), 0x5eed)
-            .map_err(EcssdError::Screen)?;
+        let projector =
+            Projector::paper_scale(weights.cols(), 0x5eed).map_err(EcssdError::Screen)?;
         let screener = Screener::from_weights(weights, projector)?;
         let int4_bytes = screener.weights4().storage_bytes() as u64;
         self.device.dram_mut().reserve(int4_bytes)?;
@@ -340,7 +340,8 @@ mod tests {
         dev.enable();
         let weights = DenseMatrix::random(256, 64, 9);
         dev.weight_deploy(&weights).unwrap();
-        dev.filter_threshold(ThresholdPolicy::TopRatio(0.1)).unwrap();
+        dev.filter_threshold(ThresholdPolicy::TopRatio(0.1))
+            .unwrap();
         dev.input_send(&query(64, 0.0)).unwrap();
         dev.input_send(&query(64, 1.0)).unwrap();
         dev.int4_screen().unwrap();
@@ -385,7 +386,10 @@ mod tests {
         dev.enable();
         assert_eq!(dev.mode(), EcssdMode::Accelerator);
         // Accelerator calls before deployment fail cleanly.
-        assert!(matches!(dev.input_send(&[0.0; 8]), Err(EcssdError::NoWeights)));
+        assert!(matches!(
+            dev.input_send(&[0.0; 8]),
+            Err(EcssdError::NoWeights)
+        ));
         assert!(matches!(dev.int4_screen(), Err(EcssdError::NoWeights)));
         dev.disable();
         assert_eq!(dev.mode(), EcssdMode::Ssd);

@@ -128,7 +128,7 @@ impl EcssdCluster {
                 value: s.value,
             }));
         }
-        merged.sort_by(|a, b| b.value.partial_cmp(&a.value).expect("finite scores"));
+        merged.sort_by(|a, b| b.value.total_cmp(&a.value));
         merged.truncate(k);
         Ok(merged)
     }
@@ -205,9 +205,7 @@ mod tests {
         let weights = planted(600, 32);
         let mut cluster = EcssdCluster::new(EcssdConfig::tiny(), 2);
         cluster.weight_deploy(&weights).unwrap();
-        let per_device: Vec<SimTime> = (0..2)
-            .map(|i| cluster.devices[i].elapsed())
-            .collect();
+        let per_device: Vec<SimTime> = (0..2).map(|i| cluster.devices[i].elapsed()).collect();
         assert_eq!(cluster.elapsed(), per_device.into_iter().max().unwrap());
     }
 

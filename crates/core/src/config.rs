@@ -44,7 +44,9 @@ impl AcceleratorConfig {
     /// budget, in GFLOPS (alignment-free: ≈50; naive: ≈29.2; SK Hynix in
     /// between — §4.2, §6.4).
     pub fn fp32_gflops(&self, circuit: MacCircuit) -> f64 {
-        let model = MacCircuitModel { clock_ghz: self.clock_ghz };
+        let model = MacCircuitModel {
+            clock_ghz: self.clock_ghz,
+        };
         let af_area = model
             .fp_engine(MacCircuit::AlignmentFree, self.fp32_lanes)
             .area_um2;
@@ -53,7 +55,9 @@ impl AcceleratorConfig {
 
     /// Peak INT4 throughput in GOPS (≈200, Table 2).
     pub fn int4_gops(&self) -> f64 {
-        let model = MacCircuitModel { clock_ghz: self.clock_ghz };
+        let model = MacCircuitModel {
+            clock_ghz: self.clock_ghz,
+        };
         model.int4_gops(self.int4_lanes)
     }
 }

@@ -117,7 +117,11 @@ impl EnergyModel {
             accelerator_mj: accel_mj,
             flash_mj,
             dram_mj,
-            mean_power_w: if seconds > 0.0 { total_mj * 1e-3 / seconds } else { 0.0 },
+            mean_power_w: if seconds > 0.0 {
+                total_mj * 1e-3 / seconds
+            } else {
+                0.0
+            },
             achieved_gflops,
         }
     }
@@ -137,8 +141,9 @@ mod tests {
             EcssdConfig::paper_default(),
             MachineVariant::paper_ecssd(),
             Box::new(w),
-        );
-        m.run_window(2, 48)
+        )
+        .unwrap();
+        m.run_window(2, 48).unwrap()
     }
 
     #[test]

@@ -103,6 +103,10 @@ impl HostCoordinator {
     /// Serves `batches` arrivals on `machine` (window of `max_tiles` per
     /// batch) and reports latencies.
     ///
+    /// # Errors
+    ///
+    /// Propagates any [`ecssd_ssd::SsdError`] from the probe run.
+    ///
     /// # Panics
     ///
     /// Panics if `batches == 0`.
@@ -111,10 +115,10 @@ impl HostCoordinator {
         machine: &mut EcssdMachine,
         batches: usize,
         max_tiles: usize,
-    ) -> ServiceReport {
+    ) -> Result<ServiceReport, ecssd_ssd::SsdError> {
         assert!(batches > 0, "need at least one batch");
         // Measure the per-batch service time once in steady state.
-        let probe = machine.run_window(2, max_tiles);
+        let probe = machine.run_window(2, max_tiles)?;
         let service_ns = probe.ns_per_query();
         let mut free_at = 0.0f64;
         let mut latencies = Vec::with_capacity(batches);
@@ -127,10 +131,10 @@ impl HostCoordinator {
             latencies.push((done - arrival.as_ns() as f64) as u64);
             last_done = SimTime::from_ns(done as u64);
         }
-        ServiceReport {
+        Ok(ServiceReport {
             latencies_ns: latencies,
             makespan: last_done,
-        }
+        })
     }
 }
 
@@ -148,6 +152,7 @@ mod tests {
             MachineVariant::paper_ecssd(),
             Box::new(w),
         )
+        .unwrap()
     }
 
     #[test]
@@ -167,10 +172,11 @@ mod tests {
     #[test]
     fn light_load_latency_is_near_service_time() {
         let mut m = machine();
-        let probe = m.run_window(2, 12).ns_per_query();
+        let probe = m.run_window(2, 12).unwrap().ns_per_query();
         let mut m = machine();
         let report = HostCoordinator::new(ArrivalSchedule::at_load(probe, 0.3))
-            .serve(&mut m, 24, 12);
+            .serve(&mut m, 24, 12)
+            .unwrap();
         // At 30% load the queue is almost always empty.
         assert!(
             report.mean_ns() < probe * 1.3,
@@ -183,10 +189,12 @@ mod tests {
     #[test]
     fn overload_grows_the_queue() {
         let mut m = machine();
-        let probe = m.run_window(2, 12).ns_per_query();
+        let probe = m.run_window(2, 12).unwrap().ns_per_query();
         let serve_at = |load: f64| {
             let mut m = machine();
-            HostCoordinator::new(ArrivalSchedule::at_load(probe, load)).serve(&mut m, 32, 12)
+            HostCoordinator::new(ArrivalSchedule::at_load(probe, load))
+                .serve(&mut m, 32, 12)
+                .unwrap()
         };
         let light = serve_at(0.5);
         let heavy = serve_at(1.5);

@@ -30,14 +30,16 @@
 //!     EcssdConfig::paper_default(),
 //!     MachineVariant::paper_ecssd(),
 //!     Box::new(workload),
-//! );
-//! let report = machine.run(2); // two query batches
+//! )
+//! .expect("INT4 matrix fits device DRAM");
+//! let report = machine.run(2).expect("no faults injected"); // two query batches
 //! assert!(report.makespan.as_ns() > 0);
 //! assert!(report.fp_channel_utilization > 0.5);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod accelerator;
 mod api;
@@ -50,11 +52,13 @@ mod pipeline;
 pub mod roofline;
 pub mod scale;
 
-pub use accelerator::{ComputeEngine, Int4Engine, Fp32Engine};
+pub use accelerator::{ComputeEngine, Fp32Engine, Int4Engine};
 pub use api::{Ecssd, EcssdError, EcssdMode};
 pub use cluster::EcssdCluster;
 pub use config::{AcceleratorConfig, EcssdConfig};
 pub use energy::{EnergyModel, EnergyReport};
 pub use host::{ArrivalSchedule, HostCoordinator, ServiceReport};
 pub use integration::ClassifierLayer;
-pub use pipeline::{DataPlacement, EcssdMachine, MachineVariant, RunReport, TileTiming};
+pub use pipeline::{
+    DataPlacement, DegradationPolicy, EcssdMachine, MachineVariant, RunReport, TileTiming,
+};

@@ -18,9 +18,10 @@
 //! than being hard-coded.
 
 use ecssd_float::MacCircuit;
-use ecssd_layout::{InterleavingStrategy, TileLayout};
+use ecssd_layout::{InterleavingStrategy, ParityScheme, TileLayout};
 use ecssd_ssd::{
-    Dram, FlashSim, HostInterface, ImbalanceReport, PhysPageAddr, PingPongBuffer, SimTime,
+    Dram, FaultPlan, FlashSim, HealthReport, HostInterface, ImbalanceReport, PageReadOutcome,
+    PhysPageAddr, PingPongBuffer, SimTime, SsdError,
 };
 use ecssd_workloads::CandidateSource;
 use serde::{Deserialize, Serialize};
@@ -35,6 +36,33 @@ pub enum DataPlacement {
     /// Baseline: both INT4 and FP32 weights in NAND flash; their transfers
     /// interfere on the channel buses.
     Homogeneous,
+}
+
+/// What the pipeline does when a candidate-row read comes back faulted
+/// (uncorrectable ECC error or dead die).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationPolicy {
+    /// Surface the fault as a typed error and abort the run. The right
+    /// choice when any silent accuracy loss is unacceptable.
+    #[default]
+    Fail,
+    /// Re-issue the failed page reads up to `max` more times. Recovers
+    /// transient uncorrectable errors (a later attempt re-senses with
+    /// fresh reference voltages); permanently failed pages that survive
+    /// all attempts are dropped and counted as unrecovered.
+    Retry {
+        /// Maximum re-read attempts per failed page.
+        max: u32,
+    },
+    /// Rebuild the lost page from its RAID-5 stripe peers (the other dies
+    /// of the same channel, [`ParityScheme`]). Costs `stripe_width - 1`
+    /// extra same-channel page reads per lost page; rows whose stripe
+    /// peers also fail are counted as unrecovered.
+    Reconstruct,
+    /// Drop the affected candidate rows from classification and account
+    /// the potential recall loss ([`EcssdMachine::skipped`]). Cheapest in
+    /// time, pays in accuracy.
+    Skip,
 }
 
 /// One architecture point: MAC circuit × placement × interleaving × overlap.
@@ -58,6 +86,9 @@ pub struct MachineVariant {
     /// Training queries used to fine-tune hot degrees (0 disables the
     /// frequency signal even if the strategy asks for it).
     pub training_queries: usize,
+    /// How the pipeline degrades when candidate reads fault (only
+    /// observable when a [`FaultPlan`] is installed).
+    pub degradation: DegradationPolicy,
 }
 
 impl MachineVariant {
@@ -70,6 +101,7 @@ impl MachineVariant {
             overlap: true,
             per_tile_sync: true,
             training_queries: 24,
+            degradation: DegradationPolicy::Fail,
         }
     }
 
@@ -83,7 +115,14 @@ impl MachineVariant {
             overlap: true,
             per_tile_sync: true,
             training_queries: 0,
+            degradation: DegradationPolicy::Fail,
         }
+    }
+
+    /// Sets the degradation policy (builder style).
+    pub fn with_degradation(mut self, policy: DegradationPolicy) -> Self {
+        self.degradation = policy;
+        self
     }
 }
 
@@ -113,6 +152,9 @@ pub struct RunReport {
     pub dram_busy_ns: u64,
     /// Producer stalls waiting for a buffer bank, ns.
     pub buffer_stall_ns: u64,
+    /// Fault and degradation accounting for the run (all-zero when no
+    /// faults were injected or observed).
+    pub health: HealthReport,
 }
 
 impl RunReport {
@@ -170,6 +212,20 @@ pub struct EcssdMachine {
     fp_bytes: Vec<u64>,
     /// Optional per-tile timing instrumentation.
     tile_timings: Option<Vec<TileTiming>>,
+    /// Known-dead dies per channel (populated by the retirement path of
+    /// the learned framework; empty vectors mean a healthy channel).
+    dead_per_channel: Vec<Vec<usize>>,
+    /// Dead-die detections already absorbed from the flash layer.
+    absorbed_dead: usize,
+    /// Degradation-policy accounting (accumulated across runs, merged into
+    /// [`RunReport::health`]).
+    retried_reads: u64,
+    reconstructed_rows: u64,
+    reconstruction_page_reads: u64,
+    unrecovered_rows: u64,
+    /// Candidate rows dropped under [`DegradationPolicy::Skip`], as
+    /// `(query, tile, global_row)` — the input to recall-loss accounting.
+    skipped: Vec<(usize, usize, u64)>,
 }
 
 impl std::fmt::Debug for EcssdMachine {
@@ -184,13 +240,31 @@ impl std::fmt::Debug for EcssdMachine {
 /// Fixed scheduler/comparator latency charged per tile, ns.
 const TILE_CONTROL_NS: u64 = 200;
 
+/// A candidate page read that came back faulted (degradation bookkeeping).
+#[derive(Debug, Clone, Copy)]
+struct FailedPage {
+    /// Index into the tile's flat address list (`cand × pages_per_row`).
+    index: usize,
+    addr: PhysPageAddr,
+    /// When the fault was detected (ladder exhausted / timeout / status).
+    detected: SimTime,
+    dead_die: bool,
+}
+
 impl EcssdMachine {
     /// Builds the machine for one benchmark trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::DramCapacityExceeded`] when the heterogeneous
+    /// layout is selected but the benchmark's INT4 screener matrix does
+    /// not fit the configured device DRAM (the paper sizes DRAM so this
+    /// holds for every paper benchmark, §7.1).
     pub fn new(
         config: EcssdConfig,
         variant: MachineVariant,
         source: Box<dyn CandidateSource>,
-    ) -> Self {
+    ) -> Result<Self, SsdError> {
         let geometry = config.ssd.geometry;
         let flash = FlashSim::new(geometry, config.ssd.timing);
         let mut dram = Dram::new(
@@ -198,13 +272,10 @@ impl EcssdMachine {
             ecssd_ssd::Bandwidth::from_gbps(config.ssd.dram_gbps),
         );
         if variant.placement == DataPlacement::Heterogeneous {
-            // Reserve the INT4 matrix in DRAM; panics are deliberate — the
-            // paper sizes DRAM so this always fits (§7.1).
-            dram.reserve(source.benchmark().int4_matrix_bytes().min(dram.capacity_bytes()))
-                .expect("INT4 matrix must fit device DRAM");
+            dram.reserve(source.benchmark().int4_matrix_bytes())?;
         }
         let accel = config.accelerator;
-        EcssdMachine {
+        Ok(EcssdMachine {
             buffer: PingPongBuffer::new(config.ssd.buffer_bytes),
             int4: ComputeEngine::new(accel.int4_gops()),
             fp32: ComputeEngine::new(accel.fp32_gflops(variant.mac)),
@@ -215,10 +286,91 @@ impl EcssdMachine {
             fp_busy: vec![0; geometry.channels],
             fp_bytes: vec![0; geometry.channels],
             tile_timings: None,
+            dead_per_channel: vec![Vec::new(); geometry.channels],
+            absorbed_dead: 0,
+            retried_reads: 0,
+            reconstructed_rows: 0,
+            reconstruction_page_reads: 0,
+            unrecovered_rows: 0,
+            skipped: Vec::new(),
             config,
             variant,
             source,
+        })
+    }
+
+    /// Installs a deterministic fault plan on the underlying flash
+    /// simulator. Subsequent runs draw faults from it; the active
+    /// [`DegradationPolicy`] decides how the pipeline reacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan names a die outside the configured geometry.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.flash.set_fault_plan(plan);
+    }
+
+    /// Candidate rows dropped under [`DegradationPolicy::Skip`] (or left
+    /// unrecovered by the other policies), as `(query, tile, global_row)`.
+    /// Downstream recall-loss accounting compares these against the true
+    /// top-k rows of each query.
+    pub fn skipped(&self) -> &[(usize, usize, u64)] {
+        &self.skipped
+    }
+
+    /// The device-health summary so far (flash-layer counters plus
+    /// policy-level recovery accounting).
+    pub fn health_report(&self) -> HealthReport {
+        let mut health = self.flash.health_report();
+        health.retried_reads = self.retried_reads;
+        health.reconstructed_rows = self.reconstructed_rows;
+        health.reconstruction_page_reads = self.reconstruction_page_reads;
+        health.skipped_rows = self.skipped.len() as u64 - self.unrecovered_rows;
+        health.unrecovered_rows = self.unrecovered_rows;
+        health
+    }
+
+    /// Per-channel health weights for failure-aware interleaving: the
+    /// fraction of the channel's dies still alive, scaled by any bandwidth
+    /// derating. A healthy device is all-1.0.
+    fn channel_health_weights(&self) -> Vec<f64> {
+        let dies = self.config.ssd.geometry.dies_per_channel;
+        (0..self.config.ssd.geometry.channels)
+            .map(|ch| {
+                let alive = dies - self.dead_per_channel[ch].len();
+                let derate = self
+                    .flash
+                    .fault_plan()
+                    .map(|p| p.derate_for(ch))
+                    .unwrap_or(1.0);
+                alive as f64 / dies as f64 * derate
+            })
+            .collect()
+    }
+
+    /// Folds newly detected die failures into the machine's health state.
+    /// Only the learned framework has the health tracking to act on a
+    /// detection: it retires the die (subsequent reads fail fast instead
+    /// of timing out), remaps row placement onto the surviving dies, and
+    /// re-weights the interleaving. The sequential and uniform baselines
+    /// keep paying the full command-timeout ladder on every access.
+    fn absorb_die_failures(&mut self) {
+        let detected: Vec<(usize, usize)> = self.flash.detected_dead_dies().to_vec();
+        if detected.len() == self.absorbed_dead {
+            return;
         }
+        for &(ch, die) in &detected[self.absorbed_dead..] {
+            if matches!(self.variant.interleaving, InterleavingStrategy::Learned(_)) {
+                self.flash.retire_die(ch, die);
+                if !self.dead_per_channel[ch].contains(&die) {
+                    self.dead_per_channel[ch].push(die);
+                    self.dead_per_channel[ch].sort_unstable();
+                }
+                // Re-place subsequent tiles around the lost die.
+                self.layouts.clear();
+            }
+        }
+        self.absorbed_dead = detected.len();
     }
 
     /// Records a [`TileTiming`] for every (query, tile) processed by
@@ -242,7 +394,10 @@ impl EcssdMachine {
         self.source.as_ref()
     }
 
-    /// The per-tile layout (computed on first use).
+    /// The per-tile layout (computed on first use; health-weighted so the
+    /// learned framework routes load away from degraded or dying
+    /// channels — on a healthy device this is identical to the plain
+    /// assignment).
     pub fn tile_layout(&mut self, tile: usize) -> &TileLayout {
         if !self.layouts.contains_key(&tile) {
             let channels = self.config.ssd.geometry.channels;
@@ -257,13 +412,15 @@ impl EcssdMachine {
             } else {
                 None
             };
-            let layout = self.variant.interleaving.assign_tile(
+            let weights = self.channel_health_weights();
+            let layout = self.variant.interleaving.assign_tile_with_health(
                 tile,
                 num_tiles,
                 range.start,
                 &predicted,
                 freq.as_deref(),
                 channels,
+                &weights,
             );
             self.layouts.insert(tile, layout);
         }
@@ -272,27 +429,57 @@ impl EcssdMachine {
 
     /// Physical address of page `p` of a tile-local candidate row, honoring
     /// the layout's channel and spreading rows over the channel's dies.
-    fn row_page_addr(&self, layout: &TileLayout, global_row: u64, local_row: usize, page: u64) -> PhysPageAddr {
+    fn row_page_addr(
+        &self,
+        layout: &TileLayout,
+        global_row: u64,
+        local_row: usize,
+        page: u64,
+    ) -> PhysPageAddr {
         let g = self.config.ssd.geometry;
         let channel = layout.channel_of(local_row);
         // Deterministic die/block placement derived from the row id; only
         // channel and die affect timing.
         let mut h = global_row.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (page << 7);
         h ^= h >> 29;
-        let die = (h % g.dies_per_channel as u64) as usize;
+        // Retired dies are skipped by hashing over the channel's surviving
+        // dies; with no retirements this is the legacy `h % dies` mapping.
+        let dead = &self.dead_per_channel[channel];
+        let die = if dead.is_empty() || dead.len() >= g.dies_per_channel {
+            (h % g.dies_per_channel as u64) as usize
+        } else {
+            let healthy: Vec<usize> = (0..g.dies_per_channel)
+                .filter(|d| !dead.contains(d))
+                .collect();
+            healthy[(h % healthy.len() as u64) as usize]
+        };
         let plane = ((h >> 8) % g.planes_per_die as u64) as usize;
         let block = ((h >> 16) % g.blocks_per_plane as u64) as usize;
         let pg = ((h >> 32) % g.pages_per_block as u64) as usize;
-        PhysPageAddr { channel, die, plane, block, page: pg }
+        PhysPageAddr {
+            channel,
+            die,
+            plane,
+            block,
+            page: pg,
+        }
     }
 
     /// Runs `queries` query batches over the first `max_tiles` tiles of the
     /// matrix (use `usize::MAX` for all tiles). Returns the run report.
     ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::BufferOverflow`] when a tile's candidates
+    /// exceed one ping-pong bank, and — under [`DegradationPolicy::Fail`]
+    /// only — [`SsdError::Uncorrectable`] / [`SsdError::DieFailed`] when
+    /// an injected fault hits a candidate read. The other policies degrade
+    /// gracefully and report through [`RunReport::health`].
+    ///
     /// # Panics
     ///
     /// Panics if `queries == 0`.
-    pub fn run_window(&mut self, queries: usize, max_tiles: usize) -> RunReport {
+    pub fn run_window(&mut self, queries: usize, max_tiles: usize) -> Result<RunReport, SsdError> {
         assert!(queries > 0, "need at least one query");
         let tiles_total = self.source.num_tiles();
         let tiles = tiles_total.min(max_tiles);
@@ -368,8 +555,8 @@ impl EcssdMachine {
                                     let per = int4_tile_bytes / channels as u64;
                                     let mut done = int4_issue;
                                     for ch in 0..channels {
-                                        done = done
-                                            .max(self.flash.bus_transfer(ch, per, int4_issue));
+                                        done =
+                                            done.max(self.flash.bus_transfer(ch, per, int4_issue));
                                     }
                                     done
                                 }
@@ -390,8 +577,9 @@ impl EcssdMachine {
                     continue;
                 }
                 let t = step - PREFETCH;
-                let (mut screen_done, cands) =
-                    screen_done_q.pop_front().expect("screening ran ahead");
+                let Some((mut screen_done, cands)) = screen_done_q.pop_front() else {
+                    unreachable!("screening stays PREFETCH tiles ahead");
+                };
                 if !self.variant.overlap {
                     // Serial ablation: this tile's FP32 phase starts only
                     // after the previous tile fully completed.
@@ -402,10 +590,7 @@ impl EcssdMachine {
 
                 // Fetch into a ping-pong bank.
                 let layout = self.tile_layout(t).clone();
-                let bank = self
-                    .buffer
-                    .acquire(cand_bytes.max(1), screen_done)
-                    .expect("tile candidates fit one buffer bank");
+                let bank = self.buffer.acquire(cand_bytes.max(1), screen_done)?;
                 let mut addrs = Vec::with_capacity(cands.len() * pages_per_row as usize);
                 for &row in &cands {
                     let local = (row - range.start) as usize;
@@ -424,18 +609,67 @@ impl EcssdMachine {
                 } else {
                     bank
                 };
-                let fetch = self.flash.read_batch_gated(&addrs, screen_done, gate);
-                prev_fetch_done = fetch.done;
-                // FP32-only traffic accounting.
+                let fetch = self.flash.read_batch_checked(&addrs, screen_done, gate);
+                // Degradation: resolve faulted pages per the active policy.
+                // `row_dropped[i]` marks candidate rows excluded from
+                // classification (skipped or unrecovered).
+                let mut fetch_done = fetch.done;
+                let mut row_dropped = vec![false; cands.len()];
+                let failed: Vec<FailedPage> = fetch
+                    .reads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, o)| match *o {
+                        PageReadOutcome::Ok(_) => None,
+                        PageReadOutcome::Uncorrectable { addr, detected } => Some(FailedPage {
+                            index: i,
+                            addr,
+                            detected,
+                            dead_die: false,
+                        }),
+                        PageReadOutcome::DeadDie { addr, detected } => Some(FailedPage {
+                            index: i,
+                            addr,
+                            detected,
+                            dead_die: true,
+                        }),
+                    })
+                    .collect();
+                if !failed.is_empty() {
+                    // Dead-die detections feed back into interleaving and
+                    // placement before any recovery traffic is issued.
+                    self.absorb_die_failures();
+                    fetch_done = fetch_done.max(self.recover_failed_pages(
+                        q,
+                        t,
+                        &cands,
+                        pages_per_row,
+                        &failed,
+                        gate,
+                        &mut row_dropped,
+                    )?);
+                }
+                prev_fetch_done = fetch_done;
+                // FP32-only traffic accounting: only candidate pages that
+                // actually reached the buffer count as useful traffic
+                // (reconstruction peer reads occupy the buses but deliver
+                // no new candidate data; dropped rows deliver nothing).
                 let per_page_ns = self.config.ssd.timing.page_transfer_ns(page_bytes);
-                for a in &addrs {
-                    self.fp_busy[a.channel] += per_page_ns;
-                    self.fp_bytes[a.channel] += page_bytes as u64;
+                for (ci, _) in cands.iter().enumerate() {
+                    if row_dropped[ci] {
+                        continue;
+                    }
+                    for p in 0..pages_per_row as usize {
+                        let a = &addrs[ci * pages_per_row as usize + p];
+                        self.fp_busy[a.channel] += per_page_ns;
+                        self.fp_bytes[a.channel] += page_bytes as u64;
+                    }
                 }
 
-                // FP32 candidate-only classification.
-                let flops = 2 * d * cands.len() as u64 * batch;
-                let fp_issue = fetch.done.max(host_done);
+                // FP32 candidate-only classification over surviving rows.
+                let delivered = row_dropped.iter().filter(|&&dropped| !dropped).count() as u64;
+                let flops = 2 * d * delivered * batch;
+                let fp_issue = fetch_done.max(host_done);
                 let fp_done = self.fp32.compute(flops, fp_issue);
                 self.buffer.release(fp_done);
 
@@ -445,14 +679,12 @@ impl EcssdMachine {
                         tile: t,
                         candidates: cands.len(),
                         screen_done,
-                        fetch_done: fetch.done,
+                        fetch_done,
                         fp_done,
                     });
                 }
                 // Results return to host: batch × candidates × 4 bytes.
-                let result_done = self
-                    .host
-                    .transfer(batch * cands.len() as u64 * 4, fp_done);
+                let result_done = self.host.transfer(batch * delivered * 4, fp_done);
                 makespan = makespan.max(result_done);
                 if !self.variant.overlap {
                     serial_cursor = result_done;
@@ -461,7 +693,7 @@ impl EcssdMachine {
         }
 
         let total_fp_busy: u64 = self.fp_busy.iter().sum();
-        RunReport {
+        Ok(RunReport {
             makespan,
             queries,
             tiles_simulated: tiles,
@@ -474,11 +706,161 @@ impl EcssdMachine {
             fp32_busy_ns: self.fp32.busy_ns(),
             dram_busy_ns: self.dram.busy_ns(),
             buffer_stall_ns: self.buffer.stall_ns(),
+            health: self.health_report(),
+        })
+    }
+
+    /// Resolves faulted candidate pages per the active
+    /// [`DegradationPolicy`]. Returns the time the last recovery traffic
+    /// (re-reads, stripe-peer reads) completed; marks rows the policy
+    /// could not save in `row_dropped`.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_failed_pages(
+        &mut self,
+        query: usize,
+        tile: usize,
+        cands: &[u64],
+        pages_per_row: u64,
+        failed: &[FailedPage],
+        gate: SimTime,
+        row_dropped: &mut [bool],
+    ) -> Result<SimTime, SsdError> {
+        let ppr = pages_per_row as usize;
+        let mut done = SimTime::ZERO;
+        for f in failed {
+            done = done.max(f.detected);
         }
+        match self.variant.degradation {
+            DegradationPolicy::Fail => {
+                let f = &failed[0];
+                return Err(if f.dead_die {
+                    SsdError::DieFailed {
+                        channel: f.addr.channel,
+                        die: f.addr.die,
+                    }
+                } else {
+                    SsdError::Uncorrectable {
+                        channel: f.addr.channel,
+                        die: f.addr.die,
+                    }
+                });
+            }
+            DegradationPolicy::Retry { max } => {
+                // Re-issue all failed pages together; uncorrectable errors
+                // are transient (a later attempt re-senses with fresh
+                // reference voltages), dead dies keep failing.
+                let mut pending: Vec<FailedPage> = failed.to_vec();
+                for _ in 0..max {
+                    if pending.is_empty() {
+                        break;
+                    }
+                    let issue = pending
+                        .iter()
+                        .map(|f| f.detected)
+                        .max()
+                        .unwrap_or(SimTime::ZERO);
+                    let addrs: Vec<PhysPageAddr> = pending.iter().map(|f| f.addr).collect();
+                    let re = self
+                        .flash
+                        .read_batch_checked(&addrs, issue, issue.max(gate));
+                    done = done.max(re.done);
+                    let mut still = Vec::new();
+                    for (f, outcome) in pending.iter().zip(re.reads.iter()) {
+                        match *outcome {
+                            PageReadOutcome::Ok(_) => self.retried_reads += 1,
+                            PageReadOutcome::Uncorrectable { detected, .. } => {
+                                still.push(FailedPage { detected, ..*f })
+                            }
+                            PageReadOutcome::DeadDie { detected, .. } => still.push(FailedPage {
+                                detected,
+                                dead_die: true,
+                                ..*f
+                            }),
+                        }
+                    }
+                    pending = still;
+                }
+                for f in &pending {
+                    let row = f.index / ppr;
+                    if !row_dropped[row] {
+                        row_dropped[row] = true;
+                        self.unrecovered_rows += 1;
+                        self.skipped.push((query, tile, cands[row]));
+                    }
+                }
+            }
+            DegradationPolicy::Reconstruct => {
+                let g = self.config.ssd.geometry;
+                let mut touched: Vec<usize> = Vec::new();
+                if g.dies_per_channel < 2 {
+                    // No stripe peers to rebuild from.
+                    for f in failed {
+                        let row = f.index / ppr;
+                        if !row_dropped[row] {
+                            row_dropped[row] = true;
+                            self.unrecovered_rows += 1;
+                            self.skipped.push((query, tile, cands[row]));
+                        }
+                    }
+                } else {
+                    let scheme = ParityScheme::new(g.dies_per_channel);
+                    for f in failed {
+                        let row = f.index / ppr;
+                        if row_dropped[row] {
+                            continue;
+                        }
+                        if !touched.contains(&row) {
+                            touched.push(row);
+                        }
+                        // Read the surviving stripe members — same channel,
+                        // same page coordinate, the other dies — and XOR
+                        // them back together (XOR time is negligible next
+                        // to the page reads).
+                        let stripe = ((f.addr.plane * g.blocks_per_plane + f.addr.block)
+                            * g.pages_per_block
+                            + f.addr.page) as u64;
+                        let peer_addrs: Vec<PhysPageAddr> = scheme
+                            .peers_of(f.addr.die, stripe)
+                            .into_iter()
+                            .map(|die| PhysPageAddr { die, ..f.addr })
+                            .collect();
+                        self.reconstruction_page_reads += peer_addrs.len() as u64;
+                        let re = self.flash.read_batch_checked(
+                            &peer_addrs,
+                            f.detected,
+                            f.detected.max(gate),
+                        );
+                        done = done.max(re.done);
+                        if !re.all_ok() {
+                            // A stripe peer faulted too: the row is gone.
+                            row_dropped[row] = true;
+                            self.unrecovered_rows += 1;
+                            self.skipped.push((query, tile, cands[row]));
+                        }
+                    }
+                }
+                self.reconstructed_rows +=
+                    touched.iter().filter(|&&r| !row_dropped[r]).count() as u64;
+            }
+            DegradationPolicy::Skip => {
+                for f in failed {
+                    let row = f.index / ppr;
+                    if !row_dropped[row] {
+                        row_dropped[row] = true;
+                        self.skipped.push((query, tile, cands[row]));
+                    }
+                }
+            }
+        }
+        Ok(done)
     }
 
     /// Runs `queries` query batches over the whole matrix.
-    pub fn run(&mut self, queries: usize) -> RunReport {
+    ///
+    /// # Errors
+    ///
+    /// See [`EcssdMachine::run_window`].
+    pub fn run(&mut self, queries: usize) -> Result<RunReport, SsdError> {
         self.run_window(queries, usize::MAX)
     }
 
@@ -501,11 +883,11 @@ mod tests {
     fn machine(variant: MachineVariant, bench: &str) -> EcssdMachine {
         let b = Benchmark::by_abbrev(bench).unwrap();
         let w = SampledWorkload::new(b, TraceConfig::paper_default());
-        EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(w))
+        EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(w)).unwrap()
     }
 
     fn window_report(variant: MachineVariant, bench: &str) -> RunReport {
-        machine(variant, bench).run_window(3, 24)
+        machine(variant, bench).run_window(3, 24).unwrap()
     }
 
     #[test]
@@ -531,7 +913,11 @@ mod tests {
     #[test]
     fn learned_interleaving_balances_fp_traffic() {
         let r = window_report(MachineVariant::paper_ecssd(), "Transformer-W268K");
-        assert!(r.fp_imbalance().balance() > 0.9, "balance {}", r.fp_imbalance().balance());
+        assert!(
+            r.fp_imbalance().balance() > 0.9,
+            "balance {}",
+            r.fp_imbalance().balance()
+        );
         assert!(
             r.fp_channel_utilization > 0.65,
             "utilization {}",
@@ -606,7 +992,7 @@ mod tests {
     #[test]
     fn extrapolation_scales_with_tiles() {
         let mut m = machine(MachineVariant::paper_ecssd(), "Transformer-W268K");
-        let r = m.run_window(2, 16);
+        let r = m.run_window(2, 16).unwrap();
         let full = r.ns_per_query_full();
         assert!(full > r.ns_per_query() * 30.0, "523 tiles vs 16 simulated");
     }
@@ -644,7 +1030,7 @@ mod tests {
     fn tile_timings_record_the_pipeline_order() {
         let mut m = machine(MachineVariant::paper_ecssd(), "Transformer-W268K");
         m.enable_tile_timings();
-        let _ = m.run_window(1, 8);
+        let _ = m.run_window(1, 8).unwrap();
         let timings = m.tile_timings();
         assert_eq!(timings.len(), 8);
         for t in timings {
@@ -662,8 +1048,131 @@ mod tests {
     #[test]
     fn works_at_100m_scale() {
         let mut m = machine(MachineVariant::paper_ecssd(), "XMLCNN-S100M");
-        let r = m.run_window(1, 4);
+        let r = m.run_window(1, 4).unwrap();
         assert_eq!(r.tiles_total, 195_313);
         assert!(r.ns_per_query_full() > 1e6);
+    }
+
+    // ---- fault injection & degradation ---------------------------------
+
+    use ecssd_ssd::FaultPlan;
+
+    fn faulted_report(policy: DegradationPolicy, plan: FaultPlan) -> RunReport {
+        let mut m = machine(
+            MachineVariant::paper_ecssd().with_degradation(policy),
+            "Transformer-W268K",
+        );
+        m.set_fault_plan(plan);
+        m.run_window(2, 16).unwrap()
+    }
+
+    #[test]
+    fn inert_fault_plan_leaves_the_run_byte_identical() {
+        let clean = machine(MachineVariant::paper_ecssd(), "Transformer-W268K")
+            .run_window(2, 16)
+            .unwrap();
+        let inert = faulted_report(DegradationPolicy::Fail, FaultPlan::with_seed(99));
+        assert_eq!(clean, inert);
+        assert!(inert.health.is_clean());
+    }
+
+    #[test]
+    fn fail_policy_surfaces_a_typed_uecc_error() {
+        let mut m = machine(MachineVariant::paper_ecssd(), "Transformer-W268K");
+        m.set_fault_plan(FaultPlan::with_seed(3).with_uecc(1.0));
+        match m.run_window(1, 4) {
+            Err(SsdError::Uncorrectable { .. }) => {}
+            other => panic!("expected Uncorrectable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_policy_recovers_transient_uecc_without_losing_rows() {
+        let plan = FaultPlan::with_seed(11).with_uecc(0.01);
+        let r = faulted_report(DegradationPolicy::Retry { max: 4 }, plan);
+        assert!(r.health.uecc_events > 0, "no fault ever fired");
+        assert!(r.health.retried_reads > 0);
+        assert_eq!(r.health.unrecovered_rows, 0);
+        assert_eq!(r.health.skipped_rows, 0);
+        // Recovery traffic costs time vs the fault-free run (same window).
+        let clean = machine(MachineVariant::paper_ecssd(), "Transformer-W268K")
+            .run_window(2, 16)
+            .unwrap();
+        assert!(r.ns_per_query() >= clean.ns_per_query());
+    }
+
+    #[test]
+    fn reconstruct_policy_rebuilds_rows_from_stripe_peers() {
+        let plan = FaultPlan::with_seed(11).with_uecc(0.01);
+        let r = faulted_report(DegradationPolicy::Reconstruct, plan);
+        assert!(r.health.reconstructed_rows > 0);
+        // RAID-5 over the channel's dies: stripe_width - 1 peer reads per
+        // lost page (rows are single-page on this benchmark).
+        let w = EcssdConfig::paper_default().ssd.geometry.dies_per_channel as u64;
+        assert!(r.health.reconstruction_page_reads >= r.health.reconstructed_rows * (w - 1));
+        assert_eq!(r.health.skipped_rows, 0);
+    }
+
+    #[test]
+    fn skip_policy_drops_rows_and_accounts_them() {
+        let plan = FaultPlan::with_seed(11).with_uecc(0.01);
+        let mut m = machine(
+            MachineVariant::paper_ecssd().with_degradation(DegradationPolicy::Skip),
+            "Transformer-W268K",
+        );
+        m.set_fault_plan(plan);
+        let r = m.run_window(2, 16).unwrap();
+        assert!(r.health.skipped_rows > 0);
+        assert_eq!(r.health.skipped_rows, m.skipped().len() as u64);
+        // Every skipped entry names a (query, tile) inside the window.
+        for &(q, t, _row) in m.skipped() {
+            assert!(q < 2 && t < 16);
+        }
+    }
+
+    #[test]
+    fn faulted_runs_replay_byte_identically() {
+        let plan = FaultPlan::with_seed(77)
+            .with_uecc(0.01)
+            .with_retry_storms(0.02);
+        let a = faulted_report(DegradationPolicy::Retry { max: 2 }, plan.clone());
+        let b = faulted_report(DegradationPolicy::Retry { max: 2 }, plan);
+        assert_eq!(a, b);
+        assert_eq!(a.health, b.health);
+    }
+
+    #[test]
+    fn learned_interleaving_retires_a_dead_die_and_routes_around_it() {
+        // Channel 0: the sequential layout maps the first tiles there, so
+        // both variants exercise the dead die.
+        let plan = FaultPlan::with_seed(5).with_dead_die(0, 1);
+        let mut m = machine(
+            MachineVariant::paper_ecssd().with_degradation(DegradationPolicy::Skip),
+            "Transformer-W268K",
+        );
+        m.set_fault_plan(plan.clone());
+        let first = m.run_window(2, 16).unwrap();
+        assert!(first.health.dead_dies.contains(&(0, 1)));
+        // After detection + retirement, subsequent windows re-place rows on
+        // the surviving dies: no further reads hit the dead die.
+        let before = m.health_report().dead_die_reads;
+        let _ = m.run_window(2, 16).unwrap();
+        assert_eq!(m.health_report().dead_die_reads, before);
+
+        // The sequential baseline has no health feedback: its layout keeps
+        // addressing the dead die in every window.
+        let mut seq = machine(
+            MachineVariant {
+                interleaving: InterleavingStrategy::Sequential,
+                ..MachineVariant::paper_ecssd()
+            }
+            .with_degradation(DegradationPolicy::Skip),
+            "Transformer-W268K",
+        );
+        seq.set_fault_plan(plan);
+        let _ = seq.run_window(2, 16).unwrap();
+        let before = seq.health_report().dead_die_reads;
+        let _ = seq.run_window(2, 16).unwrap();
+        assert!(seq.health_report().dead_die_reads > before);
     }
 }

@@ -61,8 +61,8 @@ impl Roofline {
 pub fn paper_points(accel: &AcceleratorConfig, channels: usize) -> [RooflinePoint; 3] {
     let intensity = accel.batch as f64 / 2.0;
     let raw_bw = channels as f64; // 1 GB/s per channel
-    // Bandwidth utilizations: what uniform interleaving achieves from load
-    // imbalance alone (points A and B) vs the full learned layout (point C).
+                                  // Bandwidth utilizations: what uniform interleaving achieves from load
+                                  // imbalance alone (points A and B) vs the full learned layout (point C).
     let baseline = Roofline {
         peak_gflops: accel.fp32_gflops(MacCircuit::Naive),
         raw_bandwidth_gbps: raw_bw,
@@ -79,9 +79,21 @@ pub fn paper_points(accel: &AcceleratorConfig, channels: usize) -> [RooflinePoin
         bandwidth_utilization: 0.947,
     };
     [
-        RooflinePoint { label: "A", intensity, gflops: baseline.attainable(intensity) },
-        RooflinePoint { label: "B", intensity, gflops: lifted.attainable(intensity) },
-        RooflinePoint { label: "C", intensity, gflops: full.attainable(intensity) },
+        RooflinePoint {
+            label: "A",
+            intensity,
+            gflops: baseline.attainable(intensity),
+        },
+        RooflinePoint {
+            label: "B",
+            intensity,
+            gflops: lifted.attainable(intensity),
+        },
+        RooflinePoint {
+            label: "C",
+            intensity,
+            gflops: full.attainable(intensity),
+        },
     ]
 }
 

@@ -6,12 +6,16 @@ use ecssd_layout::InterleavingStrategy;
 use ecssd_ssd::SsdGeometry;
 use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
 
-fn machine_with(geometry: SsdGeometry, trace: TraceConfig, variant: MachineVariant) -> EcssdMachine {
+fn machine_with(
+    geometry: SsdGeometry,
+    trace: TraceConfig,
+    variant: MachineVariant,
+) -> EcssdMachine {
     let bench = Benchmark::by_abbrev("GNMT-E32K").unwrap();
     let mut config = EcssdConfig::paper_default();
     config.ssd.geometry = geometry;
     let workload = SampledWorkload::new(bench, trace);
-    EcssdMachine::new(config, variant, Box::new(workload))
+    EcssdMachine::new(config, variant, Box::new(workload)).unwrap()
 }
 
 #[test]
@@ -31,7 +35,7 @@ fn single_channel_device_works() {
             ..MachineVariant::paper_ecssd()
         };
         let mut m = machine_with(geometry, TraceConfig::paper_default(), variant);
-        let r = m.run_window(1, 4);
+        let r = m.run_window(1, 4).unwrap();
         assert!(r.makespan.as_ns() > 0);
         // One channel: perfectly "balanced" by definition.
         assert_eq!(r.fp_imbalance().idle_channels, 0);
@@ -50,9 +54,14 @@ fn single_die_per_channel_exposes_tr() {
         ..fast
     };
     let run = |g: SsdGeometry| {
-        machine_with(g, TraceConfig::paper_default(), MachineVariant::paper_ecssd())
-            .run_window(1, 8)
-            .ns_per_query()
+        machine_with(
+            g,
+            TraceConfig::paper_default(),
+            MachineVariant::paper_ecssd(),
+        )
+        .run_window(1, 8)
+        .unwrap()
+        .ns_per_query()
     };
     let fast_ns = run(fast);
     let slow_ns = run(slow);
@@ -69,7 +78,7 @@ fn tiny_tiles_and_full_candidate_ratio_work() {
         trace,
         MachineVariant::paper_ecssd(),
     );
-    let r = m.run_window(1, 4);
+    let r = m.run_window(1, 4).unwrap();
     // Ratio 1.0: essentially every row of every simulated tile is fetched
     // (the per-tile count jitter may shave a row or two).
     assert!(r.candidate_rows >= 4 * 32 - 6, "{} rows", r.candidate_rows);
@@ -84,9 +93,14 @@ fn sixteen_channel_high_end_device_scales() {
         ..SsdGeometry::paper_default()
     };
     let run = |g: SsdGeometry| {
-        machine_with(g, TraceConfig::paper_default(), MachineVariant::paper_ecssd())
-            .run_window(2, 16)
-            .ns_per_query()
+        machine_with(
+            g,
+            TraceConfig::paper_default(),
+            MachineVariant::paper_ecssd(),
+        )
+        .run_window(2, 16)
+        .unwrap()
+        .ns_per_query()
     };
     let eight = run(SsdGeometry::paper_default());
     let sixteen = run(wide);
@@ -101,7 +115,7 @@ fn single_query_single_tile_window() {
         TraceConfig::paper_default(),
         MachineVariant::paper_ecssd(),
     );
-    let r = m.run_window(1, 1);
+    let r = m.run_window(1, 1).unwrap();
     assert_eq!(r.tiles_simulated, 1);
     assert!(r.makespan.as_ns() > 0);
     assert!(r.ns_per_query_full() > r.ns_per_query());

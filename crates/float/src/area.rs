@@ -139,7 +139,11 @@ pub enum MacCircuit {
 
 impl MacCircuit {
     /// All organizations, in the order Fig. 9 plots them.
-    pub const ALL: [MacCircuit; 3] = [MacCircuit::Naive, MacCircuit::SkHynix, MacCircuit::AlignmentFree];
+    pub const ALL: [MacCircuit; 3] = [
+        MacCircuit::Naive,
+        MacCircuit::SkHynix,
+        MacCircuit::AlignmentFree,
+    ];
 
     /// Human-readable label used by the harness output.
     pub fn label(self) -> &'static str {
@@ -429,7 +433,10 @@ mod tests {
         assert!(budget.admits(&AcceleratorEstimate::paper_default()));
         // The naive iso-performance accelerator does NOT fit (§3.3: "the
         // total area must far exceed the 0.21 mm² budget restriction").
-        assert!(!budget.admits(&AcceleratorEstimate::with_fp_circuit(MacCircuit::Naive, 50.0)));
+        assert!(!budget.admits(&AcceleratorEstimate::with_fp_circuit(
+            MacCircuit::Naive,
+            50.0
+        )));
     }
 
     #[test]
@@ -486,7 +493,10 @@ mod tests {
         // monotonically with width.
         let n7 = MODEL.af_lane_with_compensation(7);
         let standard = MODEL.fp_lane(MacCircuit::AlignmentFree);
-        assert!((n7.area_um2 - standard.area_um2).abs() < 1.0, "{n7:?} vs {standard:?}");
+        assert!(
+            (n7.area_um2 - standard.area_um2).abs() < 1.0,
+            "{n7:?} vs {standard:?}"
+        );
         let mut last = MODEL.af_lane_with_compensation(0).area_um2;
         for n in [2u32, 4, 7, 10, 16] {
             let a = MODEL.af_lane_with_compensation(n).area_um2;

@@ -194,7 +194,11 @@ impl Cfp32Vector {
                 let (e, s24, negative) = decompose(v);
                 let shift = (max_exp - e) as u32;
                 let wide = u64::from(s24) << COMPENSATION_BITS;
-                let m31 = if shift >= 64 { 0 } else { (wide >> shift) as u32 };
+                let m31 = if shift >= 64 {
+                    0
+                } else {
+                    (wide >> shift) as u32
+                };
                 Cfp32::from_parts(negative, m31)
             })
             .collect();

@@ -169,8 +169,7 @@ impl CfpVector {
             .zip(&other.mantissas)
             .map(|(&a, &b)| i128::from(a) * i128::from(b))
             .sum();
-        let exp = self.shared_exp + other.shared_exp
-            - 2 * (150 + self.comp_bits as i32);
+        let exp = self.shared_exp + other.shared_exp - 2 * (150 + self.comp_bits as i32);
         Ok((acc as f64 * f64::powi(2.0, exp)) as f32)
     }
 }
@@ -215,7 +214,14 @@ pub fn compensation_sweep(vectors: &[Vec<f32>], widths: &[u32]) -> Vec<(u32, f64
                 nonzero += count;
                 lossless += v.lossless_fraction(values) * count;
             }
-            (n, if nonzero == 0.0 { 1.0 } else { lossless / nonzero })
+            (
+                n,
+                if nonzero == 0.0 {
+                    1.0
+                } else {
+                    lossless / nonzero
+                },
+            )
         })
         .collect()
 }

@@ -39,8 +39,8 @@
 mod area;
 mod cfp32;
 mod cfpn;
-mod fmatrix;
 mod error;
+mod fmatrix;
 mod mac;
 mod prealign;
 
@@ -50,8 +50,8 @@ pub use area::{
 };
 pub use cfp32::{Cfp32, Cfp32Vector, LosslessStats, COMPENSATION_BITS, MANTISSA_BITS};
 pub use cfpn::{compensation_sweep, CfpVector, MAX_COMPENSATION_BITS};
-pub use fmatrix::Cfp32Matrix;
 pub use error::FloatError;
+pub use fmatrix::Cfp32Matrix;
 pub use mac::{
     alignment_free_dot, alignment_free_gemv, f64_reference_dot, naive_fp32_dot, skhynix_dot,
     DotError, MacErrorStats,

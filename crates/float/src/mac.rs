@@ -234,8 +234,12 @@ mod tests {
 
     #[test]
     fn mixed_magnitude_dot_products_match() {
-        let x: Vec<f32> = (0..64).map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.37).collect();
-        let w: Vec<f32> = (0..64).map(|i| ((i * 53 % 23) as f32 - 11.0) * 0.091).collect();
+        let x: Vec<f32> = (0..64)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.37)
+            .collect();
+        let w: Vec<f32> = (0..64)
+            .map(|i| ((i * 53 % 23) as f32 - 11.0) * 0.091)
+            .collect();
         dot_models_agree(&x, &w, 1e-4);
     }
 

@@ -7,12 +7,7 @@ use proptest::prelude::*;
 
 /// Finite f32 values in a "deep-learning-like" range (value locality).
 fn dl_value() -> impl Strategy<Value = f32> {
-    prop_oneof![
-        (-4.0f32..4.0),
-        (-0.5f32..0.5),
-        Just(0.0f32),
-        (-0.01f32..0.01),
-    ]
+    prop_oneof![-4.0f32..4.0, -0.5f32..0.5, Just(0.0f32), -0.01f32..0.01,]
 }
 
 fn dl_vector(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -20,7 +15,10 @@ fn dl_vector(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
 }
 
 fn f64_dot(x: &[f32], w: &[f32]) -> f64 {
-    x.iter().zip(w).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum()
+    x.iter()
+        .zip(w)
+        .map(|(&a, &b)| f64::from(a) * f64::from(b))
+        .sum()
 }
 
 proptest! {

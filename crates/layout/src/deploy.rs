@@ -98,10 +98,7 @@ impl DeploymentPlanner {
             let lpns = self.assign_lpns(channel, pages_per_row);
             for lpn in lpns.clone() {
                 let addr = ftl.write(lpn)?;
-                debug_assert_eq!(
-                    addr.channel, channel,
-                    "FTL must honor the directed channel"
-                );
+                debug_assert_eq!(addr.channel, channel, "FTL must honor the directed channel");
             }
             first_lpns.push(lpns.start);
         }

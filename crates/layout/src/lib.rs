@@ -27,9 +27,11 @@
 mod deploy;
 mod grade;
 mod metrics;
+mod parity;
 mod strategy;
 
 pub use deploy::DeploymentPlanner;
 pub use grade::{grade_rows, GradeConfig, HotGrade};
 pub use metrics::{channel_loads, TileBalance};
+pub use parity::ParityScheme;
 pub use strategy::{InterleavingStrategy, LearnedConfig, TileLayout};

@@ -1,0 +1,140 @@
+//! RAID-5-style parity placement across the dies of one channel, used by
+//! the `Reconstruct` degradation policy to rebuild rows lost to
+//! uncorrectable errors or die failures.
+//!
+//! Parity is kept *within* a channel on purpose: a reconstruction reads the
+//! surviving stripe peers over the same flash bus that the lost page would
+//! have used, so the recovery cost burdens exactly the channel that
+//! faulted and the cross-channel load balance of the interleaving
+//! framework is undisturbed.
+
+use serde::{Deserialize, Serialize};
+
+/// Rotated-parity (left-symmetric RAID-5) stripe layout over the dies of
+/// one flash channel.
+///
+/// A *stripe* is the set of pages at the same (plane, block, page)
+/// coordinate across all `stripe_width` dies of a channel: one die holds
+/// parity, the rest hold data. The parity die rotates with the stripe
+/// index so parity traffic spreads over all dies.
+///
+/// ```
+/// use ecssd_layout::ParityScheme;
+/// let scheme = ParityScheme::new(4);
+/// assert_eq!(scheme.reconstruction_reads(), 3);
+/// // Losing die 1 of stripe 0: read the three surviving dies.
+/// assert_eq!(scheme.peers_of(1, 0), vec![0, 2, 3]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParityScheme {
+    stripe_width: usize,
+}
+
+impl ParityScheme {
+    /// Builds a scheme for a channel with `dies_per_channel` dies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dies_per_channel < 2` (parity needs at least one data
+    /// die and one parity die).
+    pub fn new(dies_per_channel: usize) -> Self {
+        assert!(
+            dies_per_channel >= 2,
+            "parity needs at least 2 dies per channel, got {dies_per_channel}"
+        );
+        ParityScheme {
+            stripe_width: dies_per_channel,
+        }
+    }
+
+    /// Number of dies in one stripe (data dies + the parity die).
+    pub fn stripe_width(&self) -> usize {
+        self.stripe_width
+    }
+
+    /// The die holding parity for stripe `stripe` (left-symmetric
+    /// rotation: stripe 0 parks parity on the last die and walks down).
+    pub fn parity_die(&self, stripe: u64) -> usize {
+        let w = self.stripe_width as u64;
+        (self.stripe_width - 1) - (stripe % w) as usize
+    }
+
+    /// Whether `die` holds parity (not data) in stripe `stripe`.
+    pub fn is_parity_die(&self, die: usize, stripe: u64) -> bool {
+        self.parity_die(stripe) == die
+    }
+
+    /// The surviving stripe members to read when `die` is lost, in
+    /// ascending die order. XOR-ing their pages rebuilds the lost page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die` is outside the stripe.
+    pub fn peers_of(&self, die: usize, _stripe: u64) -> Vec<usize> {
+        assert!(die < self.stripe_width, "die {die} outside stripe");
+        (0..self.stripe_width).filter(|&d| d != die).collect()
+    }
+
+    /// Page reads needed to reconstruct one lost page (`stripe_width - 1`
+    /// surviving peers).
+    pub fn reconstruction_reads(&self) -> usize {
+        self.stripe_width - 1
+    }
+
+    /// Fraction of raw capacity consumed by parity (`1 / stripe_width`).
+    pub fn capacity_overhead(&self) -> f64 {
+        1.0 / self.stripe_width as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_rotates_over_all_dies() {
+        let s = ParityScheme::new(4);
+        let dies: Vec<usize> = (0..4).map(|stripe| s.parity_die(stripe)).collect();
+        assert_eq!(dies, vec![3, 2, 1, 0]);
+        // Period equals the stripe width.
+        assert_eq!(s.parity_die(4), s.parity_die(0));
+    }
+
+    #[test]
+    fn peers_exclude_the_lost_die() {
+        let s = ParityScheme::new(4);
+        for die in 0..4 {
+            let peers = s.peers_of(die, 7);
+            assert_eq!(peers.len(), s.reconstruction_reads());
+            assert!(!peers.contains(&die));
+        }
+    }
+
+    #[test]
+    fn overhead_is_one_over_width() {
+        assert_eq!(ParityScheme::new(2).capacity_overhead(), 0.5);
+        assert_eq!(ParityScheme::new(8).capacity_overhead(), 0.125);
+    }
+
+    #[test]
+    fn parity_membership_is_consistent() {
+        let s = ParityScheme::new(4);
+        for stripe in 0..16 {
+            let p = s.parity_die(stripe);
+            assert!(s.is_parity_die(p, stripe));
+            assert_eq!((0..4).filter(|&d| s.is_parity_die(d, stripe)).count(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 dies")]
+    fn single_die_channel_rejected() {
+        let _ = ParityScheme::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside stripe")]
+    fn out_of_range_die_rejected() {
+        let _ = ParityScheme::new(4).peers_of(4, 0);
+    }
+}

@@ -107,20 +107,103 @@ impl InterleavingStrategy {
                 // every channel receives the same number of rows from every
                 // score stratum, equalizing expected candidate load.
                 let mut order: Vec<usize> = (0..n).collect();
-                order.sort_by(|&a, &b| {
-                    scores[b].partial_cmp(&scores[a]).expect("finite scores")
-                });
+                order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
                 let mut row_channel = vec![0u8; n];
                 for (rank, &row) in order.iter().enumerate() {
                     let lap = rank / channels;
                     let pos = rank % channels;
-                    let ch = if lap.is_multiple_of(2) { pos } else { channels - 1 - pos };
+                    let ch = if lap.is_multiple_of(2) {
+                        pos
+                    } else {
+                        channels - 1 - pos
+                    };
                     row_channel[row] = ch as u8;
                 }
                 row_channel
             }
         };
-        TileLayout { row_channel, channels }
+        TileLayout {
+            row_channel,
+            channels,
+        }
+    }
+
+    /// Failure-aware variant of [`InterleavingStrategy::assign_tile`]: the
+    /// learned framework redistributes expected candidate load according to
+    /// per-channel health weights (nominal = 1.0, degraded < 1.0, dead
+    /// = 0.0), so a channel running at half bandwidth receives half the
+    /// rows and a dead channel receives none.
+    ///
+    /// Sequential and uniform storing have no placement freedom to exploit
+    /// health information, and a uniform weight vector carries none — in
+    /// both cases this delegates to `assign_tile` and is byte-identical to
+    /// the health-oblivious layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_weights.len() != channels`, any weight is
+    /// negative or non-finite, or all weights are zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assign_tile_with_health(
+        &self,
+        tile: usize,
+        num_tiles: usize,
+        global_row_offset: u64,
+        predicted: &[f32],
+        frequency: Option<&[u32]>,
+        channels: usize,
+        channel_weights: &[f64],
+    ) -> TileLayout {
+        assert_eq!(channel_weights.len(), channels, "one weight per channel");
+        assert!(
+            channel_weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative: {channel_weights:?}"
+        );
+        let total: f64 = channel_weights.iter().sum();
+        assert!(total > 0.0, "at least one channel must be healthy");
+        let uniform = channel_weights.windows(2).all(|w| w[0] == w[1]);
+        let cfg = match self {
+            InterleavingStrategy::Learned(cfg) if !uniform => cfg,
+            _ => {
+                return self.assign_tile(
+                    tile,
+                    num_tiles,
+                    global_row_offset,
+                    predicted,
+                    frequency,
+                    channels,
+                )
+            }
+        };
+        let n = predicted.len();
+        let freq = if cfg.use_frequency { frequency } else { None };
+        let (_grades, scores) = grade_rows(predicted, freq, &cfg.grading);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+        // Weighted deficit dealing, hottest rows first: after k rows,
+        // channel c should hold weight[c]/total × k of them; each row goes
+        // to the channel furthest below its target (lowest index on ties).
+        // With equal weights this reduces to round-robin dealing.
+        let mut assigned = vec![0.0f64; channels];
+        let mut row_channel = vec![0u8; n];
+        for (rank, &row) in order.iter().enumerate() {
+            let k = (rank + 1) as f64;
+            let mut best = 0usize;
+            let mut best_deficit = f64::NEG_INFINITY;
+            for (c, (&w, &a)) in channel_weights.iter().zip(&assigned).enumerate() {
+                let deficit = w / total * k - a;
+                if deficit > best_deficit {
+                    best = c;
+                    best_deficit = deficit;
+                }
+            }
+            row_channel[row] = best as u8;
+            assigned[best] += 1.0;
+        }
+        TileLayout {
+            row_channel,
+            channels,
+        }
     }
 }
 
@@ -142,7 +225,10 @@ impl TileLayout {
             row_channel.iter().all(|&c| (c as usize) < channels),
             "channel index out of range"
         );
-        TileLayout { row_channel, channels }
+        TileLayout {
+            row_channel,
+            channels,
+        }
     }
 
     /// Channel of tile-local row `i`.
@@ -184,7 +270,9 @@ mod tests {
     use super::*;
 
     fn predicted(n: usize) -> Vec<f32> {
-        (0..n).map(|i| ((i * 2654435761) % 1000) as f32 / 10.0).collect()
+        (0..n)
+            .map(|i| ((i * 2654435761) % 1000) as f32 / 10.0)
+            .collect()
     }
 
     #[test]
@@ -288,5 +376,71 @@ mod tests {
     #[should_panic(expected = "channel index out of range")]
     fn bad_assignment_panics() {
         let _ = TileLayout::from_assignment(vec![0, 9], 4);
+    }
+
+    #[test]
+    fn uniform_health_weights_match_plain_assignment() {
+        let s = InterleavingStrategy::Learned(LearnedConfig::paper_default());
+        let p = predicted(512);
+        let plain = s.assign_tile(0, 4, 0, &p, None, 8);
+        let weighted = s.assign_tile_with_health(0, 4, 0, &p, None, 8, &[1.0; 8]);
+        assert_eq!(plain, weighted);
+        // Any uniform weight value is "no information".
+        let half = s.assign_tile_with_health(0, 4, 0, &p, None, 8, &[0.5; 8]);
+        assert_eq!(plain, half);
+    }
+
+    #[test]
+    fn dead_channel_receives_no_rows() {
+        let s = InterleavingStrategy::Learned(LearnedConfig::paper_default());
+        let p = predicted(512);
+        let mut weights = [1.0f64; 8];
+        weights[3] = 0.0;
+        let l = s.assign_tile_with_health(0, 4, 0, &p, None, 8, &weights);
+        let counts = l.channel_row_counts();
+        assert_eq!(counts[3], 0, "dead channel got rows: {counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 512);
+        let (min, max) = (counts.iter().filter(|&&c| c > 0).min(), counts.iter().max());
+        assert!(
+            max.unwrap() - min.unwrap() <= 1,
+            "survivors unbalanced: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn derated_channel_receives_proportional_share() {
+        let s = InterleavingStrategy::Learned(LearnedConfig::paper_default());
+        let p = predicted(750);
+        let mut weights = [1.0f64; 8];
+        weights[0] = 0.5;
+        let l = s.assign_tile_with_health(0, 4, 0, &p, None, 8, &weights);
+        let counts = l.channel_row_counts();
+        // Expected share: 0.5/7.5 × 750 = 50 rows vs 100 for the others.
+        assert!((45..=55).contains(&counts[0]), "counts {counts:?}");
+        for &c in &counts[1..] {
+            assert!((95..=105).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn sequential_and_uniform_ignore_health_weights() {
+        let p = predicted(64);
+        let mut weights = [1.0f64; 8];
+        weights[0] = 0.0;
+        for s in [
+            InterleavingStrategy::Sequential,
+            InterleavingStrategy::Uniform,
+        ] {
+            let plain = s.assign_tile(0, 64, 0, &p, None, 8);
+            let weighted = s.assign_tile_with_health(0, 64, 0, &p, None, 8, &weights);
+            assert_eq!(plain, weighted, "{} must ignore weights", s.label());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel must be healthy")]
+    fn all_dead_channels_rejected() {
+        let s = InterleavingStrategy::Learned(LearnedConfig::paper_default());
+        let _ = s.assign_tile_with_health(0, 1, 0, &predicted(8), None, 4, &[0.0; 4]);
     }
 }

@@ -101,9 +101,27 @@ mod tests {
         let w = DenseMatrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, -1.0, -1.0]).unwrap();
         let scores =
             candidate_only_classify(&w, &[2.0, 3.0], &[0, 1, 2], ClassifyPrecision::Fp32).unwrap();
-        assert_eq!(scores[0], Score { category: 1, value: 3.0 });
-        assert_eq!(scores[1], Score { category: 0, value: 2.0 });
-        assert_eq!(scores[2], Score { category: 2, value: -5.0 });
+        assert_eq!(
+            scores[0],
+            Score {
+                category: 1,
+                value: 3.0
+            }
+        );
+        assert_eq!(
+            scores[1],
+            Score {
+                category: 0,
+                value: 2.0
+            }
+        );
+        assert_eq!(
+            scores[2],
+            Score {
+                category: 2,
+                value: -5.0
+            }
+        );
     }
 
     #[test]
@@ -136,8 +154,10 @@ mod tests {
         let w = DenseMatrix::random(4, 4, 0);
         assert!(candidate_only_classify(&w, &[0.0; 3], &[0], ClassifyPrecision::Fp32).is_err());
         assert!(candidate_only_classify(&w, &[0.0; 4], &[9], ClassifyPrecision::Fp32).is_err());
-        assert!(candidate_only_classify(&w, &[0.0; 4], &[], ClassifyPrecision::Fp32)
-            .unwrap()
-            .is_empty());
+        assert!(
+            candidate_only_classify(&w, &[0.0; 4], &[], ClassifyPrecision::Fp32)
+                .unwrap()
+                .is_empty()
+        );
     }
 }

@@ -153,7 +153,10 @@ mod tests {
         assert!(DenseMatrix::from_vec(2, 3, vec![0.0; 6]).is_ok());
         assert_eq!(
             DenseMatrix::from_vec(2, 3, vec![0.0; 5]),
-            Err(ScreenError::DimensionMismatch { expected: 6, got: 5 })
+            Err(ScreenError::DimensionMismatch {
+                expected: 6,
+                got: 5
+            })
         );
         assert_eq!(DenseMatrix::from_vec(0, 3, vec![]), Err(ScreenError::Empty));
     }
@@ -187,8 +190,12 @@ mod tests {
     fn random_has_plausible_scale() {
         let m = DenseMatrix::random(64, 256, 1);
         let mean: f32 = m.as_slice().iter().sum::<f32>() / (64.0 * 256.0);
-        let var: f32 =
-            m.as_slice().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / (64.0 * 256.0);
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|&v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / (64.0 * 256.0);
         assert!(mean.abs() < 0.01, "mean {mean}");
         // Expected variance 1/256.
         assert!((var - 1.0 / 256.0).abs() < 0.002, "var {var}");

@@ -49,7 +49,11 @@ pub fn topk_recall(reference: &[Score], screened: &[Score], k: usize) -> RecallR
         (None, None) => true,
         _ => false,
     };
-    RecallReport { k, hits, top1_match }
+    RecallReport {
+        k,
+        hits,
+        top1_match,
+    }
 }
 
 #[cfg(test)]

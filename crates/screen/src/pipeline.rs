@@ -92,7 +92,9 @@ impl ScreeningPipeline {
     /// `(0, 1]`, and propagates projection errors.
     pub fn new(weights: &DenseMatrix, config: ScreenerConfig) -> Result<Self, ScreenError> {
         if !(config.projection_scale > 0.0 && config.projection_scale <= 1.0) {
-            return Err(ScreenError::InvalidConfig("projection scale must be in (0, 1]"));
+            return Err(ScreenError::InvalidConfig(
+                "projection scale must be in (0, 1]",
+            ));
         }
         config.threshold.validate()?;
         let k = ((weights.cols() as f64 * config.projection_scale).round() as usize).max(1);
@@ -265,7 +267,11 @@ mod tests {
         let union = batch.union_candidates.len();
         let sum: usize = batch.per_input.iter().map(|p| p.candidates.len()).sum();
         assert!(union < sum, "hot rows must recur across the batch");
-        assert!(batch.union_ratio(400) < 0.4, "union ratio {}", batch.union_ratio(400));
+        assert!(
+            batch.union_ratio(400) < 0.4,
+            "union ratio {}",
+            batch.union_ratio(400)
+        );
         // Union indeed contains every per-input candidate.
         for pred in &batch.per_input {
             for c in &pred.candidates {

@@ -32,10 +32,14 @@ impl Projector {
     /// input_dim`.
     pub fn new(input_dim: usize, output_dim: usize, seed: u64) -> Result<Self, ScreenError> {
         if output_dim == 0 || input_dim == 0 {
-            return Err(ScreenError::InvalidConfig("projection dims must be nonzero"));
+            return Err(ScreenError::InvalidConfig(
+                "projection dims must be nonzero",
+            ));
         }
         if output_dim > input_dim {
-            return Err(ScreenError::InvalidConfig("projection must shrink the dimension"));
+            return Err(ScreenError::InvalidConfig(
+                "projection must shrink the dimension",
+            ));
         }
         let mut rng = ChaCha12Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         let scale = (3.0 / output_dim as f32).sqrt();
@@ -152,7 +156,10 @@ mod tests {
         let na = exact.iter().map(|&a| a * a).sum::<f32>().sqrt();
         let nb = approx.iter().map(|&b| b * b).sum::<f32>().sqrt();
         let cosine = dot / (na * nb);
-        assert!(cosine > 0.5, "projection lost too much signal: cosine {cosine}");
+        assert!(
+            cosine > 0.5,
+            "projection lost too much signal: cosine {cosine}"
+        );
     }
 
     #[test]

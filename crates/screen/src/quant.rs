@@ -77,14 +77,20 @@ impl Int4Vector {
 
     /// Dequantizes back to `f32`.
     pub fn dequantize(&self) -> Vec<f32> {
-        self.codes.iter().map(|&c| f32::from(c) * self.scale).collect()
+        self.codes
+            .iter()
+            .map(|&c| f32::from(c) * self.scale)
+            .collect()
     }
 
     /// Sum of absolute code values — the *hot degree* signal used by the
     /// learning-based interleaving framework (§5.3: "according to the sum of
     /// the absolute value of each element in each 4-bit weight vector").
     pub fn abs_sum(&self) -> u32 {
-        self.codes.iter().map(|&c| u32::from(c.unsigned_abs())) .sum()
+        self.codes
+            .iter()
+            .map(|&c| u32::from(c.unsigned_abs()))
+            .sum()
     }
 
     /// Integer dot product with another INT4 vector, the screener's MAC

@@ -29,9 +29,9 @@ impl ThresholdPolicy {
             ThresholdPolicy::Fixed(v) if !v.is_finite() => {
                 Err(ScreenError::InvalidConfig("threshold must be finite"))
             }
-            ThresholdPolicy::TopRatio(r) if !(r > 0.0 && r <= 1.0) => {
-                Err(ScreenError::InvalidConfig("candidate ratio must be in (0, 1]"))
-            }
+            ThresholdPolicy::TopRatio(r) if !(r > 0.0 && r <= 1.0) => Err(
+                ScreenError::InvalidConfig("candidate ratio must be in (0, 1]"),
+            ),
             _ => Ok(()),
         }
     }
@@ -51,10 +51,7 @@ impl Screener {
     /// # Errors
     ///
     /// Propagates projection dimension errors.
-    pub fn from_weights(
-        weights: &DenseMatrix,
-        projector: Projector,
-    ) -> Result<Self, ScreenError> {
+    pub fn from_weights(weights: &DenseMatrix, projector: Projector) -> Result<Self, ScreenError> {
         let projected = projector.project_matrix(weights)?;
         Ok(Screener {
             projector,
@@ -172,7 +169,9 @@ impl Screener {
             return Err(ScreenError::Empty);
         }
         if !(target_ratio > 0.0 && target_ratio <= 1.0) {
-            return Err(ScreenError::InvalidConfig("candidate ratio must be in (0, 1]"));
+            return Err(ScreenError::InvalidConfig(
+                "candidate ratio must be in (0, 1]",
+            ));
         }
         let mut all_scores = Vec::new();
         for x in training {
@@ -197,11 +196,12 @@ pub(crate) fn select_candidates(scores: &[f32], policy: ThresholdPolicy) -> Vec<
             .map(|(i, _)| i)
             .collect(),
         ThresholdPolicy::TopRatio(r) => {
-            let count = ((scores.len() as f64 * r).ceil() as usize)
-                .clamp(1, scores.len());
+            let count = ((scores.len() as f64 * r).ceil() as usize).clamp(1, scores.len());
             let mut order: Vec<usize> = (0..scores.len()).collect();
             order.sort_by(|&a, &b| {
-                scores[b].partial_cmp(&scores[a]).expect("scores are finite")
+                scores[b]
+                    .partial_cmp(&scores[a])
+                    .expect("scores are finite")
             });
             let mut selected: Vec<usize> = order.into_iter().take(count).collect();
             selected.sort_unstable();
@@ -260,7 +260,11 @@ mod tests {
     fn calibrated_threshold_hits_target_ratio() {
         let s = make_screener(500, 64);
         let training: Vec<Vec<f32>> = (0..8)
-            .map(|t| (0..64).map(|i| ((i + t * 13) as f32 * 0.21).sin()).collect())
+            .map(|t| {
+                (0..64)
+                    .map(|i| ((i + t * 13) as f32 * 0.21).sin())
+                    .collect()
+            })
             .collect();
         let threshold = s.calibrate_threshold(&training, 0.1).unwrap();
         // Apply to a held-out input: candidate ratio should be near 10%.

@@ -1,8 +1,8 @@
 //! Property-based tests for the approximate screening algorithm.
 
 use ecssd_screen::{
-    candidate_only_classify, ClassifyPrecision, DenseMatrix, Int4Vector, Projector,
-    ScreenerConfig, ScreeningPipeline, ThresholdPolicy, INT4_MAX, INT4_MIN,
+    candidate_only_classify, ClassifyPrecision, DenseMatrix, Int4Vector, Projector, ScreenerConfig,
+    ScreeningPipeline, ThresholdPolicy, INT4_MAX, INT4_MIN,
 };
 use proptest::prelude::*;
 

@@ -75,10 +75,11 @@ impl Dram {
     ///
     /// Panics if more is released than reserved.
     pub fn release(&mut self, bytes: u64) {
-        self.reserved_bytes = self
-            .reserved_bytes
-            .checked_sub(bytes)
-            .expect("releasing more DRAM than reserved");
+        assert!(
+            bytes <= self.reserved_bytes,
+            "releasing more DRAM than reserved"
+        );
+        self.reserved_bytes -= bytes;
     }
 
     /// Schedules a transfer of `bytes` over the DRAM interface; returns the
@@ -143,7 +144,10 @@ mod tests {
         assert!(d.reserve(60).is_ok());
         assert!(matches!(
             d.reserve(50),
-            Err(SsdError::DramCapacityExceeded { requested: 50, available: 40 })
+            Err(SsdError::DramCapacityExceeded {
+                requested: 50,
+                available: 40
+            })
         ));
         d.release(60);
         assert!(d.reserve(100).is_ok());

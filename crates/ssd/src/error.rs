@@ -33,12 +33,32 @@ pub enum SsdError {
         /// The offending LPN.
         lpn: u64,
     },
+    /// A page read failed with an uncorrectable ECC error after exhausting
+    /// the retry ladder, and the active degradation policy could not
+    /// recover the data.
+    Uncorrectable {
+        /// Flash channel of the failing page.
+        channel: usize,
+        /// Die (within the channel) of the failing page.
+        die: usize,
+    },
+    /// A whole die stopped answering and the active degradation policy
+    /// could not route around it.
+    DieFailed {
+        /// Flash channel of the failed die.
+        channel: usize,
+        /// Die index within the channel.
+        die: usize,
+    },
 }
 
 impl fmt::Display for SsdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SsdError::DramCapacityExceeded { requested, available } => write!(
+            SsdError::DramCapacityExceeded {
+                requested,
+                available,
+            } => write!(
                 f,
                 "DRAM reservation of {requested} bytes exceeds remaining {available} bytes"
             ),
@@ -48,9 +68,22 @@ impl fmt::Display for SsdError {
             ),
             SsdError::DeviceFull => write!(f, "no free pages available"),
             SsdError::LpnOutOfRange { lpn, logical_pages } => {
-                write!(f, "LPN {lpn} outside logical space of {logical_pages} pages")
+                write!(
+                    f,
+                    "LPN {lpn} outside logical space of {logical_pages} pages"
+                )
             }
             SsdError::Unmapped { lpn } => write!(f, "LPN {lpn} was never written"),
+            SsdError::Uncorrectable { channel, die } => write!(
+                f,
+                "uncorrectable ECC error on channel {channel} die {die} after retry ladder"
+            ),
+            SsdError::DieFailed { channel, die } => {
+                write!(
+                    f,
+                    "die {die} on channel {channel} failed and could not be bypassed"
+                )
+            }
         }
     }
 }

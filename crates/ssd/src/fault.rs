@@ -1,0 +1,345 @@
+//! Deterministic fault injection for the flash array.
+//!
+//! A [`FaultPlan`] describes *what* can go wrong — read-retry storms,
+//! uncorrectable page errors (UECC), whole-die failures, degraded channel
+//! buses — and a [`FaultInjector`] turns the plan into per-read decisions.
+//! Every decision is a pure function of `(seed, address, access epoch)`, so
+//! two runs with the same plan replay byte-identically, and an inert plan
+//! (all rates zero) perturbs nothing.
+//!
+//! The UECC model is *transient per attempt*: whether a read attempt is
+//! uncorrectable is drawn per `(address, epoch)` where the epoch counts
+//! read attempts of that address. This mirrors real NAND behavior — a page
+//! that fails its ladder once often succeeds after the controller
+//! recalibrates reference voltages — and is what makes a `Retry`
+//! degradation policy effective.
+//!
+//! Whole-die failures are permanent. Until the controller *retires* a dead
+//! die ([`FaultInjector::retire_die`]), every read to it burns the full
+//! retry-ladder timeout on the die before failing; a retired die fails
+//! fast (status-only response). Die retirement is the hook the
+//! failure-aware interleaving layer uses.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::PhysPageAddr;
+
+/// Validates that `p` is a probability; rejects NaN explicitly (a bare
+/// `(0.0..=1.0).contains(&p)` rejects NaN only by accident of comparison).
+fn assert_probability(p: f64, what: &str) {
+    assert!(!p.is_nan(), "{what} must not be NaN");
+    assert!((0.0..=1.0).contains(&p), "{what} {p} outside [0, 1]");
+}
+
+/// A declarative, seeded description of injected faults.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed mixed into every fault draw.
+    pub seed: u64,
+    /// Probability that a sense enters a retry storm (each storm step
+    /// charges one extra tR, bounded by the timing's retry cap).
+    pub retry_storm_prob: f64,
+    /// Probability that a read attempt is uncorrectable after the full
+    /// retry ladder (drawn per address *and* attempt epoch).
+    pub uecc_prob: f64,
+    /// Dies that are permanently offline, as `(channel, die)` pairs.
+    pub dead_dies: Vec<(usize, usize)>,
+    /// Per-channel bus bandwidth derating factors in `(0, 1]`, as
+    /// `(channel, factor)` pairs.
+    pub channel_derate: Vec<(usize, f64)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a baseline).
+    pub fn none() -> Self {
+        Self::with_seed(0)
+    }
+
+    /// An empty plan carrying `seed` for later builder calls.
+    pub fn with_seed(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            retry_storm_prob: 0.0,
+            uecc_prob: 0.0,
+            dead_dies: Vec::new(),
+            channel_derate: Vec::new(),
+        }
+    }
+
+    /// Sets the retry-storm probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN or outside `[0, 1]`.
+    pub fn with_retry_storms(mut self, p: f64) -> Self {
+        assert_probability(p, "retry-storm probability");
+        self.retry_storm_prob = p;
+        self
+    }
+
+    /// Sets the per-attempt UECC probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN or outside `[0, 1]`.
+    pub fn with_uecc(mut self, p: f64) -> Self {
+        assert_probability(p, "UECC probability");
+        self.uecc_prob = p;
+        self
+    }
+
+    /// Marks `(channel, die)` as permanently failed.
+    pub fn with_dead_die(mut self, channel: usize, die: usize) -> Self {
+        if !self.dead_dies.contains(&(channel, die)) {
+            self.dead_dies.push((channel, die));
+        }
+        self
+    }
+
+    /// Derates `channel`'s bus bandwidth by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor <= 1` (NaN rejected).
+    pub fn with_channel_derate(mut self, channel: usize, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0 && factor <= 1.0,
+            "derate factor {factor} outside (0, 1]"
+        );
+        self.channel_derate.retain(|&(c, _)| c != channel);
+        self.channel_derate.push((channel, factor));
+        self
+    }
+
+    /// True when the plan cannot perturb a simulation: no fault rates, no
+    /// dead dies, and no channel derated below full bandwidth.
+    pub fn is_inert(&self) -> bool {
+        self.retry_storm_prob == 0.0
+            && self.uecc_prob == 0.0
+            && self.dead_dies.is_empty()
+            && self.channel_derate.iter().all(|&(_, f)| f == 1.0)
+    }
+
+    /// The derating factor for `channel` (1.0 when not derated).
+    pub fn derate_for(&self, channel: usize) -> f64 {
+        self.channel_derate
+            .iter()
+            .find(|&&(c, _)| c == channel)
+            .map_or(1.0, |&(_, f)| f)
+    }
+}
+
+/// The outcome the injector assigns to one read attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// The read succeeds after `extra_retries` injected extra senses.
+    Healthy {
+        /// Injected storm retries (0 = clean read).
+        extra_retries: u64,
+    },
+    /// The read fails uncorrectably after the full retry ladder.
+    Uncorrectable,
+    /// The read hit a dead die.
+    DeadDie {
+        /// True when the controller already retired the die: the read
+        /// fails fast instead of burning the ladder timeout.
+        retired: bool,
+    },
+}
+
+/// Stateful evaluator of a [`FaultPlan`]: tracks per-address access epochs
+/// and which dead dies the controller has retired.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Per-address read-attempt counter (keyed by packed flat address).
+    epochs: HashMap<u64, u64>,
+    /// Dead dies the controller has retired (fail-fast from then on).
+    retired: Vec<(usize, usize)>,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            epochs: HashMap::new(),
+            retired: Vec::new(),
+        }
+    }
+
+    /// The plan being evaluated.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn flat(addr: PhysPageAddr) -> u64 {
+        ((addr.channel as u64) << 48)
+            ^ ((addr.die as u64) << 40)
+            ^ ((addr.plane as u64) << 36)
+            ^ ((addr.block as u64) << 16)
+            ^ addr.page as u64
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` from the plan seed, a packed
+    /// address, the address's attempt epoch, and a purpose salt.
+    fn unit(&self, flat: u64, epoch: u64, salt: u64) -> f64 {
+        let mut x = self.plan.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ flat.rotate_left(17)
+            ^ epoch.wrapping_mul(0xd605_8c1d_9f1a_e2e7)
+            ^ salt.wrapping_mul(0xa24b_aed4_963e_e407);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decides the fate of one read attempt of `addr` and advances the
+    /// address's epoch. `max_retries` bounds storm ladders.
+    pub fn decide(&mut self, addr: PhysPageAddr, max_retries: u64) -> FaultDecision {
+        let key = (addr.channel, addr.die);
+        if self.plan.dead_dies.contains(&key) {
+            return FaultDecision::DeadDie {
+                retired: self.retired.contains(&key),
+            };
+        }
+        let flat = Self::flat(addr);
+        let epoch = {
+            let e = self.epochs.entry(flat).or_insert(0);
+            let now = *e;
+            *e += 1;
+            now
+        };
+        if self.plan.uecc_prob > 0.0 && self.unit(flat, epoch, UECC_SALT) < self.plan.uecc_prob {
+            return FaultDecision::Uncorrectable;
+        }
+        let mut extra = 0u64;
+        if self.plan.retry_storm_prob > 0.0 {
+            for step in 0..max_retries {
+                if self.unit(flat, epoch, 0x5704 + step) < self.plan.retry_storm_prob {
+                    extra += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        FaultDecision::Healthy {
+            extra_retries: extra,
+        }
+    }
+
+    /// Marks a dead die as retired by the controller: subsequent reads to
+    /// it fail fast instead of burning the timeout ladder. No-op for dies
+    /// that are not in the plan's dead set.
+    pub fn retire_die(&mut self, channel: usize, die: usize) {
+        let key = (channel, die);
+        if self.plan.dead_dies.contains(&key) && !self.retired.contains(&key) {
+            self.retired.push(key);
+        }
+    }
+
+    /// Dies retired so far, in retirement order.
+    pub fn retired_dies(&self) -> &[(usize, usize)] {
+        &self.retired
+    }
+}
+
+/// Salt separating UECC draws from storm draws on the same address.
+const UECC_SALT: u64 = 0x0ecc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(channel: usize, die: usize, page: usize) -> PhysPageAddr {
+        PhysPageAddr {
+            channel,
+            die,
+            plane: 0,
+            block: 0,
+            page,
+        }
+    }
+
+    #[test]
+    fn inert_plan_decides_healthy() {
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        for p in 0..64 {
+            assert_eq!(
+                inj.decide(addr(0, 0, p), 4),
+                FaultDecision::Healthy { extra_retries: 0 }
+            );
+        }
+        assert!(FaultPlan::none().is_inert());
+        assert!(!FaultPlan::with_seed(1).with_uecc(0.5).is_inert());
+        assert!(!FaultPlan::with_seed(1).with_dead_die(0, 0).is_inert());
+        assert!(!FaultPlan::with_seed(1)
+            .with_channel_derate(0, 0.5)
+            .is_inert());
+        assert!(FaultPlan::with_seed(1)
+            .with_channel_derate(0, 1.0)
+            .is_inert());
+    }
+
+    #[test]
+    fn decisions_replay_exactly() {
+        let plan = FaultPlan::with_seed(42)
+            .with_uecc(0.3)
+            .with_retry_storms(0.3);
+        let run = || {
+            let mut inj = FaultInjector::new(plan.clone());
+            (0..200)
+                .map(|p| inj.decide(addr(p % 4, p % 2, p), 4))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn uecc_is_transient_across_epochs() {
+        // With a moderate rate, an address that fails on some epoch must
+        // succeed on a later one (transient-UECC model).
+        let mut inj = FaultInjector::new(FaultPlan::with_seed(7).with_uecc(0.5));
+        let a = addr(0, 0, 0);
+        let outcomes: Vec<_> = (0..64).map(|_| inj.decide(a, 4)).collect();
+        assert!(outcomes.contains(&FaultDecision::Uncorrectable));
+        assert!(outcomes
+            .iter()
+            .any(|d| matches!(d, FaultDecision::Healthy { .. })));
+    }
+
+    #[test]
+    fn dead_die_fails_fast_only_after_retirement() {
+        let mut inj = FaultInjector::new(FaultPlan::with_seed(1).with_dead_die(2, 1));
+        assert_eq!(
+            inj.decide(addr(2, 1, 0), 4),
+            FaultDecision::DeadDie { retired: false }
+        );
+        inj.retire_die(2, 1);
+        assert_eq!(
+            inj.decide(addr(2, 1, 9), 4),
+            FaultDecision::DeadDie { retired: true }
+        );
+        assert_eq!(inj.retired_dies(), &[(2, 1)]);
+        // Healthy dies are unaffected and cannot be retired.
+        inj.retire_die(0, 0);
+        assert_eq!(
+            inj.decide(addr(2, 0, 0), 4),
+            FaultDecision::Healthy { extra_retries: 0 }
+        );
+        assert_eq!(inj.retired_dies(), &[(2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_uecc_probability_is_rejected() {
+        let _ = FaultPlan::none().with_uecc(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn nan_derate_is_rejected() {
+        let _ = FaultPlan::none().with_channel_derate(0, f64::NAN);
+    }
+}

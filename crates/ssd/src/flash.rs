@@ -15,7 +15,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::stats::ChannelStats;
+use crate::fault::{FaultDecision, FaultInjector, FaultPlan};
+use crate::stats::{ChannelStats, HealthReport};
 use crate::{Bandwidth, PhysPageAddr, SimTime, SsdGeometry};
 
 /// NAND operation latencies and channel bus rate.
@@ -44,6 +45,12 @@ pub struct FlashTiming {
 }
 
 impl FlashTiming {
+    /// Retry-ladder cap: a marginal page is re-sensed at most this many
+    /// times (with shifted reference voltages) before the controller gives
+    /// up on the ladder. Senses that exhaust the ladder are counted
+    /// separately as capped-out ([`FlashSim::capped_senses`]).
+    pub const MAX_READ_RETRIES: u64 = 4;
+
     /// Timing matched to the paper's device model: 1 GB/s channels and die
     /// read latency low enough that 8 dies per channel keep the bus the
     /// binding resource (sustained die throughput 8×4 KB / 25 µs
@@ -72,8 +79,10 @@ impl FlashTiming {
     ///
     /// # Panics
     ///
-    /// Panics unless `0.0 <= p <= 1.0`.
+    /// Panics if `p` is NaN or outside `[0.0, 1.0]` (NaN is rejected
+    /// explicitly, not by accident of comparison).
     pub fn with_read_retries(mut self, p: f64) -> Self {
+        assert!(!p.is_nan(), "retry probability must not be NaN");
         assert!((0.0..=1.0).contains(&p), "invalid retry probability {p}");
         self.read_retry_prob = p;
         self
@@ -107,13 +116,69 @@ pub struct BatchReadResult {
     pub done: SimTime,
 }
 
-impl BatchReadResult {
-    /// An empty batch completing immediately at `issue`.
-    fn empty(issue: SimTime) -> Self {
-        BatchReadResult {
-            reads: Vec::new(),
-            done: issue,
+/// Fault-aware completion record of one page read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageReadOutcome {
+    /// The page was read successfully (possibly after retries).
+    Ok(PageReadResult),
+    /// The page failed its full retry ladder uncorrectably; no data was
+    /// transferred. `detected` is when the controller learned of the
+    /// failure (the die finished the ladder).
+    Uncorrectable {
+        /// The address that failed.
+        addr: PhysPageAddr,
+        /// When the failure was known at the channel controller.
+        detected: SimTime,
+    },
+    /// The read targeted a dead die; no data was transferred. An
+    /// unretired die burns the full ladder timeout before `detected`; a
+    /// retired die fails fast at issue.
+    DeadDie {
+        /// The address that failed.
+        addr: PhysPageAddr,
+        /// When the failure was known at the channel controller.
+        detected: SimTime,
+    },
+}
+
+impl PageReadOutcome {
+    /// The address this outcome is for.
+    pub fn addr(&self) -> PhysPageAddr {
+        match *self {
+            PageReadOutcome::Ok(r) => r.addr,
+            PageReadOutcome::Uncorrectable { addr, .. } => addr,
+            PageReadOutcome::DeadDie { addr, .. } => addr,
         }
+    }
+
+    /// True when the page arrived intact.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, PageReadOutcome::Ok(_))
+    }
+
+    /// When this page was either delivered or known to have failed.
+    pub fn resolved_at(&self) -> SimTime {
+        match *self {
+            PageReadOutcome::Ok(r) => r.done,
+            PageReadOutcome::Uncorrectable { detected, .. } => detected,
+            PageReadOutcome::DeadDie { detected, .. } => detected,
+        }
+    }
+}
+
+/// Completion record of a fault-aware batch read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckedBatchResult {
+    /// Per-request outcomes, in the submission order of the batch.
+    pub reads: Vec<PageReadOutcome>,
+    /// When every page was either delivered or known failed.
+    pub done: SimTime,
+}
+
+impl CheckedBatchResult {
+    /// True when every page arrived intact.
+    pub fn all_ok(&self) -> bool {
+        self.reads.iter().all(PageReadOutcome::is_ok)
     }
 }
 
@@ -160,8 +225,21 @@ pub struct FlashSim {
     bus_bytes: Vec<u64>,
     /// Per-channel page transfers.
     bus_transfers: Vec<u64>,
-    /// Total injected read retries.
-    read_retries: u64,
+    /// Per-channel injected read retries (legacy knob + storm faults).
+    read_retries: Vec<u64>,
+    /// Senses that exhausted the full retry ladder without succeeding.
+    capped_senses: u64,
+    /// Reads that failed uncorrectably (checked API only).
+    uecc_events: u64,
+    /// Reads that targeted a dead die (checked API only).
+    dead_die_reads: u64,
+    /// Dead dies observed by the checked read path, in detection order.
+    detected_dead: Vec<(usize, usize)>,
+    /// Active fault injector (None = ideal device).
+    injector: Option<FaultInjector>,
+    /// Per-channel effective bus bandwidth when any channel is derated
+    /// (None = all channels at nominal bandwidth, zero overhead).
+    bw_override: Option<Vec<Bandwidth>>,
     /// Optional bounded transfer trace (None = tracing off).
     trace: Option<Vec<TransferEvent>>,
     /// Capacity bound of the trace.
@@ -178,7 +256,13 @@ impl FlashSim {
             bus_busy_ns: vec![0; geometry.channels],
             bus_bytes: vec![0; geometry.channels],
             bus_transfers: vec![0; geometry.channels],
-            read_retries: 0,
+            read_retries: vec![0; geometry.channels],
+            capped_senses: 0,
+            uecc_events: 0,
+            dead_die_reads: 0,
+            detected_dead: Vec::new(),
+            injector: None,
+            bw_override: None,
             trace: None,
             trace_cap: 0,
             geometry,
@@ -240,7 +324,8 @@ impl FlashSim {
     }
 
     /// Array time to sense `addr`, including injected read retries
-    /// (deterministic per address; capped at 4 retries).
+    /// (deterministic per address; capped at
+    /// [`FlashTiming::MAX_READ_RETRIES`]).
     fn sense_ns(&mut self, addr: PhysPageAddr) -> u64 {
         let mut senses = 1u64;
         if self.timing.read_retry_prob > 0.0 {
@@ -249,7 +334,8 @@ impl FlashSim {
                 ^ ((addr.plane as u64) << 36)
                 ^ ((addr.block as u64) << 16)
                 ^ addr.page as u64;
-            for ctr in 0..4u64 {
+            let mut capped = true;
+            for ctr in 0..FlashTiming::MAX_READ_RETRIES {
                 let mut x = flat ^ ctr.wrapping_mul(0x9e37_79b9_7f4a_7c15);
                 x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
                 x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -257,18 +343,116 @@ impl FlashSim {
                 let u = (x >> 11) as f64 / (1u64 << 53) as f64;
                 if u < self.timing.read_retry_prob {
                     senses += 1;
-                    self.read_retries += 1;
+                    self.read_retries[addr.channel] += 1;
                 } else {
+                    capped = false;
                     break;
                 }
+            }
+            if capped {
+                self.capped_senses += 1;
             }
         }
         senses * self.timing.read_latency_ns
     }
 
-    /// Total injected read retries so far.
+    /// Total injected read retries so far (all channels).
     pub fn read_retries(&self) -> u64 {
-        self.read_retries
+        self.read_retries.iter().sum()
+    }
+
+    /// Senses that exhausted the full retry ladder so far.
+    pub fn capped_senses(&self) -> u64 {
+        self.capped_senses
+    }
+
+    /// Installs a fault plan; subsequent checked reads consult it and
+    /// derated channels slow every bus transfer. An inert plan (see
+    /// [`FaultPlan::is_inert`]) leaves the simulation byte-identical to a
+    /// plan-free run.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for &(channel, die) in &plan.dead_dies {
+            assert!(
+                channel < self.geometry.channels && die < self.geometry.dies_per_channel,
+                "dead die ({channel}, {die}) outside geometry"
+            );
+        }
+        let derated = plan.channel_derate.iter().any(|&(_, f)| f != 1.0);
+        self.bw_override = if derated {
+            Some(
+                (0..self.geometry.channels)
+                    .map(|c| {
+                        let f = plan.derate_for(c);
+                        if f == 1.0 {
+                            self.timing.channel_bw
+                        } else {
+                            self.timing.channel_bw.derate(f)
+                        }
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.injector.as_ref().map(FaultInjector::plan)
+    }
+
+    /// Marks a dead die as retired: subsequent reads to it fail fast
+    /// instead of burning the retry-ladder timeout on the die. This is
+    /// the feedback hook a failure-aware placement layer calls once it
+    /// has observed a die failure. No-op without a fault plan.
+    pub fn retire_die(&mut self, channel: usize, die: usize) {
+        if let Some(injector) = &mut self.injector {
+            injector.retire_die(channel, die);
+        }
+    }
+
+    /// Dead dies observed by checked reads so far, in detection order.
+    pub fn detected_dead_dies(&self) -> &[(usize, usize)] {
+        &self.detected_dead
+    }
+
+    /// Flash-level health counters (the device's contribution to a
+    /// [`HealthReport`]; pipeline-level recovery counters are merged in by
+    /// the accelerator model).
+    pub fn health_report(&self) -> HealthReport {
+        let degraded = self
+            .fault_plan()
+            .map(|p| {
+                let mut d: Vec<(usize, f64)> = p
+                    .channel_derate
+                    .iter()
+                    .copied()
+                    .filter(|&(_, f)| f != 1.0)
+                    .collect();
+                d.sort_by_key(|&(c, _)| c);
+                d
+            })
+            .unwrap_or_default();
+        HealthReport {
+            read_retries: self.read_retries.clone(),
+            capped_senses: self.capped_senses,
+            uecc_events: self.uecc_events,
+            dead_die_reads: self.dead_die_reads,
+            dead_dies: self.detected_dead.clone(),
+            degraded_channels: degraded,
+            ..HealthReport::default()
+        }
+    }
+
+    /// Effective bus occupancy for `bytes` on `channel` (page transfers
+    /// include the per-transfer command overhead).
+    fn transfer_ns(&self, channel: usize, bytes: u64) -> u64 {
+        let bw = match &self.bw_override {
+            Some(per_channel) => per_channel[channel],
+            None => self.timing.channel_bw,
+        };
+        bw.transfer_ns(bytes) + self.timing.bus_overhead_ns
     }
 
     /// Reads one page: array sense on the die, then a bus transfer.
@@ -284,8 +468,13 @@ impl FlashSim {
         let die_done = die_start + sense;
         self.die_free[die] = die_done;
         self.die_busy_ns[die] += sense;
-        self.transfer(addr.channel, die_done, self.geometry.page_bytes, TransferKind::PageRead)
-            .into_read_result(addr, die_done)
+        self.transfer(
+            addr.channel,
+            die_done,
+            self.geometry.page_bytes,
+            TransferKind::PageRead,
+        )
+        .into_read_result(addr, die_done)
     }
 
     /// Reads a batch of pages issued together (e.g. one tile's candidate
@@ -326,20 +515,123 @@ impl FlashSim {
         sense_issue: SimTime,
         transfer_gate: SimTime,
     ) -> BatchReadResult {
+        let checked = self.read_batch_checked(addrs, sense_issue, transfer_gate);
+        let reads = checked
+            .reads
+            .into_iter()
+            .map(|outcome| match outcome {
+                PageReadOutcome::Ok(r) => r,
+                faulted => panic!(
+                    "injected fault at {:?} surfaced through the unchecked read path; \
+                     use read_batch_checked when a fault plan is active",
+                    faulted.addr()
+                ),
+            })
+            .collect();
+        BatchReadResult {
+            reads,
+            done: checked.done,
+        }
+    }
+
+    /// Fault-aware variant of [`FlashSim::read_batch_gated`]: consults the
+    /// installed [`FaultPlan`] (if any) and reports per-page outcomes
+    /// instead of panicking on injected faults.
+    ///
+    /// Fault timing model:
+    /// * a **retry storm** charges its extra senses on the die, exactly
+    ///   like the legacy `read_retry_prob` knob (and a stormed page cannot
+    ///   ride a multi-plane sense group);
+    /// * a **UECC** burns the full retry ladder
+    ///   (`1 +` [`FlashTiming::MAX_READ_RETRIES`] senses) on the die and is
+    ///   detected when the ladder ends; no data crosses the bus;
+    /// * an **unretired dead die** burns the same ladder as a command
+    ///   timeout — queued reads to that die serialize behind each other's
+    ///   timeouts — while a **retired** die fails fast at issue time.
+    ///
+    /// Without a plan (or with an inert one) this is byte-identical to
+    /// [`FlashSim::read_batch_gated`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any address is outside the geometry.
+    pub fn read_batch_checked(
+        &mut self,
+        addrs: &[PhysPageAddr],
+        sense_issue: SimTime,
+        transfer_gate: SimTime,
+    ) -> CheckedBatchResult {
         let issue = sense_issue;
         if addrs.is_empty() {
-            return BatchReadResult::empty(issue.max(transfer_gate));
+            return CheckedBatchResult {
+                reads: Vec::new(),
+                done: issue.max(transfer_gate),
+            };
         }
+        let ladder = FlashTiming::MAX_READ_RETRIES;
         // Phase 1: die sensing, in submission order per die. With
         // multi-plane reads, a die's open sense group absorbs further pages
         // that target planes not yet in the group — they share one tR.
         let mut sensed: Vec<(usize, PhysPageAddr, SimTime)> = Vec::with_capacity(addrs.len());
+        let mut outcomes: Vec<Option<PageReadOutcome>> = vec![None; addrs.len()];
         let mut open_group: std::collections::HashMap<usize, (u32, SimTime)> =
             std::collections::HashMap::new();
         for (idx, &addr) in addrs.iter().enumerate() {
             self.assert_addr(addr);
             let die = addr.flat_die(&self.geometry);
-            let sense = self.sense_ns(addr);
+            let decision = match &mut self.injector {
+                Some(injector) => injector.decide(addr, ladder),
+                None => FaultDecision::Healthy { extra_retries: 0 },
+            };
+            let extra = match decision {
+                FaultDecision::DeadDie { retired } => {
+                    self.dead_die_reads += 1;
+                    let key = (addr.channel, addr.die);
+                    if !self.detected_dead.contains(&key) {
+                        self.detected_dead.push(key);
+                    }
+                    let detected = if retired {
+                        // Retired die: the controller answers with a
+                        // status-only failure immediately.
+                        issue
+                    } else {
+                        // Unretired die: the read waits out the full
+                        // ladder timeout on the (dead) die's command
+                        // queue.
+                        let timeout = (1 + ladder) * self.timing.read_latency_ns;
+                        let start = issue.max(self.die_free[die]);
+                        let done = start + timeout;
+                        self.die_free[die] = done;
+                        self.die_busy_ns[die] += timeout;
+                        done
+                    };
+                    outcomes[idx] = Some(PageReadOutcome::DeadDie { addr, detected });
+                    continue;
+                }
+                FaultDecision::Uncorrectable => {
+                    self.uecc_events += 1;
+                    self.capped_senses += 1;
+                    self.read_retries[addr.channel] += ladder;
+                    let dur = (1 + ladder) * self.timing.read_latency_ns;
+                    let start = issue.max(self.die_free[die]);
+                    let done = start + dur;
+                    self.die_free[die] = done;
+                    self.die_busy_ns[die] += dur;
+                    // The failed ladder disturbs any open sense group.
+                    open_group.remove(&die);
+                    outcomes[idx] = Some(PageReadOutcome::Uncorrectable {
+                        addr,
+                        detected: done,
+                    });
+                    continue;
+                }
+                FaultDecision::Healthy { extra_retries } => extra_retries,
+            };
+            let mut sense = self.sense_ns(addr);
+            if extra > 0 {
+                sense += extra * self.timing.read_latency_ns;
+                self.read_retries[addr.channel] += extra;
+            }
             let retried = sense > self.timing.read_latency_ns;
             if self.timing.multiplane_reads && !retried {
                 // A retried page re-senses with shifted reference voltages
@@ -367,9 +659,9 @@ impl FlashSim {
             sensed.push((idx, addr, die_done));
         }
         // Phase 2: per-channel bus arbitration in die-completion order
-        // (ties broken by submission order for determinism).
+        // (ties broken by submission order for determinism). Failed pages
+        // transfer nothing.
         sensed.sort_by_key(|&(idx, addr, die_done)| (addr.channel, die_done, idx));
-        let mut reads = vec![None; addrs.len()];
         let mut done = issue.max(transfer_gate);
         for (idx, addr, die_done) in sensed {
             let grant = self.transfer(
@@ -380,12 +672,19 @@ impl FlashSim {
             );
             let result = grant.into_read_result(addr, die_done);
             done = done.max(result.done);
-            reads[idx] = Some(result);
+            outcomes[idx] = Some(PageReadOutcome::Ok(result));
         }
-        BatchReadResult {
-            reads: reads.into_iter().map(|r| r.expect("all reads scheduled")).collect(),
-            done,
+        let reads: Vec<PageReadOutcome> = outcomes
+            .into_iter()
+            .map(|r| match r {
+                Some(outcome) => outcome,
+                None => unreachable!("every read resolves to an outcome"),
+            })
+            .collect();
+        for outcome in &reads {
+            done = done.max(outcome.resolved_at());
         }
+        CheckedBatchResult { reads, done }
     }
 
     /// Programs one page: bus transfer of the data, then array program.
@@ -433,18 +732,27 @@ impl FlashSim {
     ///
     /// Panics if `channel` is out of range.
     pub fn bus_transfer(&mut self, channel: usize, bytes: u64, issue: SimTime) -> SimTime {
-        assert!(channel < self.geometry.channels, "channel {channel} out of range");
+        assert!(
+            channel < self.geometry.channels,
+            "channel {channel} out of range"
+        );
         if bytes == 0 {
             return issue;
         }
         let start = issue.max(self.bus_free[channel]);
-        let dur = self.timing.channel_bw.transfer_ns(bytes) + self.timing.bus_overhead_ns;
+        let dur = self.transfer_ns(channel, bytes);
         let done = start + dur;
         self.bus_free[channel] = done;
         self.bus_busy_ns[channel] += dur;
         self.bus_bytes[channel] += bytes;
         self.bus_transfers[channel] += 1;
-        self.record(TransferEvent { channel, start, end: done, bytes, kind: TransferKind::Stream });
+        self.record(TransferEvent {
+            channel,
+            start,
+            end: done,
+            bytes,
+            kind: TransferKind::Stream,
+        });
         done
     }
 
@@ -456,13 +764,19 @@ impl FlashSim {
         kind: TransferKind,
     ) -> BusGrant {
         let start = ready.max(self.bus_free[channel]);
-        let dur = self.timing.page_transfer_ns(page_bytes);
+        let dur = self.transfer_ns(channel, page_bytes as u64);
         let done = start + dur;
         self.bus_free[channel] = done;
         self.bus_busy_ns[channel] += dur;
         self.bus_bytes[channel] += page_bytes as u64;
         self.bus_transfers[channel] += 1;
-        self.record(TransferEvent { channel, start, end: done, bytes: page_bytes as u64, kind });
+        self.record(TransferEvent {
+            channel,
+            start,
+            end: done,
+            bytes: page_bytes as u64,
+            kind,
+        });
         BusGrant { start, done }
     }
 
@@ -481,6 +795,7 @@ impl FlashSim {
             self.bus_busy_ns.clone(),
             self.bus_bytes.clone(),
             self.bus_transfers.clone(),
+            self.read_retries.clone(),
         )
     }
 
@@ -495,6 +810,10 @@ impl FlashSim {
         self.bus_busy_ns.iter_mut().for_each(|v| *v = 0);
         self.bus_bytes.iter_mut().for_each(|v| *v = 0);
         self.bus_transfers.iter_mut().for_each(|v| *v = 0);
+        self.read_retries.iter_mut().for_each(|v| *v = 0);
+        self.capped_senses = 0;
+        self.uecc_events = 0;
+        self.dead_die_reads = 0;
     }
 }
 
@@ -521,7 +840,13 @@ mod tests {
     use super::*;
 
     fn addr(channel: usize, die: usize, page: usize) -> PhysPageAddr {
-        PhysPageAddr { channel, die, plane: 0, block: 0, page }
+        PhysPageAddr {
+            channel,
+            die,
+            plane: 0,
+            block: 0,
+            page,
+        }
     }
 
     fn sim() -> FlashSim {
@@ -554,14 +879,32 @@ mod tests {
     fn multiplane_reads_share_one_sense() {
         let mut f = sim();
         let t = f.timing;
-        let a = PhysPageAddr { channel: 0, die: 0, plane: 0, block: 0, page: 0 };
-        let b = PhysPageAddr { channel: 0, die: 0, plane: 1, block: 0, page: 0 };
+        let a = PhysPageAddr {
+            channel: 0,
+            die: 0,
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
+        let b = PhysPageAddr {
+            channel: 0,
+            die: 0,
+            plane: 1,
+            block: 0,
+            page: 0,
+        };
         let batch = f.read_batch(&[a, b], SimTime::ZERO);
         // Different planes of one die: one tR covers both pages.
         assert_eq!(batch.reads[0].die_done, batch.reads[1].die_done);
         assert_eq!(batch.reads[0].die_done.as_ns(), t.read_latency_ns);
         // A third read to an already-used plane starts a new sense group.
-        let c = PhysPageAddr { channel: 0, die: 0, plane: 0, block: 0, page: 1 };
+        let c = PhysPageAddr {
+            channel: 0,
+            die: 0,
+            plane: 0,
+            block: 0,
+            page: 1,
+        };
         let batch2 = f.read_batch(&[a, b, c], SimTime::ZERO);
         assert!(batch2.reads[2].die_done > batch2.reads[0].die_done);
     }
@@ -570,8 +913,20 @@ mod tests {
     fn single_plane_timing_disables_grouping() {
         let mut f = FlashSim::new(SsdGeometry::tiny(), FlashTiming::single_plane());
         let t = *f.timing();
-        let a = PhysPageAddr { channel: 0, die: 0, plane: 0, block: 0, page: 0 };
-        let b = PhysPageAddr { channel: 0, die: 0, plane: 1, block: 0, page: 0 };
+        let a = PhysPageAddr {
+            channel: 0,
+            die: 0,
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
+        let b = PhysPageAddr {
+            channel: 0,
+            die: 0,
+            plane: 1,
+            block: 0,
+            page: 0,
+        };
         let batch = f.read_batch(&[a, b], SimTime::ZERO);
         assert_eq!(batch.reads[1].die_done.as_ns(), 2 * t.read_latency_ns);
     }
@@ -615,7 +970,10 @@ mod tests {
     fn channel_stats_accumulate() {
         let mut f = sim();
         let t = f.timing;
-        f.read_batch(&[addr(0, 0, 0), addr(0, 1, 0), addr(1, 0, 0)], SimTime::ZERO);
+        f.read_batch(
+            &[addr(0, 0, 0), addr(0, 1, 0), addr(1, 0, 0)],
+            SimTime::ZERO,
+        );
         let stats = f.channel_stats();
         assert_eq!(stats.bytes()[0], 2 * 4096);
         assert_eq!(stats.bytes()[1], 4096);
@@ -630,7 +988,10 @@ mod tests {
         let mut f = sim();
         let t = f.timing;
         let done = f.program_page(addr(2, 1, 0), SimTime::ZERO);
-        assert_eq!(done.as_ns(), t.page_transfer_ns(4096) + t.program_latency_ns);
+        assert_eq!(
+            done.as_ns(),
+            t.page_transfer_ns(4096) + t.program_latency_ns
+        );
     }
 
     #[test]
@@ -693,5 +1054,130 @@ mod tests {
         let mut f = sim();
         f.read_page(addr(0, 0, 0), SimTime::ZERO);
         assert!(f.trace().is_empty());
+    }
+
+    #[test]
+    fn inert_fault_plan_is_byte_identical_to_no_plan() {
+        let addrs = [addr(0, 0, 0), addr(0, 1, 0), addr(1, 0, 0), addr(0, 0, 1)];
+        let mut plain = sim();
+        let baseline = plain.read_batch(&addrs, SimTime::ZERO);
+        let mut faulty = sim();
+        faulty.set_fault_plan(FaultPlan::with_seed(7));
+        let checked = faulty.read_batch_checked(&addrs, SimTime::ZERO, SimTime::ZERO);
+        assert!(checked.all_ok());
+        assert_eq!(checked.done, baseline.done);
+        for (outcome, expected) in checked.reads.iter().zip(&baseline.reads) {
+            match outcome {
+                PageReadOutcome::Ok(r) => assert_eq!(r, expected),
+                other => panic!("unexpected fault {other:?}"),
+            }
+        }
+        assert_eq!(plain.channel_stats(), faulty.channel_stats());
+        assert!(faulty.health_report().is_clean());
+    }
+
+    #[test]
+    fn uecc_burns_full_ladder_and_transfers_nothing() {
+        let mut f = sim();
+        let t = f.timing;
+        f.set_fault_plan(FaultPlan::with_seed(3).with_uecc(1.0));
+        let checked = f.read_batch_checked(&[addr(0, 0, 0)], SimTime::ZERO, SimTime::ZERO);
+        match checked.reads[0] {
+            PageReadOutcome::Uncorrectable { detected, .. } => {
+                assert_eq!(
+                    detected.as_ns(),
+                    (1 + FlashTiming::MAX_READ_RETRIES) * t.read_latency_ns
+                );
+            }
+            ref other => panic!("expected UECC, got {other:?}"),
+        }
+        assert_eq!(f.channel_stats().bytes()[0], 0);
+        let health = f.health_report();
+        assert_eq!(health.uecc_events, 1);
+        assert_eq!(health.capped_senses, 1);
+        assert_eq!(health.read_retries[0], FlashTiming::MAX_READ_RETRIES);
+    }
+
+    #[test]
+    fn dead_die_times_out_until_retired_then_fails_fast() {
+        let mut f = sim();
+        let t = f.timing;
+        f.set_fault_plan(FaultPlan::with_seed(1).with_dead_die(0, 1));
+        let first = f.read_batch_checked(&[addr(0, 1, 0)], SimTime::ZERO, SimTime::ZERO);
+        let ladder_ns = (1 + FlashTiming::MAX_READ_RETRIES) * t.read_latency_ns;
+        match first.reads[0] {
+            PageReadOutcome::DeadDie { detected, .. } => assert_eq!(detected.as_ns(), ladder_ns),
+            ref other => panic!("expected dead die, got {other:?}"),
+        }
+        assert_eq!(f.detected_dead_dies(), &[(0, 1)]);
+        // Retire: the next read fails at issue time instead of timing out.
+        f.retire_die(0, 1);
+        let issue = SimTime::from_ns(ladder_ns);
+        let second = f.read_batch_checked(&[addr(0, 1, 1)], issue, issue);
+        match second.reads[0] {
+            PageReadOutcome::DeadDie { detected, .. } => assert_eq!(detected, issue),
+            ref other => panic!("expected dead die, got {other:?}"),
+        }
+        assert_eq!(f.health_report().dead_die_reads, 2);
+        // Healthy dies on the same channel still serve reads.
+        let third = f.read_batch_checked(&[addr(0, 0, 0)], issue, issue);
+        assert!(third.all_ok());
+    }
+
+    #[test]
+    fn channel_derate_slows_only_that_channel() {
+        let mut plain = sim();
+        let base0 = plain.read_page(addr(0, 0, 0), SimTime::ZERO);
+        let base1 = plain.read_page(addr(1, 0, 0), SimTime::ZERO);
+        let mut f = sim();
+        f.set_fault_plan(FaultPlan::with_seed(1).with_channel_derate(0, 0.5));
+        let slow = f.read_page(addr(0, 0, 0), SimTime::ZERO);
+        let normal = f.read_page(addr(1, 0, 0), SimTime::ZERO);
+        assert!(slow.done > base0.done, "derated channel must be slower");
+        assert_eq!(
+            normal.done, base1.done,
+            "other channels keep nominal bandwidth"
+        );
+        assert_eq!(f.health_report().degraded_channels, vec![(0, 0.5)]);
+    }
+
+    #[test]
+    fn retry_storm_charges_extra_senses() {
+        let mut f = sim();
+        f.set_fault_plan(FaultPlan::with_seed(11).with_retry_storms(1.0));
+        let checked = f.read_batch_checked(&[addr(0, 0, 0)], SimTime::ZERO, SimTime::ZERO);
+        assert!(checked.all_ok());
+        assert!(
+            f.read_retries() >= 1,
+            "storm must charge at least one retry"
+        );
+        assert!(f.read_retries() <= FlashTiming::MAX_READ_RETRIES);
+    }
+
+    #[test]
+    fn checked_reads_replay_identically_for_same_seed() {
+        let addrs: Vec<PhysPageAddr> = (0..16).map(|i| addr(i % 4, (i / 4) % 2, i)).collect();
+        let run = |seed: u64| {
+            let mut f = sim();
+            f.set_fault_plan(
+                FaultPlan::with_seed(seed)
+                    .with_uecc(0.3)
+                    .with_retry_storms(0.3)
+                    .with_dead_die(2, 0),
+            );
+            let checked = f.read_batch_checked(&addrs, SimTime::ZERO, SimTime::ZERO);
+            (
+                format!("{:?}", checked.reads),
+                checked.done,
+                f.health_report(),
+            )
+        };
+        let (a_reads, a_done, a_health) = run(42);
+        let (b_reads, b_done, b_health) = run(42);
+        assert_eq!(a_reads, b_reads);
+        assert_eq!(a_done, b_done);
+        assert_eq!(a_health, b_health);
+        let (c_reads, _, _) = run(43);
+        assert_ne!(a_reads, c_reads, "different seeds should differ somewhere");
     }
 }

@@ -130,8 +130,7 @@ impl Ftl {
             (0.0..=0.5).contains(&overprovision),
             "overprovision {overprovision} out of range"
         );
-        let logical_pages =
-            (geometry.total_pages() as f64 * (1.0 - overprovision)).floor() as u64;
+        let logical_pages = (geometry.total_pages() as f64 * (1.0 - overprovision)).floor() as u64;
         let total_blocks = geometry.channels
             * geometry.dies_per_channel
             * geometry.planes_per_die
@@ -339,7 +338,9 @@ impl Ftl {
                 None => return Err(SsdError::DeviceFull),
             }
         }
-        let b = self.active_block[die].expect("active block just ensured");
+        let Some(b) = self.active_block[die] else {
+            unreachable!("active block ensured above");
+        };
         let page = self.blocks[b].next_page;
         self.blocks[b].next_page += 1;
         let within_die = b - die * self.geometry.planes_per_die * self.geometry.blocks_per_plane;
@@ -399,7 +400,7 @@ impl Ftl {
                     self.l2p[lpn as usize] = flat;
                     self.p2l[flat as usize] = lpn;
                     let nb = self.flat_block(addr);
-        self.blocks[nb].valid += 1;
+                    self.blocks[nb].valid += 1;
                     report.moved_pages += 1;
                     self.gc.moved_pages += 1;
                 }
@@ -434,7 +435,13 @@ impl Ftl {
         issue: SimTime,
     ) -> SimTime {
         let mut t = issue;
-        let addr = PhysPageAddr { channel, die: 0, plane: 0, block: 0, page: 0 };
+        let addr = PhysPageAddr {
+            channel,
+            die: 0,
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
         for _ in 0..report.moved_pages {
             let r = flash.read_page(addr, t);
             t = flash.program_page(addr, r.done);
@@ -485,7 +492,13 @@ impl Ftl {
         let rest = rest / g.planes_per_die as u64;
         let die = (rest % g.dies_per_channel as u64) as usize;
         let channel = (rest / g.dies_per_channel as u64) as usize;
-        PhysPageAddr { channel, die, plane, block, page }
+        PhysPageAddr {
+            channel,
+            die,
+            plane,
+            block,
+            page,
+        }
     }
 
     fn flat_block(&self, a: PhysPageAddr) -> usize {
@@ -626,7 +639,10 @@ mod tests {
         let g = SsdGeometry::tiny();
         let f = Ftl::new(g, AllocationPolicy::Striped, 0.25);
         let mut flash = FlashSim::new(g, crate::FlashTiming::paper_default());
-        let report = GcReport { moved_pages: 2, erased_blocks: 1 };
+        let report = GcReport {
+            moved_pages: 2,
+            erased_blocks: 1,
+        };
         let done = f.charge_gc(&mut flash, 0, report, SimTime::ZERO);
         assert!(done.as_ns() >= flash.timing().erase_latency_ns);
     }
@@ -634,7 +650,13 @@ mod tests {
     #[test]
     fn flatten_round_trips() {
         let f = ftl(AllocationPolicy::Striped);
-        let a = PhysPageAddr { channel: 3, die: 1, plane: 1, block: 6, page: 13 };
+        let a = PhysPageAddr {
+            channel: 3,
+            die: 1,
+            plane: 1,
+            block: 6,
+            page: 13,
+        };
         assert_eq!(f.unflatten_page(f.flatten_page(a)), a);
     }
 }

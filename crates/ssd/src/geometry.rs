@@ -163,7 +163,13 @@ mod tests {
     #[test]
     fn address_validation() {
         let g = SsdGeometry::tiny();
-        let ok = PhysPageAddr { channel: 3, die: 1, plane: 1, block: 7, page: 15 };
+        let ok = PhysPageAddr {
+            channel: 3,
+            die: 1,
+            plane: 1,
+            block: 7,
+            page: 15,
+        };
         let bad = PhysPageAddr { channel: 4, ..ok };
         assert!(g.contains(ok));
         assert!(!g.contains(bad));

@@ -38,10 +38,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod buffer;
 mod dram;
 mod error;
+mod fault;
 mod flash;
 mod ftl;
 mod geometry;
@@ -53,10 +55,14 @@ mod time;
 pub use buffer::PingPongBuffer;
 pub use dram::Dram;
 pub use error::SsdError;
-pub use flash::{BatchReadResult, FlashSim, FlashTiming, PageReadResult, TransferEvent, TransferKind};
+pub use fault::{FaultDecision, FaultInjector, FaultPlan};
+pub use flash::{
+    BatchReadResult, CheckedBatchResult, FlashSim, FlashTiming, PageReadOutcome, PageReadResult,
+    TransferEvent, TransferKind,
+};
 pub use ftl::{AllocationPolicy, Ftl, GcReport, WearReport};
 pub use geometry::{PhysPageAddr, SsdGeometry};
 pub use host::HostInterface;
 pub use ssd::{QueueReport, SsdConfig, SsdDevice};
-pub use stats::{ChannelStats, ImbalanceReport};
+pub use stats::{ChannelStats, HealthReport, ImbalanceReport};
 pub use time::{Bandwidth, SimTime};

@@ -114,6 +114,10 @@ pub struct SsdDevice {
 
 impl SsdDevice {
     /// Builds the device from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured DRAM cannot hold the L2P table.
     pub fn new(config: SsdConfig) -> Self {
         let flash = FlashSim::new(config.geometry, config.timing);
         let ftl = Ftl::new(config.geometry, config.policy, config.overprovision);
@@ -122,8 +126,9 @@ impl SsdDevice {
             crate::Bandwidth::from_gbps(config.dram_gbps),
         );
         // The L2P table lives in DRAM (§2.2): 4 bytes per logical page.
-        dram.reserve(ftl.logical_pages() * 4)
-            .expect("L2P table must fit in DRAM");
+        if dram.reserve(ftl.logical_pages() * 4).is_err() {
+            panic!("L2P table must fit in DRAM");
+        }
         SsdDevice {
             flash,
             ftl,
@@ -196,14 +201,8 @@ impl SsdDevice {
     /// # Errors
     ///
     /// Propagates translation errors.
-    pub fn host_read(
-        &mut self,
-        lpn: u64,
-        pages: u64,
-        issue: SimTime,
-    ) -> Result<SimTime, SsdError> {
-        let addrs: Result<Vec<_>, _> =
-            (lpn..lpn + pages).map(|l| self.ftl.translate(l)).collect();
+    pub fn host_read(&mut self, lpn: u64, pages: u64, issue: SimTime) -> Result<SimTime, SsdError> {
+        let addrs: Result<Vec<_>, _> = (lpn..lpn + pages).map(|l| self.ftl.translate(l)).collect();
         let batch = self.flash.read_batch(&addrs?, issue);
         // DRAM staging then host transfer of the whole payload.
         let staged = self
@@ -243,12 +242,7 @@ impl SsdDevice {
     /// # Errors
     ///
     /// Propagates FTL errors.
-    pub fn host_trim(
-        &mut self,
-        lpn: u64,
-        pages: u64,
-        issue: SimTime,
-    ) -> Result<SimTime, SsdError> {
+    pub fn host_trim(&mut self, lpn: u64, pages: u64, issue: SimTime) -> Result<SimTime, SsdError> {
         for l in lpn..lpn + pages {
             self.ftl.trim(l)?;
         }
@@ -309,7 +303,11 @@ mod tests {
         ssd.flash_mut().reset_stats();
         ssd.host_read(0, 16, w).unwrap();
         let stats = ssd.flash().channel_stats();
-        assert_eq!(stats.imbalance().idle_channels, 0, "striping hits every channel");
+        assert_eq!(
+            stats.imbalance().idle_channels,
+            0,
+            "striping hits every channel"
+        );
     }
 
     #[test]

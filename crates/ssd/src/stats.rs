@@ -9,16 +9,24 @@ pub struct ChannelStats {
     busy_ns: Vec<u64>,
     bytes: Vec<u64>,
     transfers: Vec<u64>,
+    read_retries: Vec<u64>,
 }
 
 impl ChannelStats {
-    pub(crate) fn new(busy_ns: Vec<u64>, bytes: Vec<u64>, transfers: Vec<u64>) -> Self {
+    pub(crate) fn new(
+        busy_ns: Vec<u64>,
+        bytes: Vec<u64>,
+        transfers: Vec<u64>,
+        read_retries: Vec<u64>,
+    ) -> Self {
         debug_assert_eq!(busy_ns.len(), bytes.len());
         debug_assert_eq!(busy_ns.len(), transfers.len());
+        debug_assert_eq!(busy_ns.len(), read_retries.len());
         ChannelStats {
             busy_ns,
             bytes,
             transfers,
+            read_retries,
         }
     }
 
@@ -42,6 +50,12 @@ impl ChannelStats {
         &self.transfers
     }
 
+    /// Per-channel extra sense counts from the read-retry ladder (both the
+    /// wear-induced `read_retry_prob` ladder and injected retry storms).
+    pub fn read_retries(&self) -> &[u64] {
+        &self.read_retries
+    }
+
     /// Counter-wise difference `self - earlier`, for measuring one window
     /// (e.g. one weight tile) out of a longer simulation.
     ///
@@ -50,17 +64,25 @@ impl ChannelStats {
     /// Panics if the snapshots have different channel counts or `earlier`
     /// has larger counters.
     pub fn since(&self, earlier: &ChannelStats) -> ChannelStats {
-        assert_eq!(self.channels(), earlier.channels(), "channel count mismatch");
+        assert_eq!(
+            self.channels(),
+            earlier.channels(),
+            "channel count mismatch"
+        );
         let sub = |a: &[u64], b: &[u64]| -> Vec<u64> {
             a.iter()
                 .zip(b)
-                .map(|(&x, &y)| x.checked_sub(y).expect("snapshot ordering"))
+                .map(|(&x, &y)| match x.checked_sub(y) {
+                    Some(d) => d,
+                    None => panic!("snapshot ordering"),
+                })
                 .collect()
         };
         ChannelStats {
             busy_ns: sub(&self.busy_ns, &earlier.busy_ns),
             bytes: sub(&self.bytes, &earlier.bytes),
             transfers: sub(&self.transfers, &earlier.transfers),
+            read_retries: sub(&self.read_retries, &earlier.read_retries),
         }
     }
 
@@ -130,12 +152,70 @@ impl ImbalanceReport {
     }
 }
 
+/// Device-health summary accumulated by the fault-injection machinery:
+/// retry/UECC/dead-die counters from [`crate::FlashSim`], plus the
+/// degradation-policy outcomes (reconstructions, skips) filled in by the
+/// pipeline layer.
+///
+/// All fields are plain counters so two reports from identically-seeded
+/// runs compare byte-for-byte with `==` (or via `{:?}` formatting).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Extra senses charged by the read-retry ladder, per channel.
+    pub read_retries: Vec<u64>,
+    /// Senses that exhausted the retry ladder without converging
+    /// (includes every uncorrectable read).
+    pub capped_senses: u64,
+    /// Reads that ended in an uncorrectable ECC failure.
+    pub uecc_events: u64,
+    /// Reads issued to a failed die (timeout or fail-fast).
+    pub dead_die_reads: u64,
+    /// Faulted row reads recovered by policy-level re-reads.
+    pub retried_reads: u64,
+    /// Faulted rows recovered via parity reconstruction.
+    pub reconstructed_rows: u64,
+    /// Extra stripe-peer page reads issued for reconstruction.
+    pub reconstruction_page_reads: u64,
+    /// Candidate rows dropped under the `Skip` policy.
+    pub skipped_rows: u64,
+    /// Faulted rows that no policy could recover (e.g. a stripe peer was
+    /// also dead under `Reconstruct`).
+    pub unrecovered_rows: u64,
+    /// Dies detected as failed, as `(channel, die)`, in detection order.
+    pub dead_dies: Vec<(usize, usize)>,
+    /// Channels running below nominal bandwidth, as
+    /// `(channel, derate_factor)`, sorted by channel.
+    pub degraded_channels: Vec<(usize, f64)>,
+}
+
+impl HealthReport {
+    /// `true` when no fault of any kind was observed (legacy wear-induced
+    /// read retries excepted: a healthy device still retries).
+    pub fn is_clean(&self) -> bool {
+        self.capped_senses == 0
+            && self.uecc_events == 0
+            && self.dead_die_reads == 0
+            && self.retried_reads == 0
+            && self.reconstructed_rows == 0
+            && self.reconstruction_page_reads == 0
+            && self.skipped_rows == 0
+            && self.unrecovered_rows == 0
+            && self.dead_dies.is_empty()
+            && self.degraded_channels.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn stats(busy: &[u64], bytes: &[u64]) -> ChannelStats {
-        ChannelStats::new(busy.to_vec(), bytes.to_vec(), vec![0; busy.len()])
+        ChannelStats::new(
+            busy.to_vec(),
+            bytes.to_vec(),
+            vec![0; busy.len()],
+            vec![0; busy.len()],
+        )
     }
 
     #[test]

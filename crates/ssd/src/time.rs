@@ -71,9 +71,10 @@ impl Sub for SimTime {
     type Output = u64;
 
     fn sub(self, rhs: SimTime) -> u64 {
-        self.0
-            .checked_sub(rhs.0)
-            .expect("SimTime subtraction underflow")
+        match self.0.checked_sub(rhs.0) {
+            Some(ns) => ns,
+            None => panic!("SimTime subtraction underflow"),
+        }
     }
 }
 

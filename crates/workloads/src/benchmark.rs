@@ -180,8 +180,12 @@ mod tests {
 
     #[test]
     fn large_scale_split() {
-        assert!(!Benchmark::by_abbrev("XMLCNN-A670K").unwrap().is_large_scale());
-        assert!(Benchmark::by_abbrev("XMLCNN-S10M").unwrap().is_large_scale());
+        assert!(!Benchmark::by_abbrev("XMLCNN-A670K")
+            .unwrap()
+            .is_large_scale());
+        assert!(Benchmark::by_abbrev("XMLCNN-S10M")
+            .unwrap()
+            .is_large_scale());
         assert_eq!(Benchmark::small_suite().len(), 4);
         assert_eq!(Benchmark::large_suite().len(), 3);
     }
@@ -189,9 +193,6 @@ mod tests {
     #[test]
     fn lookup_by_abbrev() {
         assert!(Benchmark::by_abbrev("nope").is_none());
-        assert_eq!(
-            Benchmark::by_abbrev("LSTM-W33K").unwrap().hidden,
-            1500
-        );
+        assert_eq!(Benchmark::by_abbrev("LSTM-W33K").unwrap().hidden, 1500);
     }
 }

@@ -93,7 +93,8 @@ impl ComputedWorkload {
     /// The feature vector of query `q`: a shared component (hot classes
     /// recur) plus per-query noise.
     pub fn query_features(&self, q: usize) -> Vec<f32> {
-        let mut rng = ChaCha12Rng::seed_from_u64(self.seed ^ 0xfeed ^ (q as u64).wrapping_mul(0x9e37));
+        let mut rng =
+            ChaCha12Rng::seed_from_u64(self.seed ^ 0xfeed ^ (q as u64).wrapping_mul(0x9e37));
         self.shared_direction
             .iter()
             .map(|&s| 0.6 * s + rng.gen_range(-1.0f32..1.0))

@@ -239,10 +239,15 @@ mod tests {
         let clusters = 20_000u64;
         let hot = (0..clusters).filter(|&c| m.is_hot_cluster(c)).count();
         let frac = hot as f64 / clusters as f64;
-        assert!((frac - m.hot_cluster_prob).abs() < 0.005, "hot fraction {frac}");
+        assert!(
+            (frac - m.hot_cluster_prob).abs() < 0.005,
+            "hot fraction {frac}"
+        );
         // Stratification: every group of 10 clusters has exactly one hot.
         for g in 0..500u64 {
-            let in_group = (g * 10..(g + 1) * 10).filter(|&c| m.is_hot_cluster(c)).count();
+            let in_group = (g * 10..(g + 1) * 10)
+                .filter(|&c| m.is_hot_cluster(c))
+                .count();
             assert_eq!(in_group, 1, "group {g}");
         }
     }

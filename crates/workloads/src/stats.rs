@@ -37,7 +37,10 @@ pub struct TraceStats {
 ///
 /// Panics if `queries < 2` or `tiles == 0` (recurrence needs pairs).
 pub fn analyze(source: &mut dyn CandidateSource, queries: usize, tiles: usize) -> TraceStats {
-    assert!(queries >= 2 && tiles > 0, "need at least 2 queries and 1 tile");
+    assert!(
+        queries >= 2 && tiles > 0,
+        "need at least 2 queries and 1 tile"
+    );
     let tiles = tiles.min(source.num_tiles());
     let mut ratio_sum = 0.0;
     let mut jaccard_sum = 0.0;
@@ -75,7 +78,11 @@ pub fn analyze(source: &mut dyn CandidateSource, queries: usize, tiles: usize) -
         queries,
         tiles,
         mean_candidate_ratio: ratio_sum / (queries * tiles) as f64,
-        recurrence: if jaccard_n == 0 { 0.0 } else { jaccard_sum / jaccard_n as f64 },
+        recurrence: if jaccard_n == 0 {
+            0.0
+        } else {
+            jaccard_sum / jaccard_n as f64
+        },
         hot_coverage: if total_hits == 0 {
             0.0
         } else {

@@ -116,9 +116,7 @@ fn solve_inclusion_lambda(weights: &[f64], target: f64) -> f64 {
     }
     let n = weights.len() as f64;
     let target = target.min(n);
-    let mass = |lambda: f64| -> f64 {
-        weights.iter().map(|&w| (lambda * w).min(1.0)).sum()
-    };
+    let mass = |lambda: f64| -> f64 { weights.iter().map(|&w| (lambda * w).min(1.0)).sum() };
     let (mut lo, mut hi) = (0.0, 1.0);
     // Grow hi until it covers the target (bounded: λ=∞ gives n ≥ target).
     while mass(hi) < target && hi < 1.0e18 {
@@ -184,7 +182,10 @@ impl CandidateSource for SampledWorkload {
         // at p = 1 (candidates for every query — the recurring set the
         // learned layout can spread), warm rows form the per-query random
         // tail. Deterministic per (query, tile).
-        let weights: Vec<f64> = range.clone().map(|r| self.config.hotness.weight(r)).collect();
+        let weights: Vec<f64> = range
+            .clone()
+            .map(|r| self.config.hotness.weight(r))
+            .collect();
         let lambda = solve_inclusion_lambda(&weights, target as f64);
         let stream = 0x5a3e_u64 ^ ((query as u64) << 24) ^ ((tile as u64) << 2);
         let mut rows: Vec<u64> = range
@@ -299,8 +300,7 @@ mod tests {
         let mut idx: Vec<usize> = (0..freq.len()).collect();
         idx.sort_by(|&a, &b| hotness[b].partial_cmp(&hotness[a]).unwrap());
         let top: f64 = idx[..51].iter().map(|&i| f64::from(freq[i])).sum::<f64>() / 51.0;
-        let bottom: f64 =
-            idx[256..].iter().map(|&i| f64::from(freq[i])).sum::<f64>() / 256.0;
+        let bottom: f64 = idx[256..].iter().map(|&i| f64::from(freq[i])).sum::<f64>() / 256.0;
         assert!(top > 3.0 * bottom, "top {top} vs bottom {bottom}");
     }
 

@@ -32,8 +32,9 @@ fn main() {
         };
         let workload = SampledWorkload::new(bench, trace);
         let mut machine =
-            EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(workload));
-        let report = machine.run_window(2, 48);
+            EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(workload))
+                .expect("screener fits DRAM");
+        let report = machine.run_window(2, 48).expect("fault-free run");
         println!(
             "{:<12} {:>12.0} {:>9.1}% {:>10.2}",
             strategy.label(),
@@ -58,7 +59,8 @@ fn main() {
     ] {
         let workload = SampledWorkload::new(bench, trace);
         let mut machine =
-            EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(workload));
+            EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(workload))
+                .expect("screener fits DRAM");
         let loads = machine.tile_channel_loads(0, 1);
         let balance = ImbalanceReport::from_loads(&loads).balance();
         println!("  {label:<8} {loads:?}  balance {balance:.2}");
@@ -89,7 +91,5 @@ fn main() {
         assert_eq!(addr.channel, layout.channel_of(row), "FTL honors the plan");
         per_channel[addr.channel] += 1;
     }
-    println!(
-        "\ndeployed 128 rows through the FTL; physical rows per channel: {per_channel:?}"
-    );
+    println!("\ndeployed 128 rows through the FTL; physical rows per channel: {per_channel:?}");
 }

@@ -26,8 +26,9 @@ fn main() {
         EcssdConfig::paper_default(),
         MachineVariant::paper_ecssd(),
         Box::new(workload),
-    );
-    let report = machine.run_window(2, 48);
+    )
+    .expect("screener fits DRAM");
+    let report = machine.run_window(2, 48).expect("fault-free run");
     let ecssd_s = report.ns_per_query_full() / 1e9;
     println!(
         "one ECSSD: {:.2} s per batch of 16 (FP channel utilization {:.1}%)",
@@ -40,7 +41,12 @@ fn main() {
     println!("\nbaseline architectures (seconds per batch / ECSSD speedup):");
     for arch in BaselineArch::ALL {
         let t = params.ns_per_batch(arch, &bench) / 1e9;
-        println!("  {:<14} {:>8.1} s   {:>6.1}x", arch.label(), t, t / ecssd_s);
+        println!(
+            "  {:<14} {:>8.1} s   {:>6.1}x",
+            arch.label(),
+            t,
+            t / ecssd_s
+        );
     }
 
     // GPU alternative (§7.2).

@@ -21,14 +21,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d = 256;
     let weights = DenseMatrix::random(l, d, 11);
     let queries: Vec<Vec<f32>> = (0..12)
-        .map(|q| (0..d).map(|i| ((i as f32) * 0.07 + q as f32).sin()).collect())
+        .map(|q| {
+            (0..d)
+                .map(|i| ((i as f32) * 0.07 + q as f32).sin())
+                .collect()
+        })
         .collect();
 
     println!("screening recall vs candidate ratio (L={l}, D={d}, top-5):\n");
-    println!("{:>8}  {:>10}  {:>12}  {:>14}", "ratio", "recall@5", "top1 match", "FP32 work saved");
+    println!(
+        "{:>8}  {:>10}  {:>12}  {:>14}",
+        "ratio", "recall@5", "top1 match", "FP32 work saved"
+    );
     for ratio in [0.02, 0.05, 0.10, 0.20] {
-        let config = ScreenerConfig::paper_default()
-            .with_threshold(ThresholdPolicy::TopRatio(ratio));
+        let config =
+            ScreenerConfig::paper_default().with_threshold(ThresholdPolicy::TopRatio(ratio));
         let pipeline = ScreeningPipeline::new(&weights, config)?;
         let mut recall = 0.0;
         let mut top1 = 0;

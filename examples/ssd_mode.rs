@@ -44,9 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. A random-read burst with queue-latency statistics.
-    let requests: Vec<(u64, u64, SimTime)> = (0..64u64)
-        .map(|i| ((i * 37) % fill, 1, t))
-        .collect();
+    let requests: Vec<(u64, u64, SimTime)> = (0..64u64).map(|i| ((i * 37) % fill, 1, t)).collect();
     let report = ssd.host_read_queue(&requests)?;
     println!(
         "random-read burst of {} requests: mean latency {:.1} us, p50 {:.1} us, p99 {:.1} us",

@@ -3,11 +3,11 @@
 
 use ecssd::arch::{Ecssd, EcssdConfig, EcssdMachine, EcssdMode, MachineVariant};
 use ecssd::layout::{DeploymentPlanner, InterleavingStrategy, LearnedConfig};
-use ecssd::screen::{
-    full_classify, topk_recall, ClassifyPrecision, DenseMatrix, ThresholdPolicy,
-};
+use ecssd::screen::{full_classify, topk_recall, ClassifyPrecision, DenseMatrix, ThresholdPolicy};
 use ecssd::ssd::{AllocationPolicy, Ftl, SimTime, SsdGeometry};
-use ecssd::workloads::{Benchmark, CandidateSource, ComputedWorkload, SampledWorkload, TraceConfig};
+use ecssd::workloads::{
+    Benchmark, CandidateSource, ComputedWorkload, SampledWorkload, TraceConfig,
+};
 
 fn planted_weights(l: usize, d: usize, seed: u64) -> DenseMatrix {
     let mut w = DenseMatrix::random(l, d, seed);
@@ -32,7 +32,8 @@ fn api_round_trip_with_mode_switching() {
     assert_eq!(dev.mode(), EcssdMode::Accelerator);
     let weights = planted_weights(512, 64, 3);
     dev.weight_deploy(&weights).unwrap();
-    dev.filter_threshold(ThresholdPolicy::TopRatio(0.1)).unwrap();
+    dev.filter_threshold(ThresholdPolicy::TopRatio(0.1))
+        .unwrap();
     let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.17).cos()).collect();
     dev.input_send(&x).unwrap();
     dev.int4_screen().unwrap();
@@ -84,15 +85,17 @@ fn computed_and_sampled_workloads_drive_the_same_machine() {
             EcssdConfig::paper_default(),
             MachineVariant::paper_ecssd(),
             Box::new(sampled),
-        ),
+        )
+        .unwrap(),
         EcssdMachine::new(
             EcssdConfig::paper_default(),
             MachineVariant::paper_ecssd(),
             Box::new(computed),
-        ),
+        )
+        .unwrap(),
     ];
     for m in &mut machines {
-        let r = m.run_window(2, 4);
+        let r = m.run_window(2, 4).unwrap();
         assert!(r.makespan.as_ns() > 0);
         assert!(r.candidate_rows > 0);
         assert!(r.fp_channel_utilization > 0.0);
@@ -154,7 +157,9 @@ fn ecssd_beats_every_fig8_intermediate_point() {
     let run = |variant: MachineVariant| {
         let w = SampledWorkload::new(bench, TraceConfig::paper_default());
         EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(w))
+            .unwrap()
             .run_window(2, 24)
+            .unwrap()
             .ns_per_query()
     };
     let full = run(MachineVariant::paper_ecssd());

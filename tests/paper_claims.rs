@@ -13,7 +13,9 @@ fn ecssd_ns_per_batch(bench: Benchmark) -> f64 {
         MachineVariant::paper_ecssd(),
         Box::new(workload),
     )
+    .unwrap()
     .run_window(2, 32)
+    .unwrap()
     .ns_per_query_full()
 }
 
@@ -41,7 +43,10 @@ fn headline_speedup_range_holds() {
 fn area_budget_guideline_holds() {
     let budget = AcceleratorBudget::cortex_r5();
     assert!(budget.admits(&AcceleratorEstimate::paper_default()));
-    assert!(!budget.admits(&AcceleratorEstimate::with_fp_circuit(MacCircuit::Naive, 50.0)));
+    assert!(!budget.admits(&AcceleratorEstimate::with_fp_circuit(
+        MacCircuit::Naive,
+        50.0
+    )));
 }
 
 /// §4.2: the alignment-free circuit turns a compute-bound design into a
@@ -66,14 +71,19 @@ fn every_technique_contributes() {
     let run = |variant: MachineVariant| {
         let w = SampledWorkload::new(bench, TraceConfig::paper_default());
         EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(w))
+            .unwrap()
             .run_window(2, 32)
+            .unwrap()
             .ns_per_query()
     };
     let full = run(MachineVariant::paper_ecssd());
     for (what, variant) in [
         (
             "naive MAC",
-            MachineVariant { mac: MacCircuit::Naive, ..MachineVariant::paper_ecssd() },
+            MachineVariant {
+                mac: MacCircuit::Naive,
+                ..MachineVariant::paper_ecssd()
+            },
         ),
         (
             "homogeneous layout",

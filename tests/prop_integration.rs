@@ -1,10 +1,31 @@
 //! Cross-crate property tests.
 
-use ecssd::arch::{EcssdConfig, EcssdMachine, MachineVariant};
+use ecssd::arch::{DegradationPolicy, EcssdConfig, EcssdMachine, MachineVariant};
 use ecssd::layout::{channel_loads, DeploymentPlanner, InterleavingStrategy, TileLayout};
-use ecssd::ssd::{AllocationPolicy, Ftl, SsdGeometry};
+use ecssd::ssd::{AllocationPolicy, FaultPlan, Ftl, SsdGeometry};
 use ecssd::workloads::{Benchmark, SampledWorkload, TraceConfig};
 use proptest::prelude::*;
+
+/// Builds a paper-default machine over the W268K trace with `policy`,
+/// installs `plan` when given, and runs a short window.
+fn faulted_window(
+    policy: DegradationPolicy,
+    plan: Option<FaultPlan>,
+) -> (ecssd::arch::RunReport, Vec<(usize, usize, u64)>) {
+    let bench = Benchmark::by_abbrev("Transformer-W268K").unwrap();
+    let w = SampledWorkload::new(bench, TraceConfig::paper_default());
+    let mut m = EcssdMachine::new(
+        EcssdConfig::paper_default(),
+        MachineVariant::paper_ecssd().with_degradation(policy),
+        Box::new(w),
+    )
+    .unwrap();
+    if let Some(plan) = plan {
+        m.set_fault_plan(plan);
+    }
+    let r = m.run_window(2, 8).unwrap();
+    (r, m.skipped().to_vec())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -87,9 +108,57 @@ proptest! {
                 EcssdConfig::paper_default(),
                 MachineVariant::paper_ecssd(),
                 Box::new(w),
-            );
-            times.push(m.run_window(1, 8).ns_per_query());
+            ).unwrap();
+            times.push(m.run_window(1, 8).unwrap().ns_per_query());
         }
         prop_assert!(times[1] > times[0] * 0.99, "{:?}", times);
+    }
+
+    /// Same `FaultPlan` seed ⇒ byte-identical `HealthReport`, dropped-row
+    /// set, and end-to-end timeline, for every degradation policy.
+    #[test]
+    fn faulted_runs_replay_byte_identically(
+        seed in 0u64..1000,
+        uecc in 0.0f64..0.01,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [
+            DegradationPolicy::Retry { max: 2 },
+            DegradationPolicy::Reconstruct,
+            DegradationPolicy::Skip,
+        ][policy_idx];
+        let plan = FaultPlan::with_seed(seed)
+            .with_uecc(uecc)
+            .with_retry_storms(uecc);
+        let (ra, da) = faulted_window(policy, Some(plan.clone()));
+        let (rb, db) = faulted_window(policy, Some(plan));
+        prop_assert_eq!(ra.health.clone(), rb.health.clone());
+        prop_assert_eq!(da, db);
+        prop_assert_eq!(ra.makespan, rb.makespan);
+        prop_assert_eq!(ra, rb);
+    }
+
+    /// Fault rate 0.0 (or no plan at all) perturbs nothing: the run is
+    /// byte-identical to the fault-free baseline.
+    #[test]
+    fn inert_plans_do_not_perturb_the_simulation(
+        seed in 0u64..1000,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = [
+            DegradationPolicy::Fail,
+            DegradationPolicy::Retry { max: 3 },
+            DegradationPolicy::Reconstruct,
+            DegradationPolicy::Skip,
+        ][policy_idx];
+        let (baseline, _) = faulted_window(DegradationPolicy::Fail, None);
+        let inert = FaultPlan::with_seed(seed)
+            .with_uecc(0.0)
+            .with_retry_storms(0.0);
+        prop_assert!(inert.is_inert());
+        let (r, dropped) = faulted_window(policy, Some(inert));
+        prop_assert_eq!(&r, &baseline);
+        prop_assert!(r.health.is_clean());
+        prop_assert!(dropped.is_empty());
     }
 }
