@@ -1,0 +1,138 @@
+//! Serving-engine study: sustained throughput, tail latency, and cache
+//! effectiveness across batch-formation policy × shard count × hot-cache
+//! capacity.
+//!
+//! Each point deploys the same classification layer into a fresh
+//! [`ServeEngine`] and pushes the same query stream through the submission
+//! queue. Throughput is measured in simulated device time (queries per
+//! second of the slowest shard — shards run in parallel); latency
+//! percentiles are host wall-clock.
+
+use std::time::Duration;
+
+use ecssd_bench::table::TextTable;
+use ecssd_core::prelude::*;
+use ecssd_serve::{ServeEngine, ServePolicy};
+
+const CATEGORIES: usize = 1200;
+const HIDDEN: usize = 64;
+const QUERIES: usize = 48;
+const TOP_K: usize = 5;
+
+fn query_stream() -> Vec<Vec<f32>> {
+    // A skewed stream: a few phases repeat, so hot candidate rows recur
+    // across batches and a sized cache can prove itself.
+    (0..QUERIES)
+        .map(|q| {
+            let phase = (q % 6) as f32 * 0.37;
+            (0..HIDDEN)
+                .map(|i| ((i as f32) * 0.11 + phase).sin())
+                .collect()
+        })
+        .collect()
+}
+
+struct Point {
+    shards: usize,
+    max_batch: usize,
+    cache_bytes: u64,
+    report: ecssd_serve::ServeReport,
+}
+
+fn run_point(shards: usize, max_batch: usize, cache_bytes: u64) -> Point {
+    let config = EcssdConfig::tiny_builder()
+        .hot_cache_bytes(cache_bytes)
+        .build()
+        .expect("valid study configuration");
+    let policy = ServePolicy {
+        max_batch,
+        max_wait: Duration::from_micros(500),
+    };
+    let mut engine = ServeEngine::new(config, shards, policy).expect("engine spawns");
+    let weights = DenseMatrix::random(CATEGORIES, HIDDEN, 0xec55d);
+    engine
+        .deploy(&weights)
+        .expect("deploy fits the tiny device");
+    for chunk in query_stream().chunks(max_batch.max(1)) {
+        engine
+            .classify_batch(chunk, TOP_K)
+            .expect("fault-free serving");
+    }
+    Point {
+        shards,
+        max_batch,
+        cache_bytes,
+        report: engine.report(),
+    }
+}
+
+fn main() {
+    let shard_axis = [1usize, 2, 4];
+    let batch_axis = [1usize, 4, 8, 16];
+    let cache_axis = [0u64, 1 << 20, 4 << 20];
+
+    println!(
+        "Serving study: {CATEGORIES}x{HIDDEN} layer, {QUERIES} queries, top-{TOP_K}\n\
+         (sim q/s = queries per simulated second of the slowest shard)\n"
+    );
+    let mut table = TextTable::new([
+        "shards",
+        "batch",
+        "cache",
+        "sim q/s",
+        "vs 1 shard",
+        "p50 us",
+        "p99 us",
+        "min util",
+        "hit rate",
+    ]);
+    for &cache_bytes in &cache_axis {
+        for &max_batch in &batch_axis {
+            let mut base_rate = 0.0f64;
+            for &shards in &shard_axis {
+                let p = run_point(shards, max_batch, cache_bytes);
+                if shards == 1 {
+                    base_rate = p.report.sim_queries_per_sec;
+                }
+                let min_util = p
+                    .report
+                    .shard_utilization
+                    .iter()
+                    .copied()
+                    .fold(1.0f64, f64::min);
+                table.row([
+                    p.shards.to_string(),
+                    p.max_batch.to_string(),
+                    if p.cache_bytes == 0 {
+                        "off".to_string()
+                    } else {
+                        format!("{}K", p.cache_bytes >> 10)
+                    },
+                    format!("{:.0}", p.report.sim_queries_per_sec),
+                    format!("{:.2}x", p.report.sim_queries_per_sec / base_rate.max(1e-9)),
+                    format!("{:.0}", p.report.p50_us),
+                    format!("{:.0}", p.report.p99_us),
+                    format!("{:.2}", min_util),
+                    format!("{:.1}%", p.report.cache.hit_rate() * 100.0),
+                ]);
+            }
+        }
+    }
+    print!("{}", table.render());
+
+    // The headline claims, checked on the way out.
+    let one = run_point(1, 8, 1 << 20);
+    let four = run_point(4, 8, 1 << 20);
+    let scaling = four.report.sim_queries_per_sec / one.report.sim_queries_per_sec;
+    println!(
+        "\n4-shard scaling at batch 8: {scaling:.2}x; cached hit rate {:.1}%",
+        four.report.cache.hit_rate() * 100.0
+    );
+    if scaling < 2.0 || four.report.cache.hits == 0 {
+        eprintln!(
+            "error: serving targets missed (scaling {scaling:.2}x, hits {})",
+            four.report.cache.hits
+        );
+        std::process::exit(1);
+    }
+}

@@ -150,8 +150,13 @@ fn main() {
         }
     };
 
-    let mut config = EcssdConfig::paper_default();
-    config.accelerator.batch = args.batch;
+    let config = match EcssdConfig::builder().batch(args.batch).build() {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("error: invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
     let trace = TraceConfig::paper_default()
         .with_candidate_ratio(args.ratio)
         .with_tile_rows(args.tile_rows);

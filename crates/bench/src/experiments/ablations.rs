@@ -205,8 +205,10 @@ pub fn batch_axis(window: Window) -> Axis {
     let points = [4usize, 8, 16, 32, 64]
         .into_iter()
         .map(|batch| {
-            let mut cfg = EcssdConfig::paper_default();
-            cfg.accelerator.batch = batch;
+            let cfg = EcssdConfig::builder()
+                .batch(batch)
+                .build()
+                .expect("valid batch override");
             let r = measure(
                 bench,
                 MachineVariant::paper_ecssd(),
@@ -285,8 +287,10 @@ pub fn fault_axis(window: Window) -> Axis {
     let points = [0.0f64, 0.01, 0.05, 0.2]
         .into_iter()
         .map(|p| {
-            let mut cfg = EcssdConfig::paper_default();
-            cfg.ssd.timing = cfg.ssd.timing.with_read_retries(p);
+            let cfg = EcssdConfig::builder()
+                .timing(EcssdConfig::paper_default().ssd.timing.with_read_retries(p))
+                .build()
+                .expect("valid timing override");
             let r = measure(
                 bench,
                 MachineVariant::paper_ecssd(),

@@ -44,8 +44,10 @@ pub fn run_for(bench_name: &str, window: Window) -> Report {
     let raw: Vec<(usize, f64, f64)> = geometries
         .into_iter()
         .map(|geometry| {
-            let mut config = EcssdConfig::paper_default();
-            config.ssd.geometry = geometry;
+            let config = EcssdConfig::builder()
+                .geometry(geometry)
+                .build()
+                .expect("valid geometry override");
             let workload = SampledWorkload::new(bench, TraceConfig::paper_default());
             let mut machine =
                 EcssdMachine::new(config, MachineVariant::paper_ecssd(), Box::new(workload))

@@ -9,12 +9,12 @@
 
 use ecssd_float::Cfp32Vector;
 use ecssd_screen::{
-    candidate_only_classify, ClassifyPrecision, DenseMatrix, Prediction, Projector, ScreenError,
-    Screener, ThresholdPolicy,
+    candidate_only_classify, ClassifyPrecision, DenseMatrix, Prediction, Projector, Score,
+    ScreenError, Screener, ThresholdPolicy,
 };
-use ecssd_ssd::{SimTime, SsdDevice, SsdError};
+use ecssd_ssd::{HotRowCache, SimTime, SsdDevice, SsdError};
 
-use crate::EcssdConfig;
+use crate::{Classifier, ClassifierStats, EcssdConfig};
 
 /// Working mode (§4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,10 +38,21 @@ pub enum EcssdError {
     NoWeights,
     /// No inputs are queued for the requested computation.
     NoInputs,
+    /// The requested top-`k` exceeds the deployed category count.
+    KExceedsCategories {
+        /// Requested `k`.
+        k: usize,
+        /// Deployed categories `L`.
+        categories: usize,
+    },
     /// An error from the screening algorithm.
     Screen(ScreenError),
     /// An error from the SSD substrate.
     Ssd(SsdError),
+    /// A configuration rejected by the validating builder.
+    Config(crate::ConfigError),
+    /// A serving-engine failure (worker thread or channel), with context.
+    Serve(String),
 }
 
 impl std::fmt::Display for EcssdError {
@@ -52,8 +63,16 @@ impl std::fmt::Display for EcssdError {
             }
             EcssdError::NoWeights => write!(f, "no weights deployed"),
             EcssdError::NoInputs => write!(f, "no inputs queued"),
+            EcssdError::KExceedsCategories { k, categories } => {
+                write!(
+                    f,
+                    "top-{k} requested but only {categories} categories deployed"
+                )
+            }
             EcssdError::Screen(e) => write!(f, "screening error: {e}"),
             EcssdError::Ssd(e) => write!(f, "ssd error: {e}"),
+            EcssdError::Config(e) => write!(f, "configuration error: {e}"),
+            EcssdError::Serve(what) => write!(f, "serving engine error: {what}"),
         }
     }
 }
@@ -63,8 +82,15 @@ impl std::error::Error for EcssdError {
         match self {
             EcssdError::Screen(e) => Some(e),
             EcssdError::Ssd(e) => Some(e),
+            EcssdError::Config(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::ConfigError> for EcssdError {
+    fn from(e: crate::ConfigError) -> Self {
+        EcssdError::Config(e)
     }
 }
 
@@ -103,11 +129,17 @@ pub struct Ecssd {
     threshold: ThresholdPolicy,
     queue: InputQueue,
     results: Vec<Prediction>,
+    /// LRU cache of recently fetched candidate FP32 rows in device DRAM.
+    hot_cache: HotRowCache,
+    cache_reserved: bool,
+    queries: u64,
+    batches: u64,
 }
 
 impl Ecssd {
     /// Powers on a device in SSD mode.
     pub fn new(config: EcssdConfig) -> Self {
+        let hot_cache = HotRowCache::new(config.ssd.hot_cache_bytes);
         Ecssd {
             mode: EcssdMode::Ssd,
             device: SsdDevice::new(config.ssd),
@@ -119,6 +151,10 @@ impl Ecssd {
             threshold: ThresholdPolicy::TopRatio(0.1),
             queue: InputQueue::default(),
             results: Vec::new(),
+            hot_cache,
+            cache_reserved: false,
+            queries: 0,
+            batches: 0,
         }
     }
 
@@ -179,6 +215,13 @@ impl Ecssd {
         let screener = Screener::from_weights(weights, projector)?;
         let int4_bytes = screener.weights4().storage_bytes() as u64;
         self.device.dram_mut().reserve(int4_bytes)?;
+        // The hot-row cache occupies DRAM alongside the INT4 matrix.
+        if self.hot_cache.is_enabled() && !self.cache_reserved {
+            self.device
+                .dram_mut()
+                .reserve(self.hot_cache.capacity_bytes())?;
+            self.cache_reserved = true;
+        }
         let page_bytes = self.device.config().geometry.page_bytes as u64;
         let fp32_row_bytes = 4 * weights.cols() as u64;
         self.pages_per_row = fp32_row_bytes.div_ceil(page_bytes);
@@ -274,19 +317,32 @@ impl Ecssd {
         {
             return Err(EcssdError::NoInputs);
         }
+        let page_bytes = self.device.config().geometry.page_bytes as u64;
+        let row_bytes = self.pages_per_row * page_bytes;
         let mut t = self.clock;
         let mut results = Vec::with_capacity(self.queue.features.len());
         for (features, cands) in self.queue.features.iter().zip(&self.queue.candidates) {
-            // Timing: translate + batch-read every candidate row's pages.
+            // Timing: hot rows stream from the DRAM cache, the rest are
+            // translated + batch-read from flash (and cached for next time).
             let mut addrs = Vec::with_capacity(cands.len() * self.pages_per_row as usize);
+            let mut fetched: Vec<usize> = Vec::new();
+            let mut hit_done = t;
             for &c in cands {
+                if self.hot_cache.lookup(c as u64) {
+                    hit_done = hit_done.max(self.device.dram_mut().transfer(row_bytes, t));
+                    continue;
+                }
+                fetched.push(c);
                 let first = self.row_lpns[c];
                 for p in 0..self.pages_per_row {
                     addrs.push(self.device.ftl().translate(first + p)?);
                 }
             }
             let batch = self.device.flash_mut().read_batch(&addrs, t);
-            t = batch.done;
+            t = batch.done.max(hit_done);
+            for &c in &fetched {
+                self.hot_cache.insert(c as u64, row_bytes);
+            }
             // Function: CFP32 candidate-only classification.
             let mut scores =
                 candidate_only_classify(weights, features, cands, ClassifyPrecision::Cfp32)?;
@@ -318,6 +374,80 @@ impl Ecssd {
             .sum();
         self.clock = self.device.host_mut().transfer(bytes, self.clock);
         Ok(std::mem::take(&mut self.results))
+    }
+
+    /// Batch-first classification: queue, screen, classify and drain in one
+    /// call — the primary inference entry point (also available through the
+    /// [`Classifier`] trait).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EcssdError::WrongMode`] outside accelerator mode,
+    /// [`EcssdError::NoWeights`] before deployment, [`EcssdError::NoInputs`]
+    /// on an empty batch, [`EcssdError::KExceedsCategories`] when `k`
+    /// exceeds the deployed category count, and propagates screening/SSD
+    /// errors. On error the input queue is cleared, so a failed batch never
+    /// leaks into the next one.
+    pub fn classify_batch(
+        &mut self,
+        inputs: &[Vec<f32>],
+        k: usize,
+    ) -> Result<Vec<Vec<Score>>, EcssdError> {
+        self.require_accelerator()?;
+        let categories = self.weights.as_ref().ok_or(EcssdError::NoWeights)?.rows();
+        if inputs.is_empty() {
+            return Err(EcssdError::NoInputs);
+        }
+        if k > categories {
+            return Err(EcssdError::KExceedsCategories { k, categories });
+        }
+        let attempt = inputs
+            .iter()
+            .try_for_each(|x| self.input_send(x))
+            .and_then(|()| self.int4_screen())
+            .and_then(|()| self.cfp32_classify(k));
+        if let Err(e) = attempt {
+            self.queue.features.clear();
+            self.queue.candidates.clear();
+            return Err(e);
+        }
+        let predictions = self.get_results()?;
+        self.queries += inputs.len() as u64;
+        self.batches += 1;
+        Ok(predictions.into_iter().map(|p| p.top_k).collect())
+    }
+
+    /// The hot-row cache counters of this device.
+    pub fn cache_stats(&self) -> ecssd_ssd::CacheStats {
+        self.hot_cache.stats()
+    }
+}
+
+impl Classifier for Ecssd {
+    fn deploy(&mut self, weights: &DenseMatrix) -> Result<(), EcssdError> {
+        self.weight_deploy(weights)
+    }
+
+    fn classify_batch(
+        &mut self,
+        inputs: &[Vec<f32>],
+        k: usize,
+    ) -> Result<Vec<Vec<Score>>, EcssdError> {
+        Ecssd::classify_batch(self, inputs, k)
+    }
+
+    fn elapsed(&self) -> SimTime {
+        self.clock
+    }
+
+    fn stats(&self) -> ClassifierStats {
+        ClassifierStats {
+            devices: 1,
+            categories: self.weights.as_ref().map_or(0, DenseMatrix::rows),
+            queries: self.queries,
+            batches: self.batches,
+            cache: self.hot_cache.stats(),
+        }
     }
 }
 

@@ -1,0 +1,110 @@
+//! The unified frontend API: every way of running extreme classification —
+//! one device ([`crate::Ecssd`]), a host-managed shard group
+//! ([`crate::EcssdCluster`]), or the threaded serving engine
+//! (`ecssd_serve::ServeEngine`) — implements one [`Classifier`] trait, so
+//! callers, benchmarks and misuse tests are written once against the trait.
+
+use ecssd_screen::{DenseMatrix, Score};
+use ecssd_ssd::{CacheStats, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::EcssdError;
+
+/// Aggregate counters every [`Classifier`] frontend reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassifierStats {
+    /// Devices (shards) behind this frontend.
+    pub devices: usize,
+    /// Categories deployed (0 before deployment).
+    pub categories: usize,
+    /// Queries classified through the frontend.
+    pub queries: u64,
+    /// Batches executed (a batch is one device round trip).
+    pub batches: u64,
+    /// Hot candidate-row cache counters, summed over devices.
+    pub cache: CacheStats,
+}
+
+/// A deployed extreme-classification frontend.
+///
+/// The contract, asserted identically against every implementation:
+///
+/// * [`Classifier::deploy`] installs an `L × D` weight matrix; calling any
+///   classification method first fails with [`EcssdError::NoWeights`].
+/// * [`Classifier::classify_batch`] is the one entry point for inference:
+///   it returns one descending-sorted top-`k` list per input. An empty
+///   batch fails with [`EcssdError::NoInputs`]; `k` greater than the
+///   deployed category count fails with [`EcssdError::KExceedsCategories`];
+///   a frontend switched out of accelerator mode fails with
+///   [`EcssdError::WrongMode`].
+/// * [`Classifier::elapsed`] is the simulated time consumed so far (for
+///   multi-device frontends: the slowest shard, since shards run in
+///   parallel).
+/// * [`Classifier::stats`] reports the query/batch/cache counters.
+pub trait Classifier {
+    /// Deploys the classification layer.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EcssdError::WrongMode`] outside accelerator mode and
+    /// propagates device deployment errors.
+    fn deploy(&mut self, weights: &DenseMatrix) -> Result<(), EcssdError>;
+
+    /// Classifies a batch of feature vectors, returning the global top-`k`
+    /// per input, sorted by descending score (ties broken by ascending
+    /// category id).
+    ///
+    /// # Errors
+    ///
+    /// See the trait-level contract.
+    fn classify_batch(
+        &mut self,
+        inputs: &[Vec<f32>],
+        k: usize,
+    ) -> Result<Vec<Vec<Score>>, EcssdError>;
+
+    /// Simulated time consumed so far.
+    fn elapsed(&self) -> SimTime;
+
+    /// Aggregate counters.
+    fn stats(&self) -> ClassifierStats;
+}
+
+/// Sorts a merged score list into the canonical output order: descending
+/// value, ties by ascending category. Single-device results already come
+/// out in this order (stable sort over ascending-category candidates), so
+/// multi-shard merges that use the same comparator are bit-identical to a
+/// single device holding the whole matrix.
+pub fn sort_scores(scores: &mut [Score]) {
+    scores.sort_by(|a, b| {
+        b.value
+            .total_cmp(&a.value)
+            .then_with(|| a.category.cmp(&b.category))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_scores_is_deterministic_under_ties() {
+        let mut scores = vec![
+            Score {
+                category: 9,
+                value: 1.0,
+            },
+            Score {
+                category: 2,
+                value: 1.0,
+            },
+            Score {
+                category: 5,
+                value: 3.0,
+            },
+        ];
+        sort_scores(&mut scores);
+        let order: Vec<usize> = scores.iter().map(|s| s.category).collect();
+        assert_eq!(order, vec![5, 2, 9]);
+    }
+}

@@ -10,7 +10,7 @@
 use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
 use ecssd_ssd::SimTime;
 
-use crate::{Ecssd, EcssdConfig, EcssdError};
+use crate::{sort_scores, Classifier, ClassifierStats, Ecssd, EcssdConfig, EcssdError, EcssdMode};
 
 /// A host-managed group of ECSSDs, each holding one contiguous shard of
 /// the classification layer.
@@ -19,21 +19,23 @@ pub struct EcssdCluster {
     devices: Vec<Ecssd>,
     /// First global row of each shard (plus a trailing end marker).
     shard_starts: Vec<usize>,
+    enabled: bool,
+    queries: u64,
+    batches: u64,
 }
 
 impl EcssdCluster {
     /// Powers on `devices` ECSSDs in accelerator mode.
     ///
     /// ```
-    /// use ecssd_core::{EcssdCluster, EcssdConfig};
-    /// use ecssd_screen::{DenseMatrix, ThresholdPolicy};
-    /// # fn main() -> Result<(), ecssd_core::EcssdError> {
+    /// use ecssd_core::prelude::*;
+    /// # fn main() -> Result<(), EcssdError> {
     /// let mut cluster = EcssdCluster::new(EcssdConfig::tiny(), 2);
-    /// cluster.weight_deploy(&DenseMatrix::random(600, 32, 1))?;
+    /// cluster.deploy(&DenseMatrix::random(600, 32, 1))?;
     /// cluster.filter_threshold(ThresholdPolicy::TopRatio(0.1))?;
     /// let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.2).sin()).collect();
-    /// let top = cluster.classify(&x, 3)?;
-    /// assert_eq!(top.len(), 3);
+    /// let top = cluster.classify_batch(&[x], 3)?;
+    /// assert_eq!(top[0].len(), 3);
     /// # Ok(())
     /// # }
     /// ```
@@ -52,7 +54,27 @@ impl EcssdCluster {
                 })
                 .collect(),
             shard_starts: Vec::new(),
+            enabled: true,
+            queries: 0,
+            batches: 0,
         }
+    }
+
+    /// Switches every device back to accelerator mode.
+    pub fn enable(&mut self) {
+        for device in &mut self.devices {
+            device.enable();
+        }
+        self.enabled = true;
+    }
+
+    /// Switches every device to conventional SSD mode; classification
+    /// calls fail with [`EcssdError::WrongMode`] until re-enabled.
+    pub fn disable(&mut self) {
+        for device in &mut self.devices {
+            device.disable();
+        }
+        self.enabled = false;
     }
 
     /// Number of devices.
@@ -66,30 +88,42 @@ impl EcssdCluster {
     ///
     /// # Errors
     ///
-    /// Propagates per-device deployment errors.
+    /// Fails with [`EcssdError::WrongMode`] while disabled and propagates
+    /// per-device deployment errors (a mid-deployment failure marks the
+    /// cluster undeployed rather than half-deployed).
     ///
     /// # Panics
     ///
     /// Panics if there are fewer rows than devices.
     pub fn weight_deploy(&mut self, weights: &DenseMatrix) -> Result<(), EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
         let n = self.devices.len();
         let rows = weights.rows();
         assert!(rows >= n, "fewer rows than devices");
         let per = rows.div_ceil(n);
-        self.shard_starts.clear();
+        let mut starts = Vec::with_capacity(n + 1);
         for (i, device) in self.devices.iter_mut().enumerate() {
             let start = i * per;
             let end = ((i + 1) * per).min(rows);
-            self.shard_starts.push(start);
+            starts.push(start);
             let mut data = Vec::with_capacity((end - start) * weights.cols());
             for r in start..end {
                 data.extend_from_slice(weights.row(r));
             }
-            let shard = DenseMatrix::from_vec(end - start, weights.cols(), data)
-                .map_err(EcssdError::Screen)?;
-            device.weight_deploy(&shard)?;
+            let attempt = DenseMatrix::from_vec(end - start, weights.cols(), data)
+                .map_err(EcssdError::Screen)
+                .and_then(|shard| device.weight_deploy(&shard));
+            if let Err(e) = attempt {
+                self.shard_starts.clear();
+                return Err(e);
+            }
         }
-        self.shard_starts.push(rows);
+        starts.push(rows);
+        self.shard_starts = starts;
         Ok(())
     }
 
@@ -105,32 +139,72 @@ impl EcssdCluster {
         Ok(())
     }
 
-    /// Classifies one feature vector across all shards and merges the
-    /// per-device top-k into a global top-k (category ids are global).
+    /// Classifies a batch across all shards and merges the per-device
+    /// top-k into global top-k lists (category ids are global) — the
+    /// primary inference entry point (also available through the
+    /// [`Classifier`] trait).
     ///
     /// # Errors
     ///
-    /// Fails if weights were not deployed, and propagates device errors.
-    pub fn classify(&mut self, features: &[f32], k: usize) -> Result<Vec<Score>, EcssdError> {
+    /// Same contract as [`Ecssd::classify_batch`]: [`EcssdError::WrongMode`]
+    /// while disabled, [`EcssdError::NoWeights`] before deployment,
+    /// [`EcssdError::NoInputs`] on an empty batch,
+    /// [`EcssdError::KExceedsCategories`] when `k` exceeds the deployed
+    /// categories, plus propagated device errors.
+    pub fn classify_batch(
+        &mut self,
+        inputs: &[Vec<f32>],
+        k: usize,
+    ) -> Result<Vec<Vec<Score>>, EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
         if self.shard_starts.is_empty() {
             return Err(EcssdError::NoWeights);
         }
-        let mut merged: Vec<Score> = Vec::new();
-        for (i, device) in self.devices.iter_mut().enumerate() {
-            device.input_send(features)?;
-            device.int4_screen()?;
-            device.cfp32_classify(k)?;
-            let mut results = device.get_results()?;
-            let prediction = results.pop().ok_or(EcssdError::NoInputs)?;
-            let offset = self.shard_starts[i];
-            merged.extend(prediction.top_k.into_iter().map(|s| Score {
-                category: s.category + offset,
-                value: s.value,
-            }));
+        if inputs.is_empty() {
+            return Err(EcssdError::NoInputs);
         }
-        merged.sort_by(|a, b| b.value.total_cmp(&a.value));
-        merged.truncate(k);
+        let categories = *self.shard_starts.last().unwrap_or(&0);
+        if k > categories {
+            return Err(EcssdError::KExceedsCategories { k, categories });
+        }
+        let mut merged: Vec<Vec<Score>> = vec![Vec::new(); inputs.len()];
+        for (i, device) in self.devices.iter_mut().enumerate() {
+            let offset = self.shard_starts[i];
+            let shard_rows = self.shard_starts[i + 1] - offset;
+            let per_shard = device.classify_batch(inputs, k.min(shard_rows))?;
+            for (query, top) in merged.iter_mut().zip(per_shard) {
+                query.extend(top.into_iter().map(|s| Score {
+                    category: s.category + offset,
+                    value: s.value,
+                }));
+            }
+        }
+        for query in &mut merged {
+            sort_scores(query);
+            query.truncate(k);
+        }
+        self.queries += inputs.len() as u64;
+        self.batches += 1;
         Ok(merged)
+    }
+
+    /// Single-query shim over [`EcssdCluster::classify_batch`].
+    ///
+    /// # Errors
+    ///
+    /// See [`EcssdCluster::classify_batch`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `classify_batch` (the batch-first entry point); this shim \
+                will be removed next release"
+    )]
+    pub fn classify(&mut self, features: &[f32], k: usize) -> Result<Vec<Score>, EcssdError> {
+        let mut batch = self.classify_batch(std::slice::from_ref(&features.to_vec()), k)?;
+        batch.pop().ok_or(EcssdError::NoInputs)
     }
 
     /// The slowest device's simulated elapsed time — the cluster's
@@ -138,9 +212,44 @@ impl EcssdCluster {
     pub fn elapsed(&self) -> SimTime {
         self.devices
             .iter()
-            .map(Ecssd::elapsed)
+            .map(Classifier::elapsed)
             .max()
             .unwrap_or(SimTime::ZERO)
+    }
+}
+
+impl Classifier for EcssdCluster {
+    fn deploy(&mut self, weights: &DenseMatrix) -> Result<(), EcssdError> {
+        self.weight_deploy(weights)
+    }
+
+    fn classify_batch(
+        &mut self,
+        inputs: &[Vec<f32>],
+        k: usize,
+    ) -> Result<Vec<Vec<Score>>, EcssdError> {
+        EcssdCluster::classify_batch(self, inputs, k)
+    }
+
+    fn elapsed(&self) -> SimTime {
+        EcssdCluster::elapsed(self)
+    }
+
+    fn stats(&self) -> ClassifierStats {
+        let cache = self
+            .devices
+            .iter()
+            .map(Ecssd::cache_stats)
+            .fold(Default::default(), |acc: ecssd_ssd::CacheStats, s| {
+                acc.merge(&s)
+            });
+        ClassifierStats {
+            devices: self.devices.len(),
+            categories: self.shard_starts.last().copied().unwrap_or(0),
+            queries: self.queries,
+            batches: self.batches,
+            cache,
+        }
     }
 }
 
@@ -179,7 +288,10 @@ mod tests {
             .enumerate()
             .map(|(i, &v)| v + 0.05 * ((i as f32) * 0.31).sin())
             .collect();
-        let merged = cluster.classify(&x, 5).unwrap();
+        let merged = cluster
+            .classify_batch(std::slice::from_ref(&x), 5)
+            .unwrap()
+            .remove(0);
         assert_eq!(merged.len(), 5);
         assert!(merged.windows(2).all(|p| p[0].value >= p[1].value));
         // Global ids are valid and the top-1 is the planted row.
@@ -195,9 +307,38 @@ mod tests {
     fn classify_before_deploy_fails() {
         let mut cluster = EcssdCluster::new(EcssdConfig::tiny(), 2);
         assert!(matches!(
-            cluster.classify(&[0.0; 8], 3),
+            cluster.classify_batch(&[vec![0.0; 8]], 3),
             Err(EcssdError::NoWeights)
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn single_query_shim_matches_batch_path() {
+        let weights = planted(600, 32);
+        let mut cluster = EcssdCluster::new(EcssdConfig::tiny(), 2);
+        cluster.weight_deploy(&weights).unwrap();
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.2).sin()).collect();
+        let via_batch = cluster
+            .classify_batch(std::slice::from_ref(&x), 4)
+            .unwrap()
+            .remove(0);
+        let via_shim = cluster.classify(&x, 4).unwrap();
+        assert_eq!(via_batch, via_shim);
+    }
+
+    #[test]
+    fn disabled_cluster_reports_wrong_mode() {
+        let weights = planted(600, 32);
+        let mut cluster = EcssdCluster::new(EcssdConfig::tiny(), 2);
+        cluster.weight_deploy(&weights).unwrap();
+        cluster.disable();
+        assert!(matches!(
+            cluster.classify_batch(&[vec![0.0; 32]], 3),
+            Err(EcssdError::WrongMode { .. })
+        ));
+        cluster.enable();
+        assert!(cluster.classify_batch(&[vec![0.0; 32]], 3).is_ok());
     }
 
     #[test]

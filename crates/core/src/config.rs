@@ -1,8 +1,87 @@
-//! ECSSD configuration (Table 2).
+//! ECSSD configuration (Table 2), plus the validating builder that is the
+//! supported way to construct non-default configurations.
 
 use ecssd_float::{MacCircuit, MacCircuitModel};
-use ecssd_ssd::SsdConfig;
+use ecssd_ssd::{AllocationPolicy, FlashTiming, SsdConfig, SsdGeometry};
 use serde::{Deserialize, Serialize};
+
+/// A typed configuration-validation failure: the builder refuses to emit a
+/// config the simulator would panic on or silently truncate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A geometry dimension (channels, dies, planes, blocks, pages,
+    /// page bytes) is zero.
+    ZeroGeometry {
+        /// Which dimension was zero.
+        field: &'static str,
+    },
+    /// A rate or frequency (clock GHz, DRAM GB/s) must be positive and
+    /// finite.
+    NonPositiveRate {
+        /// Which rate was invalid.
+        field: &'static str,
+    },
+    /// A MAC lane count or the inference batch is zero.
+    ZeroCount {
+        /// Which count was zero.
+        field: &'static str,
+    },
+    /// The data buffer must hold at least one flash page per ping-pong
+    /// bank.
+    BufferTooSmall {
+        /// Configured buffer bytes.
+        buffer_bytes: u64,
+        /// Configured page bytes.
+        page_bytes: u64,
+    },
+    /// The overprovisioning fraction must lie in `[0, 1)`.
+    OverprovisionOutOfRange {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The hot-row cache cannot outgrow the device DRAM.
+    HotCacheExceedsDram {
+        /// Requested cache bytes.
+        cache_bytes: u64,
+        /// Configured DRAM bytes.
+        dram_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroGeometry { field } => {
+                write!(f, "geometry dimension `{field}` must be nonzero")
+            }
+            ConfigError::NonPositiveRate { field } => {
+                write!(f, "`{field}` must be positive and finite")
+            }
+            ConfigError::ZeroCount { field } => write!(f, "`{field}` must be nonzero"),
+            ConfigError::BufferTooSmall {
+                buffer_bytes,
+                page_bytes,
+            } => write!(
+                f,
+                "data buffer ({buffer_bytes} B) must hold at least two flash pages \
+                 ({page_bytes} B each)"
+            ),
+            ConfigError::OverprovisionOutOfRange { value } => {
+                write!(f, "overprovision fraction {value} outside [0, 1)")
+            }
+            ConfigError::HotCacheExceedsDram {
+                cache_bytes,
+                dram_bytes,
+            } => write!(
+                f,
+                "hot-row cache ({cache_bytes} B) exceeds device DRAM ({dram_bytes} B)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of the inserted accelerator (Table 2, lower half).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -94,6 +173,199 @@ impl EcssdConfig {
             accelerator: AcceleratorConfig::paper_default(),
         }
     }
+
+    /// A validating builder seeded with the paper's Table 2 values.
+    pub fn builder() -> EcssdConfigBuilder {
+        EcssdConfigBuilder::from(Self::paper_default())
+    }
+
+    /// A validating builder seeded with the tiny test configuration.
+    pub fn tiny_builder() -> EcssdConfigBuilder {
+        EcssdConfigBuilder::from(Self::tiny())
+    }
+
+    /// Checks every invariant the builder enforces; useful for configs
+    /// deserialized from external sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let g = self.ssd.geometry;
+        for (field, v) in [
+            ("channels", g.channels),
+            ("dies_per_channel", g.dies_per_channel),
+            ("planes_per_die", g.planes_per_die),
+            ("blocks_per_plane", g.blocks_per_plane),
+            ("pages_per_block", g.pages_per_block),
+            ("page_bytes", g.page_bytes),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::ZeroGeometry { field });
+            }
+        }
+        for (field, v) in [
+            ("dram_gbps", self.ssd.dram_gbps),
+            ("clock_ghz", self.accelerator.clock_ghz),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(ConfigError::NonPositiveRate { field });
+            }
+        }
+        for (field, v) in [
+            ("fp32_lanes", self.accelerator.fp32_lanes),
+            ("int4_lanes", self.accelerator.int4_lanes),
+            ("batch", self.accelerator.batch),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::ZeroCount { field });
+            }
+        }
+        if self.ssd.buffer_bytes < 2 * g.page_bytes as u64 {
+            return Err(ConfigError::BufferTooSmall {
+                buffer_bytes: self.ssd.buffer_bytes,
+                page_bytes: g.page_bytes as u64,
+            });
+        }
+        if !(0.0..1.0).contains(&self.ssd.overprovision) {
+            return Err(ConfigError::OverprovisionOutOfRange {
+                value: self.ssd.overprovision,
+            });
+        }
+        if self.ssd.hot_cache_bytes > self.ssd.dram_bytes {
+            return Err(ConfigError::HotCacheExceedsDram {
+                cache_bytes: self.ssd.hot_cache_bytes,
+                dram_bytes: self.ssd.dram_bytes,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`EcssdConfig`]: starts from a known-good base
+/// ([`EcssdConfig::builder`] / [`EcssdConfig::tiny_builder`]), applies
+/// overrides, and validates everything in [`EcssdConfigBuilder::build`] —
+/// bad geometry or dimensions become typed [`ConfigError`]s instead of
+/// panics deep inside the simulator.
+///
+/// ```
+/// use ecssd_core::EcssdConfig;
+/// let config = EcssdConfig::builder()
+///     .channels(4)
+///     .batch(8)
+///     .hot_cache_bytes(2 << 20)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(config.ssd.geometry.channels, 4);
+///
+/// let err = EcssdConfig::builder().channels(0).build().unwrap_err();
+/// assert!(matches!(err, ecssd_core::ConfigError::ZeroGeometry { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EcssdConfigBuilder {
+    config: EcssdConfig,
+}
+
+impl From<EcssdConfig> for EcssdConfigBuilder {
+    fn from(config: EcssdConfig) -> Self {
+        EcssdConfigBuilder { config }
+    }
+}
+
+impl EcssdConfigBuilder {
+    /// Replaces the whole flash geometry.
+    pub fn geometry(mut self, geometry: SsdGeometry) -> Self {
+        self.config.ssd.geometry = geometry;
+        self
+    }
+
+    /// Sets the number of flash channels.
+    pub fn channels(mut self, channels: usize) -> Self {
+        self.config.ssd.geometry.channels = channels;
+        self
+    }
+
+    /// Sets the dies per channel.
+    pub fn dies_per_channel(mut self, dies: usize) -> Self {
+        self.config.ssd.geometry.dies_per_channel = dies;
+        self
+    }
+
+    /// Replaces the flash timing parameters.
+    pub fn timing(mut self, timing: FlashTiming) -> Self {
+        self.config.ssd.timing = timing;
+        self
+    }
+
+    /// Sets the LPN → channel allocation policy.
+    pub fn allocation_policy(mut self, policy: AllocationPolicy) -> Self {
+        self.config.ssd.policy = policy;
+        self
+    }
+
+    /// Sets the overprovisioned fraction of raw capacity.
+    pub fn overprovision(mut self, fraction: f64) -> Self {
+        self.config.ssd.overprovision = fraction;
+        self
+    }
+
+    /// Sets the device DRAM capacity in bytes.
+    pub fn dram_bytes(mut self, bytes: u64) -> Self {
+        self.config.ssd.dram_bytes = bytes;
+        self
+    }
+
+    /// Sets the device DRAM bandwidth in GB/s.
+    pub fn dram_gbps(mut self, gbps: f64) -> Self {
+        self.config.ssd.dram_gbps = gbps;
+        self
+    }
+
+    /// Sets the data-buffer size in bytes.
+    pub fn buffer_bytes(mut self, bytes: u64) -> Self {
+        self.config.ssd.buffer_bytes = bytes;
+        self
+    }
+
+    /// Sets the DRAM hot candidate-row cache capacity (0 disables it).
+    pub fn hot_cache_bytes(mut self, bytes: u64) -> Self {
+        self.config.ssd.hot_cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the accelerator clock in GHz.
+    pub fn clock_ghz(mut self, ghz: f64) -> Self {
+        self.config.accelerator.clock_ghz = ghz;
+        self
+    }
+
+    /// Sets the FP32 MAC lane count.
+    pub fn fp32_lanes(mut self, lanes: usize) -> Self {
+        self.config.accelerator.fp32_lanes = lanes;
+        self
+    }
+
+    /// Sets the INT4 MAC lane count.
+    pub fn int4_lanes(mut self, lanes: usize) -> Self {
+        self.config.accelerator.int4_lanes = lanes;
+        self
+    }
+
+    /// Sets the inference batch processed per weight pass.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.config.accelerator.batch = batch;
+        self
+    }
+
+    /// Validates the assembled configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`ConfigError`].
+    pub fn build(self) -> Result<EcssdConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 impl Default for EcssdConfig {
@@ -129,5 +401,76 @@ mod tests {
         let c = EcssdConfig::paper_default();
         assert_eq!(c.ssd.geometry.channels, 8);
         assert_eq!(c.accelerator.fp32_lanes, 64);
+    }
+
+    #[test]
+    fn builder_defaults_validate() {
+        assert!(EcssdConfig::builder().build().is_ok());
+        assert!(EcssdConfig::tiny_builder().build().is_ok());
+    }
+
+    #[test]
+    fn builder_applies_overrides() {
+        let c = EcssdConfig::tiny_builder()
+            .channels(2)
+            .dies_per_channel(3)
+            .batch(4)
+            .dram_gbps(6.4)
+            .hot_cache_bytes(1 << 20)
+            .build()
+            .unwrap();
+        assert_eq!(c.ssd.geometry.channels, 2);
+        assert_eq!(c.ssd.geometry.dies_per_channel, 3);
+        assert_eq!(c.accelerator.batch, 4);
+        assert_eq!(c.ssd.dram_gbps, 6.4);
+        assert_eq!(c.ssd.hot_cache_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn builder_rejects_bad_geometry_and_dimensions() {
+        assert!(matches!(
+            EcssdConfig::builder().channels(0).build(),
+            Err(ConfigError::ZeroGeometry { field: "channels" })
+        ));
+        assert!(matches!(
+            EcssdConfig::builder().dies_per_channel(0).build(),
+            Err(ConfigError::ZeroGeometry {
+                field: "dies_per_channel"
+            })
+        ));
+        assert!(matches!(
+            EcssdConfig::builder().clock_ghz(0.0).build(),
+            Err(ConfigError::NonPositiveRate { field: "clock_ghz" })
+        ));
+        assert!(matches!(
+            EcssdConfig::builder().dram_gbps(f64::NAN).build(),
+            Err(ConfigError::NonPositiveRate { field: "dram_gbps" })
+        ));
+        assert!(matches!(
+            EcssdConfig::builder().batch(0).build(),
+            Err(ConfigError::ZeroCount { field: "batch" })
+        ));
+        assert!(matches!(
+            EcssdConfig::builder().buffer_bytes(1024).build(),
+            Err(ConfigError::BufferTooSmall { .. })
+        ));
+        assert!(matches!(
+            EcssdConfig::builder().overprovision(1.5).build(),
+            Err(ConfigError::OverprovisionOutOfRange { .. })
+        ));
+        assert!(matches!(
+            EcssdConfig::builder()
+                .dram_bytes(1 << 20)
+                .hot_cache_bytes(2 << 20)
+                .build(),
+            Err(ConfigError::HotCacheExceedsDram { .. })
+        ));
+    }
+
+    #[test]
+    fn config_error_displays_the_field() {
+        let err = EcssdConfig::builder().channels(0).build().unwrap_err();
+        assert!(err.to_string().contains("channels"));
+        assert!(std::error::Error::source(&err).is_none());
     }
 }

@@ -4,7 +4,7 @@
 //! [`ClassifierLayer`] is the Rust equivalent: a drop-in final-layer
 //! interface that any model-serving stack can call per forward pass, hiding
 //! the device workflow (mode switch, deployment, screening, classification,
-//! result gathering) behind a `forward`-shaped API.
+//! result gathering) behind a batch-first `forward_batch` API.
 
 use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
 use ecssd_ssd::SimTime;
@@ -21,8 +21,8 @@ use crate::{Ecssd, EcssdConfig, EcssdError};
 /// let weights = DenseMatrix::random(512, 64, 9);
 /// let mut layer = ClassifierLayer::deploy(EcssdConfig::tiny(), &weights, 0.1)?;
 /// let features: Vec<f32> = (0..64).map(|i| (i as f32 * 0.2).sin()).collect();
-/// let top = layer.forward(&features, 5)?;
-/// assert_eq!(top.len(), 5);
+/// let top = layer.forward_batch(&[features], 5)?;
+/// assert_eq!(top[0].len(), 5);
 /// # Ok(())
 /// # }
 /// ```
@@ -65,17 +65,19 @@ impl ClassifierLayer {
         self.hidden
     }
 
-    /// One forward pass: top-`k` categories for `features`.
+    /// Single-query shim over [`ClassifierLayer::forward_batch`].
     ///
     /// # Errors
     ///
-    /// Propagates dimension and device errors.
+    /// See [`ClassifierLayer::forward_batch`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `forward_batch` (the batch-first entry point); this shim \
+                will be removed next release"
+    )]
     pub fn forward(&mut self, features: &[f32], k: usize) -> Result<Vec<Score>, EcssdError> {
-        self.device.input_send(features)?;
-        self.device.int4_screen()?;
-        self.device.cfp32_classify(k)?;
-        let mut results = self.device.get_results()?;
-        Ok(results.pop().map(|p| p.top_k).unwrap_or_default())
+        let mut batch = self.forward_batch(std::slice::from_ref(&features.to_vec()), k)?;
+        batch.pop().ok_or(EcssdError::NoInputs)
     }
 
     /// Batched forward pass: top-`k` per input, one device round trip.
@@ -88,17 +90,7 @@ impl ClassifierLayer {
         inputs: &[Vec<f32>],
         k: usize,
     ) -> Result<Vec<Vec<Score>>, EcssdError> {
-        for x in inputs {
-            self.device.input_send(x)?;
-        }
-        self.device.int4_screen()?;
-        self.device.cfp32_classify(k)?;
-        Ok(self
-            .device
-            .get_results()?
-            .into_iter()
-            .map(|p| p.top_k)
-            .collect())
+        self.device.classify_batch(inputs, k)
     }
 
     /// Simulated device time consumed so far.
@@ -112,11 +104,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn forward_returns_ranked_topk() {
+    fn forward_batch_returns_ranked_topk() {
         let weights = DenseMatrix::random(400, 32, 4);
         let mut layer = ClassifierLayer::deploy(EcssdConfig::tiny(), &weights, 0.1).unwrap();
         let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.3).cos()).collect();
-        let top = layer.forward(&x, 4).unwrap();
+        let top = layer.forward_batch(&[x], 4).unwrap().remove(0);
         assert_eq!(top.len(), 4);
         assert!(top.windows(2).all(|p| p[0].value >= p[1].value));
         assert_eq!(layer.categories(), 400);
@@ -125,7 +117,8 @@ mod tests {
     }
 
     #[test]
-    fn batched_forward_matches_sequential() {
+    #[allow(deprecated)]
+    fn single_query_shim_matches_batch_path() {
         let weights = DenseMatrix::random(300, 32, 6);
         let inputs: Vec<Vec<f32>> = (0..3)
             .map(|q| (0..32).map(|i| ((i + q * 5) as f32 * 0.21).sin()).collect())
@@ -142,6 +135,6 @@ mod tests {
     fn dimension_mismatch_is_an_error() {
         let weights = DenseMatrix::random(100, 16, 2);
         let mut layer = ClassifierLayer::deploy(EcssdConfig::tiny(), &weights, 0.1).unwrap();
-        assert!(layer.forward(&[0.0; 8], 3).is_err());
+        assert!(layer.forward_batch(&[vec![0.0; 8]], 3).is_err());
     }
 }

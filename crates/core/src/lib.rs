@@ -43,6 +43,7 @@
 
 mod accelerator;
 mod api;
+mod classifier;
 mod cluster;
 mod config;
 mod energy;
@@ -54,11 +55,39 @@ pub mod scale;
 
 pub use accelerator::{ComputeEngine, Fp32Engine, Int4Engine};
 pub use api::{Ecssd, EcssdError, EcssdMode};
+pub use classifier::{sort_scores, Classifier, ClassifierStats};
 pub use cluster::EcssdCluster;
-pub use config::{AcceleratorConfig, EcssdConfig};
+pub use config::{AcceleratorConfig, ConfigError, EcssdConfig, EcssdConfigBuilder};
 pub use energy::{EnergyModel, EnergyReport};
 pub use host::{ArrivalSchedule, HostCoordinator, ServiceReport};
 pub use integration::ClassifierLayer;
 pub use pipeline::{
     DataPlacement, DegradationPolicy, EcssdMachine, MachineVariant, RunReport, TileTiming,
 };
+
+/// One-stop imports for writing against the unified frontend API: the
+/// [`Classifier`] trait, the frontends that implement it, the validating
+/// config builder, and the screen-layer types that appear in its signatures.
+///
+/// ```
+/// use ecssd_core::prelude::*;
+///
+/// # fn main() -> Result<(), EcssdError> {
+/// let config = EcssdConfig::tiny_builder().build()?;
+/// let mut device = Ecssd::new(config);
+/// device.enable();
+/// device.deploy(&DenseMatrix::random(256, 64, 42))?;
+/// let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.1).sin()).collect();
+/// let top = device.classify_batch(&[x], 5)?;
+/// assert_eq!(top[0].len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use crate::{
+        Classifier, ClassifierStats, ConfigError, Ecssd, EcssdCluster, EcssdConfig,
+        EcssdConfigBuilder, EcssdError, EcssdMode,
+    };
+    pub use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
+    pub use ecssd_ssd::{CacheStats, SimTime};
+}

@@ -20,8 +20,8 @@
 use ecssd_float::MacCircuit;
 use ecssd_layout::{InterleavingStrategy, ParityScheme, TileLayout};
 use ecssd_ssd::{
-    Dram, FaultPlan, FlashSim, HealthReport, HostInterface, ImbalanceReport, PageReadOutcome,
-    PhysPageAddr, PingPongBuffer, SimTime, SsdError,
+    CacheStats, Dram, FaultPlan, FlashSim, HealthReport, HostInterface, HotRowCache,
+    ImbalanceReport, PageReadOutcome, PhysPageAddr, PingPongBuffer, SimTime, SsdError,
 };
 use ecssd_workloads::CandidateSource;
 use serde::{Deserialize, Serialize};
@@ -155,6 +155,9 @@ pub struct RunReport {
     /// Fault and degradation accounting for the run (all-zero when no
     /// faults were injected or observed).
     pub health: HealthReport,
+    /// Hot candidate-row cache counters (all-zero when
+    /// `SsdConfig::hot_cache_bytes == 0`).
+    pub cache: CacheStats,
 }
 
 impl RunReport {
@@ -201,6 +204,9 @@ pub struct EcssdMachine {
     source: Box<dyn CandidateSource>,
     flash: FlashSim,
     dram: Dram,
+    /// Hot candidate-row cache held in reserved device DRAM: rows that hit
+    /// skip their NAND fetch and stream from DRAM instead.
+    hot_cache: HotRowCache,
     host: HostInterface,
     buffer: PingPongBuffer,
     int4: ComputeEngine,
@@ -274,6 +280,10 @@ impl EcssdMachine {
         if variant.placement == DataPlacement::Heterogeneous {
             dram.reserve(source.benchmark().int4_matrix_bytes())?;
         }
+        let hot_cache = HotRowCache::new(config.ssd.hot_cache_bytes);
+        if hot_cache.is_enabled() {
+            dram.reserve(hot_cache.capacity_bytes())?;
+        }
         let accel = config.accelerator;
         Ok(EcssdMachine {
             buffer: PingPongBuffer::new(config.ssd.buffer_bytes),
@@ -281,6 +291,7 @@ impl EcssdMachine {
             fp32: ComputeEngine::new(accel.fp32_gflops(variant.mac)),
             flash,
             dram,
+            hot_cache,
             host: HostInterface::pcie3_x4(),
             layouts: std::collections::HashMap::new(),
             fp_busy: vec![0; geometry.channels],
@@ -588,11 +599,21 @@ impl EcssdMachine {
                 let range = self.source.tile_row_range(t);
                 let cand_bytes = cands.len() as u64 * pages_per_row * page_bytes as u64;
 
-                // Fetch into a ping-pong bank.
+                // Fetch into a ping-pong bank. Rows resident in the hot
+                // cache stream from reserved device DRAM; only misses go to
+                // the flash channels.
                 let layout = self.tile_layout(t).clone();
                 let bank = self.buffer.acquire(cand_bytes.max(1), screen_done)?;
+                let row_bytes = pages_per_row * page_bytes as u64;
+                let mut fetch_rows: Vec<usize> = Vec::with_capacity(cands.len());
+                let mut hit_done = screen_done;
                 let mut addrs = Vec::with_capacity(cands.len() * pages_per_row as usize);
-                for &row in &cands {
+                for (ci, &row) in cands.iter().enumerate() {
+                    if self.hot_cache.lookup(row) {
+                        hit_done = hit_done.max(self.dram.transfer(row_bytes, screen_done));
+                        continue;
+                    }
+                    fetch_rows.push(ci);
                     let local = (row - range.start) as usize;
                     for p in 0..pages_per_row {
                         addrs.push(self.row_page_addr(&layout, row, local, p));
@@ -612,9 +633,13 @@ impl EcssdMachine {
                 let fetch = self.flash.read_batch_checked(&addrs, screen_done, gate);
                 // Degradation: resolve faulted pages per the active policy.
                 // `row_dropped[i]` marks candidate rows excluded from
-                // classification (skipped or unrecovered).
-                let mut fetch_done = fetch.done;
+                // classification (skipped or unrecovered). Read indices
+                // cover only the fetched (cache-miss) rows, so they are
+                // remapped to candidate indices before recovery.
+                let ppr = pages_per_row as usize;
+                let mut fetch_done = fetch.done.max(hit_done);
                 let mut row_dropped = vec![false; cands.len()];
+                let remap = |i: usize| fetch_rows[i / ppr] * ppr + i % ppr;
                 let failed: Vec<FailedPage> = fetch
                     .reads
                     .iter()
@@ -622,13 +647,13 @@ impl EcssdMachine {
                     .filter_map(|(i, o)| match *o {
                         PageReadOutcome::Ok(_) => None,
                         PageReadOutcome::Uncorrectable { addr, detected } => Some(FailedPage {
-                            index: i,
+                            index: remap(i),
                             addr,
                             detected,
                             dead_die: false,
                         }),
                         PageReadOutcome::DeadDie { addr, detected } => Some(FailedPage {
-                            index: i,
+                            index: remap(i),
                             addr,
                             detected,
                             dead_die: true,
@@ -655,15 +680,18 @@ impl EcssdMachine {
                 // (reconstruction peer reads occupy the buses but deliver
                 // no new candidate data; dropped rows deliver nothing).
                 let per_page_ns = self.config.ssd.timing.page_transfer_ns(page_bytes);
-                for (ci, _) in cands.iter().enumerate() {
+                for (fi, &ci) in fetch_rows.iter().enumerate() {
                     if row_dropped[ci] {
                         continue;
                     }
-                    for p in 0..pages_per_row as usize {
-                        let a = &addrs[ci * pages_per_row as usize + p];
+                    for p in 0..ppr {
+                        let a = &addrs[fi * ppr + p];
                         self.fp_busy[a.channel] += per_page_ns;
                         self.fp_bytes[a.channel] += page_bytes as u64;
                     }
+                    // Rows that survived the NAND fetch become cache
+                    // residents for subsequent queries.
+                    self.hot_cache.insert(cands[ci], row_bytes);
                 }
 
                 // FP32 candidate-only classification over surviving rows.
@@ -707,6 +735,7 @@ impl EcssdMachine {
             dram_busy_ns: self.dram.busy_ns(),
             buffer_stall_ns: self.buffer.stall_ns(),
             health: self.health_report(),
+            cache: self.hot_cache.stats(),
         })
     }
 
@@ -1051,6 +1080,33 @@ mod tests {
         let r = m.run_window(1, 4).unwrap();
         assert_eq!(r.tiles_total, 195_313);
         assert!(r.ns_per_query_full() > 1e6);
+    }
+
+    #[test]
+    fn hot_cache_serves_repeat_candidates_from_dram() {
+        let bench = Benchmark::by_abbrev("Transformer-W268K").unwrap();
+        let config = EcssdConfig::builder()
+            .hot_cache_bytes(64 << 20)
+            .build()
+            .unwrap();
+        let w = SampledWorkload::new(bench, TraceConfig::paper_default());
+        let mut m = EcssdMachine::new(config, MachineVariant::paper_ecssd(), Box::new(w)).unwrap();
+        let r = m.run_window(3, 16).unwrap();
+        assert!(r.cache.hits > 0, "repeat candidates should hit the cache");
+        assert!(r.cache.bytes_saved > 0);
+        assert!(r.cache.resident_bytes > 0);
+        // Cache hits shed NAND traffic vs the uncached run (same window);
+        // a disabled cache reports all-zero counters.
+        let base = machine(MachineVariant::paper_ecssd(), "Transformer-W268K")
+            .run_window(3, 16)
+            .unwrap();
+        assert_eq!(base.cache, CacheStats::default());
+        let cached_bytes: u64 = r.fp_channel_bytes.iter().sum();
+        let base_fp: u64 = base.fp_channel_bytes.iter().sum();
+        assert!(
+            cached_bytes < base_fp,
+            "cached {cached_bytes} vs base {base_fp}"
+        );
     }
 
     // ---- fault injection & degradation ---------------------------------

@@ -12,8 +12,7 @@ fn machine_with(
     variant: MachineVariant,
 ) -> EcssdMachine {
     let bench = Benchmark::by_abbrev("GNMT-E32K").unwrap();
-    let mut config = EcssdConfig::paper_default();
-    config.ssd.geometry = geometry;
+    let config = EcssdConfig::builder().geometry(geometry).build().unwrap();
     let workload = SampledWorkload::new(bench, trace);
     EcssdMachine::new(config, variant, Box::new(workload)).unwrap()
 }

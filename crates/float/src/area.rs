@@ -131,7 +131,7 @@ pub enum MacCircuit {
     /// every adder (Fig. 5a).
     Naive,
     /// SK Hynix ISSCC '22 circuit: FP multiply, single post-multiply
-    /// alignment, integer adder tree (reference [18]).
+    /// alignment, integer adder tree (reference \[18\]).
     SkHynix,
     /// ECSSD's alignment-free MAC on CFP32 operands (Fig. 5b).
     AlignmentFree,

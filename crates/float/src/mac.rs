@@ -5,7 +5,7 @@
 //!   re-aligns and re-normalizes in FP32 (the adder-tree-of-FP-adders of
 //!   Fig. 5a).
 //! * [`skhynix_dot`] — SK Hynix's pre-alignment-after-multiply circuit
-//!   (ISSCC '22 [18]): products are computed in FP32, then all product
+//!   (ISSCC '22 \[18\]): products are computed in FP32, then all product
 //!   mantissas are aligned to the largest product exponent once and summed
 //!   as integers.
 //! * [`alignment_free_dot`] — ECSSD's alignment-free MAC: operands arrive
@@ -100,7 +100,7 @@ pub fn naive_fp32_dot(x: &[f32], w: &[f32]) -> f32 {
 /// 24-bit significands are 48 bits wide; the shifter operates at that width.
 const SKHYNIX_PRODUCT_BITS: u32 = 48;
 
-/// Dot product on the SK Hynix post-multiply-alignment MAC (reference [18]).
+/// Dot product on the SK Hynix post-multiply-alignment MAC (reference \[18\]).
 ///
 /// Products are formed in FP32 (one rounding per product), then all product
 /// mantissas are aligned once to the maximum product exponent and summed as

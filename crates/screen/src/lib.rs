@@ -1,7 +1,7 @@
 //! The approximate screening algorithm for extreme classification.
 //!
 //! ECSSD (ISCA '23) builds on the approximate screening algorithm of ENMC
-//! (MICRO '21, paper reference [22]), reproduced here in full (paper §2.1,
+//! (MICRO '21, paper reference \[22\]), reproduced here in full (paper §2.1,
 //! Fig. 2). The final classification layer has a weight matrix of `L` rows
 //! (categories) by `D` columns (hidden dimension) in FP32. Screening avoids
 //! touching most of it:

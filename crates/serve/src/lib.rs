@@ -1,0 +1,906 @@
+//! The sharded batched serving engine: `N` simulated ECSSD devices behind
+//! one submission queue, driven by host threads.
+//!
+//! [`ServeEngine`] partitions a deployed weight matrix into contiguous row
+//! shards — one per simulated [`Ecssd`] device, one worker thread per
+//! device — and serves classification queries end to end:
+//!
+//! 1. queries enter a **submission queue** ([`ServeEngine::submit`] or the
+//!    batch-first [`Classifier::classify_batch`]);
+//! 2. a **dispatcher** thread forms batches under a [`ServePolicy`]
+//!    (close a batch at `max_batch` queries or after `max_wait`, whichever
+//!    comes first);
+//! 3. each batch is **scattered** to every shard worker, which runs the
+//!    full screening + CFP32 pipeline on its slice of the matrix;
+//! 4. a **merger** thread gathers the per-shard top-k lists, merges them
+//!    into global top-k predictions (bit-identical to a single device
+//!    holding the whole matrix, see [`ecssd_core::sort_scores`]), and
+//!    answers each query.
+//!
+//! The engine records per-query wall-clock latency (p50/p95/p99), sustained
+//! simulated throughput (queries per simulated second of the slowest
+//! shard — shards run in parallel), per-shard utilization, and the merged
+//! hot-row cache counters ([`ServeReport`]).
+//!
+//! ```
+//! use ecssd_core::prelude::*;
+//! use ecssd_serve::{ServeEngine, ServePolicy};
+//!
+//! # fn main() -> Result<(), EcssdError> {
+//! let config = EcssdConfig::tiny_builder().build()?;
+//! let mut engine = ServeEngine::new(config, 2, ServePolicy::default())?;
+//! engine.deploy(&DenseMatrix::random(600, 32, 7))?;
+//! let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.2).sin()).collect();
+//! let top = engine.classify_batch(&[x], 5)?;
+//! assert_eq!(top[0].len(), 5);
+//! assert!(engine.report().queries >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ecssd_core::{
+    sort_scores, Classifier, ClassifierStats, Ecssd, EcssdConfig, EcssdError, EcssdMode,
+};
+use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
+use ecssd_ssd::{CacheStats, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Batch-formation policy for the submission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServePolicy {
+    /// Close a batch once it holds this many queries.
+    pub max_batch: usize,
+    /// Close a non-empty batch after waiting this long for more queries.
+    pub max_wait: Duration,
+}
+
+impl Default for ServePolicy {
+    fn default() -> Self {
+        ServePolicy {
+            max_batch: 8,
+            max_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Serving metrics snapshot: latency percentiles, sustained throughput in
+/// simulated time, per-shard utilization, merged cache counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Shards (devices / worker threads).
+    pub shards: usize,
+    /// Queries answered.
+    pub queries: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Median per-query wall-clock latency, µs.
+    pub p50_us: f64,
+    /// 95th-percentile per-query wall-clock latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile per-query wall-clock latency, µs.
+    pub p99_us: f64,
+    /// Simulated time of the slowest shard (shards run in parallel).
+    pub sim_elapsed: SimTime,
+    /// Sustained throughput: queries per simulated second of the slowest
+    /// shard.
+    pub sim_queries_per_sec: f64,
+    /// Per-shard utilization: each shard's simulated busy time relative to
+    /// the slowest shard (1.0 = critical path).
+    pub shard_utilization: Vec<f64>,
+    /// Hot candidate-row cache counters, merged over shards.
+    pub cache: CacheStats,
+}
+
+/// A query waiting for its merged answer (returned by
+/// [`ServeEngine::submit`]).
+#[derive(Debug)]
+pub struct Pending {
+    rx: Receiver<(usize, Result<Vec<Score>, String>)>,
+}
+
+impl Pending {
+    /// Blocks until the engine answers this query.
+    ///
+    /// # Errors
+    ///
+    /// Relays worker/pipeline failures as [`EcssdError::Serve`].
+    pub fn wait(self) -> Result<Vec<Score>, EcssdError> {
+        let (_, result) = self
+            .rx
+            .recv()
+            .map_err(|_| EcssdError::Serve("engine stopped before answering".into()))?;
+        result.map_err(EcssdError::Serve)
+    }
+}
+
+type Response = (usize, Result<Vec<Score>, String>);
+
+struct Query {
+    idx: usize,
+    features: Vec<f32>,
+    k: usize,
+    submitted: Instant,
+    resp: Sender<Response>,
+}
+
+enum Job {
+    Deploy {
+        shard: DenseMatrix,
+        offset: usize,
+        ack: Sender<Result<(), String>>,
+    },
+    Threshold {
+        policy: ThresholdPolicy,
+        ack: Sender<Result<(), String>>,
+    },
+    Batch {
+        id: u64,
+        inputs: Arc<Vec<Vec<f32>>>,
+        k: usize,
+    },
+}
+
+struct Ticket {
+    id: u64,
+    k: usize,
+    queries: Vec<(usize, Instant, Sender<Response>)>,
+}
+
+enum MergeMsg {
+    Ticket(Ticket),
+    Shard {
+        id: u64,
+        shard: usize,
+        result: Result<Vec<Vec<Score>>, String>,
+    },
+}
+
+#[derive(Debug)]
+struct Metrics {
+    latencies_ns: Vec<u64>,
+    queries: u64,
+    batches: u64,
+    shard_elapsed: Vec<SimTime>,
+    cache: Vec<CacheStats>,
+}
+
+impl Metrics {
+    fn new(shards: usize) -> Self {
+        Metrics {
+            latencies_ns: Vec::new(),
+            queries: 0,
+            batches: 0,
+            shard_elapsed: vec![SimTime::ZERO; shards],
+            cache: vec![CacheStats::default(); shards],
+        }
+    }
+}
+
+/// Locks a mutex, recovering the data if a worker panicked while holding
+/// it (the metrics stay usable for a final report).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The sharded batched serving engine (see the crate docs for the thread
+/// architecture). Implements [`Classifier`], so it is a drop-in for a
+/// single [`Ecssd`] or an [`ecssd_core::EcssdCluster`].
+pub struct ServeEngine {
+    submit_tx: Option<Sender<Query>>,
+    worker_tx: Vec<Sender<Job>>,
+    threads: Vec<JoinHandle<()>>,
+    metrics: Arc<Mutex<Metrics>>,
+    enabled: bool,
+    /// First global row of each shard (plus a trailing end marker); empty
+    /// until deployment.
+    shard_starts: Vec<usize>,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("shards", &self.worker_tx.len())
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeEngine {
+    /// Spawns the engine: one worker thread per shard (each owning one
+    /// simulated [`Ecssd`]), a dispatcher, and a merger.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid `config` ([`EcssdError::Config`]), zero shards
+    /// or a zero `max_batch` ([`EcssdError::Serve`]), and thread-spawn
+    /// failures.
+    pub fn new(
+        config: EcssdConfig,
+        shards: usize,
+        policy: ServePolicy,
+    ) -> Result<Self, EcssdError> {
+        if shards == 0 {
+            return Err(EcssdError::Serve("at least one shard is required".into()));
+        }
+        if policy.max_batch == 0 {
+            return Err(EcssdError::Serve("max_batch must be nonzero".into()));
+        }
+        config.validate()?;
+        let metrics = Arc::new(Mutex::new(Metrics::new(shards)));
+        let (submit_tx, submit_rx) = mpsc::channel::<Query>();
+        let (merge_tx, merge_rx) = mpsc::channel::<MergeMsg>();
+        let mut worker_tx = Vec::with_capacity(shards);
+        let mut threads = Vec::with_capacity(shards + 2);
+        let spawn_err = |e: std::io::Error| EcssdError::Serve(format!("thread spawn: {e}"));
+        for shard in 0..shards {
+            let (job_tx, job_rx) = mpsc::channel::<Job>();
+            worker_tx.push(job_tx);
+            let merge = merge_tx.clone();
+            let metrics = Arc::clone(&metrics);
+            let config = config.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ecssd-serve-worker-{shard}"))
+                    .spawn(move || worker_loop(shard, config, job_rx, merge, metrics))
+                    .map_err(spawn_err)?,
+            );
+        }
+        let dispatcher_workers = worker_tx.clone();
+        let dispatcher_merge = merge_tx;
+        threads.push(
+            std::thread::Builder::new()
+                .name("ecssd-serve-dispatch".into())
+                .spawn(move || {
+                    dispatcher_loop(submit_rx, dispatcher_workers, dispatcher_merge, policy)
+                })
+                .map_err(spawn_err)?,
+        );
+        let merger_metrics = Arc::clone(&metrics);
+        threads.push(
+            std::thread::Builder::new()
+                .name("ecssd-serve-merge".into())
+                .spawn(move || merger_loop(shards, merge_rx, merger_metrics))
+                .map_err(spawn_err)?,
+        );
+        Ok(ServeEngine {
+            submit_tx: Some(submit_tx),
+            worker_tx,
+            threads,
+            metrics,
+            enabled: true,
+            shard_starts: Vec::new(),
+        })
+    }
+
+    /// Shard (device) count.
+    pub fn shards(&self) -> usize {
+        self.worker_tx.len()
+    }
+
+    /// Re-enables serving after [`ServeEngine::disable`].
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Takes the engine out of accelerator mode: classification calls fail
+    /// with [`EcssdError::WrongMode`] until re-enabled.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Partitions `weights` into contiguous row shards and deploys one per
+    /// worker device, blocking until every shard acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled; per-shard deployment
+    /// failures as [`EcssdError::Serve`] (no shard is considered deployed
+    /// after a failure).
+    pub fn deploy(&mut self, weights: &DenseMatrix) -> Result<(), EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        let n = self.worker_tx.len();
+        let rows = weights.rows();
+        if rows < n {
+            return Err(EcssdError::Serve(format!(
+                "fewer weight rows ({rows}) than shards ({n})"
+            )));
+        }
+        let per = rows.div_ceil(n);
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut acks = Vec::with_capacity(n);
+        for (i, worker) in self.worker_tx.iter().enumerate() {
+            let start = i * per;
+            let end = ((i + 1) * per).min(rows);
+            starts.push(start);
+            let mut data = Vec::with_capacity((end - start) * weights.cols());
+            for r in start..end {
+                data.extend_from_slice(weights.row(r));
+            }
+            let shard = DenseMatrix::from_vec(end - start, weights.cols(), data)
+                .map_err(EcssdError::Screen)?;
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::Deploy {
+                    shard,
+                    offset: start,
+                    ack: ack_tx,
+                })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            acks.push(ack_rx);
+        }
+        starts.push(rows);
+        for (i, ack) in acks.into_iter().enumerate() {
+            let outcome = ack
+                .recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited during deploy")));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    self.shard_starts.clear();
+                    return Err(EcssdError::Serve(format!("shard {i} deploy failed: {e}")));
+                }
+                Err(e) => {
+                    self.shard_starts.clear();
+                    return Err(e);
+                }
+            }
+        }
+        self.shard_starts = starts;
+        Ok(())
+    }
+
+    /// Sets the screening threshold on every shard, blocking until every
+    /// shard acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled; per-shard failures as
+    /// [`EcssdError::Serve`].
+    pub fn filter_threshold(&mut self, policy: ThresholdPolicy) -> Result<(), EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        let mut acks = Vec::with_capacity(self.worker_tx.len());
+        for (i, worker) in self.worker_tx.iter().enumerate() {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::Threshold {
+                    policy,
+                    ack: ack_tx,
+                })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            acks.push(ack_rx);
+        }
+        for (i, ack) in acks.into_iter().enumerate() {
+            ack.recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?
+                .map_err(|e| EcssdError::Serve(format!("shard {i}: {e}")))?;
+        }
+        Ok(())
+    }
+
+    fn check_ready(&self, inputs_len: usize, k: usize) -> Result<(), EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        if self.shard_starts.is_empty() {
+            return Err(EcssdError::NoWeights);
+        }
+        if inputs_len == 0 {
+            return Err(EcssdError::NoInputs);
+        }
+        let categories = *self.shard_starts.last().unwrap_or(&0);
+        if k > categories {
+            return Err(EcssdError::KExceedsCategories { k, categories });
+        }
+        Ok(())
+    }
+
+    /// Enqueues one query into the submission queue and returns a handle;
+    /// the dispatcher batches it with other outstanding queries per the
+    /// [`ServePolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Same readiness contract as [`Classifier::classify_batch`].
+    pub fn submit(&mut self, features: Vec<f32>, k: usize) -> Result<Pending, EcssdError> {
+        self.check_ready(1, k)?;
+        let tx = self
+            .submit_tx
+            .as_ref()
+            .ok_or_else(|| EcssdError::Serve("engine stopped".into()))?;
+        let (resp_tx, resp_rx) = mpsc::channel();
+        tx.send(Query {
+            idx: 0,
+            features,
+            k,
+            submitted: Instant::now(),
+            resp: resp_tx,
+        })
+        .map_err(|_| EcssdError::Serve("dispatcher exited".into()))?;
+        Ok(Pending { rx: resp_rx })
+    }
+
+    /// Classifies a batch: every input is enqueued, batched by the
+    /// dispatcher, scattered to all shards and merged back; blocks until
+    /// all answers arrived.
+    ///
+    /// # Errors
+    ///
+    /// The [`Classifier`] contract ([`EcssdError::WrongMode`] /
+    /// [`EcssdError::NoWeights`] / [`EcssdError::NoInputs`] /
+    /// [`EcssdError::KExceedsCategories`]); shard pipeline failures are
+    /// relayed as [`EcssdError::Serve`].
+    pub fn classify_batch(
+        &mut self,
+        inputs: &[Vec<f32>],
+        k: usize,
+    ) -> Result<Vec<Vec<Score>>, EcssdError> {
+        self.check_ready(inputs.len(), k)?;
+        let tx = self
+            .submit_tx
+            .as_ref()
+            .ok_or_else(|| EcssdError::Serve("engine stopped".into()))?;
+        let (resp_tx, resp_rx) = mpsc::channel();
+        for (idx, features) in inputs.iter().enumerate() {
+            tx.send(Query {
+                idx,
+                features: features.clone(),
+                k,
+                submitted: Instant::now(),
+                resp: resp_tx.clone(),
+            })
+            .map_err(|_| EcssdError::Serve("dispatcher exited".into()))?;
+        }
+        drop(resp_tx);
+        let mut out: Vec<Vec<Score>> = vec![Vec::new(); inputs.len()];
+        let mut first_error: Option<String> = None;
+        for _ in 0..inputs.len() {
+            let (idx, result) = resp_rx
+                .recv()
+                .map_err(|_| EcssdError::Serve("merger exited".into()))?;
+            match result {
+                Ok(top) => out[idx] = top,
+                Err(e) => first_error = Some(first_error.unwrap_or(e)),
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(EcssdError::Serve(e));
+        }
+        Ok(out)
+    }
+
+    /// Serving metrics so far.
+    pub fn report(&self) -> ServeReport {
+        let m = lock(&self.metrics);
+        let mut lat = m.latencies_ns.clone();
+        lat.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            if lat.is_empty() {
+                return 0.0;
+            }
+            let i = ((lat.len() - 1) as f64 * p).round() as usize;
+            lat[i.min(lat.len() - 1)] as f64 / 1_000.0
+        };
+        let sim_elapsed = m
+            .shard_elapsed
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let denom = sim_elapsed.as_ns();
+        ServeReport {
+            shards: self.worker_tx.len(),
+            queries: m.queries,
+            batches: m.batches,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            sim_elapsed,
+            sim_queries_per_sec: if denom == 0 {
+                0.0
+            } else {
+                m.queries as f64 * 1e9 / denom as f64
+            },
+            shard_utilization: m
+                .shard_elapsed
+                .iter()
+                .map(|e| {
+                    if denom == 0 {
+                        0.0
+                    } else {
+                        e.as_ns() as f64 / denom as f64
+                    }
+                })
+                .collect(),
+            cache: m
+                .cache
+                .iter()
+                .fold(CacheStats::default(), |acc, c| acc.merge(c)),
+        }
+    }
+}
+
+impl Classifier for ServeEngine {
+    fn deploy(&mut self, weights: &DenseMatrix) -> Result<(), EcssdError> {
+        ServeEngine::deploy(self, weights)
+    }
+
+    fn classify_batch(
+        &mut self,
+        inputs: &[Vec<f32>],
+        k: usize,
+    ) -> Result<Vec<Vec<Score>>, EcssdError> {
+        ServeEngine::classify_batch(self, inputs, k)
+    }
+
+    fn elapsed(&self) -> SimTime {
+        lock(&self.metrics)
+            .shard_elapsed
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    fn stats(&self) -> ClassifierStats {
+        let m = lock(&self.metrics);
+        ClassifierStats {
+            devices: self.worker_tx.len(),
+            categories: self.shard_starts.last().copied().unwrap_or(0),
+            queries: m.queries,
+            batches: m.batches,
+            cache: m
+                .cache
+                .iter()
+                .fold(CacheStats::default(), |acc, c| acc.merge(c)),
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        // Closing the channels unblocks every thread: dispatcher first
+        // (submission queue), then the workers (job queues from us and the
+        // dispatcher), then the merger (ticket/result senders).
+        self.submit_tx.take();
+        self.worker_tx.clear();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    shard: usize,
+    config: EcssdConfig,
+    jobs: Receiver<Job>,
+    merge: Sender<MergeMsg>,
+    metrics: Arc<Mutex<Metrics>>,
+) {
+    let mut device = Ecssd::new(config);
+    device.enable();
+    let mut offset = 0usize;
+    let mut rows = 0usize;
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Deploy {
+                shard: weights,
+                offset: start,
+                ack,
+            } => {
+                let outcome = device.weight_deploy(&weights).map_err(|e| e.to_string());
+                if outcome.is_ok() {
+                    offset = start;
+                    rows = weights.rows();
+                }
+                let mut m = lock(&metrics);
+                m.shard_elapsed[shard] = Classifier::elapsed(&device);
+                drop(m);
+                let _ = ack.send(outcome);
+            }
+            Job::Threshold { policy, ack } => {
+                let _ = ack.send(device.filter_threshold(policy).map_err(|e| e.to_string()));
+            }
+            Job::Batch { id, inputs, k } => {
+                let result = device
+                    .classify_batch(&inputs, k.min(rows))
+                    .map(|per_query| {
+                        per_query
+                            .into_iter()
+                            .map(|top| {
+                                top.into_iter()
+                                    .map(|s| Score {
+                                        category: s.category + offset,
+                                        value: s.value,
+                                    })
+                                    .collect()
+                            })
+                            .collect()
+                    })
+                    .map_err(|e| e.to_string());
+                let mut m = lock(&metrics);
+                m.shard_elapsed[shard] = Classifier::elapsed(&device);
+                m.cache[shard] = device.cache_stats();
+                drop(m);
+                let _ = merge.send(MergeMsg::Shard { id, shard, result });
+            }
+        }
+    }
+}
+
+fn dispatcher_loop(
+    submissions: Receiver<Query>,
+    workers: Vec<Sender<Job>>,
+    merge: Sender<MergeMsg>,
+    policy: ServePolicy,
+) {
+    let mut next_id = 0u64;
+    // A query whose `k` differs from the open batch closes that batch and
+    // seeds the next one.
+    let mut carry: Option<Query> = None;
+    loop {
+        let first = match carry.take() {
+            Some(q) => q,
+            None => match submissions.recv() {
+                Ok(q) => q,
+                Err(_) => return,
+            },
+        };
+        let k = first.k;
+        let mut batch = vec![first];
+        let deadline = Instant::now() + policy.max_wait;
+        while batch.len() < policy.max_batch && carry.is_none() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match submissions.recv_timeout(left) {
+                Ok(q) if q.k == k => batch.push(q),
+                Ok(q) => carry = Some(q),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let id = next_id;
+        next_id += 1;
+        let mut inputs = Vec::with_capacity(batch.len());
+        let mut queries = Vec::with_capacity(batch.len());
+        for q in batch {
+            inputs.push(q.features);
+            queries.push((q.idx, q.submitted, q.resp));
+        }
+        let inputs = Arc::new(inputs);
+        let _ = merge.send(MergeMsg::Ticket(Ticket { id, k, queries }));
+        for worker in &workers {
+            let _ = worker.send(Job::Batch {
+                id,
+                inputs: Arc::clone(&inputs),
+                k,
+            });
+        }
+    }
+}
+
+struct BatchEntry {
+    ticket: Option<Ticket>,
+    results: Vec<Option<Result<Vec<Vec<Score>>, String>>>,
+    received: usize,
+}
+
+fn merger_loop(shards: usize, inbox: Receiver<MergeMsg>, metrics: Arc<Mutex<Metrics>>) {
+    let mut pending: HashMap<u64, BatchEntry> = HashMap::new();
+    while let Ok(msg) = inbox.recv() {
+        let id = match &msg {
+            MergeMsg::Ticket(t) => t.id,
+            MergeMsg::Shard { id, .. } => *id,
+        };
+        let entry = pending.entry(id).or_insert_with(|| BatchEntry {
+            ticket: None,
+            results: (0..shards).map(|_| None).collect(),
+            received: 0,
+        });
+        match msg {
+            MergeMsg::Ticket(t) => entry.ticket = Some(t),
+            MergeMsg::Shard { shard, result, .. } => {
+                if entry.results[shard].is_none() {
+                    entry.received += 1;
+                }
+                entry.results[shard] = Some(result);
+            }
+        }
+        if entry.ticket.is_some() && entry.received == shards {
+            if let Some(entry) = pending.remove(&id) {
+                finalize_batch(entry, &metrics);
+            }
+        }
+    }
+}
+
+/// Merges one completed batch and answers its queries.
+fn finalize_batch(entry: BatchEntry, metrics: &Mutex<Metrics>) {
+    let Some(ticket) = entry.ticket else {
+        return;
+    };
+    let mut per_shard: Vec<Vec<Vec<Score>>> = Vec::with_capacity(entry.results.len());
+    let mut error: Option<String> = None;
+    for result in entry.results {
+        match result {
+            Some(Ok(lists)) => per_shard.push(lists),
+            Some(Err(e)) => error = Some(error.unwrap_or(e)),
+            None => error = Some(error.unwrap_or_else(|| "shard never answered".into())),
+        }
+    }
+    if let Some(e) = error {
+        for (idx, _submitted, resp) in ticket.queries {
+            let _ = resp.send((idx, Err(e.clone())));
+        }
+        return;
+    }
+    let mut m = lock(metrics);
+    m.batches += 1;
+    for (qi, (idx, submitted, resp)) in ticket.queries.into_iter().enumerate() {
+        let mut merged: Vec<Score> = per_shard
+            .iter()
+            .flat_map(|lists| lists[qi].iter().copied())
+            .collect();
+        sort_scores(&mut merged);
+        merged.truncate(ticket.k);
+        m.latencies_ns.push(submitted.elapsed().as_nanos() as u64);
+        m.queries += 1;
+        let _ = resp.send((idx, Ok(merged)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EcssdConfig {
+        EcssdConfig::tiny_builder().build().unwrap()
+    }
+
+    fn query(d: usize, phase: f32) -> Vec<f32> {
+        (0..d).map(|i| ((i as f32) * 0.13 + phase).sin()).collect()
+    }
+
+    #[test]
+    fn engine_serves_batches_end_to_end() {
+        let mut engine = ServeEngine::new(tiny(), 2, ServePolicy::default()).unwrap();
+        engine.deploy(&DenseMatrix::random(600, 32, 7)).unwrap();
+        let inputs: Vec<Vec<f32>> = (0..6).map(|i| query(32, i as f32)).collect();
+        let out = engine.classify_batch(&inputs, 5).unwrap();
+        assert_eq!(out.len(), 6);
+        for top in &out {
+            assert_eq!(top.len(), 5);
+            assert!(top.windows(2).all(|p| p[0].value >= p[1].value));
+            assert!(top.iter().all(|s| s.category < 600));
+        }
+        let report = engine.report();
+        assert_eq!(report.queries, 6);
+        assert!(report.batches >= 1);
+        assert!(report.sim_elapsed > SimTime::ZERO);
+        assert!(report.sim_queries_per_sec > 0.0);
+        assert!(report.p50_us > 0.0 && report.p99_us >= report.p50_us);
+        assert_eq!(report.shard_utilization.len(), 2);
+        assert!(report
+            .shard_utilization
+            .iter()
+            .any(|&u| (u - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn submit_pipelines_individual_queries() {
+        let mut engine = ServeEngine::new(
+            tiny(),
+            2,
+            ServePolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(5),
+            },
+        )
+        .unwrap();
+        engine.deploy(&DenseMatrix::random(400, 32, 3)).unwrap();
+        let handles: Vec<Pending> = (0..8)
+            .map(|i| engine.submit(query(32, i as f32 * 0.5), 3).unwrap())
+            .collect();
+        for pending in handles {
+            let top = pending.wait().unwrap();
+            assert_eq!(top.len(), 3);
+        }
+        let report = engine.report();
+        assert_eq!(report.queries, 8);
+        // max_batch 4 over 8 queries: at least two batches were formed.
+        assert!(report.batches >= 2, "batches {}", report.batches);
+    }
+
+    #[test]
+    fn mixed_k_splits_batches() {
+        let mut engine = ServeEngine::new(
+            tiny(),
+            1,
+            ServePolicy {
+                max_batch: 16,
+                max_wait: Duration::from_millis(20),
+            },
+        )
+        .unwrap();
+        engine.deploy(&DenseMatrix::random(300, 32, 5)).unwrap();
+        let a = engine.submit(query(32, 0.1), 2).unwrap();
+        let b = engine.submit(query(32, 0.2), 7).unwrap();
+        assert_eq!(a.wait().unwrap().len(), 2);
+        assert_eq!(b.wait().unwrap().len(), 7);
+        // Different k cannot share a device round trip.
+        assert!(engine.report().batches >= 2);
+    }
+
+    #[test]
+    fn shard_failures_are_relayed_not_hung() {
+        let mut engine = ServeEngine::new(tiny(), 2, ServePolicy::default()).unwrap();
+        engine.deploy(&DenseMatrix::random(200, 16, 1)).unwrap();
+        // Wrong feature dimension: the shard pipelines fail and the merger
+        // must still answer every query.
+        let err = engine.classify_batch(&[vec![0.0; 4]], 3).unwrap_err();
+        assert!(matches!(err, EcssdError::Serve(_)), "got {err:?}");
+        // The engine keeps serving afterwards.
+        let ok = engine.classify_batch(&[query(16, 0.3)], 3).unwrap();
+        assert_eq!(ok[0].len(), 3);
+    }
+
+    #[test]
+    fn invalid_construction_is_rejected() {
+        assert!(matches!(
+            ServeEngine::new(tiny(), 0, ServePolicy::default()),
+            Err(EcssdError::Serve(_))
+        ));
+        assert!(matches!(
+            ServeEngine::new(
+                tiny(),
+                2,
+                ServePolicy {
+                    max_batch: 0,
+                    max_wait: Duration::ZERO
+                }
+            ),
+            Err(EcssdError::Serve(_))
+        ));
+        let broken = EcssdConfig::tiny_builder().channels(0).build();
+        assert!(broken.is_err());
+    }
+
+    #[test]
+    fn report_serializes() {
+        let mut engine = ServeEngine::new(tiny(), 1, ServePolicy::default()).unwrap();
+        engine.deploy(&DenseMatrix::random(100, 16, 2)).unwrap();
+        let _ = engine.classify_batch(&[query(16, 0.0)], 2).unwrap();
+        let json = serde_json::to_string(&engine.report()).unwrap();
+        assert!(!json.is_empty());
+    }
+
+    #[test]
+    fn drop_joins_all_threads() {
+        let mut engine = ServeEngine::new(tiny(), 3, ServePolicy::default()).unwrap();
+        engine.deploy(&DenseMatrix::random(300, 16, 8)).unwrap();
+        let _ = engine.classify_batch(&[query(16, 1.0)], 2).unwrap();
+        drop(engine); // must not hang or panic
+    }
+}

@@ -1,0 +1,189 @@
+//! The unified-frontend contract, asserted identically against all three
+//! [`Classifier`] implementations: a single [`Ecssd`], a host-managed
+//! [`EcssdCluster`], and the threaded [`ServeEngine`] — plus the serving
+//! engine's headline guarantees (bit-identical shard merge, simulated
+//! throughput scaling with shard count, hot-cache hits).
+
+use ecssd_core::prelude::*;
+use ecssd_serve::{ServeEngine, ServePolicy};
+
+const D: usize = 32;
+const L: usize = 600;
+
+fn tiny() -> EcssdConfig {
+    EcssdConfig::tiny_builder().build().unwrap()
+}
+
+fn weights(seed: u64) -> DenseMatrix {
+    DenseMatrix::random(L, D, seed)
+}
+
+fn query(phase: f32) -> Vec<f32> {
+    (0..D).map(|i| ((i as f32) * 0.17 + phase).sin()).collect()
+}
+
+/// The misuse contract every frontend must satisfy, in the same order with
+/// the same typed errors: wrong mode, classify before deploy, empty batch,
+/// `k` beyond the deployed categories.
+fn assert_misuse_contract<C: Classifier>(mut frontend: C, disable: impl Fn(&mut C)) {
+    // Before deployment: classification reports NoWeights.
+    assert!(matches!(
+        frontend.classify_batch(&[query(0.0)], 3),
+        Err(EcssdError::NoWeights)
+    ));
+    frontend.deploy(&weights(11)).unwrap();
+    // Empty batch.
+    assert!(matches!(
+        frontend.classify_batch(&[], 3),
+        Err(EcssdError::NoInputs)
+    ));
+    // k beyond the deployed category count.
+    match frontend.classify_batch(&[query(0.0)], L + 1) {
+        Err(EcssdError::KExceedsCategories { k, categories }) => {
+            assert_eq!(k, L + 1);
+            assert_eq!(categories, L);
+        }
+        other => panic!("expected KExceedsCategories, got {other:?}"),
+    }
+    // Out of accelerator mode: WrongMode, for deploy and classify alike.
+    disable(&mut frontend);
+    assert!(matches!(
+        frontend.classify_batch(&[query(0.0)], 3),
+        Err(EcssdError::WrongMode { .. })
+    ));
+    assert!(matches!(
+        frontend.deploy(&weights(11)),
+        Err(EcssdError::WrongMode { .. })
+    ));
+    // Valid use still works and updates the stats counters.
+    let before = frontend.stats();
+    assert_eq!(before.categories, L);
+    assert_eq!(before.queries, 0);
+}
+
+#[test]
+fn misuse_contract_holds_for_single_device() {
+    let mut device = Ecssd::new(tiny());
+    device.enable();
+    assert_misuse_contract(device, |d| d.disable());
+}
+
+#[test]
+fn misuse_contract_holds_for_cluster() {
+    let cluster = EcssdCluster::new(tiny(), 3);
+    assert_misuse_contract(cluster, |c| c.disable());
+}
+
+#[test]
+fn misuse_contract_holds_for_serve_engine() {
+    let engine = ServeEngine::new(tiny(), 3, ServePolicy::default()).unwrap();
+    assert_misuse_contract(engine, |e| e.disable());
+}
+
+#[test]
+fn happy_path_updates_stats_identically() {
+    let run = |frontend: &mut dyn Classifier| {
+        frontend.deploy(&weights(21)).unwrap();
+        let inputs: Vec<Vec<f32>> = (0..4).map(|i| query(i as f32 * 0.4)).collect();
+        let out = frontend.classify_batch(&inputs, 5).unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|top| top.len() == 5));
+        let stats = frontend.stats();
+        assert_eq!(stats.categories, L);
+        assert_eq!(stats.queries, 4);
+        assert!(stats.batches >= 1);
+        assert!(frontend.elapsed() > SimTime::ZERO);
+        stats
+    };
+    let mut device = Ecssd::new(tiny());
+    device.enable();
+    let s1 = run(&mut device);
+    assert_eq!(s1.devices, 1);
+    let mut cluster = EcssdCluster::new(tiny(), 2);
+    let s2 = run(&mut cluster);
+    assert_eq!(s2.devices, 2);
+    let mut engine = ServeEngine::new(tiny(), 2, ServePolicy::default()).unwrap();
+    let s3 = run(&mut engine);
+    assert_eq!(s3.devices, 2);
+}
+
+/// With every row a candidate (ratio 1.0) the CFP32 math runs over
+/// identical rows regardless of sharding, so the shard merge must be
+/// bit-identical to a single device holding the whole matrix.
+#[test]
+fn shard_merge_is_bit_identical_to_single_device() {
+    let w = weights(42);
+    let inputs: Vec<Vec<f32>> = (0..5).map(|i| query(i as f32 * 0.3)).collect();
+    let k = 7;
+
+    let mut single = Ecssd::new(tiny());
+    single.enable();
+    single.deploy(&w).unwrap();
+    single
+        .filter_threshold(ThresholdPolicy::TopRatio(1.0))
+        .unwrap();
+    let reference = single.classify_batch(&inputs, k).unwrap();
+
+    for shards in [2usize, 3, 4] {
+        let mut cluster = EcssdCluster::new(tiny(), shards);
+        cluster.deploy(&w).unwrap();
+        cluster
+            .filter_threshold(ThresholdPolicy::TopRatio(1.0))
+            .unwrap();
+        let merged = cluster.classify_batch(&inputs, k).unwrap();
+        assert_eq!(merged, reference, "cluster/{shards} diverged");
+
+        let mut engine = ServeEngine::new(tiny(), shards, ServePolicy::default()).unwrap();
+        engine.deploy(&w).unwrap();
+        engine
+            .filter_threshold(ThresholdPolicy::TopRatio(1.0))
+            .unwrap();
+        let served = engine.classify_batch(&inputs, k).unwrap();
+        assert_eq!(served, reference, "serve/{shards} diverged");
+    }
+}
+
+/// Sustained throughput is measured in simulated time (queries per second
+/// of the slowest shard): each shard screens and fetches a fraction of the
+/// matrix, so four shards must sustain at least twice the single-shard
+/// rate on the same query stream.
+#[test]
+fn four_shards_sustain_at_least_twice_the_throughput_of_one() {
+    let w = DenseMatrix::random(1200, D, 9);
+    let inputs: Vec<Vec<f32>> = (0..24).map(|i| query(i as f32 * 0.2)).collect();
+    let rate = |shards: usize| {
+        let mut engine = ServeEngine::new(tiny(), shards, ServePolicy::default()).unwrap();
+        engine.deploy(&w).unwrap();
+        engine.classify_batch(&inputs, 5).unwrap();
+        let report = engine.report();
+        assert_eq!(report.queries, 24);
+        report.sim_queries_per_sec
+    };
+    let one = rate(1);
+    let four = rate(4);
+    assert!(
+        four >= 2.0 * one,
+        "4 shards {four:.0} q/s vs 1 shard {one:.0} q/s"
+    );
+}
+
+#[test]
+fn hot_cache_hits_show_up_in_serving_stats() {
+    let config = EcssdConfig::tiny_builder()
+        .hot_cache_bytes(1 << 20)
+        .build()
+        .unwrap();
+    let mut engine = ServeEngine::new(config, 2, ServePolicy::default()).unwrap();
+    engine.deploy(&weights(33)).unwrap();
+    // The same queries across consecutive batches re-touch the same
+    // candidate rows: the second round must hit the cache.
+    let inputs: Vec<Vec<f32>> = (0..4).map(|i| query(i as f32 * 0.25)).collect();
+    engine.classify_batch(&inputs, 5).unwrap();
+    engine.classify_batch(&inputs, 5).unwrap();
+    let report = engine.report();
+    assert!(report.cache.hits > 0, "no cache hits: {:?}", report.cache);
+    assert!(report.cache.bytes_saved > 0);
+    assert!(report.cache.hit_rate() > 0.0);
+    let stats = engine.stats();
+    assert_eq!(stats.cache.hits, report.cache.hits);
+}

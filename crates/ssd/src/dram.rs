@@ -1,10 +1,17 @@
 //! The device DRAM: capacity for SSD management data (L2P table) and — in
 //! ECSSD's heterogeneous layout — the INT4 screener weights, plus a shared
 //! bandwidth timeline (§2.2, §4.3, §6.1: 16 GB at 12.8 GB/s).
+//!
+//! The DRAM can also host a [`HotRowCache`]: an LRU cache of recently
+//! fetched FP32 candidate rows, so repeated candidates under skewed query
+//! traffic are served from DRAM instead of re-reading NAND (the RecSSD-style
+//! device-side caching the serving engine builds on).
+
+use std::collections::{HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Bandwidth, SimTime, SsdError};
+use crate::{Bandwidth, CacheStats, SimTime, SsdError};
 
 /// The SSD's internal DRAM.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -127,6 +134,158 @@ impl Dram {
     }
 }
 
+/// An LRU cache of hot candidate FP32 rows resident in device DRAM.
+///
+/// Keys are global weight-row ids; values only track the row's footprint in
+/// bytes (the simulator never materializes weight bytes). A capacity of 0
+/// disables the cache entirely: every lookup misses, nothing is inserted,
+/// and no statistics are counted, so a disabled cache is behaviorally
+/// invisible.
+///
+/// ```
+/// use ecssd_ssd::HotRowCache;
+/// let mut cache = HotRowCache::new(8192);
+/// assert!(!cache.lookup(7)); // cold
+/// cache.insert(7, 4096);
+/// assert!(cache.lookup(7)); // hot: the flash fetch is skipped
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().bytes_saved, 4096);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HotRowCache {
+    capacity_bytes: u64,
+    resident_bytes: u64,
+    /// row id → (bytes, recency sequence of the latest touch).
+    entries: HashMap<u64, (u64, u64)>,
+    /// Lazily maintained LRU order: stale `(row, seq)` pairs are skipped
+    /// during eviction when `seq` no longer matches the entry.
+    order: VecDeque<(u64, u64)>,
+    seq: u64,
+    hits: u64,
+    misses: u64,
+    bytes_saved: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl HotRowCache {
+    /// A cache bounded by `capacity_bytes` (0 disables it).
+    pub fn new(capacity_bytes: u64) -> Self {
+        HotRowCache {
+            capacity_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Whether the cache participates at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Rows currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn touch(&mut self, row: u64, bytes: u64) {
+        self.seq += 1;
+        self.entries.insert(row, (bytes, self.seq));
+        self.order.push_back((row, self.seq));
+        // Bound the lazy queue: when stale pairs dominate, compact it.
+        if self.order.len() > 4 * self.entries.len().max(16) {
+            let entries = &self.entries;
+            self.order
+                .retain(|&(r, s)| entries.get(&r).is_some_and(|&(_, live)| live == s));
+        }
+    }
+
+    /// Looks up a row, refreshing its recency on a hit. Counts one hit or
+    /// miss (and `bytes_saved` on a hit) unless the cache is disabled.
+    pub fn lookup(&mut self, row: u64) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        match self.entries.get(&row).copied() {
+            Some((bytes, _)) => {
+                self.hits += 1;
+                self.bytes_saved += bytes;
+                self.touch(row, bytes);
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a row of `bytes`, evicting least-recently-used
+    /// rows until it fits. Rows larger than the whole capacity are not
+    /// cached.
+    pub fn insert(&mut self, row: u64, bytes: u64) {
+        if !self.is_enabled() || bytes > self.capacity_bytes {
+            return;
+        }
+        if let Some(&(old, _)) = self.entries.get(&row) {
+            self.resident_bytes -= old;
+            self.touch(row, bytes);
+            self.resident_bytes += bytes;
+            return;
+        }
+        while self.resident_bytes + bytes > self.capacity_bytes {
+            let Some((victim, seq)) = self.order.pop_front() else {
+                break;
+            };
+            if self
+                .entries
+                .get(&victim)
+                .is_some_and(|&(_, live)| live == seq)
+            {
+                let (vbytes, _) = self.entries.remove(&victim).unwrap_or((0, 0));
+                self.resident_bytes -= vbytes;
+                self.evictions += 1;
+            }
+        }
+        self.insertions += 1;
+        self.touch(row, bytes);
+        self.resident_bytes += bytes;
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            bytes_saved: self.bytes_saved,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            resident_bytes: self.resident_bytes,
+            capacity_bytes: self.capacity_bytes,
+        }
+    }
+
+    /// Clears the resident rows and counters (capacity is preserved).
+    pub fn reset(&mut self) {
+        let capacity = self.capacity_bytes;
+        *self = HotRowCache::new(capacity);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +348,71 @@ mod tests {
     fn over_release_panics() {
         let mut d = Dram::new(10, Bandwidth::from_gbps(1.0));
         d.release(1);
+    }
+
+    #[test]
+    fn disabled_cache_is_invisible() {
+        let mut c = HotRowCache::new(0);
+        assert!(!c.lookup(1));
+        c.insert(1, 100);
+        assert!(!c.lookup(1));
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn cache_hits_after_insert() {
+        let mut c = HotRowCache::new(1 << 20);
+        assert!(!c.lookup(42));
+        c.insert(42, 4096);
+        assert!(c.lookup(42));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.bytes_saved, 4096);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_row() {
+        let mut c = HotRowCache::new(3 * 4096);
+        for row in 0..3 {
+            c.insert(row, 4096);
+        }
+        assert!(c.lookup(0)); // refresh row 0: row 1 is now coldest
+        c.insert(3, 4096);
+        assert!(!c.lookup(1), "coldest row was evicted");
+        assert!(c.lookup(0) && c.lookup(2) && c.lookup(3));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.resident_bytes(), 3 * 4096);
+    }
+
+    #[test]
+    fn oversized_rows_are_not_cached() {
+        let mut c = HotRowCache::new(1000);
+        c.insert(9, 4096);
+        assert!(!c.lookup(9));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn reinsert_updates_footprint() {
+        let mut c = HotRowCache::new(10_000);
+        c.insert(5, 4096);
+        c.insert(5, 8192);
+        assert_eq!(c.resident_bytes(), 8192);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lazy_order_queue_stays_bounded() {
+        let mut c = HotRowCache::new(64 * 4096);
+        for i in 0..10_000u64 {
+            c.insert(i % 64, 4096);
+            assert!(c.lookup(i % 64));
+        }
+        assert!(
+            c.order.len() <= 4 * 64 + 64,
+            "queue length {}",
+            c.order.len()
+        );
     }
 }

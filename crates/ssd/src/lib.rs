@@ -53,7 +53,7 @@ mod stats;
 mod time;
 
 pub use buffer::PingPongBuffer;
-pub use dram::Dram;
+pub use dram::{Dram, HotRowCache};
 pub use error::SsdError;
 pub use fault::{FaultDecision, FaultInjector, FaultPlan};
 pub use flash::{
@@ -64,5 +64,5 @@ pub use ftl::{AllocationPolicy, Ftl, GcReport, WearReport};
 pub use geometry::{PhysPageAddr, SsdGeometry};
 pub use host::HostInterface;
 pub use ssd::{QueueReport, SsdConfig, SsdDevice};
-pub use stats::{ChannelStats, HealthReport, ImbalanceReport};
+pub use stats::{CacheStats, ChannelStats, HealthReport, ImbalanceReport};
 pub use time::{Bandwidth, SimTime};

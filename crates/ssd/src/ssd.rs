@@ -27,6 +27,10 @@ pub struct SsdConfig {
     pub dram_gbps: f64,
     /// Data buffer size in bytes.
     pub buffer_bytes: u64,
+    /// Capacity of the DRAM-resident hot candidate-row cache, bytes
+    /// (0 disables it; see [`crate::HotRowCache`]).
+    #[serde(default)]
+    pub hot_cache_bytes: u64,
 }
 
 impl SsdConfig {
@@ -41,6 +45,7 @@ impl SsdConfig {
             dram_bytes: 16 << 30,
             dram_gbps: 12.8,
             buffer_bytes: 4 << 20,
+            hot_cache_bytes: 0,
         }
     }
 
@@ -54,6 +59,7 @@ impl SsdConfig {
             dram_bytes: 64 << 20,
             dram_gbps: 12.8,
             buffer_bytes: 64 << 10,
+            hot_cache_bytes: 0,
         }
     }
 }

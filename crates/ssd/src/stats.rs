@@ -152,6 +152,54 @@ impl ImbalanceReport {
     }
 }
 
+/// Counters of a [`crate::HotRowCache`]: how much candidate-row traffic the
+/// DRAM-resident hot-row cache absorbed instead of the flash channels.
+///
+/// All fields are plain counters so identically-seeded runs compare
+/// byte-for-byte with `==`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from DRAM (the flash fetch was skipped).
+    pub hits: u64,
+    /// Lookups that fell through to the flash channels.
+    pub misses: u64,
+    /// Flash bytes the hits avoided moving.
+    pub bytes_saved: u64,
+    /// Rows inserted (first placement, not recency refreshes).
+    pub insertions: u64,
+    /// Rows evicted by the LRU policy.
+    pub evictions: u64,
+    /// Bytes resident at snapshot time.
+    pub resident_bytes: u64,
+    /// Configured capacity in bytes (0 = cache disabled).
+    pub capacity_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups (0.0 when the cache saw no traffic).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
+    /// Counter-wise sum, for aggregating per-shard caches into one report
+    /// (capacities add; `resident_bytes` adds).
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            bytes_saved: self.bytes_saved + other.bytes_saved,
+            insertions: self.insertions + other.insertions,
+            evictions: self.evictions + other.evictions,
+            resident_bytes: self.resident_bytes + other.resident_bytes,
+            capacity_bytes: self.capacity_bytes + other.capacity_bytes,
+        }
+    }
+}
+
 /// Device-health summary accumulated by the fault-injection machinery:
 /// retry/UECC/dead-die counters from [`crate::FlashSim`], plus the
 /// degradation-policy outcomes (reconstructions, skips) filled in by the

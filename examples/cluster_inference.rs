@@ -1,13 +1,15 @@
 //! Multi-device scale-out at the API level (§7.1): a classification layer
-//! partitioned over a cluster of ECSSDs, queried in parallel, merged on the
-//! host.
+//! partitioned over a cluster of ECSSDs, queried in a single batch, merged
+//! on the host — then the same shards behind the threaded [`ServeEngine`].
 //!
 //! ```text
 //! cargo run --example cluster_inference
 //! ```
 
-use ecssd::arch::{ClassifierLayer, EcssdCluster, EcssdConfig};
-use ecssd::screen::{full_classify, topk_recall, ClassifyPrecision, DenseMatrix, ThresholdPolicy};
+use ecssd::arch::prelude::*;
+use ecssd::arch::ClassifierLayer;
+use ecssd::screen::{full_classify, topk_recall, ClassifyPrecision};
+use ecssd::serve::{ServeEngine, ServePolicy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A layer too large for one tiny device's flash: 3 shards.
@@ -22,8 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let mut cluster = EcssdCluster::new(EcssdConfig::tiny(), 3);
-    cluster.weight_deploy(&weights)?;
+    let config = EcssdConfig::tiny_builder().build()?;
+    let mut cluster = EcssdCluster::new(config.clone(), 3);
+    cluster.deploy(&weights)?;
     cluster.filter_threshold(ThresholdPolicy::TopRatio(0.1))?;
     println!(
         "deployed {l}x{d} layer over {} devices ({} rows each)",
@@ -31,20 +34,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         l / 3
     );
 
-    let mut hits = 0;
+    // Queries near planted rows in rotating shards, classified as one batch
+    // scattered across all three devices and merged on the host.
     let queries = 6;
-    for q in 0..queries {
-        // Query near a planted row in a rotating shard.
-        let target = (q * 500 + 16) / 11 * 11 + 5;
-        let x: Vec<f32> = weights
-            .row(target)
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| v + 0.1 * ((i + q) as f32).sin())
-            .collect();
-        let merged = cluster.classify(&x, 5)?;
-        let reference = full_classify(&weights, &x, ClassifyPrecision::Fp32)?;
-        let recall = topk_recall(&reference, &merged, 5);
+    let targets: Vec<usize> = (0..queries).map(|q| (q * 500 + 16) / 11 * 11 + 5).collect();
+    let inputs: Vec<Vec<f32>> = targets
+        .iter()
+        .enumerate()
+        .map(|(q, &target)| {
+            weights
+                .row(target)
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v + 0.1 * ((i + q) as f32).sin())
+                .collect()
+        })
+        .collect();
+    let batch = cluster.classify_batch(&inputs, 5)?;
+
+    let mut hits = 0;
+    for (q, (merged, (&target, x))) in batch.iter().zip(targets.iter().zip(&inputs)).enumerate() {
+        let reference = full_classify(&weights, x, ClassifyPrecision::Fp32)?;
+        let recall = topk_recall(&reference, merged, 5);
         hits += usize::from(merged[0].category == target);
         println!(
             "query {q}: top-1 = {} (target {target}), recall@5 {:.2}",
@@ -57,6 +68,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cluster.elapsed()
     );
 
+    // The same shards behind the serving engine: worker threads own the
+    // devices, the dispatcher forms batches, and the merged predictions are
+    // bit-identical to the host-managed cluster above.
+    let mut engine = ServeEngine::new(config.clone(), 3, ServePolicy::default())?;
+    engine.deploy(&weights)?;
+    engine.filter_threshold(ThresholdPolicy::TopRatio(0.1))?;
+    let served = engine.classify_batch(&inputs, 5)?;
+    assert_eq!(served, batch, "serving engine must merge identically");
+    let report = engine.report();
+    println!(
+        "serve engine: {} queries in {} batches, {:.0} simulated q/s, p99 {:.0} us",
+        report.queries, report.batches, report.sim_queries_per_sec, report.p99_us
+    );
+
     // Single-device framework-style layer for comparison (one shard's worth
     // of rows — a tiny device's flash only holds so much).
     let shard = {
@@ -66,12 +91,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         DenseMatrix::from_vec(1000, d, data)?
     };
-    let mut layer = ClassifierLayer::deploy(EcssdConfig::tiny(), &shard, 0.1)?;
+    let mut layer = ClassifierLayer::deploy(config, &shard, 0.1)?;
     let x: Vec<f32> = shard.row(16).to_vec();
-    let top = layer.forward(&x, 3)?;
+    let top = layer.forward_batch(std::slice::from_ref(&x), 3)?;
     println!(
         "single-device ClassifierLayer: top-3 = {:?}",
-        top.iter().map(|s| s.category).collect::<Vec<_>>()
+        top[0].iter().map(|s| s.category).collect::<Vec<_>>()
     );
     Ok(())
 }

@@ -1,22 +1,28 @@
-//! Quickstart: drive an ECSSD device end-to-end through the Table-1 API.
+//! Quickstart: drive an ECSSD device end-to-end through the unified
+//! `Classifier` frontend API.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 //!
-//! Deploys a small classification layer into the (simulated) device, runs
-//! approximate screening + CFP32 candidate-only classification for a few
-//! queries, and verifies the predictions against FP32 brute force on the
-//! host.
+//! Builds a validated device configuration, deploys a small classification
+//! layer into the (simulated) device, classifies a batch of queries with
+//! approximate screening + CFP32 candidate-only classification, and
+//! verifies the predictions against FP32 brute force on the host.
 
-use ecssd::arch::{Ecssd, EcssdConfig};
-use ecssd::screen::{full_classify, topk_recall, ClassifyPrecision, DenseMatrix, ThresholdPolicy};
+use ecssd::arch::prelude::*;
+use ecssd::screen::{full_classify, topk_recall, ClassifyPrecision};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ECSSD quickstart — extreme classification inside a simulated SSD\n");
 
-    // 1. Power on and switch to accelerator mode.
-    let mut device = Ecssd::new(EcssdConfig::tiny());
+    // 1. Build a validated configuration and power the device on. The
+    //    builder rejects impossible geometries/rates with a typed
+    //    ConfigError instead of letting them reach the simulator.
+    let config = EcssdConfig::tiny_builder()
+        .hot_cache_bytes(1 << 20) // cache hot FP32 rows in device DRAM
+        .build()?;
+    let mut device = Ecssd::new(config);
     device.enable();
     println!("device powered on in {:?} mode", device.mode());
 
@@ -32,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             *v *= scale;
         }
     }
-    device.weight_deploy(&weights)?;
+    device.deploy(&weights)?;
     device.filter_threshold(ThresholdPolicy::TopRatio(0.1))?;
     println!(
         "deployed {}x{} FP32 weights + INT4 screener (deploy took {} simulated)",
@@ -41,7 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         device.elapsed()
     );
 
-    // 3. Classify a few feature vectors.
+    // 3. Classify a batch of feature vectors — one call, one device round
+    //    trip. (The low-level Table-1 calls input_send / int4_screen /
+    //    cfp32_classify / get_results are still available underneath.)
     let queries: Vec<Vec<f32>> = (0..4)
         .map(|q| {
             (0..128)
@@ -49,29 +57,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect()
         })
         .collect();
-    for x in &queries {
-        device.input_send(x)?;
-    }
-    device.int4_screen()?;
-    device.cfp32_classify(5)?;
-    let predictions = device.get_results()?;
+    let predictions = device.classify_batch(&queries, 5)?;
 
     // 4. Verify against FP32 brute force on the host.
-    for (q, (x, pred)) in queries.iter().zip(&predictions).enumerate() {
+    for (q, (x, top)) in queries.iter().zip(&predictions).enumerate() {
         let reference = full_classify(&weights, x, ClassifyPrecision::Fp32)?;
-        let recall = topk_recall(&reference, &pred.top_k, 5);
+        let recall = topk_recall(&reference, top, 5);
         println!(
-            "query {q}: {} candidates ({:.1}% of L), top-1 = category {} (score {:.4}), \
-             recall@5 vs brute force = {:.2}",
-            pred.candidates.len(),
-            100.0 * pred.candidates.len() as f64 / 1024.0,
-            pred.top_k[0].category,
-            pred.top_k[0].value,
+            "query {q}: top-1 = category {} (score {:.4}), recall@5 vs brute force = {:.2}",
+            top[0].category,
+            top[0].value,
             recall.recall(),
         );
     }
+
+    // 5. Repeat the batch: the hot-row cache now serves the recurring
+    //    candidate rows from device DRAM instead of NAND.
+    device.classify_batch(&queries, 5)?;
+    let stats = device.stats();
     println!(
-        "\ntotal simulated device time: {} (host saw only screened work: 90% of FP32 rows never moved)",
+        "\n{} queries in {} batches; cache hit rate {:.1}% ({} bytes never left NAND)",
+        stats.queries,
+        stats.batches,
+        stats.cache.hit_rate() * 100.0,
+        stats.cache.bytes_saved,
+    );
+    println!(
+        "total simulated device time: {} (host saw only screened work: 90% of FP32 rows never moved)",
         device.elapsed()
     );
     Ok(())

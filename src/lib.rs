@@ -17,32 +17,32 @@
 //! * [`ssd`] — the SSD simulator (flash timing, FTL, DRAM, buffers);
 //! * [`layout`] — sequential / uniform / learned interleaving;
 //! * [`workloads`] — Table-3 benchmarks and candidate-trace generation;
-//! * [`arch`] — the ECSSD machine, Table-1 API, roofline, scaling;
+//! * [`arch`] — the ECSSD machine, Table-1 API, the unified `Classifier`
+//!   frontend trait, roofline, scaling;
+//! * [`serve`] — the sharded batched serving engine (worker thread per
+//!   simulated device, submission-queue batching, top-k merge);
 //! * [`baselines`] — CPU / GenStore / SmartSSD / GPU / ENMC comparisons.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use ecssd::arch::{Ecssd, EcssdConfig};
-//! use ecssd::screen::{DenseMatrix, ThresholdPolicy};
+//! use ecssd::arch::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Power on a device and switch it to accelerator mode.
-//! let mut device = Ecssd::new(EcssdConfig::tiny());
+//! let config = EcssdConfig::tiny_builder().build()?;
+//! let mut device = Ecssd::new(config);
 //! device.enable();
 //!
 //! // Deploy a classification layer (L=256 categories, D=64 hidden).
 //! let weights = DenseMatrix::random(256, 64, 42);
-//! device.weight_deploy(&weights)?;
+//! device.deploy(&weights)?;
 //! device.filter_threshold(ThresholdPolicy::TopRatio(0.1))?;
 //!
-//! // Classify a feature vector.
+//! // Classify a batch of feature vectors.
 //! let features: Vec<f32> = (0..64).map(|i| (i as f32 * 0.1).sin()).collect();
-//! device.input_send(&features)?;
-//! device.int4_screen()?;
-//! device.cfp32_classify(5)?;
-//! let predictions = device.get_results()?;
-//! assert_eq!(predictions[0].top_k.len(), 5);
+//! let predictions = device.classify_batch(&[features], 5)?;
+//! assert_eq!(predictions[0].len(), 5);
 //! # Ok(())
 //! # }
 //! ```
@@ -55,5 +55,6 @@ pub use ecssd_core as arch;
 pub use ecssd_float as float;
 pub use ecssd_layout as layout;
 pub use ecssd_screen as screen;
+pub use ecssd_serve as serve;
 pub use ecssd_ssd as ssd;
 pub use ecssd_workloads as workloads;
