@@ -1,0 +1,144 @@
+//! Per-stage latency attribution study.
+//!
+//! Sweeps machine designs and window sizes with span tracing enabled and
+//! prints the per-stage simulated-time breakdown for every point, checking
+//! that exclusive stage attribution plus idle reconciles with the
+//! end-to-end simulated makespan within 1%. It then pushes a traced query
+//! stream through a 2-shard [`ServeEngine`] and exports the full span set
+//! as Chrome `trace_event` JSON — open it at `chrome://tracing` or
+//! <https://ui.perfetto.dev> to see a classify_batch laid out per shard,
+//! channel, and engine.
+//!
+//! Usage: `trace_study [OUT.json]` (default `trace_study_trace.json`).
+
+use std::time::Duration;
+
+use ecssd_core::prelude::*;
+use ecssd_core::{EcssdMachine, MachineVariant};
+use ecssd_serve::{ServeEngine, ServePolicy};
+use ecssd_trace::{chrome_trace_json, StageBreakdown};
+use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
+
+const RECONCILE_TOLERANCE: f64 = 0.01;
+
+fn machine(variant: MachineVariant) -> EcssdMachine {
+    let bench = Benchmark::by_abbrev("Transformer-W268K").expect("known benchmark");
+    let workload = SampledWorkload::new(bench, TraceConfig::paper_default());
+    EcssdMachine::new(EcssdConfig::paper_default(), variant, Box::new(workload))
+        .expect("screener fits DRAM")
+}
+
+/// Fails the study unless attributed stage time plus idle matches the
+/// end-to-end simulated time within the tolerance.
+fn check_reconciles(label: &str, b: &StageBreakdown) {
+    if !b.reconciles(RECONCILE_TOLERANCE) {
+        eprintln!(
+            "error: {label}: stage attribution ({} ns) + idle ({} ns) does not \
+             reconcile with end-to-end simulated time ({} ns) within 1%",
+            b.attributed_total_ns(),
+            b.idle_ns,
+            b.total_ns
+        );
+        std::process::exit(1);
+    }
+}
+
+fn machine_sweep() {
+    let designs = [
+        ("ECSSD (paper)", MachineVariant::paper_ecssd()),
+        ("naive baseline", MachineVariant::baseline_start()),
+    ];
+    let windows = [(2usize, 16usize), (3, 24)];
+    for (name, variant) in designs {
+        for (queries, tiles) in windows {
+            let mut m = machine(variant);
+            let _ = m.enable_tracing();
+            let report = m.run_window(queries, tiles).expect("fault-free study run");
+            let b = report.breakdown.expect("traced run must carry a breakdown");
+            println!(
+                "== {name}, {queries} queries x {tiles} tiles \
+                 (makespan {} ns) ==",
+                report.makespan.as_ns()
+            );
+            println!("{}", b.table());
+            check_reconciles(name, &b);
+        }
+    }
+}
+
+fn serve_trace(out_path: &str) {
+    let config = EcssdConfig::tiny_builder()
+        .hot_cache_bytes(1 << 20)
+        .build()
+        .expect("valid study configuration");
+    let policy = ServePolicy {
+        max_batch: 8,
+        max_wait: Duration::from_micros(500),
+    };
+    let mut engine = ServeEngine::with_tracing(config, 2, policy).expect("engine spawns");
+    engine
+        .deploy(&DenseMatrix::random(1_200, 64, 0xec55d))
+        .expect("deploy fits the tiny device");
+    for batch in 0..6 {
+        let inputs: Vec<Vec<f32>> = (0..8)
+            .map(|q| {
+                let phase = ((batch * 8 + q) % 6) as f32 * 0.37;
+                (0..64).map(|i| ((i as f32) * 0.11 + phase).sin()).collect()
+            })
+            .collect();
+        engine
+            .classify_batch(&inputs, 5)
+            .expect("fault-free serving");
+    }
+    let report = engine.report();
+    let b = report
+        .breakdown
+        .as_ref()
+        .expect("traced engine must report a breakdown");
+    println!(
+        "== 2-shard serving, {} queries / {} batches ==",
+        report.queries, report.batches
+    );
+    println!("{}", b.table());
+    check_reconciles("serving", b);
+
+    let tracer = engine.tracer().expect("with_tracing exposes the tracer");
+    let json = chrome_trace_json(&tracer.spans(), &tracer.counters());
+    std::fs::write(out_path, &json).expect("write trace file");
+    println!("Chrome trace written to {out_path} ({} bytes)", json.len());
+    validate_trace_json(&json);
+}
+
+/// Checks the exported document: it must parse as JSON and hold at least
+/// one complete (`"ph":"X"`) span event. The offline stub of serde_json
+/// cannot parse anything; there the parse step is skipped with a note and
+/// CI re-validates against the real crate.
+fn validate_trace_json(json: &str) {
+    let complete = json.matches("\"ph\":\"X\"").count();
+    if complete == 0 {
+        eprintln!("error: exported trace holds no complete ('X') span events");
+        std::process::exit(1);
+    }
+    if !json.starts_with('[') || !json.trim_end().ends_with(']') {
+        eprintln!("error: exported trace is not a trace_event array");
+        std::process::exit(1);
+    }
+    if serde_json::from_str::<serde_json::Value>("[]").is_err() {
+        println!("note: serde_json stub in use; JSON parse validation deferred to CI");
+        return;
+    }
+    if let Err(e) = serde_json::from_str::<serde_json::Value>(json) {
+        eprintln!("error: exported trace is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    println!("trace JSON validated: {complete} complete span events");
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace_study_trace.json".to_string());
+    machine_sweep();
+    serve_trace(&out_path);
+    println!("trace study passed: all breakdowns reconcile within 1%");
+}

@@ -1,6 +1,6 @@
 //! Timeline models of the accelerator's compute engines.
 
-use ecssd_ssd::SimTime;
+use ecssd_ssd::{SimTime, Stage, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// A serialized compute engine with a fixed operation rate.
@@ -14,6 +14,10 @@ pub struct ComputeEngine {
     free_at: SimTime,
     busy_ns: u64,
     ops_done: u64,
+    #[serde(skip)]
+    tracer: Tracer,
+    #[serde(skip)]
+    trace_stage: Option<Stage>,
 }
 
 impl ComputeEngine {
@@ -29,7 +33,17 @@ impl ComputeEngine {
             free_at: SimTime::ZERO,
             busy_ns: 0,
             ops_done: 0,
+            tracer: Tracer::disabled(),
+            trace_stage: None,
         }
+    }
+
+    /// Installs a trace handle; every subsequent batch records a span of
+    /// the given stage (e.g. [`Stage::Int4Screen`] for the screening array,
+    /// [`Stage::Fp32Mac`] for the CFP32 array).
+    pub fn set_tracer(&mut self, tracer: Tracer, stage: Stage) {
+        self.tracer = tracer;
+        self.trace_stage = Some(stage);
     }
 
     /// Schedules `ops` operations no earlier than `issue`; returns the
@@ -44,6 +58,9 @@ impl ComputeEngine {
         self.free_at = done;
         self.busy_ns += dur;
         self.ops_done += ops;
+        if let Some(stage) = self.trace_stage {
+            self.tracer.span(stage, start, done);
+        }
         done
     }
 

@@ -183,6 +183,13 @@ impl Ecssd {
         &mut self.device
     }
 
+    /// Installs a span-trace handle into the device's timed resources
+    /// (flash array, DRAM interface, host link). Spans land in the handle's
+    /// shared sink; see the `ecssd-trace` crate for attribution and export.
+    pub fn set_tracer(&mut self, tracer: ecssd_trace::Tracer) {
+        self.device.set_tracer(tracer);
+    }
+
     fn require_accelerator(&self) -> Result<(), EcssdError> {
         if self.mode != EcssdMode::Accelerator {
             return Err(EcssdError::WrongMode { current: self.mode });

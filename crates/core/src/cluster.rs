@@ -192,21 +192,6 @@ impl EcssdCluster {
         Ok(merged)
     }
 
-    /// Single-query shim over [`EcssdCluster::classify_batch`].
-    ///
-    /// # Errors
-    ///
-    /// See [`EcssdCluster::classify_batch`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `classify_batch` (the batch-first entry point); this shim \
-                will be removed next release"
-    )]
-    pub fn classify(&mut self, features: &[f32], k: usize) -> Result<Vec<Score>, EcssdError> {
-        let mut batch = self.classify_batch(std::slice::from_ref(&features.to_vec()), k)?;
-        batch.pop().ok_or(EcssdError::NoInputs)
-    }
-
     /// The slowest device's simulated elapsed time — the cluster's
     /// end-to-end latency (devices run in parallel).
     pub fn elapsed(&self) -> SimTime {
@@ -310,21 +295,6 @@ mod tests {
             cluster.classify_batch(&[vec![0.0; 8]], 3),
             Err(EcssdError::NoWeights)
         ));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn single_query_shim_matches_batch_path() {
-        let weights = planted(600, 32);
-        let mut cluster = EcssdCluster::new(EcssdConfig::tiny(), 2);
-        cluster.weight_deploy(&weights).unwrap();
-        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.2).sin()).collect();
-        let via_batch = cluster
-            .classify_batch(std::slice::from_ref(&x), 4)
-            .unwrap()
-            .remove(0);
-        let via_shim = cluster.classify(&x, 4).unwrap();
-        assert_eq!(via_batch, via_shim);
     }
 
     #[test]

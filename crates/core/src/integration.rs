@@ -65,21 +65,6 @@ impl ClassifierLayer {
         self.hidden
     }
 
-    /// Single-query shim over [`ClassifierLayer::forward_batch`].
-    ///
-    /// # Errors
-    ///
-    /// See [`ClassifierLayer::forward_batch`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `forward_batch` (the batch-first entry point); this shim \
-                will be removed next release"
-    )]
-    pub fn forward(&mut self, features: &[f32], k: usize) -> Result<Vec<Score>, EcssdError> {
-        let mut batch = self.forward_batch(std::slice::from_ref(&features.to_vec()), k)?;
-        batch.pop().ok_or(EcssdError::NoInputs)
-    }
-
     /// Batched forward pass: top-`k` per input, one device round trip.
     ///
     /// # Errors
@@ -114,21 +99,6 @@ mod tests {
         assert_eq!(layer.categories(), 400);
         assert_eq!(layer.hidden(), 32);
         assert!(layer.elapsed() > SimTime::ZERO);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn single_query_shim_matches_batch_path() {
-        let weights = DenseMatrix::random(300, 32, 6);
-        let inputs: Vec<Vec<f32>> = (0..3)
-            .map(|q| (0..32).map(|i| ((i + q * 5) as f32 * 0.21).sin()).collect())
-            .collect();
-        let mut a = ClassifierLayer::deploy(EcssdConfig::tiny(), &weights, 0.1).unwrap();
-        let batched = a.forward_batch(&inputs, 3).unwrap();
-        let mut b = ClassifierLayer::deploy(EcssdConfig::tiny(), &weights, 0.1).unwrap();
-        for (x, expected) in inputs.iter().zip(&batched) {
-            assert_eq!(&b.forward(x, 3).unwrap(), expected);
-        }
     }
 
     #[test]

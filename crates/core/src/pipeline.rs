@@ -23,6 +23,7 @@ use ecssd_ssd::{
     CacheStats, Dram, FaultPlan, FlashSim, HealthReport, HostInterface, HotRowCache,
     ImbalanceReport, PageReadOutcome, PhysPageAddr, PingPongBuffer, SimTime, SsdError,
 };
+use ecssd_trace::{Stage, StageBreakdown, Tracer};
 use ecssd_workloads::CandidateSource;
 use serde::{Deserialize, Serialize};
 
@@ -158,6 +159,11 @@ pub struct RunReport {
     /// Hot candidate-row cache counters (all-zero when
     /// `SsdConfig::hot_cache_bytes == 0`).
     pub cache: CacheStats,
+    /// Per-stage simulated-time attribution over `[0, makespan]`, present
+    /// when span tracing is on (see [`EcssdMachine::enable_tracing`]).
+    /// `None` when tracing is disabled, so traced and untraced reports
+    /// differ only in this field.
+    pub breakdown: Option<StageBreakdown>,
 }
 
 impl RunReport {
@@ -232,6 +238,9 @@ pub struct EcssdMachine {
     /// Candidate rows dropped under [`DegradationPolicy::Skip`], as
     /// `(query, tile, global_row)` — the input to recall-loss accounting.
     skipped: Vec<(usize, usize, u64)>,
+    /// Span-trace handle shared with every timed resource (disabled by
+    /// default; see [`EcssdMachine::enable_tracing`]).
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for EcssdMachine {
@@ -304,10 +313,38 @@ impl EcssdMachine {
             reconstruction_page_reads: 0,
             unrecovered_rows: 0,
             skipped: Vec::new(),
+            tracer: Tracer::disabled(),
             config,
             variant,
             source,
         })
+    }
+
+    /// Enables simulated-time span tracing and returns the shared handle.
+    /// Subsequent [`RunReport`]s carry a per-stage [`StageBreakdown`], and
+    /// the handle's spans can be exported with
+    /// [`ecssd_trace::chrome_trace_json`]. Tracing observes the timelines
+    /// without perturbing them: a traced run reports the same times as an
+    /// untraced one.
+    pub fn enable_tracing(&mut self) -> Tracer {
+        self.set_tracer(Tracer::enabled());
+        self.tracer.clone()
+    }
+
+    /// Installs a span-trace handle into every timed pipeline resource
+    /// (flash array, DRAM interface, host link, both MAC engines).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.flash.set_tracer(tracer.clone());
+        self.dram.set_tracer(tracer.clone());
+        self.host.set_tracer(tracer.clone());
+        self.int4.set_tracer(tracer.clone(), Stage::Int4Screen);
+        self.fp32.set_tracer(tracer.clone(), Stage::Fp32Mac);
+        self.tracer = tracer;
+    }
+
+    /// The machine's trace handle (disabled unless tracing was enabled).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Installs a deterministic fault plan on the underlying flash
@@ -575,10 +612,14 @@ impl EcssdMachine {
                         }
                     };
                     let int4_ops = 2 * k * tile_len as u64 * batch;
-                    let screen_done =
-                        self.int4.compute(int4_ops, int4_fetch_done) + TILE_CONTROL_NS;
+                    let int4_done = self.int4.compute(int4_ops, int4_fetch_done);
+                    let screen_done = int4_done + TILE_CONTROL_NS;
+                    self.tracer
+                        .span(Stage::CandidateSelect, int4_done, screen_done);
                     let cands = self.source.candidates(q, t);
                     candidate_rows += cands.len() as u64;
+                    self.tracer
+                        .count("pipeline.candidate_rows", cands.len() as u64);
                     screen_history.push(screen_done);
                     screen_done_q.push_back((screen_done, cands));
                 }
@@ -611,6 +652,7 @@ impl EcssdMachine {
                 for (ci, &row) in cands.iter().enumerate() {
                     if self.hot_cache.lookup(row) {
                         hit_done = hit_done.max(self.dram.transfer(row_bytes, screen_done));
+                        self.tracer.count("cache.hit_rows", 1);
                         continue;
                     }
                     fetch_rows.push(ci);
@@ -736,6 +778,14 @@ impl EcssdMachine {
             buffer_stall_ns: self.buffer.stall_ns(),
             health: self.health_report(),
             cache: self.hot_cache.stats(),
+            breakdown: if self.tracer.is_enabled() {
+                let mut b =
+                    StageBreakdown::attribute(&self.tracer.spans(), SimTime::ZERO, makespan);
+                b.dropped_spans = self.tracer.dropped_spans();
+                Some(b)
+            } else {
+                None
+            },
         })
     }
 
@@ -1230,5 +1280,60 @@ mod tests {
         let before = seq.health_report().dead_die_reads;
         let _ = seq.run_window(2, 16).unwrap();
         assert!(seq.health_report().dead_die_reads > before);
+    }
+
+    #[test]
+    fn tracing_is_an_observer_not_a_participant() {
+        // A traced run must report the same simulated times as an untraced
+        // one: tracing reads the timelines, it never perturbs them.
+        let mut plain = machine(MachineVariant::paper_ecssd(), "Transformer-W268K");
+        let mut traced = machine(MachineVariant::paper_ecssd(), "Transformer-W268K");
+        let tracer = traced.enable_tracing();
+        assert!(tracer.is_enabled());
+
+        let a = plain.run_window(3, 24).unwrap();
+        let mut b = traced.run_window(3, 24).unwrap();
+        let breakdown = b.breakdown.take().expect("traced run carries a breakdown");
+        assert_eq!(a.breakdown, None);
+        assert_eq!(a, b, "tracing changed the simulated run");
+
+        // Exclusive attribution covers the whole window: stage times plus
+        // idle equal the makespan exactly.
+        assert_eq!(
+            breakdown.attributed_total_ns() + breakdown.idle_ns,
+            breakdown.total_ns
+        );
+        assert!(breakdown.reconciles(0.01));
+        assert_eq!(breakdown.dropped_spans, 0);
+        // The pipeline exercises screening, selection, MAC, and flash.
+        for stage in [
+            Stage::Int4Screen,
+            Stage::CandidateSelect,
+            Stage::Fp32Mac,
+            Stage::FlashRead,
+        ] {
+            let e = breakdown.entries.iter().find(|e| e.stage == stage);
+            assert!(
+                e.is_some_and(|e| e.busy_ns > 0),
+                "no {stage} spans recorded"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_counters_match_report() {
+        let mut m = machine(MachineVariant::paper_ecssd(), "Transformer-W268K");
+        let tracer = m.enable_tracing();
+        let r = m.run_window(3, 24).unwrap();
+        let counters: std::collections::BTreeMap<String, u64> =
+            tracer.counters().into_iter().collect();
+        assert_eq!(
+            counters.get("pipeline.candidate_rows").copied(),
+            Some(r.candidate_rows)
+        );
+        assert_eq!(
+            counters.get("cache.hit_rows").copied().unwrap_or(0),
+            r.cache.hits
+        );
     }
 }

@@ -17,10 +17,14 @@
 //!    holding the whole matrix, see [`ecssd_core::sort_scores`]), and
 //!    answers each query.
 //!
-//! The engine records per-query wall-clock latency (p50/p95/p99), sustained
-//! simulated throughput (queries per simulated second of the slowest
-//! shard — shards run in parallel), per-shard utilization, and the merged
-//! hot-row cache counters ([`ServeReport`]).
+//! The engine records per-query *simulated* latency percentiles
+//! (p50/p95/p99; host wall-clock percentiles are kept alongside as
+//! `host_*`), sustained simulated throughput (queries per simulated second
+//! of the slowest shard — shards run in parallel), per-shard utilization
+//! derived from busy serving time, and the merged hot-row cache counters
+//! ([`ServeReport`]). Construct with [`ServeEngine::with_tracing`] to also
+//! collect per-stage spans on every shard device and get a
+//! [`StageBreakdown`] in the report.
 //!
 //! ```
 //! use ecssd_core::prelude::*;
@@ -53,6 +57,7 @@ use ecssd_core::{
 };
 use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
 use ecssd_ssd::{CacheStats, SimTime};
+use ecssd_trace::{StageBreakdown, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// Batch-formation policy for the submission queue.
@@ -83,22 +88,51 @@ pub struct ServeReport {
     pub queries: u64,
     /// Batches executed.
     pub batches: u64,
-    /// Median per-query wall-clock latency, µs.
+    /// Median per-query *simulated* latency, µs (a query's latency is the
+    /// slowest shard's simulated time for its batch — shards run in
+    /// parallel).
     pub p50_us: f64,
-    /// 95th-percentile per-query wall-clock latency, µs.
+    /// 95th-percentile per-query simulated latency, µs.
     pub p95_us: f64,
-    /// 99th-percentile per-query wall-clock latency, µs.
+    /// 99th-percentile per-query simulated latency, µs.
     pub p99_us: f64,
+    /// Median per-query host wall-clock latency, µs (submission to merged
+    /// answer; includes host threading/queueing, so it is *not* a device
+    /// metric).
+    pub host_p50_us: f64,
+    /// 95th-percentile host wall-clock latency, µs.
+    pub host_p95_us: f64,
+    /// 99th-percentile host wall-clock latency, µs.
+    pub host_p99_us: f64,
     /// Simulated time of the slowest shard (shards run in parallel).
     pub sim_elapsed: SimTime,
     /// Sustained throughput: queries per simulated second of the slowest
     /// shard.
     pub sim_queries_per_sec: f64,
-    /// Per-shard utilization: each shard's simulated busy time relative to
-    /// the slowest shard (1.0 = critical path).
+    /// Per-shard utilization: each shard's busy serving time (simulated
+    /// time spent executing batches, deployment excluded) relative to the
+    /// busiest shard (1.0 = critical path).
     pub shard_utilization: Vec<f64>,
     /// Hot candidate-row cache counters, merged over shards.
     pub cache: CacheStats,
+    /// Per-stage simulated-time attribution merged over shards (serving
+    /// only, deployment excluded). `Some` iff the engine was built with
+    /// [`ServeEngine::with_tracing`].
+    pub breakdown: Option<StageBreakdown>,
+}
+
+/// Percentile with linear interpolation between closest ranks:
+/// `p` in `[0, 1]` maps to fractional rank `p * (n - 1)` over the sorted
+/// samples (so p50 of `[1, 100]` is 50.5, not 100). Input is ns, output µs.
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = p.clamp(0.0, 1.0) * (sorted_ns.len() - 1) as f64;
+    let lo = sorted_ns[rank.floor() as usize] as f64;
+    let hi = sorted_ns[rank.ceil() as usize] as f64;
+    let v = lo + (hi - lo) * rank.fract();
+    v / 1_000.0
 }
 
 /// A query waiting for its merged answer (returned by
@@ -161,26 +195,38 @@ enum MergeMsg {
     Shard {
         id: u64,
         shard: usize,
+        /// Simulated time this shard's device spent on the batch.
+        sim_ns: u64,
         result: Result<Vec<Vec<Score>>, String>,
     },
 }
 
 #[derive(Debug)]
 struct Metrics {
-    latencies_ns: Vec<u64>,
+    host_latencies_ns: Vec<u64>,
+    sim_latencies_ns: Vec<u64>,
     queries: u64,
     batches: u64,
     shard_elapsed: Vec<SimTime>,
+    /// Device simulated time at the end of deployment — serving spans and
+    /// utilization are measured past this point.
+    serve_start: Vec<SimTime>,
+    /// Simulated time each shard spent executing batches (busy serving
+    /// time; deployment excluded).
+    shard_busy_ns: Vec<u64>,
     cache: Vec<CacheStats>,
 }
 
 impl Metrics {
     fn new(shards: usize) -> Self {
         Metrics {
-            latencies_ns: Vec::new(),
+            host_latencies_ns: Vec::new(),
+            sim_latencies_ns: Vec::new(),
             queries: 0,
             batches: 0,
             shard_elapsed: vec![SimTime::ZERO; shards],
+            serve_start: vec![SimTime::ZERO; shards],
+            shard_busy_ns: vec![0; shards],
             cache: vec![CacheStats::default(); shards],
         }
     }
@@ -206,6 +252,9 @@ pub struct ServeEngine {
     /// First global row of each shard (plus a trailing end marker); empty
     /// until deployment.
     shard_starts: Vec<usize>,
+    /// Root span-trace handle shared by every shard device; `Some` iff the
+    /// engine was built with [`ServeEngine::with_tracing`].
+    tracer: Option<Tracer>,
 }
 
 impl std::fmt::Debug for ServeEngine {
@@ -231,6 +280,32 @@ impl ServeEngine {
         shards: usize,
         policy: ServePolicy,
     ) -> Result<Self, EcssdError> {
+        Self::build(config, shards, policy, None)
+    }
+
+    /// Like [`ServeEngine::new`], but with span tracing enabled on every
+    /// shard device: workers record per-stage spans labelled with their
+    /// shard index, [`ServeEngine::report`] carries a [`StageBreakdown`],
+    /// and [`ServeEngine::tracer`] exposes the raw spans (e.g. for
+    /// [`ecssd_trace::chrome_trace_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ServeEngine::new`].
+    pub fn with_tracing(
+        config: EcssdConfig,
+        shards: usize,
+        policy: ServePolicy,
+    ) -> Result<Self, EcssdError> {
+        Self::build(config, shards, policy, Some(Tracer::enabled()))
+    }
+
+    fn build(
+        config: EcssdConfig,
+        shards: usize,
+        policy: ServePolicy,
+        tracer: Option<Tracer>,
+    ) -> Result<Self, EcssdError> {
         if shards == 0 {
             return Err(EcssdError::Serve("at least one shard is required".into()));
         }
@@ -250,28 +325,37 @@ impl ServeEngine {
             let merge = merge_tx.clone();
             let metrics = Arc::clone(&metrics);
             let config = config.clone();
+            let shard_tracer = tracer.as_ref().map(|t| t.for_shard(shard as u32));
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("ecssd-serve-worker-{shard}"))
-                    .spawn(move || worker_loop(shard, config, job_rx, merge, metrics))
+                    .spawn(move || worker_loop(shard, config, shard_tracer, job_rx, merge, metrics))
                     .map_err(spawn_err)?,
             );
         }
         let dispatcher_workers = worker_tx.clone();
         let dispatcher_merge = merge_tx;
+        let dispatcher_tracer = tracer.clone().unwrap_or_default();
         threads.push(
             std::thread::Builder::new()
                 .name("ecssd-serve-dispatch".into())
                 .spawn(move || {
-                    dispatcher_loop(submit_rx, dispatcher_workers, dispatcher_merge, policy)
+                    dispatcher_loop(
+                        submit_rx,
+                        dispatcher_workers,
+                        dispatcher_merge,
+                        policy,
+                        dispatcher_tracer,
+                    )
                 })
                 .map_err(spawn_err)?,
         );
         let merger_metrics = Arc::clone(&metrics);
+        let merger_tracer = tracer.clone().unwrap_or_default();
         threads.push(
             std::thread::Builder::new()
                 .name("ecssd-serve-merge".into())
-                .spawn(move || merger_loop(shards, merge_rx, merger_metrics))
+                .spawn(move || merger_loop(shards, merge_rx, merger_metrics, merger_tracer))
                 .map_err(spawn_err)?,
         );
         Ok(ServeEngine {
@@ -281,7 +365,19 @@ impl ServeEngine {
             metrics,
             enabled: true,
             shard_starts: Vec::new(),
+            tracer,
         })
+    }
+
+    /// The engine's span-trace handle (`None` unless built with
+    /// [`ServeEngine::with_tracing`]).
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Per-shard hot-row cache counters (index = shard).
+    pub fn shard_cache_stats(&self) -> Vec<CacheStats> {
+        lock(&self.metrics).cache.clone()
     }
 
     /// Shard (device) count.
@@ -493,15 +589,10 @@ impl ServeEngine {
     /// Serving metrics so far.
     pub fn report(&self) -> ServeReport {
         let m = lock(&self.metrics);
-        let mut lat = m.latencies_ns.clone();
-        lat.sort_unstable();
-        let pct = |p: f64| -> f64 {
-            if lat.is_empty() {
-                return 0.0;
-            }
-            let i = ((lat.len() - 1) as f64 * p).round() as usize;
-            lat[i.min(lat.len() - 1)] as f64 / 1_000.0
-        };
+        let mut sim = m.sim_latencies_ns.clone();
+        sim.sort_unstable();
+        let mut host = m.host_latencies_ns.clone();
+        host.sort_unstable();
         let sim_elapsed = m
             .shard_elapsed
             .iter()
@@ -509,13 +600,17 @@ impl ServeEngine {
             .max()
             .unwrap_or(SimTime::ZERO);
         let denom = sim_elapsed.as_ns();
+        let busy_max = m.shard_busy_ns.iter().copied().max().unwrap_or(0);
         ServeReport {
             shards: self.worker_tx.len(),
             queries: m.queries,
             batches: m.batches,
-            p50_us: pct(0.50),
-            p95_us: pct(0.95),
-            p99_us: pct(0.99),
+            p50_us: percentile_us(&sim, 0.50),
+            p95_us: percentile_us(&sim, 0.95),
+            p99_us: percentile_us(&sim, 0.99),
+            host_p50_us: percentile_us(&host, 0.50),
+            host_p95_us: percentile_us(&host, 0.95),
+            host_p99_us: percentile_us(&host, 0.99),
             sim_elapsed,
             sim_queries_per_sec: if denom == 0 {
                 0.0
@@ -523,13 +618,13 @@ impl ServeEngine {
                 m.queries as f64 * 1e9 / denom as f64
             },
             shard_utilization: m
-                .shard_elapsed
+                .shard_busy_ns
                 .iter()
-                .map(|e| {
-                    if denom == 0 {
+                .map(|&busy| {
+                    if busy_max == 0 {
                         0.0
                     } else {
-                        e.as_ns() as f64 / denom as f64
+                        busy as f64 / busy_max as f64
                     }
                 })
                 .collect(),
@@ -537,6 +632,17 @@ impl ServeEngine {
                 .cache
                 .iter()
                 .fold(CacheStats::default(), |acc, c| acc.merge(c)),
+            breakdown: self.tracer.as_ref().map(|t| {
+                let windows: Vec<(SimTime, SimTime)> = m
+                    .serve_start
+                    .iter()
+                    .zip(&m.shard_elapsed)
+                    .map(|(&start, &end)| (start, end))
+                    .collect();
+                let mut b = StageBreakdown::attribute_sharded(&t.spans(), &windows);
+                b.dropped_spans = t.dropped_spans();
+                b
+            }),
         }
     }
 }
@@ -594,12 +700,16 @@ impl Drop for ServeEngine {
 fn worker_loop(
     shard: usize,
     config: EcssdConfig,
+    tracer: Option<Tracer>,
     jobs: Receiver<Job>,
     merge: Sender<MergeMsg>,
     metrics: Arc<Mutex<Metrics>>,
 ) {
     let mut device = Ecssd::new(config);
     device.enable();
+    if let Some(t) = tracer {
+        device.set_tracer(t);
+    }
     let mut offset = 0usize;
     let mut rows = 0usize;
     while let Ok(job) = jobs.recv() {
@@ -616,6 +726,7 @@ fn worker_loop(
                 }
                 let mut m = lock(&metrics);
                 m.shard_elapsed[shard] = Classifier::elapsed(&device);
+                m.serve_start[shard] = Classifier::elapsed(&device);
                 drop(m);
                 let _ = ack.send(outcome);
             }
@@ -623,6 +734,7 @@ fn worker_loop(
                 let _ = ack.send(device.filter_threshold(policy).map_err(|e| e.to_string()));
             }
             Job::Batch { id, inputs, k } => {
+                let before = Classifier::elapsed(&device);
                 let result = device
                     .classify_batch(&inputs, k.min(rows))
                     .map(|per_query| {
@@ -639,11 +751,19 @@ fn worker_loop(
                             .collect()
                     })
                     .map_err(|e| e.to_string());
+                let after = Classifier::elapsed(&device);
+                let sim_ns = after.as_ns().saturating_sub(before.as_ns());
                 let mut m = lock(&metrics);
-                m.shard_elapsed[shard] = Classifier::elapsed(&device);
+                m.shard_elapsed[shard] = after;
+                m.shard_busy_ns[shard] += sim_ns;
                 m.cache[shard] = device.cache_stats();
                 drop(m);
-                let _ = merge.send(MergeMsg::Shard { id, shard, result });
+                let _ = merge.send(MergeMsg::Shard {
+                    id,
+                    shard,
+                    sim_ns,
+                    result,
+                });
             }
         }
     }
@@ -654,6 +774,7 @@ fn dispatcher_loop(
     workers: Vec<Sender<Job>>,
     merge: Sender<MergeMsg>,
     policy: ServePolicy,
+    tracer: Tracer,
 ) {
     let mut next_id = 0u64;
     // A query whose `k` differs from the open batch closes that batch and
@@ -683,6 +804,8 @@ fn dispatcher_loop(
         }
         let id = next_id;
         next_id += 1;
+        tracer.count("serve.batches_formed", 1);
+        tracer.count("serve.batch_queries", batch.len() as u64);
         let mut inputs = Vec::with_capacity(batch.len());
         let mut queries = Vec::with_capacity(batch.len());
         for q in batch {
@@ -705,9 +828,17 @@ struct BatchEntry {
     ticket: Option<Ticket>,
     results: Vec<Option<Result<Vec<Vec<Score>>, String>>>,
     received: usize,
+    /// Slowest shard's simulated time for this batch (shards run in
+    /// parallel) — the batch's simulated latency.
+    sim_ns: u64,
 }
 
-fn merger_loop(shards: usize, inbox: Receiver<MergeMsg>, metrics: Arc<Mutex<Metrics>>) {
+fn merger_loop(
+    shards: usize,
+    inbox: Receiver<MergeMsg>,
+    metrics: Arc<Mutex<Metrics>>,
+    tracer: Tracer,
+) {
     let mut pending: HashMap<u64, BatchEntry> = HashMap::new();
     while let Ok(msg) = inbox.recv() {
         let id = match &msg {
@@ -718,26 +849,33 @@ fn merger_loop(shards: usize, inbox: Receiver<MergeMsg>, metrics: Arc<Mutex<Metr
             ticket: None,
             results: (0..shards).map(|_| None).collect(),
             received: 0,
+            sim_ns: 0,
         });
         match msg {
             MergeMsg::Ticket(t) => entry.ticket = Some(t),
-            MergeMsg::Shard { shard, result, .. } => {
+            MergeMsg::Shard {
+                shard,
+                sim_ns,
+                result,
+                ..
+            } => {
                 if entry.results[shard].is_none() {
                     entry.received += 1;
                 }
                 entry.results[shard] = Some(result);
+                entry.sim_ns = entry.sim_ns.max(sim_ns);
             }
         }
         if entry.ticket.is_some() && entry.received == shards {
             if let Some(entry) = pending.remove(&id) {
-                finalize_batch(entry, &metrics);
+                finalize_batch(entry, &metrics, &tracer);
             }
         }
     }
 }
 
 /// Merges one completed batch and answers its queries.
-fn finalize_batch(entry: BatchEntry, metrics: &Mutex<Metrics>) {
+fn finalize_batch(entry: BatchEntry, metrics: &Mutex<Metrics>, tracer: &Tracer) {
     let Some(ticket) = entry.ticket else {
         return;
     };
@@ -765,8 +903,13 @@ fn finalize_batch(entry: BatchEntry, metrics: &Mutex<Metrics>) {
             .collect();
         sort_scores(&mut merged);
         merged.truncate(ticket.k);
-        m.latencies_ns.push(submitted.elapsed().as_nanos() as u64);
+        // A query's simulated latency is its batch's: the slowest shard's
+        // device time for the round trip (shards run in parallel).
+        m.sim_latencies_ns.push(entry.sim_ns);
+        m.host_latencies_ns
+            .push(submitted.elapsed().as_nanos() as u64);
         m.queries += 1;
+        tracer.count("serve.queries_merged", 1);
         let _ = resp.send((idx, Ok(merged)));
     }
 }
@@ -894,6 +1037,106 @@ mod tests {
         let _ = engine.classify_batch(&[query(16, 0.0)], 2).unwrap();
         let json = serde_json::to_string(&engine.report()).unwrap();
         assert!(!json.is_empty());
+    }
+
+    #[test]
+    fn percentile_interpolates_linearly() {
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+        // Nearest-rank with rounding reported p50 of [1µs, 100µs] as 100µs;
+        // linear interpolation gives the midpoint.
+        assert!((percentile_us(&[1_000, 100_000], 0.50) - 50.5).abs() < 1e-9);
+        let one = [42_000u64];
+        assert_eq!(percentile_us(&one, 0.0), 42.0);
+        assert_eq!(percentile_us(&one, 0.5), 42.0);
+        assert_eq!(percentile_us(&one, 1.0), 42.0);
+        let s: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        assert!((percentile_us(&s, 0.50) - 50.5).abs() < 1e-9);
+        assert!((percentile_us(&s, 0.95) - 95.05).abs() < 1e-9);
+        assert!((percentile_us(&s, 1.0) - 100.0).abs() < 1e-9);
+        for window in [(0.50, 0.95), (0.95, 0.99)] {
+            assert!(percentile_us(&s, window.0) <= percentile_us(&s, window.1));
+        }
+    }
+
+    #[test]
+    fn report_percentiles_are_monotone_and_simulated() {
+        let mut engine = ServeEngine::new(tiny(), 2, ServePolicy::default()).unwrap();
+        engine.deploy(&DenseMatrix::random(600, 32, 7)).unwrap();
+        for i in 0..4 {
+            let inputs: Vec<Vec<f32>> = (0..3).map(|j| query(32, (i * 3 + j) as f32)).collect();
+            let _ = engine.classify_batch(&inputs, 4).unwrap();
+        }
+        let r = engine.report();
+        assert!(r.p50_us > 0.0);
+        assert!(r.p50_us <= r.p95_us && r.p95_us <= r.p99_us);
+        assert!(r.host_p50_us > 0.0);
+        assert!(r.host_p50_us <= r.host_p95_us && r.host_p95_us <= r.host_p99_us);
+        // Simulated latency is bounded by the slowest shard's total
+        // simulated serving time — wall clock is not.
+        assert!(r.p99_us <= r.sim_elapsed.as_ns() as f64 / 1_000.0);
+    }
+
+    #[test]
+    fn utilization_derives_from_busy_time_not_elapsed() {
+        let engine = ServeEngine::new(tiny(), 3, ServePolicy::default()).unwrap();
+        {
+            // Deliberately imbalanced shard layout: every device clock ends
+            // at the same elapsed time (deployment dominates it), but busy
+            // serving time differs 4:2:1. The old formula divided elapsed
+            // by max elapsed and reported [1.0, 1.0, 1.0] for this state.
+            let mut m = lock(&engine.metrics);
+            m.shard_elapsed = vec![SimTime::from_ns(1_000_000); 3];
+            m.shard_busy_ns = vec![400_000, 200_000, 100_000];
+        }
+        let u = engine.report().shard_utilization;
+        assert_eq!(u, vec![1.0, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn utilization_is_busy_relative_to_critical_path() {
+        let mut engine = ServeEngine::new(tiny(), 2, ServePolicy::default()).unwrap();
+        engine.deploy(&DenseMatrix::random(600, 32, 9)).unwrap();
+        for i in 0..4 {
+            let _ = engine.classify_batch(&[query(32, i as f32)], 3).unwrap();
+        }
+        let u = engine.report().shard_utilization;
+        assert_eq!(u.len(), 2);
+        let max = u.iter().cloned().fold(0.0, f64::max);
+        assert!((max - 1.0).abs() < 1e-12, "critical path must read 1.0");
+        assert!(u.iter().all(|&x| x > 0.0 && x <= 1.0), "{u:?}");
+    }
+
+    #[test]
+    fn traced_engine_reports_breakdown() {
+        let mut engine = ServeEngine::with_tracing(tiny(), 2, ServePolicy::default()).unwrap();
+        engine.deploy(&DenseMatrix::random(600, 32, 7)).unwrap();
+        let inputs: Vec<Vec<f32>> = (0..6).map(|i| query(32, i as f32)).collect();
+        let _ = engine.classify_batch(&inputs, 5).unwrap();
+        let report = engine.report();
+        let b = report
+            .breakdown
+            .expect("traced engine must report breakdown");
+        assert!(b.total_ns > 0);
+        assert_eq!(b.attributed_total_ns() + b.idle_ns, b.total_ns);
+        assert!(b.reconciles(0.01));
+        assert!(b.entries.iter().any(|e| e.busy_ns > 0));
+        let counters: std::collections::BTreeMap<String, u64> = engine
+            .tracer()
+            .expect("with_tracing exposes the tracer")
+            .counters()
+            .into_iter()
+            .collect();
+        assert_eq!(
+            counters.get("serve.queries_merged").copied(),
+            Some(report.queries)
+        );
+        assert!(counters.get("serve.batches_formed").copied().unwrap_or(0) >= 1);
+
+        let mut plain = ServeEngine::new(tiny(), 2, ServePolicy::default()).unwrap();
+        plain.deploy(&DenseMatrix::random(600, 32, 7)).unwrap();
+        let _ = plain.classify_batch(&inputs, 5).unwrap();
+        assert!(plain.report().breakdown.is_none());
+        assert!(plain.tracer().is_none());
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Property test: after a randomized batch stream, the engine-level
+//! [`ServeReport`] counters (queries, batches, merged cache hits/misses)
+//! agree with the per-shard device statistics — no query or cache event is
+//! double-counted or dropped on the dispatcher/worker/merger path.
+
+use ecssd_core::prelude::*;
+use ecssd_serve::{ServeEngine, ServePolicy};
+use proptest::prelude::*;
+
+fn query(d: usize, phase: f32) -> Vec<f32> {
+    (0..d).map(|i| ((i as f32) * 0.13 + phase).sin()).collect()
+}
+
+proptest! {
+    // Each case spawns an engine (threads + simulated devices): keep the
+    // case count low, the stream shapes cover the interesting structure.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn report_counters_agree_with_shard_stats(
+        shards in 1usize..4,
+        seed in 0u64..1_000,
+        batch_sizes in proptest::collection::vec(1usize..6, 1..6),
+        k in 1usize..5,
+    ) {
+        let config = EcssdConfig::tiny_builder().build().unwrap();
+        let mut engine = ServeEngine::new(config, shards, ServePolicy::default()).unwrap();
+        engine.deploy(&DenseMatrix::random(120, 16, seed)).unwrap();
+        let mut submitted = 0u64;
+        for (bi, &n) in batch_sizes.iter().enumerate() {
+            let inputs: Vec<Vec<f32>> = (0..n)
+                .map(|i| query(16, (bi * 7 + i) as f32 * 0.37))
+                .collect();
+            let out = engine.classify_batch(&inputs, k).unwrap();
+            prop_assert_eq!(out.len(), n);
+            submitted += n as u64;
+        }
+        let report = engine.report();
+        prop_assert_eq!(report.queries, submitted);
+        // classify_batch blocks until answered, so the dispatcher never
+        // merges queries across calls: at least one device batch per call,
+        // at most one per query.
+        prop_assert!(report.batches >= batch_sizes.len() as u64);
+        prop_assert!(report.batches <= submitted);
+        // The merged cache counters are exactly the fold of the per-shard
+        // device stats.
+        let merged = engine
+            .shard_cache_stats()
+            .iter()
+            .fold(CacheStats::default(), |acc, c| acc.merge(c));
+        prop_assert_eq!(report.cache, merged);
+        // And the Classifier-facade stats view agrees with the report.
+        let stats = Classifier::stats(&engine);
+        prop_assert_eq!(stats.queries, report.queries);
+        prop_assert_eq!(stats.batches, report.batches);
+        prop_assert_eq!(stats.cache, report.cache);
+    }
+}

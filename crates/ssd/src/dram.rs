@@ -9,6 +9,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use ecssd_trace::{Stage, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::{Bandwidth, CacheStats, SimTime, SsdError};
@@ -22,6 +23,8 @@ pub struct Dram {
     free_at: SimTime,
     busy_ns: u64,
     bytes_moved: u64,
+    #[serde(skip)]
+    tracer: Tracer,
 }
 
 impl Dram {
@@ -34,7 +37,14 @@ impl Dram {
             free_at: SimTime::ZERO,
             busy_ns: 0,
             bytes_moved: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a trace handle; every subsequent transfer records a
+    /// [`Stage::DramTransfer`] span.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The paper's configuration: 16 GB at 12.8 GB/s (§6.1, §7.1).
@@ -109,6 +119,7 @@ impl Dram {
         self.free_at = done;
         self.busy_ns += dur;
         self.bytes_moved += bytes;
+        self.tracer.span(Stage::DramTransfer, start, done);
         done
     }
 

@@ -13,6 +13,7 @@
 //! in die-completion order (the order a real channel controller would see
 //! ready dies).
 
+use ecssd_trace::{Span, Stage, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::fault::{FaultDecision, FaultInjector, FaultPlan};
@@ -244,6 +245,8 @@ pub struct FlashSim {
     trace: Option<Vec<TransferEvent>>,
     /// Capacity bound of the trace.
     trace_cap: usize,
+    /// Span trace handle (disabled by default).
+    tracer: Tracer,
 }
 
 impl FlashSim {
@@ -265,9 +268,27 @@ impl FlashSim {
             bw_override: None,
             trace: None,
             trace_cap: 0,
+            tracer: Tracer::disabled(),
             geometry,
             timing,
         }
+    }
+
+    /// Installs a trace handle; subsequent operations record
+    /// [`Stage::FlashRead`] spans for die senses, [`Stage::FlashBus`] spans
+    /// for bus occupancy, and [`Stage::FlashProgram`] spans for array
+    /// programs, labeled with channel and die.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Records a die-side busy span.
+    fn die_span(&self, stage: Stage, addr: PhysPageAddr, start: SimTime, end: SimTime) {
+        self.tracer.record(
+            Span::new(stage, start, end)
+                .on_channel(addr.channel as u32)
+                .on_die(addr.die as u32),
+        );
     }
 
     /// Enables bus-occupancy tracing, keeping at most `cap` events.
@@ -468,6 +489,7 @@ impl FlashSim {
         let die_done = die_start + sense;
         self.die_free[die] = die_done;
         self.die_busy_ns[die] += sense;
+        self.die_span(Stage::FlashRead, addr, die_start, die_done);
         self.transfer(
             addr.channel,
             die_done,
@@ -603,6 +625,7 @@ impl FlashSim {
                         let done = start + timeout;
                         self.die_free[die] = done;
                         self.die_busy_ns[die] += timeout;
+                        self.die_span(Stage::FlashRead, addr, start, done);
                         done
                     };
                     outcomes[idx] = Some(PageReadOutcome::DeadDie { addr, detected });
@@ -617,6 +640,7 @@ impl FlashSim {
                     let done = start + dur;
                     self.die_free[die] = done;
                     self.die_busy_ns[die] += dur;
+                    self.die_span(Stage::FlashRead, addr, start, done);
                     // The failed ladder disturbs any open sense group.
                     open_group.remove(&die);
                     outcomes[idx] = Some(PageReadOutcome::Uncorrectable {
@@ -651,6 +675,7 @@ impl FlashSim {
             let die_done = die_start + sense;
             self.die_free[die] = die_done;
             self.die_busy_ns[die] += sense;
+            self.die_span(Stage::FlashRead, addr, die_start, die_done);
             if retried {
                 open_group.remove(&die);
             } else {
@@ -706,6 +731,7 @@ impl FlashSim {
         let prog_done = prog_start + self.timing.program_latency_ns;
         self.die_free[die] = prog_done;
         self.die_busy_ns[die] += self.timing.program_latency_ns;
+        self.die_span(Stage::FlashProgram, addr, prog_start, prog_done);
         prog_done
     }
 
@@ -746,6 +772,8 @@ impl FlashSim {
         self.bus_busy_ns[channel] += dur;
         self.bus_bytes[channel] += bytes;
         self.bus_transfers[channel] += 1;
+        self.tracer
+            .record(Span::new(Stage::FlashBus, start, done).on_channel(channel as u32));
         self.record(TransferEvent {
             channel,
             start,
@@ -770,6 +798,8 @@ impl FlashSim {
         self.bus_busy_ns[channel] += dur;
         self.bus_bytes[channel] += page_bytes as u64;
         self.bus_transfers[channel] += 1;
+        self.tracer
+            .record(Span::new(Stage::FlashBus, start, done).on_channel(channel as u32));
         self.record(TransferEvent {
             channel,
             start,

@@ -1,6 +1,7 @@
 //! The host interface: a PCIe link model (§2.2: "for PCIe 3.0, the I/O
 //! bandwidth is only 1 GB/s in each lane"; Table 2: PCIe 3.0 ×4).
 
+use ecssd_trace::{Stage, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::{Bandwidth, SimTime};
@@ -13,6 +14,8 @@ pub struct HostInterface {
     free_at: SimTime,
     busy_ns: u64,
     bytes_moved: u64,
+    #[serde(skip)]
+    tracer: Tracer,
 }
 
 impl HostInterface {
@@ -24,7 +27,14 @@ impl HostInterface {
             free_at: SimTime::ZERO,
             busy_ns: 0,
             bytes_moved: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a trace handle; every subsequent transfer records a
+    /// [`Stage::HostLink`] span.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// PCIe 3.0 ×4 (Table 2): 4 GB/s raw, ~1 µs command latency.
@@ -49,6 +59,7 @@ impl HostInterface {
         self.free_at = done;
         self.busy_ns += dur;
         self.bytes_moved += bytes;
+        self.tracer.span(Stage::HostLink, start, done);
         done
     }
 

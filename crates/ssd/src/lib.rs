@@ -50,7 +50,6 @@ mod geometry;
 mod host;
 mod ssd;
 mod stats;
-mod time;
 
 pub use buffer::PingPongBuffer;
 pub use dram::{Dram, HotRowCache};
@@ -65,4 +64,7 @@ pub use geometry::{PhysPageAddr, SsdGeometry};
 pub use host::HostInterface;
 pub use ssd::{QueueReport, SsdConfig, SsdDevice};
 pub use stats::{CacheStats, ChannelStats, HealthReport, ImbalanceReport};
-pub use time::{Bandwidth, SimTime};
+// Time primitives moved to `ecssd-trace` (the root of the dependency graph,
+// so the device model can emit trace spans); re-exported here so existing
+// `ecssd_ssd::SimTime` users keep working.
+pub use ecssd_trace::{Bandwidth, SimTime, Span, Stage, Tracer};

@@ -150,6 +150,14 @@ impl SsdDevice {
         &self.config
     }
 
+    /// Installs a trace handle into every timed component (flash array,
+    /// DRAM interface, host link). All components share the handle's sink.
+    pub fn set_tracer(&mut self, tracer: crate::Tracer) {
+        self.flash.set_tracer(tracer.clone());
+        self.dram.set_tracer(tracer.clone());
+        self.host.set_tracer(tracer);
+    }
+
     /// The flash array (for accelerator-mode direct access).
     pub fn flash(&self) -> &FlashSim {
         &self.flash

@@ -1,0 +1,331 @@
+//! Per-stage latency attribution: turning overlapping busy spans into an
+//! exclusive breakdown that reconciles with end-to-end simulated time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{SimTime, Span, Stage};
+
+/// Aggregate for one stage in a [`StageBreakdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageEntry {
+    /// The stage.
+    pub stage: Stage,
+    /// Number of spans recorded for the stage (after window clamping).
+    pub spans: u64,
+    /// Raw busy time: sum of span durations. Overlapping spans of the same
+    /// stage (e.g. two dies sensing concurrently) each contribute, so busy
+    /// sums across stages can exceed the window — this is the "how much
+    /// work" number, not the "where did the time go" number.
+    pub busy_ns: u64,
+    /// Exclusive attribution: nanoseconds of the window where this stage
+    /// was the highest-priority busy stage (see [`Stage::ALL`]). Attributed
+    /// times plus idle always sum to exactly the window length.
+    pub attributed_ns: u64,
+}
+
+/// An exclusive per-stage breakdown of a simulated-time window.
+///
+/// Pipeline stages overlap by design (the ping-pong buffer exists precisely
+/// so flash reads hide under compute), so raw per-stage busy sums exceed
+/// the makespan. `StageBreakdown` therefore reports *both*: raw busy time
+/// per stage, and an exclusive attribution where every instant of the
+/// window is charged to the single highest-priority busy stage (or to
+/// idle). The exclusive side reconciles with the end-to-end time by
+/// construction: `sum(attributed_ns) + idle_ns == total_ns`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageBreakdown {
+    /// Per-stage aggregates, in attribution-priority order; stages with no
+    /// spans are omitted.
+    pub entries: Vec<StageEntry>,
+    /// Window time during which no instrumented resource was busy.
+    pub idle_ns: u64,
+    /// Length of the attributed window.
+    pub total_ns: u64,
+    /// Spans discarded by the sink's capacity bound; nonzero means the
+    /// attribution undercounts busy time.
+    pub dropped_spans: u64,
+}
+
+impl StageBreakdown {
+    /// Attributes `spans` over the window `[window_start, window_end)`.
+    /// Spans are clamped to the window; spans entirely outside it are
+    /// ignored.
+    pub fn attribute(spans: &[Span], window_start: SimTime, window_end: SimTime) -> Self {
+        let w0 = window_start.as_ns();
+        let w1 = window_end.as_ns().max(w0);
+        let n_stages = Stage::ALL.len();
+
+        let mut busy = vec![0u64; n_stages];
+        let mut count = vec![0u64; n_stages];
+        // Boundary events: (time, stage index, +1/-1).
+        let mut events: Vec<(u64, usize, i64)> = Vec::with_capacity(spans.len() * 2);
+        for s in spans {
+            let a = s.start.as_ns().max(w0);
+            let b = s.end.as_ns().min(w1);
+            if b <= a {
+                continue;
+            }
+            let idx = s.stage.priority();
+            busy[idx] += b - a;
+            count[idx] += 1;
+            events.push((a, idx, 1));
+            events.push((b, idx, -1));
+        }
+        events.sort_unstable();
+
+        let mut attributed = vec![0u64; n_stages];
+        let mut idle_ns = 0u64;
+        let mut active = vec![0i64; n_stages];
+        let mut cursor = w0;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            if t > cursor {
+                // Charge [cursor, t) to the highest-priority active stage.
+                match active.iter().position(|&c| c > 0) {
+                    Some(idx) => attributed[idx] += t - cursor,
+                    None => idle_ns += t - cursor,
+                }
+                cursor = t;
+            }
+            while i < events.len() && events[i].0 == t {
+                active[events[i].1] += events[i].2;
+                i += 1;
+            }
+        }
+        if w1 > cursor {
+            idle_ns += w1 - cursor;
+        }
+
+        let entries = Stage::ALL
+            .iter()
+            .enumerate()
+            .filter(|&(idx, _)| count[idx] > 0)
+            .map(|(idx, &stage)| StageEntry {
+                stage,
+                spans: count[idx],
+                busy_ns: busy[idx],
+                attributed_ns: attributed[idx],
+            })
+            .collect();
+
+        StageBreakdown {
+            entries,
+            idle_ns,
+            total_ns: w1 - w0,
+            dropped_spans: 0,
+        }
+    }
+
+    /// Attributes per-shard span sets over per-shard windows and sums the
+    /// results: entry times, idle, and totals add across shards (total
+    /// becomes the sum of shard window lengths — "shard-nanoseconds").
+    /// Spans without a shard label, or labeled outside `windows`, are
+    /// ignored.
+    pub fn attribute_sharded(spans: &[Span], windows: &[(SimTime, SimTime)]) -> Self {
+        let mut merged = StageBreakdown::default();
+        for (i, &(w0, w1)) in windows.iter().enumerate() {
+            let shard: Vec<Span> = spans
+                .iter()
+                .filter(|s| s.shard == Some(i as u32))
+                .copied()
+                .collect();
+            merged.merge(&StageBreakdown::attribute(&shard, w0, w1));
+        }
+        merged
+    }
+
+    /// Adds `other` into `self`, stage by stage.
+    pub fn merge(&mut self, other: &StageBreakdown) {
+        for e in &other.entries {
+            match self.entries.iter_mut().find(|x| x.stage == e.stage) {
+                Some(x) => {
+                    x.spans += e.spans;
+                    x.busy_ns += e.busy_ns;
+                    x.attributed_ns += e.attributed_ns;
+                }
+                None => self.entries.push(*e),
+            }
+        }
+        self.entries.sort_by_key(|e| e.stage.priority());
+        self.idle_ns += other.idle_ns;
+        self.total_ns += other.total_ns;
+        self.dropped_spans += other.dropped_spans;
+    }
+
+    /// Sum of exclusive attributions, idle included. Equals
+    /// [`StageBreakdown::total_ns`] by construction (the reconciliation
+    /// `trace_study` asserts).
+    pub fn attributed_total_ns(&self) -> u64 {
+        self.entries.iter().map(|e| e.attributed_ns).sum::<u64>() + self.idle_ns
+    }
+
+    /// Whether the exclusive attribution reconciles with the window length
+    /// to within `tolerance` (a fraction, e.g. `0.01` for 1 %).
+    pub fn reconciles(&self, tolerance: f64) -> bool {
+        if self.total_ns == 0 {
+            return self.attributed_total_ns() == 0;
+        }
+        let diff = self.attributed_total_ns().abs_diff(self.total_ns) as f64;
+        diff <= tolerance * self.total_ns as f64
+    }
+
+    /// Renders an aligned text table of the breakdown.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>14} {:>14} {:>7}\n",
+            "stage", "spans", "busy", "attributed", "share"
+        ));
+        for e in &self.entries {
+            let share = if self.total_ns > 0 {
+                100.0 * e.attributed_ns as f64 / self.total_ns as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:<14} {:>8} {:>14} {:>14} {:>6.1}%\n",
+                e.stage.name(),
+                e.spans,
+                SimTime::from_ns(e.busy_ns).to_string(),
+                SimTime::from_ns(e.attributed_ns).to_string(),
+                share,
+            ));
+        }
+        let idle_share = if self.total_ns > 0 {
+            100.0 * self.idle_ns as f64 / self.total_ns as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>14} {:>14} {:>6.1}%\n",
+            "idle",
+            "-",
+            "-",
+            SimTime::from_ns(self.idle_ns).to_string(),
+            idle_share,
+        ));
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>14} {:>14} {:>6.1}%\n",
+            "total",
+            "-",
+            "-",
+            SimTime::from_ns(self.total_ns).to_string(),
+            100.0,
+        ));
+        out
+    }
+}
+
+impl fmt::Display for StageBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(t: u64) -> SimTime {
+        SimTime::from_ns(t)
+    }
+
+    fn span(stage: Stage, a: u64, b: u64) -> Span {
+        Span::new(stage, ns(a), ns(b))
+    }
+
+    #[test]
+    fn attribution_covers_window_exactly() {
+        let spans = vec![
+            span(Stage::HostLink, 0, 10),
+            span(Stage::DramTransfer, 5, 20),
+            span(Stage::Int4Screen, 15, 30),
+        ];
+        let b = StageBreakdown::attribute(&spans, ns(0), ns(40));
+        assert_eq!(b.total_ns, 40);
+        assert_eq!(b.attributed_total_ns(), 40);
+        assert!(b.reconciles(0.0));
+        // [0,5) host, [5,15) dram, [15,30) int4, [30,40) idle.
+        let get = |s: Stage| {
+            b.entries
+                .iter()
+                .find(|e| e.stage == s)
+                .map(|e| e.attributed_ns)
+                .unwrap_or(0)
+        };
+        assert_eq!(get(Stage::HostLink), 5);
+        assert_eq!(get(Stage::DramTransfer), 10);
+        assert_eq!(get(Stage::Int4Screen), 15);
+        assert_eq!(b.idle_ns, 10);
+    }
+
+    #[test]
+    fn busy_counts_overlap_attribution_does_not() {
+        // Two dies sensing at once: busy = 20, attributed = 10.
+        let spans = vec![span(Stage::FlashRead, 0, 10), span(Stage::FlashRead, 0, 10)];
+        let b = StageBreakdown::attribute(&spans, ns(0), ns(10));
+        assert_eq!(b.entries[0].busy_ns, 20);
+        assert_eq!(b.entries[0].attributed_ns, 10);
+        assert_eq!(b.idle_ns, 0);
+    }
+
+    #[test]
+    fn higher_priority_stage_wins_overlap() {
+        let spans = vec![span(Stage::HostLink, 0, 10), span(Stage::Fp32Mac, 2, 6)];
+        let b = StageBreakdown::attribute(&spans, ns(0), ns(10));
+        let get = |s: Stage| {
+            b.entries
+                .iter()
+                .find(|e| e.stage == s)
+                .map(|e| e.attributed_ns)
+                .unwrap_or(0)
+        };
+        assert_eq!(get(Stage::Fp32Mac), 4);
+        assert_eq!(get(Stage::HostLink), 6);
+    }
+
+    #[test]
+    fn spans_clamped_to_window() {
+        let spans = vec![span(Stage::DramTransfer, 0, 100)];
+        let b = StageBreakdown::attribute(&spans, ns(20), ns(60));
+        assert_eq!(b.total_ns, 40);
+        assert_eq!(b.entries[0].busy_ns, 40);
+        assert_eq!(b.entries[0].attributed_ns, 40);
+        assert_eq!(b.idle_ns, 0);
+    }
+
+    #[test]
+    fn sharded_attribution_sums_windows() {
+        let mut s0 = span(Stage::FlashBus, 0, 10);
+        s0.shard = Some(0);
+        let mut s1 = span(Stage::FlashBus, 0, 5);
+        s1.shard = Some(1);
+        let b = StageBreakdown::attribute_sharded(&[s0, s1], &[(ns(0), ns(10)), (ns(0), ns(10))]);
+        assert_eq!(b.total_ns, 20);
+        assert_eq!(b.entries[0].attributed_ns, 15);
+        assert_eq!(b.idle_ns, 5);
+        assert!(b.reconciles(0.0));
+    }
+
+    #[test]
+    fn merge_accumulates_by_stage() {
+        let a = StageBreakdown::attribute(&[span(Stage::HostLink, 0, 4)], ns(0), ns(4));
+        let mut b = StageBreakdown::attribute(&[span(Stage::HostLink, 0, 6)], ns(0), ns(8));
+        b.merge(&a);
+        assert_eq!(b.total_ns, 12);
+        assert_eq!(b.entries[0].busy_ns, 10);
+        assert_eq!(b.idle_ns, 2);
+        assert!(b.reconciles(0.0));
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let b = StageBreakdown::attribute(&[span(Stage::Int4Screen, 0, 5)], ns(0), ns(10));
+        let t = b.table();
+        assert!(t.contains("int4-screen"));
+        assert!(t.contains("idle"));
+        assert!(t.contains("total"));
+    }
+}

@@ -1,0 +1,210 @@
+//! The recording side of the trace: a cheap cloneable [`Tracer`] handle
+//! shared by every instrumented component.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::{SimTime, Span, Stage};
+
+/// Default bound on the number of retained spans per sink.
+pub const DEFAULT_SPAN_CAP: usize = 1 << 20;
+
+#[derive(Debug)]
+struct SinkState {
+    spans: Mutex<Vec<Span>>,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    cap: usize,
+    dropped: Mutex<u64>,
+}
+
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A handle components record spans and counters into.
+///
+/// `Tracer` is the whole hook API: instrumented components hold a clone and
+/// call [`Tracer::record`] / [`Tracer::count`] on it. The default handle is
+/// *disabled* — it holds no sink, and every recording call is a single
+/// branch on a `None`, so tracing is zero-cost unless explicitly enabled.
+/// All clones of an enabled handle share one sink; snapshots can be taken
+/// from any clone.
+///
+/// Spans are bounded by a capacity (default [`DEFAULT_SPAN_CAP`]); spans
+/// past the cap are counted in [`Tracer::dropped_spans`] instead of
+/// growing memory without bound.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<SinkState>>,
+    shard: Option<u32>,
+}
+
+impl Tracer {
+    /// A disabled handle: records nothing, costs one branch per call.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// An enabled handle with the default span capacity.
+    pub fn enabled() -> Self {
+        Tracer::with_capacity(DEFAULT_SPAN_CAP)
+    }
+
+    /// An enabled handle retaining at most `cap` spans.
+    pub fn with_capacity(cap: usize) -> Self {
+        Tracer {
+            sink: Some(Arc::new(SinkState {
+                spans: Mutex::new(Vec::new()),
+                counters: Mutex::new(BTreeMap::new()),
+                cap,
+                dropped: Mutex::new(0),
+            })),
+            shard: None,
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// A clone of this handle that stamps `shard` on every span it records
+    /// (used by the serving engine to label each worker's device spans).
+    pub fn for_shard(&self, shard: u32) -> Tracer {
+        Tracer {
+            sink: self.sink.clone(),
+            shard: Some(shard),
+        }
+    }
+
+    /// Records a span. Zero-length spans (`end <= start`) are discarded.
+    #[inline]
+    pub fn record(&self, mut span: Span) {
+        let Some(sink) = &self.sink else { return };
+        if span.end <= span.start {
+            return;
+        }
+        if span.shard.is_none() {
+            span.shard = self.shard;
+        }
+        let mut spans = locked(&sink.spans);
+        if spans.len() < sink.cap {
+            spans.push(span);
+        } else {
+            drop(spans);
+            *locked(&sink.dropped) += 1;
+        }
+    }
+
+    /// Records an unlabeled span for `stage` covering `[start, end)`.
+    #[inline]
+    pub fn span(&self, stage: Stage, start: SimTime, end: SimTime) {
+        if self.sink.is_some() {
+            self.record(Span::new(stage, start, end));
+        }
+    }
+
+    /// Adds `n` to the named counter.
+    #[inline]
+    pub fn count(&self, key: &'static str, n: u64) {
+        let Some(sink) = &self.sink else { return };
+        *locked(&sink.counters).entry(key).or_insert(0) += n;
+    }
+
+    /// Snapshot of all recorded spans (empty if disabled).
+    pub fn spans(&self) -> Vec<Span> {
+        match &self.sink {
+            Some(sink) => locked(&sink.spans).clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot of all counters (empty if disabled).
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        match &self.sink {
+            Some(sink) => locked(&sink.counters)
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Spans recorded past the capacity bound and therefore discarded.
+    pub fn dropped_spans(&self) -> u64 {
+        match &self.sink {
+            Some(sink) => *locked(&sink.dropped),
+            None => 0,
+        }
+    }
+
+    /// Discards all recorded spans and counters, keeping the sink enabled.
+    pub fn clear(&self) {
+        if let Some(sink) = &self.sink {
+            locked(&sink.spans).clear();
+            locked(&sink.counters).clear();
+            *locked(&sink.dropped) = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(t: u64) -> SimTime {
+        SimTime::from_ns(t)
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Tracer::disabled();
+        t.span(Stage::HostLink, ns(0), ns(10));
+        t.count("x", 3);
+        assert!(!t.is_enabled());
+        assert!(t.spans().is_empty());
+        assert!(t.counters().is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let t = Tracer::enabled();
+        let u = t.clone();
+        u.span(Stage::DramTransfer, ns(5), ns(9));
+        u.count("hits", 2);
+        t.count("hits", 1);
+        assert_eq!(t.spans().len(), 1);
+        assert_eq!(t.counters(), vec![("hits".to_string(), 3)]);
+    }
+
+    #[test]
+    fn shard_handle_stamps_spans() {
+        let t = Tracer::enabled();
+        let s1 = t.for_shard(1);
+        s1.span(Stage::FlashBus, ns(0), ns(4));
+        assert_eq!(t.spans()[0].shard, Some(1));
+    }
+
+    #[test]
+    fn zero_length_spans_discarded() {
+        let t = Tracer::enabled();
+        t.span(Stage::HostLink, ns(7), ns(7));
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_spans() {
+        let t = Tracer::with_capacity(2);
+        for i in 0..5 {
+            t.span(Stage::HostLink, ns(i), ns(i + 1));
+        }
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.dropped_spans(), 3);
+        t.clear();
+        assert!(t.spans().is_empty());
+        assert_eq!(t.dropped_spans(), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Span and stage vocabulary for the simulated-time trace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::SimTime;
+
+/// The pipeline stage a busy interval belongs to.
+///
+/// The set is closed on purpose: a fixed vocabulary is what lets
+/// [`crate::StageBreakdown`] attribute every instant of the timeline to
+/// exactly one stage, and lets the Chrome exporter assign stable lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// PCIe host-link transfer (features in, results out).
+    HostLink,
+    /// Device-DRAM transfer (INT4 screener weight streaming, hot-row cache
+    /// hits served from DRAM).
+    DramTransfer,
+    /// INT4 screening GEMV on the approximate-computing engine.
+    Int4Screen,
+    /// Candidate selection / per-tile control between screening and fetch.
+    CandidateSelect,
+    /// NAND die busy sensing a page (read array time).
+    FlashRead,
+    /// Channel bus moving a sensed page to the device buffer.
+    FlashBus,
+    /// NAND die busy programming a page (weight deployment).
+    FlashProgram,
+    /// CFP32 MAC compute on the candidate rows.
+    Fp32Mac,
+}
+
+impl Stage {
+    /// Every stage, in attribution-priority order (highest first): when two
+    /// spans overlap, the instant is attributed to the stage listed earlier.
+    /// Compute stages win over data movement, and the channel bus wins over
+    /// the die array it drains, so the exclusive breakdown reads as "what
+    /// was the most downstream busy resource at this instant".
+    pub const ALL: [Stage; 8] = [
+        Stage::Fp32Mac,
+        Stage::Int4Screen,
+        Stage::CandidateSelect,
+        Stage::FlashBus,
+        Stage::FlashRead,
+        Stage::FlashProgram,
+        Stage::DramTransfer,
+        Stage::HostLink,
+    ];
+
+    /// Index of this stage in [`Stage::ALL`] (0 = highest attribution
+    /// priority).
+    pub fn priority(self) -> usize {
+        match self {
+            Stage::Fp32Mac => 0,
+            Stage::Int4Screen => 1,
+            Stage::CandidateSelect => 2,
+            Stage::FlashBus => 3,
+            Stage::FlashRead => 4,
+            Stage::FlashProgram => 5,
+            Stage::DramTransfer => 6,
+            Stage::HostLink => 7,
+        }
+    }
+
+    /// Short machine-friendly name, used in tables and trace lanes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::HostLink => "host-link",
+            Stage::DramTransfer => "dram",
+            Stage::Int4Screen => "int4-screen",
+            Stage::CandidateSelect => "cand-select",
+            Stage::FlashRead => "flash-read",
+            Stage::FlashBus => "flash-bus",
+            Stage::FlashProgram => "flash-program",
+            Stage::Fp32Mac => "fp32-mac",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One busy interval of one resource, in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Which pipeline stage was busy.
+    pub stage: Stage,
+    /// When the resource went busy.
+    pub start: SimTime,
+    /// When the resource went idle again (`end > start` for recorded spans).
+    pub end: SimTime,
+    /// Serving shard that owns the device, when running under a sharded
+    /// frontend (stamped by the shard's [`crate::Tracer`] handle).
+    pub shard: Option<u32>,
+    /// Flash channel, for [`Stage::FlashRead`] / [`Stage::FlashBus`] /
+    /// [`Stage::FlashProgram`] spans.
+    pub channel: Option<u32>,
+    /// Flash die within the channel, for die-side flash spans.
+    pub die: Option<u32>,
+}
+
+impl Span {
+    /// A span with no device labels.
+    pub fn new(stage: Stage, start: SimTime, end: SimTime) -> Self {
+        Span {
+            stage,
+            start,
+            end,
+            shard: None,
+            channel: None,
+            die: None,
+        }
+    }
+
+    /// Attaches a flash channel label.
+    pub fn on_channel(mut self, channel: u32) -> Self {
+        self.channel = Some(channel);
+        self
+    }
+
+    /// Attaches a flash die label.
+    pub fn on_die(mut self, die: u32) -> Self {
+        self.die = Some(die);
+        self
+    }
+
+    /// Span length in nanoseconds (zero if `end <= start`).
+    pub fn duration_ns(&self) -> u64 {
+        self.end.saturating_since(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_matches_all_order() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.priority(), i);
+        }
+    }
+
+    #[test]
+    fn span_labels_chain() {
+        let s = Span::new(Stage::FlashBus, SimTime::ZERO, SimTime::from_ns(10))
+            .on_channel(3)
+            .on_die(1);
+        assert_eq!(s.channel, Some(3));
+        assert_eq!(s.die, Some(1));
+        assert_eq!(s.duration_ns(), 10);
+    }
+}

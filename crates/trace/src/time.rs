@@ -100,7 +100,7 @@ impl Bandwidth {
     /// Builds a bandwidth from GB/s (`1 GB/s = 1 byte/ns`).
     ///
     /// ```
-    /// use ecssd_ssd::Bandwidth;
+    /// use ecssd_trace::Bandwidth;
     /// let channel = Bandwidth::from_gbps(1.0);
     /// assert_eq!(channel.transfer_ns(4096), 4096); // one 4 KB page = 4.1 µs
     /// ```

@@ -21,6 +21,8 @@
 //!   frontend trait, roofline, scaling;
 //! * [`serve`] — the sharded batched serving engine (worker thread per
 //!   simulated device, submission-queue batching, top-k merge);
+//! * [`trace`] — simulated-time observability: spans, counters, per-stage
+//!   latency attribution, Chrome `trace_event` export;
 //! * [`baselines`] — CPU / GenStore / SmartSSD / GPU / ENMC comparisons.
 //!
 //! ## Quickstart
@@ -57,4 +59,5 @@ pub use ecssd_layout as layout;
 pub use ecssd_screen as screen;
 pub use ecssd_serve as serve;
 pub use ecssd_ssd as ssd;
+pub use ecssd_trace as trace;
 pub use ecssd_workloads as workloads;
