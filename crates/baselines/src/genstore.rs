@@ -14,10 +14,18 @@
 //!   channel (2.4 GFLOPS each);
 //! * the GenStore-AP variant stores INT4 screener data homogeneously in
 //!   flash, interfering with candidate traffic on the buses.
+//!
+//! The machine has no tile loop of its own: it implements
+//! [`TileBackend`] and is driven by the same [`run_tile_loop`] scheduler
+//! as [`EcssdMachine`](ecssd_core::EcssdMachine), under the no-lookahead
+//! [`SchedulePlan::in_order`] plan (GenStore has no tile double
+//! buffering — serialization comes from its bus and engine timelines).
 
-use ecssd_core::{ComputeEngine, EcssdConfig};
+use ecssd_core::{
+    run_tile_loop, ComputeEngine, EcssdConfig, SchedulePlan, ScreenPhase, TileBackend, TilePhase,
+};
 use ecssd_layout::InterleavingStrategy;
-use ecssd_ssd::{FlashSim, PhysPageAddr, SimTime};
+use ecssd_ssd::{FlashSim, PhysPageAddr, SimTime, SsdError};
 use ecssd_workloads::CandidateSource;
 use serde::{Deserialize, Serialize};
 
@@ -108,73 +116,12 @@ impl GenStoreMachine {
     /// Panics if `queries == 0`.
     pub fn run_window(&mut self, queries: usize, max_tiles: usize) -> GenStoreReport {
         assert!(queries > 0, "need at least one query");
-        let bench = *self.source.benchmark();
         let tiles_total = self.source.num_tiles();
         let tiles = tiles_total.min(max_tiles);
-        let channels = self.config.ssd.geometry.channels;
-        let page_bytes = self.config.ssd.geometry.page_bytes;
-        let pages_per_row = bench.pages_per_row(page_bytes);
-        let batch = self.config.accelerator.batch as u64;
-        let d = bench.hidden as u64;
-        let k = bench.projected_dim() as u64;
-        let uniform = InterleavingStrategy::Uniform;
-
-        let mut makespan = SimTime::ZERO;
-        for q in 0..queries {
-            for t in 0..tiles {
-                let range = self.source.tile_row_range(t);
-                let tile_len = (range.end - range.start) as usize;
-
-                // Rows this tile classifies, per channel (uniform stripe).
-                let rows: Vec<u64> = match self.variant {
-                    GenStoreVariant::Naive => range.clone().collect(),
-                    GenStoreVariant::Screening => self.source.candidates(q, t),
-                };
-                let mut screen_done = SimTime::ZERO;
-                if self.variant == GenStoreVariant::Screening {
-                    // Homogeneous INT4 stream over the buses + SSD-level
-                    // INT4 screening.
-                    let int4_bytes = tile_len as u64 * bench.int4_row_bytes();
-                    let per = int4_bytes / channels as u64;
-                    let mut fetch_done = SimTime::ZERO;
-                    for ch in 0..channels {
-                        fetch_done =
-                            fetch_done.max(self.flash.bus_transfer(ch, per, SimTime::ZERO));
-                    }
-                    screen_done = self
-                        .int4
-                        .compute(2 * k * tile_len as u64 * batch, fetch_done);
-                }
-
-                // Per-channel fetch + channel-local classification.
-                let layout = uniform.assign_tile(
-                    t,
-                    tiles_total,
-                    range.start,
-                    &vec![0.0f32; tile_len],
-                    None,
-                    channels,
-                );
-                let mut per_channel_addrs: Vec<Vec<PhysPageAddr>> = vec![Vec::new(); channels];
-                for &row in &rows {
-                    let local = (row - range.start) as usize;
-                    let ch = layout.channel_of(local);
-                    for p in 0..pages_per_row {
-                        per_channel_addrs[ch].push(self.row_addr(row, ch, p));
-                    }
-                }
-                for (ch, addrs) in per_channel_addrs.iter().enumerate() {
-                    if addrs.is_empty() {
-                        continue;
-                    }
-                    let fetch = self.flash.read_batch_gated(addrs, screen_done, screen_done);
-                    let row_count = addrs.len() as u64 / pages_per_row;
-                    let flops = 2 * d * row_count * batch;
-                    let done = self.fp_engines[ch].compute(flops, fetch.done);
-                    makespan = makespan.max(done);
-                }
-            }
-        }
+        let makespan = match run_tile_loop(self, SchedulePlan::in_order(), queries, tiles) {
+            Ok(makespan) => makespan,
+            Err(_) => unreachable!("GenStore tile stages are infallible"),
+        };
 
         let max_busy = self
             .fp_engines
@@ -193,6 +140,98 @@ impl GenStoreMachine {
     /// Per-channel naive FP32 throughput the machine was built with.
     pub fn channel_gflops(&self) -> f64 {
         self.channel_gflops
+    }
+}
+
+impl TileBackend for GenStoreMachine {
+    /// GenStore models no host feature upload: queries are on-device at
+    /// time zero.
+    fn begin_query(&mut self, _query: usize, _issue: SimTime) -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn screen_tile(&mut self, query: usize, tile: usize, issue: SimTime) -> ScreenPhase {
+        let bench = *self.source.benchmark();
+        let range = self.source.tile_row_range(tile);
+        let tile_len = (range.end - range.start) as usize;
+        match self.variant {
+            // No screening: every row of the tile is a "candidate".
+            GenStoreVariant::Naive => ScreenPhase {
+                screen_done: issue,
+                candidates: range.collect(),
+            },
+            GenStoreVariant::Screening => {
+                // Homogeneous INT4 stream over the buses + SSD-level INT4
+                // screening.
+                let channels = self.config.ssd.geometry.channels;
+                let batch = self.config.accelerator.batch as u64;
+                let k = bench.projected_dim() as u64;
+                let int4_bytes = tile_len as u64 * bench.int4_row_bytes();
+                let per = int4_bytes / channels as u64;
+                let mut fetch_done = issue;
+                for ch in 0..channels {
+                    fetch_done = fetch_done.max(self.flash.bus_transfer(ch, per, issue));
+                }
+                let screen_done = self
+                    .int4
+                    .compute(2 * k * tile_len as u64 * batch, fetch_done);
+                ScreenPhase {
+                    screen_done,
+                    candidates: self.source.candidates(query, tile),
+                }
+            }
+        }
+    }
+
+    fn classify_tile(
+        &mut self,
+        _query: usize,
+        tile: usize,
+        candidates: &[u64],
+        screen_done: SimTime,
+        _sync: Option<SimTime>,
+    ) -> Result<TilePhase, SsdError> {
+        let bench = *self.source.benchmark();
+        let range = self.source.tile_row_range(tile);
+        let tile_len = (range.end - range.start) as usize;
+        let channels = self.config.ssd.geometry.channels;
+        let page_bytes = self.config.ssd.geometry.page_bytes;
+        let pages_per_row = bench.pages_per_row(page_bytes);
+        let batch = self.config.accelerator.batch as u64;
+        let d = bench.hidden as u64;
+
+        // Per-channel fetch + channel-local classification (uniform
+        // stripe): each accelerator only sees the rows of its channel.
+        let layout = InterleavingStrategy::Uniform.assign_tile(
+            tile,
+            self.source.num_tiles(),
+            range.start,
+            &vec![0.0f32; tile_len],
+            None,
+            channels,
+        );
+        let mut per_channel_addrs: Vec<Vec<PhysPageAddr>> = vec![Vec::new(); channels];
+        for &row in candidates {
+            let local = (row - range.start) as usize;
+            let ch = layout.channel_of(local);
+            for p in 0..pages_per_row {
+                per_channel_addrs[ch].push(self.row_addr(row, ch, p));
+            }
+        }
+        let mut done = SimTime::ZERO;
+        for (ch, addrs) in per_channel_addrs.iter().enumerate() {
+            if addrs.is_empty() {
+                continue;
+            }
+            let fetch = self.flash.read_batch_gated(addrs, screen_done, screen_done);
+            let row_count = addrs.len() as u64 / pages_per_row;
+            let flops = 2 * d * row_count * batch;
+            done = done.max(self.fp_engines[ch].compute(flops, fetch.done));
+        }
+        Ok(TilePhase {
+            fetch_done: done,
+            done,
+        })
     }
 }
 

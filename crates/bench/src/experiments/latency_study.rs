@@ -51,7 +51,7 @@ fn sweep(variant: MachineVariant, service_ns: f64, loads: &[f64]) -> Vec<LoadPoi
             LoadPoint {
                 load,
                 mean_ms: report.mean_ns() / 1e6,
-                p99_ms: report.quantile_ns(0.99) as f64 / 1e6,
+                p99_ms: report.quantile_ns(0.99) / 1e6,
             }
         })
         .collect()

@@ -72,14 +72,12 @@ impl ServiceReport {
         self.latencies_ns.iter().sum::<u64>() as f64 / self.latencies_ns.len() as f64
     }
 
-    /// Latency quantile `q ∈ [0, 1]`, ns.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        if self.latencies_ns.is_empty() {
-            return 0;
-        }
+    /// Latency quantile `q ∈ [0, 1]`, ns, with linear interpolation between
+    /// closest ranks (see [`ecssd_trace::percentile_ns`]).
+    pub fn quantile_ns(&self, q: f64) -> f64 {
         let mut sorted = self.latencies_ns.clone();
         sorted.sort_unstable();
-        sorted[((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize]
+        ecssd_trace::percentile_ns(&sorted, q)
     }
 }
 
@@ -199,7 +197,7 @@ mod tests {
         let light = serve_at(0.5);
         let heavy = serve_at(1.5);
         // At 150% load, the tail latency diverges linearly with position.
-        assert!(heavy.quantile_ns(0.95) > 4 * light.quantile_ns(0.95));
+        assert!(heavy.quantile_ns(0.95) > 4.0 * light.quantile_ns(0.95));
         assert!(heavy.mean_ns() > light.mean_ns() * 2.0);
     }
 
@@ -211,6 +209,12 @@ mod tests {
         };
         assert!(r.quantile_ns(0.0) <= r.quantile_ns(0.5));
         assert!(r.quantile_ns(0.5) <= r.quantile_ns(1.0));
-        assert_eq!(r.quantile_ns(1.0), 9);
+        assert_eq!(r.quantile_ns(1.0), 9.0);
+        // Even-count medians interpolate instead of snapping to a rank.
+        let even = ServiceReport {
+            latencies_ns: vec![1, 3],
+            makespan: SimTime::from_ns(100),
+        };
+        assert_eq!(even.quantile_ns(0.5), 2.0);
     }
 }

@@ -39,7 +39,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod accelerator;
 mod api;
@@ -62,7 +62,8 @@ pub use energy::{EnergyModel, EnergyReport};
 pub use host::{ArrivalSchedule, HostCoordinator, ServiceReport};
 pub use integration::ClassifierLayer;
 pub use pipeline::{
-    DataPlacement, DegradationPolicy, EcssdMachine, MachineVariant, RunReport, TileTiming,
+    run_tile_loop, DataPlacement, DegradationPolicy, EcssdMachine, MachineVariant, RunReport,
+    SchedulePlan, ScreenPhase, TileBackend, TilePhase, TileTiming,
 };
 
 /// One-stop imports for writing against the unified frontend API: the

@@ -1,0 +1,408 @@
+//! The Fail/Retry/Reconstruct/Skip degradation ladder (DESIGN.md §6),
+//! extracted from the tile loop so each policy is testable against a bare
+//! [`FlashSim`] — no machine, no workload, no scheduler.
+//!
+//! [`resolve_failed_pages`] is the single entry point: given the faulted
+//! page reads of one tile, it issues whatever recovery traffic the active
+//! [`DegradationPolicy`] calls for (re-reads, RAID-5 stripe-peer reads),
+//! marks the candidate rows the policy could not save, and accumulates the
+//! accounting the [`HealthReport`](ecssd_ssd::HealthReport) surfaces.
+
+use ecssd_layout::ParityScheme;
+use ecssd_ssd::{FlashSim, PageReadOutcome, PhysPageAddr, SimTime, SsdError, SsdGeometry};
+
+use super::DegradationPolicy;
+
+/// A candidate page read that came back faulted (degradation bookkeeping).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FailedPage {
+    /// Index into the tile's flat address list (`cand × pages_per_row`).
+    pub(crate) index: usize,
+    pub(crate) addr: PhysPageAddr,
+    /// When the fault was detected (ladder exhausted / timeout / status).
+    pub(crate) detected: SimTime,
+    pub(crate) dead_die: bool,
+}
+
+/// Degradation-policy accounting, accumulated across runs and merged into
+/// the machine's [`HealthReport`](ecssd_ssd::HealthReport).
+#[derive(Debug, Default)]
+pub(crate) struct DegradeLedger {
+    /// Failed page reads a later retry attempt recovered.
+    pub(crate) retried_reads: u64,
+    /// Candidate rows rebuilt from RAID-5 stripe peers.
+    pub(crate) reconstructed_rows: u64,
+    /// Extra same-channel page reads the rebuilds cost.
+    pub(crate) reconstruction_page_reads: u64,
+    /// Candidate rows no policy could save.
+    pub(crate) unrecovered_rows: u64,
+    /// Candidate rows dropped from classification, as
+    /// `(query, tile, global_row)` — the input to recall-loss accounting.
+    pub(crate) skipped: Vec<(usize, usize, u64)>,
+}
+
+impl DegradeLedger {
+    /// Drops candidate row `row` from classification (idempotent per
+    /// tile). `unrecovered` distinguishes rows a recovery policy lost from
+    /// rows [`DegradationPolicy::Skip`] chose not to fetch.
+    fn drop_row(
+        &mut self,
+        ctx: &TileFaultCtx<'_>,
+        row: usize,
+        row_dropped: &mut [bool],
+        unrecovered: bool,
+    ) {
+        if row_dropped[row] {
+            return;
+        }
+        row_dropped[row] = true;
+        if unrecovered {
+            self.unrecovered_rows += 1;
+        }
+        self.skipped.push((ctx.query, ctx.tile, ctx.cands[row]));
+    }
+}
+
+/// The tile whose candidate reads faulted, as the ladder sees it.
+pub(crate) struct TileFaultCtx<'a> {
+    pub(crate) query: usize,
+    pub(crate) tile: usize,
+    /// Global row ids of the tile's candidates (`index / pages_per_row`
+    /// of a [`FailedPage`] indexes into this).
+    pub(crate) cands: &'a [u64],
+    pub(crate) pages_per_row: u64,
+    /// Bus gate recovery transfers inherit (the tile's ping-pong bank +
+    /// per-tile sync gate).
+    pub(crate) gate: SimTime,
+}
+
+/// Resolves faulted candidate pages per the active
+/// [`DegradationPolicy`]. Returns the time the last recovery traffic
+/// (re-reads, stripe-peer reads) completed; marks rows the policy could
+/// not save in `row_dropped`.
+///
+/// # Errors
+///
+/// Under [`DegradationPolicy::Fail`], surfaces the first fault as
+/// [`SsdError::Uncorrectable`] / [`SsdError::DieFailed`].
+pub(crate) fn resolve_failed_pages(
+    flash: &mut FlashSim,
+    geometry: SsdGeometry,
+    policy: DegradationPolicy,
+    ctx: &TileFaultCtx<'_>,
+    failed: &[FailedPage],
+    row_dropped: &mut [bool],
+    ledger: &mut DegradeLedger,
+) -> Result<SimTime, SsdError> {
+    let mut done = SimTime::ZERO;
+    for f in failed {
+        done = done.max(f.detected);
+    }
+    match policy {
+        DegradationPolicy::Fail => Err(fail_error(&failed[0])),
+        DegradationPolicy::Retry { max } => {
+            Ok(done.max(retry(flash, max, ctx, failed, row_dropped, ledger)))
+        }
+        DegradationPolicy::Reconstruct => Ok(done.max(reconstruct(
+            flash,
+            geometry,
+            ctx,
+            failed,
+            row_dropped,
+            ledger,
+        ))),
+        DegradationPolicy::Skip => {
+            let ppr = ctx.pages_per_row as usize;
+            for f in failed {
+                ledger.drop_row(ctx, f.index / ppr, row_dropped, false);
+            }
+            Ok(done)
+        }
+    }
+}
+
+/// [`DegradationPolicy::Fail`]: surface the first fault as a typed error.
+fn fail_error(f: &FailedPage) -> SsdError {
+    if f.dead_die {
+        SsdError::DieFailed {
+            channel: f.addr.channel,
+            die: f.addr.die,
+        }
+    } else {
+        SsdError::Uncorrectable {
+            channel: f.addr.channel,
+            die: f.addr.die,
+        }
+    }
+}
+
+/// [`DegradationPolicy::Retry`]: re-issue all failed pages together, up to
+/// `max` more times. Uncorrectable errors are transient (a later attempt
+/// re-senses with fresh reference voltages); dead dies keep failing.
+/// Pages that survive every attempt drop their row as unrecovered.
+fn retry(
+    flash: &mut FlashSim,
+    max: u32,
+    ctx: &TileFaultCtx<'_>,
+    failed: &[FailedPage],
+    row_dropped: &mut [bool],
+    ledger: &mut DegradeLedger,
+) -> SimTime {
+    let mut done = SimTime::ZERO;
+    let mut pending: Vec<FailedPage> = failed.to_vec();
+    for _ in 0..max {
+        if pending.is_empty() {
+            break;
+        }
+        let issue = pending
+            .iter()
+            .map(|f| f.detected)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let addrs: Vec<PhysPageAddr> = pending.iter().map(|f| f.addr).collect();
+        let re = flash.read_batch_checked(&addrs, issue, issue.max(ctx.gate));
+        done = done.max(re.done);
+        let mut still = Vec::new();
+        for (f, outcome) in pending.iter().zip(re.reads.iter()) {
+            match *outcome {
+                PageReadOutcome::Ok(_) => ledger.retried_reads += 1,
+                PageReadOutcome::Uncorrectable { detected, .. } => {
+                    still.push(FailedPage { detected, ..*f })
+                }
+                PageReadOutcome::DeadDie { detected, .. } => still.push(FailedPage {
+                    detected,
+                    dead_die: true,
+                    ..*f
+                }),
+            }
+        }
+        pending = still;
+    }
+    let ppr = ctx.pages_per_row as usize;
+    for f in &pending {
+        ledger.drop_row(ctx, f.index / ppr, row_dropped, true);
+    }
+    done
+}
+
+/// [`DegradationPolicy::Reconstruct`]: rebuild each lost page from its
+/// RAID-5 stripe peers — same channel, same page coordinate, the other
+/// dies ([`ParityScheme`]) — and XOR them back together (XOR time is
+/// negligible next to the page reads). Rows whose stripe peers also fault
+/// drop as unrecovered.
+fn reconstruct(
+    flash: &mut FlashSim,
+    geometry: SsdGeometry,
+    ctx: &TileFaultCtx<'_>,
+    failed: &[FailedPage],
+    row_dropped: &mut [bool],
+    ledger: &mut DegradeLedger,
+) -> SimTime {
+    let ppr = ctx.pages_per_row as usize;
+    let mut done = SimTime::ZERO;
+    if geometry.dies_per_channel < 2 {
+        // No stripe peers to rebuild from.
+        for f in failed {
+            ledger.drop_row(ctx, f.index / ppr, row_dropped, true);
+        }
+        return done;
+    }
+    let mut touched: Vec<usize> = Vec::new();
+    let scheme = ParityScheme::new(geometry.dies_per_channel);
+    for f in failed {
+        let row = f.index / ppr;
+        if row_dropped[row] {
+            continue;
+        }
+        if !touched.contains(&row) {
+            touched.push(row);
+        }
+        let stripe = ((f.addr.plane * geometry.blocks_per_plane + f.addr.block)
+            * geometry.pages_per_block
+            + f.addr.page) as u64;
+        let peer_addrs: Vec<PhysPageAddr> = scheme
+            .peers_of(f.addr.die, stripe)
+            .into_iter()
+            .map(|die| PhysPageAddr { die, ..f.addr })
+            .collect();
+        ledger.reconstruction_page_reads += peer_addrs.len() as u64;
+        let re = flash.read_batch_checked(&peer_addrs, f.detected, f.detected.max(ctx.gate));
+        done = done.max(re.done);
+        if !re.all_ok() {
+            // A stripe peer faulted too: the row is gone.
+            ledger.drop_row(ctx, row, row_dropped, true);
+        }
+    }
+    ledger.reconstructed_rows += touched.iter().filter(|&&r| !row_dropped[r]).count() as u64;
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecssd_ssd::{FaultPlan, FlashTiming};
+
+    fn flash(plan: Option<FaultPlan>) -> (FlashSim, SsdGeometry) {
+        let g = SsdGeometry::tiny();
+        let mut f = FlashSim::new(g, FlashTiming::paper_default());
+        if let Some(p) = plan {
+            f.set_fault_plan(p);
+        }
+        (f, g)
+    }
+
+    fn failed_page(index: usize, die: usize) -> FailedPage {
+        FailedPage {
+            index,
+            addr: PhysPageAddr {
+                channel: 0,
+                die,
+                plane: 0,
+                block: 0,
+                page: 0,
+            },
+            detected: SimTime::from_us(5),
+            dead_die: false,
+        }
+    }
+
+    fn ctx(cands: &[u64], pages_per_row: u64) -> TileFaultCtx<'_> {
+        TileFaultCtx {
+            query: 0,
+            tile: 3,
+            cands,
+            pages_per_row,
+            gate: SimTime::ZERO,
+        }
+    }
+
+    fn resolve(
+        policy: DegradationPolicy,
+        plan: Option<FaultPlan>,
+        cands: &[u64],
+        failed: &[FailedPage],
+    ) -> (Result<SimTime, SsdError>, Vec<bool>, DegradeLedger) {
+        let (mut flash, geometry) = flash(plan);
+        let mut row_dropped = vec![false; cands.len()];
+        let mut ledger = DegradeLedger::default();
+        let done = resolve_failed_pages(
+            &mut flash,
+            geometry,
+            policy,
+            &ctx(cands, 1),
+            failed,
+            &mut row_dropped,
+            &mut ledger,
+        );
+        (done, row_dropped, ledger)
+    }
+
+    #[test]
+    fn retry_recovers_transient_faults() {
+        // A healthy flash answers every re-read: both rows survive.
+        let failed = [failed_page(0, 0), failed_page(1, 1)];
+        let (done, dropped, ledger) = resolve(
+            DegradationPolicy::Retry { max: 2 },
+            None,
+            &[40, 41],
+            &failed,
+        );
+        assert!(done.unwrap() > SimTime::from_us(5), "re-reads take time");
+        assert_eq!(ledger.retried_reads, 2);
+        assert_eq!(ledger.unrecovered_rows, 0);
+        assert!(ledger.skipped.is_empty());
+        assert_eq!(dropped, vec![false, false]);
+    }
+
+    #[test]
+    fn retry_exhaustion_drops_the_row_as_unrecovered() {
+        // Every re-read fails too: the ladder runs out of attempts.
+        let plan = FaultPlan::with_seed(7).with_uecc(1.0);
+        let failed = [failed_page(0, 0)];
+        let (done, dropped, ledger) = resolve(
+            DegradationPolicy::Retry { max: 3 },
+            Some(plan),
+            &[42],
+            &failed,
+        );
+        assert!(done.is_ok());
+        assert_eq!(ledger.retried_reads, 0);
+        assert_eq!(ledger.unrecovered_rows, 1);
+        assert_eq!(ledger.skipped, vec![(0, 3, 42)]);
+        assert_eq!(dropped, vec![true]);
+    }
+
+    #[test]
+    fn reconstruct_rebuilds_from_stripe_peers() {
+        // tiny() has 2 dies per channel: one surviving peer per stripe.
+        let failed = [failed_page(0, 0)];
+        let (done, dropped, ledger) = resolve(DegradationPolicy::Reconstruct, None, &[42], &failed);
+        assert!(done.unwrap() > SimTime::from_us(5), "peer reads take time");
+        assert_eq!(ledger.reconstructed_rows, 1);
+        assert_eq!(ledger.reconstruction_page_reads, 1);
+        assert_eq!(ledger.unrecovered_rows, 0);
+        assert_eq!(dropped, vec![false]);
+    }
+
+    #[test]
+    fn reconstruct_with_a_failed_stripe_peer_loses_the_row() {
+        // The only stripe peer (channel 0, die 1) is dead: the rebuild
+        // reads it, fails, and the row is gone.
+        let plan = FaultPlan::with_seed(7).with_dead_die(0, 1);
+        let failed = [failed_page(0, 0)];
+        let (done, dropped, ledger) =
+            resolve(DegradationPolicy::Reconstruct, Some(plan), &[42], &failed);
+        assert!(done.is_ok());
+        assert_eq!(ledger.reconstructed_rows, 0);
+        assert_eq!(ledger.reconstruction_page_reads, 1);
+        assert_eq!(ledger.unrecovered_rows, 1);
+        assert_eq!(ledger.skipped, vec![(0, 3, 42)]);
+        assert_eq!(dropped, vec![true]);
+    }
+
+    #[test]
+    fn skip_accounts_each_row_once_and_reads_nothing() {
+        // Two failed pages of row 0 (pages_per_row = 2) plus one of row 1:
+        // two skipped entries, no recovery traffic, no unrecovered count.
+        let (mut flash, geometry) = flash(None);
+        let cands = [7u64, 9];
+        let failed = [failed_page(0, 0), failed_page(1, 1), failed_page(2, 0)];
+        let mut dropped = vec![false; 2];
+        let mut ledger = DegradeLedger::default();
+        let done = resolve_failed_pages(
+            &mut flash,
+            geometry,
+            DegradationPolicy::Skip,
+            &ctx(&cands, 2),
+            &failed,
+            &mut dropped,
+            &mut ledger,
+        )
+        .unwrap();
+        assert_eq!(done, SimTime::from_us(5), "skip issues no reads");
+        assert_eq!(ledger.skipped, vec![(0, 3, 7), (0, 3, 9)]);
+        assert_eq!(ledger.unrecovered_rows, 0);
+        assert_eq!(dropped, vec![true, true]);
+    }
+
+    #[test]
+    fn fail_surfaces_typed_errors() {
+        let failed = [failed_page(0, 1)];
+        let (err, _, ledger) = resolve(DegradationPolicy::Fail, None, &[42], &failed);
+        assert!(matches!(
+            err,
+            Err(SsdError::Uncorrectable { channel: 0, die: 1 })
+        ));
+        assert!(ledger.skipped.is_empty());
+
+        let dead = [FailedPage {
+            dead_die: true,
+            ..failed_page(0, 1)
+        }];
+        let (err, _, _) = resolve(DegradationPolicy::Fail, None, &[42], &dead);
+        assert!(matches!(
+            err,
+            Err(SsdError::DieFailed { channel: 0, die: 1 })
+        ));
+    }
+}

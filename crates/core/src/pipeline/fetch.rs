@@ -1,0 +1,419 @@
+//! The ECSSD per-tile stages: screener-weight streaming + candidate
+//! selection, candidate row fetch (hot-row cache, interleaved layout
+//! lookup, fault resolution), and FP32 classification.
+//!
+//! [`EcssdTileRun`] adapts one [`EcssdMachine`] window to the
+//! [`TileBackend`] trait so the shared scheduler
+//! ([`run_tile_loop`](super::run_tile_loop)) drives it; the stage methods
+//! on [`EcssdMachine`] own the resource timelines.
+
+use ecssd_layout::{InterleavingStrategy, TileLayout};
+use ecssd_ssd::{PageReadOutcome, PhysPageAddr, SimTime, SsdError};
+use ecssd_trace::Stage;
+
+use super::degrade::{self, FailedPage, TileFaultCtx};
+use super::schedule::{ScreenPhase, TileBackend, TilePhase};
+use super::{DataPlacement, EcssdMachine, TileTiming};
+
+/// Fixed scheduler/comparator latency charged per tile, ns.
+const TILE_CONTROL_NS: u64 = 200;
+
+/// One query window of an [`EcssdMachine`], viewed as a [`TileBackend`].
+/// Holds the per-query admission time the FP32 stage gates on and the
+/// window's candidate-row count.
+pub(crate) struct EcssdTileRun<'m> {
+    machine: &'m mut EcssdMachine,
+    /// When the current query's features arrived on-device.
+    host_done: SimTime,
+    /// Candidate rows selected across the window.
+    pub(crate) candidate_rows: u64,
+}
+
+impl<'m> EcssdTileRun<'m> {
+    pub(crate) fn new(machine: &'m mut EcssdMachine) -> Self {
+        EcssdTileRun {
+            machine,
+            host_done: SimTime::ZERO,
+            candidate_rows: 0,
+        }
+    }
+}
+
+impl TileBackend for EcssdTileRun<'_> {
+    fn begin_query(&mut self, _query: usize, issue: SimTime) -> SimTime {
+        // Host sends the batch's CFP32 features (4 bytes + shared
+        // exponent per vector) and INT4 projected features.
+        let bench = *self.machine.source.benchmark();
+        let batch = self.machine.config.accelerator.batch as u64;
+        let k = bench.projected_dim() as u64;
+        let d = bench.hidden as u64;
+        let feature_bytes = batch * (4 * d + 1) + batch * k.div_ceil(2);
+        self.host_done = self.machine.host.transfer(feature_bytes, issue);
+        self.host_done
+    }
+
+    fn screen_tile(&mut self, query: usize, tile: usize, issue: SimTime) -> ScreenPhase {
+        let phase = self.machine.screen_stage(query, tile, issue);
+        self.candidate_rows += phase.candidates.len() as u64;
+        phase
+    }
+
+    fn classify_tile(
+        &mut self,
+        query: usize,
+        tile: usize,
+        candidates: &[u64],
+        screen_done: SimTime,
+        sync: Option<SimTime>,
+    ) -> Result<TilePhase, SsdError> {
+        self.machine
+            .classify_stage(query, tile, candidates, screen_done, sync, self.host_done)
+    }
+}
+
+/// What the candidate fetch of one tile produced.
+struct FetchOutcome {
+    /// When the last candidate page (NAND or cache) reached the bank,
+    /// recovery traffic included.
+    fetch_done: SimTime,
+    /// Candidate indices that went to NAND (cache misses), in fetch order.
+    fetch_rows: Vec<usize>,
+    /// Flat page address list of the misses (`fetch_rows × pages_per_row`).
+    addrs: Vec<PhysPageAddr>,
+    /// Candidate rows excluded from classification (skipped/unrecovered).
+    row_dropped: Vec<bool>,
+}
+
+impl EcssdMachine {
+    /// Streams tile `tile`'s INT4 screener weights, runs screening and
+    /// candidate selection. `issue` is the earliest the stream may start.
+    fn screen_stage(&mut self, query: usize, tile: usize, issue: SimTime) -> ScreenPhase {
+        let bench = *self.source.benchmark();
+        let batch = self.config.accelerator.batch as u64;
+        let k = bench.projected_dim() as u64;
+        let channels = self.config.ssd.geometry.channels;
+        let tiles_total = self.source.num_tiles();
+        let range = self.source.tile_row_range(tile);
+        let tile_len = (range.end - range.start) as usize;
+        let int4_tile_bytes = tile_len as u64 * bench.int4_row_bytes();
+        let int4_fetch_done = match self.variant.placement {
+            DataPlacement::Heterogeneous => self.dram.transfer(int4_tile_bytes, issue),
+            DataPlacement::Homogeneous => {
+                // INT4 weights stream from flash, sharing the buses with
+                // FP32 candidate traffic. Sequential storing co-locates
+                // them with the tile's FP32 rows; the interleaved layouts
+                // spread them over all buses.
+                match self.variant.interleaving {
+                    InterleavingStrategy::Sequential => {
+                        let ch = (tile * channels / tiles_total).min(channels - 1);
+                        self.flash.bus_transfer(ch, int4_tile_bytes, issue)
+                    }
+                    _ => {
+                        let per = int4_tile_bytes / channels as u64;
+                        let mut done = issue;
+                        for ch in 0..channels {
+                            done = done.max(self.flash.bus_transfer(ch, per, issue));
+                        }
+                        done
+                    }
+                }
+            }
+        };
+        let int4_ops = 2 * k * tile_len as u64 * batch;
+        let int4_done = self.int4.compute(int4_ops, int4_fetch_done);
+        let screen_done = int4_done + TILE_CONTROL_NS;
+        self.tracer
+            .span(Stage::CandidateSelect, int4_done, screen_done);
+        let candidates = self.source.candidates(query, tile);
+        self.tracer
+            .count("pipeline.candidate_rows", candidates.len() as u64);
+        ScreenPhase {
+            screen_done,
+            candidates,
+        }
+    }
+
+    /// Fetches `cands` into a ping-pong bank. Rows resident in the hot
+    /// cache stream from reserved device DRAM; only misses go to the
+    /// flash channels. Faulted reads are resolved per the active
+    /// [`DegradationPolicy`](super::DegradationPolicy).
+    fn fetch_candidates(
+        &mut self,
+        query: usize,
+        tile: usize,
+        cands: &[u64],
+        screen_done: SimTime,
+        sync: Option<SimTime>,
+    ) -> Result<FetchOutcome, SsdError> {
+        let bench = *self.source.benchmark();
+        let page_bytes = self.config.ssd.geometry.page_bytes;
+        let pages_per_row = bench.pages_per_row(page_bytes);
+        let range = self.source.tile_row_range(tile);
+        let cand_bytes = cands.len() as u64 * pages_per_row * page_bytes as u64;
+        let layout = self.tile_layout(tile).clone();
+        let bank = self.buffer.acquire(cand_bytes.max(1), screen_done)?;
+        let row_bytes = pages_per_row * page_bytes as u64;
+        let mut fetch_rows: Vec<usize> = Vec::with_capacity(cands.len());
+        let mut hit_done = screen_done;
+        let mut addrs = Vec::with_capacity(cands.len() * pages_per_row as usize);
+        for (ci, &row) in cands.iter().enumerate() {
+            if self.hot_cache.lookup(row) {
+                hit_done = hit_done.max(self.dram.transfer(row_bytes, screen_done));
+                self.tracer.count("cache.hit_rows", 1);
+                continue;
+            }
+            fetch_rows.push(ci);
+            let local = (row - range.start) as usize;
+            for p in 0..pages_per_row {
+                addrs.push(self.row_page_addr(&layout, row, local, p));
+            }
+        }
+        // Sense commands go to the dies as soon as screening resolved the
+        // addresses; data leaves the page registers once the ping-pong
+        // bank is ours — and, with the paper's per-tile scheduler, once
+        // the previous tile's transfers drained ("the final data access
+        // time is decided by the busiest flash channel", §5.2).
+        let gate = match sync {
+            Some(prev_drain) => bank.max(prev_drain),
+            None => bank,
+        };
+        let fetch = self.flash.read_batch_checked(&addrs, screen_done, gate);
+        // Read indices cover only the fetched (cache-miss) rows, so they
+        // are remapped to candidate indices before recovery.
+        let ppr = pages_per_row as usize;
+        let mut fetch_done = fetch.done.max(hit_done);
+        let mut row_dropped = vec![false; cands.len()];
+        let remap = |i: usize| fetch_rows[i / ppr] * ppr + i % ppr;
+        let failed: Vec<FailedPage> = fetch
+            .reads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| match *o {
+                PageReadOutcome::Ok(_) => None,
+                PageReadOutcome::Uncorrectable { addr, detected } => Some(FailedPage {
+                    index: remap(i),
+                    addr,
+                    detected,
+                    dead_die: false,
+                }),
+                PageReadOutcome::DeadDie { addr, detected } => Some(FailedPage {
+                    index: remap(i),
+                    addr,
+                    detected,
+                    dead_die: true,
+                }),
+            })
+            .collect();
+        if !failed.is_empty() {
+            // Dead-die detections feed back into interleaving and
+            // placement before any recovery traffic is issued.
+            self.absorb_die_failures();
+            let ctx = TileFaultCtx {
+                query,
+                tile,
+                cands,
+                pages_per_row,
+                gate,
+            };
+            let geometry = self.config.ssd.geometry;
+            fetch_done = fetch_done.max(degrade::resolve_failed_pages(
+                &mut self.flash,
+                geometry,
+                self.variant.degradation,
+                &ctx,
+                &failed,
+                &mut row_dropped,
+                &mut self.ledger,
+            )?);
+        }
+        Ok(FetchOutcome {
+            fetch_done,
+            fetch_rows,
+            addrs,
+            row_dropped,
+        })
+    }
+
+    /// The FP32 phase of one tile: candidate fetch, FP32-traffic and
+    /// cache accounting, candidate-only classification, and the result
+    /// transfer back to the host.
+    fn classify_stage(
+        &mut self,
+        query: usize,
+        tile: usize,
+        cands: &[u64],
+        screen_done: SimTime,
+        sync: Option<SimTime>,
+        host_done: SimTime,
+    ) -> Result<TilePhase, SsdError> {
+        let fetch = self.fetch_candidates(query, tile, cands, screen_done, sync)?;
+        let bench = *self.source.benchmark();
+        let batch = self.config.accelerator.batch as u64;
+        let d = bench.hidden as u64;
+        let page_bytes = self.config.ssd.geometry.page_bytes;
+        let pages_per_row = bench.pages_per_row(page_bytes);
+        let ppr = pages_per_row as usize;
+        let row_bytes = pages_per_row * page_bytes as u64;
+        // FP32-only traffic accounting: only candidate pages that
+        // actually reached the buffer count as useful traffic
+        // (reconstruction peer reads occupy the buses but deliver no new
+        // candidate data; dropped rows deliver nothing).
+        let per_page_ns = self.config.ssd.timing.page_transfer_ns(page_bytes);
+        for (fi, &ci) in fetch.fetch_rows.iter().enumerate() {
+            if fetch.row_dropped[ci] {
+                continue;
+            }
+            for p in 0..ppr {
+                let a = &fetch.addrs[fi * ppr + p];
+                self.fp_busy[a.channel] += per_page_ns;
+                self.fp_bytes[a.channel] += page_bytes as u64;
+            }
+            // Rows that survived the NAND fetch become cache residents
+            // for subsequent queries.
+            self.hot_cache.insert(cands[ci], row_bytes);
+        }
+
+        // FP32 candidate-only classification over surviving rows.
+        let delivered = fetch
+            .row_dropped
+            .iter()
+            .filter(|&&dropped| !dropped)
+            .count() as u64;
+        let flops = 2 * d * delivered * batch;
+        let fp_issue = fetch.fetch_done.max(host_done);
+        let fp_done = self.fp32.compute(flops, fp_issue);
+        self.buffer.release(fp_done);
+
+        if let Some(timings) = &mut self.tile_timings {
+            timings.push(TileTiming {
+                query,
+                tile,
+                candidates: cands.len(),
+                screen_done,
+                fetch_done: fetch.fetch_done,
+                fp_done,
+            });
+        }
+        // Results return to host: batch × candidates × 4 bytes.
+        let result_done = self.host.transfer(batch * delivered * 4, fp_done);
+        Ok(TilePhase {
+            fetch_done: fetch.fetch_done,
+            done: result_done,
+        })
+    }
+
+    /// The per-tile layout (computed on first use; health-weighted so the
+    /// learned framework routes load away from degraded or dying
+    /// channels — on a healthy device this is identical to the plain
+    /// assignment).
+    pub fn tile_layout(&mut self, tile: usize) -> &TileLayout {
+        if !self.layouts.contains_key(&tile) {
+            let channels = self.config.ssd.geometry.channels;
+            let num_tiles = self.source.num_tiles();
+            let range = self.source.tile_row_range(tile);
+            let predicted = self.source.predicted_hotness(tile);
+            let freq = if self.variant.training_queries > 0 {
+                Some(
+                    self.source
+                        .training_frequency(tile, self.variant.training_queries),
+                )
+            } else {
+                None
+            };
+            let weights = self.channel_health_weights();
+            let layout = self.variant.interleaving.assign_tile_with_health(
+                tile,
+                num_tiles,
+                range.start,
+                &predicted,
+                freq.as_deref(),
+                channels,
+                &weights,
+            );
+            self.layouts.insert(tile, layout);
+        }
+        &self.layouts[&tile]
+    }
+
+    /// Physical address of page `page` of a tile-local candidate row,
+    /// honoring the layout's channel and spreading rows over the
+    /// channel's dies.
+    fn row_page_addr(
+        &self,
+        layout: &TileLayout,
+        global_row: u64,
+        local_row: usize,
+        page: u64,
+    ) -> PhysPageAddr {
+        let g = self.config.ssd.geometry;
+        let channel = layout.channel_of(local_row);
+        // Deterministic die/block placement derived from the row id; only
+        // channel and die affect timing.
+        let mut h = global_row.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (page << 7);
+        h ^= h >> 29;
+        // Retired dies are skipped by hashing over the channel's surviving
+        // dies; with no retirements this is the legacy `h % dies` mapping.
+        let dead = &self.dead_per_channel[channel];
+        let die = if dead.is_empty() || dead.len() >= g.dies_per_channel {
+            (h % g.dies_per_channel as u64) as usize
+        } else {
+            let healthy: Vec<usize> = (0..g.dies_per_channel)
+                .filter(|d| !dead.contains(d))
+                .collect();
+            healthy[(h % healthy.len() as u64) as usize]
+        };
+        let plane = ((h >> 8) % g.planes_per_die as u64) as usize;
+        let block = ((h >> 16) % g.blocks_per_plane as u64) as usize;
+        let pg = ((h >> 32) % g.pages_per_block as u64) as usize;
+        PhysPageAddr {
+            channel,
+            die,
+            plane,
+            block,
+            page: pg,
+        }
+    }
+
+    /// Per-channel health weights for failure-aware interleaving: the
+    /// fraction of the channel's dies still alive, scaled by any bandwidth
+    /// derating. A healthy device is all-1.0.
+    fn channel_health_weights(&self) -> Vec<f64> {
+        let dies = self.config.ssd.geometry.dies_per_channel;
+        (0..self.config.ssd.geometry.channels)
+            .map(|ch| {
+                let alive = dies - self.dead_per_channel[ch].len();
+                let derate = self
+                    .flash
+                    .fault_plan()
+                    .map(|p| p.derate_for(ch))
+                    .unwrap_or(1.0);
+                alive as f64 / dies as f64 * derate
+            })
+            .collect()
+    }
+
+    /// Folds newly detected die failures into the machine's health state.
+    /// Only the learned framework has the health tracking to act on a
+    /// detection: it retires the die (subsequent reads fail fast instead
+    /// of timing out), remaps row placement onto the surviving dies, and
+    /// re-weights the interleaving. The sequential and uniform baselines
+    /// keep paying the full command-timeout ladder on every access.
+    fn absorb_die_failures(&mut self) {
+        let detected: Vec<(usize, usize)> = self.flash.detected_dead_dies().to_vec();
+        if detected.len() == self.absorbed_dead {
+            return;
+        }
+        for &(ch, die) in &detected[self.absorbed_dead..] {
+            if matches!(self.variant.interleaving, InterleavingStrategy::Learned(_)) {
+                self.flash.retire_die(ch, die);
+                if !self.dead_per_channel[ch].contains(&die) {
+                    self.dead_per_channel[ch].push(die);
+                    self.dead_per_channel[ch].sort_unstable();
+                }
+                // Re-place subsequent tiles around the lost die.
+                self.layouts.clear();
+            }
+        }
+        self.absorbed_dead = detected.len();
+    }
+}

@@ -1,6 +1,8 @@
 //! Degenerate-configuration tests: the pipeline must stay correct (not just
 //! fast) on extreme geometries and workload shapes.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ecssd_core::{EcssdConfig, EcssdMachine, MachineVariant};
 use ecssd_layout::InterleavingStrategy;
 use ecssd_ssd::SsdGeometry;

@@ -92,6 +92,9 @@ pub fn grade_rows(
         .collect();
     // Quantile boundaries on the sorted scores.
     let mut order: Vec<usize> = (0..n).collect();
+    // NaN scores are a caller bug; panicking beats silently scrambling the
+    // grading.
+    #[allow(clippy::expect_used)]
     order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
     let very_hot = ((n as f64) * config.very_hot_fraction).round() as usize;
     let medium = ((n as f64) * config.medium_hot_fraction).round() as usize;

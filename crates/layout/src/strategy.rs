@@ -107,6 +107,9 @@ impl InterleavingStrategy {
                 // every channel receives the same number of rows from every
                 // score stratum, equalizing expected candidate load.
                 let mut order: Vec<usize> = (0..n).collect();
+                // NaN scores are a caller bug; panicking beats silently
+                // scrambling the layout.
+                #[allow(clippy::expect_used)]
                 order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
                 let mut row_channel = vec![0u8; n];
                 for (rank, &row) in order.iter().enumerate() {
@@ -179,6 +182,9 @@ impl InterleavingStrategy {
         let freq = if cfg.use_frequency { frequency } else { None };
         let (_grades, scores) = grade_rows(predicted, freq, &cfg.grading);
         let mut order: Vec<usize> = (0..n).collect();
+        // NaN scores are a caller bug; panicking beats silently scrambling
+        // the layout.
+        #[allow(clippy::expect_used)]
         order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
         // Weighted deficit dealing, hottest rows first: after k rows,
         // channel c should hold weight[c]/total × k of them; each row goes

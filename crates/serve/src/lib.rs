@@ -44,7 +44,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 use std::collections::HashMap;
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
@@ -57,7 +57,7 @@ use ecssd_core::{
 };
 use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
 use ecssd_ssd::{CacheStats, SimTime};
-use ecssd_trace::{StageBreakdown, Tracer};
+use ecssd_trace::{percentile_us, StageBreakdown, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// Batch-formation policy for the submission queue.
@@ -119,20 +119,6 @@ pub struct ServeReport {
     /// only, deployment excluded). `Some` iff the engine was built with
     /// [`ServeEngine::with_tracing`].
     pub breakdown: Option<StageBreakdown>,
-}
-
-/// Percentile with linear interpolation between closest ranks:
-/// `p` in `[0, 1]` maps to fractional rank `p * (n - 1)` over the sorted
-/// samples (so p50 of `[1, 100]` is 50.5, not 100). Input is ns, output µs.
-fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
-    }
-    let rank = p.clamp(0.0, 1.0) * (sorted_ns.len() - 1) as f64;
-    let lo = sorted_ns[rank.floor() as usize] as f64;
-    let hi = sorted_ns[rank.ceil() as usize] as f64;
-    let v = lo + (hi - lo) * rank.fract();
-    v / 1_000.0
 }
 
 /// A query waiting for its merged answer (returned by

@@ -3,6 +3,8 @@
 //! agree with the per-shard device statistics — no query or cache event is
 //! double-counted or dropped on the dispatcher/worker/merger path.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ecssd_core::prelude::*;
 use ecssd_serve::{ServeEngine, ServePolicy};
 use proptest::prelude::*;

@@ -4,6 +4,8 @@
 //! engine's headline guarantees (bit-identical shard merge, simulated
 //! throughput scaling with shard count, hot-cache hits).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ecssd_core::prelude::*;
 use ecssd_serve::{ServeEngine, ServePolicy};
 

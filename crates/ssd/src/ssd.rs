@@ -95,15 +95,13 @@ impl QueueReport {
         self.latencies_ns.iter().sum::<u64>() as f64 / self.latencies_ns.len() as f64
     }
 
-    /// Latency at quantile `q` in `[0, 1]` (e.g. 0.99 for p99), ns.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        if self.latencies_ns.is_empty() {
-            return 0;
-        }
+    /// Latency at quantile `q` in `[0, 1]` (e.g. 0.99 for p99), ns, with
+    /// linear interpolation between closest ranks (see
+    /// [`ecssd_trace::percentile_ns`]).
+    pub fn quantile_ns(&self, q: f64) -> f64 {
         let mut sorted = self.latencies_ns.clone();
         sorted.sort_unstable();
-        let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
-        sorted[idx]
+        ecssd_trace::percentile_ns(&sorted, q)
     }
 }
 
@@ -356,6 +354,19 @@ mod tests {
         assert!(report.quantile_ns(0.99) > report.quantile_ns(0.0));
         // Completions are monotone for an in-order queue over one link.
         assert!(report.completions.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    #[test]
+    fn quantiles_interpolate_between_closest_ranks() {
+        let report = QueueReport::new(vec![], vec![400, 100, 300, 200]);
+        // Fractional ranks fall between samples instead of snapping to the
+        // nearest one (the old nearest-rank p50 of this set was 300).
+        assert!((report.quantile_ns(0.50) - 250.0).abs() < 1e-9);
+        assert!((report.quantile_ns(0.25) - 175.0).abs() < 1e-9);
+        assert_eq!(report.quantile_ns(0.0), 100.0);
+        assert_eq!(report.quantile_ns(1.0), 400.0);
+        // Empty reports stay well-defined.
+        assert_eq!(QueueReport::new(vec![], vec![]).quantile_ns(0.99), 0.0);
     }
 
     #[test]

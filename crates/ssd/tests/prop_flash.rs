@@ -1,6 +1,8 @@
 //! Property tests of the flash simulator's timing invariants, checked
 //! against its own transfer trace.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ecssd_ssd::{FlashSim, FlashTiming, PhysPageAddr, SimTime, SsdGeometry};
 use proptest::prelude::*;
 

@@ -1,5 +1,7 @@
 //! Property-based tests of FTL invariants under random workloads.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::HashMap;
 
 use ecssd_ssd::{AllocationPolicy, Ftl, SsdGeometry};

@@ -33,16 +33,18 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod breakdown;
 mod chrome;
+mod percentile;
 mod sink;
 mod span;
 mod time;
 
 pub use breakdown::{StageBreakdown, StageEntry};
 pub use chrome::chrome_trace_json;
+pub use percentile::{percentile_ns, percentile_us};
 pub use sink::{Tracer, DEFAULT_SPAN_CAP};
 pub use span::{Span, Stage};
 pub use time::{Bandwidth, SimTime};

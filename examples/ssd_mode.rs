@@ -50,8 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "random-read burst of {} requests: mean latency {:.1} us, p50 {:.1} us, p99 {:.1} us",
         requests.len(),
         report.mean_ns() / 1e3,
-        report.quantile_ns(0.5) as f64 / 1e3,
-        report.quantile_ns(0.99) as f64 / 1e3,
+        report.quantile_ns(0.5) / 1e3,
+        report.quantile_ns(0.99) / 1e3,
     );
 
     // 4. Channel utilization of the whole episode.

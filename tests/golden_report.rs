@@ -1,0 +1,144 @@
+//! Golden-report fixtures for the staged pipeline refactor.
+//!
+//! Each fixture is the pretty `Debug` rendering of the [`RunReport`] a
+//! [`MachineVariant`] preset produces on the `tiny()` geometry. The
+//! fixtures were captured from the monolithic pre-refactor `run_window`;
+//! the staged execution core must reproduce them bit-identically (same
+//! simulated times, same fault accounting, same cache counters).
+//!
+//! `Debug` formatting is used instead of JSON on purpose: Rust's float
+//! formatting is shortest-round-trip and platform-independent, and the
+//! comparison needs no extra dependencies. Every quantity in a
+//! `RunReport` is deterministic (seeded hash-based workloads and fault
+//! plans; no RNG in the timing path), so the fixtures are stable across
+//! machines.
+//!
+//! Regenerate (only when a behaviour change is intended) with:
+//! `ECSSD_UPDATE_GOLDEN=1 cargo test --test golden_report`.
+
+use std::path::PathBuf;
+
+use ecssd_core::{DegradationPolicy, EcssdConfig, EcssdMachine, MachineVariant, RunReport};
+use ecssd_ssd::FaultPlan;
+use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
+
+/// Window used for every fixture: small enough to run in milliseconds,
+/// large enough to exercise prefetch, per-tile sync, and the cache.
+const QUERIES: usize = 2;
+const TILES: usize = 12;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+fn machine(variant: MachineVariant) -> EcssdMachine {
+    let bench = Benchmark::by_abbrev("GNMT-E32K").expect("table-3 benchmark");
+    let workload = SampledWorkload::new(bench, TraceConfig::paper_default());
+    // Tiny geometry; only the data buffer is widened so one ping-pong
+    // bank holds a GNMT tile's candidate rows.
+    let config = EcssdConfig::tiny_builder()
+        .buffer_bytes(1 << 20)
+        .build()
+        .expect("valid tiny config");
+    EcssdMachine::new(config, variant, Box::new(workload)).expect("INT4 matrix fits tiny DRAM")
+}
+
+fn report(variant: MachineVariant, plan: Option<FaultPlan>) -> RunReport {
+    let mut m = machine(variant);
+    if let Some(plan) = plan {
+        m.set_fault_plan(plan);
+    }
+    m.run_window(QUERIES, TILES).expect("window runs clean")
+}
+
+/// A plan that actually fires on the tiny geometry within the window.
+fn faulty_plan() -> FaultPlan {
+    FaultPlan::with_seed(11).with_uecc(0.02)
+}
+
+fn check(name: &str, report: &RunReport) {
+    let path = fixture_dir().join(format!("{name}.txt"));
+    let rendered = format!("{report:#?}\n");
+    if std::env::var_os("ECSSD_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(fixture_dir()).expect("fixture dir");
+        std::fs::write(&path, &rendered).expect("write fixture");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    assert_eq!(
+        golden, rendered,
+        "RunReport for `{name}` drifted from the pre-refactor golden"
+    );
+}
+
+#[test]
+fn golden_paper_ecssd() {
+    check(
+        "run_report_paper_ecssd",
+        &report(MachineVariant::paper_ecssd(), None),
+    );
+}
+
+#[test]
+fn golden_baseline_start() {
+    check(
+        "run_report_baseline_start",
+        &report(MachineVariant::baseline_start(), None),
+    );
+}
+
+#[test]
+fn golden_overlap_off() {
+    let variant = MachineVariant {
+        overlap: false,
+        ..MachineVariant::paper_ecssd()
+    };
+    check("run_report_overlap_off", &report(variant, None));
+}
+
+#[test]
+fn golden_per_tile_sync_off() {
+    let variant = MachineVariant {
+        per_tile_sync: false,
+        ..MachineVariant::paper_ecssd()
+    };
+    check("run_report_per_tile_sync_off", &report(variant, None));
+}
+
+#[test]
+fn golden_degradation_fail_inert_plan() {
+    // Fail only completes when the plan never fires; an inert plan must
+    // leave the run identical to a fault-free one.
+    let variant = MachineVariant::paper_ecssd().with_degradation(DegradationPolicy::Fail);
+    let r = report(variant, Some(FaultPlan::with_seed(99)));
+    assert!(r.health.is_clean(), "inert plan must stay clean");
+    check("run_report_degradation_fail", &r);
+}
+
+#[test]
+fn golden_degradation_retry() {
+    let variant =
+        MachineVariant::paper_ecssd().with_degradation(DegradationPolicy::Retry { max: 2 });
+    let r = report(variant, Some(faulty_plan()));
+    assert!(r.health.uecc_events > 0, "fixture must exercise the ladder");
+    check("run_report_degradation_retry", &r);
+}
+
+#[test]
+fn golden_degradation_reconstruct() {
+    let variant = MachineVariant::paper_ecssd().with_degradation(DegradationPolicy::Reconstruct);
+    let r = report(variant, Some(faulty_plan()));
+    assert!(r.health.uecc_events > 0, "fixture must exercise the ladder");
+    check("run_report_degradation_reconstruct", &r);
+}
+
+#[test]
+fn golden_degradation_skip() {
+    let variant = MachineVariant::paper_ecssd().with_degradation(DegradationPolicy::Skip);
+    let r = report(variant, Some(faulty_plan()));
+    assert!(r.health.uecc_events > 0, "fixture must exercise the ladder");
+    check("run_report_degradation_skip", &r);
+}
