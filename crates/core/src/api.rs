@@ -53,6 +53,10 @@ pub enum EcssdError {
     Config(crate::ConfigError),
     /// A serving-engine failure (worker thread or channel), with context.
     Serve(String),
+    /// A malformed or inapplicable update batch.
+    Update(ecssd_update::UpdateError),
+    /// `commit_update`/`abort_update` was called with nothing staged.
+    NoStagedUpdate,
 }
 
 impl std::fmt::Display for EcssdError {
@@ -73,6 +77,8 @@ impl std::fmt::Display for EcssdError {
             EcssdError::Ssd(e) => write!(f, "ssd error: {e}"),
             EcssdError::Config(e) => write!(f, "configuration error: {e}"),
             EcssdError::Serve(what) => write!(f, "serving engine error: {what}"),
+            EcssdError::Update(e) => write!(f, "update error: {e}"),
+            EcssdError::NoStagedUpdate => write!(f, "no staged update to commit or abort"),
         }
     }
 }
@@ -83,8 +89,15 @@ impl std::error::Error for EcssdError {
             EcssdError::Screen(e) => Some(e),
             EcssdError::Ssd(e) => Some(e),
             EcssdError::Config(e) => Some(e),
+            EcssdError::Update(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ecssd_update::UpdateError> for EcssdError {
+    fn from(e: ecssd_update::UpdateError) -> Self {
+        EcssdError::Update(e)
     }
 }
 
@@ -108,32 +121,50 @@ impl From<SsdError> for EcssdError {
 
 /// A deployed input batch awaiting screening/classification.
 #[derive(Debug, Default)]
-struct InputQueue {
+pub(crate) struct InputQueue {
     /// Original feature vectors (host side keeps them for verification).
-    features: Vec<Vec<f32>>,
+    pub(crate) features: Vec<Vec<f32>>,
     /// Screening candidates per queued input, filled by `int4_screen`.
-    candidates: Vec<Vec<usize>>,
+    pub(crate) candidates: Vec<Vec<usize>>,
 }
 
 /// The ECSSD device handle (Table 1 API).
+///
+/// Fields are `pub(crate)` so the online-update path
+/// (`crate::update`) can stage version N+1 alongside the serving state.
 #[derive(Debug)]
 pub struct Ecssd {
-    mode: EcssdMode,
-    device: SsdDevice,
-    clock: SimTime,
-    weights: Option<DenseMatrix>,
-    screener: Option<Screener>,
+    pub(crate) mode: EcssdMode,
+    pub(crate) device: SsdDevice,
+    pub(crate) clock: SimTime,
+    pub(crate) weights: Option<DenseMatrix>,
+    pub(crate) screener: Option<Screener>,
     /// First LPN of each weight row in flash.
-    row_lpns: Vec<u64>,
-    pages_per_row: u64,
-    threshold: ThresholdPolicy,
-    queue: InputQueue,
-    results: Vec<Prediction>,
+    pub(crate) row_lpns: Vec<u64>,
+    pub(crate) pages_per_row: u64,
+    pub(crate) threshold: ThresholdPolicy,
+    pub(crate) queue: InputQueue,
+    pub(crate) results: Vec<Prediction>,
     /// LRU cache of recently fetched candidate FP32 rows in device DRAM.
-    hot_cache: HotRowCache,
-    cache_reserved: bool,
-    queries: u64,
-    batches: u64,
+    pub(crate) hot_cache: HotRowCache,
+    pub(crate) cache_reserved: bool,
+    pub(crate) queries: u64,
+    pub(crate) batches: u64,
+    /// Deployment version visible to queries (0 = nothing deployed).
+    pub(crate) epoch: u64,
+    /// Next never-used LPN for update writes (deploy leaves it at the end
+    /// of the deployed rows).
+    pub(crate) next_lpn: u64,
+    /// LPNs trimmed by committed/aborted updates, reusable for staging.
+    pub(crate) free_lpns: Vec<u64>,
+    /// Version N+1 being built while queries are served from version N.
+    pub(crate) staged: Option<crate::update::StagedUpdate>,
+    /// Screener re-quantization policy for updates.
+    pub(crate) update_policy: ecssd_update::UpdatePolicy,
+    /// Scale-drift tracker for `RequantPolicy::InPlace`.
+    pub(crate) drift: ecssd_update::ScaleDriftDetector,
+    /// Cumulative data+parity pages programmed by applied updates.
+    pub(crate) update_programs: u64,
 }
 
 impl Ecssd {
@@ -155,6 +186,13 @@ impl Ecssd {
             cache_reserved: false,
             queries: 0,
             batches: 0,
+            epoch: 0,
+            next_lpn: 0,
+            free_lpns: Vec::new(),
+            staged: None,
+            update_policy: ecssd_update::UpdatePolicy::default(),
+            drift: ecssd_update::ScaleDriftDetector::new(2.0),
+            update_programs: 0,
         }
     }
 
@@ -190,7 +228,7 @@ impl Ecssd {
         self.device.set_tracer(tracer);
     }
 
-    fn require_accelerator(&self) -> Result<(), EcssdError> {
+    pub(crate) fn require_accelerator(&self) -> Result<(), EcssdError> {
         if self.mode != EcssdMode::Accelerator {
             return Err(EcssdError::WrongMode { current: self.mode });
         }
@@ -236,6 +274,13 @@ impl Ecssd {
             weights.rows() as u64 * fp32_row_bytes + int4_bytes,
             self.clock,
         );
+        // A redeploy supersedes any half-built staged version, and every
+        // previously deployed row image in the DRAM cache is now stale.
+        if self.staged.is_some() {
+            self.abort_update()?;
+        }
+        let old_rows: Vec<u64> = (0..self.row_lpns.len() as u64).collect();
+        self.hot_cache.invalidate_rows(&old_rows);
         // Place rows through the FTL (consecutive LPNs; the machine-level
         // layout studies live in EcssdMachine).
         self.row_lpns.clear();
@@ -252,6 +297,10 @@ impl Ecssd {
         self.clock = t;
         self.weights = Some(weights.clone());
         self.screener = Some(screener);
+        self.next_lpn = lpn;
+        self.free_lpns.clear();
+        self.drift.reset();
+        self.epoch += 1;
         Ok(())
     }
 
@@ -427,6 +476,21 @@ impl Ecssd {
     /// The hot-row cache counters of this device.
     pub fn cache_stats(&self) -> ecssd_ssd::CacheStats {
         self.hot_cache.stats()
+    }
+
+    /// Deployed category count (0 before deployment). Grows when an
+    /// update batch with `Add` ops commits.
+    pub fn categories(&self) -> usize {
+        self.weights.as_ref().map_or(0, DenseMatrix::rows)
+    }
+
+    /// Device-health summary: fault counters from the flash array plus
+    /// FTL wear/GC totals and the update path's program traffic.
+    pub fn health_report(&self) -> ecssd_ssd::HealthReport {
+        let mut health = self.device.flash().health_report();
+        health.absorb_wear(&self.device.ftl().wear(), &self.device.ftl().gc_totals());
+        health.update_programs = self.update_programs;
+        health
     }
 }
 

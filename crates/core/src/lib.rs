@@ -52,12 +52,17 @@ mod integration;
 mod pipeline;
 pub mod roofline;
 pub mod scale;
+mod update;
 
 pub use accelerator::{ComputeEngine, Fp32Engine, Int4Engine};
 pub use api::{Ecssd, EcssdError, EcssdMode};
 pub use classifier::{sort_scores, Classifier, ClassifierStats};
 pub use cluster::EcssdCluster;
 pub use config::{AcceleratorConfig, ConfigError, EcssdConfig, EcssdConfigBuilder};
+pub use ecssd_update::{
+    RequantPolicy, ScaleDriftDetector, UpdateBatch, UpdateError, UpdateOp, UpdatePolicy,
+    UpdateReport,
+};
 pub use energy::{EnergyModel, EnergyReport};
 pub use host::{ArrivalSchedule, HostCoordinator, ServiceReport};
 pub use integration::ClassifierLayer;

@@ -337,8 +337,11 @@ impl EcssdMachine {
 
     /// Physical address of page `page` of a tile-local candidate row,
     /// honoring the layout's channel and spreading rows over the
-    /// channel's dies.
-    fn row_page_addr(
+    /// channel's dies. Rows re-placed by an online update
+    /// ([`EcssdMachine::apply_update`]) carry a placement version that
+    /// salts the draw, so each update resolves to a fresh page set on the
+    /// same channel.
+    pub(super) fn row_page_addr(
         &self,
         layout: &TileLayout,
         global_row: u64,
@@ -348,8 +351,12 @@ impl EcssdMachine {
         let g = self.config.ssd.geometry;
         let channel = layout.channel_of(local_row);
         // Deterministic die/block placement derived from the row id; only
-        // channel and die affect timing.
-        let mut h = global_row.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (page << 7);
+        // channel and die affect timing. Version 0 (never updated) keeps
+        // the legacy mapping exactly.
+        let version = self.row_versions.get(&global_row).copied().unwrap_or(0);
+        let mut h = global_row.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (page << 7)
+            ^ version.wrapping_mul(0xd1b5_4a32_d192_ed03);
         h ^= h >> 29;
         // Retired dies are skipped by hashing over the channel's surviving
         // dies; with no retirements this is the legacy `h % dies` mapping.

@@ -1,0 +1,116 @@
+//! Timing-plane model updates on the [`EcssdMachine`].
+//!
+//! The functional update path ([`crate::Ecssd::stage_update`]) owns the
+//! payload: staged matrices, FTL writes, screener re-quantization. The
+//! performance model has no weight payload — its workload is a trace — so
+//! an update here is pure traffic: each touched row is *re-placed* onto a
+//! fresh page set (same learned channel assignment, new die/plane/block
+//! draw), the new pages and the RAID-5 parity of the touched stripes are
+//! programmed on the shared flash timelines, the row's INT4 screener image
+//! is rewritten in device DRAM, and the row is invalidated in the hot-row
+//! cache. Windows run after the update read the new placement and queue
+//! behind the program traffic — the read/write interference the update
+//! study measures, now visible in [`RunReport`](super::RunReport) stage
+//! breakdowns and health counters.
+
+use ecssd_layout::ParityScheme;
+use ecssd_ssd::SimTime;
+use ecssd_update::{ParityRefreshModel, UpdateReport};
+
+use super::EcssdMachine;
+
+impl EcssdMachine {
+    /// Applies an online weight update to the global rows `rows`: programs
+    /// a fresh page set per row, refreshes the touched RAID-5 stripes,
+    /// rewrites the rows' INT4 screener images in device DRAM, and
+    /// invalidates the rows in the hot-row cache. Returns the traffic
+    /// accounting; [`EcssdMachine::health_report`] accumulates the program
+    /// counts across updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row id lies outside the benchmark's category range.
+    pub fn apply_update(&mut self, rows: &[u64]) -> UpdateReport {
+        let bench = *self.source.benchmark();
+        let g = self.config.ssd.geometry;
+        let ppr = bench.pages_per_row(g.page_bytes);
+        let tiles = self.source.num_tiles();
+        let total_rows = self.source.tile_row_range(tiles - 1).end;
+        let mut report = UpdateReport::default();
+        // Host ships the fresh FP32 rows plus their INT4 projections.
+        let payload = rows.len() as u64 * (4 * bench.hidden as u64 + bench.int4_row_bytes());
+        let mut t = self.host.transfer(payload, SimTime::ZERO);
+        let mut new_pages = Vec::with_capacity(rows.len() * ppr as usize);
+        let mut rep = None;
+        for &row in rows {
+            assert!(
+                row < total_rows,
+                "update row {row} out of range {total_rows}"
+            );
+            let tile = self.tile_of_row(row);
+            let local = (row - self.source.tile_row_range(tile).start) as usize;
+            // Re-placement: bump the row's version so subsequent reads (and
+            // the programs below) resolve to a fresh page set. The channel
+            // stays the learned interleaver's pick, so balance is kept.
+            *self.row_versions.entry(row).or_insert(0) += 1;
+            let layout = self.tile_layout(tile).clone();
+            for p in 0..ppr {
+                let addr = self.row_page_addr(&layout, row, local, p);
+                rep.get_or_insert(addr);
+                t = t.max(self.flash.program_page(addr, t));
+                new_pages.push(row * ppr + p);
+                report.pages_programmed += 1;
+            }
+            // The row's INT4 screener image is rewritten in device DRAM.
+            t = self.dram.transfer(bench.int4_row_bytes(), t);
+            report.rows_requantized += 1;
+            report.rows_replaced += 1;
+        }
+        // RAID-5 read-modify-write of every touched stripe (§5.3 parity
+        // over the channel's dies); degenerate single-die channels carry
+        // no parity.
+        if let Some(rep) = rep.filter(|_| g.dies_per_channel >= 2) {
+            let cost = ParityRefreshModel::new(ParityScheme::new(g.dies_per_channel))
+                .refresh_for_pages(&new_pages);
+            for _ in 0..cost.page_reads {
+                t = t.max(self.flash.read_page(rep, t).done);
+            }
+            for _ in 0..cost.parity_programs {
+                t = t.max(self.flash.program_page(rep, t));
+            }
+            report.parity = cost;
+        }
+        // Staleness barrier: pre-update cached row images become
+        // unreachable the moment the new placement serves.
+        let inv_before = self.hot_cache.stats().invalidations;
+        self.hot_cache.invalidate_rows(rows);
+        report.cache_invalidations = self.hot_cache.stats().invalidations - inv_before;
+        self.update_programs += report.pages_programmed + report.parity.parity_programs;
+        self.update_epoch += 1;
+        report.epoch = self.update_epoch;
+        report.staged_at = t;
+        report
+    }
+
+    /// The deployment epoch of the timing plane: the number of applied
+    /// updates (0 = the initial deployment only).
+    pub fn update_epoch(&self) -> u64 {
+        self.update_epoch
+    }
+
+    /// Tile holding global row `row` (tiles partition the row space in
+    /// order, so binary search over the tile starts).
+    fn tile_of_row(&self, row: u64) -> usize {
+        let tiles = self.source.num_tiles();
+        let (mut lo, mut hi) = (0usize, tiles - 1);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.source.tile_row_range(mid).end <= row {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}

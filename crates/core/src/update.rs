@@ -1,0 +1,349 @@
+//! Online model updates on the [`Ecssd`] device: stage → commit.
+//!
+//! An [`UpdateBatch`] is *staged* onto the serving device: version N+1's
+//! weight rows are programmed into fresh LPNs through the FTL write path
+//! (so program and GC traffic contend with version-N query reads on the
+//! shared flash timelines), the touched stripes pay their RAID-5
+//! read-modify-write, and the staged screener is re-quantized per the
+//! device's [`RequantPolicy`]. Queries keep reading version N untouched
+//! until [`Ecssd::commit_update`] atomically swaps the staged state in,
+//! trims the superseded pages, and invalidates the touched rows in the
+//! hot-row cache — the staleness barrier that makes a pre-update cached
+//! row image unreachable.
+
+use ecssd_layout::ParityScheme;
+use ecssd_screen::{DenseMatrix, Screener};
+use ecssd_ssd::{GcReport, PhysPageAddr, SimTime};
+use ecssd_update::{
+    ParityRefreshModel, RequantPolicy, ScaleDriftDetector, UpdateBatch, UpdateOp, UpdatePolicy,
+    UpdateReport,
+};
+
+use crate::api::{Ecssd, EcssdError};
+
+/// Version N+1 under construction while queries serve version N.
+#[derive(Debug)]
+pub(crate) struct StagedUpdate {
+    /// Full weight matrix with the staged batches applied.
+    pub(crate) weights: DenseMatrix,
+    /// Screener with the touched rows re-quantized.
+    pub(crate) screener: Screener,
+    /// Per-row first LPNs of version N+1 (touched rows point at fresh
+    /// pages; untouched rows share version N's pages).
+    pub(crate) row_lpns: Vec<u64>,
+    /// Global row ids the batches touched (cache invalidation at commit).
+    pub(crate) touched_rows: Vec<u64>,
+    /// LPNs superseded by the batches, trimmed + recycled at commit.
+    pub(crate) freed_lpns: Vec<u64>,
+    /// Fresh LPNs holding version N+1's rows, trimmed on abort.
+    pub(crate) staged_lpns: Vec<u64>,
+    /// Accounting over every batch staged into this version.
+    pub(crate) report: UpdateReport,
+}
+
+impl Ecssd {
+    /// Sets the screener re-quantization policy for subsequent updates and
+    /// re-baselines the scale-drift detector.
+    pub fn set_update_policy(&mut self, policy: UpdatePolicy) {
+        self.update_policy = policy;
+        self.drift = ScaleDriftDetector::new(match policy.requant {
+            RequantPolicy::InPlace { max_drift } => max_drift,
+            RequantPolicy::Exact => 2.0, // inert: Exact never observes drift
+        });
+    }
+
+    /// The active update policy.
+    pub fn update_policy(&self) -> UpdatePolicy {
+        self.update_policy
+    }
+
+    /// Deployment version queries currently read (0 = nothing deployed;
+    /// each `weight_deploy` or committed update bumps it).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether a staged (uncommitted) version N+1 exists.
+    pub fn has_staged_update(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    /// Takes an LPN for an update write: superseded pages recycle before
+    /// the never-used tail grows.
+    fn take_lpn(&mut self) -> u64 {
+        if let Some(lpn) = self.free_lpns.pop() {
+            return lpn;
+        }
+        let lpn = self.next_lpn;
+        self.next_lpn += 1;
+        lpn
+    }
+
+    /// Stages an update batch into version N+1 (repeatable: further
+    /// batches stack onto the staged version until commit). Queries
+    /// continue to read version N, but the staging writes — data
+    /// programs, GC relocations, parity read-modify-write — share the
+    /// flash timing model with them, which is exactly the read/write
+    /// interference the update study measures.
+    ///
+    /// # Errors
+    ///
+    /// Fails outside accelerator mode, before deployment, or when the
+    /// batch does not fit the staged model. On error the whole staged
+    /// version is dropped (as if aborted) and its pages are recycled;
+    /// the serving state is never touched.
+    pub fn stage_update(&mut self, batch: &UpdateBatch) -> Result<UpdateReport, EcssdError> {
+        self.require_accelerator()?;
+        let rows = match &self.staged {
+            Some(s) => s.weights.rows(),
+            None => self.weights.as_ref().ok_or(EcssdError::NoWeights)?.rows(),
+        };
+        batch.validate_against(rows)?;
+        let mut staged = match self.staged.take() {
+            Some(s) => s,
+            None => StagedUpdate {
+                weights: self.weights.clone().ok_or(EcssdError::NoWeights)?,
+                screener: self.screener.clone().ok_or(EcssdError::NoWeights)?,
+                row_lpns: self.row_lpns.clone(),
+                touched_rows: Vec::new(),
+                freed_lpns: Vec::new(),
+                staged_lpns: Vec::new(),
+                report: UpdateReport::default(),
+            },
+        };
+        match self.apply_ops(batch, &mut staged) {
+            Ok(report) => {
+                staged.report = staged.report.merge(&report);
+                self.staged = Some(staged);
+                Ok(report)
+            }
+            Err(e) => {
+                // Recycle every page of the dropped version; trims on
+                // already-dead pages are idempotent no-ops.
+                for &lpn in &staged.staged_lpns {
+                    let _ = self.device.ftl_mut().trim(lpn);
+                }
+                self.free_lpns.extend_from_slice(&staged.staged_lpns);
+                Err(e)
+            }
+        }
+    }
+
+    /// Applies one batch's ops to the staged matrices and charges the
+    /// flash traffic (programs, GC, parity) on the shared timelines.
+    fn apply_ops(
+        &mut self,
+        batch: &UpdateBatch,
+        staged: &mut StagedUpdate,
+    ) -> Result<UpdateReport, EcssdError> {
+        let mut report = UpdateReport::default();
+        let cols = staged.weights.cols();
+        // Host ships the batch's fresh rows over PCIe before any flash op.
+        let payload_rows = batch
+            .ops()
+            .iter()
+            .filter(|op| !matches!(op, UpdateOp::Remove(_)))
+            .count() as u64;
+        let mut t = self
+            .device
+            .host_mut()
+            .transfer(payload_rows * 4 * cols as u64, self.clock);
+        // Staging is asynchronous with serving: the host hands the batch
+        // off (the clock advances past the PCIe transfer only) and the
+        // programs below occupy the flash timelines in the background.
+        // Query reads issued later queue behind them wherever they collide
+        // on a die or channel bus — the read/write interference the update
+        // study measures.
+        let issue = t;
+        let mut new_lpns: Vec<u64> = Vec::new();
+        let mut rep_addr: Option<PhysPageAddr> = None;
+        let gc_before = self.device.ftl().gc_totals();
+        let zero_row = vec![0.0f32; cols];
+        for op in batch.ops() {
+            let row = match op {
+                UpdateOp::Add(v) => {
+                    let mut grown = staged.weights.as_slice().to_vec();
+                    grown.extend_from_slice(v);
+                    staged.weights = DenseMatrix::from_vec(staged.weights.rows() + 1, cols, grown)?;
+                    staged.screener.append_row(v)?;
+                    staged.row_lpns.push(0); // patched below
+                    report.rows_added += 1;
+                    staged.weights.rows() - 1
+                }
+                UpdateOp::Replace(r, v) => {
+                    staged.weights.row_mut(*r).copy_from_slice(v);
+                    t = self.requant_staged_row(staged, &mut report, *r, v, t)?;
+                    report.rows_replaced += 1;
+                    *r
+                }
+                UpdateOp::Remove(r) => {
+                    // Tombstone: the category id stays valid for in-flight
+                    // queries; its weights go to zero.
+                    staged.weights.row_mut(*r).fill(0.0);
+                    t = self.requant_staged_row(staged, &mut report, *r, &zero_row, t)?;
+                    report.rows_removed += 1;
+                    *r
+                }
+            };
+            if op.target().is_some() {
+                // Supersede the row's current pages (version N's for a
+                // first touch — they stay readable until commit).
+                let old_first = staged.row_lpns[row];
+                for p in 0..self.pages_per_row {
+                    staged.freed_lpns.push(old_first + p);
+                }
+            }
+            // Program version N+1's row at fresh LPNs.
+            let mut first = None;
+            for _ in 0..self.pages_per_row {
+                let lpn = self.take_lpn();
+                first.get_or_insert(lpn);
+                let addr = self.device.ftl_mut().write(lpn)?;
+                rep_addr.get_or_insert(addr);
+                t = t.max(self.device.flash_mut().program_page(addr, t));
+                staged.staged_lpns.push(lpn);
+                new_lpns.push(lpn);
+                report.pages_programmed += 1;
+            }
+            if let Some(first) = first {
+                staged.row_lpns[row] = first;
+            }
+            staged.touched_rows.push(row as u64);
+        }
+        t = self.charge_side_effects(&mut report, gc_before, rep_addr, &new_lpns, t);
+        report.staged_at = t;
+        self.clock = issue;
+        Ok(report)
+    }
+
+    /// Charges what the update writes triggered beyond the data programs:
+    /// GC relocations/erases and the RAID-5 read-modify-write of the
+    /// touched stripes.
+    fn charge_side_effects(
+        &mut self,
+        report: &mut UpdateReport,
+        gc_before: GcReport,
+        rep_addr: Option<PhysPageAddr>,
+        new_lpns: &[u64],
+        mut t: SimTime,
+    ) -> SimTime {
+        let rep = rep_addr.unwrap_or(PhysPageAddr {
+            channel: 0,
+            die: 0,
+            plane: 0,
+            block: 0,
+            page: 0,
+        });
+        let gc_after = self.device.ftl().gc_totals();
+        report.gc = GcReport {
+            moved_pages: gc_after.moved_pages - gc_before.moved_pages,
+            erased_blocks: gc_after.erased_blocks - gc_before.erased_blocks,
+        };
+        if report.gc != GcReport::default() {
+            let (ftl, flash) = self.device.ftl_and_flash_mut();
+            t = t.max(ftl.charge_gc(flash, rep.channel, report.gc, t));
+        }
+        let dies = self.device.config().geometry.dies_per_channel;
+        if !new_lpns.is_empty() && dies >= 2 {
+            let model = ParityRefreshModel::new(ParityScheme::new(dies));
+            let cost = model.refresh_for_pages(new_lpns);
+            for _ in 0..cost.page_reads {
+                t = t.max(self.device.flash_mut().read_page(rep, t).done);
+            }
+            for _ in 0..cost.parity_programs {
+                t = t.max(self.device.flash_mut().program_page(rep, t));
+            }
+            report.parity = cost;
+        }
+        t
+    }
+
+    /// Re-quantizes one staged screener row per the device policy,
+    /// escalating to a full re-quantization when in-place drift trips the
+    /// detector (the whole INT4 image is rewritten in DRAM, restoring
+    /// exactness).
+    fn requant_staged_row(
+        &mut self,
+        staged: &mut StagedUpdate,
+        report: &mut UpdateReport,
+        row: usize,
+        values: &[f32],
+        mut t: SimTime,
+    ) -> Result<SimTime, EcssdError> {
+        let row_bytes = (staged.screener.projected_dim().div_ceil(2) + 4) as u64;
+        match self.update_policy.requant {
+            RequantPolicy::Exact => {
+                staged.screener.requantize_row(row, values)?;
+                report.rows_requantized += 1;
+                t = self.device.dram_mut().transfer(row_bytes, t);
+            }
+            RequantPolicy::InPlace { .. } => {
+                let drift = staged.screener.reencode_row_in_place(row, values)?;
+                report.rows_reencoded += 1;
+                t = self.device.dram_mut().transfer(row_bytes, t);
+                if self.drift.observe(drift) {
+                    // Full re-quantization from the staged weights: every
+                    // deployed scale returns to its ideal.
+                    for r in 0..staged.weights.rows() {
+                        let fresh = staged.weights.row(r).to_vec();
+                        staged.screener.requantize_row(r, &fresh)?;
+                    }
+                    report.rows_requantized += staged.weights.rows() as u64;
+                    report.drift_requants += 1;
+                    self.drift.reset();
+                    let int4_bytes = staged.screener.weights4().storage_bytes() as u64;
+                    t = self.device.dram_mut().transfer(int4_bytes, t);
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// Atomically swaps the staged version in: queries issued after this
+    /// call read version N+1, queries completed before it read version N,
+    /// and none ever sees a mix. Superseded pages are trimmed (their LPNs
+    /// recycle to future updates) and every touched row is invalidated in
+    /// the hot-row cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EcssdError::NoStagedUpdate`] when nothing is staged.
+    pub fn commit_update(&mut self) -> Result<UpdateReport, EcssdError> {
+        self.require_accelerator()?;
+        let staged = self.staged.take().ok_or(EcssdError::NoStagedUpdate)?;
+        let mut report = staged.report;
+        // The swap itself: version N+1 becomes the serving state.
+        self.weights = Some(staged.weights);
+        self.screener = Some(staged.screener);
+        self.row_lpns = staged.row_lpns;
+        // Staleness barrier: a committed query can never be served a
+        // pre-update cached row image.
+        let inv_before = self.hot_cache.stats().invalidations;
+        self.hot_cache.invalidate_rows(&staged.touched_rows);
+        report.cache_invalidations = self.hot_cache.stats().invalidations - inv_before;
+        // Version N's superseded pages die and their LPNs recycle.
+        for &lpn in &staged.freed_lpns {
+            self.device.ftl_mut().trim(lpn)?;
+        }
+        self.free_lpns.extend_from_slice(&staged.freed_lpns);
+        self.update_programs += report.pages_programmed + report.parity.parity_programs;
+        self.epoch += 1;
+        report.epoch = self.epoch;
+        Ok(report)
+    }
+
+    /// Drops the staged version: its pages are trimmed and their LPNs
+    /// recycle. The serving state is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EcssdError::NoStagedUpdate`] when nothing is staged.
+    pub fn abort_update(&mut self) -> Result<(), EcssdError> {
+        let staged = self.staged.take().ok_or(EcssdError::NoStagedUpdate)?;
+        for &lpn in &staged.staged_lpns {
+            self.device.ftl_mut().trim(lpn)?;
+        }
+        self.free_lpns.extend_from_slice(&staged.staged_lpns);
+        Ok(())
+    }
+}

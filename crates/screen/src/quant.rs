@@ -39,20 +39,23 @@ impl Int4Vector {
         if values.is_empty() {
             return Err(ScreenError::Empty);
         }
+        let scale = Self::ideal_scale(values);
+        let codes = encode(values, scale);
+        Ok(Int4Vector { scale, codes })
+    }
+
+    /// The max-abs symmetric scale a fresh quantization of `values` would
+    /// choose (`max|v| / 7`, or `1.0` for an all-zero slice). The
+    /// scale-drift detector of the online-update path compares this ideal
+    /// against a deployed scale to decide when in-place re-encoding has
+    /// degraded too far.
+    pub fn ideal_scale(values: &[f32]) -> f32 {
         let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-        let scale = if max_abs == 0.0 {
+        if max_abs == 0.0 {
             1.0
         } else {
             max_abs / f32::from(INT4_MAX)
-        };
-        let codes = values
-            .iter()
-            .map(|&v| {
-                let q = (v / scale).round();
-                q.clamp(f32::from(INT4_MIN), f32::from(INT4_MAX)) as i8
-            })
-            .collect();
-        Ok(Int4Vector { scale, codes })
+        }
     }
 
     /// The quantization scale (`value ≈ code * scale`).
@@ -129,6 +132,19 @@ impl Int4Vector {
     pub fn storage_bytes(&self) -> usize {
         self.codes.len().div_ceil(2) + 4
     }
+}
+
+/// Encodes `values` against a fixed `scale`, clamping to the symmetric
+/// INT4 range. Identical to the mapping inside [`Int4Vector::quantize`]
+/// when `scale` is the ideal max-abs scale.
+fn encode(values: &[f32], scale: f32) -> Vec<i8> {
+    values
+        .iter()
+        .map(|&v| {
+            let q = (v / scale).round();
+            q.clamp(f32::from(INT4_MIN), f32::from(INT4_MAX)) as i8
+        })
+        .collect()
 }
 
 /// A row-quantized INT4 matrix: per-row scales, 4-bit codes.
@@ -254,6 +270,79 @@ impl Int4Matrix {
     pub fn storage_bytes(&self) -> usize {
         self.codes.len().div_ceil(2) + self.rows * 4
     }
+
+    fn check_row_values(&self, r: usize, values: &[f32]) -> Result<(), ScreenError> {
+        if values.len() != self.cols {
+            return Err(ScreenError::DimensionMismatch {
+                expected: self.cols,
+                got: values.len(),
+            });
+        }
+        assert!(r < self.rows, "row {r} out of bounds");
+        Ok(())
+    }
+
+    /// Re-quantizes row `r` from fresh FP32 values with its own ideal
+    /// max-abs scale. Because this matrix quantizes every row
+    /// independently, the result is bitwise identical to what a full
+    /// [`Int4Matrix::quantize`] of the updated dense matrix would hold for
+    /// that row — the exactness guarantee the online-update path's
+    /// `RequantPolicy::Exact` relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::DimensionMismatch`] if `values.len() != cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn requantize_row(&mut self, r: usize, values: &[f32]) -> Result<(), ScreenError> {
+        self.check_row_values(r, values)?;
+        let scale = Int4Vector::ideal_scale(values);
+        self.scales[r] = scale;
+        self.codes[r * self.cols..(r + 1) * self.cols].copy_from_slice(&encode(values, scale));
+        Ok(())
+    }
+
+    /// Re-encodes row `r` against its *deployed* scale without touching it
+    /// (in-place update: cheaper on device, but values beyond the old
+    /// dynamic range clamp at ±7). Returns the ratio `ideal / deployed`
+    /// scale so the caller's drift detector can decide when accumulated
+    /// clamping warrants a full re-quantization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::DimensionMismatch`] if `values.len() != cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn reencode_row_in_place(&mut self, r: usize, values: &[f32]) -> Result<f32, ScreenError> {
+        self.check_row_values(r, values)?;
+        let deployed = self.scales[r];
+        self.codes[r * self.cols..(r + 1) * self.cols].copy_from_slice(&encode(values, deployed));
+        Ok(Int4Vector::ideal_scale(values) / deployed)
+    }
+
+    /// Appends a freshly quantized row (a new category) and returns its
+    /// row index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::DimensionMismatch`] if `values.len() != cols`.
+    pub fn append_row(&mut self, values: &[f32]) -> Result<usize, ScreenError> {
+        if values.len() != self.cols {
+            return Err(ScreenError::DimensionMismatch {
+                expected: self.cols,
+                got: values.len(),
+            });
+        }
+        let scale = Int4Vector::ideal_scale(values);
+        self.scales.push(scale);
+        self.codes.extend_from_slice(&encode(values, scale));
+        self.rows += 1;
+        Ok(self.rows - 1)
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +429,53 @@ mod tests {
         assert_eq!(q.storage_bytes(), 8 * 10 / 2 + 8 * 4);
         let v = Int4Vector::quantize(&[1.0, 2.0, 3.0]).unwrap();
         assert_eq!(v.storage_bytes(), 2 + 4);
+    }
+
+    #[test]
+    fn requantize_row_matches_full_quantization() {
+        let before = DenseMatrix::random(8, 6, 1);
+        let after = DenseMatrix::random(8, 6, 2);
+        // Incrementally patch rows 2 and 5 of `before`'s quantization with
+        // `after`'s values.
+        let mut q = Int4Matrix::quantize(&before);
+        for r in [2usize, 5] {
+            q.requantize_row(r, after.row(r)).unwrap();
+        }
+        let mut merged = before.clone();
+        for r in [2usize, 5] {
+            merged.row_mut(r).copy_from_slice(after.row(r));
+        }
+        assert_eq!(
+            q,
+            Int4Matrix::quantize(&merged),
+            "incremental per-row requantization must be bitwise exact"
+        );
+    }
+
+    #[test]
+    fn in_place_reencode_keeps_scale_and_reports_drift() {
+        let m = DenseMatrix::from_vec(1, 2, vec![1.0, -0.5]).unwrap();
+        let mut q = Int4Matrix::quantize(&m);
+        let deployed = q.row_scale(0);
+        // New values double the dynamic range: codes clamp, drift ratio 2.
+        let drift = q.reencode_row_in_place(0, &[2.0, -0.5]).unwrap();
+        assert_eq!(q.row_scale(0), deployed, "deployed scale retained");
+        assert_eq!(q.row_codes(0)[0], INT4_MAX, "out-of-range value clamps");
+        assert!((drift - 2.0).abs() < 1e-6, "drift ratio {drift}");
+    }
+
+    #[test]
+    fn append_row_grows_the_matrix() {
+        let m = DenseMatrix::random(4, 6, 9);
+        let mut q = Int4Matrix::quantize(&m);
+        let idx = q.append_row(&[0.5; 6]).unwrap();
+        assert_eq!(idx, 4);
+        assert_eq!(q.rows(), 5);
+        assert_eq!(q.row_codes(4), &[7; 6]);
+        assert!(matches!(
+            q.append_row(&[1.0; 3]),
+            Err(ScreenError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

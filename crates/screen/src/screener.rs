@@ -152,6 +152,56 @@ impl Screener {
             .collect())
     }
 
+    /// Replaces the screener row of category `r` from its fresh FP32
+    /// weight row: project to `K` dimensions, re-quantize with the row's
+    /// ideal scale. Since projection and quantization are both per-row,
+    /// the result is bitwise identical to rebuilding the whole screener
+    /// from the updated weight matrix ([`Screener::from_weights`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates projection/quantization dimension errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.categories()`.
+    pub fn requantize_row(&mut self, r: usize, weights_row: &[f32]) -> Result<(), ScreenError> {
+        let projected = self.projector.project(weights_row)?;
+        self.weights4.requantize_row(r, &projected)
+    }
+
+    /// Replaces the screener row of category `r` *in place*: the deployed
+    /// INT4 scale is kept and the projected values are re-encoded against
+    /// it (clamping outside the old dynamic range). Returns the
+    /// `ideal / deployed` scale ratio for the caller's drift detector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates projection/quantization dimension errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.categories()`.
+    pub fn reencode_row_in_place(
+        &mut self,
+        r: usize,
+        weights_row: &[f32],
+    ) -> Result<f32, ScreenError> {
+        let projected = self.projector.project(weights_row)?;
+        self.weights4.reencode_row_in_place(r, &projected)
+    }
+
+    /// Appends a new category row (projected and freshly quantized) and
+    /// returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates projection/quantization dimension errors.
+    pub fn append_row(&mut self, weights_row: &[f32]) -> Result<usize, ScreenError> {
+        let projected = self.projector.project(weights_row)?;
+        self.weights4.append_row(&projected)
+    }
+
     /// Calibrates a fixed threshold so that, over a set of training
     /// features, the mean candidate ratio is approximately `target_ratio`
     /// (the paper's "pre-trained threshold", §2.1).
@@ -299,6 +349,37 @@ mod tests {
             .unwrap();
         assert_eq!(c.len(), 10);
         assert!(c.iter().all(|&r| (100..200).contains(&r)));
+    }
+
+    #[test]
+    fn incremental_row_update_equals_fresh_screener() {
+        let before = DenseMatrix::random(64, 32, 41);
+        let after = DenseMatrix::random(64, 32, 42);
+        let p = Projector::paper_scale(32, 43).unwrap();
+        let mut s = Screener::from_weights(&before, p.clone()).unwrap();
+        let mut merged = before.clone();
+        for r in [0usize, 17, 63] {
+            s.requantize_row(r, after.row(r)).unwrap();
+            merged.row_mut(r).copy_from_slice(after.row(r));
+        }
+        let fresh = Screener::from_weights(&merged, p).unwrap();
+        assert_eq!(s, fresh, "incremental update must be bitwise exact");
+    }
+
+    #[test]
+    fn append_row_extends_categories() {
+        let w = DenseMatrix::random(16, 32, 44);
+        let p = Projector::paper_scale(32, 45).unwrap();
+        let mut s = Screener::from_weights(&w, p.clone()).unwrap();
+        let new_row: Vec<f32> = (0..32).map(|i| (i as f32 * 0.17).sin()).collect();
+        assert_eq!(s.append_row(&new_row).unwrap(), 16);
+        assert_eq!(s.categories(), 17);
+        // The appended row equals what a fresh build would produce.
+        let mut grown = w.as_slice().to_vec();
+        grown.extend_from_slice(&new_row);
+        let fresh =
+            Screener::from_weights(&DenseMatrix::from_vec(17, 32, grown).unwrap(), p).unwrap();
+        assert_eq!(s, fresh);
     }
 
     #[test]

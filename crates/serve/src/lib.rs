@@ -54,6 +54,7 @@ use std::time::{Duration, Instant};
 
 use ecssd_core::{
     sort_scores, Classifier, ClassifierStats, Ecssd, EcssdConfig, EcssdError, EcssdMode,
+    UpdateBatch, UpdateReport,
 };
 use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
 use ecssd_ssd::{CacheStats, SimTime};
@@ -119,6 +120,13 @@ pub struct ServeReport {
     /// only, deployment excluded). `Some` iff the engine was built with
     /// [`ServeEngine::with_tracing`].
     pub breakdown: Option<StageBreakdown>,
+    /// Deployment version the shards serve (max over shards; every deploy
+    /// or committed update bumps it).
+    pub epoch: u64,
+    /// Batches whose shard answers carried differing epochs. The commit
+    /// protocol serializes the swap against batch formation, so this must
+    /// stay 0 — it is asserted by the update-study smoke run.
+    pub mixed_version_batches: u64,
 }
 
 /// A query waiting for its merged answer (returned by
@@ -168,6 +176,30 @@ enum Job {
         inputs: Arc<Vec<Vec<f32>>>,
         k: usize,
     },
+    /// Stage this shard's slice of an update batch as version N+1 (its
+    /// program/GC traffic contends with query reads; results stay at
+    /// version N).
+    Stage {
+        batch: UpdateBatch,
+        ack: Sender<Result<UpdateReport, String>>,
+    },
+    /// Swap the staged version in. Routed through the dispatcher so the
+    /// swap point falls on a batch boundary on every shard at once.
+    Commit {
+        ack: Sender<(usize, Result<UpdateReport, String>)>,
+    },
+    /// Drop the staged version (never routed through the dispatcher —
+    /// staged state is invisible to queries).
+    Abort { ack: Sender<Result<(), String>> },
+}
+
+/// What flows into the dispatcher: queries to batch, or a commit barrier
+/// to forward to every shard between two batches.
+enum Submission {
+    Query(Query),
+    Commit {
+        ack: Sender<(usize, Result<UpdateReport, String>)>,
+    },
 }
 
 struct Ticket {
@@ -183,6 +215,9 @@ enum MergeMsg {
         shard: usize,
         /// Simulated time this shard's device spent on the batch.
         sim_ns: u64,
+        /// Deployment version the shard served this batch at (the merger
+        /// counts batches whose shards disagree).
+        epoch: u64,
         result: Result<Vec<Vec<Score>>, String>,
     },
 }
@@ -201,6 +236,10 @@ struct Metrics {
     /// time; deployment excluded).
     shard_busy_ns: Vec<u64>,
     cache: Vec<CacheStats>,
+    /// Deployment version each shard currently serves.
+    epochs: Vec<u64>,
+    /// Batches whose shard answers disagreed on the epoch (must stay 0).
+    mixed_version_batches: u64,
 }
 
 impl Metrics {
@@ -214,6 +253,8 @@ impl Metrics {
             serve_start: vec![SimTime::ZERO; shards],
             shard_busy_ns: vec![0; shards],
             cache: vec![CacheStats::default(); shards],
+            epochs: vec![0; shards],
+            mixed_version_batches: 0,
         }
     }
 }
@@ -230,7 +271,7 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// architecture). Implements [`Classifier`], so it is a drop-in for a
 /// single [`Ecssd`] or an [`ecssd_core::EcssdCluster`].
 pub struct ServeEngine {
-    submit_tx: Option<Sender<Query>>,
+    submit_tx: Option<Sender<Submission>>,
     worker_tx: Vec<Sender<Job>>,
     threads: Vec<JoinHandle<()>>,
     metrics: Arc<Mutex<Metrics>>,
@@ -300,7 +341,7 @@ impl ServeEngine {
         }
         config.validate()?;
         let metrics = Arc::new(Mutex::new(Metrics::new(shards)));
-        let (submit_tx, submit_rx) = mpsc::channel::<Query>();
+        let (submit_tx, submit_rx) = mpsc::channel::<Submission>();
         let (merge_tx, merge_rx) = mpsc::channel::<MergeMsg>();
         let mut worker_tx = Vec::with_capacity(shards);
         let mut threads = Vec::with_capacity(shards + 2);
@@ -512,15 +553,162 @@ impl ServeEngine {
             .as_ref()
             .ok_or_else(|| EcssdError::Serve("engine stopped".into()))?;
         let (resp_tx, resp_rx) = mpsc::channel();
-        tx.send(Query {
+        tx.send(Submission::Query(Query {
             idx: 0,
             features,
             k,
             submitted: Instant::now(),
             resp: resp_tx,
-        })
+        }))
         .map_err(|_| EcssdError::Serve("dispatcher exited".into()))?;
         Ok(Pending { rx: resp_rx })
+    }
+
+    /// Splits `batch` along the shard partition and stages each slice as
+    /// version N+1 on its worker device, blocking until every shard
+    /// acknowledged. Serving continues at version N throughout; the
+    /// staging program/GC traffic contends with query reads on each
+    /// shard's flash timelines. Stage repeatedly to stack batches, then
+    /// [`ServeEngine::commit_update`] to make them visible.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled, [`EcssdError::NoWeights`]
+    /// before deployment, [`EcssdError::Update`] for a malformed batch,
+    /// and shard failures as [`EcssdError::Serve`].
+    pub fn stage_update(&mut self, batch: &UpdateBatch) -> Result<UpdateReport, EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        if self.shard_starts.is_empty() {
+            return Err(EcssdError::NoWeights);
+        }
+        let rows = *self.shard_starts.last().unwrap_or(&0);
+        batch.validate_against(rows).map_err(EcssdError::Update)?;
+        // Every shard stages — even an empty slice — so the commit bumps
+        // every device epoch in lockstep.
+        let slices = batch.split_by_shards(&self.shard_starts);
+        let mut acks = Vec::with_capacity(slices.len());
+        for (i, (worker, slice)) in self.worker_tx.iter().zip(slices).enumerate() {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::Stage {
+                    batch: slice,
+                    ack: ack_tx,
+                })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            acks.push(ack_rx);
+        }
+        let mut merged = UpdateReport::default();
+        for (i, ack) in acks.into_iter().enumerate() {
+            let report = ack
+                .recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited during stage")))?
+                .map_err(|e| EcssdError::Serve(format!("shard {i} stage failed: {e}")))?;
+            merged = merged.merge(&report);
+        }
+        Ok(merged)
+    }
+
+    /// Atomically swaps the staged version in on every shard: the request
+    /// flows through the dispatcher, which closes the open batch first
+    /// and forwards the commit to every worker before forming the next —
+    /// so the swap lands on the same batch boundary everywhere. Queries
+    /// batched before the commit read version N on all shards, queries
+    /// after it read N+1 on all shards, and none sees a mix (the merger
+    /// audits this; see [`ServeReport::mixed_version_batches`]).
+    ///
+    /// Shard row counts grow by the committed `Add` ops (appends land on
+    /// the last shard, so existing global category ids never shift).
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled, [`EcssdError::NoWeights`]
+    /// before deployment, and shard failures (including committing with
+    /// nothing staged) as [`EcssdError::Serve`].
+    pub fn commit_update(&mut self) -> Result<UpdateReport, EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        if self.shard_starts.is_empty() {
+            return Err(EcssdError::NoWeights);
+        }
+        let tx = self
+            .submit_tx
+            .as_ref()
+            .ok_or_else(|| EcssdError::Serve("engine stopped".into()))?;
+        let (ack_tx, ack_rx) = mpsc::channel();
+        tx.send(Submission::Commit { ack: ack_tx })
+            .map_err(|_| EcssdError::Serve("dispatcher exited".into()))?;
+        let mut merged = UpdateReport::default();
+        let mut added = 0usize;
+        let mut first_error: Option<String> = None;
+        for _ in 0..self.worker_tx.len() {
+            let (shard, result) = ack_rx
+                .recv()
+                .map_err(|_| EcssdError::Serve("worker exited during commit".into()))?;
+            match result {
+                Ok(report) => {
+                    added += report.rows_added as usize;
+                    merged = merged.merge(&report);
+                }
+                Err(e) => {
+                    first_error =
+                        Some(first_error.unwrap_or(format!("shard {shard} commit failed: {e}")));
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(EcssdError::Serve(e));
+        }
+        if let Some(end) = self.shard_starts.last_mut() {
+            *end += added;
+        }
+        Ok(merged)
+    }
+
+    /// Drops the staged version on every shard; serving state and epoch
+    /// are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled; shard failures (including
+    /// aborting with nothing staged) as [`EcssdError::Serve`].
+    pub fn abort_update(&mut self) -> Result<(), EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        let mut acks = Vec::with_capacity(self.worker_tx.len());
+        for (i, worker) in self.worker_tx.iter().enumerate() {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::Abort { ack: ack_tx })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            acks.push(ack_rx);
+        }
+        for (i, ack) in acks.into_iter().enumerate() {
+            ack.recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited during abort")))?
+                .map_err(|e| EcssdError::Serve(format!("shard {i} abort failed: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// The deployment version the shards serve (max over shards; the
+    /// commit protocol keeps them in lockstep).
+    pub fn epoch(&self) -> u64 {
+        lock(&self.metrics)
+            .epochs
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Classifies a batch: every input is enqueued, batched by the
@@ -545,13 +733,13 @@ impl ServeEngine {
             .ok_or_else(|| EcssdError::Serve("engine stopped".into()))?;
         let (resp_tx, resp_rx) = mpsc::channel();
         for (idx, features) in inputs.iter().enumerate() {
-            tx.send(Query {
+            tx.send(Submission::Query(Query {
                 idx,
                 features: features.clone(),
                 k,
                 submitted: Instant::now(),
                 resp: resp_tx.clone(),
-            })
+            }))
             .map_err(|_| EcssdError::Serve("dispatcher exited".into()))?;
         }
         drop(resp_tx);
@@ -629,6 +817,8 @@ impl ServeEngine {
                 b.dropped_spans = t.dropped_spans();
                 b
             }),
+            epoch: m.epochs.iter().copied().max().unwrap_or(0),
+            mixed_version_batches: m.mixed_version_batches,
         }
     }
 }
@@ -713,8 +903,31 @@ fn worker_loop(
                 let mut m = lock(&metrics);
                 m.shard_elapsed[shard] = Classifier::elapsed(&device);
                 m.serve_start[shard] = Classifier::elapsed(&device);
+                m.epochs[shard] = device.epoch();
                 drop(m);
                 let _ = ack.send(outcome);
+            }
+            Job::Stage { batch, ack } => {
+                let outcome = device.stage_update(&batch).map_err(|e| e.to_string());
+                // Staging advances the device clock: its program/GC/parity
+                // traffic shares the timelines queries read from.
+                let mut m = lock(&metrics);
+                m.shard_elapsed[shard] = Classifier::elapsed(&device);
+                drop(m);
+                let _ = ack.send(outcome);
+            }
+            Job::Commit { ack } => {
+                let outcome = device.commit_update().map_err(|e| e.to_string());
+                if outcome.is_ok() {
+                    rows = device.categories();
+                }
+                let mut m = lock(&metrics);
+                m.epochs[shard] = device.epoch();
+                drop(m);
+                let _ = ack.send((shard, outcome));
+            }
+            Job::Abort { ack } => {
+                let _ = ack.send(device.abort_update().map_err(|e| e.to_string()));
             }
             Job::Threshold { policy, ack } => {
                 let _ = ack.send(device.filter_threshold(policy).map_err(|e| e.to_string()));
@@ -748,6 +961,7 @@ fn worker_loop(
                     id,
                     shard,
                     sim_ns,
+                    epoch: device.epoch(),
                     result,
                 });
             }
@@ -755,8 +969,23 @@ fn worker_loop(
     }
 }
 
+/// Forwards a commit barrier to every worker. Because the dispatcher is
+/// the only sender of `Batch` and `Commit` jobs, every worker sees the
+/// commit at the same position in its (FIFO) job stream: after the same
+/// batch, before the next — the atomic swap point.
+fn forward_commit(
+    workers: &[Sender<Job>],
+    ack: Sender<(usize, Result<UpdateReport, String>)>,
+    tracer: &Tracer,
+) {
+    tracer.count("serve.commits_forwarded", 1);
+    for worker in workers {
+        let _ = worker.send(Job::Commit { ack: ack.clone() });
+    }
+}
+
 fn dispatcher_loop(
-    submissions: Receiver<Query>,
+    submissions: Receiver<Submission>,
     workers: Vec<Sender<Job>>,
     merge: Sender<MergeMsg>,
     policy: ServePolicy,
@@ -766,25 +995,34 @@ fn dispatcher_loop(
     // A query whose `k` differs from the open batch closes that batch and
     // seeds the next one.
     let mut carry: Option<Query> = None;
+    // A commit that arrived while a batch was open: the batch is closed
+    // and dispatched first, then the commit follows it to every worker.
+    let mut pending_commit: Option<Sender<(usize, Result<UpdateReport, String>)>> = None;
     loop {
         let first = match carry.take() {
             Some(q) => q,
             None => match submissions.recv() {
-                Ok(q) => q,
+                Ok(Submission::Query(q)) => q,
+                Ok(Submission::Commit { ack }) => {
+                    // Idle commit: no open batch, forward immediately.
+                    forward_commit(&workers, ack, &tracer);
+                    continue;
+                }
                 Err(_) => return,
             },
         };
         let k = first.k;
         let mut batch = vec![first];
         let deadline = Instant::now() + policy.max_wait;
-        while batch.len() < policy.max_batch && carry.is_none() {
+        while batch.len() < policy.max_batch && carry.is_none() && pending_commit.is_none() {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 break;
             }
             match submissions.recv_timeout(left) {
-                Ok(q) if q.k == k => batch.push(q),
-                Ok(q) => carry = Some(q),
+                Ok(Submission::Query(q)) if q.k == k => batch.push(q),
+                Ok(Submission::Query(q)) => carry = Some(q),
+                Ok(Submission::Commit { ack }) => pending_commit = Some(ack),
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
@@ -807,6 +1045,9 @@ fn dispatcher_loop(
                 k,
             });
         }
+        if let Some(ack) = pending_commit.take() {
+            forward_commit(&workers, ack, &tracer);
+        }
     }
 }
 
@@ -817,6 +1058,10 @@ struct BatchEntry {
     /// Slowest shard's simulated time for this batch (shards run in
     /// parallel) — the batch's simulated latency.
     sim_ns: u64,
+    /// Lowest / highest epoch among the shard answers; they differ only
+    /// if a commit split a batch — which the dispatcher must prevent.
+    epoch_lo: u64,
+    epoch_hi: u64,
 }
 
 fn merger_loop(
@@ -836,12 +1081,15 @@ fn merger_loop(
             results: (0..shards).map(|_| None).collect(),
             received: 0,
             sim_ns: 0,
+            epoch_lo: u64::MAX,
+            epoch_hi: 0,
         });
         match msg {
             MergeMsg::Ticket(t) => entry.ticket = Some(t),
             MergeMsg::Shard {
                 shard,
                 sim_ns,
+                epoch,
                 result,
                 ..
             } => {
@@ -850,6 +1098,8 @@ fn merger_loop(
                 }
                 entry.results[shard] = Some(result);
                 entry.sim_ns = entry.sim_ns.max(sim_ns);
+                entry.epoch_lo = entry.epoch_lo.min(epoch);
+                entry.epoch_hi = entry.epoch_hi.max(epoch);
             }
         }
         if entry.ticket.is_some() && entry.received == shards {
@@ -865,6 +1115,12 @@ fn finalize_batch(entry: BatchEntry, metrics: &Mutex<Metrics>, tracer: &Tracer) 
     let Some(ticket) = entry.ticket else {
         return;
     };
+    if entry.epoch_lo != entry.epoch_hi {
+        // A commit split this batch across versions — the dispatcher
+        // protocol is supposed to make that impossible; record the breach.
+        lock(metrics).mixed_version_batches += 1;
+        tracer.count("serve.mixed_version_batches", 1);
+    }
     let mut per_shard: Vec<Vec<Vec<Score>>> = Vec::with_capacity(entry.results.len());
     let mut error: Option<String> = None;
     for result in entry.results {

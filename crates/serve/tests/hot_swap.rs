@@ -1,0 +1,205 @@
+//! Epoch-based hot-swap on the sharded serving engine: staged updates are
+//! invisible, commits land on a batch boundary on every shard at once (no
+//! mixed-version batches), and a served engine that applies updates online
+//! answers bit-identically to a quiesced engine deploying the same final
+//! weights.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use ecssd_core::prelude::*;
+use ecssd_core::UpdateBatch;
+use ecssd_serve::{Pending, ServeEngine, ServePolicy};
+
+const ROWS: usize = 600;
+const COLS: usize = 32;
+const SHARDS: usize = 3;
+
+fn tiny() -> EcssdConfig {
+    EcssdConfig::tiny_builder().build().unwrap()
+}
+
+fn engine() -> ServeEngine {
+    ServeEngine::new(tiny(), SHARDS, ServePolicy::default()).unwrap()
+}
+
+fn query(phase: f32) -> Vec<f32> {
+    (0..COLS)
+        .map(|i| ((i as f32) * 0.13 + phase).sin())
+        .collect()
+}
+
+fn queries(n: usize) -> Vec<Vec<f32>> {
+    (0..n).map(|q| query(q as f32 * 0.37)).collect()
+}
+
+fn hot_row(seed: f32) -> Vec<f32> {
+    (0..COLS)
+        .map(|i| ((i as f32) * 0.13 + seed).sin() * 1.5)
+        .collect()
+}
+
+fn replace_batch(rows: &[usize]) -> UpdateBatch {
+    let mut batch = UpdateBatch::new(COLS);
+    for (i, &r) in rows.iter().enumerate() {
+        batch = batch.replace(r, hot_row(0.2 + i as f32 * 0.3)).unwrap();
+    }
+    batch
+}
+
+#[test]
+fn staged_updates_stay_invisible_and_commit_swaps_every_shard() {
+    let mut eng = engine();
+    let weights = DenseMatrix::random(ROWS, COLS, 41);
+    eng.deploy(&weights).unwrap();
+    assert_eq!(eng.epoch(), 1);
+    let before = eng.classify_batch(&queries(6), 5).unwrap();
+
+    // Touch rows on every shard (0..200, 200..400, 400..600).
+    let touched = [7usize, 250, 555];
+    eng.stage_update(&replace_batch(&touched)).unwrap();
+    assert_eq!(eng.epoch(), 1, "staging must not bump the epoch");
+    let during = eng.classify_batch(&queries(6), 5).unwrap();
+    assert_eq!(before, during, "staged rows must stay invisible");
+
+    let report = eng.commit_update().unwrap();
+    assert_eq!(report.rows_replaced, 3);
+    assert_eq!(eng.epoch(), 2, "commit bumps every shard in lockstep");
+    let after = eng.classify_batch(&queries(6), 5).unwrap();
+    assert_ne!(before, after, "committed rows must become visible");
+    assert_eq!(eng.report().mixed_version_batches, 0);
+}
+
+#[test]
+fn online_updates_match_quiesced_deploy_bit_identically_under_load() {
+    // The PR's acceptance property at the serving layer: interleave
+    // queries with staged batches and a hot-swap, then compare the final
+    // engine's answers against a fresh engine that deploys the final
+    // weights quiesced. Same shard partition + exact re-quantization ⇒
+    // the answers must agree bit for bit.
+    let weights = DenseMatrix::random(ROWS, COLS, 43);
+    let touched = [3usize, 111, 222, 333, 444, 599];
+
+    let mut online = engine();
+    online.deploy(&weights).unwrap();
+    online.classify_batch(&queries(8), 5).unwrap();
+    online.stage_update(&replace_batch(&touched[..3])).unwrap();
+    // Serving continues at version N while N+1 grows.
+    online.classify_batch(&queries(8), 5).unwrap();
+    online.stage_update(&replace_batch(&touched[3..])).unwrap();
+
+    // Queue async queries, then commit, then queue more: the dispatcher
+    // serializes the swap between batches, so the in-flight queries see
+    // version N and the later ones version N+1 — none a mix.
+    let in_flight: Vec<Pending> = (0..6)
+        .map(|i| online.submit(query(i as f32 * 0.37), 5).unwrap())
+        .collect();
+    online.commit_update().unwrap();
+    let after_swap: Vec<Pending> = (0..6)
+        .map(|i| online.submit(query(i as f32 * 0.37), 5).unwrap())
+        .collect();
+    for p in in_flight {
+        p.wait().unwrap();
+    }
+    let online_answers: Vec<Vec<Score>> =
+        after_swap.into_iter().map(|p| p.wait().unwrap()).collect();
+
+    let mut final_weights = weights;
+    for (i, &r) in touched[..3].iter().enumerate() {
+        final_weights
+            .row_mut(r)
+            .copy_from_slice(&hot_row(0.2 + i as f32 * 0.3));
+    }
+    for (i, &r) in touched[3..].iter().enumerate() {
+        final_weights
+            .row_mut(r)
+            .copy_from_slice(&hot_row(0.2 + i as f32 * 0.3));
+    }
+    let mut quiesced = engine();
+    quiesced.deploy(&final_weights).unwrap();
+    let quiesced_answers: Vec<Vec<Score>> = (0..6)
+        .map(|i| {
+            quiesced
+                .submit(query(i as f32 * 0.37), 5)
+                .unwrap()
+                .wait()
+                .unwrap()
+        })
+        .collect();
+
+    assert_eq!(
+        online_answers, quiesced_answers,
+        "post-swap serving must equal a quiesced deploy of the final weights"
+    );
+    let report = online.report();
+    assert_eq!(
+        report.mixed_version_batches, 0,
+        "no batch may straddle the swap"
+    );
+    assert_eq!(report.epoch, 2);
+}
+
+#[test]
+fn adds_grow_the_last_shard_without_shifting_ids() {
+    let mut eng = engine();
+    let weights = DenseMatrix::random(ROWS, COLS, 47);
+    eng.deploy(&weights).unwrap();
+
+    let batch = UpdateBatch::new(COLS)
+        .add(hot_row(0.0))
+        .unwrap()
+        .add(hot_row(0.9))
+        .unwrap();
+    eng.stage_update(&batch).unwrap();
+    let report = eng.commit_update().unwrap();
+    assert_eq!(report.rows_added, 2);
+    use ecssd_core::Classifier;
+    assert_eq!(eng.stats().categories, ROWS + 2);
+
+    // The first appended row correlates with query(0.0): it must be
+    // reachable under its new global id.
+    let top = eng.classify_batch(&[query(0.0)], 8).unwrap();
+    assert!(
+        top[0].iter().any(|s| s.category == ROWS),
+        "appended category must surface in global top-k: {:?}",
+        top[0]
+    );
+    assert_eq!(eng.report().mixed_version_batches, 0);
+}
+
+#[test]
+fn commit_and_abort_without_stage_fail_cleanly() {
+    let mut eng = engine();
+    eng.deploy(&DenseMatrix::random(ROWS, COLS, 53)).unwrap();
+    assert!(matches!(eng.commit_update(), Err(EcssdError::Serve(_))));
+    assert!(matches!(eng.abort_update(), Err(EcssdError::Serve(_))));
+    // The engine survives the failed control calls and keeps serving.
+    let top = eng.classify_batch(&queries(3), 4).unwrap();
+    assert_eq!(top.len(), 3);
+
+    // Abort after a stage leaves the serving state untouched.
+    let before = eng.classify_batch(&queries(6), 5).unwrap();
+    eng.stage_update(&replace_batch(&[10, 300, 500])).unwrap();
+    eng.abort_update().unwrap();
+    assert_eq!(eng.epoch(), 1);
+    assert_eq!(before, eng.classify_batch(&queries(6), 5).unwrap());
+}
+
+#[test]
+fn update_traffic_inflates_serving_time() {
+    // Staging programs pages through the same flash timing model queries
+    // read from: a shard's simulated clock must advance.
+    let mut eng = engine();
+    eng.deploy(&DenseMatrix::random(ROWS, COLS, 59)).unwrap();
+    eng.classify_batch(&queries(4), 5).unwrap();
+    let before = eng.report().sim_elapsed;
+    for round in 0..8 {
+        eng.stage_update(&replace_batch(&[round * 70 + 1, round * 70 + 2]))
+            .unwrap();
+        eng.commit_update().unwrap();
+    }
+    let after = eng.report().sim_elapsed;
+    assert!(
+        after > before,
+        "update programs must consume simulated time ({before:?} -> {after:?})"
+    );
+}

@@ -177,6 +177,7 @@ pub struct HotRowCache {
     bytes_saved: u64,
     insertions: u64,
     evictions: u64,
+    invalidations: u64,
 }
 
 impl HotRowCache {
@@ -277,6 +278,25 @@ impl HotRowCache {
         self.resident_bytes += bytes;
     }
 
+    /// Drops the given rows from the cache if resident.
+    ///
+    /// This is the staleness barrier of the online-update path: every
+    /// applied weight update must invalidate the rows it touched so a
+    /// subsequent query can never be served a pre-update row image from
+    /// DRAM. Rows that are not resident are ignored; stale entries left in
+    /// the lazy LRU queue are skipped naturally during eviction.
+    pub fn invalidate_rows(&mut self, rows: &[u64]) {
+        if !self.is_enabled() {
+            return;
+        }
+        for &row in rows {
+            if let Some((bytes, _)) = self.entries.remove(&row) {
+                self.resident_bytes -= bytes;
+                self.invalidations += 1;
+            }
+        }
+    }
+
     /// A snapshot of the cache counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -285,6 +305,7 @@ impl HotRowCache {
             bytes_saved: self.bytes_saved,
             insertions: self.insertions,
             evictions: self.evictions,
+            invalidations: self.invalidations,
             resident_bytes: self.resident_bytes,
             capacity_bytes: self.capacity_bytes,
         }
@@ -411,6 +432,36 @@ mod tests {
         c.insert(5, 8192);
         assert_eq!(c.resident_bytes(), 8192);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_drops_rows_and_counts() {
+        let mut c = HotRowCache::new(1 << 20);
+        c.insert(1, 4096);
+        c.insert(2, 4096);
+        c.invalidate_rows(&[1, 99]); // 99 is not resident: ignored
+        assert!(!c.lookup(1), "invalidated row must miss");
+        assert!(c.lookup(2), "untouched row stays resident");
+        assert_eq!(c.stats().invalidations, 1);
+        assert_eq!(c.resident_bytes(), 4096);
+        // Re-inserting after invalidation behaves like a fresh row.
+        c.insert(1, 4096);
+        assert!(c.lookup(1));
+    }
+
+    #[test]
+    fn invalidation_survives_stale_lru_entries() {
+        // An invalidated row's stale pairs in the lazy LRU queue must not
+        // corrupt accounting when eviction later walks past them.
+        let mut c = HotRowCache::new(2 * 4096);
+        c.insert(1, 4096);
+        c.insert(2, 4096);
+        c.invalidate_rows(&[1]);
+        c.insert(3, 4096); // fits without eviction
+        c.insert(4, 4096); // must evict row 2 (coldest live row)
+        assert!(!c.lookup(2));
+        assert!(c.lookup(3) && c.lookup(4));
+        assert_eq!(c.resident_bytes(), 2 * 4096);
     }
 
     #[test]

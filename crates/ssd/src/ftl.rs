@@ -279,6 +279,17 @@ impl Ftl {
     /// Allocates the next free page on `channel`, spreading over dies
     /// round-robin and garbage-collecting when every die is out of blocks.
     fn allocate_page(&mut self, channel: usize) -> Result<PhysPageAddr, SsdError> {
+        // Proactive trigger: once any die of the channel is out of free
+        // blocks, reclaim while the active blocks still have room. Waiting
+        // for allocation to fail outright can deadlock GC itself — the
+        // relocation of a victim's valid pages needs a landing page, and a
+        // channel with zero free blocks and full active blocks has none
+        // (sustained-overwrite update traffic is exactly what gets there).
+        let dies = self.geometry.dies_per_channel;
+        if (0..dies).any(|d| self.free_blocks[channel * dies + d] == 0) {
+            // Best-effort: the allocation below is the arbiter of fullness.
+            let _ = self.gc_channel(channel);
+        }
         match self.allocate_page_no_gc(channel) {
             Ok(addr) => return Ok(addr),
             Err(SsdError::DeviceFull) => {}
@@ -369,23 +380,27 @@ impl Ftl {
         loop {
             // Victim: full block on this channel with minimum valid count,
             // strictly fewer valid pages than capacity (otherwise moving it
-            // frees nothing).
-            let mut victim: Option<(usize, u32)> = None;
+            // frees nothing). Ties break toward the least-worn block so
+            // sustained overwrite traffic (the online-update workload)
+            // spreads erases instead of recycling whichever block the scan
+            // meets first.
+            let mut victim: Option<(usize, u32, u32)> = None;
             for die_in_ch in 0..dies {
                 let die = channel * dies + die_in_ch;
                 let base = die * blocks_per_die;
                 for b in base..base + blocks_per_die {
                     if self.blocks[b].state == BlockState::Full {
                         let valid = self.blocks[b].valid;
+                        let erases = self.blocks[b].erase_count;
                         if (valid as usize) < self.geometry.pages_per_block
-                            && victim.is_none_or(|(_, v)| valid < v)
+                            && victim.is_none_or(|(_, v, e)| (valid, erases) < (v, e))
                         {
-                            victim = Some((b, valid));
+                            victim = Some((b, valid, erases));
                         }
                     }
                 }
             }
-            let Some((victim_block, _)) = victim else {
+            let Some((victim_block, _, _)) = victim else {
                 return Ok(report);
             };
             // Relocate valid pages (allocate first so a full device fails
@@ -471,6 +486,43 @@ impl Ftl {
     /// Count of mapped logical pages.
     pub fn mapped_pages(&self) -> u64 {
         self.l2p.iter().filter(|&&v| v != UNMAPPED).count() as u64
+    }
+
+    /// Per-block erase counts, indexed by flat block id (channel-major,
+    /// matching the geometry's `channel → die → plane → block` order).
+    /// This is the raw histogram behind [`Ftl::wear`], exposed so health
+    /// reporting can show where update-driven GC concentrated erases.
+    pub fn erase_counts(&self) -> Vec<u32> {
+        self.blocks.iter().map(|b| b.erase_count).collect()
+    }
+
+    /// Full cross-check of the mapping tables, for tests and debugging:
+    /// every mapped LPN's physical page must map back to it, every mapped
+    /// physical page must be claimed by exactly the LPN it names, and each
+    /// block's `valid` counter must equal its live-page count. Returns
+    /// `false` if any invariant is violated (e.g. GC relocated a page but
+    /// left a dangling reverse mapping).
+    pub fn mapping_is_consistent(&self) -> bool {
+        for (lpn, &flat) in self.l2p.iter().enumerate() {
+            if flat != UNMAPPED && self.p2l.get(flat as usize) != Some(&(lpn as u64)) {
+                return false;
+            }
+        }
+        let mut live_per_block = vec![0u32; self.blocks.len()];
+        for (flat, &lpn) in self.p2l.iter().enumerate() {
+            if lpn == UNMAPPED {
+                continue;
+            }
+            if self.l2p.get(lpn as usize) != Some(&(flat as u64)) {
+                return false;
+            }
+            let addr = self.unflatten_page(flat as u64);
+            live_per_block[self.flat_block(addr)] += 1;
+        }
+        self.blocks
+            .iter()
+            .zip(&live_per_block)
+            .all(|(b, &live)| b.valid == live)
     }
 
     fn flatten_page(&self, a: PhysPageAddr) -> u64 {

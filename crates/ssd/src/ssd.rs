@@ -176,6 +176,13 @@ impl SsdDevice {
         &mut self.ftl
     }
 
+    /// Split borrow for GC accounting: [`Ftl::charge_gc`] reads the FTL
+    /// while charging flash timing, which a single `&mut self` accessor
+    /// cannot express.
+    pub fn ftl_and_flash_mut(&mut self) -> (&Ftl, &mut FlashSim) {
+        (&self.ftl, &mut self.flash)
+    }
+
     /// The device DRAM.
     pub fn dram(&self) -> &Dram {
         &self.dram

@@ -169,6 +169,9 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Rows evicted by the LRU policy.
     pub evictions: u64,
+    /// Rows dropped by the update path's staleness barrier
+    /// (`HotRowCache::invalidate_rows`).
+    pub invalidations: u64,
     /// Bytes resident at snapshot time.
     pub resident_bytes: u64,
     /// Configured capacity in bytes (0 = cache disabled).
@@ -194,6 +197,7 @@ impl CacheStats {
             bytes_saved: self.bytes_saved + other.bytes_saved,
             insertions: self.insertions + other.insertions,
             evictions: self.evictions + other.evictions,
+            invalidations: self.invalidations + other.invalidations,
             resident_bytes: self.resident_bytes + other.resident_bytes,
             capacity_bytes: self.capacity_bytes + other.capacity_bytes,
         }
@@ -234,11 +238,37 @@ pub struct HealthReport {
     /// Channels running below nominal bandwidth, as
     /// `(channel, derate_factor)`, sorted by channel.
     pub degraded_channels: Vec<(usize, f64)>,
+    /// Pages programmed by the online-update path (deploy-time programs
+    /// are not counted; they happen before serving starts).
+    pub update_programs: u64,
+    /// Valid pages relocated by garbage collection triggered by update
+    /// traffic.
+    pub gc_moved_pages: u64,
+    /// Blocks erased by garbage collection.
+    pub gc_erased_blocks: u64,
+    /// Largest per-block erase count observed on the device.
+    pub wear_max_erases: u64,
+    /// Mean per-block erase count over all blocks.
+    pub wear_mean_erases: f64,
 }
 
 impl HealthReport {
+    /// Folds FTL wear and GC totals into the report (satellite of the
+    /// online-update subsystem: update-driven GC must be observable).
+    ///
+    /// Wear and GC are *lifecycle* facts, not faults, so they are
+    /// deliberately excluded from [`HealthReport::is_clean`]: a device that
+    /// erased blocks while ingesting weights is still healthy.
+    pub fn absorb_wear(&mut self, wear: &crate::WearReport, gc: &crate::GcReport) {
+        self.gc_moved_pages = gc.moved_pages;
+        self.gc_erased_blocks = gc.erased_blocks;
+        self.wear_max_erases = u64::from(wear.max_erases);
+        self.wear_mean_erases = wear.mean_erases;
+    }
+
     /// `true` when no fault of any kind was observed (legacy wear-induced
-    /// read retries excepted: a healthy device still retries).
+    /// read retries excepted: a healthy device still retries). Wear and GC
+    /// counters are lifecycle facts and do not affect cleanliness.
     pub fn is_clean(&self) -> bool {
         self.capped_senses == 0
             && self.uecc_events == 0

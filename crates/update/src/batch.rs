@@ -1,0 +1,259 @@
+//! The host-facing update API: a batch of category-row mutations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::UpdateError;
+
+/// One category-row mutation.
+///
+/// Row indices refer to the *deployed* weight matrix (global category ids).
+/// Removal is a tombstone, not a compaction: the row's weights become zero
+/// so it can never win a top-k slot, but every other category keeps its id
+/// — live queries hold category ids, so compacting indices mid-serving
+/// would corrupt in-flight results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UpdateOp {
+    /// Append a new category with the given FP32 weight row.
+    Add(Vec<f32>),
+    /// Replace the weight row of an existing category.
+    Replace(usize, Vec<f32>),
+    /// Tombstone a category (zero weights; the id stays allocated).
+    Remove(usize),
+}
+
+impl UpdateOp {
+    /// The existing row this op targets (`None` for `Add`).
+    pub fn target(&self) -> Option<usize> {
+        match *self {
+            UpdateOp::Add(_) => None,
+            UpdateOp::Replace(r, _) | UpdateOp::Remove(r) => Some(r),
+        }
+    }
+}
+
+/// An atomic batch of category mutations.
+///
+/// A batch is staged as one unit: all of its ops become visible at the same
+/// epoch boundary, never piecemeal. `cols` pins the weight dimensionality
+/// so a malformed row is rejected at build time rather than corrupting the
+/// deployed matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateBatch {
+    cols: usize,
+    ops: Vec<UpdateOp>,
+}
+
+impl UpdateBatch {
+    /// An empty batch for a model with `cols` feature dimensions.
+    pub fn new(cols: usize) -> Self {
+        UpdateBatch {
+            cols,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Weight dimensionality every `Add`/`Replace` row must match.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Queues an `Add` op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpdateError::DimensionMismatch`] if the row width is wrong.
+    // Named for the operation (`UpdateOp::Add`), not arithmetic.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(mut self, row: Vec<f32>) -> Result<Self, UpdateError> {
+        self.check_row(&row)?;
+        self.ops.push(UpdateOp::Add(row));
+        Ok(self)
+    }
+
+    /// Queues a `Replace` op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpdateError::DimensionMismatch`] if the row width is wrong
+    /// or [`UpdateError::DuplicateTarget`] if the batch already touches
+    /// `target`.
+    pub fn replace(mut self, target: usize, row: Vec<f32>) -> Result<Self, UpdateError> {
+        self.check_row(&row)?;
+        self.check_target(target)?;
+        self.ops.push(UpdateOp::Replace(target, row));
+        Ok(self)
+    }
+
+    /// Queues a `Remove` (tombstone) op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpdateError::DuplicateTarget`] if the batch already
+    /// touches `target`.
+    pub fn remove(mut self, target: usize) -> Result<Self, UpdateError> {
+        self.check_target(target)?;
+        self.ops.push(UpdateOp::Remove(target));
+        Ok(self)
+    }
+
+    fn check_row(&self, row: &[f32]) -> Result<(), UpdateError> {
+        if row.len() != self.cols {
+            return Err(UpdateError::DimensionMismatch {
+                expected: self.cols,
+                got: row.len(),
+            });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(UpdateError::NonFiniteWeight);
+        }
+        Ok(())
+    }
+
+    fn check_target(&self, target: usize) -> Result<(), UpdateError> {
+        if self.ops.iter().any(|op| op.target() == Some(target)) {
+            return Err(UpdateError::DuplicateTarget { row: target });
+        }
+        Ok(())
+    }
+
+    /// The queued ops, in submission order.
+    pub fn ops(&self) -> &[UpdateOp] {
+        &self.ops
+    }
+
+    /// Number of queued ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Validates the batch against a deployed model of `rows` categories:
+    /// every `Replace`/`Remove` target must exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpdateError::RowOutOfRange`] on the first bad target.
+    pub fn validate_against(&self, rows: usize) -> Result<(), UpdateError> {
+        for op in &self.ops {
+            if let Some(r) = op.target() {
+                if r >= rows {
+                    return Err(UpdateError::RowOutOfRange { row: r, rows });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits the batch by a contiguous shard partition (`starts` has one
+    /// entry per shard plus a trailing total-row count, as produced by the
+    /// serving engine's deploy). `Replace`/`Remove` ops land on the shard
+    /// owning their target row, re-indexed to shard-local row ids; `Add`
+    /// ops land on the last shard, which owns the growing tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `starts` is not a monotone partition with at least one
+    /// shard, or if an op's target is outside the partition (call
+    /// [`UpdateBatch::validate_against`] first).
+    pub fn split_by_shards(&self, starts: &[usize]) -> Vec<UpdateBatch> {
+        assert!(starts.len() >= 2, "partition needs at least one shard");
+        assert!(
+            starts.windows(2).all(|w| w[0] <= w[1]),
+            "partition must be monotone"
+        );
+        let shards = starts.len() - 1;
+        let mut out = vec![UpdateBatch::new(self.cols); shards];
+        for op in &self.ops {
+            match op {
+                UpdateOp::Add(row) => out[shards - 1].ops.push(UpdateOp::Add(row.clone())),
+                UpdateOp::Replace(r, row) => {
+                    let s = shard_of(starts, *r);
+                    out[s]
+                        .ops
+                        .push(UpdateOp::Replace(r - starts[s], row.clone()));
+                }
+                UpdateOp::Remove(r) => {
+                    let s = shard_of(starts, *r);
+                    out[s].ops.push(UpdateOp::Remove(r - starts[s]));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn shard_of(starts: &[usize], row: usize) -> usize {
+    let shards = starts.len() - 1;
+    (0..shards)
+        .find(|&s| row >= starts[s] && row < starts[s + 1])
+        .unwrap_or_else(|| panic!("row {row} outside the shard partition"))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn builder_validates_rows() {
+        let b = UpdateBatch::new(4).replace(3, vec![0.0; 4]).unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(matches!(
+            b.clone().add(vec![0.0; 3]),
+            Err(UpdateError::DimensionMismatch {
+                expected: 4,
+                got: 3
+            })
+        ));
+        assert!(matches!(
+            b.clone().add(vec![f32::NAN; 4]),
+            Err(UpdateError::NonFiniteWeight)
+        ));
+        assert!(matches!(
+            b.remove(3),
+            Err(UpdateError::DuplicateTarget { row: 3 })
+        ));
+    }
+
+    #[test]
+    fn validate_against_checks_targets() {
+        let b = UpdateBatch::new(2).replace(9, vec![0.0; 2]).unwrap();
+        assert!(b.validate_against(10).is_ok());
+        assert!(matches!(
+            b.validate_against(9),
+            Err(UpdateError::RowOutOfRange { row: 9, rows: 9 })
+        ));
+    }
+
+    #[test]
+    fn split_routes_ops_to_owning_shards() {
+        let b = UpdateBatch::new(2)
+            .replace(1, vec![1.0, 1.0])
+            .unwrap()
+            .replace(10, vec![2.0, 2.0])
+            .unwrap()
+            .remove(5)
+            .unwrap()
+            .add(vec![3.0, 3.0])
+            .unwrap();
+        // Shards own rows [0, 6) and [6, 12).
+        let parts = b.split_by_shards(&[0, 6, 12]);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(
+            parts[0].ops(),
+            &[UpdateOp::Replace(1, vec![1.0, 1.0]), UpdateOp::Remove(5),]
+        );
+        assert_eq!(
+            parts[1].ops(),
+            &[
+                UpdateOp::Replace(4, vec![2.0, 2.0]),
+                UpdateOp::Add(vec![3.0, 3.0]),
+            ]
+        );
+    }
+}

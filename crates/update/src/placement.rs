@@ -1,0 +1,139 @@
+//! Incremental learned placement: channel choice for rows written outside
+//! a full-model deploy.
+//!
+//! A full deploy snake-deals a whole tile by predicted hot degree
+//! (`InterleavingStrategy::Learned`); an online update touches a handful
+//! of rows and must keep the channels balanced *without* re-shuffling the
+//! resident model. The placer carries the deployed layout's per-channel
+//! expected candidate load and greedily assigns each updated row to the
+//! least-loaded (health-weighted) channel — the same objective the batch
+//! snake dealing optimizes, evaluated one row at a time.
+
+use serde::{Deserialize, Serialize};
+
+/// Greedy one-row-at-a-time learned interleaver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncrementalPlacer {
+    /// Accumulated expected candidate load (hot degree) per channel.
+    load: Vec<f32>,
+    /// Health weight per channel (nominal 1.0, degraded < 1.0, dead 0.0).
+    weight: Vec<f32>,
+}
+
+impl IncrementalPlacer {
+    /// A placer over `channels` empty, healthy channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "no channels");
+        IncrementalPlacer {
+            load: vec![0.0; channels],
+            weight: vec![1.0; channels],
+        }
+    }
+
+    /// Seeds the placer with the deployed model's per-channel hot-degree
+    /// totals so update placement continues the deploy-time balance
+    /// instead of restarting from zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load.len()` disagrees with the channel count.
+    pub fn with_deployed_load(mut self, load: &[f32]) -> Self {
+        assert_eq!(load.len(), self.load.len(), "channel count mismatch");
+        self.load.copy_from_slice(load);
+        self
+    }
+
+    /// Applies per-channel health weights (same convention as
+    /// `InterleavingStrategy::assign_tile_with_health`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length disagrees, any weight is negative or
+    /// non-finite, or all weights are zero.
+    pub fn with_channel_weights(mut self, weights: &[f32]) -> Self {
+        assert_eq!(weights.len(), self.weight.len(), "channel count mismatch");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        assert!(weights.iter().any(|&w| w > 0.0), "all channels dead");
+        self.weight.copy_from_slice(weights);
+        self
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.load.len()
+    }
+
+    /// Current per-channel expected load.
+    pub fn loads(&self) -> &[f32] {
+        &self.load
+    }
+
+    /// Places one row of predicted hot degree `hotness`: the channel with
+    /// the lowest health-normalized load wins and absorbs the row's load.
+    /// Dead channels (weight 0) never win.
+    pub fn place(&mut self, hotness: f32) -> usize {
+        let mut best = 0usize;
+        let mut best_cost = f32::INFINITY;
+        for c in 0..self.load.len() {
+            if self.weight[c] <= 0.0 {
+                continue;
+            }
+            // A degraded channel "fills up" faster: its effective load is
+            // inflated by 1/weight, matching the health-aware dealer.
+            let cost = self.load[c] / self.weight[c];
+            if cost < best_cost {
+                best_cost = cost;
+                best = c;
+            }
+        }
+        self.load[best] += hotness.max(0.0);
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_spread_over_idle_channels() {
+        let mut p = IncrementalPlacer::new(4);
+        let picks: Vec<usize> = (0..4).map(|_| p.place(1.0)).collect();
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "equal rows fan out: {picks:?}");
+    }
+
+    #[test]
+    fn hot_rows_avoid_loaded_channels() {
+        let mut p = IncrementalPlacer::new(2).with_deployed_load(&[10.0, 0.0]);
+        assert_eq!(p.place(5.0), 1, "update avoids the deploy-heavy channel");
+        assert_eq!(p.place(5.0), 1, "still the lighter channel (5 < 10)");
+        assert_eq!(p.place(1.0), 0);
+    }
+
+    #[test]
+    fn dead_channels_receive_nothing() {
+        let mut p = IncrementalPlacer::new(3).with_channel_weights(&[1.0, 0.0, 0.5]);
+        for _ in 0..20 {
+            assert_ne!(p.place(1.0), 1);
+        }
+        // The derated channel gets roughly half the healthy one's rows.
+        let healthy = p.loads()[0];
+        let derated = p.loads()[2];
+        assert!(healthy > derated, "{healthy} vs {derated}");
+    }
+
+    #[test]
+    #[should_panic(expected = "all channels dead")]
+    fn all_dead_is_rejected() {
+        let _ = IncrementalPlacer::new(2).with_channel_weights(&[0.0, 0.0]);
+    }
+}

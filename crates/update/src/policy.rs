@@ -1,0 +1,125 @@
+//! Update-time policies: how screener rows are re-quantized, and when
+//! accumulated scale drift forces a full shard re-quantization.
+
+use serde::{Deserialize, Serialize};
+
+/// How an update re-quantizes the affected INT4 screener rows.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum RequantPolicy {
+    /// Re-quantize each touched row with its own fresh max-abs scale.
+    /// Bitwise identical to rebuilding the screener from the updated
+    /// weights (the screener quantizes per row), so serving accuracy is
+    /// unaffected — at the cost of rewriting the row's scale alongside its
+    /// codes.
+    #[default]
+    Exact,
+    /// Re-encode the new values against the row's *deployed* scale
+    /// (cheaper in-place DRAM write: codes only, scale untouched). Values
+    /// outside the old dynamic range clamp at ±7, degrading the screener
+    /// until the drift detector triggers a full re-quantization.
+    InPlace {
+        /// Largest tolerated `ideal / deployed` scale ratio (and its
+        /// reciprocal) before a full re-quantization is forced. Must be
+        /// `> 1.0`; the paper-style default is `2.0` (one lost code bit).
+        max_drift: f32,
+    },
+}
+
+/// Configuration of the update subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct UpdatePolicy {
+    /// Screener re-quantization mode.
+    pub requant: RequantPolicy,
+}
+
+/// Tracks the worst `ideal / deployed` INT4 scale ratio seen since the
+/// last full re-quantization of a shard.
+///
+/// In-place updates keep each row's deployed scale, so the quantization
+/// grid drifts away from the data: a ratio of 2 means the hottest updated
+/// row now clamps half its dynamic range (or wastes a code bit, for
+/// ratios below 1). The detector is deliberately *sticky* — drift
+/// accumulates monotonically until [`ScaleDriftDetector::reset`] records
+/// a full shard re-quantization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleDriftDetector {
+    max_drift: f32,
+    worst: f32,
+}
+
+impl ScaleDriftDetector {
+    /// A detector that triggers when a ratio leaves `[1/max_drift,
+    /// max_drift]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `max_drift > 1.0` and finite.
+    pub fn new(max_drift: f32) -> Self {
+        assert!(
+            max_drift.is_finite() && max_drift > 1.0,
+            "max_drift must be a finite ratio > 1.0, got {max_drift}"
+        );
+        ScaleDriftDetector {
+            max_drift,
+            worst: 1.0,
+        }
+    }
+
+    /// Records one row's `ideal / deployed` ratio; returns `true` when the
+    /// accumulated drift now warrants a full shard re-quantization.
+    pub fn observe(&mut self, ratio: f32) -> bool {
+        // Fold under- and over-scaling into one ≥ 1 drift magnitude.
+        let magnitude = if ratio >= 1.0 { ratio } else { 1.0 / ratio };
+        if magnitude.is_finite() && magnitude > self.worst {
+            self.worst = magnitude;
+        }
+        self.triggered()
+    }
+
+    /// Whether the drift bound is currently exceeded.
+    pub fn triggered(&self) -> bool {
+        self.worst > self.max_drift
+    }
+
+    /// Worst drift magnitude (≥ 1) observed since the last reset.
+    pub fn worst(&self) -> f32 {
+        self.worst
+    }
+
+    /// Clears the accumulated drift after a full re-quantization restored
+    /// every deployed scale to its ideal.
+    pub fn reset(&mut self) {
+        self.worst = 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_accumulates_and_resets() {
+        let mut d = ScaleDriftDetector::new(2.0);
+        assert!(!d.observe(1.5));
+        assert!(!d.observe(1.2), "drift is sticky, not last-value");
+        assert!((d.worst() - 1.5) < 1e-6);
+        assert!(d.observe(2.5), "bound exceeded");
+        assert!(d.triggered());
+        d.reset();
+        assert!(!d.triggered());
+        assert_eq!(d.worst(), 1.0);
+    }
+
+    #[test]
+    fn undershoot_counts_as_drift_too() {
+        let mut d = ScaleDriftDetector::new(2.0);
+        // Deployed scale 4× too large wastes two code bits: ratio 0.25.
+        assert!(d.observe(0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_drift")]
+    fn ratio_bound_must_exceed_one() {
+        let _ = ScaleDriftDetector::new(1.0);
+    }
+}

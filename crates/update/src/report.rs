@@ -1,0 +1,117 @@
+//! Accounting of one staged-and-committed update batch.
+
+use ecssd_ssd::GcReport;
+use ecssd_trace::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::ParityRefreshCost;
+
+/// What an applied [`crate::UpdateBatch`] cost the device, in flash
+/// operations and simulated time. All fields are plain counters so
+/// identically-seeded runs compare with `==`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UpdateReport {
+    /// Categories appended.
+    pub rows_added: u64,
+    /// Categories whose weight row was replaced.
+    pub rows_replaced: u64,
+    /// Categories tombstoned.
+    pub rows_removed: u64,
+    /// Data pages programmed through the FTL write path.
+    pub pages_programmed: u64,
+    /// GC activity the update writes triggered (relocations + erases).
+    pub gc: GcReport,
+    /// RAID-5 read-modify-write traffic for the touched stripes.
+    pub parity: ParityRefreshCost,
+    /// Screener rows re-quantized with a fresh scale (`Exact` mode, plus
+    /// every row of a drift-triggered full re-quantization).
+    pub rows_requantized: u64,
+    /// Screener rows re-encoded against their deployed scale (`InPlace`).
+    pub rows_reencoded: u64,
+    /// Full shard re-quantizations forced by the scale-drift detector.
+    pub drift_requants: u64,
+    /// Hot-row cache entries invalidated at commit (staleness barrier).
+    pub cache_invalidations: u64,
+    /// Simulated time the staging writes completed (max over flash ops).
+    pub staged_at: SimTime,
+    /// Epoch the batch became visible at (post-commit), 0 while staged.
+    pub epoch: u64,
+}
+
+impl UpdateReport {
+    /// Component-wise sum for aggregating a sweep of batches. `staged_at`
+    /// takes the max (completion of the last batch); `epoch` takes the
+    /// max (latest visible version).
+    pub fn merge(&self, other: &UpdateReport) -> UpdateReport {
+        UpdateReport {
+            rows_added: self.rows_added + other.rows_added,
+            rows_replaced: self.rows_replaced + other.rows_replaced,
+            rows_removed: self.rows_removed + other.rows_removed,
+            pages_programmed: self.pages_programmed + other.pages_programmed,
+            gc: GcReport {
+                moved_pages: self.gc.moved_pages + other.gc.moved_pages,
+                erased_blocks: self.gc.erased_blocks + other.gc.erased_blocks,
+            },
+            parity: self.parity.merge(&other.parity),
+            rows_requantized: self.rows_requantized + other.rows_requantized,
+            rows_reencoded: self.rows_reencoded + other.rows_reencoded,
+            drift_requants: self.drift_requants + other.drift_requants,
+            cache_invalidations: self.cache_invalidations + other.cache_invalidations,
+            staged_at: self.staged_at.max(other.staged_at),
+            epoch: self.epoch.max(other.epoch),
+        }
+    }
+
+    /// Total flash programs (data + relocated + parity pages) — the write
+    /// traffic contending with query reads.
+    pub fn total_programs(&self) -> u64 {
+        self.pages_programmed + self.gc.moved_pages + self.parity.parity_programs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_component_wise() {
+        let a = UpdateReport {
+            rows_replaced: 2,
+            pages_programmed: 8,
+            staged_at: SimTime::from_ns(100),
+            epoch: 1,
+            ..UpdateReport::default()
+        };
+        let b = UpdateReport {
+            rows_added: 1,
+            pages_programmed: 4,
+            staged_at: SimTime::from_ns(50),
+            epoch: 2,
+            ..UpdateReport::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.rows_replaced, 2);
+        assert_eq!(m.rows_added, 1);
+        assert_eq!(m.pages_programmed, 12);
+        assert_eq!(m.staged_at, SimTime::from_ns(100));
+        assert_eq!(m.epoch, 2);
+    }
+
+    #[test]
+    fn total_programs_counts_all_write_traffic() {
+        let r = UpdateReport {
+            pages_programmed: 10,
+            gc: GcReport {
+                moved_pages: 3,
+                erased_blocks: 1,
+            },
+            parity: ParityRefreshCost {
+                page_reads: 4,
+                parity_programs: 2,
+                stripes: 2,
+            },
+            ..UpdateReport::default()
+        };
+        assert_eq!(r.total_programs(), 15);
+    }
+}

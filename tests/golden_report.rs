@@ -109,6 +109,41 @@ fn golden_per_tile_sync_off() {
 }
 
 #[test]
+fn golden_post_update() {
+    // The post-update fixture: a warm window, an online update (fresh
+    // placement + program/parity traffic + cache invalidation), then a
+    // second window whose report must stay bit-stable — update traffic in
+    // the health counters, invalidations in the cache counters, reads
+    // queued behind the programs in the makespan.
+    let bench = Benchmark::by_abbrev("GNMT-E32K").expect("table-3 benchmark");
+    let workload = SampledWorkload::new(bench, TraceConfig::paper_default());
+    let config = EcssdConfig::tiny_builder()
+        .buffer_bytes(1 << 20)
+        .hot_cache_bytes(1 << 20)
+        .build()
+        .expect("valid tiny config");
+    let mut m = EcssdMachine::new(config, MachineVariant::paper_ecssd(), Box::new(workload))
+        .expect("INT4 matrix fits tiny DRAM");
+    let _ = m
+        .run_window(QUERIES, TILES)
+        .expect("warm window runs clean");
+
+    let window_rows = m.source().tile_row_range(TILES - 1).end;
+    let touched: Vec<u64> = (0..48).map(|i| (i * 97) % window_rows).collect();
+    let up = m.apply_update(&touched);
+    assert!(up.pages_programmed >= touched.len() as u64);
+
+    let r = m
+        .run_window(QUERIES, TILES)
+        .expect("post-update window runs clean");
+    assert!(
+        r.health.update_programs > 0,
+        "fixture must carry update traffic"
+    );
+    check("run_report_post_update", &r);
+}
+
+#[test]
 fn golden_degradation_fail_inert_plan() {
     // Fail only completes when the plan never fires; an inert plan must
     // leave the run identical to a fault-free one.
