@@ -57,6 +57,9 @@ pub enum EcssdError {
     Update(ecssd_update::UpdateError),
     /// `commit_update`/`abort_update` was called with nothing staged.
     NoStagedUpdate,
+    /// Crash recovery failed: no journal or armed snapshot to recover
+    /// from, or the recovered epoch has no sealed functional image.
+    Recovery(String),
 }
 
 impl std::fmt::Display for EcssdError {
@@ -79,6 +82,7 @@ impl std::fmt::Display for EcssdError {
             EcssdError::Serve(what) => write!(f, "serving engine error: {what}"),
             EcssdError::Update(e) => write!(f, "update error: {e}"),
             EcssdError::NoStagedUpdate => write!(f, "no staged update to commit or abort"),
+            EcssdError::Recovery(what) => write!(f, "crash recovery failed: {what}"),
         }
     }
 }
@@ -163,6 +167,14 @@ pub struct Ecssd {
     pub(crate) update_policy: ecssd_update::UpdatePolicy,
     /// Scale-drift tracker for `RequantPolicy::InPlace`.
     pub(crate) drift: ecssd_update::ScaleDriftDetector,
+    /// Functional images sealed at journaled commits (crash recovery).
+    pub(crate) sealed_images: Vec<crate::recovery::SealedImage>,
+    /// Unjournaled-mode durable baseline (see `arm_crash_snapshot`).
+    pub(crate) crash_snapshot: Option<crate::recovery::CrashSnapshot>,
+    /// One mark per committed epoch, for rows-lost accounting.
+    pub(crate) commit_log: Vec<crate::recovery::CommitMark>,
+    /// Journal append count that survived the last power cut.
+    pub(crate) crash_bound: Option<u64>,
     /// Cumulative data+parity pages programmed by applied updates.
     pub(crate) update_programs: u64,
 }
@@ -192,6 +204,10 @@ impl Ecssd {
             staged: None,
             update_policy: ecssd_update::UpdatePolicy::default(),
             drift: ecssd_update::ScaleDriftDetector::new(2.0),
+            sealed_images: Vec::new(),
+            crash_snapshot: None,
+            commit_log: Vec::new(),
+            crash_bound: None,
             update_programs: 0,
         }
     }
@@ -219,6 +235,11 @@ impl Ecssd {
     /// The underlying SSD (e.g. for SSD-mode I/O in tests).
     pub fn device_mut(&mut self) -> &mut SsdDevice {
         &mut self.device
+    }
+
+    /// Read-only view of the underlying SSD.
+    pub fn device(&self) -> &SsdDevice {
+        &self.device
     }
 
     /// Installs a span-trace handle into the device's timed resources
@@ -289,8 +310,12 @@ impl Ecssd {
         for _row in 0..weights.rows() {
             self.row_lpns.push(lpn);
             for _ in 0..self.pages_per_row {
-                let addr = self.device.ftl_mut().write(lpn)?;
-                t = t.max(self.device.flash_mut().program_page(addr, host_done));
+                // The journaled write path: a no-op time-wise (and
+                // identical placement-wise) when no journal is enabled.
+                let (addr, jdone) = self.device.write_mapped(lpn, host_done)?;
+                t = t
+                    .max(self.device.flash_mut().program_page(addr, host_done))
+                    .max(jdone);
                 lpn += 1;
             }
         }
@@ -301,6 +326,8 @@ impl Ecssd {
         self.free_lpns.clear();
         self.drift.reset();
         self.epoch += 1;
+        let placed: Vec<u64> = (0..self.row_lpns.len() as u64).collect();
+        self.record_commit(&placed, &[], weights.rows() as u64);
         Ok(())
     }
 

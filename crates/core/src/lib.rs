@@ -50,6 +50,7 @@ mod energy;
 mod host;
 mod integration;
 mod pipeline;
+mod recovery;
 pub mod roofline;
 pub mod scale;
 mod update;
@@ -70,6 +71,7 @@ pub use pipeline::{
     run_tile_loop, DataPlacement, DegradationPolicy, EcssdMachine, MachineVariant, RunReport,
     SchedulePlan, ScreenPhase, TileBackend, TilePhase, TileTiming,
 };
+pub use recovery::RecoveryOutcome;
 
 /// One-stop imports for writing against the unified frontend API: the
 /// [`Classifier`] trait, the frontends that implement it, the validating

@@ -1,0 +1,430 @@
+//! Crash consistency for the accelerator: power loss, journaled recovery,
+//! and background scrubbing on the [`Ecssd`] device.
+//!
+//! The device keeps its FTL metadata in volatile controller DRAM. A power
+//! cut ([`Ecssd::power_cut`]) discards everything volatile — queued
+//! inputs, staged updates, the hot-row cache, and (without a journal) the
+//! L2P table itself. With journaling enabled
+//! ([`Ecssd::enable_journal`]), every FTL mutation on the deploy/update
+//! paths flows through the device's journaled write path, each commit
+//! seals an epoch with an atomic group flush, and
+//! [`Ecssd::recover`] replays the durable log back into a consistent
+//! serving state whose epoch is never ahead of the last durable commit.
+//! Without a journal, recovery falls back to the last armed snapshot
+//! ([`Ecssd::arm_crash_snapshot`]) and every commit since is lost — the
+//! quantified cost a journal exists to prevent.
+
+use std::collections::BTreeSet;
+
+use ecssd_screen::{DenseMatrix, Screener};
+use ecssd_ssd::{Ftl, JournalConfig, JournalRecord, ScrubReport};
+
+use crate::api::{Ecssd, EcssdError, InputQueue};
+
+/// A functional image (weights + screener) sealed at a journaled commit.
+///
+/// The FTL journal recovers *placements*; the weight values themselves are
+/// host-owned data that the host can re-supply for any committed epoch.
+/// Sealing a clone at commit time models that re-supply without a host
+/// round-trip.
+#[derive(Debug, Clone)]
+pub(crate) struct SealedImage {
+    pub(crate) epoch: u64,
+    pub(crate) weights: DenseMatrix,
+    pub(crate) screener: Screener,
+    pub(crate) pages_per_row: u64,
+}
+
+/// One committed epoch's bookkeeping mark, for rows-lost accounting.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CommitMark {
+    /// The epoch this commit produced.
+    pub(crate) epoch: u64,
+    /// Distinct rows the commit (re)placed.
+    pub(crate) rows_touched: u64,
+    /// Journal append counter right after the commit's group flush
+    /// (0 without a journal). A crash instant at or past this count means
+    /// the commit was durable when the power failed.
+    pub(crate) appended: u64,
+}
+
+/// Unjournaled-mode durable baseline: a full copy of the serving state
+/// taken by [`Ecssd::arm_crash_snapshot`]. Everything committed after the
+/// snapshot is unrecoverable without a journal.
+#[derive(Debug, Clone)]
+pub(crate) struct CrashSnapshot {
+    pub(crate) epoch: u64,
+    pub(crate) weights: Option<DenseMatrix>,
+    pub(crate) screener: Option<Screener>,
+    pub(crate) row_lpns: Vec<u64>,
+    pub(crate) pages_per_row: u64,
+    pub(crate) ftl: Ftl,
+    pub(crate) next_lpn: u64,
+    pub(crate) free_lpns: Vec<u64>,
+}
+
+/// What one crash-and-recover cycle did to the device.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// Whether a metadata journal drove the recovery (`false` = snapshot
+    /// fallback with full-device scan).
+    pub journaled: bool,
+    /// Serving epoch at the instant of the power cut.
+    pub epoch_before_crash: u64,
+    /// Epoch the device serves after recovery (never ahead of the last
+    /// durable commit).
+    pub recovered_epoch: u64,
+    /// Journal records replayed on top of the checkpoint (0 unjournaled).
+    pub replayed_records: u64,
+    /// Row-commits that were durable (or, unjournaled, committed since the
+    /// snapshot) but could not be recovered. Zero for a working journal.
+    pub rows_lost: u64,
+    /// Hot-row cache entries invalidated by the recovery staleness
+    /// barrier, counted under `CacheStats::invalidations`.
+    pub cache_invalidations: u64,
+    /// Mapped LPNs no recovered placement referenced, trimmed during
+    /// cleanup (pages from commits that never became durable).
+    pub orphaned_lpns: u64,
+    /// Simulated recovery time: checkpoint + journal reads and orphan
+    /// cleanup (journaled), or the full-device metadata scan (snapshot).
+    pub recovery_ns: u64,
+    /// Whether the recovered FTL passed its full mapping cross-check and
+    /// the placements matched the restored functional image.
+    pub mapping_consistent: bool,
+}
+
+impl Ecssd {
+    /// Enables FTL metadata journaling from the current serving state.
+    ///
+    /// The current placements and epoch seed the journal's initial
+    /// checkpoint, and the current functional image is sealed so
+    /// [`Ecssd::recover`] can restore it. From here on the deploy and
+    /// update paths journal every FTL mutation; each commit is flushed
+    /// durably as one atomic group.
+    pub fn enable_journal(&mut self, config: JournalConfig) {
+        let placements: Vec<(u64, u64, u64)> = self
+            .row_lpns
+            .iter()
+            .enumerate()
+            .map(|(row, &first)| (row as u64, first, self.pages_per_row))
+            .collect();
+        self.device.enable_journal(config, &placements, self.epoch);
+        self.sealed_images.clear();
+        if let (Some(w), Some(s)) = (&self.weights, &self.screener) {
+            self.sealed_images.push(SealedImage {
+                epoch: self.epoch,
+                weights: w.clone(),
+                screener: s.clone(),
+                pages_per_row: self.pages_per_row,
+            });
+        }
+        self.commit_log.retain(|m| m.epoch <= self.epoch);
+    }
+
+    /// Whether a metadata journal is enabled.
+    pub fn journal_enabled(&self) -> bool {
+        self.device.journal().is_some()
+    }
+
+    /// Total journal records appended since enable (`None` without a
+    /// journal). Crash instants are expressed in this coordinate.
+    pub fn journal_appended(&self) -> Option<u64> {
+        self.device.journal().map(|j| j.appended())
+    }
+
+    /// Arms the unjournaled crash baseline: a snapshot of the current
+    /// serving state, standing in for the last state the device could
+    /// reconstruct without a journal. [`Ecssd::recover`] falls back to it
+    /// when no journal is enabled; every commit after the snapshot is
+    /// reported as lost.
+    pub fn arm_crash_snapshot(&mut self) {
+        self.crash_snapshot = Some(CrashSnapshot {
+            epoch: self.epoch,
+            weights: self.weights.clone(),
+            screener: self.screener.clone(),
+            row_lpns: self.row_lpns.clone(),
+            pages_per_row: self.pages_per_row,
+            ftl: self.device.ftl().clone(),
+            next_lpn: self.next_lpn,
+            free_lpns: self.free_lpns.clone(),
+        });
+        self.commit_log.retain(|m| m.epoch <= self.epoch);
+    }
+
+    /// Simulates a power cut at an arbitrary instant: queued inputs,
+    /// pending results, any staged update, and the journal's un-flushed
+    /// group-commit buffer are all lost. With `survived = Some(k)` the
+    /// durable journal rolls back to the last group flush at or before
+    /// `k` total appended records (the [`ecssd_ssd::PowerLossInjector`]
+    /// coordinate); `None` crashes "now", losing only the pending buffer.
+    ///
+    /// The device must not serve again until [`Ecssd::recover`] runs.
+    pub fn power_cut(&mut self, survived: Option<u64>) {
+        self.crash_bound = match (self.journal_appended(), survived) {
+            (Some(appended), Some(k)) => Some(k.min(appended)),
+            (Some(appended), None) => Some(appended),
+            (None, _) => None,
+        };
+        self.device.power_cut(survived);
+        self.queue = InputQueue::default();
+        self.results.clear();
+        self.staged = None;
+    }
+
+    /// Recovers the device after a [`Ecssd::power_cut`]: journaled replay
+    /// when a journal is enabled, snapshot restore otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::Recovery`] when neither a journal nor an armed
+    /// snapshot exists, or when no sealed functional image matches the
+    /// recovered epoch; propagates device errors from a corrupt journal.
+    pub fn recover(&mut self) -> Result<RecoveryOutcome, EcssdError> {
+        self.recover_inner(None)
+    }
+
+    /// Journaled recovery bounded at `max_epoch`: replay stops at the last
+    /// durable epoch commit `<= max_epoch`. This is the multi-shard
+    /// rollback path — after independent recoveries disagree, every shard
+    /// re-recovers to the minimum.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::Recovery`] without a journal (bounded recovery needs
+    /// one) or when no sealed image matches; propagates device errors.
+    pub fn recover_to(&mut self, max_epoch: u64) -> Result<RecoveryOutcome, EcssdError> {
+        self.recover_inner(Some(max_epoch))
+    }
+
+    fn recover_inner(&mut self, max_epoch: Option<u64>) -> Result<RecoveryOutcome, EcssdError> {
+        let epoch_before = self.epoch;
+        let entry = self.clock;
+        let prev_rows = self.weights.as_ref().map_or(0, |w| w.rows());
+        // Volatile state dies with the power, however recovery is driven.
+        self.queue = InputQueue::default();
+        self.results.clear();
+        self.staged = None;
+
+        let mut outcome = if self.device.journal().is_some() {
+            self.recover_journaled(max_epoch)?
+        } else {
+            if max_epoch.is_some() {
+                return Err(EcssdError::Recovery(
+                    "bounded recovery requires a metadata journal".into(),
+                ));
+            }
+            self.recover_snapshot()?
+        };
+
+        // Staleness barrier: controller DRAM is volatile, so every cached
+        // row image from before the crash is untrusted.
+        let rows_now = self.weights.as_ref().map_or(0, |w| w.rows());
+        let all_rows: Vec<u64> = (0..prev_rows.max(rows_now) as u64).collect();
+        let inv_before = self.hot_cache.stats().invalidations;
+        self.hot_cache.invalidate_rows(&all_rows);
+        outcome.cache_invalidations = self.hot_cache.stats().invalidations - inv_before;
+
+        self.drift.reset();
+        self.commit_log.retain(|m| m.epoch <= self.epoch);
+        outcome.epoch_before_crash = epoch_before;
+        outcome.recovered_epoch = self.epoch;
+        outcome.recovery_ns = self.clock.saturating_since(entry);
+        Ok(outcome)
+    }
+
+    /// Replays the device journal, restores the matching sealed functional
+    /// image, and trims orphaned pages from never-durable commits.
+    fn recover_journaled(&mut self, max_epoch: Option<u64>) -> Result<RecoveryOutcome, EcssdError> {
+        let epoch_before = self.epoch;
+        let report = self.device.recover(max_epoch, self.clock)?;
+        let recovered = report.recovered_epoch;
+        let img_idx = self
+            .sealed_images
+            .iter()
+            .rposition(|s| s.epoch == recovered)
+            .ok_or_else(|| {
+                EcssdError::Recovery(format!("no sealed functional image for epoch {recovered}"))
+            })?;
+        let img = self.sealed_images[img_idx].clone();
+        self.sealed_images.truncate(img_idx + 1);
+        self.pages_per_row = img.pages_per_row;
+
+        // Rebuild placements; rows must be contiguous from 0 and agree
+        // with the restored image for the mapping to count as consistent.
+        let mut consistent = report.mapping_consistent;
+        let mut placements = report.placements.clone();
+        placements.sort_unstable();
+        let mut row_lpns = Vec::with_capacity(placements.len());
+        for (i, &(row, first, pages)) in placements.iter().enumerate() {
+            if row != i as u64 || pages != self.pages_per_row {
+                consistent = false;
+            }
+            row_lpns.push(first);
+        }
+        if row_lpns.len() != img.weights.rows() {
+            consistent = false;
+        }
+        self.row_lpns = row_lpns;
+        self.weights = Some(img.weights);
+        self.screener = Some(img.screener);
+
+        // Rows-lost audit: a commit whose group flush preceded the crash
+        // instant was durable and must have been recovered.
+        let bound = self.crash_bound.take().unwrap_or(0);
+        let rows_lost = self
+            .commit_log
+            .iter()
+            .filter(|m| m.appended <= bound && m.epoch > recovered && m.epoch <= epoch_before)
+            .map(|m| m.rows_touched)
+            .sum();
+
+        // Orphan cleanup: pages mapped by replayed writes whose commit
+        // never became durable. Trim them (journaled) and re-seal the
+        // recovered epoch so the cleanup itself is crash-consistent.
+        let referenced: BTreeSet<u64> = self
+            .row_lpns
+            .iter()
+            .flat_map(|&first| first..first + self.pages_per_row)
+            .collect();
+        let mut t = self.clock + report.recovery_ns;
+        let mut orphans = 0u64;
+        for lpn in 0..self.device.ftl().logical_pages() {
+            if self.device.ftl().is_mapped(lpn) && !referenced.contains(&lpn) {
+                t = t.max(self.device.trim_mapped(lpn, t)?);
+                orphans += 1;
+            }
+        }
+        if orphans > 0 {
+            let rows = self.row_lpns.len() as u64;
+            t = t.max(self.device.journal_commit(
+                vec![JournalRecord::EpochCommit {
+                    epoch: recovered,
+                    rows,
+                }],
+                t,
+            ));
+        }
+
+        self.next_lpn = referenced.iter().next_back().map_or(0, |&l| l + 1);
+        self.free_lpns = (0..self.next_lpn)
+            .filter(|lpn| !referenced.contains(lpn))
+            .collect();
+        self.epoch = recovered;
+        self.clock = t;
+        Ok(RecoveryOutcome {
+            journaled: true,
+            replayed_records: report.replayed_records,
+            rows_lost,
+            orphaned_lpns: orphans,
+            mapping_consistent: consistent,
+            ..RecoveryOutcome::default()
+        })
+    }
+
+    /// Unjournaled fallback: restores the armed snapshot after paying a
+    /// full-device metadata scan, losing every commit since the snapshot.
+    fn recover_snapshot(&mut self) -> Result<RecoveryOutcome, EcssdError> {
+        self.crash_bound = None;
+        let snap = self.crash_snapshot.clone().ok_or_else(|| {
+            EcssdError::Recovery(
+                "no journal and no armed crash snapshot: device is unrecoverable".into(),
+            )
+        })?;
+        // Every commit since the snapshot is gone, journal or not.
+        let rows_lost = self
+            .commit_log
+            .iter()
+            .filter(|m| m.epoch > snap.epoch)
+            .map(|m| m.rows_touched)
+            .sum();
+        *self.device.ftl_mut() = snap.ftl;
+        // Rebuilding L2P without a journal means scanning every mapped
+        // page's out-of-band area — the full-device read the journal's
+        // bounded replay avoids.
+        let mut t = self.clock;
+        for lpn in 0..self.device.ftl().logical_pages() {
+            if !self.device.ftl().is_mapped(lpn) {
+                continue;
+            }
+            if let Ok(addr) = self.device.ftl().translate(lpn) {
+                t = self.device.flash_mut().read_page(addr, t).done;
+            }
+        }
+        self.weights = snap.weights;
+        self.screener = snap.screener;
+        self.row_lpns = snap.row_lpns;
+        self.pages_per_row = snap.pages_per_row;
+        self.next_lpn = snap.next_lpn;
+        self.free_lpns = snap.free_lpns;
+        self.epoch = snap.epoch;
+        self.clock = t;
+        let consistent = self.device.ftl().mapping_is_consistent();
+        Ok(RecoveryOutcome {
+            journaled: false,
+            rows_lost,
+            mapping_consistent: consistent,
+            ..RecoveryOutcome::default()
+        })
+    }
+
+    /// One background scrub pass: patrol-reads up to `max_pages` mapped
+    /// pages and repairs any latent-UECC page via its RAID-5 stripe peers
+    /// before a query trips over it. Scrub traffic shares the flash
+    /// timelines with foreground work (that contention *is* the patrol
+    /// overhead); the host clock does not advance.
+    pub fn scrub_pass(&mut self, max_pages: u64) -> ScrubReport {
+        self.device.scrub_pass(max_pages, self.clock)
+    }
+
+    /// Accumulated scrubber activity since device creation.
+    pub fn scrub_totals(&self) -> ScrubReport {
+        self.device.scrub_totals()
+    }
+
+    /// Seals a committed epoch: journals the placement group + epoch
+    /// commit as one atomic flush, seals the functional image for
+    /// recovery, and records the commit mark for rows-lost accounting.
+    /// Called by `weight_deploy` and `commit_update` after bumping the
+    /// epoch; a no-op flush-wise without a journal.
+    pub(crate) fn record_commit(
+        &mut self,
+        placement_rows: &[u64],
+        unmapped: &[u64],
+        rows_touched: u64,
+    ) {
+        if self.device.journal().is_some() {
+            let mut records: Vec<JournalRecord> = Vec::new();
+            for &lpn in unmapped {
+                records.push(JournalRecord::Unmap { lpn });
+            }
+            for &row in placement_rows {
+                records.push(JournalRecord::RowPlacement {
+                    row,
+                    first_lpn: self.row_lpns[row as usize],
+                    pages: self.pages_per_row,
+                });
+            }
+            records.push(JournalRecord::EpochCommit {
+                epoch: self.epoch,
+                rows: self.row_lpns.len() as u64,
+            });
+            self.clock = self
+                .clock
+                .max(self.device.journal_commit(records, self.clock));
+            if let (Some(w), Some(s)) = (&self.weights, &self.screener) {
+                self.sealed_images.push(SealedImage {
+                    epoch: self.epoch,
+                    weights: w.clone(),
+                    screener: s.clone(),
+                    pages_per_row: self.pages_per_row,
+                });
+            }
+        }
+        let appended = self.journal_appended().unwrap_or(0);
+        self.commit_log.push(CommitMark {
+            epoch: self.epoch,
+            rows_touched,
+            appended,
+        });
+    }
+}

@@ -121,7 +121,7 @@ impl Ecssd {
                 // Recycle every page of the dropped version; trims on
                 // already-dead pages are idempotent no-ops.
                 for &lpn in &staged.staged_lpns {
-                    let _ = self.device.ftl_mut().trim(lpn);
+                    let _ = self.device.trim_mapped(lpn, self.clock);
                 }
                 self.free_lpns.extend_from_slice(&staged.staged_lpns);
                 Err(e)
@@ -198,9 +198,12 @@ impl Ecssd {
             for _ in 0..self.pages_per_row {
                 let lpn = self.take_lpn();
                 first.get_or_insert(lpn);
-                let addr = self.device.ftl_mut().write(lpn)?;
+                // Journaled write path (timing-neutral without a journal).
+                let (addr, jdone) = self.device.write_mapped(lpn, t)?;
                 rep_addr.get_or_insert(addr);
-                t = t.max(self.device.flash_mut().program_page(addr, t));
+                t = t
+                    .max(self.device.flash_mut().program_page(addr, t))
+                    .max(jdone);
                 staged.staged_lpns.push(lpn);
                 new_lpns.push(lpn);
                 report.pages_programmed += 1;
@@ -321,7 +324,10 @@ impl Ecssd {
         let inv_before = self.hot_cache.stats().invalidations;
         self.hot_cache.invalidate_rows(&staged.touched_rows);
         report.cache_invalidations = self.hot_cache.stats().invalidations - inv_before;
-        // Version N's superseded pages die and their LPNs recycle.
+        // Version N's superseded pages die and their LPNs recycle. The
+        // trims are applied directly and journaled below as part of the
+        // commit group, so the whole commit is one atomic flush: a crash
+        // rolls back the trims and the placement bumps together.
         for &lpn in &staged.freed_lpns {
             self.device.ftl_mut().trim(lpn)?;
         }
@@ -329,6 +335,14 @@ impl Ecssd {
         self.update_programs += report.pages_programmed + report.parity.parity_programs;
         self.epoch += 1;
         report.epoch = self.epoch;
+        let touched: Vec<u64> = staged
+            .touched_rows
+            .iter()
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        self.record_commit(&touched, &staged.freed_lpns, touched.len() as u64);
         Ok(report)
     }
 
@@ -341,7 +355,7 @@ impl Ecssd {
     pub fn abort_update(&mut self) -> Result<(), EcssdError> {
         let staged = self.staged.take().ok_or(EcssdError::NoStagedUpdate)?;
         for &lpn in &staged.staged_lpns {
-            self.device.ftl_mut().trim(lpn)?;
+            self.device.trim_mapped(lpn, self.clock)?;
         }
         self.free_lpns.extend_from_slice(&staged.staged_lpns);
         Ok(())

@@ -141,24 +141,57 @@ mod tests {
     }
 
     #[test]
-    fn preserves_inner_products_approximately() {
-        // JL property: over many random pairs, projected inner products
-        // correlate strongly with the originals.
+    fn preserves_norms_within_jl_tolerance() {
+        // The core JL statement: ‖Px‖ ≈ ‖x‖ with relative error
+        // O(1/sqrt(K)). At K = 64 a 40 % band is ~3 standard deviations.
         let d = 256;
         let p = Projector::new(d, 64, 9).unwrap();
-        let m = DenseMatrix::random(40, d, 11);
-        let x: Vec<f32> = DenseMatrix::random(1, d, 13).as_slice().to_vec();
-        let px = p.project(&x).unwrap();
-        let pm = p.project_matrix(&m).unwrap();
-        let exact = m.matvec(&x).unwrap();
-        let approx = pm.matvec(&px).unwrap();
-        let dot: f32 = exact.iter().zip(&approx).map(|(&a, &b)| a * b).sum();
-        let na = exact.iter().map(|&a| a * a).sum::<f32>().sqrt();
-        let nb = approx.iter().map(|&b| b * b).sum::<f32>().sqrt();
-        let cosine = dot / (na * nb);
+        for seed in 0..8u64 {
+            let x: Vec<f32> = DenseMatrix::random(1, d, 13 + seed).as_slice().to_vec();
+            let px = p.project(&x).unwrap();
+            let nx = x.iter().map(|&v| v * v).sum::<f32>().sqrt();
+            let np = px.iter().map(|&v| v * v).sum::<f32>().sqrt();
+            let ratio = np / nx;
+            assert!(
+                (0.6..=1.4).contains(&ratio),
+                "seed {seed}: projection distorted the norm by {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn preserves_inner_products_approximately() {
+        // JL property: projected inner products correlate with the
+        // originals. For *independent* random pairs the exact products are
+        // themselves ~‖a‖‖b‖/sqrt(D) while the JL noise is ~‖a‖‖b‖/sqrt(K),
+        // so at D = 256, K = 64 the per-pair signal-to-noise ratio is only
+        // ~1/2 and the expected cosine ~0.45 — any single draw is a coin
+        // flip against a tight threshold. Average the cosine over several
+        // independent (projector, data) draws instead and bound the mean.
+        let d = 256;
+        let trials = 8u64;
+        let mut mean = 0.0f32;
+        for seed in 0..trials {
+            let p = Projector::new(d, 64, 9 + seed).unwrap();
+            let m = DenseMatrix::random(40, d, 11 + seed);
+            let x: Vec<f32> = DenseMatrix::random(1, d, 111 + seed).as_slice().to_vec();
+            let px = p.project(&x).unwrap();
+            let pm = p.project_matrix(&m).unwrap();
+            let exact = m.matvec(&x).unwrap();
+            let approx = pm.matvec(&px).unwrap();
+            let dot: f32 = exact.iter().zip(&approx).map(|(&a, &b)| a * b).sum();
+            let na = exact.iter().map(|&a| a * a).sum::<f32>().sqrt();
+            let nb = approx.iter().map(|&b| b * b).sum::<f32>().sqrt();
+            let cosine = dot / (na * nb);
+            assert!(
+                cosine > 0.0,
+                "seed {seed}: projection anti-correlated: cosine {cosine}"
+            );
+            mean += cosine / trials as f32;
+        }
         assert!(
-            cosine > 0.5,
-            "projection lost too much signal: cosine {cosine}"
+            mean > 0.25,
+            "projection lost too much signal: mean cosine {mean}"
         );
     }
 

@@ -54,10 +54,10 @@ use std::time::{Duration, Instant};
 
 use ecssd_core::{
     sort_scores, Classifier, ClassifierStats, Ecssd, EcssdConfig, EcssdError, EcssdMode,
-    UpdateBatch, UpdateReport,
+    RecoveryOutcome, UpdateBatch, UpdateReport,
 };
 use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
-use ecssd_ssd::{CacheStats, SimTime};
+use ecssd_ssd::{CacheStats, JournalConfig, SimTime};
 use ecssd_trace::{percentile_us, StageBreakdown, Tracer};
 use serde::{Deserialize, Serialize};
 
@@ -129,6 +129,31 @@ pub struct ServeReport {
     pub mixed_version_batches: u64,
 }
 
+/// Fleet-wide outcome of one [`ServeEngine::crash_and_recover`] cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Highest serving epoch across shards at the instant of the crash.
+    pub epoch_before: u64,
+    /// Epoch every shard serves after recovery — the minimum the
+    /// independent shard recoveries agreed on, never ahead of
+    /// `epoch_before`.
+    pub epoch_after: u64,
+    /// Durably committed rows lost across shards (0 for a working
+    /// journal).
+    pub rows_lost: u64,
+    /// Journal records replayed, summed over shards.
+    pub replayed_records: u64,
+    /// Slowest shard's simulated recovery time, ns (shards recover in
+    /// parallel).
+    pub recovery_ns_max: u64,
+    /// Whether every shard's replayed mapping passed its consistency
+    /// cross-check.
+    pub shards_consistent: bool,
+    /// Shards that needed the phase-2 rollback because their independent
+    /// recovery landed ahead of the fleet minimum.
+    pub rolled_back_shards: usize,
+}
+
 /// A query waiting for its merged answer (returned by
 /// [`ServeEngine::submit`]).
 #[derive(Debug)]
@@ -191,15 +216,41 @@ enum Job {
     /// Drop the staged version (never routed through the dispatcher —
     /// staged state is invisible to queries).
     Abort { ack: Sender<Result<(), String>> },
+    /// Enable FTL metadata journaling on this shard's device.
+    EnableJournal {
+        config: JournalConfig,
+        ack: Sender<Result<(), String>>,
+    },
+    /// Power-cut this shard's device at the injected instant, then run
+    /// journaled recovery. Routed through the dispatcher like a commit so
+    /// the crash lands on a batch boundary on every shard at once.
+    Recover {
+        survived: Option<u64>,
+        ack: Sender<(usize, Result<RecoveryOutcome, String>)>,
+    },
+    /// Phase-2 rollback: re-recover bounded at `epoch` (sent to shards
+    /// whose independent recovery landed ahead of the fleet minimum).
+    RecoverTo {
+        epoch: u64,
+        ack: Sender<(usize, Result<RecoveryOutcome, String>)>,
+    },
 }
 
-/// What flows into the dispatcher: queries to batch, or a commit barrier
-/// to forward to every shard between two batches.
+/// A barrier the dispatcher must place between two batches: an update
+/// commit, or a crash-and-recover cycle.
+enum Barrier {
+    Commit(Sender<(usize, Result<UpdateReport, String>)>),
+    Recover {
+        survived: Option<u64>,
+        ack: Sender<(usize, Result<RecoveryOutcome, String>)>,
+    },
+}
+
+/// What flows into the dispatcher: queries to batch, or a barrier to
+/// forward to every shard between two batches.
 enum Submission {
     Query(Query),
-    Commit {
-        ack: Sender<(usize, Result<UpdateReport, String>)>,
-    },
+    Barrier(Barrier),
 }
 
 struct Ticket {
@@ -642,7 +693,7 @@ impl ServeEngine {
             .as_ref()
             .ok_or_else(|| EcssdError::Serve("engine stopped".into()))?;
         let (ack_tx, ack_rx) = mpsc::channel();
-        tx.send(Submission::Commit { ack: ack_tx })
+        tx.send(Submission::Barrier(Barrier::Commit(ack_tx)))
             .map_err(|_| EcssdError::Serve("dispatcher exited".into()))?;
         let mut merged = UpdateReport::default();
         let mut added = 0usize;
@@ -698,6 +749,138 @@ impl ServeEngine {
                 .map_err(|e| EcssdError::Serve(format!("shard {i} abort failed: {e}")))?;
         }
         Ok(())
+    }
+
+    /// Enables FTL metadata journaling on every shard device. Each shard
+    /// seals its current serving state as the journal's initial
+    /// checkpoint; from here on deploys and committed updates are
+    /// recoverable via [`ServeEngine::crash_and_recover`].
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled; shard failures as
+    /// [`EcssdError::Serve`].
+    pub fn enable_journal(&mut self, config: JournalConfig) -> Result<(), EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        let mut acks = Vec::with_capacity(self.worker_tx.len());
+        for (i, worker) in self.worker_tx.iter().enumerate() {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::EnableJournal {
+                    config,
+                    ack: ack_tx,
+                })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            acks.push(ack_rx);
+        }
+        for (i, ack) in acks.into_iter().enumerate() {
+            ack.recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited during enable")))?
+                .map_err(|e| EcssdError::Serve(format!("shard {i} enable failed: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Injects a power cut on every shard at the given journal instant and
+    /// recovers the fleet: the crash flows through the dispatcher like a
+    /// commit, so it lands on a batch boundary everywhere; each shard then
+    /// replays its own journal independently, and shards whose recovery
+    /// landed ahead of the fleet minimum are rolled back to it
+    /// ([`Ecssd::recover_to`]) so serving resumes at one epoch — never
+    /// ahead of the last commit every shard had durably journaled.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled; shard recovery failures
+    /// as [`EcssdError::Serve`]; [`EcssdError::Serve`] if the recovered
+    /// epoch somehow exceeded the pre-crash epoch (an invariant breach).
+    pub fn crash_and_recover(
+        &mut self,
+        survived: Option<u64>,
+    ) -> Result<RecoverySummary, EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        let tx = self
+            .submit_tx
+            .as_ref()
+            .ok_or_else(|| EcssdError::Serve("engine stopped".into()))?;
+        let shards = self.worker_tx.len();
+        // Phase 1: crash + independent recovery on every shard, on the
+        // same batch boundary.
+        let (ack_tx, ack_rx) = mpsc::channel();
+        tx.send(Submission::Barrier(Barrier::Recover {
+            survived,
+            ack: ack_tx,
+        }))
+        .map_err(|_| EcssdError::Serve("dispatcher exited".into()))?;
+        let mut outcomes: Vec<Option<RecoveryOutcome>> = vec![None; shards];
+        for _ in 0..shards {
+            let (shard, result) = ack_rx
+                .recv()
+                .map_err(|_| EcssdError::Serve("worker exited during recovery".into()))?;
+            let outcome = result
+                .map_err(|e| EcssdError::Serve(format!("shard {shard} recovery failed: {e}")))?;
+            outcomes[shard] = Some(outcome);
+        }
+        let mut outcomes: Vec<RecoveryOutcome> = outcomes.into_iter().flatten().collect();
+        if outcomes.len() != shards {
+            return Err(EcssdError::Serve("recovery ack missing a shard".into()));
+        }
+        // Phase 2: shards ahead of the fleet minimum roll back to it.
+        let floor = outcomes
+            .iter()
+            .map(|o| o.recovered_epoch)
+            .min()
+            .unwrap_or(0);
+        let mut rolled_back = 0usize;
+        for (i, worker) in self.worker_tx.iter().enumerate() {
+            if outcomes[i].recovered_epoch == floor {
+                continue;
+            }
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::RecoverTo {
+                    epoch: floor,
+                    ack: ack_tx,
+                })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            let (shard, result) = ack_rx
+                .recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited during rollback")))?;
+            let outcome = result
+                .map_err(|e| EcssdError::Serve(format!("shard {shard} rollback failed: {e}")))?;
+            outcomes[i].recovered_epoch = outcome.recovered_epoch;
+            outcomes[i].rows_lost += outcome.rows_lost;
+            outcomes[i].mapping_consistent &= outcome.mapping_consistent;
+            rolled_back += 1;
+        }
+        let summary = RecoverySummary {
+            epoch_before: outcomes
+                .iter()
+                .map(|o| o.epoch_before_crash)
+                .max()
+                .unwrap_or(0),
+            epoch_after: floor,
+            rows_lost: outcomes.iter().map(|o| o.rows_lost).sum(),
+            replayed_records: outcomes.iter().map(|o| o.replayed_records).sum(),
+            recovery_ns_max: outcomes.iter().map(|o| o.recovery_ns).max().unwrap_or(0),
+            shards_consistent: outcomes.iter().all(|o| o.mapping_consistent),
+            rolled_back_shards: rolled_back,
+        };
+        if summary.epoch_after > summary.epoch_before {
+            return Err(EcssdError::Serve(format!(
+                "recovered epoch {} is ahead of pre-crash epoch {}",
+                summary.epoch_after, summary.epoch_before
+            )));
+        }
+        Ok(summary)
     }
 
     /// The deployment version the shards serve (max over shards; the
@@ -929,6 +1112,33 @@ fn worker_loop(
             Job::Abort { ack } => {
                 let _ = ack.send(device.abort_update().map_err(|e| e.to_string()));
             }
+            Job::EnableJournal { config, ack } => {
+                device.enable_journal(config);
+                let _ = ack.send(Ok(()));
+            }
+            Job::Recover { survived, ack } => {
+                device.power_cut(survived);
+                let outcome = device.recover().map_err(|e| e.to_string());
+                if outcome.is_ok() {
+                    rows = device.categories();
+                }
+                let mut m = lock(&metrics);
+                m.epochs[shard] = device.epoch();
+                m.shard_elapsed[shard] = Classifier::elapsed(&device);
+                drop(m);
+                let _ = ack.send((shard, outcome));
+            }
+            Job::RecoverTo { epoch, ack } => {
+                let outcome = device.recover_to(epoch).map_err(|e| e.to_string());
+                if outcome.is_ok() {
+                    rows = device.categories();
+                }
+                let mut m = lock(&metrics);
+                m.epochs[shard] = device.epoch();
+                m.shard_elapsed[shard] = Classifier::elapsed(&device);
+                drop(m);
+                let _ = ack.send((shard, outcome));
+            }
             Job::Threshold { policy, ack } => {
                 let _ = ack.send(device.filter_threshold(policy).map_err(|e| e.to_string()));
             }
@@ -969,18 +1179,28 @@ fn worker_loop(
     }
 }
 
-/// Forwards a commit barrier to every worker. Because the dispatcher is
-/// the only sender of `Batch` and `Commit` jobs, every worker sees the
-/// commit at the same position in its (FIFO) job stream: after the same
-/// batch, before the next — the atomic swap point.
-fn forward_commit(
-    workers: &[Sender<Job>],
-    ack: Sender<(usize, Result<UpdateReport, String>)>,
-    tracer: &Tracer,
-) {
-    tracer.count("serve.commits_forwarded", 1);
-    for worker in workers {
-        let _ = worker.send(Job::Commit { ack: ack.clone() });
+/// Forwards a barrier (commit or crash-and-recover) to every worker.
+/// Because the dispatcher is the only sender of `Batch` and barrier jobs,
+/// every worker sees the barrier at the same position in its (FIFO) job
+/// stream: after the same batch, before the next — the atomic swap (or
+/// crash) point.
+fn forward_barrier(workers: &[Sender<Job>], barrier: Barrier, tracer: &Tracer) {
+    match barrier {
+        Barrier::Commit(ack) => {
+            tracer.count("serve.commits_forwarded", 1);
+            for worker in workers {
+                let _ = worker.send(Job::Commit { ack: ack.clone() });
+            }
+        }
+        Barrier::Recover { survived, ack } => {
+            tracer.count("serve.recoveries_forwarded", 1);
+            for worker in workers {
+                let _ = worker.send(Job::Recover {
+                    survived,
+                    ack: ack.clone(),
+                });
+            }
+        }
     }
 }
 
@@ -995,17 +1215,17 @@ fn dispatcher_loop(
     // A query whose `k` differs from the open batch closes that batch and
     // seeds the next one.
     let mut carry: Option<Query> = None;
-    // A commit that arrived while a batch was open: the batch is closed
-    // and dispatched first, then the commit follows it to every worker.
-    let mut pending_commit: Option<Sender<(usize, Result<UpdateReport, String>)>> = None;
+    // A barrier that arrived while a batch was open: the batch is closed
+    // and dispatched first, then the barrier follows it to every worker.
+    let mut pending_barrier: Option<Barrier> = None;
     loop {
         let first = match carry.take() {
             Some(q) => q,
             None => match submissions.recv() {
                 Ok(Submission::Query(q)) => q,
-                Ok(Submission::Commit { ack }) => {
-                    // Idle commit: no open batch, forward immediately.
-                    forward_commit(&workers, ack, &tracer);
+                Ok(Submission::Barrier(b)) => {
+                    // Idle barrier: no open batch, forward immediately.
+                    forward_barrier(&workers, b, &tracer);
                     continue;
                 }
                 Err(_) => return,
@@ -1014,7 +1234,7 @@ fn dispatcher_loop(
         let k = first.k;
         let mut batch = vec![first];
         let deadline = Instant::now() + policy.max_wait;
-        while batch.len() < policy.max_batch && carry.is_none() && pending_commit.is_none() {
+        while batch.len() < policy.max_batch && carry.is_none() && pending_barrier.is_none() {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 break;
@@ -1022,7 +1242,7 @@ fn dispatcher_loop(
             match submissions.recv_timeout(left) {
                 Ok(Submission::Query(q)) if q.k == k => batch.push(q),
                 Ok(Submission::Query(q)) => carry = Some(q),
-                Ok(Submission::Commit { ack }) => pending_commit = Some(ack),
+                Ok(Submission::Barrier(b)) => pending_barrier = Some(b),
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
@@ -1045,8 +1265,8 @@ fn dispatcher_loop(
                 k,
             });
         }
-        if let Some(ack) = pending_commit.take() {
-            forward_commit(&workers, ack, &tracer);
+        if let Some(b) = pending_barrier.take() {
+            forward_barrier(&workers, b, &tracer);
         }
     }
 }

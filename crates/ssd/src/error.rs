@@ -50,6 +50,9 @@ pub enum SsdError {
         /// Die index within the channel.
         die: usize,
     },
+    /// A journaled recovery was requested but no metadata journal is
+    /// enabled on the device.
+    JournalDisabled,
 }
 
 impl fmt::Display for SsdError {
@@ -83,6 +86,9 @@ impl fmt::Display for SsdError {
                     f,
                     "die {die} on channel {channel} failed and could not be bypassed"
                 )
+            }
+            SsdError::JournalDisabled => {
+                write!(f, "no metadata journal is enabled on the device")
             }
         }
     }

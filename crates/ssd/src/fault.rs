@@ -14,6 +14,14 @@
 //! recalibrates reference voltages — and is what makes a `Retry`
 //! degradation policy effective.
 //!
+//! *Latent* UECC ([`FaultPlan::with_latent_uecc`]) is the persistent
+//! counterpart: a page drawn latent-bad fails **every** attempt — retention
+//! loss or a grown defect rather than a marginal sense — until the
+//! controller rewrites it ([`FaultInjector::repair`], the background
+//! scrubber's RAID-5 repair path). The draw is a pure function of
+//! `(seed, address)` with no epoch term, so which pages are latent-bad is
+//! fixed at plan time and discoverable by patrol reads.
+//!
 //! Whole-die failures are permanent. Until the controller *retires* a dead
 //! die ([`FaultInjector::retire_die`]), every read to it burns the full
 //! retry-ladder timeout on the die before failing; a retired die fails
@@ -21,7 +29,7 @@
 //! failure-aware interleaving layer uses.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::PhysPageAddr;
 
@@ -43,6 +51,12 @@ pub struct FaultPlan {
     /// Probability that a read attempt is uncorrectable after the full
     /// retry ladder (drawn per address *and* attempt epoch).
     pub uecc_prob: f64,
+    /// Probability that a page is *latent* uncorrectable: drawn once per
+    /// address (no epoch term), fails every attempt until repaired by a
+    /// rewrite. This is the retention-loss mode the background scrubber
+    /// patrols for, distinct from the transient per-attempt `uecc_prob`.
+    #[serde(default)]
+    pub latent_uecc_prob: f64,
     /// Dies that are permanently offline, as `(channel, die)` pairs.
     pub dead_dies: Vec<(usize, usize)>,
     /// Per-channel bus bandwidth derating factors in `(0, 1]`, as
@@ -62,6 +76,7 @@ impl FaultPlan {
             seed,
             retry_storm_prob: 0.0,
             uecc_prob: 0.0,
+            latent_uecc_prob: 0.0,
             dead_dies: Vec::new(),
             channel_derate: Vec::new(),
         }
@@ -86,6 +101,17 @@ impl FaultPlan {
     pub fn with_uecc(mut self, p: f64) -> Self {
         assert_probability(p, "UECC probability");
         self.uecc_prob = p;
+        self
+    }
+
+    /// Sets the per-page latent (persistent) UECC probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN or outside `[0, 1]`.
+    pub fn with_latent_uecc(mut self, p: f64) -> Self {
+        assert_probability(p, "latent-UECC probability");
+        self.latent_uecc_prob = p;
         self
     }
 
@@ -117,6 +143,7 @@ impl FaultPlan {
     pub fn is_inert(&self) -> bool {
         self.retry_storm_prob == 0.0
             && self.uecc_prob == 0.0
+            && self.latent_uecc_prob == 0.0
             && self.dead_dies.is_empty()
             && self.channel_derate.iter().all(|&(_, f)| f == 1.0)
     }
@@ -157,6 +184,9 @@ pub struct FaultInjector {
     epochs: HashMap<u64, u64>,
     /// Dead dies the controller has retired (fail-fast from then on).
     retired: Vec<(usize, usize)>,
+    /// Latent-bad pages the scrubber has rewritten (keyed by packed flat
+    /// address); a repaired page reads clean from then on.
+    repaired: HashSet<u64>,
 }
 
 impl FaultInjector {
@@ -166,6 +196,7 @@ impl FaultInjector {
             plan,
             epochs: HashMap::new(),
             retired: Vec::new(),
+            repaired: HashSet::new(),
         }
     }
 
@@ -211,6 +242,10 @@ impl FaultInjector {
             *e += 1;
             now
         };
+        if self.latent_at_flat(flat) {
+            // Persistent: every attempt fails until the page is rewritten.
+            return FaultDecision::Uncorrectable;
+        }
         if self.plan.uecc_prob > 0.0 && self.unit(flat, epoch, UECC_SALT) < self.plan.uecc_prob {
             return FaultDecision::Uncorrectable;
         }
@@ -243,10 +278,40 @@ impl FaultInjector {
     pub fn retired_dies(&self) -> &[(usize, usize)] {
         &self.retired
     }
+
+    fn latent_at_flat(&self, flat: u64) -> bool {
+        self.plan.latent_uecc_prob > 0.0
+            && !self.repaired.contains(&flat)
+            && self.unit(flat, 0, LATENT_SALT) < self.plan.latent_uecc_prob
+    }
+
+    /// True when `addr` currently carries a latent (persistent) UECC. Pure
+    /// query: does not advance the address's attempt epoch, so the patrol
+    /// path can probe without perturbing transient draws.
+    pub fn latent_fault_at(&self, addr: PhysPageAddr) -> bool {
+        self.latent_at_flat(Self::flat(addr))
+    }
+
+    /// Marks `addr` as rewritten (the scrubber's repair program): clears
+    /// its latent fault, if any. Returns `true` when a latent fault was
+    /// actually present and is now repaired.
+    pub fn repair(&mut self, addr: PhysPageAddr) -> bool {
+        let flat = Self::flat(addr);
+        if self.latent_at_flat(flat) {
+            self.repaired.insert(flat);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Salt separating UECC draws from storm draws on the same address.
 const UECC_SALT: u64 = 0x0ecc;
+
+/// Salt separating the one-shot latent-UECC draw from the per-epoch
+/// transient draws on the same address.
+const LATENT_SALT: u64 = 0x1a7e;
 
 #[cfg(test)]
 mod tests {
@@ -329,6 +394,38 @@ mod tests {
             FaultDecision::Healthy { extra_retries: 0 }
         );
         assert_eq!(inj.retired_dies(), &[(2, 1)]);
+    }
+
+    #[test]
+    fn latent_uecc_is_persistent_until_repaired() {
+        let plan = FaultPlan::with_seed(11).with_latent_uecc(0.3);
+        let mut inj = FaultInjector::new(plan);
+        // Find a latent-bad page; at p = 0.3 one exists in a small scan.
+        let bad = (0..64)
+            .map(|p| addr(p % 4, p % 2, p))
+            .find(|&a| inj.latent_fault_at(a))
+            .expect("no latent page drawn at p=0.3");
+        // Every attempt fails (persistent), unlike the transient mode.
+        for _ in 0..8 {
+            assert_eq!(inj.decide(bad, 4), FaultDecision::Uncorrectable);
+        }
+        assert!(inj.repair(bad), "repair must report the cleared fault");
+        assert!(!inj.latent_fault_at(bad));
+        // No transient modes in this plan: the repaired page reads clean.
+        assert_eq!(
+            inj.decide(bad, 4),
+            FaultDecision::Healthy { extra_retries: 0 }
+        );
+        // Repairing a clean page is a no-op.
+        let clean = (0..64)
+            .map(|p| addr(p % 4, p % 2, p))
+            .find(|&a| !inj.latent_fault_at(a))
+            .expect("every page latent at p=0.3?");
+        assert!(!inj.repair(clean));
+        // The latent draw itself is epoch-independent: probing does not
+        // advance epochs, so two probes agree.
+        assert_eq!(inj.latent_fault_at(clean), inj.latent_fault_at(clean));
+        assert!(!FaultPlan::with_seed(1).with_latent_uecc(0.1).is_inert());
     }
 
     #[test]

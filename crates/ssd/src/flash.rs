@@ -438,6 +438,25 @@ impl FlashSim {
         &self.detected_dead
     }
 
+    /// True when `addr` currently carries a latent (persistent) UECC under
+    /// the active fault plan. Pure probe — does not advance the address's
+    /// attempt epoch — so the scrub patrol can inspect pages without
+    /// perturbing the transient fault draws. Always `false` without a plan.
+    pub fn latent_fault_at(&self, addr: PhysPageAddr) -> bool {
+        self.injector
+            .as_ref()
+            .is_some_and(|i| i.latent_fault_at(addr))
+    }
+
+    /// Marks `addr` as rewritten (the scrubber's repair program): clears
+    /// its latent fault under the active plan. Returns `true` when a
+    /// latent fault was present and is now repaired; `false` for clean
+    /// pages or without a fault plan. Timing is the caller's job — the
+    /// scrubber charges the repair program via [`FlashSim::program_page`].
+    pub fn repair_page(&mut self, addr: PhysPageAddr) -> bool {
+        self.injector.as_mut().is_some_and(|i| i.repair(addr))
+    }
+
     /// Flash-level health counters (the device's contribution to a
     /// [`HealthReport`]; pipeline-level recovery counters are merged in by
     /// the accelerator model).

@@ -56,7 +56,7 @@ enum BlockState {
     Full,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct Block {
     state: BlockState,
     next_page: usize,
@@ -98,7 +98,11 @@ pub struct WearReport {
 const UNMAPPED: u64 = u64::MAX;
 
 /// The flash translation layer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares the complete mapping state (tables, block
+/// bookkeeping, allocation cursors, GC counters); crash-recovery tests use
+/// it to assert that journal replay reconstructs the FTL bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Ftl {
     geometry: SsdGeometry,
     policy: AllocationPolicy,
@@ -287,8 +291,15 @@ impl Ftl {
         // (sustained-overwrite update traffic is exactly what gets there).
         let dies = self.geometry.dies_per_channel;
         if (0..dies).any(|d| self.free_blocks[channel * dies + d] == 0) {
-            // Best-effort: the allocation below is the arbiter of fullness.
-            let _ = self.gc_channel(channel);
+            // DeviceFull from the proactive pass only means nothing was
+            // reclaimable yet — the allocation below is the arbiter of
+            // fullness. Any other error is a real fault and must propagate
+            // instead of being silently retried as an allocation failure.
+            if let Err(e) = self.gc_channel(channel) {
+                if !matches!(e, SsdError::DeviceFull) {
+                    return Err(e);
+                }
+            }
         }
         match self.allocate_page_no_gc(channel) {
             Ok(addr) => return Ok(addr),
@@ -486,6 +497,13 @@ impl Ftl {
     /// Count of mapped logical pages.
     pub fn mapped_pages(&self) -> u64 {
         self.l2p.iter().filter(|&&v| v != UNMAPPED).count() as u64
+    }
+
+    /// True when `lpn` is in range and currently mapped. The scrub patrol
+    /// and recovery's free-list rebuild scan with this instead of
+    /// [`Ftl::translate`] to avoid constructing errors per probe.
+    pub fn is_mapped(&self, lpn: u64) -> bool {
+        self.l2p.get(lpn as usize).is_some_and(|&v| v != UNMAPPED)
     }
 
     /// Per-block erase counts, indexed by flat block id (channel-major,

@@ -48,6 +48,7 @@ mod flash;
 mod ftl;
 mod geometry;
 mod host;
+mod journal;
 mod ssd;
 mod stats;
 
@@ -62,8 +63,12 @@ pub use flash::{
 pub use ftl::{AllocationPolicy, Ftl, GcReport, WearReport};
 pub use geometry::{PhysPageAddr, SsdGeometry};
 pub use host::HostInterface;
+pub use journal::{
+    JournalConfig, JournalRecord, JournalStats, MetadataJournal, PowerLossInjector, RecoveryReport,
+    ReplayCounts, ReplayedState, JOURNAL_RECORD_BYTES,
+};
 pub use ssd::{QueueReport, SsdConfig, SsdDevice};
-pub use stats::{CacheStats, ChannelStats, HealthReport, ImbalanceReport};
+pub use stats::{CacheStats, ChannelStats, HealthReport, ImbalanceReport, ScrubReport};
 // Time primitives moved to `ecssd-trace` (the root of the dependency graph,
 // so the device model can emit trace spans); re-exported here so existing
 // `ecssd_ssd::SimTime` users keep working.

@@ -6,8 +6,9 @@
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    AllocationPolicy, Dram, FlashSim, FlashTiming, Ftl, HostInterface, PingPongBuffer, SimTime,
-    SsdError, SsdGeometry,
+    AllocationPolicy, Dram, FlashSim, FlashTiming, Ftl, HostInterface, JournalConfig,
+    JournalRecord, MetadataJournal, PhysPageAddr, PingPongBuffer, RecoveryReport, ScrubReport,
+    SimTime, SsdError, SsdGeometry,
 };
 
 /// Full device configuration (Table 2).
@@ -114,6 +115,12 @@ pub struct SsdDevice {
     buffer: PingPongBuffer,
     host: HostInterface,
     config: SsdConfig,
+    /// Optional FTL metadata journal (crash consistency; off by default).
+    journal: Option<MetadataJournal>,
+    /// Patrol position of the background scrubber, as an LPN.
+    scrub_cursor: u64,
+    /// Accumulated scrubber activity.
+    scrub_totals: ScrubReport,
 }
 
 impl SsdDevice {
@@ -140,6 +147,9 @@ impl SsdDevice {
             buffer: PingPongBuffer::new(config.buffer_bytes),
             host: HostInterface::pcie3_x4(),
             config,
+            journal: None,
+            scrub_cursor: 0,
+            scrub_totals: ScrubReport::default(),
         }
     }
 
@@ -291,6 +301,210 @@ impl SsdDevice {
         }
         Ok(done)
     }
+
+    // --- Crash consistency: metadata journal, power loss, recovery ---
+
+    /// Enables FTL metadata journaling from the current state. `placements`
+    /// (`(row, first_lpn, pages)`) and `epoch` seed the initial checkpoint
+    /// so recovery can reconstruct placement versions, not just mappings.
+    /// Re-enabling replaces the journal and restarts from a fresh
+    /// checkpoint.
+    pub fn enable_journal(
+        &mut self,
+        config: JournalConfig,
+        placements: &[(u64, u64, u64)],
+        epoch: u64,
+    ) {
+        self.journal = Some(MetadataJournal::new(config, &self.ftl, placements, epoch));
+    }
+
+    /// The metadata journal, if enabled.
+    pub fn journal(&self) -> Option<&MetadataJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Writes `lpn` through the FTL and journals the mutation when a
+    /// journal is enabled: a [`JournalRecord::Map`] plus an erase
+    /// cross-check if the write triggered GC, flushing at the group-commit
+    /// cadence (flush programs are charged on the flash timelines from
+    /// `issue`). Returns the new physical address and the completion time
+    /// of any journal flush (`issue` when none happened). This is the
+    /// write path the accelerator's deploy/update flows must use for the
+    /// mutation to be recoverable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Ftl::write`] errors; nothing is journaled on failure.
+    pub fn write_mapped(
+        &mut self,
+        lpn: u64,
+        issue: SimTime,
+    ) -> Result<(PhysPageAddr, SimTime), SsdError> {
+        let erased_before = self.ftl.gc_totals().erased_blocks;
+        let addr = self.ftl.write(lpn)?;
+        let mut done = issue;
+        if let Some(j) = self.journal.as_mut() {
+            j.append(JournalRecord::Map { lpn });
+            let delta = self.ftl.gc_totals().erased_blocks - erased_before;
+            if delta > 0 {
+                j.append(JournalRecord::Erase {
+                    channel: self.ftl.channel_of(lpn),
+                    blocks: delta,
+                });
+            }
+            if j.flush_due() {
+                done = j.flush(&self.ftl, &mut self.flash, issue);
+            }
+        }
+        Ok((addr, done))
+    }
+
+    /// Trims `lpn` through the FTL and journals the unmapping (see
+    /// [`SsdDevice::write_mapped`]). Returns the completion time of any
+    /// journal flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Ftl::trim`] errors.
+    pub fn trim_mapped(&mut self, lpn: u64, issue: SimTime) -> Result<SimTime, SsdError> {
+        self.ftl.trim(lpn)?;
+        let mut done = issue;
+        if let Some(j) = self.journal.as_mut() {
+            j.append(JournalRecord::Unmap { lpn });
+            if j.flush_due() {
+                done = j.flush(&self.ftl, &mut self.flash, issue);
+            }
+        }
+        Ok(done)
+    }
+
+    /// Appends a commit group — placement bumps, unmaps the caller already
+    /// applied to the FTL, and the sealing epoch commit — and flushes it
+    /// durably as one unit. Group atomicity is what makes every durable
+    /// prefix consistent: a crash instant inside the group rolls the whole
+    /// group back. No-op (returning `issue`) without a journal.
+    pub fn journal_commit(&mut self, records: Vec<JournalRecord>, issue: SimTime) -> SimTime {
+        let Some(j) = self.journal.as_mut() else {
+            return issue;
+        };
+        for r in records {
+            j.append(r);
+        }
+        j.flush(&self.ftl, &mut self.flash, issue)
+    }
+
+    /// Simulates a power cut: all volatile FTL state is lost. With a
+    /// journal, the durable log rolls back to the last flush at or before
+    /// `survived_appends` total appended records (`None` = crash now,
+    /// losing the pending group-commit buffer). The FTL object itself is
+    /// left in place but must not be trusted until [`SsdDevice::recover`]
+    /// rebuilds it — recovery is what models the DRAM loss.
+    pub fn power_cut(&mut self, survived_appends: Option<u64>) {
+        if let Some(j) = self.journal.as_mut() {
+            j.power_cut(survived_appends);
+        }
+    }
+
+    /// Journaled recovery: replays the durable log on top of the last
+    /// checkpoint, swaps the reconstructed FTL in, and charges the
+    /// simulated cost (checkpoint stream + journal page reads) on the
+    /// flash timelines from `issue`. With `max_epoch = Some(e)` the replay
+    /// stops at the last epoch commit `<= e` (the multi-shard rollback
+    /// path). The journal itself stays enabled and keeps its durable log,
+    /// so recovery can be re-run to an earlier epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`SsdError::JournalDisabled`] without a journal; FTL errors if the
+    /// log does not replay (a corrupt journal).
+    pub fn recover(
+        &mut self,
+        max_epoch: Option<u64>,
+        issue: SimTime,
+    ) -> Result<RecoveryReport, SsdError> {
+        let Some(j) = self.journal.as_ref() else {
+            return Err(SsdError::JournalDisabled);
+        };
+        let replayed = j.replay(max_epoch)?;
+        let (journal_pages_read, read_done) = j.charge_recovery_reads(&mut self.flash, issue);
+        let checkpoint_bytes = j.checkpoint_bytes();
+        self.ftl = replayed.ftl;
+        Ok(RecoveryReport {
+            replayed_records: replayed.counts.records,
+            replayed_maps: replayed.counts.maps,
+            replayed_unmaps: replayed.counts.unmaps,
+            replayed_gc_passes: replayed.counts.gc_passes,
+            recovered_epoch: replayed.epoch,
+            placements: replayed.placements,
+            checkpoint_bytes,
+            journal_pages_read,
+            recovery_ns: read_done.saturating_since(issue),
+            mapping_consistent: replayed.consistent,
+        })
+    }
+
+    // --- Background scrubbing ---
+
+    /// One background scrub pass: patrol-reads up to `max_pages` mapped
+    /// pages from the patrol cursor, and repairs every latent-UECC page it
+    /// finds by reading its RAID-5 stripe peers (the channel's other dies)
+    /// and programming the reconstructed data back. All traffic is charged
+    /// on the shared flash timelines from `issue`, so scrubbing contends
+    /// with foreground queries — that interference *is* the scrub
+    /// overhead. Returns the pass's counters.
+    pub fn scrub_pass(&mut self, max_pages: u64, issue: SimTime) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let logical = self.ftl.logical_pages();
+        if logical == 0 || max_pages == 0 {
+            return report;
+        }
+        let mut t = issue;
+        let dies = self.config.geometry.dies_per_channel;
+        for _ in 0..logical {
+            if report.patrol_reads >= max_pages {
+                break;
+            }
+            let lpn = self.scrub_cursor;
+            self.scrub_cursor = (self.scrub_cursor + 1) % logical;
+            if !self.ftl.is_mapped(lpn) {
+                continue;
+            }
+            let Ok(addr) = self.ftl.translate(lpn) else {
+                continue;
+            };
+            let patrol = self.flash.read_page(addr, t);
+            t = patrol.done;
+            report.patrol_reads += 1;
+            if !self.flash.latent_fault_at(addr) {
+                continue;
+            }
+            report.latent_found += 1;
+            // RAID-5 reconstruction: read the stripe peers on the
+            // channel's other dies, then rewrite the page in place (the
+            // repair clears the latent fault — retention loss is fixed by
+            // a fresh program).
+            for peer in 0..dies {
+                if peer == addr.die {
+                    continue;
+                }
+                let peer_addr = PhysPageAddr { die: peer, ..addr };
+                t = self.flash.read_page(peer_addr, t).done;
+                report.peer_reads += 1;
+            }
+            t = self.flash.program_page(addr, t);
+            if self.flash.repair_page(addr) {
+                report.repair_programs += 1;
+            }
+        }
+        report.scrub_ns = t.saturating_since(issue);
+        self.scrub_totals.merge(&report);
+        report
+    }
+
+    /// Accumulated scrubber activity since device creation.
+    pub fn scrub_totals(&self) -> ScrubReport {
+        self.scrub_totals
+    }
 }
 
 #[cfg(test)]
@@ -381,5 +595,85 @@ mod tests {
         let c = SsdConfig::paper_default();
         assert_eq!(c.geometry.capacity_bytes(), 4 << 40);
         assert_eq!(c.dram_bytes, 16 << 30);
+    }
+
+    #[test]
+    fn journaled_device_recovers_its_ftl_after_power_cut() {
+        let mut ssd = SsdDevice::new(SsdConfig::tiny());
+        ssd.enable_journal(JournalConfig::default(), &[], 0);
+        let mut t = SimTime::ZERO;
+        for lpn in 0..24 {
+            let (_, done) = ssd.write_mapped(lpn, t).unwrap();
+            t = done;
+        }
+        t = ssd.trim_mapped(3, t).unwrap();
+        t = ssd.journal_commit(vec![JournalRecord::EpochCommit { epoch: 1, rows: 0 }], t);
+        let pre_crash = ssd.ftl().clone();
+        ssd.power_cut(None);
+        let report = ssd.recover(None, t).unwrap();
+        assert!(report.mapping_consistent);
+        assert_eq!(report.recovered_epoch, 1);
+        assert!(report.replayed_records >= 25);
+        assert!(report.recovery_ns > 0);
+        assert_eq!(ssd.ftl(), &pre_crash, "sealed state recovers exactly");
+        assert_eq!(ssd.ftl().mapped_pages(), 23);
+    }
+
+    #[test]
+    fn unjournaled_recovery_is_an_error() {
+        let mut ssd = SsdDevice::new(SsdConfig::tiny());
+        ssd.power_cut(None); // harmless no-op
+        assert_eq!(
+            ssd.recover(None, SimTime::ZERO),
+            Err(SsdError::JournalDisabled)
+        );
+    }
+
+    #[test]
+    fn scrub_pass_repairs_latent_pages_before_queries_hit_them() {
+        let mut ssd = SsdDevice::new(SsdConfig::tiny());
+        let mut t = SimTime::ZERO;
+        for lpn in 0..48 {
+            t = ssd.host_write(lpn, 1, t).unwrap();
+        }
+        ssd.flash_mut()
+            .set_fault_plan(crate::FaultPlan::with_seed(9).with_latent_uecc(0.08));
+        // Count latent pages over the mapped set, then scrub until clean.
+        let latent_before: u64 = (0..48)
+            .filter(|&l| {
+                let addr = ssd.ftl().translate(l).unwrap();
+                ssd.flash().latent_fault_at(addr)
+            })
+            .count() as u64;
+        assert!(
+            latent_before > 0,
+            "seed must plant at least one latent page"
+        );
+        let mut repaired = 0;
+        for _ in 0..4 {
+            let pass = ssd.scrub_pass(48, t);
+            repaired += pass.repair_programs;
+            assert!(pass.scrub_ns > 0, "patrol must occupy flash time");
+        }
+        assert_eq!(repaired, latent_before, "every latent page repaired once");
+        assert!(ssd.scrub_totals().peer_reads > 0, "RAID-5 peers were read");
+        for lpn in 0..48 {
+            let addr = ssd.ftl().translate(lpn).unwrap();
+            assert!(!ssd.flash().latent_fault_at(addr), "LPN {lpn} still bad");
+        }
+    }
+
+    #[test]
+    fn scrub_pass_without_faults_only_patrols() {
+        let mut ssd = SsdDevice::new(SsdConfig::tiny());
+        let t = ssd.host_write(0, 16, SimTime::ZERO).unwrap();
+        let pass = ssd.scrub_pass(8, t);
+        assert_eq!(pass.patrol_reads, 8, "bounded by max_pages");
+        assert_eq!(pass.latent_found, 0);
+        assert_eq!(pass.repair_programs, 0);
+        // The cursor advances: the next pass covers the remaining pages.
+        let pass2 = ssd.scrub_pass(8, t);
+        assert_eq!(pass2.patrol_reads, 8);
+        assert_eq!(ssd.scrub_totals().patrol_reads, 16);
     }
 }

@@ -283,6 +283,40 @@ impl HealthReport {
     }
 }
 
+/// Background-scrubber counters: patrol coverage, latent faults found, and
+/// the RAID-5 repair traffic spent fixing them.
+///
+/// Kept separate from [`HealthReport`] on purpose: the golden-report
+/// fixtures byte-compare serialized `HealthReport`s, and scrubbing is an
+/// opt-in maintenance activity, not a per-run health fact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Mapped pages patrol-read.
+    pub patrol_reads: u64,
+    /// Latent (persistent) UECC pages discovered by the patrol.
+    pub latent_found: u64,
+    /// Stripe-peer pages read to reconstruct latent-bad pages.
+    pub peer_reads: u64,
+    /// Repair programs written (one per latent page fixed).
+    pub repair_programs: u64,
+    /// Simulated time the pass occupied flash resources, ns (last
+    /// completion minus issue; overlap with foreground traffic emerges
+    /// from the shared timelines).
+    pub scrub_ns: u64,
+}
+
+impl ScrubReport {
+    /// Accumulates another pass into this report (`scrub_ns` adds — total
+    /// busy attribution, not wall time).
+    pub fn merge(&mut self, other: &ScrubReport) {
+        self.patrol_reads += other.patrol_reads;
+        self.latent_found += other.latent_found;
+        self.peer_reads += other.peer_reads;
+        self.repair_programs += other.repair_programs;
+        self.scrub_ns += other.scrub_ns;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
