@@ -26,7 +26,7 @@
 
 use ecssd_core::prelude::*;
 use ecssd_core::UpdateBatch;
-use ecssd_serve::{ServeEngine, ServePolicy};
+use ecssd_serve::ServeEngine;
 use ecssd_ssd::{FaultPlan, JournalConfig, PowerLossInjector};
 
 const ROWS: usize = 96;
@@ -237,7 +237,10 @@ fn fleet_recovery() {
     let config = EcssdConfig::tiny_builder()
         .build()
         .expect("valid tiny config");
-    let mut eng = ServeEngine::new(config, 2, ServePolicy::default()).expect("engine spawns");
+    let mut eng = ServeEngine::builder(config)
+        .shards(2)
+        .build()
+        .expect("engine spawns");
     eng.deploy(&DenseMatrix::random(300, COLS, 41))
         .expect("deploy fits");
     eng.enable_journal(JournalConfig {

@@ -48,7 +48,11 @@ fn run_point(shards: usize, max_batch: usize, cache_bytes: u64) -> Point {
         max_batch,
         max_wait: Duration::from_micros(500),
     };
-    let mut engine = ServeEngine::new(config, shards, policy).expect("engine spawns");
+    let mut engine = ServeEngine::builder(config)
+        .shards(shards)
+        .policy(policy)
+        .build()
+        .expect("engine spawns");
     let weights = DenseMatrix::random(CATEGORIES, HIDDEN, 0xec55d);
     engine
         .deploy(&weights)

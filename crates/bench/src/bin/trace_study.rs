@@ -76,7 +76,12 @@ fn serve_trace(out_path: &str) {
         max_batch: 8,
         max_wait: Duration::from_micros(500),
     };
-    let mut engine = ServeEngine::with_tracing(config, 2, policy).expect("engine spawns");
+    let mut engine = ServeEngine::builder(config)
+        .shards(2)
+        .policy(policy)
+        .tracing(true)
+        .build()
+        .expect("engine spawns");
     engine
         .deploy(&DenseMatrix::random(1_200, 64, 0xec55d))
         .expect("deploy fits the tiny device");

@@ -117,7 +117,12 @@ fn run_point(rate: usize) -> SweepPoint {
         max_batch: BATCH,
         max_wait: Duration::from_micros(500),
     };
-    let mut engine = ServeEngine::with_tracing(config, SHARDS, policy).expect("engine spawns");
+    let mut engine = ServeEngine::builder(config)
+        .shards(SHARDS)
+        .policy(policy)
+        .tracing(true)
+        .build()
+        .expect("engine spawns");
     // Random rows are near-ties the INT4 screener cannot rank; real
     // classifiers separate their top categories, so plant correlated
     // anchor rows across the phase range of the query mix.

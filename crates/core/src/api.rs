@@ -60,6 +60,16 @@ pub enum EcssdError {
     /// Crash recovery failed: no journal or armed snapshot to recover
     /// from, or the recovered epoch has no sealed functional image.
     Recovery(String),
+    /// The request was shed by admission control or missed its deadline;
+    /// the payload says which class was affected and why, so callers can
+    /// observe (and react to) admission decisions instead of parsing a
+    /// generic serving error.
+    Rejected {
+        /// QoS class of the rejected request.
+        class: crate::QueryClass,
+        /// Why it was rejected.
+        reason: crate::RejectReason,
+    },
 }
 
 impl std::fmt::Display for EcssdError {
@@ -83,6 +93,9 @@ impl std::fmt::Display for EcssdError {
             EcssdError::Update(e) => write!(f, "update error: {e}"),
             EcssdError::NoStagedUpdate => write!(f, "no staged update to commit or abort"),
             EcssdError::Recovery(what) => write!(f, "crash recovery failed: {what}"),
+            EcssdError::Rejected { class, reason } => {
+                write!(f, "{class} request rejected: {reason}")
+            }
         }
     }
 }

@@ -8,7 +8,7 @@ use ecssd_screen::{DenseMatrix, Score};
 use ecssd_ssd::{CacheStats, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::EcssdError;
+use crate::{EcssdError, Request};
 
 /// Aggregate counters every [`Classifier`] frontend reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,6 +62,42 @@ pub trait Classifier {
         inputs: &[Vec<f32>],
         k: usize,
     ) -> Result<Vec<Vec<Score>>, EcssdError>;
+
+    /// Classifies typed [`Request`]s, returning one top-`k` list per
+    /// request in submission order.
+    ///
+    /// The provided implementation groups maximal runs of consecutive
+    /// requests sharing the same `k` and forwards each run to
+    /// [`Classifier::classify_batch`], so every frontend accepts typed
+    /// requests uniformly. QoS metadata (class, deadline, arrival) is
+    /// inert here — the synchronous frontends serve every admitted
+    /// request; only the serving layers act on it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Classifier::classify_batch`]; an empty request
+    /// slice fails with [`EcssdError::NoInputs`].
+    fn classify_requests(&mut self, requests: &[Request]) -> Result<Vec<Vec<Score>>, EcssdError> {
+        if requests.is_empty() {
+            return Err(EcssdError::NoInputs);
+        }
+        let mut out = Vec::with_capacity(requests.len());
+        let mut start = 0;
+        while start < requests.len() {
+            let k = requests[start].k;
+            let mut end = start + 1;
+            while end < requests.len() && requests[end].k == k {
+                end += 1;
+            }
+            let inputs: Vec<Vec<f32>> = requests[start..end]
+                .iter()
+                .map(|r| r.features.clone())
+                .collect();
+            out.extend(self.classify_batch(&inputs, k)?);
+            start = end;
+        }
+        Ok(out)
+    }
 
     /// Simulated time consumed so far.
     fn elapsed(&self) -> SimTime;

@@ -51,6 +51,7 @@ mod host;
 mod integration;
 mod pipeline;
 mod recovery;
+mod request;
 pub mod roofline;
 pub mod scale;
 mod update;
@@ -72,6 +73,7 @@ pub use pipeline::{
     SchedulePlan, ScreenPhase, TileBackend, TilePhase, TileTiming,
 };
 pub use recovery::RecoveryOutcome;
+pub use request::{QueryClass, RejectReason, Request, SloTargets};
 
 /// One-stop imports for writing against the unified frontend API: the
 /// [`Classifier`] trait, the frontends that implement it, the validating
@@ -94,7 +96,7 @@ pub use recovery::RecoveryOutcome;
 pub mod prelude {
     pub use crate::{
         Classifier, ClassifierStats, ConfigError, Ecssd, EcssdCluster, EcssdConfig,
-        EcssdConfigBuilder, EcssdError, EcssdMode,
+        EcssdConfigBuilder, EcssdError, EcssdMode, QueryClass, RejectReason, Request, SloTargets,
     };
     pub use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
     pub use ecssd_ssd::{CacheStats, SimTime};

@@ -1,0 +1,2062 @@
+//! The sharded batched serving engine: `N` simulated ECSSD devices behind
+//! one submission queue, driven by host threads.
+//!
+//! [`ServeEngine`] partitions a deployed weight matrix into contiguous row
+//! shards — one per simulated [`Ecssd`] device, one worker thread per
+//! device — and serves classification queries end to end:
+//!
+//! 1. queries enter a **submission queue** ([`ServeEngine::submit`], the
+//!    batch-first [`Classifier::classify_batch`], or the pre-formed-batch
+//!    [`ServeEngine::submit_formed`]);
+//! 2. a **dispatcher** thread forms batches under a [`ServePolicy`]
+//!    (close a batch at `max_batch` queries or after `max_wait`, whichever
+//!    comes first); a pre-formed batch bypasses formation and is
+//!    dispatched atomically as one unit, which is what lets the fleet
+//!    layer do its own batch formation in *simulated* time and stay
+//!    deterministic;
+//! 3. each batch is **scattered** to every shard worker, which runs the
+//!    full screening + CFP32 pipeline on its slice of the matrix;
+//! 4. a **merger** thread gathers the per-shard top-k lists, merges them
+//!    into global top-k predictions (bit-identical to a single device
+//!    holding the whole matrix, see [`ecssd_core::sort_scores`]), and
+//!    answers each query — enforcing per-request deadlines: an answer that
+//!    completes past its simulated deadline is dropped and surfaced as a
+//!    typed [`EcssdError::Rejected`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ecssd_core::{
+    sort_scores, Classifier, ClassifierStats, Ecssd, EcssdConfig, EcssdError, EcssdMode,
+    QueryClass, RecoveryOutcome, RejectReason, Request, SloTargets, UpdateBatch, UpdateReport,
+};
+use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
+use ecssd_ssd::{CacheStats, JournalConfig, SimTime};
+use ecssd_trace::{percentile_us, StageBreakdown, Tracer};
+use serde::{Deserialize, Serialize};
+
+/// Batch-formation policy for the submission queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServePolicy {
+    /// Close a batch once it holds this many queries.
+    pub max_batch: usize,
+    /// Close a non-empty batch after waiting this long for more queries.
+    pub max_wait: Duration,
+}
+
+impl Default for ServePolicy {
+    fn default() -> Self {
+        ServePolicy {
+            max_batch: 8,
+            max_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Serving metrics snapshot: latency percentiles, sustained throughput in
+/// simulated time, per-shard utilization, merged cache counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Shards (devices / worker threads).
+    pub shards: usize,
+    /// Queries answered.
+    pub queries: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Median per-query *simulated* latency, µs (a query's latency is the
+    /// slowest shard's simulated time for its batch — shards run in
+    /// parallel).
+    pub p50_us: f64,
+    /// 95th-percentile per-query simulated latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile per-query simulated latency, µs.
+    pub p99_us: f64,
+    /// Median per-query host wall-clock latency, µs (submission to merged
+    /// answer; includes host threading/queueing, so it is *not* a device
+    /// metric).
+    pub host_p50_us: f64,
+    /// 95th-percentile host wall-clock latency, µs.
+    pub host_p95_us: f64,
+    /// 99th-percentile host wall-clock latency, µs.
+    pub host_p99_us: f64,
+    /// Simulated time of the slowest shard (shards run in parallel).
+    pub sim_elapsed: SimTime,
+    /// Sustained throughput: queries per simulated second of the slowest
+    /// shard.
+    pub sim_queries_per_sec: f64,
+    /// Per-shard utilization: each shard's busy serving time (simulated
+    /// time spent executing batches, deployment excluded) relative to the
+    /// busiest shard (1.0 = critical path).
+    pub shard_utilization: Vec<f64>,
+    /// Hot candidate-row cache counters, merged over shards.
+    pub cache: CacheStats,
+    /// Per-stage simulated-time attribution merged over shards (serving
+    /// only, deployment excluded). `Some` iff the engine was built with
+    /// tracing enabled ([`crate::ServeEngineBuilder::tracing`]).
+    pub breakdown: Option<StageBreakdown>,
+    /// Deployment version the shards serve (max over shards; every deploy
+    /// or committed update bumps it).
+    pub epoch: u64,
+    /// Batches whose shard answers carried differing epochs. The commit
+    /// protocol serializes the swap against batch formation, so this must
+    /// stay 0 — it is asserted by the update-study smoke run.
+    pub mixed_version_batches: u64,
+    /// Submissions shed at the queue because the configured
+    /// [`crate::ServeEngineBuilder::queue_limit`] was reached.
+    pub shed_queue_full: u64,
+    /// Served queries whose answer completed past their simulated deadline
+    /// and was dropped ([`EcssdError::Rejected`] with
+    /// [`RejectReason::DeadlineExceeded`]).
+    pub rejected_deadline: u64,
+}
+
+/// Fleet-wide outcome of one [`ServeEngine::crash_and_recover`] cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Highest serving epoch across shards at the instant of the crash.
+    pub epoch_before: u64,
+    /// Epoch every shard serves after recovery — the minimum the
+    /// independent shard recoveries agreed on, never ahead of
+    /// `epoch_before`.
+    pub epoch_after: u64,
+    /// Durably committed rows lost across shards (0 for a working
+    /// journal).
+    pub rows_lost: u64,
+    /// Journal records replayed, summed over shards.
+    pub replayed_records: u64,
+    /// Slowest shard's simulated recovery time, ns (shards recover in
+    /// parallel).
+    pub recovery_ns_max: u64,
+    /// Whether every shard's replayed mapping passed its consistency
+    /// cross-check.
+    pub shards_consistent: bool,
+    /// Shards that needed the phase-2 rollback because their independent
+    /// recovery landed ahead of the fleet minimum.
+    pub rolled_back_shards: usize,
+}
+
+/// How a query can fail inside the engine: a typed admission/deadline
+/// rejection, or a worker/pipeline failure with context.
+#[derive(Debug, Clone)]
+pub(crate) enum ServeFail {
+    Rejected {
+        class: QueryClass,
+        reason: RejectReason,
+    },
+    Failed(String),
+}
+
+impl ServeFail {
+    fn into_error(self) -> EcssdError {
+        match self {
+            ServeFail::Rejected { class, reason } => EcssdError::Rejected { class, reason },
+            ServeFail::Failed(e) => EcssdError::Serve(e),
+        }
+    }
+}
+
+/// A successful merged answer, with the simulated facts the caller may
+/// need: the batch's device latency and the epoch it was served at.
+#[derive(Debug, Clone)]
+pub(crate) struct Answer {
+    scores: Vec<Score>,
+    sim_ns: u64,
+    epoch: u64,
+}
+
+type Response = (usize, Result<Answer, ServeFail>);
+
+/// A query waiting for its merged answer (returned by
+/// [`ServeEngine::submit`]).
+#[derive(Debug)]
+pub struct Pending {
+    rx: Receiver<Response>,
+}
+
+impl Pending {
+    /// Blocks until the engine answers this query.
+    ///
+    /// # Errors
+    ///
+    /// A query shed at the queue or whose answer missed its deadline
+    /// surfaces as the typed [`EcssdError::Rejected`] (so admission
+    /// decisions are observable to callers); worker/pipeline failures are
+    /// relayed as [`EcssdError::Serve`].
+    pub fn wait(self) -> Result<Vec<Score>, EcssdError> {
+        let (_, result) = self
+            .rx
+            .recv()
+            .map_err(|_| EcssdError::Serve("engine stopped before answering".into()))?;
+        match result {
+            Ok(answer) => Ok(answer.scores),
+            Err(fail) => Err(fail.into_error()),
+        }
+    }
+}
+
+/// A pre-formed batch waiting for its merged answers (returned by
+/// [`ServeEngine::submit_formed`]).
+#[derive(Debug)]
+pub struct PendingBatch {
+    rx: Receiver<Response>,
+    len: usize,
+}
+
+/// The merged outcome of one pre-formed batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// One top-`k` list per request, in submission order.
+    pub results: Vec<Vec<Score>>,
+    /// The batch's simulated device latency: the slowest shard's time for
+    /// the round trip (shards run in parallel).
+    pub sim_ns: u64,
+    /// Deployment version the batch was served at.
+    pub epoch: u64,
+}
+
+impl PendingBatch {
+    /// Blocks until every request in the batch is answered.
+    ///
+    /// # Errors
+    ///
+    /// The first per-query failure wins: [`EcssdError::Rejected`] for a
+    /// deadline miss, [`EcssdError::Serve`] for a pipeline failure.
+    pub fn wait(self) -> Result<BatchOutcome, EcssdError> {
+        let mut results: Vec<Vec<Score>> = vec![Vec::new(); self.len];
+        let mut sim_ns = 0u64;
+        let mut epoch = 0u64;
+        let mut first_error: Option<ServeFail> = None;
+        for _ in 0..self.len {
+            let (idx, result) = self
+                .rx
+                .recv()
+                .map_err(|_| EcssdError::Serve("engine stopped before answering".into()))?;
+            match result {
+                Ok(answer) => {
+                    sim_ns = sim_ns.max(answer.sim_ns);
+                    epoch = epoch.max(answer.epoch);
+                    results[idx] = answer.scores;
+                }
+                Err(fail) => first_error = Some(first_error.unwrap_or(fail)),
+            }
+        }
+        if let Some(fail) = first_error {
+            return Err(fail.into_error());
+        }
+        Ok(BatchOutcome {
+            results,
+            sim_ns,
+            epoch,
+        })
+    }
+}
+
+struct Query {
+    idx: usize,
+    features: Vec<f32>,
+    k: usize,
+    class: QueryClass,
+    /// Simulated deadline, µs; the merger drops answers that complete past
+    /// it and responds with a typed rejection.
+    deadline_us: Option<u64>,
+    submitted: Instant,
+    resp: Sender<Response>,
+}
+
+enum Job {
+    Deploy {
+        shard: DenseMatrix,
+        offset: usize,
+        ack: Sender<Result<(), String>>,
+    },
+    Threshold {
+        policy: ThresholdPolicy,
+        ack: Sender<Result<(), String>>,
+    },
+    Batch {
+        id: u64,
+        inputs: Arc<Vec<Vec<f32>>>,
+        k: usize,
+    },
+    /// Stage this shard's slice of an update batch as version N+1 (its
+    /// program/GC traffic contends with query reads; results stay at
+    /// version N).
+    Stage {
+        batch: UpdateBatch,
+        ack: Sender<Result<UpdateReport, String>>,
+    },
+    /// Swap the staged version in. Routed through the dispatcher so the
+    /// swap point falls on a batch boundary on every shard at once.
+    Commit {
+        ack: Sender<(usize, Result<UpdateReport, String>)>,
+    },
+    /// Drop the staged version (never routed through the dispatcher —
+    /// staged state is invisible to queries).
+    Abort { ack: Sender<Result<(), String>> },
+    /// Enable FTL metadata journaling on this shard's device.
+    EnableJournal {
+        config: JournalConfig,
+        ack: Sender<Result<(), String>>,
+    },
+    /// Power-cut this shard's device at the injected instant, then run
+    /// journaled recovery. Routed through the dispatcher like a commit so
+    /// the crash lands on a batch boundary on every shard at once.
+    Recover {
+        survived: Option<u64>,
+        ack: Sender<(usize, Result<RecoveryOutcome, String>)>,
+    },
+    /// Phase-2 rollback: re-recover bounded at `epoch` (sent to shards
+    /// whose independent recovery landed ahead of the fleet minimum).
+    RecoverTo {
+        epoch: u64,
+        ack: Sender<(usize, Result<RecoveryOutcome, String>)>,
+    },
+}
+
+/// A barrier the dispatcher must place between two batches: an update
+/// commit, or a crash-and-recover cycle.
+enum Barrier {
+    Commit(Sender<(usize, Result<UpdateReport, String>)>),
+    Recover {
+        survived: Option<u64>,
+        ack: Sender<(usize, Result<RecoveryOutcome, String>)>,
+    },
+}
+
+/// What flows into the dispatcher: queries to batch, a pre-formed batch to
+/// dispatch atomically, or a barrier to forward to every shard between two
+/// batches.
+enum Submission {
+    Query(Query),
+    Formed(Vec<Query>),
+    Barrier(Barrier),
+}
+
+/// One query's bookkeeping inside a batch ticket.
+struct TicketEntry {
+    idx: usize,
+    submitted: Instant,
+    class: QueryClass,
+    deadline_us: Option<u64>,
+    resp: Sender<Response>,
+}
+
+struct Ticket {
+    id: u64,
+    k: usize,
+    queries: Vec<TicketEntry>,
+}
+
+enum MergeMsg {
+    Ticket(Ticket),
+    Shard {
+        id: u64,
+        shard: usize,
+        /// Simulated time this shard's device spent on the batch.
+        sim_ns: u64,
+        /// Deployment version the shard served this batch at (the merger
+        /// counts batches whose shards disagree).
+        epoch: u64,
+        result: Result<Vec<Vec<Score>>, String>,
+    },
+}
+
+#[derive(Debug)]
+struct Metrics {
+    host_latencies_ns: Vec<u64>,
+    sim_latencies_ns: Vec<u64>,
+    queries: u64,
+    batches: u64,
+    shard_elapsed: Vec<SimTime>,
+    /// Device simulated time at the end of deployment — serving spans and
+    /// utilization are measured past this point.
+    serve_start: Vec<SimTime>,
+    /// Simulated time each shard spent executing batches (busy serving
+    /// time; deployment excluded).
+    shard_busy_ns: Vec<u64>,
+    cache: Vec<CacheStats>,
+    /// Deployment version each shard currently serves.
+    epochs: Vec<u64>,
+    /// Batches whose shard answers disagreed on the epoch (must stay 0).
+    mixed_version_batches: u64,
+    /// Submissions shed because the queue limit was reached.
+    shed_queue_full: u64,
+    /// Served answers dropped for completing past their deadline.
+    rejected_deadline: u64,
+}
+
+impl Metrics {
+    fn new(shards: usize) -> Self {
+        Metrics {
+            host_latencies_ns: Vec::new(),
+            sim_latencies_ns: Vec::new(),
+            queries: 0,
+            batches: 0,
+            shard_elapsed: vec![SimTime::ZERO; shards],
+            serve_start: vec![SimTime::ZERO; shards],
+            shard_busy_ns: vec![0; shards],
+            cache: vec![CacheStats::default(); shards],
+            epochs: vec![0; shards],
+            mixed_version_batches: 0,
+            shed_queue_full: 0,
+            rejected_deadline: 0,
+        }
+    }
+}
+
+/// Locks a mutex, recovering the data if a worker panicked while holding
+/// it (the metrics stay usable for a final report).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Knobs the [`crate::ServeEngineBuilder`] resolves before spawning the
+/// engine.
+#[derive(Default)]
+pub(crate) struct EngineOptions {
+    pub(crate) tracer: Option<Tracer>,
+    pub(crate) queue_limit: Option<usize>,
+    pub(crate) slo: Option<SloTargets>,
+}
+
+/// The sharded batched serving engine (see the crate docs for the thread
+/// architecture). Implements [`Classifier`], so it is a drop-in for a
+/// single [`Ecssd`] or an [`ecssd_core::EcssdCluster`].
+pub struct ServeEngine {
+    submit_tx: Option<Sender<Submission>>,
+    worker_tx: Vec<Sender<Job>>,
+    threads: Vec<JoinHandle<()>>,
+    metrics: Arc<Mutex<Metrics>>,
+    enabled: bool,
+    /// First global row of each shard (plus a trailing end marker); empty
+    /// until deployment.
+    shard_starts: Vec<usize>,
+    /// Root span-trace handle shared by every shard device; `Some` iff the
+    /// engine was built with tracing enabled.
+    tracer: Option<Tracer>,
+    /// Queries submitted but not yet answered, for queue-limit admission.
+    outstanding: Arc<AtomicUsize>,
+    /// Shed new submissions once `outstanding` reaches this.
+    queue_limit: Option<usize>,
+    /// Default per-class deadlines stamped onto [`ServeEngine::submit`]
+    /// requests that carry none.
+    slo: Option<SloTargets>,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("shards", &self.worker_tx.len())
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeEngine {
+    /// Spawns the engine: one worker thread per shard (each owning one
+    /// simulated [`Ecssd`]), a dispatcher, and a merger.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid `config` ([`EcssdError::Config`]), zero shards
+    /// or a zero `max_batch` ([`EcssdError::Serve`]), and thread-spawn
+    /// failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ServeEngine::builder(config).shards(n).policy(policy).build()"
+    )]
+    pub fn new(
+        config: EcssdConfig,
+        shards: usize,
+        policy: ServePolicy,
+    ) -> Result<Self, EcssdError> {
+        Self::build(config, shards, policy, EngineOptions::default())
+    }
+
+    /// Like `ServeEngine::new`, but with span tracing enabled on every
+    /// shard device.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as the builder.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ServeEngine::builder(config).shards(n).tracing(true).build()"
+    )]
+    pub fn with_tracing(
+        config: EcssdConfig,
+        shards: usize,
+        policy: ServePolicy,
+    ) -> Result<Self, EcssdError> {
+        Self::build(
+            config,
+            shards,
+            policy,
+            EngineOptions {
+                tracer: Some(Tracer::enabled()),
+                ..EngineOptions::default()
+            },
+        )
+    }
+
+    pub(crate) fn build(
+        config: EcssdConfig,
+        shards: usize,
+        policy: ServePolicy,
+        opts: EngineOptions,
+    ) -> Result<Self, EcssdError> {
+        if shards == 0 {
+            return Err(EcssdError::Serve("at least one shard is required".into()));
+        }
+        if policy.max_batch == 0 {
+            return Err(EcssdError::Serve("max_batch must be nonzero".into()));
+        }
+        config.validate()?;
+        let tracer = opts.tracer;
+        let metrics = Arc::new(Mutex::new(Metrics::new(shards)));
+        let outstanding = Arc::new(AtomicUsize::new(0));
+        let (submit_tx, submit_rx) = mpsc::channel::<Submission>();
+        let (merge_tx, merge_rx) = mpsc::channel::<MergeMsg>();
+        let mut worker_tx = Vec::with_capacity(shards);
+        let mut threads = Vec::with_capacity(shards + 2);
+        let spawn_err = |e: std::io::Error| EcssdError::Serve(format!("thread spawn: {e}"));
+        for shard in 0..shards {
+            let (job_tx, job_rx) = mpsc::channel::<Job>();
+            worker_tx.push(job_tx);
+            let merge = merge_tx.clone();
+            let metrics = Arc::clone(&metrics);
+            let config = config.clone();
+            let shard_tracer = tracer.as_ref().map(|t| t.for_shard(shard as u32));
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ecssd-serve-worker-{shard}"))
+                    .spawn(move || worker_loop(shard, config, shard_tracer, job_rx, merge, metrics))
+                    .map_err(spawn_err)?,
+            );
+        }
+        let dispatcher_workers = worker_tx.clone();
+        let dispatcher_merge = merge_tx;
+        let dispatcher_tracer = tracer.clone().unwrap_or_default();
+        threads.push(
+            std::thread::Builder::new()
+                .name("ecssd-serve-dispatch".into())
+                .spawn(move || {
+                    dispatcher_loop(
+                        submit_rx,
+                        dispatcher_workers,
+                        dispatcher_merge,
+                        policy,
+                        dispatcher_tracer,
+                    )
+                })
+                .map_err(spawn_err)?,
+        );
+        let merger_metrics = Arc::clone(&metrics);
+        let merger_outstanding = Arc::clone(&outstanding);
+        let merger_tracer = tracer.clone().unwrap_or_default();
+        threads.push(
+            std::thread::Builder::new()
+                .name("ecssd-serve-merge".into())
+                .spawn(move || {
+                    merger_loop(
+                        shards,
+                        merge_rx,
+                        merger_metrics,
+                        merger_outstanding,
+                        merger_tracer,
+                    )
+                })
+                .map_err(spawn_err)?,
+        );
+        Ok(ServeEngine {
+            submit_tx: Some(submit_tx),
+            worker_tx,
+            threads,
+            metrics,
+            enabled: true,
+            shard_starts: Vec::new(),
+            tracer,
+            outstanding,
+            queue_limit: opts.queue_limit,
+            slo: opts.slo,
+        })
+    }
+
+    /// The engine's span-trace handle (`None` unless built with tracing
+    /// enabled).
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Per-shard hot-row cache counters (index = shard).
+    pub fn shard_cache_stats(&self) -> Vec<CacheStats> {
+        lock(&self.metrics).cache.clone()
+    }
+
+    /// Shard (device) count.
+    pub fn shards(&self) -> usize {
+        self.worker_tx.len()
+    }
+
+    /// Re-enables serving after [`ServeEngine::disable`].
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Takes the engine out of accelerator mode: classification calls fail
+    /// with [`EcssdError::WrongMode`] until re-enabled.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Partitions `weights` into contiguous row shards and deploys one per
+    /// worker device, blocking until every shard acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled; per-shard deployment
+    /// failures as [`EcssdError::Serve`] (no shard is considered deployed
+    /// after a failure).
+    pub fn deploy(&mut self, weights: &DenseMatrix) -> Result<(), EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        let n = self.worker_tx.len();
+        let rows = weights.rows();
+        if rows < n {
+            return Err(EcssdError::Serve(format!(
+                "fewer weight rows ({rows}) than shards ({n})"
+            )));
+        }
+        let per = rows.div_ceil(n);
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut acks = Vec::with_capacity(n);
+        for (i, worker) in self.worker_tx.iter().enumerate() {
+            let start = i * per;
+            let end = ((i + 1) * per).min(rows);
+            starts.push(start);
+            let mut data = Vec::with_capacity((end - start) * weights.cols());
+            for r in start..end {
+                data.extend_from_slice(weights.row(r));
+            }
+            let shard = DenseMatrix::from_vec(end - start, weights.cols(), data)
+                .map_err(EcssdError::Screen)?;
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::Deploy {
+                    shard,
+                    offset: start,
+                    ack: ack_tx,
+                })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            acks.push(ack_rx);
+        }
+        starts.push(rows);
+        for (i, ack) in acks.into_iter().enumerate() {
+            let outcome = ack
+                .recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited during deploy")));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    self.shard_starts.clear();
+                    return Err(EcssdError::Serve(format!("shard {i} deploy failed: {e}")));
+                }
+                Err(e) => {
+                    self.shard_starts.clear();
+                    return Err(e);
+                }
+            }
+        }
+        self.shard_starts = starts;
+        Ok(())
+    }
+
+    /// Sets the screening threshold on every shard, blocking until every
+    /// shard acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled; per-shard failures as
+    /// [`EcssdError::Serve`].
+    pub fn filter_threshold(&mut self, policy: ThresholdPolicy) -> Result<(), EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        let mut acks = Vec::with_capacity(self.worker_tx.len());
+        for (i, worker) in self.worker_tx.iter().enumerate() {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::Threshold {
+                    policy,
+                    ack: ack_tx,
+                })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            acks.push(ack_rx);
+        }
+        for (i, ack) in acks.into_iter().enumerate() {
+            ack.recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?
+                .map_err(|e| EcssdError::Serve(format!("shard {i}: {e}")))?;
+        }
+        Ok(())
+    }
+
+    fn check_ready(&self, inputs_len: usize, k: usize) -> Result<(), EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        if self.shard_starts.is_empty() {
+            return Err(EcssdError::NoWeights);
+        }
+        if inputs_len == 0 {
+            return Err(EcssdError::NoInputs);
+        }
+        let categories = *self.shard_starts.last().unwrap_or(&0);
+        if k > categories {
+            return Err(EcssdError::KExceedsCategories { k, categories });
+        }
+        Ok(())
+    }
+
+    /// Enqueues one request into the submission queue and returns a
+    /// handle; the dispatcher batches it with other outstanding queries
+    /// per the [`ServePolicy`]. Accepts anything convertible into a
+    /// [`Request`] — a typed request, or `(features, k)` for positional
+    /// back-compat.
+    ///
+    /// If the engine was built with a queue limit and the limit is
+    /// reached, the request is shed: the returned [`Pending`] resolves to
+    /// the typed [`EcssdError::Rejected`] with [`RejectReason::QueueFull`].
+    /// If the engine was built with [`SloTargets`], a request without its
+    /// own deadline is stamped with its class default; answers completing
+    /// past the deadline resolve to [`RejectReason::DeadlineExceeded`].
+    ///
+    /// # Errors
+    ///
+    /// Same readiness contract as [`Classifier::classify_batch`].
+    pub fn submit(&mut self, request: impl Into<Request>) -> Result<Pending, EcssdError> {
+        let mut request = request.into();
+        self.check_ready(1, request.k)?;
+        let tx = self
+            .submit_tx
+            .as_ref()
+            .ok_or_else(|| EcssdError::Serve("engine stopped".into()))?;
+        let (resp_tx, resp_rx) = mpsc::channel();
+        if let Some(limit) = self.queue_limit {
+            if self.outstanding.load(Ordering::SeqCst) >= limit {
+                lock(&self.metrics).shed_queue_full += 1;
+                let _ = resp_tx.send((
+                    0,
+                    Err(ServeFail::Rejected {
+                        class: request.class,
+                        reason: RejectReason::QueueFull,
+                    }),
+                ));
+                return Ok(Pending { rx: resp_rx });
+            }
+        }
+        if request.deadline_us.is_none() {
+            if let Some(slo) = self.slo {
+                request.deadline_us = Some(slo.deadline_us(request.class));
+            }
+        }
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        tx.send(Submission::Query(Query {
+            idx: 0,
+            features: request.features,
+            k: request.k,
+            class: request.class,
+            deadline_us: request.deadline_us,
+            submitted: Instant::now(),
+            resp: resp_tx,
+        }))
+        .map_err(|_| EcssdError::Serve("dispatcher exited".into()))?;
+        Ok(Pending { rx: resp_rx })
+    }
+
+    /// Submits a pre-formed batch: the dispatcher forwards it to the
+    /// shards atomically as one unit — it is never merged with queued
+    /// queries, split, or held for the batching window. This is the
+    /// deterministic path the fleet layer uses: batch composition is fixed
+    /// by the caller in simulated time, so the engine's wall-clock
+    /// batching window never influences results.
+    ///
+    /// Barrier ordering is preserved: a formed batch submitted before a
+    /// [`ServeEngine::commit_update`] is served entirely at the old epoch,
+    /// one submitted after it entirely at the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Same readiness contract as [`Classifier::classify_batch`]; all
+    /// requests must share one `k` ([`EcssdError::Serve`] otherwise).
+    pub fn submit_formed(&mut self, requests: Vec<Request>) -> Result<PendingBatch, EcssdError> {
+        let k = requests.first().map_or(0, |r| r.k);
+        self.check_ready(requests.len(), k)?;
+        if requests.iter().any(|r| r.k != k) {
+            return Err(EcssdError::Serve(
+                "a pre-formed batch must share one k".into(),
+            ));
+        }
+        let tx = self
+            .submit_tx
+            .as_ref()
+            .ok_or_else(|| EcssdError::Serve("engine stopped".into()))?;
+        let (resp_tx, resp_rx) = mpsc::channel();
+        let len = requests.len();
+        let queries: Vec<Query> = requests
+            .into_iter()
+            .enumerate()
+            .map(|(idx, r)| Query {
+                idx,
+                features: r.features,
+                k,
+                class: r.class,
+                deadline_us: r.deadline_us,
+                submitted: Instant::now(),
+                resp: resp_tx.clone(),
+            })
+            .collect();
+        self.outstanding.fetch_add(len, Ordering::SeqCst);
+        tx.send(Submission::Formed(queries))
+            .map_err(|_| EcssdError::Serve("dispatcher exited".into()))?;
+        Ok(PendingBatch { rx: resp_rx, len })
+    }
+
+    /// Splits `batch` along the shard partition and stages each slice as
+    /// version N+1 on its worker device, blocking until every shard
+    /// acknowledged. Serving continues at version N throughout; the
+    /// staging program/GC traffic contends with query reads on each
+    /// shard's flash timelines. Stage repeatedly to stack batches, then
+    /// [`ServeEngine::commit_update`] to make them visible.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled, [`EcssdError::NoWeights`]
+    /// before deployment, [`EcssdError::Update`] for a malformed batch,
+    /// and shard failures as [`EcssdError::Serve`].
+    pub fn stage_update(&mut self, batch: &UpdateBatch) -> Result<UpdateReport, EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        if self.shard_starts.is_empty() {
+            return Err(EcssdError::NoWeights);
+        }
+        let rows = *self.shard_starts.last().unwrap_or(&0);
+        batch.validate_against(rows).map_err(EcssdError::Update)?;
+        // Every shard stages — even an empty slice — so the commit bumps
+        // every device epoch in lockstep.
+        let slices = batch.split_by_shards(&self.shard_starts);
+        let mut acks = Vec::with_capacity(slices.len());
+        for (i, (worker, slice)) in self.worker_tx.iter().zip(slices).enumerate() {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::Stage {
+                    batch: slice,
+                    ack: ack_tx,
+                })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            acks.push(ack_rx);
+        }
+        let mut merged = UpdateReport::default();
+        for (i, ack) in acks.into_iter().enumerate() {
+            let report = ack
+                .recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited during stage")))?
+                .map_err(|e| EcssdError::Serve(format!("shard {i} stage failed: {e}")))?;
+            merged = merged.merge(&report);
+        }
+        Ok(merged)
+    }
+
+    /// Atomically swaps the staged version in on every shard: the request
+    /// flows through the dispatcher, which closes the open batch first
+    /// and forwards the commit to every worker before forming the next —
+    /// so the swap lands on the same batch boundary everywhere. Queries
+    /// batched before the commit read version N on all shards, queries
+    /// after it read N+1 on all shards, and none sees a mix (the merger
+    /// audits this; see [`ServeReport::mixed_version_batches`]).
+    ///
+    /// Shard row counts grow by the committed `Add` ops (appends land on
+    /// the last shard, so existing global category ids never shift).
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled, [`EcssdError::NoWeights`]
+    /// before deployment, and shard failures (including committing with
+    /// nothing staged) as [`EcssdError::Serve`].
+    pub fn commit_update(&mut self) -> Result<UpdateReport, EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        if self.shard_starts.is_empty() {
+            return Err(EcssdError::NoWeights);
+        }
+        let tx = self
+            .submit_tx
+            .as_ref()
+            .ok_or_else(|| EcssdError::Serve("engine stopped".into()))?;
+        let (ack_tx, ack_rx) = mpsc::channel();
+        tx.send(Submission::Barrier(Barrier::Commit(ack_tx)))
+            .map_err(|_| EcssdError::Serve("dispatcher exited".into()))?;
+        let mut merged = UpdateReport::default();
+        let mut added = 0usize;
+        let mut first_error: Option<String> = None;
+        for _ in 0..self.worker_tx.len() {
+            let (shard, result) = ack_rx
+                .recv()
+                .map_err(|_| EcssdError::Serve("worker exited during commit".into()))?;
+            match result {
+                Ok(report) => {
+                    added += report.rows_added as usize;
+                    merged = merged.merge(&report);
+                }
+                Err(e) => {
+                    first_error =
+                        Some(first_error.unwrap_or(format!("shard {shard} commit failed: {e}")));
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(EcssdError::Serve(e));
+        }
+        if let Some(end) = self.shard_starts.last_mut() {
+            *end += added;
+        }
+        Ok(merged)
+    }
+
+    /// Drops the staged version on every shard; serving state and epoch
+    /// are untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled; shard failures (including
+    /// aborting with nothing staged) as [`EcssdError::Serve`].
+    pub fn abort_update(&mut self) -> Result<(), EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        let mut acks = Vec::with_capacity(self.worker_tx.len());
+        for (i, worker) in self.worker_tx.iter().enumerate() {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::Abort { ack: ack_tx })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            acks.push(ack_rx);
+        }
+        for (i, ack) in acks.into_iter().enumerate() {
+            ack.recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited during abort")))?
+                .map_err(|e| EcssdError::Serve(format!("shard {i} abort failed: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Enables FTL metadata journaling on every shard device. Each shard
+    /// seals its current serving state as the journal's initial
+    /// checkpoint; from here on deploys and committed updates are
+    /// recoverable via [`ServeEngine::crash_and_recover`].
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled; shard failures as
+    /// [`EcssdError::Serve`].
+    pub fn enable_journal(&mut self, config: JournalConfig) -> Result<(), EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        let mut acks = Vec::with_capacity(self.worker_tx.len());
+        for (i, worker) in self.worker_tx.iter().enumerate() {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::EnableJournal {
+                    config,
+                    ack: ack_tx,
+                })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            acks.push(ack_rx);
+        }
+        for (i, ack) in acks.into_iter().enumerate() {
+            ack.recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited during enable")))?
+                .map_err(|e| EcssdError::Serve(format!("shard {i} enable failed: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Injects a power cut on every shard at the given journal instant and
+    /// recovers the fleet: the crash flows through the dispatcher like a
+    /// commit, so it lands on a batch boundary everywhere; each shard then
+    /// replays its own journal independently, and shards whose recovery
+    /// landed ahead of the fleet minimum are rolled back to it
+    /// ([`Ecssd::recover_to`]) so serving resumes at one epoch — never
+    /// ahead of the last commit every shard had durably journaled.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled; shard recovery failures
+    /// as [`EcssdError::Serve`]; [`EcssdError::Serve`] if the recovered
+    /// epoch somehow exceeded the pre-crash epoch (an invariant breach).
+    pub fn crash_and_recover(
+        &mut self,
+        survived: Option<u64>,
+    ) -> Result<RecoverySummary, EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        let tx = self
+            .submit_tx
+            .as_ref()
+            .ok_or_else(|| EcssdError::Serve("engine stopped".into()))?;
+        let shards = self.worker_tx.len();
+        // Phase 1: crash + independent recovery on every shard, on the
+        // same batch boundary.
+        let (ack_tx, ack_rx) = mpsc::channel();
+        tx.send(Submission::Barrier(Barrier::Recover {
+            survived,
+            ack: ack_tx,
+        }))
+        .map_err(|_| EcssdError::Serve("dispatcher exited".into()))?;
+        let mut outcomes: Vec<Option<RecoveryOutcome>> = vec![None; shards];
+        for _ in 0..shards {
+            let (shard, result) = ack_rx
+                .recv()
+                .map_err(|_| EcssdError::Serve("worker exited during recovery".into()))?;
+            let outcome = result
+                .map_err(|e| EcssdError::Serve(format!("shard {shard} recovery failed: {e}")))?;
+            outcomes[shard] = Some(outcome);
+        }
+        let mut outcomes: Vec<RecoveryOutcome> = outcomes.into_iter().flatten().collect();
+        if outcomes.len() != shards {
+            return Err(EcssdError::Serve("recovery ack missing a shard".into()));
+        }
+        // Phase 2: shards ahead of the fleet minimum roll back to it.
+        let floor = outcomes
+            .iter()
+            .map(|o| o.recovered_epoch)
+            .min()
+            .unwrap_or(0);
+        let mut rolled_back = 0usize;
+        for (i, worker) in self.worker_tx.iter().enumerate() {
+            if outcomes[i].recovered_epoch == floor {
+                continue;
+            }
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::RecoverTo {
+                    epoch: floor,
+                    ack: ack_tx,
+                })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            let (shard, result) = ack_rx
+                .recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited during rollback")))?;
+            let outcome = result
+                .map_err(|e| EcssdError::Serve(format!("shard {shard} rollback failed: {e}")))?;
+            outcomes[i].recovered_epoch = outcome.recovered_epoch;
+            outcomes[i].rows_lost += outcome.rows_lost;
+            outcomes[i].mapping_consistent &= outcome.mapping_consistent;
+            rolled_back += 1;
+        }
+        let summary = RecoverySummary {
+            epoch_before: outcomes
+                .iter()
+                .map(|o| o.epoch_before_crash)
+                .max()
+                .unwrap_or(0),
+            epoch_after: floor,
+            rows_lost: outcomes.iter().map(|o| o.rows_lost).sum(),
+            replayed_records: outcomes.iter().map(|o| o.replayed_records).sum(),
+            recovery_ns_max: outcomes.iter().map(|o| o.recovery_ns).max().unwrap_or(0),
+            shards_consistent: outcomes.iter().all(|o| o.mapping_consistent),
+            rolled_back_shards: rolled_back,
+        };
+        if summary.epoch_after > summary.epoch_before {
+            return Err(EcssdError::Serve(format!(
+                "recovered epoch {} is ahead of pre-crash epoch {}",
+                summary.epoch_after, summary.epoch_before
+            )));
+        }
+        Ok(summary)
+    }
+
+    /// The deployment version the shards serve (max over shards; the
+    /// commit protocol keeps them in lockstep).
+    pub fn epoch(&self) -> u64 {
+        lock(&self.metrics)
+            .epochs
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Classifies a batch: every input is enqueued, batched by the
+    /// dispatcher, scattered to all shards and merged back; blocks until
+    /// all answers arrived. This synchronous trait path bypasses the
+    /// queue-limit and deadline machinery — every input is served.
+    ///
+    /// # Errors
+    ///
+    /// The [`Classifier`] contract ([`EcssdError::WrongMode`] /
+    /// [`EcssdError::NoWeights`] / [`EcssdError::NoInputs`] /
+    /// [`EcssdError::KExceedsCategories`]); shard pipeline failures are
+    /// relayed as [`EcssdError::Serve`].
+    pub fn classify_batch(
+        &mut self,
+        inputs: &[Vec<f32>],
+        k: usize,
+    ) -> Result<Vec<Vec<Score>>, EcssdError> {
+        self.check_ready(inputs.len(), k)?;
+        let tx = self
+            .submit_tx
+            .as_ref()
+            .ok_or_else(|| EcssdError::Serve("engine stopped".into()))?;
+        let (resp_tx, resp_rx) = mpsc::channel();
+        self.outstanding.fetch_add(inputs.len(), Ordering::SeqCst);
+        for (idx, features) in inputs.iter().enumerate() {
+            tx.send(Submission::Query(Query {
+                idx,
+                features: features.clone(),
+                k,
+                class: QueryClass::LatencySensitive,
+                deadline_us: None,
+                submitted: Instant::now(),
+                resp: resp_tx.clone(),
+            }))
+            .map_err(|_| EcssdError::Serve("dispatcher exited".into()))?;
+        }
+        drop(resp_tx);
+        let mut out: Vec<Vec<Score>> = vec![Vec::new(); inputs.len()];
+        let mut first_error: Option<ServeFail> = None;
+        for _ in 0..inputs.len() {
+            let (idx, result) = resp_rx
+                .recv()
+                .map_err(|_| EcssdError::Serve("merger exited".into()))?;
+            match result {
+                Ok(answer) => out[idx] = answer.scores,
+                Err(fail) => first_error = Some(first_error.unwrap_or(fail)),
+            }
+        }
+        if let Some(fail) = first_error {
+            return Err(fail.into_error());
+        }
+        Ok(out)
+    }
+
+    /// Serving metrics so far.
+    pub fn report(&self) -> ServeReport {
+        let m = lock(&self.metrics);
+        let mut sim = m.sim_latencies_ns.clone();
+        sim.sort_unstable();
+        let mut host = m.host_latencies_ns.clone();
+        host.sort_unstable();
+        let sim_elapsed = m
+            .shard_elapsed
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let denom = sim_elapsed.as_ns();
+        let busy_max = m.shard_busy_ns.iter().copied().max().unwrap_or(0);
+        ServeReport {
+            shards: self.worker_tx.len(),
+            queries: m.queries,
+            batches: m.batches,
+            p50_us: percentile_us(&sim, 0.50),
+            p95_us: percentile_us(&sim, 0.95),
+            p99_us: percentile_us(&sim, 0.99),
+            host_p50_us: percentile_us(&host, 0.50),
+            host_p95_us: percentile_us(&host, 0.95),
+            host_p99_us: percentile_us(&host, 0.99),
+            sim_elapsed,
+            sim_queries_per_sec: if denom == 0 {
+                0.0
+            } else {
+                m.queries as f64 * 1e9 / denom as f64
+            },
+            shard_utilization: m
+                .shard_busy_ns
+                .iter()
+                .map(|&busy| {
+                    if busy_max == 0 {
+                        0.0
+                    } else {
+                        busy as f64 / busy_max as f64
+                    }
+                })
+                .collect(),
+            cache: m
+                .cache
+                .iter()
+                .fold(CacheStats::default(), |acc, c| acc.merge(c)),
+            breakdown: self.tracer.as_ref().map(|t| {
+                let windows: Vec<(SimTime, SimTime)> = m
+                    .serve_start
+                    .iter()
+                    .zip(&m.shard_elapsed)
+                    .map(|(&start, &end)| (start, end))
+                    .collect();
+                let mut b = StageBreakdown::attribute_sharded(&t.spans(), &windows);
+                b.dropped_spans = t.dropped_spans();
+                b
+            }),
+            epoch: m.epochs.iter().copied().max().unwrap_or(0),
+            mixed_version_batches: m.mixed_version_batches,
+            shed_queue_full: m.shed_queue_full,
+            rejected_deadline: m.rejected_deadline,
+        }
+    }
+}
+
+impl Classifier for ServeEngine {
+    fn deploy(&mut self, weights: &DenseMatrix) -> Result<(), EcssdError> {
+        ServeEngine::deploy(self, weights)
+    }
+
+    fn classify_batch(
+        &mut self,
+        inputs: &[Vec<f32>],
+        k: usize,
+    ) -> Result<Vec<Vec<Score>>, EcssdError> {
+        ServeEngine::classify_batch(self, inputs, k)
+    }
+
+    fn elapsed(&self) -> SimTime {
+        lock(&self.metrics)
+            .shard_elapsed
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    fn stats(&self) -> ClassifierStats {
+        let m = lock(&self.metrics);
+        ClassifierStats {
+            devices: self.worker_tx.len(),
+            categories: self.shard_starts.last().copied().unwrap_or(0),
+            queries: m.queries,
+            batches: m.batches,
+            cache: m
+                .cache
+                .iter()
+                .fold(CacheStats::default(), |acc, c| acc.merge(c)),
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        // Closing the channels unblocks every thread: dispatcher first
+        // (submission queue), then the workers (job queues from us and the
+        // dispatcher), then the merger (ticket/result senders).
+        self.submit_tx.take();
+        self.worker_tx.clear();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    shard: usize,
+    config: EcssdConfig,
+    tracer: Option<Tracer>,
+    jobs: Receiver<Job>,
+    merge: Sender<MergeMsg>,
+    metrics: Arc<Mutex<Metrics>>,
+) {
+    let mut device = Ecssd::new(config);
+    device.enable();
+    if let Some(t) = tracer {
+        device.set_tracer(t);
+    }
+    let mut offset = 0usize;
+    let mut rows = 0usize;
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Deploy {
+                shard: weights,
+                offset: start,
+                ack,
+            } => {
+                let outcome = device.weight_deploy(&weights).map_err(|e| e.to_string());
+                if outcome.is_ok() {
+                    offset = start;
+                    rows = weights.rows();
+                }
+                let mut m = lock(&metrics);
+                m.shard_elapsed[shard] = Classifier::elapsed(&device);
+                m.serve_start[shard] = Classifier::elapsed(&device);
+                m.epochs[shard] = device.epoch();
+                drop(m);
+                let _ = ack.send(outcome);
+            }
+            Job::Stage { batch, ack } => {
+                let outcome = device.stage_update(&batch).map_err(|e| e.to_string());
+                // Staging advances the device clock: its program/GC/parity
+                // traffic shares the timelines queries read from.
+                let mut m = lock(&metrics);
+                m.shard_elapsed[shard] = Classifier::elapsed(&device);
+                drop(m);
+                let _ = ack.send(outcome);
+            }
+            Job::Commit { ack } => {
+                let outcome = device.commit_update().map_err(|e| e.to_string());
+                if outcome.is_ok() {
+                    rows = device.categories();
+                }
+                let mut m = lock(&metrics);
+                m.epochs[shard] = device.epoch();
+                drop(m);
+                let _ = ack.send((shard, outcome));
+            }
+            Job::Abort { ack } => {
+                let _ = ack.send(device.abort_update().map_err(|e| e.to_string()));
+            }
+            Job::EnableJournal { config, ack } => {
+                device.enable_journal(config);
+                let _ = ack.send(Ok(()));
+            }
+            Job::Recover { survived, ack } => {
+                device.power_cut(survived);
+                let outcome = device.recover().map_err(|e| e.to_string());
+                if outcome.is_ok() {
+                    rows = device.categories();
+                }
+                let mut m = lock(&metrics);
+                m.epochs[shard] = device.epoch();
+                m.shard_elapsed[shard] = Classifier::elapsed(&device);
+                drop(m);
+                let _ = ack.send((shard, outcome));
+            }
+            Job::RecoverTo { epoch, ack } => {
+                let outcome = device.recover_to(epoch).map_err(|e| e.to_string());
+                if outcome.is_ok() {
+                    rows = device.categories();
+                }
+                let mut m = lock(&metrics);
+                m.epochs[shard] = device.epoch();
+                m.shard_elapsed[shard] = Classifier::elapsed(&device);
+                drop(m);
+                let _ = ack.send((shard, outcome));
+            }
+            Job::Threshold { policy, ack } => {
+                let _ = ack.send(device.filter_threshold(policy).map_err(|e| e.to_string()));
+            }
+            Job::Batch { id, inputs, k } => {
+                let before = Classifier::elapsed(&device);
+                let result = device
+                    .classify_batch(&inputs, k.min(rows))
+                    .map(|per_query| {
+                        per_query
+                            .into_iter()
+                            .map(|top| {
+                                top.into_iter()
+                                    .map(|s| Score {
+                                        category: s.category + offset,
+                                        value: s.value,
+                                    })
+                                    .collect()
+                            })
+                            .collect()
+                    })
+                    .map_err(|e| e.to_string());
+                let after = Classifier::elapsed(&device);
+                let sim_ns = after.as_ns().saturating_sub(before.as_ns());
+                let mut m = lock(&metrics);
+                m.shard_elapsed[shard] = after;
+                m.shard_busy_ns[shard] += sim_ns;
+                m.cache[shard] = device.cache_stats();
+                drop(m);
+                let _ = merge.send(MergeMsg::Shard {
+                    id,
+                    shard,
+                    sim_ns,
+                    epoch: device.epoch(),
+                    result,
+                });
+            }
+        }
+    }
+}
+
+/// Forwards a barrier (commit or crash-and-recover) to every worker.
+/// Because the dispatcher is the only sender of `Batch` and barrier jobs,
+/// every worker sees the barrier at the same position in its (FIFO) job
+/// stream: after the same batch, before the next — the atomic swap (or
+/// crash) point.
+fn forward_barrier(workers: &[Sender<Job>], barrier: Barrier, tracer: &Tracer) {
+    match barrier {
+        Barrier::Commit(ack) => {
+            tracer.count("serve.commits_forwarded", 1);
+            for worker in workers {
+                let _ = worker.send(Job::Commit { ack: ack.clone() });
+            }
+        }
+        Barrier::Recover { survived, ack } => {
+            tracer.count("serve.recoveries_forwarded", 1);
+            for worker in workers {
+                let _ = worker.send(Job::Recover {
+                    survived,
+                    ack: ack.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Scatters one closed batch to every worker and registers its ticket with
+/// the merger. Used for both dispatcher-formed and pre-formed batches.
+fn dispatch_batch(
+    next_id: &mut u64,
+    batch: Vec<Query>,
+    workers: &[Sender<Job>],
+    merge: &Sender<MergeMsg>,
+    tracer: &Tracer,
+) {
+    let Some(first) = batch.first() else {
+        return;
+    };
+    let k = first.k;
+    let id = *next_id;
+    *next_id += 1;
+    tracer.count("serve.batches_formed", 1);
+    tracer.count("serve.batch_queries", batch.len() as u64);
+    let mut inputs = Vec::with_capacity(batch.len());
+    let mut queries = Vec::with_capacity(batch.len());
+    for q in batch {
+        inputs.push(q.features);
+        queries.push(TicketEntry {
+            idx: q.idx,
+            submitted: q.submitted,
+            class: q.class,
+            deadline_us: q.deadline_us,
+            resp: q.resp,
+        });
+    }
+    let inputs = Arc::new(inputs);
+    let _ = merge.send(MergeMsg::Ticket(Ticket { id, k, queries }));
+    for worker in workers {
+        let _ = worker.send(Job::Batch {
+            id,
+            inputs: Arc::clone(&inputs),
+            k,
+        });
+    }
+}
+
+fn dispatcher_loop(
+    submissions: Receiver<Submission>,
+    workers: Vec<Sender<Job>>,
+    merge: Sender<MergeMsg>,
+    policy: ServePolicy,
+    tracer: Tracer,
+) {
+    let mut next_id = 0u64;
+    // A query whose `k` differs from the open batch closes that batch and
+    // seeds the next one.
+    let mut carry: Option<Query> = None;
+    // A barrier or pre-formed batch that arrived while a batch was open:
+    // the open batch is closed and dispatched first, then they follow.
+    let mut pending_barrier: Option<Barrier> = None;
+    let mut pending_formed: Option<Vec<Query>> = None;
+    loop {
+        let first = match carry.take() {
+            Some(q) => q,
+            None => match submissions.recv() {
+                Ok(Submission::Query(q)) => q,
+                Ok(Submission::Formed(batch)) => {
+                    // Idle pre-formed batch: dispatch atomically now.
+                    dispatch_batch(&mut next_id, batch, &workers, &merge, &tracer);
+                    continue;
+                }
+                Ok(Submission::Barrier(b)) => {
+                    // Idle barrier: no open batch, forward immediately.
+                    forward_barrier(&workers, b, &tracer);
+                    continue;
+                }
+                Err(_) => return,
+            },
+        };
+        let k = first.k;
+        let mut batch = vec![first];
+        let deadline = Instant::now() + policy.max_wait;
+        while batch.len() < policy.max_batch
+            && carry.is_none()
+            && pending_barrier.is_none()
+            && pending_formed.is_none()
+        {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match submissions.recv_timeout(left) {
+                Ok(Submission::Query(q)) if q.k == k => batch.push(q),
+                Ok(Submission::Query(q)) => carry = Some(q),
+                Ok(Submission::Formed(f)) => pending_formed = Some(f),
+                Ok(Submission::Barrier(b)) => pending_barrier = Some(b),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        dispatch_batch(&mut next_id, batch, &workers, &merge, &tracer);
+        if let Some(f) = pending_formed.take() {
+            dispatch_batch(&mut next_id, f, &workers, &merge, &tracer);
+        }
+        if let Some(b) = pending_barrier.take() {
+            forward_barrier(&workers, b, &tracer);
+        }
+    }
+}
+
+struct BatchEntry {
+    ticket: Option<Ticket>,
+    results: Vec<Option<Result<Vec<Vec<Score>>, String>>>,
+    received: usize,
+    /// Slowest shard's simulated time for this batch (shards run in
+    /// parallel) — the batch's simulated latency.
+    sim_ns: u64,
+    /// Lowest / highest epoch among the shard answers; they differ only
+    /// if a commit split a batch — which the dispatcher must prevent.
+    epoch_lo: u64,
+    epoch_hi: u64,
+}
+
+fn merger_loop(
+    shards: usize,
+    inbox: Receiver<MergeMsg>,
+    metrics: Arc<Mutex<Metrics>>,
+    outstanding: Arc<AtomicUsize>,
+    tracer: Tracer,
+) {
+    let mut pending: HashMap<u64, BatchEntry> = HashMap::new();
+    while let Ok(msg) = inbox.recv() {
+        let id = match &msg {
+            MergeMsg::Ticket(t) => t.id,
+            MergeMsg::Shard { id, .. } => *id,
+        };
+        let entry = pending.entry(id).or_insert_with(|| BatchEntry {
+            ticket: None,
+            results: (0..shards).map(|_| None).collect(),
+            received: 0,
+            sim_ns: 0,
+            epoch_lo: u64::MAX,
+            epoch_hi: 0,
+        });
+        match msg {
+            MergeMsg::Ticket(t) => entry.ticket = Some(t),
+            MergeMsg::Shard {
+                shard,
+                sim_ns,
+                epoch,
+                result,
+                ..
+            } => {
+                if entry.results[shard].is_none() {
+                    entry.received += 1;
+                }
+                entry.results[shard] = Some(result);
+                entry.sim_ns = entry.sim_ns.max(sim_ns);
+                entry.epoch_lo = entry.epoch_lo.min(epoch);
+                entry.epoch_hi = entry.epoch_hi.max(epoch);
+            }
+        }
+        if entry.ticket.is_some() && entry.received == shards {
+            if let Some(entry) = pending.remove(&id) {
+                finalize_batch(entry, &metrics, &outstanding, &tracer);
+            }
+        }
+    }
+}
+
+/// Merges one completed batch and answers its queries, enforcing each
+/// query's simulated deadline.
+fn finalize_batch(
+    entry: BatchEntry,
+    metrics: &Mutex<Metrics>,
+    outstanding: &AtomicUsize,
+    tracer: &Tracer,
+) {
+    let Some(ticket) = entry.ticket else {
+        return;
+    };
+    if entry.epoch_lo != entry.epoch_hi {
+        // A commit split this batch across versions — the dispatcher
+        // protocol is supposed to make that impossible; record the breach.
+        lock(metrics).mixed_version_batches += 1;
+        tracer.count("serve.mixed_version_batches", 1);
+    }
+    let mut per_shard: Vec<Vec<Vec<Score>>> = Vec::with_capacity(entry.results.len());
+    let mut error: Option<String> = None;
+    for result in entry.results {
+        match result {
+            Some(Ok(lists)) => per_shard.push(lists),
+            Some(Err(e)) => error = Some(error.unwrap_or(e)),
+            None => error = Some(error.unwrap_or_else(|| "shard never answered".into())),
+        }
+    }
+    if let Some(e) = error {
+        for te in ticket.queries {
+            outstanding.fetch_sub(1, Ordering::SeqCst);
+            let _ = te.resp.send((te.idx, Err(ServeFail::Failed(e.clone()))));
+        }
+        return;
+    }
+    let mut m = lock(metrics);
+    m.batches += 1;
+    for (qi, te) in ticket.queries.into_iter().enumerate() {
+        let mut merged: Vec<Score> = per_shard
+            .iter()
+            .flat_map(|lists| lists[qi].iter().copied())
+            .collect();
+        sort_scores(&mut merged);
+        merged.truncate(ticket.k);
+        // A query's simulated latency is its batch's: the slowest shard's
+        // device time for the round trip (shards run in parallel).
+        m.sim_latencies_ns.push(entry.sim_ns);
+        m.host_latencies_ns
+            .push(te.submitted.elapsed().as_nanos() as u64);
+        m.queries += 1;
+        outstanding.fetch_sub(1, Ordering::SeqCst);
+        tracer.count("serve.queries_merged", 1);
+        // Deadline enforcement happens here, after the device time is
+        // known: the query consumed capacity either way, but a late answer
+        // is dropped and surfaced as a typed rejection.
+        let late = te
+            .deadline_us
+            .is_some_and(|d| entry.sim_ns > d.saturating_mul(1_000));
+        if late {
+            m.rejected_deadline += 1;
+            tracer.count("serve.rejected_deadline", 1);
+            let _ = te.resp.send((
+                te.idx,
+                Err(ServeFail::Rejected {
+                    class: te.class,
+                    reason: RejectReason::DeadlineExceeded,
+                }),
+            ));
+        } else {
+            let _ = te.resp.send((
+                te.idx,
+                Ok(Answer {
+                    scores: merged,
+                    sim_ns: entry.sim_ns,
+                    epoch: entry.epoch_hi,
+                }),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EcssdConfig {
+        EcssdConfig::tiny_builder().build().unwrap()
+    }
+
+    fn query(d: usize, phase: f32) -> Vec<f32> {
+        (0..d).map(|i| ((i as f32) * 0.13 + phase).sin()).collect()
+    }
+
+    #[test]
+    fn engine_serves_batches_end_to_end() {
+        let mut engine = ServeEngine::builder(tiny()).shards(2).build().unwrap();
+        engine.deploy(&DenseMatrix::random(600, 32, 7)).unwrap();
+        let inputs: Vec<Vec<f32>> = (0..6).map(|i| query(32, i as f32)).collect();
+        let out = engine.classify_batch(&inputs, 5).unwrap();
+        assert_eq!(out.len(), 6);
+        for top in &out {
+            assert_eq!(top.len(), 5);
+            assert!(top.windows(2).all(|p| p[0].value >= p[1].value));
+            assert!(top.iter().all(|s| s.category < 600));
+        }
+        let report = engine.report();
+        assert_eq!(report.queries, 6);
+        assert!(report.batches >= 1);
+        assert!(report.sim_elapsed > SimTime::ZERO);
+        assert!(report.sim_queries_per_sec > 0.0);
+        assert!(report.p50_us > 0.0 && report.p99_us >= report.p50_us);
+        assert_eq!(report.shard_utilization.len(), 2);
+        assert!(report
+            .shard_utilization
+            .iter()
+            .any(|&u| (u - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn submit_pipelines_individual_queries() {
+        let mut engine = ServeEngine::builder(tiny())
+            .shards(2)
+            .policy(ServePolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(5),
+            })
+            .build()
+            .unwrap();
+        engine.deploy(&DenseMatrix::random(400, 32, 3)).unwrap();
+        let handles: Vec<Pending> = (0..8)
+            .map(|i| engine.submit((query(32, i as f32 * 0.5), 3)).unwrap())
+            .collect();
+        for pending in handles {
+            let top = pending.wait().unwrap();
+            assert_eq!(top.len(), 3);
+        }
+        let report = engine.report();
+        assert_eq!(report.queries, 8);
+        // max_batch 4 over 8 queries: at least two batches were formed.
+        assert!(report.batches >= 2, "batches {}", report.batches);
+    }
+
+    #[test]
+    fn submit_accepts_typed_requests() {
+        let mut engine = ServeEngine::builder(tiny()).shards(1).build().unwrap();
+        engine.deploy(&DenseMatrix::random(300, 32, 5)).unwrap();
+        let typed = Request::new(query(32, 0.4), 4).with_class(QueryClass::Batch);
+        let top = engine.submit(typed).unwrap().wait().unwrap();
+        assert_eq!(top.len(), 4);
+        let positional = engine.submit((query(32, 0.4), 4)).unwrap().wait().unwrap();
+        assert_eq!(positional, top);
+    }
+
+    #[test]
+    fn mixed_k_splits_batches() {
+        let mut engine = ServeEngine::builder(tiny())
+            .policy(ServePolicy {
+                max_batch: 16,
+                max_wait: Duration::from_millis(20),
+            })
+            .build()
+            .unwrap();
+        engine.deploy(&DenseMatrix::random(300, 32, 5)).unwrap();
+        let a = engine.submit((query(32, 0.1), 2)).unwrap();
+        let b = engine.submit((query(32, 0.2), 7)).unwrap();
+        assert_eq!(a.wait().unwrap().len(), 2);
+        assert_eq!(b.wait().unwrap().len(), 7);
+        // Different k cannot share a device round trip.
+        assert!(engine.report().batches >= 2);
+    }
+
+    #[test]
+    fn formed_batches_dispatch_atomically() {
+        let mut engine = ServeEngine::builder(tiny()).shards(2).build().unwrap();
+        engine.deploy(&DenseMatrix::random(400, 32, 3)).unwrap();
+        let requests: Vec<Request> = (0..5).map(|i| (query(32, i as f32), 3).into()).collect();
+        let outcome = engine.submit_formed(requests).unwrap().wait().unwrap();
+        assert_eq!(outcome.results.len(), 5);
+        assert!(outcome.results.iter().all(|top| top.len() == 3));
+        assert!(outcome.sim_ns > 0);
+        assert_eq!(outcome.epoch, engine.epoch());
+        // One formed submission is exactly one batch.
+        assert_eq!(engine.report().batches, 1);
+    }
+
+    #[test]
+    fn formed_batch_rejects_mixed_k() {
+        let mut engine = ServeEngine::builder(tiny()).build().unwrap();
+        engine.deploy(&DenseMatrix::random(300, 32, 5)).unwrap();
+        let mixed = vec![
+            Request::new(query(32, 0.1), 2),
+            Request::new(query(32, 0.2), 3),
+        ];
+        assert!(matches!(
+            engine.submit_formed(mixed),
+            Err(EcssdError::Serve(_))
+        ));
+        assert!(matches!(
+            engine.submit_formed(Vec::new()),
+            Err(EcssdError::NoInputs)
+        ));
+    }
+
+    #[test]
+    fn formed_batches_are_deterministic_across_engines() {
+        let run = || {
+            let mut engine = ServeEngine::builder(tiny()).shards(2).build().unwrap();
+            engine.deploy(&DenseMatrix::random(400, 32, 3)).unwrap();
+            let mut sims = Vec::new();
+            for round in 0..3 {
+                let requests: Vec<Request> = (0..4)
+                    .map(|i| (query(32, (round * 4 + i) as f32), 3).into())
+                    .collect();
+                let outcome = engine.submit_formed(requests).unwrap().wait().unwrap();
+                sims.push((outcome.sim_ns, outcome.results));
+            }
+            sims
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn queue_limit_sheds_with_typed_rejection() {
+        let mut engine = ServeEngine::builder(tiny()).queue_limit(0).build().unwrap();
+        engine.deploy(&DenseMatrix::random(300, 32, 5)).unwrap();
+        let err = engine
+            .submit((query(32, 0.1), 3))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EcssdError::Rejected {
+                    class: QueryClass::LatencySensitive,
+                    reason: RejectReason::QueueFull,
+                }
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(engine.report().shed_queue_full, 1);
+        assert_eq!(engine.report().queries, 0);
+    }
+
+    #[test]
+    fn impossible_deadline_rejects_typed() {
+        let mut engine = ServeEngine::builder(tiny()).build().unwrap();
+        engine.deploy(&DenseMatrix::random(300, 32, 5)).unwrap();
+        let doomed = Request::new(query(32, 0.3), 3)
+            .with_class(QueryClass::Batch)
+            .with_deadline_us(0);
+        let err = engine.submit(doomed).unwrap().wait().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EcssdError::Rejected {
+                    class: QueryClass::Batch,
+                    reason: RejectReason::DeadlineExceeded,
+                }
+            ),
+            "got {err:?}"
+        );
+        let report = engine.report();
+        assert_eq!(report.rejected_deadline, 1);
+        // The query consumed device time even though its answer was late.
+        assert_eq!(report.queries, 1);
+    }
+
+    #[test]
+    fn slo_targets_stamp_default_deadlines() {
+        // An SLO of 0 µs for the latency-sensitive class makes every
+        // undeadlined submit miss; a batch-class request with its own
+        // generous deadline still succeeds.
+        let mut engine = ServeEngine::builder(tiny())
+            .slo(SloTargets {
+                latency_sensitive_us: 0,
+                batch_us: u64::MAX / 2_000,
+            })
+            .build()
+            .unwrap();
+        engine.deploy(&DenseMatrix::random(300, 32, 5)).unwrap();
+        let err = engine
+            .submit((query(32, 0.1), 3))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EcssdError::Rejected {
+                reason: RejectReason::DeadlineExceeded,
+                ..
+            }
+        ));
+        let ok = engine
+            .submit(Request::new(query(32, 0.2), 3).with_class(QueryClass::Batch))
+            .unwrap()
+            .wait();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn shard_failures_are_relayed_not_hung() {
+        let mut engine = ServeEngine::builder(tiny()).shards(2).build().unwrap();
+        engine.deploy(&DenseMatrix::random(200, 16, 1)).unwrap();
+        // Wrong feature dimension: the shard pipelines fail and the merger
+        // must still answer every query.
+        let err = engine.classify_batch(&[vec![0.0; 4]], 3).unwrap_err();
+        assert!(matches!(err, EcssdError::Serve(_)), "got {err:?}");
+        // The engine keeps serving afterwards.
+        let ok = engine.classify_batch(&[query(16, 0.3)], 3).unwrap();
+        assert_eq!(ok[0].len(), 3);
+    }
+
+    #[test]
+    fn invalid_construction_is_rejected() {
+        assert!(matches!(
+            ServeEngine::builder(tiny()).shards(0).build(),
+            Err(EcssdError::Serve(_))
+        ));
+        assert!(matches!(
+            ServeEngine::builder(tiny())
+                .shards(2)
+                .policy(ServePolicy {
+                    max_batch: 0,
+                    max_wait: Duration::ZERO
+                })
+                .build(),
+            Err(EcssdError::Serve(_))
+        ));
+        let broken = EcssdConfig::tiny_builder().channels(0).build();
+        assert!(broken.is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        // Positional back-compat: the pre-builder constructors keep
+        // serving until they are removed.
+        let mut engine = ServeEngine::new(tiny(), 2, ServePolicy::default()).unwrap();
+        engine.deploy(&DenseMatrix::random(400, 32, 3)).unwrap();
+        assert_eq!(
+            engine.classify_batch(&[query(32, 0.5)], 3).unwrap().len(),
+            1
+        );
+        let traced = ServeEngine::with_tracing(tiny(), 1, ServePolicy::default()).unwrap();
+        assert!(traced.tracer().is_some());
+    }
+
+    #[test]
+    fn report_serializes() {
+        let mut engine = ServeEngine::builder(tiny()).build().unwrap();
+        engine.deploy(&DenseMatrix::random(100, 16, 2)).unwrap();
+        let _ = engine.classify_batch(&[query(16, 0.0)], 2).unwrap();
+        let json = serde_json::to_string(&engine.report()).unwrap();
+        assert!(!json.is_empty());
+    }
+
+    #[test]
+    fn percentile_interpolates_linearly() {
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+        // Nearest-rank with rounding reported p50 of [1µs, 100µs] as 100µs;
+        // linear interpolation gives the midpoint.
+        assert!((percentile_us(&[1_000, 100_000], 0.50) - 50.5).abs() < 1e-9);
+        let one = [42_000u64];
+        assert_eq!(percentile_us(&one, 0.0), 42.0);
+        assert_eq!(percentile_us(&one, 0.5), 42.0);
+        assert_eq!(percentile_us(&one, 1.0), 42.0);
+        let s: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        assert!((percentile_us(&s, 0.50) - 50.5).abs() < 1e-9);
+        assert!((percentile_us(&s, 0.95) - 95.05).abs() < 1e-9);
+        assert!((percentile_us(&s, 1.0) - 100.0).abs() < 1e-9);
+        for window in [(0.50, 0.95), (0.95, 0.99)] {
+            assert!(percentile_us(&s, window.0) <= percentile_us(&s, window.1));
+        }
+    }
+
+    #[test]
+    fn report_percentiles_are_monotone_and_simulated() {
+        let mut engine = ServeEngine::builder(tiny()).shards(2).build().unwrap();
+        engine.deploy(&DenseMatrix::random(600, 32, 7)).unwrap();
+        for i in 0..4 {
+            let inputs: Vec<Vec<f32>> = (0..3).map(|j| query(32, (i * 3 + j) as f32)).collect();
+            let _ = engine.classify_batch(&inputs, 4).unwrap();
+        }
+        let r = engine.report();
+        assert!(r.p50_us > 0.0);
+        assert!(r.p50_us <= r.p95_us && r.p95_us <= r.p99_us);
+        assert!(r.host_p50_us > 0.0);
+        assert!(r.host_p50_us <= r.host_p95_us && r.host_p95_us <= r.host_p99_us);
+        // Simulated latency is bounded by the slowest shard's total
+        // simulated serving time — wall clock is not.
+        assert!(r.p99_us <= r.sim_elapsed.as_ns() as f64 / 1_000.0);
+    }
+
+    #[test]
+    fn utilization_derives_from_busy_time_not_elapsed() {
+        let engine = ServeEngine::builder(tiny()).shards(3).build().unwrap();
+        {
+            // Deliberately imbalanced shard layout: every device clock ends
+            // at the same elapsed time (deployment dominates it), but busy
+            // serving time differs 4:2:1. The old formula divided elapsed
+            // by max elapsed and reported [1.0, 1.0, 1.0] for this state.
+            let mut m = lock(&engine.metrics);
+            m.shard_elapsed = vec![SimTime::from_ns(1_000_000); 3];
+            m.shard_busy_ns = vec![400_000, 200_000, 100_000];
+        }
+        let u = engine.report().shard_utilization;
+        assert_eq!(u, vec![1.0, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn utilization_is_busy_relative_to_critical_path() {
+        let mut engine = ServeEngine::builder(tiny()).shards(2).build().unwrap();
+        engine.deploy(&DenseMatrix::random(600, 32, 9)).unwrap();
+        for i in 0..4 {
+            let _ = engine.classify_batch(&[query(32, i as f32)], 3).unwrap();
+        }
+        let u = engine.report().shard_utilization;
+        assert_eq!(u.len(), 2);
+        let max = u.iter().cloned().fold(0.0, f64::max);
+        assert!((max - 1.0).abs() < 1e-12, "critical path must read 1.0");
+        assert!(u.iter().all(|&x| x > 0.0 && x <= 1.0), "{u:?}");
+    }
+
+    #[test]
+    fn traced_engine_reports_breakdown() {
+        let mut engine = ServeEngine::builder(tiny())
+            .shards(2)
+            .tracing(true)
+            .build()
+            .unwrap();
+        engine.deploy(&DenseMatrix::random(600, 32, 7)).unwrap();
+        let inputs: Vec<Vec<f32>> = (0..6).map(|i| query(32, i as f32)).collect();
+        let _ = engine.classify_batch(&inputs, 5).unwrap();
+        let report = engine.report();
+        let b = report
+            .breakdown
+            .expect("traced engine must report breakdown");
+        assert!(b.total_ns > 0);
+        assert_eq!(b.attributed_total_ns() + b.idle_ns, b.total_ns);
+        assert!(b.reconciles(0.01));
+        assert!(b.entries.iter().any(|e| e.busy_ns > 0));
+        let counters: std::collections::BTreeMap<String, u64> = engine
+            .tracer()
+            .expect("tracing(true) exposes the tracer")
+            .counters()
+            .into_iter()
+            .collect();
+        assert_eq!(
+            counters.get("serve.queries_merged").copied(),
+            Some(report.queries)
+        );
+        assert!(counters.get("serve.batches_formed").copied().unwrap_or(0) >= 1);
+
+        let mut plain = ServeEngine::builder(tiny()).shards(2).build().unwrap();
+        plain.deploy(&DenseMatrix::random(600, 32, 7)).unwrap();
+        let _ = plain.classify_batch(&inputs, 5).unwrap();
+        assert!(plain.report().breakdown.is_none());
+        assert!(plain.tracer().is_none());
+    }
+
+    #[test]
+    fn drop_joins_all_threads() {
+        let mut engine = ServeEngine::builder(tiny()).shards(3).build().unwrap();
+        engine.deploy(&DenseMatrix::random(300, 16, 8)).unwrap();
+        let _ = engine.classify_batch(&[query(16, 1.0)], 2).unwrap();
+        drop(engine); // must not hang or panic
+    }
+}

@@ -1,0 +1,989 @@
+//! The fleet layer: `R` replicated [`ServeEngine`] groups behind an
+//! SLO-aware load balancer, driven by an open-loop arrival process.
+//!
+//! A single engine answers every query it is given; a *fleet* must decide
+//! which queries to answer at all. Under open-loop load (queries arrive on
+//! their own clock — see `ecssd_workloads::OpenLoopArrivals`) the
+//! interesting regime is overload, and the fleet's job is threefold:
+//!
+//! * **Routing** — pick a replica per admitted request: least-backlog with
+//!   an optional cache-affinity preference (the same query features hash
+//!   to the same replica, so its hot candidate-row cache warms for the
+//!   Zipf head), and *epoch-aware* eligibility (never route to a replica
+//!   behind the fleet commit epoch — one mid-rolling-deploy or still
+//!   catching up after crash recovery).
+//! * **Admission** — per-class deadline-aware shedding
+//!   ([`AdmissionControl::DeadlineAware`]): a request whose estimated
+//!   completion would bust its latency budget is rejected *at arrival*,
+//!   and the batch class runs out of budget first (its ceiling is a small
+//!   multiple of the latency-sensitive target), so under overload batch
+//!   traffic sheds while latency-sensitive p99 holds.
+//! * **Reporting** — [`FleetReport`] with per-class goodput, SLO-violation
+//!   and shed counts, and per-replica utilization / epoch-lag /
+//!   cache-hit-rate.
+//!
+//! The fleet runs entirely in *simulated* time: its clock advances with
+//! arrivals, batches dispatch to engines via the deterministic pre-formed
+//! path ([`ServeEngine::submit_formed`]), and the same seed therefore
+//! yields a byte-identical report.
+
+use std::collections::VecDeque;
+
+use ecssd_core::{
+    Classifier, EcssdConfig, EcssdError, QueryClass, RejectReason, Request, SloTargets,
+    UpdateBatch, UpdateReport,
+};
+use ecssd_screen::DenseMatrix;
+use ecssd_ssd::JournalConfig;
+use ecssd_trace::percentile_us;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{RecoverySummary, ServeEngine, ServePolicy};
+
+/// Batch formation and queueing policy for the fleet's load balancer (the
+/// engine-level [`ServePolicy`] wall-clock window is bypassed — the fleet
+/// forms batches itself in simulated time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetPolicy {
+    /// Close a per-replica batch once it holds this many requests.
+    pub max_batch: usize,
+    /// Dispatch a non-empty per-replica queue once its oldest request has
+    /// waited this long (simulated µs).
+    pub max_wait_us: u64,
+    /// Shed ([`RejectReason::QueueFull`]) once a replica's queued +
+    /// estimated in-flight requests reach this count.
+    pub queue_limit: usize,
+}
+
+impl Default for FleetPolicy {
+    fn default() -> Self {
+        FleetPolicy {
+            max_batch: 8,
+            max_wait_us: 400,
+            queue_limit: 64,
+        }
+    }
+}
+
+/// Admission-control policy applied to every offered request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionControl {
+    /// Admit everything the queue limit allows. Under overload latency
+    /// grows without bound until queues fill — the baseline the
+    /// deadline-aware policy is measured against.
+    None,
+    /// Reject a request at arrival if its estimated completion would bust
+    /// its latency budget. The batch class's effective budget is capped at
+    /// `batch_headroom ×` the latency-sensitive target — a fraction below
+    /// 1.0, so as backlog builds batch traffic runs out of budget *first*
+    /// and the remaining capacity is reserved for latency-sensitive
+    /// requests, whose p99 holds through the overload knee.
+    DeadlineAware {
+        /// Batch-class budget cap as a multiple of the latency-sensitive
+        /// SLO target (default 0.5: batch admitted only while the
+        /// estimated completion fits in half the latency-sensitive
+        /// budget).
+        batch_headroom: f64,
+    },
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        AdmissionControl::DeadlineAware {
+            batch_headroom: 0.5,
+        }
+    }
+}
+
+/// Builds a [`Fleet`]: replica count, per-replica sharding, balancer
+/// policy, SLO targets, admission control, journaling, affinity routing.
+#[derive(Debug)]
+#[must_use = "a builder does nothing until .build()"]
+pub struct FleetBuilder {
+    config: EcssdConfig,
+    replicas: usize,
+    shards_per_replica: usize,
+    policy: FleetPolicy,
+    slo: SloTargets,
+    admission: AdmissionControl,
+    journal: Option<JournalConfig>,
+    affinity_routing: bool,
+}
+
+impl Fleet {
+    /// Starts building a fleet over one device configuration (every shard
+    /// of every replica is a clone of it).
+    pub fn builder(config: EcssdConfig) -> FleetBuilder {
+        FleetBuilder {
+            config,
+            replicas: 2,
+            shards_per_replica: 1,
+            policy: FleetPolicy::default(),
+            slo: SloTargets::default(),
+            admission: AdmissionControl::default(),
+            journal: None,
+            affinity_routing: true,
+        }
+    }
+}
+
+impl FleetBuilder {
+    /// Replica (engine group) count. Default 2; zero is rejected at build.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Shards (devices) per replica engine. Default 1.
+    pub fn shards_per_replica(mut self, shards: usize) -> Self {
+        self.shards_per_replica = shards;
+        self
+    }
+
+    /// Load-balancer batching and queueing policy.
+    pub fn policy(mut self, policy: FleetPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Per-class latency SLO targets (deadline defaults and violation
+    /// accounting).
+    pub fn slo(mut self, slo: SloTargets) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Admission-control policy. Default: deadline-aware with 2× batch
+    /// headroom.
+    pub fn admission(mut self, admission: AdmissionControl) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Enable FTL journaling on every replica, so
+    /// [`Fleet::crash_replica`] can recover one.
+    pub fn journal(mut self, config: JournalConfig) -> Self {
+        self.journal = Some(config);
+        self
+    }
+
+    /// Route repeated queries to the same replica by feature hash (warms
+    /// that replica's hot-row cache for the popularity head). Default on.
+    pub fn affinity_routing(mut self, enabled: bool) -> Self {
+        self.affinity_routing = enabled;
+        self
+    }
+
+    /// Validates the knobs and spawns every replica engine.
+    ///
+    /// # Errors
+    ///
+    /// Zero replicas or a zero `max_batch` are rejected as
+    /// [`EcssdError::Serve`]; engine construction failures propagate.
+    pub fn build(self) -> Result<Fleet, EcssdError> {
+        if self.replicas == 0 {
+            return Err(EcssdError::Serve("at least one replica is required".into()));
+        }
+        if self.policy.max_batch == 0 {
+            return Err(EcssdError::Serve("fleet max_batch must be nonzero".into()));
+        }
+        let mut engines = Vec::with_capacity(self.replicas);
+        for _ in 0..self.replicas {
+            let mut b = ServeEngine::builder(self.config.clone())
+                .shards(self.shards_per_replica)
+                .policy(ServePolicy::default());
+            if let Some(journal) = self.journal {
+                b = b.journal(journal);
+            }
+            engines.push(b.build()?);
+        }
+        let n = self.replicas;
+        Ok(Fleet {
+            engines,
+            policy: self.policy,
+            slo: self.slo,
+            admission: self.admission,
+            affinity_routing: self.affinity_routing,
+            epochs: vec![0; n],
+            fleet_epoch: 0,
+            now_ns: 0,
+            free_at_ns: vec![0; n],
+            busy_ns: vec![0; n],
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            service_est_ns: 0.0,
+            stale_served: 0,
+            classes: [ClassAccum::default(), ClassAccum::default()],
+            replica_queries: vec![0; n],
+            replica_batches: vec![0; n],
+            pending_update: None,
+        })
+    }
+}
+
+/// An admitted request waiting in a replica queue.
+struct QueuedRequest {
+    features: Vec<f32>,
+    k: usize,
+    class: QueryClass,
+    arrival_ns: u64,
+    /// Absolute completion deadline on the fleet clock.
+    deadline_ns: u64,
+}
+
+/// Per-class accumulator behind [`ClassReport`].
+#[derive(Debug, Default)]
+struct ClassAccum {
+    arrived: u64,
+    admitted: u64,
+    completed: u64,
+    shed_queue_full: u64,
+    shed_deadline: u64,
+    shed_unavailable: u64,
+    slo_violations: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// `R` replicated engines behind the SLO-aware balancer. Drive it by
+/// [`Fleet::offer`]ing requests in arrival order (the fleet clock advances
+/// with them), then [`Fleet::drain`] and [`Fleet::report`].
+pub struct Fleet {
+    engines: Vec<ServeEngine>,
+    policy: FleetPolicy,
+    slo: SloTargets,
+    admission: AdmissionControl,
+    affinity_routing: bool,
+    /// Commit epoch each replica serves (tracked on the fleet side so
+    /// routing never needs to query an engine mid-decision).
+    epochs: Vec<u64>,
+    /// The newest epoch any replica serves; only replicas *at* it are
+    /// eligible for new requests.
+    fleet_epoch: u64,
+    /// The fleet clock, ns; advances with offered arrivals.
+    now_ns: u64,
+    /// When each replica's device finishes its queued work.
+    free_at_ns: Vec<u64>,
+    /// Simulated time each replica spent executing batches.
+    busy_ns: Vec<u64>,
+    queues: Vec<VecDeque<QueuedRequest>>,
+    /// EWMA per-query service estimate, ns (admission and backlog math).
+    service_est_ns: f64,
+    /// Requests served by a replica whose epoch was behind the fleet's —
+    /// must stay 0 (routing excludes stale replicas).
+    stale_served: u64,
+    /// `[latency-sensitive, batch]`.
+    classes: [ClassAccum; 2],
+    replica_queries: Vec<u64>,
+    replica_batches: Vec<u64>,
+    /// In-progress rolling update: the staged batch and the next replica
+    /// to update.
+    pending_update: Option<(UpdateBatch, usize)>,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("replicas", &self.engines.len())
+            .field("fleet_epoch", &self.fleet_epoch)
+            .field("now_ns", &self.now_ns)
+            .finish_non_exhaustive()
+    }
+}
+
+fn class_idx(class: QueryClass) -> usize {
+    match class {
+        QueryClass::LatencySensitive => 0,
+        QueryClass::Batch => 1,
+    }
+}
+
+/// splitmix64 over the first few feature bits: the affinity key that sends
+/// a repeated query back to the replica whose cache it warmed.
+fn feature_hash(features: &[f32]) -> u64 {
+    let mut h = 0x9e37_79b9_7f4a_7c15u64;
+    for &f in features.iter().take(16) {
+        h = h.wrapping_add(u64::from(f.to_bits()));
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+    }
+    h
+}
+
+impl Fleet {
+    /// Replica count.
+    pub fn replicas(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The newest commit epoch any replica serves.
+    pub fn epoch(&self) -> u64 {
+        self.fleet_epoch
+    }
+
+    /// The fleet clock, simulated ns.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Deploys `weights` to every replica. Deployment happens before the
+    /// fleet clock starts; its device time is excluded from serving
+    /// metrics.
+    ///
+    /// # Errors
+    ///
+    /// The first replica failure propagates.
+    pub fn deploy(&mut self, weights: &DenseMatrix) -> Result<(), EcssdError> {
+        for (r, engine) in self.engines.iter_mut().enumerate() {
+            engine.deploy(weights)?;
+            self.epochs[r] = engine.epoch();
+        }
+        self.fleet_epoch = self.epochs.iter().copied().max().unwrap_or(0);
+        Ok(())
+    }
+
+    fn max_wait_ns(&self) -> u64 {
+        self.policy.max_wait_us.saturating_mul(1_000)
+    }
+
+    /// Offers one request to the fleet at its arrival time (requests must
+    /// be offered in nondecreasing `arrival_ns` order; a request without
+    /// one arrives "now"). Returns `Ok(None)` if admitted and enqueued, or
+    /// `Ok(Some(reason))` if shed.
+    ///
+    /// # Errors
+    ///
+    /// Engine dispatch failures propagate (they indicate a broken fleet,
+    /// not a sheddable request).
+    pub fn offer(&mut self, request: Request) -> Result<Option<RejectReason>, EcssdError> {
+        let arrival = request.arrival_ns.unwrap_or(self.now_ns).max(self.now_ns);
+        self.advance_to(arrival)?;
+        let ci = class_idx(request.class);
+        self.classes[ci].arrived += 1;
+        let deadline_ns = arrival
+            + request
+                .deadline_us
+                .unwrap_or_else(|| self.slo.deadline_us(request.class))
+                .saturating_mul(1_000);
+
+        // Epoch-aware eligibility: a replica mid-rolling-deploy or behind
+        // after crash recovery never sees new requests.
+        let eligible: Vec<usize> = (0..self.engines.len())
+            .filter(|&r| self.epochs[r] == self.fleet_epoch)
+            .collect();
+        if eligible.is_empty() {
+            self.classes[ci].shed_unavailable += 1;
+            return Ok(Some(RejectReason::Unavailable));
+        }
+
+        // Route: least backlog, with an affinity preference unless it is
+        // materially worse.
+        let backlog = |fleet: &Fleet, r: usize| -> f64 {
+            fleet.free_at_ns[r].saturating_sub(arrival) as f64
+                + fleet.queues[r].len() as f64 * fleet.service_est_ns
+        };
+        let mut target = eligible[0];
+        for &r in &eligible {
+            if backlog(self, r) < backlog(self, target) {
+                target = r;
+            }
+        }
+        if self.affinity_routing {
+            let pref = eligible[(feature_hash(&request.features) % eligible.len() as u64) as usize];
+            let slack = self.service_est_ns * self.policy.max_batch as f64;
+            if backlog(self, pref) <= backlog(self, target) + slack {
+                target = pref;
+            }
+        }
+
+        // Queue limit: queued plus the in-flight work the device still owes.
+        let in_flight = if self.service_est_ns > 0.0 {
+            (self.free_at_ns[target].saturating_sub(arrival) as f64 / self.service_est_ns).ceil()
+                as usize
+        } else {
+            0
+        };
+        if self.queues[target].len() + in_flight > self.policy.queue_limit {
+            self.classes[ci].shed_queue_full += 1;
+            return Ok(Some(RejectReason::QueueFull));
+        }
+
+        // Deadline-aware admission: estimate completion latency and check
+        // it against the class budget.
+        if let AdmissionControl::DeadlineAware { batch_headroom } = self.admission {
+            let est_ns = self.max_wait_ns() as f64
+                + self.free_at_ns[target].saturating_sub(arrival) as f64
+                + self.queues[target].len() as f64 * self.service_est_ns
+                + self.service_est_ns * self.policy.max_batch as f64;
+            let own_budget_ns = deadline_ns.saturating_sub(arrival) as f64;
+            let ls_target_ns = self.slo.latency_sensitive_us.saturating_mul(1_000) as f64;
+            let ceiling_ns = match request.class {
+                QueryClass::LatencySensitive => own_budget_ns,
+                QueryClass::Batch => own_budget_ns.min(batch_headroom * ls_target_ns),
+            };
+            if est_ns > ceiling_ns {
+                self.classes[ci].shed_deadline += 1;
+                return Ok(Some(RejectReason::DeadlineUnmeetable));
+            }
+        }
+
+        self.classes[ci].admitted += 1;
+        self.queues[target].push_back(QueuedRequest {
+            features: request.features,
+            k: request.k,
+            class: request.class,
+            arrival_ns: arrival,
+            deadline_ns,
+        });
+        if self.queues[target].len() >= self.policy.max_batch {
+            self.dispatch(target, arrival)?;
+        }
+        Ok(None)
+    }
+
+    /// Advances the fleet clock to `t`, dispatching every queue whose
+    /// oldest request's wait window expires on the way (in due order, so
+    /// replica interleaving is deterministic).
+    fn advance_to(&mut self, t: u64) -> Result<(), EcssdError> {
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for (r, queue) in self.queues.iter().enumerate() {
+                if let Some(front) = queue.front() {
+                    let due = front.arrival_ns + self.max_wait_ns();
+                    if due <= t && best.is_none_or(|(d, _)| due < d) {
+                        best = Some((due, r));
+                    }
+                }
+            }
+            let Some((due, r)) = best else { break };
+            let at = self.now_ns.max(due);
+            self.dispatch(r, at)?;
+            self.now_ns = at;
+        }
+        self.now_ns = self.now_ns.max(t);
+        Ok(())
+    }
+
+    /// Dispatches up to `max_batch` queued requests on replica `r` at fleet
+    /// time `at_ns`, as one or more pre-formed engine batches (consecutive
+    /// equal-`k` runs share a batch).
+    fn dispatch(&mut self, r: usize, at_ns: u64) -> Result<(), EcssdError> {
+        let mut taken = Vec::with_capacity(self.policy.max_batch);
+        while taken.len() < self.policy.max_batch {
+            match self.queues[r].pop_front() {
+                Some(q) => taken.push(q),
+                None => break,
+            }
+        }
+        if taken.is_empty() {
+            return Ok(());
+        }
+        let mut start = 0usize;
+        while start < taken.len() {
+            let k = taken[start].k;
+            let mut end = start + 1;
+            while end < taken.len() && taken[end].k == k {
+                end += 1;
+            }
+            let group = &mut taken[start..end];
+            let requests: Vec<Request> = group
+                .iter_mut()
+                .map(|q| Request::new(std::mem::take(&mut q.features), k))
+                .collect();
+            let n = requests.len() as u64;
+            let outcome = self.engines[r].submit_formed(requests)?.wait()?;
+            let begin = self.free_at_ns[r].max(at_ns);
+            let done = begin + outcome.sim_ns;
+            self.free_at_ns[r] = done;
+            self.busy_ns[r] += outcome.sim_ns;
+            self.epochs[r] = self.epochs[r].max(outcome.epoch);
+            if outcome.epoch < self.fleet_epoch {
+                self.stale_served += n;
+            }
+            let per_query = outcome.sim_ns as f64 / n as f64;
+            self.service_est_ns = if self.service_est_ns > 0.0 {
+                0.3 * per_query + 0.7 * self.service_est_ns
+            } else {
+                per_query
+            };
+            self.replica_queries[r] += n;
+            self.replica_batches[r] += 1;
+            for q in group.iter() {
+                let ci = class_idx(q.class);
+                let latency = done.saturating_sub(q.arrival_ns);
+                self.classes[ci].completed += 1;
+                self.classes[ci].latencies_ns.push(latency);
+                if done > q.deadline_ns {
+                    self.classes[ci].slo_violations += 1;
+                }
+            }
+            start = end;
+        }
+        Ok(())
+    }
+
+    /// Flushes every replica queue (each batch dispatches at its due time
+    /// or now, whichever is later). Call after the last offer so the
+    /// report covers every admitted request.
+    ///
+    /// # Errors
+    ///
+    /// Engine dispatch failures propagate.
+    pub fn drain(&mut self) -> Result<(), EcssdError> {
+        for r in 0..self.queues.len() {
+            while !self.queues[r].is_empty() {
+                let due = self.queues[r]
+                    .front()
+                    .map(|q| q.arrival_ns + self.max_wait_ns())
+                    .unwrap_or(self.now_ns);
+                let at = self.now_ns.max(due);
+                self.dispatch(r, at)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Begins a rolling deploy of `batch`: replicas are updated one at a
+    /// time by [`Fleet::rolling_update_step`], and a replica being updated
+    /// (or not yet updated once the first commit lands) is excluded from
+    /// routing until it reaches the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// A rolling update is already in progress ([`EcssdError::Serve`]).
+    pub fn rolling_update_begin(&mut self, batch: UpdateBatch) -> Result<(), EcssdError> {
+        if self.pending_update.is_some() {
+            return Err(EcssdError::Serve(
+                "a rolling update is already in progress".into(),
+            ));
+        }
+        self.pending_update = Some((batch, 0));
+        Ok(())
+    }
+
+    /// Updates the next replica: flushes all queues, stages and commits the
+    /// batch on that replica, charges its device the update time, and
+    /// advances the fleet epoch. Returns `Ok(true)` while replicas remain.
+    /// Interleave offers between steps to exercise mid-deploy routing —
+    /// new requests only ever land on already-updated replicas.
+    ///
+    /// # Errors
+    ///
+    /// No rolling update in progress, or a stage/commit failure.
+    pub fn rolling_update_step(&mut self) -> Result<bool, EcssdError> {
+        let Some((batch, next)) = self.pending_update.take() else {
+            return Err(EcssdError::Serve("no rolling update in progress".into()));
+        };
+        // Flush in-queue work first: those requests were admitted at the
+        // old epoch and must not straddle the commit.
+        self.drain()?;
+        let engine = &mut self.engines[next];
+        let before = Classifier::elapsed(engine).as_ns();
+        engine.stage_update(&batch)?;
+        engine.commit_update()?;
+        let delta = Classifier::elapsed(engine).as_ns().saturating_sub(before);
+        self.free_at_ns[next] = self.free_at_ns[next].max(self.now_ns) + delta;
+        self.epochs[next] = engine.epoch();
+        self.fleet_epoch = self.fleet_epoch.max(self.epochs[next]);
+        let next = next + 1;
+        if next < self.engines.len() {
+            self.pending_update = Some((batch, next));
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Rolls `batch` across the whole fleet in one call (no interleaved
+    /// offers).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fleet::rolling_update_begin`] /
+    /// [`Fleet::rolling_update_step`].
+    pub fn rolling_update(&mut self, batch: UpdateBatch) -> Result<(), EcssdError> {
+        self.rolling_update_begin(batch)?;
+        while self.rolling_update_step()? {}
+        Ok(())
+    }
+
+    /// Merged update report from staging on one replica, for callers that
+    /// want the flash-traffic numbers: stages `batch` on replica 0 and
+    /// aborts it (measurement only; serving state is untouched).
+    ///
+    /// # Errors
+    ///
+    /// Stage/abort failures propagate.
+    pub fn probe_update(&mut self, batch: &UpdateBatch) -> Result<UpdateReport, EcssdError> {
+        let report = self.engines[0].stage_update(batch)?;
+        self.engines[0].abort_update()?;
+        Ok(report)
+    }
+
+    /// Power-cuts one replica and recovers it from its journal. The
+    /// replica's queue is flushed first; its device is charged the
+    /// recovery time, and if recovery lands behind the fleet epoch the
+    /// replica stays excluded from routing (visible as `epoch_lag` in the
+    /// report) until a later update catches it up.
+    ///
+    /// # Errors
+    ///
+    /// Unknown replica index, or an engine recovery failure.
+    pub fn crash_replica(
+        &mut self,
+        replica: usize,
+        survived: Option<u64>,
+    ) -> Result<RecoverySummary, EcssdError> {
+        if replica >= self.engines.len() {
+            return Err(EcssdError::Serve(format!(
+                "no replica {replica} in a fleet of {}",
+                self.engines.len()
+            )));
+        }
+        while !self.queues[replica].is_empty() {
+            let due = self.queues[replica]
+                .front()
+                .map(|q| q.arrival_ns + self.max_wait_ns())
+                .unwrap_or(self.now_ns);
+            let at = self.now_ns.max(due);
+            self.dispatch(replica, at)?;
+        }
+        let summary = self.engines[replica].crash_and_recover(survived)?;
+        self.free_at_ns[replica] =
+            self.free_at_ns[replica].max(self.now_ns) + summary.recovery_ns_max;
+        self.epochs[replica] = self.engines[replica].epoch();
+        Ok(summary)
+    }
+
+    /// The fleet-wide metrics snapshot. Deterministic: two fleets driven
+    /// by the same seed serialize to byte-identical JSON.
+    pub fn report(&self) -> FleetReport {
+        let sim_elapsed_ns = self
+            .free_at_ns
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(self.now_ns);
+        let class_report = |acc: &ClassAccum| -> ClassReport {
+            let mut sorted = acc.latencies_ns.clone();
+            sorted.sort_unstable();
+            let good = acc.completed.saturating_sub(acc.slo_violations);
+            ClassReport {
+                arrived: acc.arrived,
+                admitted: acc.admitted,
+                completed: acc.completed,
+                shed_queue_full: acc.shed_queue_full,
+                shed_deadline: acc.shed_deadline,
+                shed_unavailable: acc.shed_unavailable,
+                slo_violations: acc.slo_violations,
+                p50_us: percentile_us(&sorted, 0.50),
+                p95_us: percentile_us(&sorted, 0.95),
+                p99_us: percentile_us(&sorted, 0.99),
+                goodput_qps: if sim_elapsed_ns == 0 {
+                    0.0
+                } else {
+                    good as f64 * 1e9 / sim_elapsed_ns as f64
+                },
+            }
+        };
+        let per_replica = (0..self.engines.len())
+            .map(|r| {
+                let engine_report = self.engines[r].report();
+                ReplicaReport {
+                    queries: self.replica_queries[r],
+                    batches: self.replica_batches[r],
+                    utilization: if sim_elapsed_ns == 0 {
+                        0.0
+                    } else {
+                        self.busy_ns[r] as f64 / sim_elapsed_ns as f64
+                    },
+                    epoch: self.epochs[r],
+                    epoch_lag: self.fleet_epoch.saturating_sub(self.epochs[r]),
+                    cache_hit_rate: engine_report.cache.hit_rate(),
+                }
+            })
+            .collect();
+        FleetReport {
+            replicas: self.engines.len(),
+            fleet_epoch: self.fleet_epoch,
+            sim_elapsed_ns,
+            stale_served: self.stale_served,
+            mixed_version_batches: self
+                .engines
+                .iter()
+                .map(|e| e.report().mixed_version_batches)
+                .sum(),
+            latency_sensitive: class_report(&self.classes[0]),
+            batch: class_report(&self.classes[1]),
+            per_replica,
+        }
+    }
+}
+
+/// Per-QoS-class serving outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// Requests offered.
+    pub arrived: u64,
+    /// Requests admitted past admission control.
+    pub admitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Shed at the replica queue limit.
+    pub shed_queue_full: u64,
+    /// Shed by deadline-aware admission.
+    pub shed_deadline: u64,
+    /// Shed because no replica at the fleet epoch was available.
+    pub shed_unavailable: u64,
+    /// Completions past their deadline.
+    pub slo_violations: u64,
+    /// Median completion latency (arrival to batch completion), µs.
+    pub p50_us: f64,
+    /// 95th-percentile completion latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile completion latency, µs.
+    pub p99_us: f64,
+    /// In-SLO completions per simulated second.
+    pub goodput_qps: f64,
+}
+
+/// Per-replica utilization and version state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaReport {
+    /// Requests this replica served.
+    pub queries: u64,
+    /// Batches this replica executed.
+    pub batches: u64,
+    /// Busy device time over the fleet's simulated span.
+    pub utilization: f64,
+    /// Commit epoch the replica serves.
+    pub epoch: u64,
+    /// How far behind the fleet epoch the replica is (> 0 keeps it out of
+    /// routing).
+    pub epoch_lag: u64,
+    /// Hot candidate-row cache hit rate on the replica's devices.
+    pub cache_hit_rate: f64,
+}
+
+/// The fleet-wide metrics snapshot ([`Fleet::report`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Replica count.
+    pub replicas: usize,
+    /// The newest commit epoch any replica serves.
+    pub fleet_epoch: u64,
+    /// Simulated span of the run, ns.
+    pub sim_elapsed_ns: u64,
+    /// Requests served by a replica behind the fleet epoch (routing must
+    /// keep this 0).
+    pub stale_served: u64,
+    /// Engine batches that mixed weight versions, summed over replicas
+    /// (must stay 0).
+    pub mixed_version_batches: u64,
+    /// Latency-sensitive class outcomes.
+    pub latency_sensitive: ClassReport,
+    /// Batch class outcomes.
+    pub batch: ClassReport,
+    /// Per-replica utilization and version state.
+    pub per_replica: Vec<ReplicaReport>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EcssdConfig {
+        EcssdConfig::tiny_builder().build().unwrap()
+    }
+
+    fn query(d: usize, phase: f32) -> Vec<f32> {
+        (0..d).map(|i| ((i as f32) * 0.13 + phase).sin()).collect()
+    }
+
+    fn offered(fleet: &mut Fleet, n: usize, gap_ns: u64) -> u64 {
+        let mut shed = 0;
+        for i in 0..n {
+            let req = Request::new(query(32, i as f32 * 0.37), 3)
+                .with_arrival_ns(i as u64 * gap_ns)
+                .with_class(if i % 2 == 0 {
+                    QueryClass::LatencySensitive
+                } else {
+                    QueryClass::Batch
+                });
+            if fleet.offer(req).unwrap().is_some() {
+                shed += 1;
+            }
+        }
+        fleet.drain().unwrap();
+        shed
+    }
+
+    #[test]
+    fn fleet_serves_everything_at_low_load() {
+        let mut fleet = Fleet::builder(tiny())
+            .replicas(2)
+            .slo(SloTargets {
+                latency_sensitive_us: 200_000,
+                batch_us: 2_000_000,
+            })
+            .build()
+            .unwrap();
+        fleet.deploy(&DenseMatrix::random(400, 32, 3)).unwrap();
+        // Widely spaced arrivals: everything admitted, nothing violated.
+        let shed = offered(&mut fleet, 24, 50_000_000);
+        assert_eq!(shed, 0);
+        let report = fleet.report();
+        assert_eq!(report.latency_sensitive.arrived, 12);
+        assert_eq!(report.batch.arrived, 12);
+        assert_eq!(
+            report.latency_sensitive.completed + report.batch.completed,
+            24
+        );
+        assert_eq!(report.latency_sensitive.slo_violations, 0);
+        assert_eq!(report.batch.slo_violations, 0);
+        assert_eq!(report.stale_served, 0);
+        assert_eq!(report.mixed_version_batches, 0);
+        assert!(report.latency_sensitive.goodput_qps > 0.0);
+        assert!(report.per_replica.iter().all(|r| r.epoch_lag == 0));
+        // Both replicas took work.
+        assert!(report.per_replica.iter().all(|r| r.queries > 0));
+    }
+
+    #[test]
+    fn admission_sheds_batch_class_first_under_overload() {
+        let slo = SloTargets {
+            latency_sensitive_us: 5_000,
+            batch_us: 10_000_000,
+        };
+        let mut fleet = Fleet::builder(tiny())
+            .replicas(1)
+            .slo(slo)
+            .admission(AdmissionControl::DeadlineAware {
+                batch_headroom: 0.5,
+            })
+            .build()
+            .unwrap();
+        fleet.deploy(&DenseMatrix::random(400, 32, 3)).unwrap();
+        // Back-to-back arrivals at ~0 spacing: far beyond one tiny
+        // replica's capacity at a 5 ms latency-sensitive budget.
+        let _ = offered(&mut fleet, 64, 1_000);
+        let report = fleet.report();
+        let ls = &report.latency_sensitive;
+        let batch = &report.batch;
+        assert!(
+            batch.shed_deadline > 0,
+            "overload must shed batch traffic: {batch:?}"
+        );
+        let ls_shed_frac = ls.shed_deadline as f64 / ls.arrived as f64;
+        let batch_shed_frac = batch.shed_deadline as f64 / batch.arrived as f64;
+        assert!(
+            batch_shed_frac >= ls_shed_frac,
+            "batch class must shed at least as hard: ls {ls_shed_frac} batch {batch_shed_frac}"
+        );
+    }
+
+    #[test]
+    fn no_admission_baseline_lets_latency_diverge() {
+        let slo = SloTargets {
+            latency_sensitive_us: 5_000,
+            batch_us: 10_000_000,
+        };
+        let build = |admission| {
+            let mut fleet = Fleet::builder(tiny())
+                .replicas(1)
+                .slo(slo)
+                .admission(admission)
+                .policy(FleetPolicy {
+                    queue_limit: 10_000,
+                    ..FleetPolicy::default()
+                })
+                .build()
+                .unwrap();
+            fleet.deploy(&DenseMatrix::random(400, 32, 3)).unwrap();
+            let _ = offered(&mut fleet, 96, 1_000);
+            fleet.report()
+        };
+        let managed = build(AdmissionControl::DeadlineAware {
+            batch_headroom: 0.5,
+        });
+        let baseline = build(AdmissionControl::None);
+        // The baseline admits (nearly) everything and its tail explodes;
+        // admission keeps the served tail bounded.
+        assert!(baseline.latency_sensitive.p99_us > managed.latency_sensitive.p99_us);
+        assert!(baseline.latency_sensitive.slo_violations > 0);
+    }
+
+    #[test]
+    fn rolling_update_keeps_stale_replicas_out_of_routing() {
+        let mut fleet = Fleet::builder(tiny()).replicas(3).build().unwrap();
+        fleet.deploy(&DenseMatrix::random(400, 32, 3)).unwrap();
+        let _ = offered(&mut fleet, 12, 10_000_000);
+        let epoch_before = fleet.epoch();
+        let update = UpdateBatch::new(32).replace(0, query(32, 9.9)).unwrap();
+        fleet.rolling_update_begin(update).unwrap();
+        let mut i = 0u64;
+        loop {
+            let more = fleet.rolling_update_step().unwrap();
+            // Interleave offers mid-deploy: they must route to updated
+            // replicas only.
+            for j in 0..6 {
+                let req = Request::new(query(32, (i * 6 + j) as f32), 3)
+                    .with_arrival_ns(fleet.now_ns() + j * 1_000_000);
+                let _ = fleet.offer(req).unwrap();
+            }
+            fleet.drain().unwrap();
+            i += 1;
+            if !more {
+                break;
+            }
+        }
+        let report = fleet.report();
+        assert!(report.fleet_epoch > epoch_before);
+        assert_eq!(report.stale_served, 0, "stale replica served mid-deploy");
+        assert_eq!(report.mixed_version_batches, 0);
+        assert!(report.per_replica.iter().all(|r| r.epoch_lag == 0));
+    }
+
+    #[test]
+    fn crashed_replica_recovers_and_rejoins() {
+        let mut fleet = Fleet::builder(tiny())
+            .replicas(2)
+            .journal(JournalConfig::default())
+            .build()
+            .unwrap();
+        fleet.deploy(&DenseMatrix::random(400, 32, 3)).unwrap();
+        let _ = offered(&mut fleet, 8, 10_000_000);
+        let summary = fleet.crash_replica(1, None).unwrap();
+        assert!(summary.shards_consistent);
+        // Journaled recovery restores the deploy epoch: the replica
+        // rejoins routing immediately.
+        let _ = offered(&mut fleet, 16, 10_000_000);
+        let report = fleet.report();
+        assert_eq!(report.stale_served, 0);
+        assert_eq!(report.per_replica[1].epoch_lag, 0);
+        assert!(report.per_replica[1].queries > 0);
+    }
+
+    #[test]
+    fn fleet_report_serializes() {
+        let mut fleet = Fleet::builder(tiny()).build().unwrap();
+        fleet.deploy(&DenseMatrix::random(300, 32, 5)).unwrap();
+        let _ = offered(&mut fleet, 4, 1_000_000);
+        let json = serde_json::to_string(&fleet.report()).unwrap();
+        assert!(json.contains("latency_sensitive"));
+        let back: FleetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fleet.report());
+    }
+
+    #[test]
+    fn invalid_fleet_construction_is_rejected() {
+        assert!(Fleet::builder(tiny()).replicas(0).build().is_err());
+        assert!(Fleet::builder(tiny())
+            .policy(FleetPolicy {
+                max_batch: 0,
+                ..FleetPolicy::default()
+            })
+            .build()
+            .is_err());
+    }
+}

@@ -8,7 +8,7 @@
 
 use ecssd_core::prelude::*;
 use ecssd_core::UpdateBatch;
-use ecssd_serve::{ServeEngine, ServePolicy};
+use ecssd_serve::ServeEngine;
 use ecssd_ssd::JournalConfig;
 
 const ROWS: usize = 300;
@@ -17,7 +17,7 @@ const SHARDS: usize = 2;
 
 fn engine() -> ServeEngine {
     let config = EcssdConfig::tiny_builder().build().unwrap();
-    ServeEngine::new(config, SHARDS, ServePolicy::default()).unwrap()
+    ServeEngine::builder(config).shards(SHARDS).build().unwrap()
 }
 
 fn query(phase: f32) -> Vec<f32> {

@@ -8,7 +8,7 @@
 
 use ecssd_core::prelude::*;
 use ecssd_core::UpdateBatch;
-use ecssd_serve::{Pending, ServeEngine, ServePolicy};
+use ecssd_serve::{Pending, ServeEngine};
 
 const ROWS: usize = 600;
 const COLS: usize = 32;
@@ -19,7 +19,7 @@ fn tiny() -> EcssdConfig {
 }
 
 fn engine() -> ServeEngine {
-    ServeEngine::new(tiny(), SHARDS, ServePolicy::default()).unwrap()
+    ServeEngine::builder(tiny()).shards(SHARDS).build().unwrap()
 }
 
 fn query(phase: f32) -> Vec<f32> {
@@ -91,11 +91,11 @@ fn online_updates_match_quiesced_deploy_bit_identically_under_load() {
     // serializes the swap between batches, so the in-flight queries see
     // version N and the later ones version N+1 — none a mix.
     let in_flight: Vec<Pending> = (0..6)
-        .map(|i| online.submit(query(i as f32 * 0.37), 5).unwrap())
+        .map(|i| online.submit((query(i as f32 * 0.37), 5)).unwrap())
         .collect();
     online.commit_update().unwrap();
     let after_swap: Vec<Pending> = (0..6)
-        .map(|i| online.submit(query(i as f32 * 0.37), 5).unwrap())
+        .map(|i| online.submit((query(i as f32 * 0.37), 5)).unwrap())
         .collect();
     for p in in_flight {
         p.wait().unwrap();
@@ -119,7 +119,7 @@ fn online_updates_match_quiesced_deploy_bit_identically_under_load() {
     let quiesced_answers: Vec<Vec<Score>> = (0..6)
         .map(|i| {
             quiesced
-                .submit(query(i as f32 * 0.37), 5)
+                .submit((query(i as f32 * 0.37), 5))
                 .unwrap()
                 .wait()
                 .unwrap()

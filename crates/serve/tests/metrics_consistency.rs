@@ -6,7 +6,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use ecssd_core::prelude::*;
-use ecssd_serve::{ServeEngine, ServePolicy};
+use ecssd_serve::ServeEngine;
 use proptest::prelude::*;
 
 fn query(d: usize, phase: f32) -> Vec<f32> {
@@ -25,7 +25,7 @@ proptest! {
         k in 1usize..5,
     ) {
         let config = EcssdConfig::tiny_builder().build().unwrap();
-        let mut engine = ServeEngine::new(config, shards, ServePolicy::default()).unwrap();
+        let mut engine = ServeEngine::builder(config).shards(shards).build().unwrap();
         engine.deploy(&DenseMatrix::random(120, 16, seed)).unwrap();
         let mut submitted = 0u64;
         for (bi, &n) in batch_sizes.iter().enumerate() {

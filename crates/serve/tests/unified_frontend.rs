@@ -7,7 +7,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use ecssd_core::prelude::*;
-use ecssd_serve::{ServeEngine, ServePolicy};
+use ecssd_serve::ServeEngine;
 
 const D: usize = 32;
 const L: usize = 600;
@@ -78,7 +78,7 @@ fn misuse_contract_holds_for_cluster() {
 
 #[test]
 fn misuse_contract_holds_for_serve_engine() {
-    let engine = ServeEngine::new(tiny(), 3, ServePolicy::default()).unwrap();
+    let engine = ServeEngine::builder(tiny()).shards(3).build().unwrap();
     assert_misuse_contract(engine, |e| e.disable());
 }
 
@@ -104,7 +104,7 @@ fn happy_path_updates_stats_identically() {
     let mut cluster = EcssdCluster::new(tiny(), 2);
     let s2 = run(&mut cluster);
     assert_eq!(s2.devices, 2);
-    let mut engine = ServeEngine::new(tiny(), 2, ServePolicy::default()).unwrap();
+    let mut engine = ServeEngine::builder(tiny()).shards(2).build().unwrap();
     let s3 = run(&mut engine);
     assert_eq!(s3.devices, 2);
 }
@@ -135,7 +135,7 @@ fn shard_merge_is_bit_identical_to_single_device() {
         let merged = cluster.classify_batch(&inputs, k).unwrap();
         assert_eq!(merged, reference, "cluster/{shards} diverged");
 
-        let mut engine = ServeEngine::new(tiny(), shards, ServePolicy::default()).unwrap();
+        let mut engine = ServeEngine::builder(tiny()).shards(shards).build().unwrap();
         engine.deploy(&w).unwrap();
         engine
             .filter_threshold(ThresholdPolicy::TopRatio(1.0))
@@ -154,7 +154,7 @@ fn four_shards_sustain_at_least_twice_the_throughput_of_one() {
     let w = DenseMatrix::random(1200, D, 9);
     let inputs: Vec<Vec<f32>> = (0..24).map(|i| query(i as f32 * 0.2)).collect();
     let rate = |shards: usize| {
-        let mut engine = ServeEngine::new(tiny(), shards, ServePolicy::default()).unwrap();
+        let mut engine = ServeEngine::builder(tiny()).shards(shards).build().unwrap();
         engine.deploy(&w).unwrap();
         engine.classify_batch(&inputs, 5).unwrap();
         let report = engine.report();
@@ -169,13 +169,93 @@ fn four_shards_sustain_at_least_twice_the_throughput_of_one() {
     );
 }
 
+/// The typed-request frontend ([`Classifier::classify_requests`]) must
+/// agree exactly with the positional `classify_batch` on every frontend,
+/// including when requests with different `k` force a split.
+#[test]
+fn classify_requests_matches_classify_batch_on_every_frontend() {
+    let w = weights(55);
+    let inputs: Vec<Vec<f32>> = (0..6).map(|i| query(i as f32 * 0.3)).collect();
+    let run = |frontend: &mut dyn Classifier| {
+        frontend.deploy(&w).unwrap();
+        let reference = frontend.classify_batch(&inputs, 4).unwrap();
+        let requests: Vec<Request> = inputs
+            .iter()
+            .map(|x| {
+                Request::new(x.clone(), 4)
+                    .with_class(QueryClass::Batch)
+                    .with_deadline_us(1_000_000)
+            })
+            .collect();
+        let typed = frontend.classify_requests(&requests).unwrap();
+        assert_eq!(typed, reference);
+        // Mixed k: run boundaries split, answers keep submission order.
+        let mixed: Vec<Request> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| Request::new(x.clone(), if i < 3 { 2 } else { 5 }))
+            .collect();
+        let out = frontend.classify_requests(&mixed).unwrap();
+        assert!(out[..3].iter().all(|top| top.len() == 2));
+        assert!(out[3..].iter().all(|top| top.len() == 5));
+        // Empty request list follows the NoInputs contract.
+        assert!(matches!(
+            frontend.classify_requests(&[]),
+            Err(EcssdError::NoInputs)
+        ));
+    };
+    let mut device = Ecssd::new(tiny());
+    device.enable();
+    run(&mut device);
+    let mut cluster = EcssdCluster::new(tiny(), 2);
+    run(&mut cluster);
+    let mut engine = ServeEngine::builder(tiny()).shards(2).build().unwrap();
+    run(&mut engine);
+}
+
+/// Admission and deadline rejections surface as the typed
+/// [`EcssdError::Rejected`], not a stringly `Serve` error.
+#[test]
+fn rejections_are_typed_not_stringly() {
+    let mut shed = ServeEngine::builder(tiny()).queue_limit(0).build().unwrap();
+    shed.deploy(&weights(7)).unwrap();
+    let err = shed.submit((query(0.1), 3)).unwrap().wait().unwrap_err();
+    match err {
+        EcssdError::Rejected { class, reason } => {
+            assert_eq!(class, QueryClass::LatencySensitive);
+            assert_eq!(reason, RejectReason::QueueFull);
+            // The Display form names both class and reason.
+            let msg = format!("{}", EcssdError::Rejected { class, reason });
+            assert!(
+                msg.contains("latency-sensitive") && msg.contains("queue"),
+                "{msg}"
+            );
+        }
+        other => panic!("expected typed rejection, got {other:?}"),
+    }
+
+    let mut late = ServeEngine::builder(tiny()).build().unwrap();
+    late.deploy(&weights(7)).unwrap();
+    let doomed = Request::new(query(0.2), 3)
+        .with_class(QueryClass::Batch)
+        .with_deadline_us(0);
+    let err = late.submit(doomed).unwrap().wait().unwrap_err();
+    assert!(matches!(
+        err,
+        EcssdError::Rejected {
+            class: QueryClass::Batch,
+            reason: RejectReason::DeadlineExceeded,
+        }
+    ));
+}
+
 #[test]
 fn hot_cache_hits_show_up_in_serving_stats() {
     let config = EcssdConfig::tiny_builder()
         .hot_cache_bytes(1 << 20)
         .build()
         .unwrap();
-    let mut engine = ServeEngine::new(config, 2, ServePolicy::default()).unwrap();
+    let mut engine = ServeEngine::builder(config).shards(2).build().unwrap();
     engine.deploy(&weights(33)).unwrap();
     // The same queries across consecutive batches re-touch the same
     // candidate rows: the second round must hit the cache.

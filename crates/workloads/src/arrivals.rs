@@ -1,0 +1,291 @@
+//! Open-loop arrival processes for fleet-scale serving studies.
+//!
+//! Closed-loop drivers (submit, wait, submit) measure a system that is
+//! never overloaded by construction: the client slows down with the
+//! server. Production inference traffic is *open-loop* — queries arrive on
+//! their own clock whether or not the fleet keeps up — so tail latency and
+//! shedding behaviour only show up under an arrival process. This module
+//! provides the deterministic generators the fleet layer consumes:
+//!
+//! * [`RateCurve`] — constant or diurnal (sinusoidal) offered load;
+//! * [`OpenLoopArrivals`] — a non-homogeneous Poisson process over a rate
+//!   curve, via thinning against the peak rate;
+//! * [`ZipfPopularity`] — which query is asked, Zipf-distributed over a
+//!   catalog of distinct queries so a hot set dominates (the same skew the
+//!   candidate hotness model plants on the weight side).
+//!
+//! Everything is driven by a tiny splitmix64 stream: the same seed yields
+//! the identical arrival sequence, which is what makes fleet reports
+//! byte-identical across runs.
+//!
+//! ```
+//! use ecssd_workloads::{OpenLoopArrivals, RateCurve, ZipfPopularity};
+//!
+//! let arrivals: Vec<_> = OpenLoopArrivals::new(
+//!     7,
+//!     RateCurve::Constant { qps: 10_000.0 },
+//!     ZipfPopularity::new(64, 1.1),
+//! )
+//! .take(100)
+//! .collect();
+//! assert_eq!(arrivals.len(), 100);
+//! assert!(arrivals.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+//! ```
+
+/// splitmix64: the minimal deterministic stream behind every draw here.
+#[derive(Debug, Clone)]
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Offered load as a function of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RateCurve {
+    /// Constant rate.
+    Constant {
+        /// Queries per second.
+        qps: f64,
+    },
+    /// Diurnal load: `base_qps * (1 + amplitude * sin(2π t / period_s))`,
+    /// the day/night swing every serving fleet is provisioned around.
+    Diurnal {
+        /// Mean rate, queries per second.
+        base_qps: f64,
+        /// Relative swing in [0, 1]: 0.5 means ±50 % around the base.
+        amplitude: f64,
+        /// Period of one full cycle, seconds.
+        period_s: f64,
+    },
+}
+
+impl RateCurve {
+    /// Instantaneous rate at simulated time `t_ns`, queries per second.
+    pub fn qps_at(&self, t_ns: u64) -> f64 {
+        match *self {
+            RateCurve::Constant { qps } => qps,
+            RateCurve::Diurnal {
+                base_qps,
+                amplitude,
+                period_s,
+            } => {
+                let t_s = t_ns as f64 / 1e9;
+                base_qps * (1.0 + amplitude * (2.0 * std::f64::consts::PI * t_s / period_s).sin())
+            }
+        }
+    }
+
+    /// The maximum rate the curve ever reaches (the thinning envelope).
+    pub fn peak_qps(&self) -> f64 {
+        match *self {
+            RateCurve::Constant { qps } => qps,
+            RateCurve::Diurnal {
+                base_qps,
+                amplitude,
+                ..
+            } => base_qps * (1.0 + amplitude.abs()),
+        }
+    }
+}
+
+/// Zipf-distributed query popularity over `distinct` query ids: id 0 is the
+/// hottest, with weight proportional to `1 / (id + 1)^exponent`. Sampling
+/// is an exact inverse-CDF lookup over precomputed cumulative weights, so
+/// the draw for a given uniform variate never depends on floating-point
+/// accumulation order.
+#[derive(Debug, Clone)]
+pub struct ZipfPopularity {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfPopularity {
+    /// Builds the popularity table for `distinct` query ids (at least 1 is
+    /// enforced) with the given Zipf exponent.
+    pub fn new(distinct: usize, exponent: f64) -> Self {
+        let n = distinct.max(1);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for id in 0..n {
+            total += 1.0 / ((id + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        ZipfPopularity { cumulative }
+    }
+
+    /// Number of distinct query ids.
+    pub fn distinct(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Maps a uniform variate in [0, 1) to a query id.
+    pub fn sample(&self, u: f64) -> u64 {
+        self.cumulative.partition_point(|&c| c <= u) as u64
+    }
+}
+
+/// One open-loop arrival: when, which query, and a uniform class draw the
+/// serving layer maps to a QoS class (this crate sits below the request
+/// types, so the mapping happens upstream).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Arrival time, simulated ns from the start of the run.
+    pub at_ns: u64,
+    /// Popularity-ranked query id (0 = hottest).
+    pub query_id: u64,
+    /// Uniform [0, 1) draw for QoS-class assignment.
+    pub class_draw: f64,
+}
+
+/// A non-homogeneous Poisson arrival process over a [`RateCurve`] with
+/// [`ZipfPopularity`] query ids: an infinite, deterministic iterator of
+/// [`Arrival`]s. Thinning (Lewis–Shedler) against the peak rate keeps the
+/// process exact for the diurnal curve.
+#[derive(Debug, Clone)]
+pub struct OpenLoopArrivals {
+    rng: SplitMix,
+    curve: RateCurve,
+    popularity: ZipfPopularity,
+    t_ns: f64,
+}
+
+impl OpenLoopArrivals {
+    /// A new process; the same `(seed, curve, popularity)` triple replays
+    /// the identical sequence.
+    pub fn new(seed: u64, curve: RateCurve, popularity: ZipfPopularity) -> Self {
+        OpenLoopArrivals {
+            rng: SplitMix(seed ^ 0xa2f1_37b6_c6d9_4e03),
+            curve,
+            popularity,
+            t_ns: 0.0,
+        }
+    }
+}
+
+impl Iterator for OpenLoopArrivals {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        let peak = self.curve.peak_qps();
+        if peak <= 0.0 || !peak.is_finite() {
+            return None;
+        }
+        loop {
+            // Candidate inter-arrival from the homogeneous envelope.
+            let u = self.rng.next_f64().max(f64::MIN_POSITIVE);
+            self.t_ns += -u.ln() / peak * 1e9;
+            let t = self.t_ns as u64;
+            // Thin: accept with probability rate(t) / peak.
+            if self.rng.next_f64() * peak < self.curve.qps_at(t) {
+                let query_id = self.popularity.sample(self.rng.next_f64());
+                let class_draw = self.rng.next_f64();
+                return Some(Arrival {
+                    at_ns: t,
+                    query_id,
+                    class_draw,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn take(seed: u64, n: usize) -> Vec<Arrival> {
+        OpenLoopArrivals::new(
+            seed,
+            RateCurve::Diurnal {
+                base_qps: 50_000.0,
+                amplitude: 0.5,
+                period_s: 0.01,
+            },
+            ZipfPopularity::new(128, 1.05),
+        )
+        .take(n)
+        .collect()
+    }
+
+    #[test]
+    fn same_seed_replays_identical_sequence() {
+        assert_eq!(take(42, 500), take(42, 500));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        assert_ne!(take(42, 50), take(43, 50));
+    }
+
+    #[test]
+    fn arrivals_are_monotone_in_time() {
+        let a = take(7, 500);
+        assert!(a.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+    }
+
+    #[test]
+    fn constant_rate_is_calibrated() {
+        let n = 20_000usize;
+        let arrivals: Vec<_> = OpenLoopArrivals::new(
+            11,
+            RateCurve::Constant { qps: 100_000.0 },
+            ZipfPopularity::new(8, 1.0),
+        )
+        .take(n)
+        .collect();
+        let span_s = arrivals[n - 1].at_ns as f64 / 1e9;
+        let observed_qps = n as f64 / span_s;
+        assert!(
+            (observed_qps - 100_000.0).abs() / 100_000.0 < 0.05,
+            "observed {observed_qps} qps"
+        );
+    }
+
+    #[test]
+    fn zipf_head_dominates_and_ids_are_in_range() {
+        let arrivals = take(3, 5_000);
+        let distinct = 128u64;
+        assert!(arrivals.iter().all(|a| a.query_id < distinct));
+        let head = arrivals.iter().filter(|a| a.query_id < 8).count();
+        assert!(
+            head * 2 > arrivals.len(),
+            "head-8 of 128 ids should dominate, got {head}/{}",
+            arrivals.len()
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_swings_around_base() {
+        let curve = RateCurve::Diurnal {
+            base_qps: 1000.0,
+            amplitude: 0.5,
+            period_s: 1.0,
+        };
+        let quarter = 250_000_000u64; // t = period/4: sin = 1
+        assert!((curve.qps_at(quarter) - 1500.0).abs() < 1.0);
+        assert!((curve.qps_at(3 * quarter) - 500.0).abs() < 1.0);
+        assert!((curve.peak_qps() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_draw_is_roughly_uniform() {
+        let arrivals = take(9, 4_000);
+        let ls = arrivals.iter().filter(|a| a.class_draw < 0.5).count();
+        let frac = ls as f64 / arrivals.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "class split {frac}");
+    }
+}

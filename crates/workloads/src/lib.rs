@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrivals;
 mod benchmark;
 mod computed;
 mod hotness;
@@ -37,6 +38,7 @@ mod recorded;
 mod stats;
 mod trace;
 
+pub use arrivals::{Arrival, OpenLoopArrivals, RateCurve, ZipfPopularity};
 pub use benchmark::Benchmark;
 pub use computed::ComputedWorkload;
 pub use hotness::{HotnessModel, PredictorModel};

@@ -9,7 +9,7 @@
 use ecssd::arch::prelude::*;
 use ecssd::arch::ClassifierLayer;
 use ecssd::screen::{full_classify, topk_recall, ClassifyPrecision};
-use ecssd::serve::{ServeEngine, ServePolicy};
+use ecssd::serve::ServeEngine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A layer too large for one tiny device's flash: 3 shards.
@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The same shards behind the serving engine: worker threads own the
     // devices, the dispatcher forms batches, and the merged predictions are
     // bit-identical to the host-managed cluster above.
-    let mut engine = ServeEngine::new(config.clone(), 3, ServePolicy::default())?;
+    let mut engine = ServeEngine::builder(config.clone()).shards(3).build()?;
     engine.deploy(&weights)?;
     engine.filter_threshold(ThresholdPolicy::TopRatio(0.1))?;
     let served = engine.classify_batch(&inputs, 5)?;
