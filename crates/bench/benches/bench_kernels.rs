@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks of the hot DES kernels tracked by the
+//! `BENCH_*.json` perf trajectory (see `docs/perf.md`):
+//!
+//! - the INT4 screening GEMV (`Int4Matrix::matvec` / `Int4Vector::dot`),
+//! - the FP32 dense matvec feeding the JL projector,
+//! - flash timeline advancement (`FlashSim::read_batch_checked`) at both
+//!   the small per-tile batch size the pipeline actually issues and a
+//!   large saturating batch.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecssd_screen::{DenseMatrix, Int4Matrix, Int4Vector};
+use ecssd_ssd::{FlashSim, FlashTiming, PhysPageAddr, SimTime, SsdGeometry};
+
+fn bench_int4_gemv(c: &mut Criterion) {
+    let weights = DenseMatrix::random(4096, 128, 7);
+    let m = Int4Matrix::quantize(&weights);
+    let x: Vec<f32> = (0..128).map(|i| ((i as f32) * 0.37).sin()).collect();
+    let xq = Int4Vector::quantize(&x).unwrap();
+    let mut g = c.benchmark_group("int4_gemv");
+    g.bench_function("matvec_l4096_d128", |b| {
+        b.iter(|| m.matvec(black_box(&xq)).unwrap())
+    });
+    let long: Vec<f32> = (0..4096).map(|i| ((i as f32) * 0.11).cos()).collect();
+    let a = Int4Vector::quantize(&long).unwrap();
+    let bb = Int4Vector::quantize(&long[..]).unwrap();
+    g.bench_function("dot_d4096", |b| b.iter(|| a.dot(black_box(&bb)).unwrap()));
+    g.finish();
+}
+
+fn bench_fp32_matvec(c: &mut Criterion) {
+    let m = DenseMatrix::random(4096, 128, 11);
+    let x: Vec<f32> = (0..128).map(|i| ((i as f32) * 0.29).sin()).collect();
+    c.bench_function("fp32_matvec_l4096_d128", |b| {
+        b.iter(|| m.matvec(black_box(&x)).unwrap())
+    });
+}
+
+fn page_addrs(n: u64) -> Vec<PhysPageAddr> {
+    (0..n)
+        .map(|i| PhysPageAddr {
+            channel: (i % 8) as usize,
+            die: ((i / 8) % 8) as usize,
+            plane: (i % 4) as usize,
+            block: (i % 64) as usize,
+            page: (i % 2048) as usize,
+        })
+        .collect()
+}
+
+fn bench_flash_timeline(c: &mut Criterion) {
+    let geometry = SsdGeometry::paper_default();
+    let mut g = c.benchmark_group("flash_timeline");
+    // The pipeline's per-tile fetch issues small batches (a few pages per
+    // candidate row); the per-call constant factors dominate here.
+    let small = page_addrs(32);
+    g.bench_function("read_batch_checked_32", |b| {
+        let mut flash = FlashSim::new(geometry, FlashTiming::paper_default());
+        b.iter(|| flash.read_batch_checked(black_box(&small), SimTime::ZERO, SimTime::ZERO))
+    });
+    let large = page_addrs(512);
+    g.bench_function("read_batch_checked_512", |b| {
+        let mut flash = FlashSim::new(geometry, FlashTiming::paper_default());
+        b.iter(|| flash.read_batch_checked(black_box(&large), SimTime::ZERO, SimTime::ZERO))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_int4_gemv, bench_fp32_matvec, bench_flash_timeline
+}
+criterion_main!(benches);

@@ -287,10 +287,27 @@ impl Ecssd {
     /// Fails when not in accelerator mode, when the INT4 matrix does not
     /// fit DRAM, or when the flash is out of space.
     pub fn weight_deploy(&mut self, weights: &DenseMatrix) -> Result<(), EcssdError> {
+        self.weight_deploy_seeded(weights, 0x5eed)
+    }
+
+    /// [`Self::weight_deploy`] with an explicit seed for the JL projection
+    /// that builds the INT4 screener. Deployment is otherwise identical;
+    /// the seed only rotates the random projection, which lets tests and
+    /// studies average screening recall over several projections instead
+    /// of gating on one arbitrary draw.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::weight_deploy`].
+    pub fn weight_deploy_seeded(
+        &mut self,
+        weights: &DenseMatrix,
+        projection_seed: u64,
+    ) -> Result<(), EcssdError> {
         self.require_accelerator()?;
         // Host ships the whole FP32 matrix + INT4 matrix over PCIe.
         let projector =
-            Projector::paper_scale(weights.cols(), 0x5eed).map_err(EcssdError::Screen)?;
+            Projector::paper_scale(weights.cols(), projection_seed).map_err(EcssdError::Screen)?;
         let screener = Screener::from_weights(weights, projector)?;
         let int4_bytes = screener.weights4().storage_bytes() as u64;
         self.device.dram_mut().reserve(int4_bytes)?;

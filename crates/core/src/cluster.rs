@@ -10,6 +10,7 @@
 use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
 use ecssd_ssd::SimTime;
 
+use crate::parallel::run_shards;
 use crate::{sort_scores, Classifier, ClassifierStats, Ecssd, EcssdConfig, EcssdError, EcssdMode};
 
 /// A host-managed group of ECSSDs, each holding one contiguous shard of
@@ -20,6 +21,10 @@ pub struct EcssdCluster {
     /// First global row of each shard (plus a trailing end marker).
     shard_starts: Vec<usize>,
     enabled: bool,
+    /// Simulate the shard devices on parallel host threads
+    /// ([`EcssdConfig::parallel_shards`]); the index-ordered merge keeps
+    /// results byte-identical to the sequential path.
+    parallel: bool,
     queries: u64,
     batches: u64,
 }
@@ -45,6 +50,7 @@ impl EcssdCluster {
     /// Panics if `devices == 0`.
     pub fn new(config: EcssdConfig, devices: usize) -> Self {
         assert!(devices > 0, "a cluster needs at least one device");
+        let parallel = config.parallel_shards;
         EcssdCluster {
             devices: (0..devices)
                 .map(|_| {
@@ -55,6 +61,7 @@ impl EcssdCluster {
                 .collect(),
             shard_starts: Vec::new(),
             enabled: true,
+            parallel,
             queries: 0,
             batches: 0,
         }
@@ -171,11 +178,18 @@ impl EcssdCluster {
         if k > categories {
             return Err(EcssdError::KExceedsCategories { k, categories });
         }
+        // Shard devices are independent, so with `parallel_shards` they
+        // classify on parallel host threads; the merge below walks the
+        // results in shard-index order either way, keeping the output
+        // byte-identical to the sequential loop.
+        let starts = &self.shard_starts;
+        let per_shard_results = run_shards(&mut self.devices, self.parallel, |i, device| {
+            let shard_rows = starts[i + 1] - starts[i];
+            device.classify_batch(inputs, k.min(shard_rows))
+        })?;
         let mut merged: Vec<Vec<Score>> = vec![Vec::new(); inputs.len()];
-        for (i, device) in self.devices.iter_mut().enumerate() {
+        for (i, per_shard) in per_shard_results.into_iter().enumerate() {
             let offset = self.shard_starts[i];
-            let shard_rows = self.shard_starts[i + 1] - offset;
-            let per_shard = device.classify_batch(inputs, k.min(shard_rows))?;
             for (query, top) in merged.iter_mut().zip(per_shard) {
                 query.extend(top.into_iter().map(|s| Score {
                     category: s.category + offset,

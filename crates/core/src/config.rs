@@ -154,6 +154,17 @@ pub struct EcssdConfig {
     pub ssd: SsdConfig,
     /// Inserted accelerator (Table 2, lower half).
     pub accelerator: AcceleratorConfig,
+    /// Simulate independent shard devices on parallel host threads.
+    ///
+    /// Shard devices never share simulated resources between commit
+    /// boundaries, so the per-shard runs are embarrassingly parallel;
+    /// results are merged back in shard-index order, which keeps every
+    /// report byte-identical to the sequential path (asserted by the
+    /// determinism tests). Off by default: the sequential path stays the
+    /// reference, and small configurations lose more to thread spawning
+    /// than they gain.
+    #[serde(default)]
+    pub parallel_shards: bool,
 }
 
 impl EcssdConfig {
@@ -162,6 +173,7 @@ impl EcssdConfig {
         EcssdConfig {
             ssd: SsdConfig::paper_default(),
             accelerator: AcceleratorConfig::paper_default(),
+            parallel_shards: false,
         }
     }
 
@@ -171,6 +183,7 @@ impl EcssdConfig {
         EcssdConfig {
             ssd: SsdConfig::tiny(),
             accelerator: AcceleratorConfig::paper_default(),
+            parallel_shards: false,
         }
     }
 
@@ -354,6 +367,14 @@ impl EcssdConfigBuilder {
     /// Sets the inference batch processed per weight pass.
     pub fn batch(mut self, batch: usize) -> Self {
         self.config.accelerator.batch = batch;
+        self
+    }
+
+    /// Simulates independent shard devices on parallel host threads (see
+    /// [`EcssdConfig::parallel_shards`]). Reports stay byte-identical to
+    /// the sequential path; off by default.
+    pub fn parallel_shards(mut self, enabled: bool) -> Self {
+        self.config.parallel_shards = enabled;
         self
     }
 

@@ -49,6 +49,7 @@ mod config;
 mod energy;
 mod host;
 mod integration;
+mod parallel;
 mod pipeline;
 mod recovery;
 mod request;

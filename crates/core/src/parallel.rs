@@ -1,0 +1,100 @@
+//! Deterministic parallel execution of independent shard simulations.
+//!
+//! Shard devices never share simulated resources between commit
+//! boundaries, so their windows can run on parallel host threads without
+//! changing a single simulated timestamp. Determinism comes from the merge
+//! discipline, not from scheduling: results are collected in shard-index
+//! order, so downstream merges see exactly the sequence the sequential
+//! loop produced, byte for byte (asserted end-to-end by the
+//! `parallel_determinism` tests).
+
+/// Runs `f(i, &mut workers[i])` for every worker and returns the results
+/// in worker-index order.
+///
+/// With `parallel` false (or fewer than two workers) this is the plain
+/// sequential loop, short-circuiting on the first error exactly like the
+/// code it replaced. With `parallel` true, every worker runs on its own
+/// scoped thread; all workers complete, and the lowest-indexed error (if
+/// any) is reported. The success path is byte-identical either way — only
+/// the error path differs, in that later shards will have executed their
+/// (independent) work before the error surfaces.
+///
+/// A worker panic propagates to the caller after the remaining threads
+/// finish (scoped threads join on scope exit).
+pub(crate) fn run_shards<W, T, E, F>(workers: &mut [W], parallel: bool, f: F) -> Result<Vec<T>, E>
+where
+    W: Send,
+    T: Send,
+    E: Send,
+    F: Fn(usize, &mut W) -> Result<T, E> + Sync,
+{
+    if !parallel || workers.len() < 2 {
+        return workers
+            .iter_mut()
+            .enumerate()
+            .map(|(i, w)| f(i, w))
+            .collect();
+    }
+    let f = &f;
+    let results: Vec<Result<T, E>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .iter_mut()
+            .enumerate()
+            .map(|(i, w)| scope.spawn(move || f(i, w)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_agree_in_index_order() {
+        let mut a: Vec<u64> = (0..8).collect();
+        let mut b = a.clone();
+        let seq: Vec<u64> =
+            run_shards(&mut a, false, |i, w| Ok::<_, ()>(*w * 10 + i as u64)).unwrap();
+        let par: Vec<u64> =
+            run_shards(&mut b, true, |i, w| Ok::<_, ()>(*w * 10 + i as u64)).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq, vec![0, 11, 22, 33, 44, 55, 66, 77]);
+    }
+
+    #[test]
+    fn workers_are_mutated_in_place() {
+        let mut workers = vec![1u64, 2, 3];
+        run_shards(&mut workers, true, |_, w| {
+            *w *= 2;
+            Ok::<_, ()>(())
+        })
+        .unwrap();
+        assert_eq!(workers, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn parallel_reports_the_lowest_indexed_error() {
+        let mut workers = vec![(); 4];
+        let err = run_shards(
+            &mut workers,
+            true,
+            |i, ()| {
+                if i % 2 == 1 {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, 1);
+    }
+}

@@ -71,17 +71,20 @@ impl TileBackend for EcssdTileRun<'_> {
     }
 }
 
-/// What the candidate fetch of one tile produced.
-struct FetchOutcome {
-    /// When the last candidate page (NAND or cache) reached the bank,
-    /// recovery traffic included.
-    fetch_done: SimTime,
+/// Reusable per-tile fetch scratch owned by the machine, so the tile loop
+/// stops allocating four vectors per tile. Contents are only meaningful
+/// between a `fetch_candidates` call and the end of the `classify_stage`
+/// that issued it.
+#[derive(Debug, Default)]
+pub(super) struct TileScratch {
     /// Candidate indices that went to NAND (cache misses), in fetch order.
     fetch_rows: Vec<usize>,
     /// Flat page address list of the misses (`fetch_rows × pages_per_row`).
     addrs: Vec<PhysPageAddr>,
     /// Candidate rows excluded from classification (skipped/unrecovered).
     row_dropped: Vec<bool>,
+    /// Faulted page reads awaiting degradation-policy resolution.
+    failed: Vec<FailedPage>,
 }
 
 impl EcssdMachine {
@@ -137,6 +140,10 @@ impl EcssdMachine {
     /// cache stream from reserved device DRAM; only misses go to the
     /// flash channels. Faulted reads are resolved per the active
     /// [`DegradationPolicy`](super::DegradationPolicy).
+    ///
+    /// Fills the machine-owned [`TileScratch`] (miss rows, page addresses,
+    /// dropped flags) instead of allocating per tile, and returns when the
+    /// last candidate page reached the bank, recovery traffic included.
     fn fetch_candidates(
         &mut self,
         query: usize,
@@ -144,28 +151,39 @@ impl EcssdMachine {
         cands: &[u64],
         screen_done: SimTime,
         sync: Option<SimTime>,
-    ) -> Result<FetchOutcome, SsdError> {
+    ) -> Result<SimTime, SsdError> {
         let bench = *self.source.benchmark();
         let page_bytes = self.config.ssd.geometry.page_bytes;
         let pages_per_row = bench.pages_per_row(page_bytes);
         let range = self.source.tile_row_range(tile);
         let cand_bytes = cands.len() as u64 * pages_per_row * page_bytes as u64;
-        let layout = self.tile_layout(tile).clone();
+        // Materialize the layout cache entry before the fetch loop borrows
+        // it immutably (the former code cloned the layout here instead).
+        self.tile_layout(tile);
         let bank = self.buffer.acquire(cand_bytes.max(1), screen_done)?;
         let row_bytes = pages_per_row * page_bytes as u64;
-        let mut fetch_rows: Vec<usize> = Vec::with_capacity(cands.len());
+        self.tile_scratch.fetch_rows.clear();
+        self.tile_scratch.addrs.clear();
         let mut hit_done = screen_done;
-        let mut addrs = Vec::with_capacity(cands.len() * pages_per_row as usize);
+        // Pass A: cache lookups and DRAM hit traffic, in candidate order
+        // (lookup order is part of the LRU state, so it must not change).
         for (ci, &row) in cands.iter().enumerate() {
             if self.hot_cache.lookup(row) {
                 hit_done = hit_done.max(self.dram.transfer(row_bytes, screen_done));
                 self.tracer.count("cache.hit_rows", 1);
                 continue;
             }
-            fetch_rows.push(ci);
+            self.tile_scratch.fetch_rows.push(ci);
+        }
+        // Pass B: pure address computation for the misses under an
+        // immutable borrow of the cached layout.
+        let layout = &self.layouts[&tile];
+        for i in 0..self.tile_scratch.fetch_rows.len() {
+            let row = cands[self.tile_scratch.fetch_rows[i]];
             let local = (row - range.start) as usize;
             for p in 0..pages_per_row {
-                addrs.push(self.row_page_addr(&layout, row, local, p));
+                let addr = self.row_page_addr(layout, row, local, p);
+                self.tile_scratch.addrs.push(addr);
             }
         }
         // Sense commands go to the dies as soon as screening resolved the
@@ -177,34 +195,30 @@ impl EcssdMachine {
             Some(prev_drain) => bank.max(prev_drain),
             None => bank,
         };
-        let fetch = self.flash.read_batch_checked(&addrs, screen_done, gate);
+        let fetch = self
+            .flash
+            .read_batch_checked(&self.tile_scratch.addrs, screen_done, gate);
         // Read indices cover only the fetched (cache-miss) rows, so they
         // are remapped to candidate indices before recovery.
         let ppr = pages_per_row as usize;
         let mut fetch_done = fetch.done.max(hit_done);
-        let mut row_dropped = vec![false; cands.len()];
-        let remap = |i: usize| fetch_rows[i / ppr] * ppr + i % ppr;
-        let failed: Vec<FailedPage> = fetch
-            .reads
-            .iter()
-            .enumerate()
-            .filter_map(|(i, o)| match *o {
-                PageReadOutcome::Ok(_) => None,
-                PageReadOutcome::Uncorrectable { addr, detected } => Some(FailedPage {
-                    index: remap(i),
-                    addr,
-                    detected,
-                    dead_die: false,
-                }),
-                PageReadOutcome::DeadDie { addr, detected } => Some(FailedPage {
-                    index: remap(i),
-                    addr,
-                    detected,
-                    dead_die: true,
-                }),
-            })
-            .collect();
-        if !failed.is_empty() {
+        self.tile_scratch.row_dropped.clear();
+        self.tile_scratch.row_dropped.resize(cands.len(), false);
+        self.tile_scratch.failed.clear();
+        for (i, o) in fetch.reads.iter().enumerate() {
+            let (addr, detected, dead_die) = match *o {
+                PageReadOutcome::Ok(_) => continue,
+                PageReadOutcome::Uncorrectable { addr, detected } => (addr, detected, false),
+                PageReadOutcome::DeadDie { addr, detected } => (addr, detected, true),
+            };
+            self.tile_scratch.failed.push(FailedPage {
+                index: self.tile_scratch.fetch_rows[i / ppr] * ppr + i % ppr,
+                addr,
+                detected,
+                dead_die,
+            });
+        }
+        if !self.tile_scratch.failed.is_empty() {
             // Dead-die detections feed back into interleaving and
             // placement before any recovery traffic is issued.
             self.absorb_die_failures();
@@ -221,17 +235,12 @@ impl EcssdMachine {
                 geometry,
                 self.variant.degradation,
                 &ctx,
-                &failed,
-                &mut row_dropped,
+                &self.tile_scratch.failed,
+                &mut self.tile_scratch.row_dropped,
                 &mut self.ledger,
             )?);
         }
-        Ok(FetchOutcome {
-            fetch_done,
-            fetch_rows,
-            addrs,
-            row_dropped,
-        })
+        Ok(fetch_done)
     }
 
     /// The FP32 phase of one tile: candidate fetch, FP32-traffic and
@@ -246,7 +255,7 @@ impl EcssdMachine {
         sync: Option<SimTime>,
         host_done: SimTime,
     ) -> Result<TilePhase, SsdError> {
-        let fetch = self.fetch_candidates(query, tile, cands, screen_done, sync)?;
+        let fetch_done = self.fetch_candidates(query, tile, cands, screen_done, sync)?;
         let bench = *self.source.benchmark();
         let batch = self.config.accelerator.batch as u64;
         let d = bench.hidden as u64;
@@ -259,14 +268,15 @@ impl EcssdMachine {
         // (reconstruction peer reads occupy the buses but deliver no new
         // candidate data; dropped rows deliver nothing).
         let per_page_ns = self.config.ssd.timing.page_transfer_ns(page_bytes);
-        for (fi, &ci) in fetch.fetch_rows.iter().enumerate() {
-            if fetch.row_dropped[ci] {
+        for fi in 0..self.tile_scratch.fetch_rows.len() {
+            let ci = self.tile_scratch.fetch_rows[fi];
+            if self.tile_scratch.row_dropped[ci] {
                 continue;
             }
             for p in 0..ppr {
-                let a = &fetch.addrs[fi * ppr + p];
-                self.fp_busy[a.channel] += per_page_ns;
-                self.fp_bytes[a.channel] += page_bytes as u64;
+                let channel = self.tile_scratch.addrs[fi * ppr + p].channel;
+                self.fp_busy[channel] += per_page_ns;
+                self.fp_bytes[channel] += page_bytes as u64;
             }
             // Rows that survived the NAND fetch become cache residents
             // for subsequent queries.
@@ -274,13 +284,14 @@ impl EcssdMachine {
         }
 
         // FP32 candidate-only classification over surviving rows.
-        let delivered = fetch
+        let delivered = self
+            .tile_scratch
             .row_dropped
             .iter()
             .filter(|&&dropped| !dropped)
             .count() as u64;
         let flops = 2 * d * delivered * batch;
-        let fp_issue = fetch.fetch_done.max(host_done);
+        let fp_issue = fetch_done.max(host_done);
         let fp_done = self.fp32.compute(flops, fp_issue);
         self.buffer.release(fp_done);
 
@@ -290,14 +301,14 @@ impl EcssdMachine {
                 tile,
                 candidates: cands.len(),
                 screen_done,
-                fetch_done: fetch.fetch_done,
+                fetch_done,
                 fp_done,
             });
         }
         // Results return to host: batch × candidates × 4 bytes.
         let result_done = self.host.transfer(batch * delivered * 4, fp_done);
         Ok(TilePhase {
-            fetch_done: fetch.fetch_done,
+            fetch_done,
             done: result_done,
         })
     }

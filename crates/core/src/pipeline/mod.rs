@@ -191,6 +191,9 @@ pub struct EcssdMachine {
     /// Degradation-policy accounting (accumulated across runs, merged into
     /// [`RunReport::health`]).
     ledger: DegradeLedger,
+    /// Reusable per-tile fetch scratch (see [`fetch::TileScratch`]), so the
+    /// tile loop stops allocating per tile.
+    tile_scratch: fetch::TileScratch,
     /// Span-trace handle shared with every timed resource (disabled by
     /// default; see [`EcssdMachine::enable_tracing`]).
     tracer: Tracer,
@@ -251,6 +254,7 @@ impl EcssdMachine {
             update_programs: 0,
             update_epoch: 0,
             ledger: DegradeLedger::default(),
+            tile_scratch: fetch::TileScratch::default(),
             tracer: Tracer::disabled(),
             config,
             variant,

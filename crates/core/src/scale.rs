@@ -138,6 +138,29 @@ pub fn run_scale_out(
     queries: usize,
     max_tiles: usize,
 ) -> Result<ScaleOutRun, ecssd_ssd::SsdError> {
+    run_scale_out_parallel(benchmark, plan, queries, max_tiles, false)
+}
+
+/// [`run_scale_out`] with the per-device simulations optionally running on
+/// parallel host threads (the scale-out counterpart of
+/// [`EcssdConfig::parallel_shards`](crate::EcssdConfig::parallel_shards)).
+///
+/// Every device window is fully seeded and independent, and results are
+/// merged in device-index order, so the returned [`ScaleOutRun`] is
+/// byte-identical for both values of `parallel` (asserted by the
+/// determinism tests).
+///
+/// # Errors
+///
+/// Propagates any [`ecssd_ssd::SsdError`] from machine construction or
+/// the pipeline runs.
+pub fn run_scale_out_parallel(
+    benchmark: ecssd_workloads::Benchmark,
+    plan: ScaleOutPlan,
+    queries: usize,
+    max_tiles: usize,
+    parallel: bool,
+) -> Result<ScaleOutRun, ecssd_ssd::SsdError> {
     use crate::{EcssdConfig, EcssdMachine, MachineVariant};
     use ecssd_workloads::{HotnessModel, SampledWorkload, TraceConfig};
 
@@ -162,9 +185,11 @@ pub fn run_scale_out(
         Ok(machine.run_window(queries, max_tiles)?.ns_per_query_full())
     };
 
-    let per_device_ns: Vec<f64> = (0..plan.devices)
-        .map(|d| run_device(plan.per_device, d))
-        .collect::<Result<_, _>>()?;
+    let mut seeds: Vec<u64> = (0..plan.devices).collect();
+    let per_device_ns: Vec<f64> =
+        crate::parallel::run_shards(&mut seeds, parallel, |_, &mut seed| {
+            run_device(plan.per_device, seed)
+        })?;
     let slowest = per_device_ns.iter().cloned().fold(0.0, f64::max);
     // Host merge: gather top-k candidates from every device over PCIe and
     // reduce — microseconds against seconds of classification.

@@ -1,0 +1,84 @@
+//! Parallel-shard determinism: enabling `parallel_shards` must not change
+//! a single output bit. Shard devices are independent simulations and the
+//! merge walks results in shard-index order, so the parallel path is
+//! required to be byte-identical to the sequential one — these tests pin
+//! that contract for both the functional cluster API and the scale-out
+//! throughput study.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use ecssd_core::prelude::*;
+use ecssd_core::scale::{run_scale_out, run_scale_out_parallel, DramScaling, ScaleOutPlan};
+
+fn weights() -> DenseMatrix {
+    let mut w = DenseMatrix::random(1200, 64, 77);
+    for r in 0..1200 {
+        if r % 9 == 4 {
+            for v in w.row_mut(r) {
+                *v *= 2.5;
+            }
+        }
+    }
+    w
+}
+
+fn queries() -> Vec<Vec<f32>> {
+    (0..6)
+        .map(|q| {
+            (0..64)
+                .map(|i| ((i as f32) * 0.17 + q as f32 * 0.71).sin())
+                .collect()
+        })
+        .collect()
+}
+
+fn classify(parallel: bool) -> Vec<Vec<Score>> {
+    let mut config = EcssdConfig::tiny();
+    config.parallel_shards = parallel;
+    let mut cluster = EcssdCluster::new(config, 3);
+    cluster.weight_deploy(&weights()).unwrap();
+    cluster
+        .filter_threshold(ThresholdPolicy::TopRatio(0.1))
+        .unwrap();
+    cluster.classify_batch(&queries(), 7).unwrap()
+}
+
+/// Bit-exact comparison: `f32` equality would accept `-0.0 == 0.0` and
+/// reject NaN; the contract here is stronger — identical bytes.
+fn assert_scores_bit_identical(seq: &[Vec<Score>], par: &[Vec<Score>]) {
+    assert_eq!(seq.len(), par.len());
+    for (s_query, p_query) in seq.iter().zip(par) {
+        assert_eq!(s_query.len(), p_query.len());
+        for (s, p) in s_query.iter().zip(p_query) {
+            assert_eq!(s.category, p.category);
+            assert_eq!(
+                s.value.to_bits(),
+                p.value.to_bits(),
+                "score bits diverged: {} vs {}",
+                s.value,
+                p.value
+            );
+        }
+    }
+}
+
+#[test]
+fn cluster_parallel_shards_is_bit_identical_to_sequential() {
+    let seq = classify(false);
+    let par = classify(true);
+    assert_scores_bit_identical(&seq, &par);
+}
+
+#[test]
+fn scale_out_parallel_run_is_byte_identical_to_sequential() {
+    let bench = ecssd_workloads::Benchmark::by_abbrev("XMLCNN-S100M").unwrap();
+    let plan = ScaleOutPlan::plan(300_000_000, DramScaling::paper_default());
+    assert!(plan.devices >= 2, "plan must actually shard");
+    let seq = run_scale_out(bench, plan, 1, 4).unwrap();
+    let par = run_scale_out_parallel(bench, plan, 1, 4, true).unwrap();
+    // Serialize both runs: byte-identical JSON means every f64 in every
+    // shard produced exactly the same bits regardless of host threading.
+    let seq_json = serde_json::to_string(&seq).unwrap();
+    let par_json = serde_json::to_string(&par).unwrap();
+    assert_eq!(seq_json, par_json);
+}

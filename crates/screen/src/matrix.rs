@@ -114,17 +114,51 @@ impl DenseMatrix {
     ///
     /// Returns [`ScreenError::DimensionMismatch`] if `x.len() != cols`.
     pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>, ScreenError> {
+        let mut out = Vec::new();
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`DenseMatrix::matvec`] writing into a caller-owned buffer so hot
+    /// loops can reuse one allocation. `out` is cleared and refilled with
+    /// exactly `rows` values.
+    ///
+    /// The shape is validated once here; the per-row loop is the infallible
+    /// `dot_f32_seq` kernel. Unlike the INT4 path, the `f32` accumulation
+    /// order is load-bearing: these products feed the JL projector and thus
+    /// every golden `RunReport` fixture, and `f32` addition is not
+    /// associative — so the kernel keeps the strict sequential
+    /// single-accumulator order and gains come only from hoisting
+    /// validation and allocations out of the loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn matvec_into(&self, x: &[f32], out: &mut Vec<f32>) -> Result<(), ScreenError> {
         if x.len() != self.cols {
             return Err(ScreenError::DimensionMismatch {
                 expected: self.cols,
                 got: x.len(),
             });
         }
-        Ok(self
-            .rows_iter()
-            .map(|row| row.iter().zip(x).map(|(&a, &b)| a * b).sum())
-            .collect())
+        out.clear();
+        out.reserve(self.rows);
+        out.extend(self.rows_iter().map(|row| dot_f32_seq(row, x)));
+        Ok(())
     }
+}
+
+/// Sequential-order FP32 dot product kernel.
+///
+/// Infallible: callers validate shapes once at the API boundary. The
+/// single-accumulator left-to-right order is deliberately preserved —
+/// reassociating (chunked partial sums, FMA) would change low-order bits,
+/// and this path feeds the JL projection whose outputs are pinned
+/// bit-exactly by the golden `RunReport` fixtures.
+#[inline]
+fn dot_f32_seq(row: &[f32], x: &[f32]) -> f32 {
+    debug_assert_eq!(row.len(), x.len(), "dot_f32_seq kernel shape mismatch");
+    row.iter().zip(x).map(|(&a, &b)| a * b).sum()
 }
 
 /// Marsaglia-polar standard normal sampler (avoids an external distribution

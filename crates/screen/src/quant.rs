@@ -100,6 +100,9 @@ impl Int4Vector {
     /// operation. Returns the integer accumulation and leaves scaling to the
     /// caller.
     ///
+    /// Shape validation happens here, once, at the API boundary; the MAC
+    /// loop itself is the infallible `dot_i32` kernel.
+    ///
     /// # Errors
     ///
     /// Returns [`ScreenError::DimensionMismatch`] on length mismatch.
@@ -110,12 +113,7 @@ impl Int4Vector {
                 got: other.len(),
             });
         }
-        Ok(self
-            .codes
-            .iter()
-            .zip(&other.codes)
-            .map(|(&a, &b)| i32::from(a) * i32::from(b))
-            .sum())
+        Ok(dot_i32(&self.codes, &other.codes))
     }
 
     /// Approximate real-valued dot product with another INT4 vector.
@@ -132,6 +130,37 @@ impl Int4Vector {
     pub fn storage_bytes(&self) -> usize {
         self.codes.len().div_ceil(2) + 4
     }
+}
+
+/// The INT4 MAC kernel: integer dot product of two equal-length code
+/// slices.
+///
+/// Infallible by construction — every public entry point
+/// ([`Int4Vector::dot`], [`Int4Matrix::matvec`]) validates shapes once
+/// before reaching it, so the inner loop carries no `Result` and no
+/// per-element branch. The body walks both slices in fixed-size
+/// `chunks_exact` windows with an inner loop of known trip count, which
+/// LLVM unrolls and autovectorizes into widening multiply-adds; `i32`
+/// accumulation is exact and associative, so the chunked regrouping cannot
+/// change the result.
+#[inline]
+fn dot_i32(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len(), "dot_i32 kernel shape mismatch");
+    const CHUNK: usize = 32;
+    let mut a_chunks = a.chunks_exact(CHUNK);
+    let mut b_chunks = b.chunks_exact(CHUNK);
+    let mut acc = 0i32;
+    for (ca, cb) in a_chunks.by_ref().zip(b_chunks.by_ref()) {
+        let mut partial = 0i32;
+        for i in 0..CHUNK {
+            partial += i32::from(ca[i]) * i32::from(cb[i]);
+        }
+        acc += partial;
+    }
+    for (&x, &y) in a_chunks.remainder().iter().zip(b_chunks.remainder()) {
+        acc += i32::from(x) * i32::from(y);
+    }
+    acc
 }
 
 /// Encodes `values` against a fixed `scale`, clamping to the symmetric
@@ -245,6 +274,22 @@ impl Int4Matrix {
     ///
     /// Returns [`ScreenError::DimensionMismatch`] if `x.len() != cols`.
     pub fn matvec(&self, x: &Int4Vector) -> Result<Vec<f32>, ScreenError> {
+        let mut out = Vec::new();
+        self.matvec_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Int4Matrix::matvec`] writing into a caller-owned buffer, so a hot
+    /// loop can reuse one allocation across queries. `out` is cleared and
+    /// refilled with exactly `rows` scores.
+    ///
+    /// The input shape is validated once here; each row then runs the
+    /// infallible `dot_i32` kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScreenError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn matvec_into(&self, x: &Int4Vector, out: &mut Vec<f32>) -> Result<(), ScreenError> {
         if x.len() != self.cols {
             return Err(ScreenError::DimensionMismatch {
                 expected: self.cols,
@@ -252,17 +297,16 @@ impl Int4Matrix {
             });
         }
         let xs = x.codes();
-        Ok((0..self.rows)
-            .map(|r| {
-                let acc: i32 = self
-                    .row_codes(r)
-                    .iter()
-                    .zip(xs)
-                    .map(|(&a, &b)| i32::from(a) * i32::from(b))
-                    .sum();
-                acc as f32 * self.scales[r] * x.scale()
-            })
-            .collect())
+        let x_scale = x.scale();
+        out.clear();
+        out.reserve(self.rows);
+        out.extend(
+            self.codes
+                .chunks_exact(self.cols)
+                .zip(&self.scales)
+                .map(|(row, &scale)| dot_i32(row, xs) as f32 * scale * x_scale),
+        );
+        Ok(())
     }
 
     /// Total storage in bytes under 4-bit packing (two codes per byte) plus

@@ -1925,17 +1925,20 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
-        // Positional back-compat: the pre-builder constructors keep
-        // serving until they are removed.
-        let mut engine = ServeEngine::new(tiny(), 2, ServePolicy::default()).unwrap();
+    fn builder_covers_the_legacy_constructor_shapes() {
+        // The configurations the deprecated positional constructors used
+        // to produce, expressed through the builder.
+        let mut engine = ServeEngine::builder(tiny())
+            .shards(2)
+            .policy(ServePolicy::default())
+            .build()
+            .unwrap();
         engine.deploy(&DenseMatrix::random(400, 32, 3)).unwrap();
         assert_eq!(
             engine.classify_batch(&[query(32, 0.5)], 3).unwrap().len(),
             1
         );
-        let traced = ServeEngine::with_tracing(tiny(), 1, ServePolicy::default()).unwrap();
+        let traced = ServeEngine::builder(tiny()).tracing(true).build().unwrap();
         assert!(traced.tracer().is_some());
     }
 

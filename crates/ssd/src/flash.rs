@@ -209,6 +209,74 @@ pub struct TransferEvent {
     pub kind: TransferKind,
 }
 
+/// Reusable per-batch scratch for [`FlashSim::read_batch_checked`]: an
+/// indexed event-queue over the per-die completion streams.
+///
+/// Within one batch, each die senses in submission order, so its stream of
+/// `(die_done, idx)` completions is already sorted — a multi-plane join
+/// reuses the *latest* sense's completion time and the die timeline is
+/// monotone. Bus arbitration in `(channel, die_done, idx)` order therefore
+/// never needs the old `O(n log n)` global re-sort: filing each completion
+/// into its die's FIFO bucket and k-way-merging the (few) dies of each
+/// channel replays exactly the same order. The buckets, the multi-plane
+/// open-group table (generation-stamped so a new batch invalidates it in
+/// `O(1)`), and the outcome buffer all live here so the hot fetch loop
+/// stops allocating per batch.
+#[derive(Debug, Clone, Default)]
+struct BatchScratch {
+    /// Per-flat-die FIFO of `(die_done, idx)` completions, in submission
+    /// order (nondecreasing `die_done` per die).
+    die_fifo: Vec<Vec<(SimTime, u32)>>,
+    /// Flat die ids with a non-empty FIFO this batch (for `O(touched)`
+    /// clearing).
+    touched: Vec<u32>,
+    /// Per-die open multi-plane sense group: plane mask, shared completion
+    /// time, and the batch generation that wrote them. A stale generation
+    /// means "no open group" without any per-batch clearing.
+    open_mask: Vec<u32>,
+    open_done: Vec<SimTime>,
+    open_gen: Vec<u64>,
+    /// Current batch generation (0 is reserved as "never valid").
+    gen: u64,
+    /// Per-request outcome slots, reused across batches.
+    outcomes: Vec<Option<PageReadOutcome>>,
+    /// Per-die merge cursors for the active channel.
+    cursors: Vec<usize>,
+}
+
+impl BatchScratch {
+    /// Prepares the scratch for a batch of `n` requests over `dies` flat
+    /// dies: sizes the tables on first use (and after a mid-batch panic
+    /// left a taken scratch behind) and opens a fresh generation.
+    fn begin(&mut self, dies: usize, n: usize) {
+        if self.die_fifo.len() < dies {
+            self.die_fifo.resize_with(dies, Vec::new);
+            self.open_mask.resize(dies, 0);
+            self.open_done.resize(dies, SimTime::ZERO);
+            self.open_gen.resize(dies, 0);
+        }
+        self.gen += 1;
+        self.outcomes.clear();
+        self.outcomes.resize(n, None);
+    }
+
+    /// Files a sense completion under its die, in submission order.
+    fn push(&mut self, die: usize, done: SimTime, idx: u32) {
+        if self.die_fifo[die].is_empty() {
+            self.touched.push(die as u32);
+        }
+        self.die_fifo[die].push((done, idx));
+    }
+
+    /// Clears the touched buckets, leaving capacity for the next batch.
+    fn finish(&mut self) {
+        for &die in &self.touched {
+            self.die_fifo[die as usize].clear();
+        }
+        self.touched.clear();
+    }
+}
+
 /// The flash array state: die and bus timelines plus traffic statistics.
 #[derive(Debug, Clone)]
 pub struct FlashSim {
@@ -247,6 +315,9 @@ pub struct FlashSim {
     trace_cap: usize,
     /// Span trace handle (disabled by default).
     tracer: Tracer,
+    /// Reusable batch-read scratch (transient; contents are only
+    /// meaningful inside one `read_batch_checked` call).
+    scratch: BatchScratch,
 }
 
 impl FlashSim {
@@ -269,6 +340,7 @@ impl FlashSim {
             trace: None,
             trace_cap: 0,
             tracer: Tracer::disabled(),
+            scratch: BatchScratch::default(),
             geometry,
             timing,
         }
@@ -613,10 +685,13 @@ impl FlashSim {
         // Phase 1: die sensing, in submission order per die. With
         // multi-plane reads, a die's open sense group absorbs further pages
         // that target planes not yet in the group — they share one tR.
-        let mut sensed: Vec<(usize, PhysPageAddr, SimTime)> = Vec::with_capacity(addrs.len());
-        let mut outcomes: Vec<Option<PageReadOutcome>> = vec![None; addrs.len()];
-        let mut open_group: std::collections::HashMap<usize, (u32, SimTime)> =
-            std::collections::HashMap::new();
+        //
+        // Each completion is filed into its die's FIFO bucket in the
+        // reusable scratch; because a die's timeline is monotone within the
+        // batch, every bucket comes out sorted by `(die_done, idx)` and the
+        // old global sort is replaced by a per-channel k-way merge.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.begin(self.geometry.total_dies(), addrs.len());
         for (idx, &addr) in addrs.iter().enumerate() {
             self.assert_addr(addr);
             let die = addr.flat_die(&self.geometry);
@@ -647,7 +722,7 @@ impl FlashSim {
                         self.die_span(Stage::FlashRead, addr, start, done);
                         done
                     };
-                    outcomes[idx] = Some(PageReadOutcome::DeadDie { addr, detected });
+                    scratch.outcomes[idx] = Some(PageReadOutcome::DeadDie { addr, detected });
                     continue;
                 }
                 FaultDecision::Uncorrectable => {
@@ -661,8 +736,8 @@ impl FlashSim {
                     self.die_busy_ns[die] += dur;
                     self.die_span(Stage::FlashRead, addr, start, done);
                     // The failed ladder disturbs any open sense group.
-                    open_group.remove(&die);
-                    outcomes[idx] = Some(PageReadOutcome::Uncorrectable {
+                    scratch.open_gen[die] = 0;
+                    scratch.outcomes[idx] = Some(PageReadOutcome::Uncorrectable {
                         addr,
                         detected: done,
                     });
@@ -676,18 +751,16 @@ impl FlashSim {
                 self.read_retries[addr.channel] += extra;
             }
             let retried = sense > self.timing.read_latency_ns;
-            if self.timing.multiplane_reads && !retried {
+            if self.timing.multiplane_reads && !retried && scratch.open_gen[die] == scratch.gen {
                 // A retried page re-senses with shifted reference voltages
                 // and cannot ride a multi-plane group.
-                if let Some((mask, done)) = open_group.get_mut(&die) {
-                    let bit = 1u32 << (addr.plane as u32 & 31);
-                    if *mask & bit == 0
-                        && (mask.count_ones() as usize) < self.geometry.planes_per_die
-                    {
-                        *mask |= bit;
-                        sensed.push((idx, addr, *done));
-                        continue;
-                    }
+                let mask = scratch.open_mask[die];
+                let bit = 1u32 << (addr.plane as u32 & 31);
+                if mask & bit == 0 && (mask.count_ones() as usize) < self.geometry.planes_per_die {
+                    scratch.open_mask[die] = mask | bit;
+                    let done = scratch.open_done[die];
+                    scratch.push(die, done, idx as u32);
+                    continue;
                 }
             }
             let die_start = issue.max(self.die_free[die]);
@@ -696,35 +769,64 @@ impl FlashSim {
             self.die_busy_ns[die] += sense;
             self.die_span(Stage::FlashRead, addr, die_start, die_done);
             if retried {
-                open_group.remove(&die);
+                scratch.open_gen[die] = 0;
             } else {
-                open_group.insert(die, (1u32 << (addr.plane as u32 & 31), die_done));
+                scratch.open_gen[die] = scratch.gen;
+                scratch.open_mask[die] = 1u32 << (addr.plane as u32 & 31);
+                scratch.open_done[die] = die_done;
             }
-            sensed.push((idx, addr, die_done));
+            scratch.push(die, die_done, idx as u32);
         }
         // Phase 2: per-channel bus arbitration in die-completion order
         // (ties broken by submission order for determinism). Failed pages
-        // transfer nothing.
-        sensed.sort_by_key(|&(idx, addr, die_done)| (addr.channel, die_done, idx));
+        // transfer nothing. Channels are walked in ascending order and each
+        // channel's (pre-sorted) die buckets are k-way merged on
+        // `(die_done, idx)`, reproducing the former
+        // `sort_by_key(|(idx, addr, die_done)| (addr.channel, die_done, idx))`
+        // order exactly.
         let mut done = issue.max(transfer_gate);
-        for (idx, addr, die_done) in sensed {
-            let grant = self.transfer(
-                addr.channel,
-                die_done.max(transfer_gate),
-                self.geometry.page_bytes,
-                TransferKind::PageRead,
-            );
-            let result = grant.into_read_result(addr, die_done);
-            done = done.max(result.done);
-            outcomes[idx] = Some(PageReadOutcome::Ok(result));
+        let dies_per_channel = self.geometry.dies_per_channel;
+        for channel in 0..self.geometry.channels {
+            let base = channel * dies_per_channel;
+            scratch.cursors.clear();
+            scratch.cursors.resize(dies_per_channel, 0);
+            loop {
+                let mut best: Option<(SimTime, u32, usize)> = None;
+                for d in 0..dies_per_channel {
+                    if let Some(&(die_done, idx)) =
+                        scratch.die_fifo[base + d].get(scratch.cursors[d])
+                    {
+                        if best.is_none_or(|(bd, bi, _)| (die_done, idx) < (bd, bi)) {
+                            best = Some((die_done, idx, d));
+                        }
+                    }
+                }
+                let Some((die_done, idx, d)) = best else {
+                    break;
+                };
+                scratch.cursors[d] += 1;
+                let addr = addrs[idx as usize];
+                let grant = self.transfer(
+                    channel,
+                    die_done.max(transfer_gate),
+                    self.geometry.page_bytes,
+                    TransferKind::PageRead,
+                );
+                let result = grant.into_read_result(addr, die_done);
+                done = done.max(result.done);
+                scratch.outcomes[idx as usize] = Some(PageReadOutcome::Ok(result));
+            }
         }
-        let reads: Vec<PageReadOutcome> = outcomes
-            .into_iter()
-            .map(|r| match r {
+        let reads: Vec<PageReadOutcome> = scratch
+            .outcomes
+            .iter_mut()
+            .map(|r| match r.take() {
                 Some(outcome) => outcome,
                 None => unreachable!("every read resolves to an outcome"),
             })
             .collect();
+        scratch.finish();
+        self.scratch = scratch;
         for outcome in &reads {
             done = done.max(outcome.resolved_at());
         }
@@ -1013,6 +1115,53 @@ mod tests {
             SimTime::ZERO,
         );
         assert!(batch.reads[2].transfer_start < batch.reads[1].transfer_start);
+    }
+
+    #[test]
+    fn batch_grant_order_matches_explicit_sort_reference() {
+        // Regression pin for the indexed event-queue in
+        // `read_batch_checked`: bus grants must replay the semantics of
+        // the explicit sort it replaced — per channel, ascending
+        // (die_done, submission index), with exact die-completion ties
+        // broken by submission index. The batch is submitted scrambled
+        // and includes deliberate ties: dies 0 and 1 of channel 0 both
+        // sense their first page starting idle, so both finish at
+        // exactly tR.
+        let mut f = sim();
+        let batch = f.read_batch(
+            &[
+                addr(1, 0, 0), // idx 0: other channel, independent bus
+                addr(0, 1, 0), // idx 1: ties with idx 2 at die_done = tR
+                addr(0, 0, 0), // idx 2: die 0 first read, done at tR
+                addr(0, 0, 1), // idx 3: die 0 second read, done at 2*tR
+            ],
+            SimTime::ZERO,
+        );
+        assert_eq!(batch.reads[1].die_done, batch.reads[2].die_done);
+        let channels = f.geometry.channels;
+        for channel in 0..channels {
+            // The reference: explicitly sort this channel's reads by
+            // (die_done, submission index).
+            let mut reference: Vec<usize> = (0..batch.reads.len())
+                .filter(|&i| batch.reads[i].addr.channel == channel)
+                .collect();
+            reference.sort_by_key(|&i| (batch.reads[i].die_done, i));
+            // The channel bus serializes transfers, so the event queue's
+            // grant order is readable from `transfer_start`: it must be
+            // strictly increasing along the reference order.
+            for pair in reference.windows(2) {
+                assert!(
+                    batch.reads[pair[0]].transfer_start < batch.reads[pair[1]].transfer_start,
+                    "channel {channel}: grant order diverged from the \
+                     (die_done, idx) sort reference: idx {} started at {:?}, \
+                     idx {} at {:?}",
+                    pair[0],
+                    batch.reads[pair[0]].transfer_start,
+                    pair[1],
+                    batch.reads[pair[1]].transfer_start,
+                );
+            }
+        }
     }
 
     #[test]

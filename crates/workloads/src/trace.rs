@@ -138,12 +138,26 @@ fn solve_inclusion_lambda(weights: &[f64], target: f64) -> f64 {
 pub struct SampledWorkload {
     benchmark: Benchmark,
     config: TraceConfig,
+    /// Per-tile hotness weights, computed once and reused across queries.
+    /// `HotnessModel::weight` is pure and deterministic, so the cached
+    /// vector is bit-identical to recomputing it — only the (expensive)
+    /// per-row `powf`/`exp`/hash work is skipped.
+    tile_weights: std::collections::HashMap<usize, Vec<f64>>,
+    /// Solved inclusion λ per `(tile, target)`: the bisection depends only
+    /// on the tile's weights and the target count, both deterministic, so
+    /// a cache hit returns the exact λ the solver would produce.
+    lambda_cache: std::collections::HashMap<(usize, usize), f64>,
 }
 
 impl SampledWorkload {
     /// Builds a sampled trace for any benchmark.
     pub fn new(benchmark: Benchmark, config: TraceConfig) -> Self {
-        SampledWorkload { benchmark, config }
+        SampledWorkload {
+            benchmark,
+            config,
+            tile_weights: std::collections::HashMap::new(),
+            lambda_cache: std::collections::HashMap::new(),
+        }
     }
 
     /// The trace configuration.
@@ -181,16 +195,25 @@ impl CandidateSource for SampledWorkload {
         // solved so that Σ p_i equals the target count. Hot rows saturate
         // at p = 1 (candidates for every query — the recurring set the
         // learned layout can spread), warm rows form the per-query random
-        // tail. Deterministic per (query, tile).
-        let weights: Vec<f64> = range
-            .clone()
-            .map(|r| self.config.hotness.weight(r))
-            .collect();
-        let lambda = solve_inclusion_lambda(&weights, target as f64);
+        // tail. Deterministic per (query, tile); weights and λ come from
+        // the per-tile caches (bit-identical to recomputation).
+        let config = &self.config;
+        let weights: &[f64] = self
+            .tile_weights
+            .entry(tile)
+            .or_insert_with(|| range.clone().map(|r| config.hotness.weight(r)).collect());
+        let lambda = match self.lambda_cache.get(&(tile, target)) {
+            Some(&l) => l,
+            None => {
+                let l = solve_inclusion_lambda(weights, target as f64);
+                self.lambda_cache.insert((tile, target), l);
+                l
+            }
+        };
         let stream = 0x5a3e_u64 ^ ((query as u64) << 24) ^ ((tile as u64) << 2);
         let mut rows: Vec<u64> = range
             .clone()
-            .zip(&weights)
+            .zip(weights)
             .filter(|&(row, &w)| {
                 let p = (lambda * w).min(1.0);
                 self.config.hotness.uniform(stream, row) < p
@@ -202,7 +225,7 @@ impl CandidateSource for SampledWorkload {
             // the pipeline always has work.
             let best = range
                 .clone()
-                .zip(&weights)
+                .zip(weights)
                 .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
                 .map(|(row, _)| row)
                 .expect("non-empty tile");
