@@ -15,14 +15,16 @@
 //! * the GenStore-AP variant stores INT4 screener data homogeneously in
 //!   flash, interfering with candidate traffic on the buses.
 //!
-//! The machine has no tile loop of its own: it implements
-//! [`TileBackend`] and is driven by the same [`run_tile_loop`] scheduler
-//! as [`EcssdMachine`](ecssd_core::EcssdMachine), under the no-lookahead
+//! The machine has no tile loop of its own: it implements the
+//! classification [`TileTask`] and is driven by the same
+//! [`run_tile_loop`] scheduler as
+//! [`EcssdMachine`](ecssd_core::EcssdMachine), under the no-lookahead
 //! [`SchedulePlan::in_order`] plan (GenStore has no tile double
 //! buffering — serialization comes from its bus and engine timelines).
 
 use ecssd_core::{
-    run_tile_loop, ComputeEngine, EcssdConfig, SchedulePlan, ScreenPhase, TileBackend, TilePhase,
+    run_tile_loop, ComputeEngine, EcssdConfig, RowSelection, SchedulePlan, TaskKind, TilePhase,
+    TileTask,
 };
 use ecssd_layout::InterleavingStrategy;
 use ecssd_ssd::{FlashSim, PhysPageAddr, SimTime, SsdError};
@@ -143,22 +145,26 @@ impl GenStoreMachine {
     }
 }
 
-impl TileBackend for GenStoreMachine {
+impl TileTask for GenStoreMachine {
+    fn kind(&self) -> TaskKind {
+        TaskKind::Classification
+    }
+
     /// GenStore models no host feature upload: queries are on-device at
     /// time zero.
     fn begin_query(&mut self, _query: usize, _issue: SimTime) -> SimTime {
         SimTime::ZERO
     }
 
-    fn screen_tile(&mut self, query: usize, tile: usize, issue: SimTime) -> ScreenPhase {
+    fn select_rows(&mut self, query: usize, tile: usize, issue: SimTime) -> RowSelection {
         let bench = *self.source.benchmark();
         let range = self.source.tile_row_range(tile);
         let tile_len = (range.end - range.start) as usize;
         match self.variant {
             // No screening: every row of the tile is a "candidate".
-            GenStoreVariant::Naive => ScreenPhase {
-                screen_done: issue,
-                candidates: range.collect(),
+            GenStoreVariant::Naive => RowSelection {
+                select_done: issue,
+                rows: range.collect(),
             },
             GenStoreVariant::Screening => {
                 // Homogeneous INT4 stream over the buses + SSD-level INT4
@@ -172,18 +178,18 @@ impl TileBackend for GenStoreMachine {
                 for ch in 0..channels {
                     fetch_done = fetch_done.max(self.flash.bus_transfer(ch, per, issue));
                 }
-                let screen_done = self
+                let select_done = self
                     .int4
                     .compute(2 * k * tile_len as u64 * batch, fetch_done);
-                ScreenPhase {
-                    screen_done,
-                    candidates: self.source.candidates(query, tile),
+                RowSelection {
+                    select_done,
+                    rows: self.source.candidates(query, tile),
                 }
             }
         }
     }
 
-    fn classify_tile(
+    fn process_rows(
         &mut self,
         _query: usize,
         tile: usize,

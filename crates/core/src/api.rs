@@ -14,7 +14,11 @@ use ecssd_screen::{
 };
 use ecssd_ssd::{HotRowCache, SimTime, SsdDevice, SsdError};
 
-use crate::{Classifier, ClassifierStats, EcssdConfig};
+use crate::{Classifier, ClassifierStats, EcssdConfig, GatherRequest};
+
+/// Tag bit distinguishing embedding-table rows from classifier weight rows
+/// in the shared DRAM hot-row cache (both tasks key the cache by row id).
+const TABLE_KEY_TAG: u64 = 1 << 63;
 
 /// Working mode (§4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,6 +40,15 @@ pub enum EcssdError {
     },
     /// Weights were not deployed yet.
     NoWeights,
+    /// No embedding table was deployed yet (`table_deploy`).
+    NoTable,
+    /// A gather request named a row beyond the deployed table.
+    IdExceedsTable {
+        /// The offending lookup id.
+        id: u64,
+        /// Deployed table rows.
+        rows: u64,
+    },
     /// No inputs are queued for the requested computation.
     NoInputs,
     /// The requested top-`k` exceeds the deployed category count.
@@ -79,6 +92,10 @@ impl std::fmt::Display for EcssdError {
                 write!(f, "operation invalid in {current:?} mode")
             }
             EcssdError::NoWeights => write!(f, "no weights deployed"),
+            EcssdError::NoTable => write!(f, "no embedding table deployed"),
+            EcssdError::IdExceedsTable { id, rows } => {
+                write!(f, "gather id {id} beyond the {rows}-row table")
+            }
             EcssdError::NoInputs => write!(f, "no inputs queued"),
             EcssdError::KExceedsCategories { k, categories } => {
                 write!(
@@ -159,6 +176,11 @@ pub struct Ecssd {
     /// First LPN of each weight row in flash.
     pub(crate) row_lpns: Vec<u64>,
     pub(crate) pages_per_row: u64,
+    /// Deployed embedding table (the second in-storage task), if any.
+    pub(crate) table: Option<DenseMatrix>,
+    /// First LPN of each embedding-table row in flash.
+    pub(crate) table_row_lpns: Vec<u64>,
+    pub(crate) table_pages_per_row: u64,
     pub(crate) threshold: ThresholdPolicy,
     pub(crate) queue: InputQueue,
     pub(crate) results: Vec<Prediction>,
@@ -204,6 +226,9 @@ impl Ecssd {
             screener: None,
             row_lpns: Vec::new(),
             pages_per_row: 1,
+            table: None,
+            table_row_lpns: Vec::new(),
+            table_pages_per_row: 1,
             threshold: ThresholdPolicy::TopRatio(0.1),
             queue: InputQueue::default(),
             results: Vec::new(),
@@ -530,6 +555,129 @@ impl Ecssd {
         Ok(predictions.into_iter().map(|p| p.top_k).collect())
     }
 
+    /// `Table_deploy()`: write every FP32 embedding-table row into NAND
+    /// through the FTL, making the device a gather accelerator alongside
+    /// (or instead of) the classifier. The table occupies fresh LPNs after
+    /// whatever is already deployed; redeploying invalidates every cached
+    /// table row image.
+    ///
+    /// # Errors
+    ///
+    /// Fails when not in accelerator mode or when the flash is out of
+    /// space.
+    pub fn table_deploy(&mut self, table: &DenseMatrix) -> Result<(), EcssdError> {
+        self.require_accelerator()?;
+        let page_bytes = self.device.config().geometry.page_bytes as u64;
+        let row_bytes = 4 * table.cols() as u64;
+        let pages_per_row = row_bytes.div_ceil(page_bytes);
+        // The shared hot-row cache occupies DRAM; reserve it once even if
+        // no classifier was ever deployed.
+        if self.hot_cache.is_enabled() && !self.cache_reserved {
+            self.device
+                .dram_mut()
+                .reserve(self.hot_cache.capacity_bytes())?;
+            self.cache_reserved = true;
+        }
+        let host_done = self
+            .device
+            .host_mut()
+            .transfer(table.rows() as u64 * row_bytes, self.clock);
+        let old: Vec<u64> = (0..self.table_row_lpns.len() as u64)
+            .map(|r| TABLE_KEY_TAG | r)
+            .collect();
+        self.hot_cache.invalidate_rows(&old);
+        self.table_row_lpns.clear();
+        let mut t = host_done;
+        let mut lpn = self.next_lpn;
+        for _row in 0..table.rows() {
+            self.table_row_lpns.push(lpn);
+            for _ in 0..pages_per_row {
+                let (addr, jdone) = self.device.write_mapped(lpn, host_done)?;
+                t = t
+                    .max(self.device.flash_mut().program_page(addr, host_done))
+                    .max(jdone);
+                lpn += 1;
+            }
+        }
+        self.next_lpn = lpn;
+        self.clock = t;
+        self.table_pages_per_row = pages_per_row;
+        self.table = Some(table.clone());
+        Ok(())
+    }
+
+    /// `Gather_batch()`: answer a batch of embedding-gather requests. Each
+    /// request's looked-up rows are fetched from flash (hot rows stream
+    /// from the shared DRAM cache) and pooled into one vector — the
+    /// element-wise sum of the rows, accumulated in the order the ids
+    /// appear in the request.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`EcssdError::NoTable`] before [`Self::table_deploy`],
+    /// [`EcssdError::NoInputs`] on an empty batch, and
+    /// [`EcssdError::IdExceedsTable`] when a lookup id is out of range.
+    pub fn gather_batch(
+        &mut self,
+        requests: &[GatherRequest],
+    ) -> Result<Vec<Vec<f32>>, EcssdError> {
+        self.require_accelerator()?;
+        let table = self.table.as_ref().ok_or(EcssdError::NoTable)?;
+        if requests.is_empty() {
+            return Err(EcssdError::NoInputs);
+        }
+        let rows = table.rows() as u64;
+        let page_bytes = self.device.config().geometry.page_bytes as u64;
+        let row_bytes = self.table_pages_per_row * page_bytes;
+        let mut t = self.clock;
+        let mut pooled = Vec::with_capacity(requests.len());
+        for req in requests {
+            // The host uploads the id list (8 B per id).
+            t = self.device.host_mut().transfer(req.ids.len() as u64 * 8, t);
+            let mut addrs = Vec::with_capacity(req.ids.len() * self.table_pages_per_row as usize);
+            let mut fetched: Vec<u64> = Vec::new();
+            let mut hit_done = t;
+            for &id in &req.ids {
+                if id >= rows {
+                    return Err(EcssdError::IdExceedsTable { id, rows });
+                }
+                if self.hot_cache.lookup(TABLE_KEY_TAG | id) {
+                    hit_done = hit_done.max(self.device.dram_mut().transfer(row_bytes, t));
+                    continue;
+                }
+                fetched.push(id);
+                let first = self.table_row_lpns[id as usize];
+                for p in 0..self.table_pages_per_row {
+                    addrs.push(self.device.ftl().translate(first + p)?);
+                }
+            }
+            let batch = self.device.flash_mut().read_batch(&addrs, t);
+            t = batch.done.max(hit_done);
+            for &id in &fetched {
+                self.hot_cache.insert(TABLE_KEY_TAG | id, row_bytes);
+            }
+            // Function: pool the looked-up rows, in request order.
+            let mut vec = vec![0.0f32; table.cols()];
+            for &id in &req.ids {
+                for (acc, &w) in vec.iter_mut().zip(table.row(id as usize)) {
+                    *acc += w;
+                }
+            }
+            // Return transfer: one pooled vector per request.
+            t = self.device.host_mut().transfer(4 * table.cols() as u64, t);
+            pooled.push(vec);
+        }
+        self.clock = t;
+        self.queries += requests.len() as u64;
+        self.batches += 1;
+        Ok(pooled)
+    }
+
+    /// Deployed embedding-table rows (0 before [`Self::table_deploy`]).
+    pub fn table_rows(&self) -> usize {
+        self.table.as_ref().map_or(0, DenseMatrix::rows)
+    }
+
     /// The hot-row cache counters of this device.
     pub fn cache_stats(&self) -> ecssd_ssd::CacheStats {
         self.hot_cache.stats()
@@ -673,5 +821,79 @@ mod tests {
     fn pre_align_is_hosts_job() {
         let v = Ecssd::pre_align(&[1.0, 2.0, 4.0]).unwrap();
         assert_eq!(v.to_f32_vec(), vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn gather_pools_exactly_like_direct_lookup() {
+        let mut dev = small_device();
+        dev.enable();
+        let table = DenseMatrix::random(128, 16, 77);
+        dev.table_deploy(&table).unwrap();
+        let ids = vec![3u64, 90, 3, 17];
+        let pooled = dev
+            .gather_batch(&[crate::GatherRequest::new(ids.clone())])
+            .unwrap();
+        let mut want = vec![0.0f32; table.cols()];
+        for &id in &ids {
+            for (acc, &w) in want.iter_mut().zip(table.row(id as usize)) {
+                *acc += w;
+            }
+        }
+        assert_eq!(pooled, vec![want], "gather must equal direct lookup");
+        assert!(dev.elapsed() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn gather_reuses_the_hot_row_cache() {
+        let config = EcssdConfig::tiny_builder()
+            .hot_cache_bytes(1 << 20)
+            .build()
+            .unwrap();
+        let mut dev = Ecssd::new(config);
+        dev.enable();
+        dev.table_deploy(&DenseMatrix::random(64, 8, 5)).unwrap();
+        let req = crate::GatherRequest::new(vec![1, 2, 3]);
+        dev.gather_batch(std::slice::from_ref(&req)).unwrap();
+        let misses_after_first = dev.cache_stats().misses;
+        dev.gather_batch(&[req]).unwrap();
+        let stats = dev.cache_stats();
+        assert_eq!(stats.misses, misses_after_first, "re-gather must hit");
+        assert!(stats.hits >= 3);
+    }
+
+    #[test]
+    fn tables_and_classifiers_coexist_on_one_device() {
+        let mut dev = small_device();
+        dev.enable();
+        let weights = DenseMatrix::random(256, 64, 9);
+        dev.weight_deploy(&weights).unwrap();
+        dev.table_deploy(&DenseMatrix::random(64, 8, 6)).unwrap();
+        let pooled = dev
+            .gather_batch(&[crate::GatherRequest::new(vec![0, 63])])
+            .unwrap();
+        assert_eq!(pooled[0].len(), 8);
+        let scores = dev.classify_batch(&[query(64, 0.2)], 3).unwrap();
+        assert_eq!(scores[0].len(), 3);
+    }
+
+    #[test]
+    fn gather_error_paths() {
+        let mut dev = small_device();
+        assert!(matches!(
+            dev.gather_batch(&[crate::GatherRequest::new(vec![0])]),
+            Err(EcssdError::WrongMode { .. })
+        ));
+        dev.enable();
+        assert!(matches!(
+            dev.gather_batch(&[crate::GatherRequest::new(vec![0])]),
+            Err(EcssdError::NoTable)
+        ));
+        dev.table_deploy(&DenseMatrix::random(16, 4, 1)).unwrap();
+        assert_eq!(dev.table_rows(), 16);
+        assert!(matches!(dev.gather_batch(&[]), Err(EcssdError::NoInputs)));
+        assert!(matches!(
+            dev.gather_batch(&[crate::GatherRequest::new(vec![16])]),
+            Err(EcssdError::IdExceedsTable { id: 16, rows: 16 })
+        ));
     }
 }

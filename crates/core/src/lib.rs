@@ -70,11 +70,11 @@ pub use energy::{EnergyModel, EnergyReport};
 pub use host::{ArrivalSchedule, HostCoordinator, ServiceReport};
 pub use integration::ClassifierLayer;
 pub use pipeline::{
-    run_tile_loop, DataPlacement, DegradationPolicy, EcssdMachine, MachineVariant, RunReport,
-    SchedulePlan, ScreenPhase, TileBackend, TilePhase, TileTiming,
+    run_tile_loop, DataPlacement, DegradationPolicy, EcssdMachine, MachineVariant, RowSelection,
+    RunReport, SchedulePlan, TaskKind, TilePhase, TileTask, TileTiming,
 };
 pub use recovery::RecoveryOutcome;
-pub use request::{QueryClass, RejectReason, Request, SloTargets};
+pub use request::{GatherRequest, QueryClass, RejectReason, Request, SloTargets};
 
 /// One-stop imports for writing against the unified frontend API: the
 /// [`Classifier`] trait, the frontends that implement it, the validating

@@ -1,26 +1,29 @@
-//! The ECSSD per-tile stages: screener-weight streaming + candidate
-//! selection, candidate row fetch (hot-row cache, interleaved layout
-//! lookup, fault resolution), and FP32 classification.
+//! The ECSSD classification per-tile stages: screener-weight streaming +
+//! candidate selection, candidate row fetch (hot-row cache, interleaved
+//! layout lookup, fault resolution), and FP32 classification.
 //!
 //! [`EcssdTileRun`] adapts one [`EcssdMachine`] window to the
-//! [`TileBackend`] trait so the shared scheduler
+//! [`TileTask`] trait so the shared scheduler
 //! ([`run_tile_loop`](super::run_tile_loop)) drives it; the stage methods
-//! on [`EcssdMachine`] own the resource timelines.
+//! on [`EcssdMachine`] own the resource timelines. The fetch half
+//! ([`EcssdMachine::fetch_candidates`] and the post-fetch traffic
+//! accounting) is task-generic and shared with the embedding-gather task
+//! in [`super::gather`].
 
 use ecssd_layout::{InterleavingStrategy, TileLayout};
 use ecssd_ssd::{PageReadOutcome, PhysPageAddr, SimTime, SsdError};
 use ecssd_trace::Stage;
 
 use super::degrade::{self, FailedPage, TileFaultCtx};
-use super::schedule::{ScreenPhase, TileBackend, TilePhase};
+use super::schedule::{RowSelection, TaskKind, TilePhase, TileTask};
 use super::{DataPlacement, EcssdMachine, TileTiming};
 
 /// Fixed scheduler/comparator latency charged per tile, ns.
-const TILE_CONTROL_NS: u64 = 200;
+pub(super) const TILE_CONTROL_NS: u64 = 200;
 
-/// One query window of an [`EcssdMachine`], viewed as a [`TileBackend`].
-/// Holds the per-query admission time the FP32 stage gates on and the
-/// window's candidate-row count.
+/// One query window of an [`EcssdMachine`], viewed as the classification
+/// [`TileTask`]. Holds the per-query admission time the FP32 stage gates
+/// on and the window's candidate-row count.
 pub(crate) struct EcssdTileRun<'m> {
     machine: &'m mut EcssdMachine,
     /// When the current query's features arrived on-device.
@@ -39,7 +42,11 @@ impl<'m> EcssdTileRun<'m> {
     }
 }
 
-impl TileBackend for EcssdTileRun<'_> {
+impl TileTask for EcssdTileRun<'_> {
+    fn kind(&self) -> TaskKind {
+        TaskKind::Classification
+    }
+
     fn begin_query(&mut self, _query: usize, issue: SimTime) -> SimTime {
         // Host sends the batch's CFP32 features (4 bytes + shared
         // exponent per vector) and INT4 projected features.
@@ -52,22 +59,22 @@ impl TileBackend for EcssdTileRun<'_> {
         self.host_done
     }
 
-    fn screen_tile(&mut self, query: usize, tile: usize, issue: SimTime) -> ScreenPhase {
+    fn select_rows(&mut self, query: usize, tile: usize, issue: SimTime) -> RowSelection {
         let phase = self.machine.screen_stage(query, tile, issue);
-        self.candidate_rows += phase.candidates.len() as u64;
+        self.candidate_rows += phase.rows.len() as u64;
         phase
     }
 
-    fn classify_tile(
+    fn process_rows(
         &mut self,
         query: usize,
         tile: usize,
-        candidates: &[u64],
-        screen_done: SimTime,
+        rows: &[u64],
+        select_done: SimTime,
         sync: Option<SimTime>,
     ) -> Result<TilePhase, SsdError> {
         self.machine
-            .classify_stage(query, tile, candidates, screen_done, sync, self.host_done)
+            .classify_stage(query, tile, rows, select_done, sync, self.host_done)
     }
 }
 
@@ -90,7 +97,7 @@ pub(super) struct TileScratch {
 impl EcssdMachine {
     /// Streams tile `tile`'s INT4 screener weights, runs screening and
     /// candidate selection. `issue` is the earliest the stream may start.
-    fn screen_stage(&mut self, query: usize, tile: usize, issue: SimTime) -> ScreenPhase {
+    fn screen_stage(&mut self, query: usize, tile: usize, issue: SimTime) -> RowSelection {
         let bench = *self.source.benchmark();
         let batch = self.config.accelerator.batch as u64;
         let k = bench.projected_dim() as u64;
@@ -130,9 +137,9 @@ impl EcssdMachine {
         let candidates = self.source.candidates(query, tile);
         self.tracer
             .count("pipeline.candidate_rows", candidates.len() as u64);
-        ScreenPhase {
-            screen_done,
-            candidates,
+        RowSelection {
+            select_done: screen_done,
+            rows: candidates,
         }
     }
 
@@ -144,7 +151,7 @@ impl EcssdMachine {
     /// Fills the machine-owned [`TileScratch`] (miss rows, page addresses,
     /// dropped flags) instead of allocating per tile, and returns when the
     /// last candidate page reached the bank, recovery traffic included.
-    fn fetch_candidates(
+    pub(super) fn fetch_candidates(
         &mut self,
         query: usize,
         tile: usize,
@@ -259,37 +266,7 @@ impl EcssdMachine {
         let bench = *self.source.benchmark();
         let batch = self.config.accelerator.batch as u64;
         let d = bench.hidden as u64;
-        let page_bytes = self.config.ssd.geometry.page_bytes;
-        let pages_per_row = bench.pages_per_row(page_bytes);
-        let ppr = pages_per_row as usize;
-        let row_bytes = pages_per_row * page_bytes as u64;
-        // FP32-only traffic accounting: only candidate pages that
-        // actually reached the buffer count as useful traffic
-        // (reconstruction peer reads occupy the buses but deliver no new
-        // candidate data; dropped rows deliver nothing).
-        let per_page_ns = self.config.ssd.timing.page_transfer_ns(page_bytes);
-        for fi in 0..self.tile_scratch.fetch_rows.len() {
-            let ci = self.tile_scratch.fetch_rows[fi];
-            if self.tile_scratch.row_dropped[ci] {
-                continue;
-            }
-            for p in 0..ppr {
-                let channel = self.tile_scratch.addrs[fi * ppr + p].channel;
-                self.fp_busy[channel] += per_page_ns;
-                self.fp_bytes[channel] += page_bytes as u64;
-            }
-            // Rows that survived the NAND fetch become cache residents
-            // for subsequent queries.
-            self.hot_cache.insert(cands[ci], row_bytes);
-        }
-
-        // FP32 candidate-only classification over surviving rows.
-        let delivered = self
-            .tile_scratch
-            .row_dropped
-            .iter()
-            .filter(|&&dropped| !dropped)
-            .count() as u64;
+        let delivered = self.account_delivered_rows(cands);
         let flops = 2 * d * delivered * batch;
         let fp_issue = fetch_done.max(host_done);
         let fp_done = self.fp32.compute(flops, fp_issue);
@@ -313,6 +290,40 @@ impl EcssdMachine {
         })
     }
 
+    /// Post-fetch traffic and cache accounting shared by every task that
+    /// fetches rows through [`EcssdMachine::fetch_candidates`]: only
+    /// candidate pages that actually reached the buffer count as useful
+    /// traffic (reconstruction peer reads occupy the buses but deliver no
+    /// new candidate data; dropped rows deliver nothing), and rows that
+    /// survived the NAND fetch become hot-cache residents for subsequent
+    /// queries. Returns the number of rows delivered to the compute stage
+    /// (cache hits included).
+    pub(super) fn account_delivered_rows(&mut self, cands: &[u64]) -> u64 {
+        let bench = *self.source.benchmark();
+        let page_bytes = self.config.ssd.geometry.page_bytes;
+        let pages_per_row = bench.pages_per_row(page_bytes);
+        let ppr = pages_per_row as usize;
+        let row_bytes = pages_per_row * page_bytes as u64;
+        let per_page_ns = self.config.ssd.timing.page_transfer_ns(page_bytes);
+        for fi in 0..self.tile_scratch.fetch_rows.len() {
+            let ci = self.tile_scratch.fetch_rows[fi];
+            if self.tile_scratch.row_dropped[ci] {
+                continue;
+            }
+            for p in 0..ppr {
+                let channel = self.tile_scratch.addrs[fi * ppr + p].channel;
+                self.fp_busy[channel] += per_page_ns;
+                self.fp_bytes[channel] += page_bytes as u64;
+            }
+            self.hot_cache.insert(cands[ci], row_bytes);
+        }
+        self.tile_scratch
+            .row_dropped
+            .iter()
+            .filter(|&&dropped| !dropped)
+            .count() as u64
+    }
+
     /// The per-tile layout (computed on first use; health-weighted so the
     /// learned framework routes load away from degraded or dying
     /// channels — on a healthy device this is identical to the plain
@@ -332,12 +343,15 @@ impl EcssdMachine {
                 None
             };
             let weights = self.channel_health_weights();
-            let layout = self.variant.interleaving.assign_tile_with_health(
+            let mut profile = ecssd_layout::RowAccessProfile::predicted(&predicted);
+            if let Some(freq) = freq.as_deref() {
+                profile = profile.with_observed(freq);
+            }
+            let layout = self.variant.interleaving.assign_rows_with_health(
                 tile,
                 num_tiles,
                 range.start,
-                &predicted,
-                freq.as_deref(),
+                &profile,
                 channels,
                 &weights,
             );

@@ -18,12 +18,15 @@
 //! rather than being hard-coded. The module splits along that graph:
 //!
 //! * [`schedule`] — the inter-tile dependency edges as data
-//!   ([`SchedulePlan`]), the [`TileBackend`] substrate trait, and the
-//!   shared [`run_tile_loop`] driver (also used by the GenStore DES
-//!   baseline in `ecssd-baselines`);
-//! * [`fetch`](self) — the ECSSD stage implementations: screener-weight
-//!   streaming + candidate selection, candidate fetch through the hot-row
-//!   cache and interleaved layout, FP32 classification;
+//!   ([`SchedulePlan`]), the task-generic [`TileTask`] substrate trait,
+//!   and the shared [`run_tile_loop`] driver (also used by the GenStore
+//!   DES baseline in `ecssd-baselines`);
+//! * [`fetch`](self) — the classification task's stage implementations:
+//!   screener-weight streaming + candidate selection, candidate fetch
+//!   through the hot-row cache and interleaved layout, FP32
+//!   classification;
+//! * [`gather`](self) — the RecSSD-style embedding-gather task: lookup-id
+//!   routing, the same shared row fetch, pooling compute;
 //! * [`degrade`](self) — the Fail/Retry/Reconstruct/Skip fault ladder;
 //! * [`report`](self) — [`RunReport`] / [`TileTiming`] assembly.
 
@@ -40,15 +43,17 @@ use crate::{ComputeEngine, EcssdConfig};
 
 mod degrade;
 mod fetch;
+mod gather;
 mod report;
 mod schedule;
 mod update;
 
 use degrade::DegradeLedger;
 use fetch::EcssdTileRun;
+use gather::GatherTileRun;
 
 pub use report::{RunReport, TileTiming};
-pub use schedule::{run_tile_loop, SchedulePlan, ScreenPhase, TileBackend, TilePhase};
+pub use schedule::{run_tile_loop, RowSelection, SchedulePlan, TaskKind, TilePhase, TileTask};
 
 /// Where the INT4 screener weights live (§4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -346,7 +351,8 @@ impl EcssdMachine {
     /// matrix (use `usize::MAX` for all tiles). Returns the run report.
     ///
     /// The window is one [`run_tile_loop`] drive of the machine's
-    /// [`TileBackend`] view under the variant's [`SchedulePlan`].
+    /// classification [`TileTask`] view under the variant's
+    /// [`SchedulePlan`].
     ///
     /// # Errors
     ///
@@ -369,6 +375,7 @@ impl EcssdMachine {
         let candidate_rows = run.candidate_rows;
         Ok(report::assemble(
             self,
+            TaskKind::Classification,
             makespan,
             queries,
             tiles,
@@ -384,6 +391,44 @@ impl EcssdMachine {
     /// See [`EcssdMachine::run_window`].
     pub fn run(&mut self, queries: usize) -> Result<RunReport, SsdError> {
         self.run_window(queries, usize::MAX)
+    }
+
+    /// Runs `queries` embedding-gather batches over the first `max_tiles`
+    /// table tiles (use `usize::MAX` for all tiles): the machine's
+    /// [`TaskKind::EmbeddingGather`] view under the same
+    /// [`SchedulePlan`]. The trace source supplies each batch's lookup
+    /// rows per tile; rows fetch through the shared hot-row-cache +
+    /// interleaved-layout path and are pooled on the FP32 engine.
+    ///
+    /// # Errors
+    ///
+    /// See [`EcssdMachine::run_window`] — the fetch path (and therefore
+    /// its error surface) is shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries == 0`.
+    pub fn run_gather_window(
+        &mut self,
+        queries: usize,
+        max_tiles: usize,
+    ) -> Result<RunReport, SsdError> {
+        assert!(queries > 0, "need at least one query");
+        let tiles_total = self.source.num_tiles();
+        let tiles = tiles_total.min(max_tiles);
+        let plan = self.variant.schedule_plan();
+        let mut run = GatherTileRun::new(self);
+        let makespan = run_tile_loop(&mut run, plan, queries, tiles)?;
+        let gathered_rows = run.gathered_rows;
+        Ok(report::assemble(
+            self,
+            TaskKind::EmbeddingGather,
+            makespan,
+            queries,
+            tiles,
+            tiles_total,
+            gathered_rows,
+        ))
     }
 
     /// Per-channel candidate access counts of one `(query, tile)` pair —

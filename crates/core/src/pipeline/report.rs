@@ -5,10 +5,11 @@ use ecssd_ssd::{CacheStats, HealthReport, ImbalanceReport, SimTime};
 use ecssd_trace::StageBreakdown;
 use serde::{Deserialize, Serialize};
 
+use super::schedule::TaskKind;
 use super::EcssdMachine;
 
 /// Outcome of a pipeline run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// End-to-end simulated time.
     pub makespan: SimTime,
@@ -44,6 +45,39 @@ pub struct RunReport {
     /// `None` when tracing is disabled, so traced and untraced reports
     /// differ only in this field.
     pub breakdown: Option<StageBreakdown>,
+    /// Which in-storage task the window executed. Defaults to
+    /// [`TaskKind::Classification`] so reports serialized before the task
+    /// abstraction deserialize unchanged.
+    #[serde(default)]
+    pub task: TaskKind,
+}
+
+/// Hand-written to match the derive output exactly for classification
+/// reports — the 9 pre-task golden fixtures compare `{:#?}` renders
+/// byte-for-byte — while still surfacing the [`RunReport::task`] tag for
+/// every other task.
+impl std::fmt::Debug for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("RunReport");
+        s.field("makespan", &self.makespan)
+            .field("queries", &self.queries)
+            .field("tiles_simulated", &self.tiles_simulated)
+            .field("tiles_total", &self.tiles_total)
+            .field("candidate_rows", &self.candidate_rows)
+            .field("fp_channel_utilization", &self.fp_channel_utilization)
+            .field("fp_channel_bytes", &self.fp_channel_bytes)
+            .field("int4_busy_ns", &self.int4_busy_ns)
+            .field("fp32_busy_ns", &self.fp32_busy_ns)
+            .field("dram_busy_ns", &self.dram_busy_ns)
+            .field("buffer_stall_ns", &self.buffer_stall_ns)
+            .field("health", &self.health)
+            .field("cache", &self.cache)
+            .field("breakdown", &self.breakdown);
+        if self.task != TaskKind::Classification {
+            s.field("task", &self.task);
+        }
+        s.finish()
+    }
 }
 
 impl RunReport {
@@ -86,6 +120,7 @@ pub struct TileTiming {
 /// Folds the machine's resource counters into the window's [`RunReport`].
 pub(crate) fn assemble(
     m: &EcssdMachine,
+    task: TaskKind,
     makespan: SimTime,
     queries: usize,
     tiles_simulated: usize,
@@ -116,5 +151,6 @@ pub(crate) fn assemble(
         } else {
             None
         },
+        task,
     }
 }

@@ -1,17 +1,19 @@
 //! The tile-loop scheduler: §4.5's dependency graph as data.
 //!
-//! [`SchedulePlan`] captures *what may overlap* — the screening prefetch
-//! depth, the dual-module INT4/FP32 overlap, and the per-tile transfer
+//! [`SchedulePlan`] captures *what may overlap* — the row-selection
+//! prefetch depth, the dual-module overlap, and the per-tile transfer
 //! drain — as plain data instead of control flow. [`run_tile_loop`] walks
-//! one query window over any [`TileBackend`] substrate; the backend owns
+//! one query window over any [`TileTask`] implementation; the task owns
 //! the resource timelines (buses, engines, buffers), the driver owns the
-//! inter-tile dependencies. The ECSSD device path
-//! ([`EcssdMachine`](super::EcssdMachine)) and the GenStore-AP DES
-//! baseline both run through this one driver.
+//! inter-tile dependencies. The scheduler is task-generic: extreme
+//! classification ([`EcssdMachine`](super::EcssdMachine)), the GenStore-AP
+//! DES baseline, and the RecSSD-style embedding gather all run through
+//! this one driver — only the [`TileTask`] implementation differs.
 
 use std::collections::VecDeque;
 
 use ecssd_ssd::{SimTime, SsdError};
+use serde::{Deserialize, Serialize};
 
 /// How far the INT4 screening stage runs ahead of the FP32 stage in the
 /// paper pipeline (§4.5: the 128 KB INT4 weight buffer double-buffers the
@@ -29,12 +31,13 @@ pub struct SchedulePlan {
     /// Drain one tile's candidate transfers before issuing the next
     /// tile's (§5.2: "the final data access time is decided by the
     /// busiest flash channel"). When `true`, the driver hands each
-    /// classify step the previous tile's fetch-drain time.
+    /// process step the previous tile's fetch-drain time.
     pub per_tile_sync: bool,
-    /// Screening runs this many tiles ahead of classification; tile *t*'s
-    /// screener stream additionally waits until tile *t − prefetch* has
-    /// been consumed (the double-buffer capacity edge). `0` means no
-    /// lookahead: each tile is screened and classified back to back.
+    /// Row selection runs this many tiles ahead of row processing; tile
+    /// *t*'s selection stream additionally waits until tile
+    /// *t − prefetch* has been consumed (the double-buffer capacity
+    /// edge). `0` means no lookahead: each tile is selected and processed
+    /// back to back.
     pub prefetch: usize,
 }
 
@@ -49,10 +52,10 @@ impl SchedulePlan {
         }
     }
 
-    /// No lookahead: tile *t*'s screen and classify issue back to back in
-    /// program order. Any serialization comes from the backend's resource
-    /// timelines, not from scheduler edges — the shape of a machine with
-    /// no tile double buffering (the GenStore baselines).
+    /// No lookahead: tile *t*'s selection and processing issue back to
+    /// back in program order. Any serialization comes from the task's
+    /// resource timelines, not from scheduler edges — the shape of a
+    /// machine with no tile double buffering (the GenStore baselines).
     pub fn in_order() -> Self {
         SchedulePlan {
             overlap: true,
@@ -62,73 +65,111 @@ impl SchedulePlan {
     }
 }
 
-/// Outcome of one tile's INT4 screening phase.
-#[derive(Debug, Clone)]
-pub struct ScreenPhase {
-    /// When the candidate set is known (screener stream + INT4 compute +
-    /// comparator latency).
-    pub screen_done: SimTime,
-    /// Global row ids of the candidates this tile feeds to FP32.
-    pub candidates: Vec<u64>,
+/// Which in-storage task a pipeline run executed. Tags
+/// [`RunReport`](super::RunReport)s (see
+/// [`RunReport::task`](super::RunReport::task)) so downstream
+/// tooling can tell an extreme-classification window from an
+/// embedding-gather window without inspecting the workload.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[non_exhaustive]
+pub enum TaskKind {
+    /// INT4-screen-then-CFP32-classify extreme classification (the ECSSD
+    /// paper's workload).
+    #[default]
+    Classification,
+    /// RecSSD-style embedding-table gather: fetch the looked-up rows and
+    /// pool them (read-dominated, trivial compute).
+    EmbeddingGather,
 }
 
-/// Outcome of one tile's candidate fetch + FP32 classification phase.
+impl std::fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskKind::Classification => write!(f, "classification"),
+            TaskKind::EmbeddingGather => write!(f, "embedding-gather"),
+        }
+    }
+}
+
+/// Outcome of one tile's row-selection phase (INT4 screening for
+/// classification; lookup-id routing for embedding gather).
+#[derive(Debug, Clone)]
+pub struct RowSelection {
+    /// When the selected row set is known (e.g. screener stream + INT4
+    /// compute + comparator latency).
+    pub select_done: SimTime,
+    /// Global row ids this tile feeds to the processing phase.
+    pub rows: Vec<u64>,
+}
+
+/// Outcome of one tile's row fetch + processing phase.
 #[derive(Debug, Clone, Copy)]
 pub struct TilePhase {
-    /// When the tile's candidate transfers drained (the gate for the next
+    /// When the tile's row transfers drained (the gate for the next
     /// tile under [`SchedulePlan::per_tile_sync`]).
     pub fetch_done: SimTime,
     /// When the tile completed end-to-end (results back on the host).
     pub done: SimTime,
 }
 
-/// What a tile-loop substrate provides: the per-stage resource timing of
-/// one machine. Implementations mutate their own resource timelines
-/// (buses, MAC engines, buffers) and report completion times; the
-/// scheduler ([`run_tile_loop`]) supplies the issue times that encode the
-/// inter-tile dependency graph.
-pub trait TileBackend {
+/// One in-storage task, viewed as the per-stage resource timing of one
+/// machine. The trait splits a task into the two halves every tile-loop
+/// task shares — *select* which rows a tile contributes, then *fetch and
+/// process* them — while leaving what "select" and "process" mean to the
+/// implementation (INT4 screening + FP32 classification for ECSSD,
+/// lookup routing + pooling for embedding gather). Implementations
+/// mutate their own resource timelines (buses, MAC engines, buffers) and
+/// report completion times; the scheduler ([`run_tile_loop`]) supplies
+/// the issue times that encode the inter-tile dependency graph.
+pub trait TileTask {
+    /// Which task this is, for the [`RunReport`](super::RunReport) tag.
+    fn kind(&self) -> TaskKind;
+
     /// Admits query batch `query` (e.g. the host feature upload). `issue`
     /// is the serial cursor — [`SimTime::ZERO`] unless the plan disables
     /// overlap, in which case it is the previous tile's completion time.
     /// Returns the time the query's inputs are available on-device.
     fn begin_query(&mut self, query: usize, issue: SimTime) -> SimTime;
 
-    /// Streams tile `tile`'s screener weights and runs INT4 screening +
-    /// candidate selection. `issue` is the earliest the stream may start
-    /// (query inputs ready, double-buffer slot free, serial cursor).
-    fn screen_tile(&mut self, query: usize, tile: usize, issue: SimTime) -> ScreenPhase;
+    /// Determines which of tile `tile`'s rows this query touches —
+    /// streaming screener weights and running INT4 screening for
+    /// classification, routing the query's lookup ids for gather.
+    /// `issue` is the earliest the phase may start (query inputs ready,
+    /// double-buffer slot free, serial cursor).
+    fn select_rows(&mut self, query: usize, tile: usize, issue: SimTime) -> RowSelection;
 
-    /// Fetches `candidates` and runs FP32 classification for tile `tile`.
-    /// `screen_done` is when the candidate set became known; `sync`
+    /// Fetches the selected `rows` and runs the task's compute for tile
+    /// `tile`. `select_done` is when the row set became known; `sync`
     /// carries the previous tile's fetch-drain time when the plan's
     /// per-tile transfer sync is on, `None` otherwise.
     ///
     /// # Errors
     ///
-    /// Backend-defined: the ECSSD path surfaces buffer overflows and — under
+    /// Task-defined: the ECSSD path surfaces buffer overflows and — under
     /// [`DegradationPolicy::Fail`](super::DegradationPolicy::Fail) —
     /// unrecovered read faults.
-    fn classify_tile(
+    fn process_rows(
         &mut self,
         query: usize,
         tile: usize,
-        candidates: &[u64],
-        screen_done: SimTime,
+        rows: &[u64],
+        select_done: SimTime,
         sync: Option<SimTime>,
     ) -> Result<TilePhase, SsdError>;
 }
 
-/// Runs `queries` query batches over `tiles` tiles of `backend` under
-/// `plan`, interleaving screen and classify steps so prefetched screener
-/// traffic and earlier tiles' candidate transfers share the backend's
-/// buses the way a real channel scheduler would. Returns the makespan.
+/// Runs `queries` query batches over `tiles` tiles of `task` under
+/// `plan`, interleaving select and process steps so prefetched selection
+/// traffic and earlier tiles' row transfers share the task's buses the
+/// way a real channel scheduler would. Returns the makespan.
 ///
 /// # Errors
 ///
-/// Propagates the first [`TileBackend::classify_tile`] error.
-pub fn run_tile_loop<B: TileBackend + ?Sized>(
-    backend: &mut B,
+/// Propagates the first [`TileTask::process_rows`] error.
+pub fn run_tile_loop<T: TileTask + ?Sized>(
+    task: &mut T,
     plan: SchedulePlan,
     queries: usize,
     tiles: usize,
@@ -138,19 +179,19 @@ pub fn run_tile_loop<B: TileBackend + ?Sized>(
     // tile to finish completely (the ablation point).
     let mut serial_cursor = SimTime::ZERO;
     for q in 0..queries {
-        let host_done = backend.begin_query(q, serial_cursor);
+        let host_done = task.begin_query(q, serial_cursor);
         makespan = makespan.max(host_done);
-        let mut pending: VecDeque<ScreenPhase> = VecDeque::new();
-        let mut screen_history: Vec<SimTime> = Vec::with_capacity(tiles);
+        let mut pending: VecDeque<RowSelection> = VecDeque::new();
+        let mut select_history: Vec<SimTime> = Vec::with_capacity(tiles);
         let mut prev_fetch_done = SimTime::ZERO;
         for step in 0..tiles + plan.prefetch {
-            // --- screening phase for tile `step` ----------------------
+            // --- selection phase for tile `step` -----------------------
             if step < tiles {
                 let t = step;
-                // The double-buffer capacity edge: tile t's screener
+                // The double-buffer capacity edge: tile t's selection
                 // stream may start once tile t - prefetch was consumed.
                 let buffer_ready = if plan.prefetch > 0 && t >= plan.prefetch {
-                    screen_history[t - plan.prefetch]
+                    select_history[t - plan.prefetch]
                 } else {
                     SimTime::ZERO
                 };
@@ -159,30 +200,30 @@ pub fn run_tile_loop<B: TileBackend + ?Sized>(
                 } else {
                     serial_cursor.max(host_done)
                 };
-                let phase = backend.screen_tile(q, t, issue);
-                screen_history.push(phase.screen_done);
+                let phase = task.select_rows(q, t, issue);
+                select_history.push(phase.select_done);
                 pending.push_back(phase);
             }
-            // --- classification phase for tile `step - prefetch` ------
+            // --- processing phase for tile `step - prefetch` -----------
             if step < plan.prefetch {
                 continue;
             }
             let t = step - plan.prefetch;
-            let Some(screen) = pending.pop_front() else {
-                unreachable!("screening stays `prefetch` tiles ahead");
+            let Some(selection) = pending.pop_front() else {
+                unreachable!("selection stays `prefetch` tiles ahead");
             };
-            let mut screen_done = screen.screen_done;
+            let mut select_done = selection.select_done;
             if !plan.overlap {
-                // Serial ablation: this tile's FP32 phase starts only
-                // after the previous tile fully completed.
-                screen_done = screen_done.max(serial_cursor);
+                // Serial ablation: this tile's processing phase starts
+                // only after the previous tile fully completed.
+                select_done = select_done.max(serial_cursor);
             }
             let sync = if plan.per_tile_sync {
                 Some(prev_fetch_done)
             } else {
                 None
             };
-            let phase = backend.classify_tile(q, t, &screen.candidates, screen_done, sync)?;
+            let phase = task.process_rows(q, t, &selection.rows, select_done, sync)?;
             prev_fetch_done = phase.fetch_done;
             makespan = makespan.max(phase.done);
             if !plan.overlap {
@@ -197,59 +238,63 @@ pub fn run_tile_loop<B: TileBackend + ?Sized>(
 mod tests {
     use super::*;
 
-    /// Records every driver → backend call with its issue/sync inputs and
+    /// Records every driver → task call with its issue/sync inputs and
     /// answers with fixed stage latencies.
     struct Mock {
-        screen_ns: u64,
-        classify_ns: u64,
+        select_ns: u64,
+        process_ns: u64,
         begins: Vec<(usize, SimTime)>,
-        screens: Vec<(usize, usize, SimTime)>,
-        classifies: Vec<(usize, usize, SimTime, Option<SimTime>)>,
+        selects: Vec<(usize, usize, SimTime)>,
+        processes: Vec<(usize, usize, SimTime, Option<SimTime>)>,
         /// Interleaved call order, `("s" | "c", tile)`.
         order: Vec<(&'static str, usize)>,
     }
 
     impl Mock {
-        fn new(screen_ns: u64, classify_ns: u64) -> Self {
+        fn new(select_ns: u64, process_ns: u64) -> Self {
             Mock {
-                screen_ns,
-                classify_ns,
+                select_ns,
+                process_ns,
                 begins: Vec::new(),
-                screens: Vec::new(),
-                classifies: Vec::new(),
+                selects: Vec::new(),
+                processes: Vec::new(),
                 order: Vec::new(),
             }
         }
     }
 
-    impl TileBackend for Mock {
+    impl TileTask for Mock {
+        fn kind(&self) -> TaskKind {
+            TaskKind::Classification
+        }
+
         fn begin_query(&mut self, query: usize, issue: SimTime) -> SimTime {
             self.begins.push((query, issue));
             issue + 10
         }
 
-        fn screen_tile(&mut self, query: usize, tile: usize, issue: SimTime) -> ScreenPhase {
-            self.screens.push((query, tile, issue));
+        fn select_rows(&mut self, query: usize, tile: usize, issue: SimTime) -> RowSelection {
+            self.selects.push((query, tile, issue));
             self.order.push(("s", tile));
-            ScreenPhase {
-                screen_done: issue + self.screen_ns,
-                candidates: vec![tile as u64],
+            RowSelection {
+                select_done: issue + self.select_ns,
+                rows: vec![tile as u64],
             }
         }
 
-        fn classify_tile(
+        fn process_rows(
             &mut self,
             query: usize,
             tile: usize,
-            candidates: &[u64],
-            screen_done: SimTime,
+            rows: &[u64],
+            select_done: SimTime,
             sync: Option<SimTime>,
         ) -> Result<TilePhase, SsdError> {
-            // The driver must hand each tile its own candidate set.
-            assert_eq!(candidates, &[tile as u64]);
-            self.classifies.push((query, tile, screen_done, sync));
+            // The driver must hand each tile its own selected row set.
+            assert_eq!(rows, &[tile as u64]);
+            self.processes.push((query, tile, select_done, sync));
             self.order.push(("c", tile));
-            let done = screen_done.max(sync.unwrap_or(SimTime::ZERO)) + self.classify_ns;
+            let done = select_done.max(sync.unwrap_or(SimTime::ZERO)) + self.process_ns;
             Ok(TilePhase {
                 fetch_done: done,
                 done,
@@ -258,7 +303,7 @@ mod tests {
     }
 
     #[test]
-    fn screening_runs_prefetch_tiles_ahead() {
+    fn selection_runs_prefetch_tiles_ahead() {
         let mut m = Mock::new(100, 1000);
         let plan = SchedulePlan::pipelined(true, false);
         run_tile_loop(&mut m, plan, 1, 5).unwrap();
@@ -277,74 +322,82 @@ mod tests {
         ];
         assert_eq!(m.order, expected);
         // The capacity edge: tile 2 may stream only once tile 0 was
-        // consumed (screen_done of 0), tile 3 once tile 1 was.
-        let s0_done = m.screens[0].2 + 100;
-        let s1_done = m.screens[1].2 + 100;
-        assert_eq!(m.screens[2].2, s0_done);
-        assert_eq!(m.screens[3].2, s1_done);
+        // consumed (select_done of 0), tile 3 once tile 1 was.
+        let s0_done = m.selects[0].2 + 100;
+        let s1_done = m.selects[1].2 + 100;
+        assert_eq!(m.selects[2].2, s0_done);
+        assert_eq!(m.selects[3].2, s1_done);
     }
 
     #[test]
-    fn in_order_plan_alternates_screen_and_classify() {
+    fn in_order_plan_alternates_select_and_process() {
         let mut m = Mock::new(100, 1000);
         run_tile_loop(&mut m, SchedulePlan::in_order(), 1, 3).unwrap();
         let expected = [("s", 0), ("c", 0), ("s", 1), ("c", 1), ("s", 2), ("c", 2)];
         assert_eq!(m.order, expected);
-        // No capacity edge, no serial edge: every screen issues at the
+        // No capacity edge, no serial edge: every selection issues at the
         // query-ready time.
-        for &(_, _, issue) in &m.screens {
+        for &(_, _, issue) in &m.selects {
             assert_eq!(issue, SimTime::ZERO + 10);
         }
     }
 
     #[test]
-    fn per_tile_sync_hands_classify_the_previous_drain_time() {
+    fn per_tile_sync_hands_process_the_previous_drain_time() {
         let mut m = Mock::new(100, 1000);
         run_tile_loop(&mut m, SchedulePlan::pipelined(true, true), 1, 3).unwrap();
         // First tile syncs on nothing; each later tile on its
         // predecessor's fetch-drain time.
-        assert_eq!(m.classifies[0].3, Some(SimTime::ZERO));
-        for w in m.classifies.windows(2) {
+        assert_eq!(m.processes[0].3, Some(SimTime::ZERO));
+        for w in m.processes.windows(2) {
             let prev_done = w[0].2.max(w[0].3.unwrap()) + 1000;
             assert_eq!(w[1].3, Some(prev_done));
         }
         // Sync off: the driver passes no drain time at all.
         let mut free = Mock::new(100, 1000);
         run_tile_loop(&mut free, SchedulePlan::pipelined(true, false), 1, 3).unwrap();
-        assert!(free.classifies.iter().all(|c| c.3.is_none()));
+        assert!(free.processes.iter().all(|c| c.3.is_none()));
     }
 
     #[test]
     fn serial_plan_chains_every_stage_through_the_cursor() {
         let mut m = Mock::new(100, 1000);
         let makespan = run_tile_loop(&mut m, SchedulePlan::pipelined(false, false), 1, 5).unwrap();
-        // The cursor only advances when a tile classifies, so the first
-        // `prefetch` screens still issue at admission; every later screen
-        // waits for the tile classified in the preceding step. Screen of
-        // tile 3 (step 3) follows classify of tile 0 (step 2), and so on.
-        let done0 = m.classifies[0].2 + 1000;
-        assert_eq!(m.screens[3].2, done0);
-        let done1 = m.classifies[1].2 + 1000;
-        assert_eq!(m.screens[4].2, done1);
-        // Classify of tile t+1 never starts before tile t completed.
-        for w in m.classifies.windows(2) {
+        // The cursor only advances when a tile processes, so the first
+        // `prefetch` selections still issue at admission; every later
+        // selection waits for the tile processed in the preceding step.
+        // Selection of tile 3 (step 3) follows processing of tile 0
+        // (step 2), and so on.
+        let done0 = m.processes[0].2 + 1000;
+        assert_eq!(m.selects[3].2, done0);
+        let done1 = m.processes[1].2 + 1000;
+        assert_eq!(m.selects[4].2, done1);
+        // Processing of tile t+1 never starts before tile t completed.
+        for w in m.processes.windows(2) {
             assert!(w[1].2 >= w[0].2 + 1000);
         }
         // And the serial cursor carries into the next query's admission.
         let mut two = Mock::new(100, 1000);
         run_tile_loop(&mut two, SchedulePlan::pipelined(false, false), 2, 1).unwrap();
         assert_eq!(two.begins[0].1, SimTime::ZERO);
-        assert_eq!(two.begins[1].1, two.classifies[0].2 + 1000);
+        assert_eq!(two.begins[1].1, two.processes[0].2 + 1000);
         // Makespan is the last tile's completion.
-        assert_eq!(makespan, m.classifies[4].2 + 1000);
+        assert_eq!(makespan, m.processes[4].2 + 1000);
     }
 
     #[test]
     fn makespan_covers_admission_even_with_zero_tiles() {
         let mut m = Mock::new(1, 1);
         let makespan = run_tile_loop(&mut m, SchedulePlan::pipelined(true, true), 2, 0).unwrap();
-        assert_eq!(m.screens.len(), 0);
-        assert_eq!(m.classifies.len(), 0);
+        assert_eq!(m.selects.len(), 0);
+        assert_eq!(m.processes.len(), 0);
         assert_eq!(makespan, SimTime::ZERO + 10);
+    }
+
+    #[test]
+    fn task_kind_default_is_classification() {
+        assert_eq!(TaskKind::default(), TaskKind::Classification);
+        assert_eq!(TaskKind::Classification.to_string(), "classification");
+        assert_eq!(TaskKind::EmbeddingGather.to_string(), "embedding-gather");
     }
 }

@@ -169,6 +169,61 @@ impl From<(Vec<f32>, usize)> for Request {
     }
 }
 
+/// A typed embedding-gather request: the lookup ids of one pooled
+/// multi-hot feature, plus the same QoS metadata as [`Request`]. The
+/// answer is one pooled vector (the element-wise sum of the looked-up
+/// table rows).
+///
+/// ```
+/// use ecssd_core::{GatherRequest, QueryClass};
+///
+/// let r = GatherRequest::new(vec![3, 17, 1_000_000])
+///     .with_class(QueryClass::Batch)
+///     .with_deadline_us(50_000);
+/// assert_eq!(r.ids.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatherRequest {
+    /// Embedding-table row ids to gather and pool.
+    pub ids: Vec<u64>,
+    /// QoS class (default [`QueryClass::LatencySensitive`]).
+    pub class: QueryClass,
+    /// Deadline in simulated µs from arrival; `None` uses the serving
+    /// layer's per-class [`SloTargets`] default.
+    pub deadline_us: Option<u64>,
+}
+
+impl GatherRequest {
+    /// A latency-sensitive gather request with no deadline.
+    pub fn new(ids: Vec<u64>) -> Self {
+        GatherRequest {
+            ids,
+            class: QueryClass::LatencySensitive,
+            deadline_us: None,
+        }
+    }
+
+    /// Sets the QoS class.
+    #[must_use]
+    pub fn with_class(mut self, class: QueryClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Sets the deadline, simulated µs from arrival.
+    #[must_use]
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+}
+
+impl From<Vec<u64>> for GatherRequest {
+    fn from(ids: Vec<u64>) -> Self {
+        GatherRequest::new(ids)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +247,19 @@ mod tests {
         );
         assert_eq!(slo.deadline_us(QueryClass::Batch), slo.batch_us);
         assert!(slo.batch_us > slo.latency_sensitive_us);
+    }
+
+    #[test]
+    fn gather_request_defaults_and_builders() {
+        let r: GatherRequest = vec![1u64, 2, 3].into();
+        assert_eq!(r.class, QueryClass::LatencySensitive);
+        assert_eq!(r.deadline_us, None);
+        let r = r.with_class(QueryClass::Batch).with_deadline_us(11);
+        assert_eq!(r.class, QueryClass::Batch);
+        assert_eq!(r.deadline_us, Some(11));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: GatherRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

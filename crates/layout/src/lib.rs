@@ -35,4 +35,4 @@ pub use deploy::DeploymentPlanner;
 pub use grade::{grade_rows, GradeConfig, HotGrade};
 pub use metrics::{channel_loads, TileBalance};
 pub use parity::ParityScheme;
-pub use strategy::{InterleavingStrategy, LearnedConfig, TileLayout};
+pub use strategy::{InterleavingStrategy, LearnedConfig, RowAccessProfile, TileLayout};

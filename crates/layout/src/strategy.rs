@@ -1,9 +1,60 @@
 //! The three storing strategies of §5 and the per-tile channel assignment
 //! they produce.
+//!
+//! Placement is generic over the *row-access distribution*, not over any
+//! one task: a [`RowAccessProfile`] carries a predicted per-row access
+//! weight plus optional observed access counts, whatever produced them —
+//! |INT4| screener magnitudes and training-trace candidate frequencies
+//! for extreme classification, lookup-hotness predictions and trace
+//! counts for an embedding-table gather. The learned framework only sees
+//! the profile.
 
 use serde::{Deserialize, Serialize};
 
 use crate::{grade_rows, GradeConfig};
+
+/// The expected access distribution of one tile's rows — the
+/// task-agnostic signal placement decisions are made from.
+///
+/// `predicted` is any monotone proxy for how often each row will be
+/// fetched (screener |INT4| magnitudes, embedding lookup hotness, a
+/// uniform vector when nothing is known). `observed` optionally refines
+/// it with access counts measured on a training trace.
+#[derive(Debug, Clone, Copy)]
+pub struct RowAccessProfile<'a> {
+    /// Predicted per-row access weight (one entry per tile-local row).
+    pub predicted: &'a [f32],
+    /// Observed per-row access counts from a training trace, if any.
+    /// Must be the same length as `predicted` when present.
+    pub observed: Option<&'a [u32]>,
+}
+
+impl<'a> RowAccessProfile<'a> {
+    /// A profile from predictions alone.
+    pub fn predicted(predicted: &'a [f32]) -> Self {
+        RowAccessProfile {
+            predicted,
+            observed: None,
+        }
+    }
+
+    /// Attaches observed training-trace access counts.
+    #[must_use]
+    pub fn with_observed(mut self, observed: &'a [u32]) -> Self {
+        self.observed = Some(observed);
+        self
+    }
+
+    /// Rows in the tile.
+    pub fn len(&self) -> usize {
+        self.predicted.len()
+    }
+
+    /// Whether the tile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.predicted.is_empty()
+    }
+}
 
 /// Configuration of the learning-based adaptive interleaving framework.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -55,13 +106,14 @@ impl InterleavingStrategy {
         }
     }
 
-    /// Computes the channel of every row of one tile.
+    /// Computes the channel of every row of one tile from its
+    /// [`RowAccessProfile`].
     ///
     /// ```
-    /// use ecssd_layout::InterleavingStrategy;
+    /// use ecssd_layout::{InterleavingStrategy, RowAccessProfile};
     /// let hotness: Vec<f32> = (0..16).map(|i| (i % 5) as f32).collect();
     /// let layout = InterleavingStrategy::Learned(Default::default())
-    ///     .assign_tile(0, 4, 0, &hotness, None, 8);
+    ///     .assign_rows(0, 4, 0, &RowAccessProfile::predicted(&hotness), 8);
     /// // Snake dealing: row counts differ by at most one across channels.
     /// let counts = layout.channel_row_counts();
     /// assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
@@ -71,25 +123,23 @@ impl InterleavingStrategy {
     ///   sequential storing, which fills channels contiguously).
     /// * `global_row_offset` — first global row id of the tile (used by
     ///   uniform striping so the stripe phase is continuous across tiles).
-    /// * `predicted` — per-row hot-degree prediction (|INT4| magnitudes).
-    /// * `frequency` — optional training-trace candidate frequencies.
+    /// * `profile` — the tile's expected row-access distribution.
     /// * `channels` — flash channel count.
     ///
     /// # Panics
     ///
     /// Panics if `channels == 0`, `num_tiles == 0`, or `tile >= num_tiles`.
-    pub fn assign_tile(
+    pub fn assign_rows(
         &self,
         tile: usize,
         num_tiles: usize,
         global_row_offset: u64,
-        predicted: &[f32],
-        frequency: Option<&[u32]>,
+        profile: &RowAccessProfile<'_>,
         channels: usize,
     ) -> TileLayout {
         assert!(channels > 0, "no channels");
         assert!(num_tiles > 0 && tile < num_tiles, "tile {tile}/{num_tiles}");
-        let n = predicted.len();
+        let n = profile.len();
         let row_channel = match self {
             InterleavingStrategy::Sequential => {
                 // Contiguous fill: tile t lands wholly in channel
@@ -101,8 +151,12 @@ impl InterleavingStrategy {
                 .map(|i| ((global_row_offset + i as u64) % channels as u64) as u8)
                 .collect(),
             InterleavingStrategy::Learned(cfg) => {
-                let freq = if cfg.use_frequency { frequency } else { None };
-                let (_grades, scores) = grade_rows(predicted, freq, &cfg.grading);
+                let freq = if cfg.use_frequency {
+                    profile.observed
+                } else {
+                    None
+                };
+                let (_grades, scores) = grade_rows(profile.predicted, freq, &cfg.grading);
                 // Deal rows across channels in descending-score snake order:
                 // every channel receives the same number of rows from every
                 // score stratum, equalizing expected candidate load.
@@ -131,29 +185,50 @@ impl InterleavingStrategy {
         }
     }
 
-    /// Failure-aware variant of [`InterleavingStrategy::assign_tile`]: the
-    /// learned framework redistributes expected candidate load according to
-    /// per-channel health weights (nominal = 1.0, degraded < 1.0, dead
-    /// = 0.0), so a channel running at half bandwidth receives half the
-    /// rows and a dead channel receives none.
-    ///
-    /// Sequential and uniform storing have no placement freedom to exploit
-    /// health information, and a uniform weight vector carries none — in
-    /// both cases this delegates to `assign_tile` and is byte-identical to
-    /// the health-oblivious layout.
+    /// Classification-era signature: builds the [`RowAccessProfile`] from
+    /// the screener prediction and optional training-trace frequencies,
+    /// then delegates to [`InterleavingStrategy::assign_rows`].
     ///
     /// # Panics
     ///
-    /// Panics if `channel_weights.len() != channels`, any weight is
-    /// negative or non-finite, or all weights are zero.
-    #[allow(clippy::too_many_arguments)]
-    pub fn assign_tile_with_health(
+    /// See [`InterleavingStrategy::assign_rows`].
+    pub fn assign_tile(
         &self,
         tile: usize,
         num_tiles: usize,
         global_row_offset: u64,
         predicted: &[f32],
         frequency: Option<&[u32]>,
+        channels: usize,
+    ) -> TileLayout {
+        let mut profile = RowAccessProfile::predicted(predicted);
+        if let Some(freq) = frequency {
+            profile = profile.with_observed(freq);
+        }
+        self.assign_rows(tile, num_tiles, global_row_offset, &profile, channels)
+    }
+
+    /// Failure-aware variant of [`InterleavingStrategy::assign_rows`]: the
+    /// learned framework redistributes expected access load according to
+    /// per-channel health weights (nominal = 1.0, degraded < 1.0, dead
+    /// = 0.0), so a channel running at half bandwidth receives half the
+    /// rows and a dead channel receives none.
+    ///
+    /// Sequential and uniform storing have no placement freedom to exploit
+    /// health information, and a uniform weight vector carries none — in
+    /// both cases this delegates to `assign_rows` and is byte-identical to
+    /// the health-oblivious layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel_weights.len() != channels`, any weight is
+    /// negative or non-finite, or all weights are zero.
+    pub fn assign_rows_with_health(
+        &self,
+        tile: usize,
+        num_tiles: usize,
+        global_row_offset: u64,
+        profile: &RowAccessProfile<'_>,
         channels: usize,
         channel_weights: &[f64],
     ) -> TileLayout {
@@ -167,20 +242,15 @@ impl InterleavingStrategy {
         let uniform = channel_weights.windows(2).all(|w| w[0] == w[1]);
         let cfg = match self {
             InterleavingStrategy::Learned(cfg) if !uniform => cfg,
-            _ => {
-                return self.assign_tile(
-                    tile,
-                    num_tiles,
-                    global_row_offset,
-                    predicted,
-                    frequency,
-                    channels,
-                )
-            }
+            _ => return self.assign_rows(tile, num_tiles, global_row_offset, profile, channels),
         };
-        let n = predicted.len();
-        let freq = if cfg.use_frequency { frequency } else { None };
-        let (_grades, scores) = grade_rows(predicted, freq, &cfg.grading);
+        let n = profile.len();
+        let freq = if cfg.use_frequency {
+            profile.observed
+        } else {
+            None
+        };
+        let (_grades, scores) = grade_rows(profile.predicted, freq, &cfg.grading);
         let mut order: Vec<usize> = (0..n).collect();
         // NaN scores are a caller bug; panicking beats silently scrambling
         // the layout.
@@ -210,6 +280,39 @@ impl InterleavingStrategy {
             row_channel,
             channels,
         }
+    }
+
+    /// Classification-era signature of
+    /// [`InterleavingStrategy::assign_rows_with_health`]; builds the
+    /// [`RowAccessProfile`] from the screener prediction and optional
+    /// training-trace frequencies.
+    ///
+    /// # Panics
+    ///
+    /// See [`InterleavingStrategy::assign_rows_with_health`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn assign_tile_with_health(
+        &self,
+        tile: usize,
+        num_tiles: usize,
+        global_row_offset: u64,
+        predicted: &[f32],
+        frequency: Option<&[u32]>,
+        channels: usize,
+        channel_weights: &[f64],
+    ) -> TileLayout {
+        let mut profile = RowAccessProfile::predicted(predicted);
+        if let Some(freq) = frequency {
+            profile = profile.with_observed(freq);
+        }
+        self.assign_rows_with_health(
+            tile,
+            num_tiles,
+            global_row_offset,
+            &profile,
+            channels,
+            channel_weights,
+        )
     }
 }
 
@@ -448,5 +551,46 @@ mod tests {
     fn all_dead_channels_rejected() {
         let s = InterleavingStrategy::Learned(LearnedConfig::paper_default());
         let _ = s.assign_tile_with_health(0, 1, 0, &predicted(8), None, 4, &[0.0; 4]);
+    }
+
+    #[test]
+    fn classification_wrappers_match_the_profile_path() {
+        // The classification-era signatures are thin wrappers: same
+        // layout, byte for byte, for every strategy, with and without
+        // observed counts and health weights.
+        let p = predicted(256);
+        let freq: Vec<u32> = (0..256).map(|i| (i % 7) as u32).collect();
+        let mut weights = [1.0f64; 8];
+        weights[2] = 0.25;
+        let profile = RowAccessProfile::predicted(&p).with_observed(&freq);
+        for s in [
+            InterleavingStrategy::Sequential,
+            InterleavingStrategy::Uniform,
+            InterleavingStrategy::Learned(LearnedConfig::paper_default()),
+        ] {
+            assert_eq!(
+                s.assign_tile(1, 4, 256, &p, Some(&freq), 8),
+                s.assign_rows(1, 4, 256, &profile, 8),
+                "{} plain",
+                s.label()
+            );
+            assert_eq!(
+                s.assign_tile_with_health(1, 4, 256, &p, Some(&freq), 8, &weights),
+                s.assign_rows_with_health(1, 4, 256, &profile, 8, &weights),
+                "{} health",
+                s.label()
+            );
+        }
+    }
+
+    #[test]
+    fn profile_accessors() {
+        let p = [1.0f32, 2.0];
+        let profile = RowAccessProfile::predicted(&p);
+        assert_eq!(profile.len(), 2);
+        assert!(!profile.is_empty());
+        assert!(profile.observed.is_none());
+        let empty = RowAccessProfile::predicted(&[]);
+        assert!(empty.is_empty());
     }
 }

@@ -32,7 +32,8 @@ use std::time::{Duration, Instant};
 
 use ecssd_core::{
     sort_scores, Classifier, ClassifierStats, Ecssd, EcssdConfig, EcssdError, EcssdMode,
-    QueryClass, RecoveryOutcome, RejectReason, Request, SloTargets, UpdateBatch, UpdateReport,
+    GatherRequest, QueryClass, RecoveryOutcome, RejectReason, Request, SloTargets, UpdateBatch,
+    UpdateReport,
 };
 use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
 use ecssd_ssd::{CacheStats, JournalConfig, SimTime};
@@ -255,6 +256,17 @@ impl PendingBatch {
     }
 }
 
+/// The merged outcome of one [`ServeEngine::gather`] request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatherOutcome {
+    /// The pooled vector: the element-wise sum of the looked-up table
+    /// rows (per-shard partial sums, combined in shard order).
+    pub pooled: Vec<f32>,
+    /// Simulated device latency: the slowest contacted shard's time for
+    /// its slice (shards run in parallel).
+    pub sim_ns: u64,
+}
+
 struct Query {
     idx: usize,
     features: Vec<f32>,
@@ -267,11 +279,30 @@ struct Query {
     resp: Sender<Response>,
 }
 
+/// A shard's answer to a [`Job::Gather`]: the shard index plus either the
+/// partial pooled vector and the shard's simulated gather time, or the
+/// relayed device error text.
+type GatherAck = (usize, Result<(Vec<f32>, u64), String>);
+
 enum Job {
     Deploy {
         shard: DenseMatrix,
         offset: usize,
         ack: Sender<Result<(), String>>,
+    },
+    /// Deploy this shard's slice of an embedding table (the gather task
+    /// rides the same worker devices as classification).
+    DeployTable {
+        shard: DenseMatrix,
+        ack: Sender<Result<(), String>>,
+    },
+    /// Gather + pool this shard's slice of one gather request's ids
+    /// (shard-local row ids). Synchronous dedicated-ack path: gather
+    /// answers are typed vectors, not `Score` lists, so they bypass the
+    /// classification merger.
+    Gather {
+        ids: Vec<u64>,
+        ack: Sender<GatherAck>,
     },
     Threshold {
         policy: ThresholdPolicy,
@@ -437,6 +468,11 @@ pub struct ServeEngine {
     /// First global row of each shard (plus a trailing end marker); empty
     /// until deployment.
     shard_starts: Vec<usize>,
+    /// First global embedding-table row of each shard (plus a trailing
+    /// end marker); empty until [`ServeEngine::deploy_table`].
+    table_starts: Vec<usize>,
+    /// Embedding dimension of the deployed table (0 until deployed).
+    table_dim: usize,
     /// Root span-trace handle shared by every shard device; `Some` iff the
     /// engine was built with tracing enabled.
     tracer: Option<Tracer>,
@@ -459,52 +495,6 @@ impl std::fmt::Debug for ServeEngine {
 }
 
 impl ServeEngine {
-    /// Spawns the engine: one worker thread per shard (each owning one
-    /// simulated [`Ecssd`]), a dispatcher, and a merger.
-    ///
-    /// # Errors
-    ///
-    /// Rejects an invalid `config` ([`EcssdError::Config`]), zero shards
-    /// or a zero `max_batch` ([`EcssdError::Serve`]), and thread-spawn
-    /// failures.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use ServeEngine::builder(config).shards(n).policy(policy).build()"
-    )]
-    pub fn new(
-        config: EcssdConfig,
-        shards: usize,
-        policy: ServePolicy,
-    ) -> Result<Self, EcssdError> {
-        Self::build(config, shards, policy, EngineOptions::default())
-    }
-
-    /// Like `ServeEngine::new`, but with span tracing enabled on every
-    /// shard device.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as the builder.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use ServeEngine::builder(config).shards(n).tracing(true).build()"
-    )]
-    pub fn with_tracing(
-        config: EcssdConfig,
-        shards: usize,
-        policy: ServePolicy,
-    ) -> Result<Self, EcssdError> {
-        Self::build(
-            config,
-            shards,
-            policy,
-            EngineOptions {
-                tracer: Some(Tracer::enabled()),
-                ..EngineOptions::default()
-            },
-        )
-    }
-
     pub(crate) fn build(
         config: EcssdConfig,
         shards: usize,
@@ -581,6 +571,8 @@ impl ServeEngine {
             metrics,
             enabled: true,
             shard_starts: Vec::new(),
+            table_starts: Vec::new(),
+            table_dim: 0,
             tracer,
             outstanding,
             queue_limit: opts.queue_limit,
@@ -678,6 +670,180 @@ impl ServeEngine {
         }
         self.shard_starts = starts;
         Ok(())
+    }
+
+    /// Partitions an embedding `table` into contiguous row shards and
+    /// deploys one per worker device, blocking until every shard
+    /// acknowledged. The gather task coexists with a deployed classifier
+    /// on the same devices; redeploying replaces the previous table.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled; per-shard failures as
+    /// [`EcssdError::Serve`] (no shard is considered deployed after a
+    /// failure).
+    pub fn deploy_table(&mut self, table: &DenseMatrix) -> Result<(), EcssdError> {
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        let n = self.worker_tx.len();
+        let rows = table.rows();
+        if rows < n {
+            return Err(EcssdError::Serve(format!(
+                "fewer table rows ({rows}) than shards ({n})"
+            )));
+        }
+        let per = rows.div_ceil(n);
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut acks = Vec::with_capacity(n);
+        for (i, worker) in self.worker_tx.iter().enumerate() {
+            let start = i * per;
+            let end = ((i + 1) * per).min(rows);
+            starts.push(start);
+            let mut data = Vec::with_capacity((end - start) * table.cols());
+            for r in start..end {
+                data.extend_from_slice(table.row(r));
+            }
+            let shard = DenseMatrix::from_vec(end - start, table.cols(), data)
+                .map_err(EcssdError::Screen)?;
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::DeployTable { shard, ack: ack_tx })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            acks.push(ack_rx);
+        }
+        starts.push(rows);
+        for (i, ack) in acks.into_iter().enumerate() {
+            let outcome = ack
+                .recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited during table deploy")));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    self.table_starts.clear();
+                    return Err(EcssdError::Serve(format!(
+                        "shard {i} table deploy failed: {e}"
+                    )));
+                }
+                Err(e) => {
+                    self.table_starts.clear();
+                    return Err(e);
+                }
+            }
+        }
+        self.table_starts = starts;
+        self.table_dim = table.cols();
+        Ok(())
+    }
+
+    /// Answers one embedding-gather request: the ids are split along the
+    /// table's shard partition, every involved shard fetches + pools its
+    /// slice in parallel, and the per-shard partial sums are combined in
+    /// shard order. Blocks until the answer is merged. Deadlines are
+    /// enforced like classification: an answer whose simulated latency
+    /// exceeds the request deadline (or, absent one, the engine's
+    /// per-class [`SloTargets`] default) is dropped and surfaced as the
+    /// typed [`EcssdError::Rejected`].
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::WrongMode`] while disabled, [`EcssdError::NoTable`]
+    /// before [`Self::deploy_table`], [`EcssdError::NoInputs`] for an
+    /// empty id list, [`EcssdError::IdExceedsTable`] for an out-of-range
+    /// id, [`EcssdError::Rejected`] for a deadline miss, and shard
+    /// failures as [`EcssdError::Serve`].
+    pub fn gather(
+        &mut self,
+        request: impl Into<GatherRequest>,
+    ) -> Result<GatherOutcome, EcssdError> {
+        let mut request = request.into();
+        if !self.enabled {
+            return Err(EcssdError::WrongMode {
+                current: EcssdMode::Ssd,
+            });
+        }
+        if self.table_starts.is_empty() {
+            return Err(EcssdError::NoTable);
+        }
+        if request.ids.is_empty() {
+            return Err(EcssdError::NoInputs);
+        }
+        let rows = *self.table_starts.last().unwrap_or(&0) as u64;
+        // Split ids along the shard partition (shard-local row ids).
+        let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); self.worker_tx.len()];
+        for &id in &request.ids {
+            if id >= rows {
+                return Err(EcssdError::IdExceedsTable { id, rows });
+            }
+            let shard = self.table_starts.partition_point(|&s| s as u64 <= id) - 1;
+            per_shard[shard].push(id - self.table_starts[shard] as u64);
+        }
+        if request.deadline_us.is_none() {
+            if let Some(slo) = self.slo {
+                request.deadline_us = Some(slo.deadline_us(request.class));
+            }
+        }
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let mut contacted = 0usize;
+        for (i, (worker, ids)) in self.worker_tx.iter().zip(per_shard).enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            contacted += 1;
+            worker
+                .send(Job::Gather {
+                    ids,
+                    ack: ack_tx.clone(),
+                })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+        }
+        let mut partials: Vec<Option<Vec<f32>>> = vec![None; self.worker_tx.len()];
+        let mut sim_ns = 0u64;
+        let mut first_error: Option<String> = None;
+        for _ in 0..contacted {
+            let (shard, result) = ack_rx
+                .recv()
+                .map_err(|_| EcssdError::Serve("worker exited during gather".into()))?;
+            match result {
+                Ok((pooled, ns)) => {
+                    sim_ns = sim_ns.max(ns);
+                    partials[shard] = Some(pooled);
+                }
+                Err(e) => {
+                    first_error =
+                        Some(first_error.unwrap_or(format!("shard {shard} gather failed: {e}")));
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(EcssdError::Serve(e));
+        }
+        // Combine partial sums in shard order (deterministic).
+        let mut pooled = vec![0.0f32; self.table_dim];
+        for partial in partials.into_iter().flatten() {
+            for (acc, v) in pooled.iter_mut().zip(partial) {
+                *acc += v;
+            }
+        }
+        {
+            let mut m = lock(&self.metrics);
+            m.queries += 1;
+            m.batches += 1;
+            m.sim_latencies_ns.push(sim_ns);
+        }
+        let late = request
+            .deadline_us
+            .is_some_and(|d| sim_ns > d.saturating_mul(1_000));
+        if late {
+            lock(&self.metrics).rejected_deadline += 1;
+            return Err(EcssdError::Rejected {
+                class: request.class,
+                reason: RejectReason::DeadlineExceeded,
+            });
+        }
+        Ok(GatherOutcome { pooled, sim_ns })
     }
 
     /// Sets the screening threshold on every shard, blocking until every
@@ -1316,6 +1482,29 @@ fn worker_loop(
                 drop(m);
                 let _ = ack.send(outcome);
             }
+            Job::DeployTable { shard: table, ack } => {
+                let outcome = device.table_deploy(&table).map_err(|e| e.to_string());
+                let mut m = lock(&metrics);
+                m.shard_elapsed[shard] = Classifier::elapsed(&device);
+                m.serve_start[shard] = Classifier::elapsed(&device);
+                drop(m);
+                let _ = ack.send(outcome);
+            }
+            Job::Gather { ids, ack } => {
+                let before = Classifier::elapsed(&device);
+                let result = device
+                    .gather_batch(&[GatherRequest::new(ids)])
+                    .map(|mut pooled| pooled.swap_remove(0))
+                    .map_err(|e| e.to_string());
+                let after = Classifier::elapsed(&device);
+                let sim_ns = after.as_ns().saturating_sub(before.as_ns());
+                let mut m = lock(&metrics);
+                m.shard_elapsed[shard] = after;
+                m.shard_busy_ns[shard] += sim_ns;
+                m.cache[shard] = device.cache_stats();
+                drop(m);
+                let _ = ack.send((shard, result.map(|pooled| (pooled, sim_ns))));
+            }
             Job::Stage { batch, ack } => {
                 let outcome = device.stage_update(&batch).map_err(|e| e.to_string());
                 // Staging advances the device clock: its program/GC/parity
@@ -1926,8 +2115,9 @@ mod tests {
 
     #[test]
     fn builder_covers_the_legacy_constructor_shapes() {
-        // The configurations the deprecated positional constructors used
-        // to produce, expressed through the builder.
+        // The configurations the removed 0.1 positional constructors
+        // (`ServeEngine::new`, `with_tracing`) used to produce, expressed
+        // through the builder.
         let mut engine = ServeEngine::builder(tiny())
             .shards(2)
             .policy(ServePolicy::default())
@@ -1940,6 +2130,96 @@ mod tests {
         );
         let traced = ServeEngine::builder(tiny()).tracing(true).build().unwrap();
         assert!(traced.tracer().is_some());
+    }
+
+    #[test]
+    fn gather_merges_shard_partials_deterministically() {
+        let mut engine = ServeEngine::builder(tiny()).shards(2).build().unwrap();
+        let table = DenseMatrix::random(64, 8, 21);
+        engine.deploy_table(&table).unwrap();
+        let ids = vec![1u64, 5, 40, 63, 5];
+        let outcome = engine.gather(GatherRequest::new(ids.clone())).unwrap();
+        assert_eq!(outcome.pooled.len(), 8);
+        assert!(outcome.sim_ns > 0);
+        // Reference: the same per-shard partial sums combined in shard
+        // order (bit-exact), and a direct id-order sum (approximate —
+        // float addition order differs across the shard split).
+        let mut reference = vec![0.0f32; 8];
+        for shard_ids in [[1u64, 5, 5].as_slice(), [40, 63].as_slice()] {
+            let mut partial = vec![0.0f32; 8];
+            for &id in shard_ids {
+                for (acc, &w) in partial.iter_mut().zip(table.row(id as usize)) {
+                    *acc += w;
+                }
+            }
+            for (acc, v) in reference.iter_mut().zip(partial) {
+                *acc += v;
+            }
+        }
+        assert_eq!(outcome.pooled, reference);
+        let rerun = engine.gather(GatherRequest::new(ids)).unwrap();
+        assert_eq!(rerun.pooled, outcome.pooled);
+        assert_eq!(engine.report().queries, 2);
+    }
+
+    #[test]
+    fn single_shard_gather_matches_direct_lookup_exactly() {
+        let mut engine = ServeEngine::builder(tiny()).shards(1).build().unwrap();
+        let table = DenseMatrix::random(32, 16, 4);
+        engine.deploy_table(&table).unwrap();
+        let ids = vec![3u64, 3, 17, 0];
+        let outcome = engine.gather(GatherRequest::new(ids.clone())).unwrap();
+        let mut want = vec![0.0f32; 16];
+        for &id in &ids {
+            for (acc, &w) in want.iter_mut().zip(table.row(id as usize)) {
+                *acc += w;
+            }
+        }
+        assert_eq!(outcome.pooled, want);
+    }
+
+    #[test]
+    fn gather_coexists_with_classification() {
+        let mut engine = ServeEngine::builder(tiny()).shards(2).build().unwrap();
+        engine.deploy(&DenseMatrix::random(400, 32, 3)).unwrap();
+        engine.deploy_table(&DenseMatrix::random(64, 8, 9)).unwrap();
+        let top = engine.classify_batch(&[query(32, 0.7)], 3).unwrap();
+        assert_eq!(top[0].len(), 3);
+        let pooled = engine.gather(GatherRequest::new(vec![0, 63])).unwrap();
+        assert_eq!(pooled.pooled.len(), 8);
+        let top = engine.classify_batch(&[query(32, 0.9)], 3).unwrap();
+        assert_eq!(top[0].len(), 3);
+    }
+
+    #[test]
+    fn gather_error_paths_are_typed() {
+        let mut engine = ServeEngine::builder(tiny()).shards(2).build().unwrap();
+        assert!(matches!(
+            engine.gather(GatherRequest::new(vec![0])),
+            Err(EcssdError::NoTable)
+        ));
+        engine.deploy_table(&DenseMatrix::random(64, 8, 2)).unwrap();
+        assert!(matches!(
+            engine.gather(GatherRequest::new(Vec::new())),
+            Err(EcssdError::NoInputs)
+        ));
+        assert!(matches!(
+            engine.gather(GatherRequest::new(vec![64])),
+            Err(EcssdError::IdExceedsTable { id: 64, rows: 64 })
+        ));
+        let doomed = GatherRequest::new(vec![0, 1]).with_deadline_us(0);
+        let err = engine.gather(doomed).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EcssdError::Rejected {
+                    class: QueryClass::LatencySensitive,
+                    reason: RejectReason::DeadlineExceeded,
+                }
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(engine.report().rejected_deadline, 1);
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //!    [`ServePolicy`], shard workers run the full screening + CFP32
 //!    pipeline on their slice of the matrix, and a merger produces global
 //!    top-k answers bit-identical to a single device holding the whole
-//!    matrix. Construct with [`ServeEngine::builder`].
+//!    matrix. Construct with [`ServeEngine::builder`]. The engine can
+//!    also host an embedding-gather model on the same devices
+//!    ([`ServeEngine::deploy_table`] / [`ServeEngine::gather`]): typed
+//!    [`ecssd_core::GatherRequest`]s are split along the table's shard
+//!    partition and answered with pooled vectors ([`GatherOutcome`]).
 //! 2. [`ServeEngineBuilder`] — one validating builder collapsing the old
 //!    `new` / `with_tracing` / `enable_journal` / `filter_threshold`
 //!    constructor sprawl: shards, policy, tracing, journal, cache sizing,
@@ -52,7 +56,8 @@ mod fleet;
 
 pub use builder::ServeEngineBuilder;
 pub use engine::{
-    BatchOutcome, Pending, PendingBatch, RecoverySummary, ServeEngine, ServePolicy, ServeReport,
+    BatchOutcome, GatherOutcome, Pending, PendingBatch, RecoverySummary, ServeEngine, ServePolicy,
+    ServeReport,
 };
 pub use fleet::{
     AdmissionControl, ClassReport, Fleet, FleetBuilder, FleetPolicy, FleetReport, ReplicaReport,

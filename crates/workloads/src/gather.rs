@@ -1,0 +1,262 @@
+//! Seeded embedding-table gather traces (the RecSSD-style workload).
+//!
+//! Recommendation inference gathers sparse multi-hot lookups from huge
+//! embedding tables and pools the looked-up rows — a read-dominated,
+//! tiny-compute in-storage task. Lookup popularity is even more skewed
+//! than extreme-classification candidate popularity (a handful of hot
+//! users/items dominate), so the trace reuses the clustered-Zipf
+//! [`HotnessModel`]: [`EmbeddingTableTrace`] is a thin re-parameterization
+//! of the [`SampledWorkload`] sampling machinery — the per-tile inclusion
+//! target becomes *expected lookups landing in the tile* instead of a
+//! candidate ratio — so candidate determinism, the λ-bisection, and the
+//! bit-exact per-tile caches are shared rather than duplicated.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    Benchmark, CandidateSource, HotnessModel, PredictorModel, SampledWorkload, TraceConfig,
+};
+
+/// Parameters of a seeded embedding-table gather trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GatherTraceConfig {
+    /// Embedding-table rows (the "categories" of the synthetic benchmark).
+    pub table_rows: u64,
+    /// Embedding dimension (one row is `4 · embed_dim` bytes of FP32).
+    pub embed_dim: usize,
+    /// Table rows per processing tile.
+    pub tile_rows: usize,
+    /// Mean lookups per query batch across the whole table. Each tile's
+    /// expected share is `lookups_per_query / num_tiles` (with at least
+    /// one lookup per tile — the sampler's floor).
+    pub lookups_per_query: f64,
+    /// Relative sigma of the per-(query, tile) lookup-count jitter.
+    pub count_sigma: f64,
+    /// Lookup-popularity model (clustered Zipf, shared with
+    /// classification traces).
+    pub hotness: HotnessModel,
+    /// Hotness predictor available to the placement framework.
+    pub predictor: PredictorModel,
+}
+
+impl GatherTraceConfig {
+    /// A RecSSD-shaped default: a 131 072-row × 64-dim table, 256 pooled
+    /// lookups per query batch, and sharper popularity skew than the
+    /// classification default (recommendation lookup traces concentrate
+    /// on few hot entities).
+    pub fn recssd_default(seed: u64) -> Self {
+        GatherTraceConfig {
+            table_rows: 1 << 17,
+            embed_dim: 64,
+            tile_rows: 512,
+            lookups_per_query: 256.0,
+            count_sigma: 0.25,
+            hotness: HotnessModel {
+                hot_cluster_prob: 0.05,
+                warm_alpha: 1.1,
+                warm_cap: 6.0,
+                row_sigma: 0.4,
+                ..HotnessModel::paper_default(seed)
+            },
+            predictor: PredictorModel::paper_default(seed ^ 0x9ced),
+        }
+    }
+
+    /// Same trace over a different table size.
+    #[must_use]
+    pub fn with_table_rows(mut self, table_rows: u64) -> Self {
+        self.table_rows = table_rows;
+        self
+    }
+
+    /// Same trace at a different embedding dimension.
+    #[must_use]
+    pub fn with_embed_dim(mut self, embed_dim: usize) -> Self {
+        self.embed_dim = embed_dim;
+        self
+    }
+
+    /// Same trace at a different pooled-lookup count.
+    #[must_use]
+    pub fn with_lookups_per_query(mut self, lookups_per_query: f64) -> Self {
+        self.lookups_per_query = lookups_per_query;
+        self
+    }
+
+    /// The synthetic [`Benchmark`] this table presents to the substrate:
+    /// `categories` = table rows, `hidden` = embedding dimension, so every
+    /// transfer-volume derivation (row bytes, pages per row) applies
+    /// unchanged.
+    pub fn benchmark(&self) -> Benchmark {
+        Benchmark {
+            abbrev: "EMB-GATHER",
+            model: "DLRM",
+            dataset: "clustered-zipf",
+            categories: self.table_rows,
+            hidden: self.embed_dim,
+        }
+    }
+}
+
+/// A seeded embedding-table gather trace: which table rows each query
+/// batch looks up, per tile. Implements [`CandidateSource`] — "candidates"
+/// are the tile's looked-up rows — so the in-storage substrate drives it
+/// exactly like a classification trace.
+///
+/// ```
+/// use ecssd_workloads::{CandidateSource, EmbeddingTableTrace, GatherTraceConfig};
+///
+/// let mut trace = EmbeddingTableTrace::new(GatherTraceConfig::recssd_default(42));
+/// let ids = trace.lookups(0); // query 0's pooled lookups, whole table
+/// assert!(!ids.is_empty());
+/// assert!(ids.windows(2).all(|w| w[0] < w[1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmbeddingTableTrace {
+    inner: SampledWorkload,
+    config: GatherTraceConfig,
+}
+
+impl EmbeddingTableTrace {
+    /// Builds the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty, the embedding dimension is zero, or
+    /// the lookup target is not positive.
+    pub fn new(config: GatherTraceConfig) -> Self {
+        assert!(config.table_rows > 0, "empty table");
+        assert!(config.embed_dim > 0, "zero embedding dimension");
+        assert!(config.tile_rows > 0, "zero tile rows");
+        assert!(
+            config.lookups_per_query > 0.0,
+            "lookups_per_query must be positive"
+        );
+        // The shared sampler draws per-tile counts as ratio × tile_len;
+        // expressing the lookup target as a table-wide ratio makes each
+        // tile's expected share lookups_per_query / num_tiles.
+        let trace = TraceConfig {
+            tile_rows: config.tile_rows,
+            candidate_ratio: config.lookups_per_query / config.table_rows as f64,
+            count_sigma: config.count_sigma,
+            hotness: config.hotness,
+            predictor: config.predictor,
+        };
+        EmbeddingTableTrace {
+            inner: SampledWorkload::new(config.benchmark(), trace),
+            config,
+        }
+    }
+
+    /// The trace configuration.
+    pub fn config(&self) -> &GatherTraceConfig {
+        &self.config
+    }
+
+    /// All of `query`'s pooled lookups across the whole table, sorted
+    /// ascending — the id list a host-side gather request would carry
+    /// (and the reference for gather-vs-direct-lookup equivalence tests).
+    pub fn lookups(&mut self, query: usize) -> Vec<u64> {
+        let tiles = self.num_tiles();
+        let mut ids = Vec::new();
+        for tile in 0..tiles {
+            ids.extend(self.inner.candidates(query, tile));
+        }
+        ids
+    }
+}
+
+impl CandidateSource for EmbeddingTableTrace {
+    fn benchmark(&self) -> &Benchmark {
+        self.inner.benchmark()
+    }
+
+    fn tile_rows(&self) -> usize {
+        self.inner.tile_rows()
+    }
+
+    fn candidates(&mut self, query: usize, tile: usize) -> Vec<u64> {
+        self.inner.candidates(query, tile)
+    }
+
+    fn predicted_hotness(&self, tile: usize) -> Vec<f32> {
+        self.inner.predicted_hotness(tile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> EmbeddingTableTrace {
+        EmbeddingTableTrace::new(GatherTraceConfig::recssd_default(42))
+    }
+
+    #[test]
+    fn lookups_are_deterministic_sorted_and_in_range() {
+        let mut a = trace();
+        let mut b = trace();
+        let la = a.lookups(3);
+        let lb = b.lookups(3);
+        assert_eq!(la, lb);
+        assert!(la.windows(2).all(|w| w[0] < w[1]));
+        assert!(la.iter().all(|&r| r < a.config().table_rows));
+    }
+
+    #[test]
+    fn lookup_volume_tracks_the_target() {
+        let mut t = trace();
+        let queries = 20;
+        let total: usize = (0..queries).map(|q| t.lookups(q).len()).sum();
+        let mean = total as f64 / queries as f64;
+        // The per-tile floor of one lookup biases the mean upward; the
+        // table has 256 tiles, so the floor adds at most num_tiles extra.
+        let target = t.config().lookups_per_query;
+        assert!(
+            mean >= 0.7 * target && mean <= target + t.num_tiles() as f64,
+            "mean lookups {mean} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn hot_rows_recur_across_queries() {
+        let mut t = trace();
+        let a = t.lookups(0);
+        let b = t.lookups(1);
+        assert_ne!(a, b);
+        let inter = a.iter().filter(|r| b.contains(r)).count();
+        // Uniform sampling would overlap in ≈ |a|·|b|/table_rows ≈ 0.5 rows;
+        // clustered-Zipf skew must land an order of magnitude above that.
+        let uniform = a.len() as f64 * b.len() as f64 / t.config().table_rows as f64;
+        assert!(
+            inter as f64 > 10.0 * uniform.max(1.0),
+            "hot lookups should recur: {inter} vs uniform {uniform:.2}"
+        );
+    }
+
+    #[test]
+    fn benchmark_dimensions_follow_the_config() {
+        let cfg = GatherTraceConfig::recssd_default(7)
+            .with_table_rows(4096)
+            .with_embed_dim(128)
+            .with_lookups_per_query(64.0);
+        let b = cfg.benchmark();
+        assert_eq!(b.categories, 4096);
+        assert_eq!(b.hidden, 128);
+        assert_eq!(b.fp32_row_bytes(), 512);
+        let t = EmbeddingTableTrace::new(cfg);
+        assert_eq!(t.num_tiles(), 8);
+    }
+
+    #[test]
+    fn predicted_hotness_covers_each_tile() {
+        let t = trace();
+        assert_eq!(t.predicted_hotness(0).len(), t.tile_rows());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty table")]
+    fn empty_table_rejected() {
+        let _ = EmbeddingTableTrace::new(GatherTraceConfig::recssd_default(1).with_table_rows(0));
+    }
+}

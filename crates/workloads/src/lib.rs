@@ -18,6 +18,11 @@
 //! clustered-Zipf hotness model — the explicit knob behind the paper's
 //! implicit skew (see DESIGN.md §2).
 //!
+//! Beyond classification, [`EmbeddingTableTrace`] re-parameterizes the same
+//! sampler as a RecSSD-style embedding-gather workload: seeded multi-hot
+//! lookups into an embedding table, for exercising the task-generic
+//! in-storage substrate with a second task.
+//!
 //! ```
 //! use ecssd_workloads::{Benchmark, CandidateSource, SampledWorkload, TraceConfig};
 //!
@@ -33,6 +38,7 @@
 mod arrivals;
 mod benchmark;
 mod computed;
+mod gather;
 mod hotness;
 mod recorded;
 mod stats;
@@ -41,6 +47,7 @@ mod trace;
 pub use arrivals::{Arrival, OpenLoopArrivals, RateCurve, ZipfPopularity};
 pub use benchmark::Benchmark;
 pub use computed::ComputedWorkload;
+pub use gather::{EmbeddingTableTrace, GatherTraceConfig};
 pub use hotness::{HotnessModel, PredictorModel};
 pub use recorded::RecordedTrace;
 pub use stats::{analyze, TraceStats};

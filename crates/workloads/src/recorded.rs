@@ -9,9 +9,6 @@ use crate::{Benchmark, CandidateSource};
 /// Serde helpers: `Benchmark` carries `&'static str` names, so it travels
 /// as its abbreviation plus the (possibly clamped) dimensions and is looked
 /// up again on load.
-// Only reachable through the `#[serde(with = ...)]`-generated impls, which
-// dead-code analysis does not see through.
-#[allow(dead_code)]
 mod benchmark_serde {
     use super::Benchmark;
     use serde::de::Error as _;

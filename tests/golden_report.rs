@@ -18,9 +18,14 @@
 
 use std::path::PathBuf;
 
-use ecssd_core::{DegradationPolicy, EcssdConfig, EcssdMachine, MachineVariant, RunReport};
+use ecssd_core::{
+    DataPlacement, DegradationPolicy, EcssdConfig, EcssdMachine, MachineVariant, RunReport,
+    TaskKind,
+};
 use ecssd_ssd::FaultPlan;
-use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
+use ecssd_workloads::{
+    Benchmark, EmbeddingTableTrace, GatherTraceConfig, SampledWorkload, TraceConfig,
+};
 
 /// Window used for every fixture: small enough to run in milliseconds,
 /// large enough to exercise prefetch, per-tile sync, and the cache.
@@ -168,6 +173,35 @@ fn golden_degradation_reconstruct() {
     let r = report(variant, Some(faulty_plan()));
     assert!(r.health.uecc_events > 0, "fixture must exercise the ladder");
     check("run_report_degradation_reconstruct", &r);
+}
+
+#[test]
+fn golden_gather_window() {
+    // The gather task on the same substrate: the fixture pins the whole
+    // timed path (header upload, id streaming, flash fetch, pooling,
+    // result transfer) and the `task: EmbeddingGather` report tag.
+    let trace = EmbeddingTableTrace::new(
+        GatherTraceConfig::recssd_default(42)
+            .with_table_rows(1 << 13)
+            .with_lookups_per_query(128.0),
+    );
+    let config = EcssdConfig::tiny_builder()
+        .buffer_bytes(1 << 20)
+        .hot_cache_bytes(1 << 20)
+        .build()
+        .expect("valid tiny config");
+    let variant = MachineVariant {
+        placement: DataPlacement::Homogeneous,
+        ..MachineVariant::paper_ecssd()
+    };
+    let mut m =
+        EcssdMachine::new(config, variant, Box::new(trace)).expect("table fits tiny geometry");
+    let r = m
+        .run_gather_window(QUERIES, TILES)
+        .expect("gather window runs clean");
+    assert_eq!(r.task, TaskKind::EmbeddingGather);
+    assert!(r.candidate_rows > 0, "fixture must gather rows");
+    check("run_report_gather", &r);
 }
 
 #[test]
