@@ -2343,3 +2343,22 @@ mod tests {
         drop(engine); // must not hang or panic
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+    use ecssd_screen::DenseMatrix;
+
+    fn tiny() -> EcssdConfig {
+        EcssdConfig::tiny_builder().build().unwrap()
+    }
+
+    #[test]
+    fn deploy_table_rows_barely_above_shards() {
+        let mut engine = ServeEngine::builder(tiny()).shards(4).build().unwrap();
+        let table = DenseMatrix::random(5, 8, 1);
+        let r = engine.deploy_table(&table);
+        println!("deploy result: {r:?}");
+        r.unwrap();
+    }
+}
