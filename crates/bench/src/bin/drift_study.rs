@@ -1,0 +1,286 @@
+//! Workload-drift recovery study: the adaptive control plane vs a static
+//! configuration.
+//!
+//! Two identical sharded [`ServeEngine`]s serve the same query stream over
+//! the same planted weight matrix. The stream is phased: a compact hot set
+//! (family A, ~80 planted rows) for the first third, then a mid-run
+//! rotation onto a much wider hot set (family B, ~400 planted rows) whose
+//! working set no longer fits the initially provisioned hot-row cache.
+//!
+//! * The **static** engine keeps its build-time knobs. Post-shift its
+//!   cache thrashes: the windowed hit rate collapses and the simulated
+//!   per-query latency inflates — and stays there.
+//! * The **adaptive** engine runs a [`SloFeedbackControl`] tick on every
+//!   window boundary. Its online hotness estimator sees the access
+//!   histogram rotate, the drift detector fires (→ `Reinterleave` of the
+//!   newly hot rows through the update path, committed on a batch
+//!   boundary), the hit-rate floor grows the cache, and the p99 loop
+//!   re-tunes the batch policy until the window latency returns toward
+//!   the pre-shift level.
+//!
+//! The study fails (exit 1) unless the adaptive engine ends the run with
+//! a clearly better windowed hit rate *and* latency than the static one,
+//! at least one drift-triggered re-interleave was applied, and neither
+//! engine ever observed a mixed-version batch.
+
+use std::time::Duration;
+
+use ecssd_control::{
+    ControlAction, DriftConfig, EstimatorConfig, SloFeedbackConfig, SloFeedbackControl,
+};
+use ecssd_core::prelude::*;
+use ecssd_screen::ThresholdPolicy;
+use ecssd_serve::{ServeEngine, ServePolicy, ServeReport};
+
+const ROWS: usize = 1_200;
+const COLS: usize = 64;
+const SHARDS: usize = 2;
+const K: usize = 5;
+/// Queries per window (one control-loop tick per window).
+const BATCH: usize = 8;
+const PHASE_A_WINDOWS: usize = 8;
+const PHASE_B_WINDOWS: usize = 16;
+/// Planted family-A rows (compact hot set, rows [0, 600)).
+const HOT_A: usize = 80;
+/// Planted family-B rows (wide hot set, rows [600, 1200)).
+const HOT_B: usize = 400;
+/// Build-time per-shard hot-row cache — sized for family A only.
+const CACHE_START: u64 = 256 << 10;
+
+/// Family A: low-frequency sinusoid; phase selects a neighborhood.
+fn family_a(phase: f32, scale: f32) -> Vec<f32> {
+    (0..COLS)
+        .map(|i| ((i as f32) * 0.13 + phase).sin() * scale)
+        .collect()
+}
+
+/// Family B: a different frequency, near-orthogonal to family A.
+fn family_b(phase: f32, scale: f32) -> Vec<f32> {
+    (0..COLS)
+        .map(|i| ((i as f32) * 0.29 + phase).cos() * scale)
+        .collect()
+}
+
+/// Random base matrix with both families planted: A compact in the low
+/// half, B spread across the high half.
+fn planted_weights() -> DenseMatrix {
+    let mut weights = DenseMatrix::random(ROWS, COLS, 0xd21f7);
+    for j in 0..HOT_A {
+        let row = j * (600 / HOT_A);
+        weights
+            .row_mut(row)
+            .copy_from_slice(&family_a(j as f32 * 0.15, 1.5));
+    }
+    for j in 0..HOT_B {
+        let row = 600 + j * 600 / HOT_B;
+        weights
+            .row_mut(row)
+            .copy_from_slice(&family_b(j as f32 * 0.03, 1.5));
+    }
+    weights
+}
+
+/// The window's query batch: family A before the shift, family B after,
+/// with the phase sweeping so consecutive windows touch different slices
+/// of the planted family.
+fn window_queries(window: usize) -> Vec<Vec<f32>> {
+    (0..BATCH)
+        .map(|q| {
+            let t = (window * BATCH + q) as f32;
+            if window < PHASE_A_WINDOWS {
+                family_a(t * 0.15, 1.0)
+            } else {
+                family_b(t * 0.61, 1.0)
+            }
+        })
+        .collect()
+}
+
+fn controller() -> SloFeedbackControl {
+    SloFeedbackControl::new(SloFeedbackConfig {
+        p99_target_us: 3_000.0,
+        over_streak: 2,
+        under_streak: 4,
+        batch_initial: BATCH,
+        batch_max: BATCH,
+        wait_initial_us: 500,
+        hit_rate_floor: 0.65,
+        min_window_lookups: 32,
+        cache_step_bytes: 512 << 10,
+        cache_max_bytes: 4 << 20,
+        max_reinterleave_rows: 512,
+        estimator: EstimatorConfig {
+            group_rows: 128,
+            alpha: 0.5,
+            ..EstimatorConfig::default()
+        },
+        drift: DriftConfig {
+            threshold: 0.4,
+            persistence: 2,
+            cooldown: 6,
+        },
+        ..SloFeedbackConfig::default()
+    })
+}
+
+fn build_engine(adaptive: bool) -> ServeEngine {
+    let config = EcssdConfig::tiny_builder()
+        .hot_cache_bytes(CACHE_START)
+        .build()
+        .expect("valid study configuration");
+    let mut builder = ServeEngine::builder(config)
+        .shards(SHARDS)
+        .policy(ServePolicy {
+            max_batch: BATCH,
+            max_wait: Duration::from_micros(500),
+        })
+        .filter_threshold(ThresholdPolicy::TopRatio(0.05));
+    if adaptive {
+        builder = builder.controller(controller());
+    }
+    builder.build().expect("engine spawns")
+}
+
+#[derive(Clone, Copy)]
+struct WindowStat {
+    hit_rate: f64,
+    mean_us: f64,
+}
+
+/// Windowed deltas between two cumulative report snapshots.
+fn window_stat(prev: &ServeReport, cur: &ServeReport) -> WindowStat {
+    let hits = cur.cache.hits - prev.cache.hits;
+    let misses = cur.cache.misses - prev.cache.misses;
+    let queries = (cur.queries - prev.queries).max(1);
+    let delta_ns = cur
+        .sim_elapsed
+        .as_ns()
+        .saturating_sub(prev.sim_elapsed.as_ns());
+    WindowStat {
+        hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+        mean_us: delta_ns as f64 / 1_000.0 / queries as f64,
+    }
+}
+
+fn main() {
+    println!(
+        "== drift study: {SHARDS}-shard serving, {ROWS}x{COLS}, hot-set rotation after \
+         window {PHASE_A_WINDOWS} ({HOT_A} → {HOT_B} planted hot rows, {}-KiB initial cache) ==",
+        CACHE_START >> 10
+    );
+    let weights = planted_weights();
+    let mut static_eng = build_engine(false);
+    let mut adaptive_eng = build_engine(true);
+    static_eng
+        .deploy(&weights)
+        .expect("deploy fits the tiny device");
+    adaptive_eng
+        .deploy(&weights)
+        .expect("deploy fits the tiny device");
+
+    let total = PHASE_A_WINDOWS + PHASE_B_WINDOWS;
+    let mut static_prev = static_eng.report();
+    let mut adaptive_prev = adaptive_eng.report();
+    let mut static_last = WindowStat {
+        hit_rate: 0.0,
+        mean_us: 0.0,
+    };
+    let mut adaptive_last = static_last;
+    for window in 0..total {
+        let inputs = window_queries(window);
+        static_eng
+            .classify_batch(&inputs, K)
+            .expect("static window");
+        adaptive_eng
+            .classify_batch(&inputs, K)
+            .expect("adaptive window");
+        adaptive_eng.control_tick().expect("control tick");
+
+        let static_now = static_eng.report();
+        let adaptive_now = adaptive_eng.report();
+        static_last = window_stat(&static_prev, &static_now);
+        adaptive_last = window_stat(&adaptive_prev, &adaptive_now);
+        static_prev = static_now;
+        adaptive_prev = adaptive_now;
+        println!(
+            "window={window} phase={} static_hit={:.3} adaptive_hit={:.3} \
+             static_win_us={:.1} adaptive_win_us={:.1} adaptive_cache_kib={}",
+            if window < PHASE_A_WINDOWS { "A" } else { "B" },
+            static_last.hit_rate,
+            adaptive_last.hit_rate,
+            static_last.mean_us,
+            adaptive_last.mean_us,
+            adaptive_prev.cache.capacity_bytes >> 10,
+        );
+    }
+
+    let (mut resizes, mut retunes, mut reinterleaves, mut retires, mut rows_replaced) =
+        (0usize, 0usize, 0usize, 0usize, 0usize);
+    for (_, action) in adaptive_eng.control_log() {
+        match action {
+            ControlAction::ResizeCache { .. } => resizes += 1,
+            ControlAction::SetPolicy { .. } => retunes += 1,
+            ControlAction::Reinterleave { rows } => {
+                reinterleaves += 1;
+                rows_replaced += rows.len();
+            }
+            ControlAction::RetireDie { .. } => retires += 1,
+        }
+    }
+    let static_report = static_eng.report();
+    let adaptive_report = adaptive_eng.report();
+    println!(
+        "actions resizes={resizes} retunes={retunes} reinterleaves={reinterleaves} \
+         reinterleaved_rows={rows_replaced} retires={retires}"
+    );
+    println!(
+        "final_window static_hit={:.3} adaptive_hit={:.3} static_us={:.1} adaptive_us={:.1}",
+        static_last.hit_rate, adaptive_last.hit_rate, static_last.mean_us, adaptive_last.mean_us
+    );
+    println!(
+        "mixed_version_batches static={} adaptive={}",
+        static_report.mixed_version_batches, adaptive_report.mixed_version_batches
+    );
+
+    let mut failed = false;
+    if static_report.mixed_version_batches != 0 || adaptive_report.mixed_version_batches != 0 {
+        eprintln!("error: mixed-version batches observed — commits must stay atomic");
+        failed = true;
+    }
+    if reinterleaves == 0 {
+        eprintln!("error: the hot-set rotation never triggered a drift re-interleave");
+        failed = true;
+    }
+    if resizes == 0 {
+        eprintln!("error: the post-shift hit-rate collapse never grew the cache");
+        failed = true;
+    }
+    if adaptive_last.hit_rate < static_last.hit_rate + 0.10 {
+        eprintln!(
+            "error: adaptive final-window hit rate {:.3} did not recover past the static \
+             baseline {:.3}",
+            adaptive_last.hit_rate, static_last.hit_rate
+        );
+        failed = true;
+    }
+    if adaptive_last.mean_us > static_last.mean_us * 0.95 {
+        eprintln!(
+            "error: adaptive final-window latency {:.1} us did not recover below the static \
+             baseline {:.1} us",
+            adaptive_last.mean_us, static_last.mean_us
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "drift study passed: adaptive controller recovered from the hot-set rotation \
+         ({reinterleaves} re-interleaves, {resizes} cache grows, {retunes} retunes), \
+         static baseline stayed degraded, zero mixed-version batches"
+    );
+}

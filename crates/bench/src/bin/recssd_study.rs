@@ -134,7 +134,7 @@ fn run_point(batch: usize, cache_bytes: u64, interleaving: InterleavingStrategy)
     }
     let report = last.expect("at least one window ran");
     latencies_ns.sort_unstable();
-    let (hits, misses) = (report.cache.hits, report.cache.misses);
+    let hits = report.cache.hits;
     Point {
         batch,
         cache_kib: cache_bytes >> 10,
@@ -142,11 +142,7 @@ fn run_point(batch: usize, cache_bytes: u64, interleaving: InterleavingStrategy)
         task: report.task,
         p50_us: percentile_us(&latencies_ns, 0.50),
         p99_us: percentile_us(&latencies_ns, 0.99),
-        hit_rate: if hits + misses == 0 {
-            0.0
-        } else {
-            hits as f64 / (hits + misses) as f64
-        },
+        hit_rate: report.cache.hit_rate(),
         hits,
         flash_bytes: report.fp_channel_bytes.iter().sum(),
         gathered_rows: report.candidate_rows,

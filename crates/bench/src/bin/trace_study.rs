@@ -16,7 +16,6 @@ use std::time::Duration;
 use ecssd_core::prelude::*;
 use ecssd_core::{EcssdMachine, MachineVariant, UpdateBatch};
 use ecssd_serve::{ServeEngine, ServePolicy};
-use ecssd_ssd::SsdGeometry;
 use ecssd_trace::{chrome_trace_json, StageBreakdown};
 use ecssd_workloads::{Benchmark, SampledWorkload, TraceConfig};
 
@@ -142,9 +141,8 @@ fn validate_trace_json(json: &str) {
 
 /// Online-update wear accounting: sustained row overwrites on the
 /// functional device until the FTL's garbage collector fires, then the
-/// wear/GC columns of the health report plus the per-die erase histogram
-/// (flat block order is channel-major, so chunking by blocks-per-die
-/// yields one column per die).
+/// wear/GC columns of the health report plus its per-die erase spread
+/// ([`ecssd_ssd::DieWearReport`], aggregated by the FTL).
 fn wear_and_gc() {
     const ROWS: usize = 1_200;
     const COLS: usize = 64;
@@ -172,20 +170,16 @@ fn wear_and_gc() {
     println!("gc_erased_blocks  {:>8}", health.gc_erased_blocks);
     println!("wear_max_erases   {:>8}", health.wear_max_erases);
     println!("wear_mean_erases  {:>8.2}", health.wear_mean_erases);
-    let g = SsdGeometry::tiny();
-    let blocks_per_die = g.planes_per_die * g.blocks_per_plane;
-    let per_die: Vec<u64> = dev
-        .device_mut()
-        .ftl()
-        .erase_counts()
-        .chunks(blocks_per_die)
-        .map(|die| die.iter().map(|&e| u64::from(e)).sum())
-        .collect();
+    let wear = health
+        .die_wear
+        .as_ref()
+        .expect("functional device reports per-die wear");
     print!("per-die erases   ");
-    for erases in &per_die {
+    for erases in &wear.per_die {
         print!(" {erases:>5}");
     }
     println!();
+    println!("die_wear_balance  {:>8.3}", wear.balance());
     if health.gc_erased_blocks == 0 {
         eprintln!("error: sustained update churn never triggered GC");
         std::process::exit(1);

@@ -1,0 +1,707 @@
+//! The policy layer: typed actions, the [`Controller`] trait, and three
+//! reference policies (static, threshold rules, SLO feedback).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DriftConfig, DriftDetector, EstimatorConfig, HotnessEstimator, TelemetryFrame};
+
+/// One actuation a controller requests. Every variant maps onto a surface
+/// the system already exposes — the control plane adds no new mechanism,
+/// only the decision of when to pull which lever:
+///
+/// - `ResizeCache` → `Ecssd::set_cache_capacity` (runtime LRU evict-down).
+/// - `SetPolicy` → the dispatcher's `ServePolicy`, applied between
+///   batches so no in-flight batch ever sees mixed knobs.
+/// - `Reinterleave` → the update path (`stage_update`/`commit_update`):
+///   re-placement rides the flash timelines and contends with query
+///   traffic, and the commit barrier keeps every shard's swap on one
+///   batch boundary (`mixed_version_batches` stays 0).
+/// - `RetireDie` → `FlashSim::retire_die` fail-fast on a detected-dead die.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlAction {
+    /// Set the hot-row cache capacity (per shard) to `bytes`.
+    ResizeCache {
+        /// New per-shard capacity in bytes (0 disables the cache).
+        bytes: u64,
+    },
+    /// Retune the dispatcher's batch-formation policy.
+    SetPolicy {
+        /// Maximum queries merged into one device batch.
+        max_batch: usize,
+        /// Maximum simulated wait before a partial batch dispatches, µs.
+        max_wait_us: u64,
+    },
+    /// Re-interleave the given global row ids via the online update path.
+    Reinterleave {
+        /// Global row ids to re-place (sorted, deduplicated).
+        rows: Vec<u64>,
+    },
+    /// Fail-fast a detected-dead die so reads stop waiting on timeouts.
+    RetireDie {
+        /// Shard whose device hosts the die.
+        shard: usize,
+        /// Channel index on that device.
+        channel: usize,
+        /// Die index within the channel.
+        die: usize,
+    },
+}
+
+/// A control policy: observes one [`TelemetryFrame`] per window and
+/// returns the actions to apply before the next window.
+///
+/// Implementations must be deterministic — no clocks, no ambient
+/// randomness — so a replayed telemetry stream reproduces the exact
+/// action sequence (the serving layer relies on this for its
+/// deterministic-replay guarantee, and the test-suite pins it).
+pub trait Controller: Send {
+    /// Short policy name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Consumes one window's telemetry; returns the actions to apply.
+    fn observe(&mut self, frame: &TelemetryFrame) -> Vec<ControlAction>;
+}
+
+impl<C: Controller + ?Sized> Controller for Box<C> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn observe(&mut self, frame: &TelemetryFrame) -> Vec<ControlAction> {
+        (**self).observe(frame)
+    }
+}
+
+/// The do-nothing policy: observes everything, acts never. Serving with
+/// `StaticControl` must be byte-identical to serving with no controller
+/// at all — the zero-cost baseline the regression tests pin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticControl;
+
+impl Controller for StaticControl {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn observe(&mut self, _frame: &TelemetryFrame) -> Vec<ControlAction> {
+        Vec::new()
+    }
+}
+
+/// Knobs of [`ThresholdControl`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdConfig {
+    /// Grow the cache while the window hit rate sits below this floor.
+    pub hit_rate_floor: f64,
+    /// Ignore windows with fewer cache lookups than this (tiny windows
+    /// have meaningless rates).
+    pub min_window_lookups: u64,
+    /// Cache growth increment, bytes.
+    pub cache_step_bytes: u64,
+    /// Never grow the per-shard cache beyond this.
+    pub cache_max_bytes: u64,
+    /// Re-interleave when any shard's per-die erase spread balance
+    /// (`DieWearReport::balance`) falls below this floor.
+    pub wear_balance_floor: f64,
+    /// How many of the window's most-accessed rows to re-place on a wear
+    /// trigger.
+    pub reinterleave_rows: usize,
+    /// Quiet windows after any cache/layout action (die retirement is
+    /// exempt — a dead die is retired immediately).
+    pub cooldown: u32,
+}
+
+impl Default for ThresholdConfig {
+    fn default() -> Self {
+        ThresholdConfig {
+            hit_rate_floor: 0.5,
+            min_window_lookups: 64,
+            cache_step_bytes: 1 << 20,
+            cache_max_bytes: 16 << 20,
+            wear_balance_floor: 0.5,
+            reinterleave_rows: 256,
+            cooldown: 2,
+        }
+    }
+}
+
+/// Rule-based floors: retire dies the moment health reports them dead,
+/// grow the cache while the hit rate undershoots its floor, and spread
+/// wear by re-placing the hottest rows when the per-die erase balance
+/// degrades. One corrective action per window, with a cooldown so each
+/// action's effect is observed before the next fires.
+#[derive(Debug, Clone)]
+pub struct ThresholdControl {
+    config: ThresholdConfig,
+    retired: BTreeSet<(usize, usize, usize)>,
+    cooldown_left: u32,
+}
+
+impl ThresholdControl {
+    /// A threshold policy with the given floors.
+    pub fn new(config: ThresholdConfig) -> Self {
+        ThresholdControl {
+            config,
+            retired: BTreeSet::new(),
+            cooldown_left: 0,
+        }
+    }
+}
+
+/// Newly-dead dies across all shards that `retired` has not seen yet, as
+/// `RetireDie` actions (insertion marks them seen).
+fn retire_new_dead_dies(
+    frame: &TelemetryFrame,
+    retired: &mut BTreeSet<(usize, usize, usize)>,
+) -> Vec<ControlAction> {
+    let mut actions = Vec::new();
+    for (shard, health) in frame.health.iter().enumerate() {
+        for &(channel, die) in &health.dead_dies {
+            if retired.insert((shard, channel, die)) {
+                actions.push(ControlAction::RetireDie {
+                    shard,
+                    channel,
+                    die,
+                });
+            }
+        }
+    }
+    actions
+}
+
+/// The window's `count` most-accessed rows, ordered by row id
+/// (deterministic tie-break: higher count wins, then lower row id).
+fn top_accessed_rows(row_accesses: &[u64], count: usize) -> Vec<u64> {
+    let mut ranked: Vec<(u64, u64)> = row_accesses
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(r, &c)| (c, r as u64))
+        .collect();
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    ranked.truncate(count);
+    let mut rows: Vec<u64> = ranked.into_iter().map(|(_, r)| r).collect();
+    rows.sort_unstable();
+    rows
+}
+
+impl Controller for ThresholdControl {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn observe(&mut self, frame: &TelemetryFrame) -> Vec<ControlAction> {
+        let mut actions = retire_new_dead_dies(frame, &mut self.retired);
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return actions;
+        }
+        let c = &self.config;
+        let lookups = frame.cache.hits + frame.cache.misses;
+        let capacity = frame.cache.capacity_bytes;
+        if lookups >= c.min_window_lookups
+            && frame.cache.hit_rate() < c.hit_rate_floor
+            && capacity < c.cache_max_bytes
+        {
+            actions.push(ControlAction::ResizeCache {
+                bytes: (capacity + c.cache_step_bytes).min(c.cache_max_bytes),
+            });
+            self.cooldown_left = c.cooldown;
+            return actions;
+        }
+        let worst_balance = frame
+            .health
+            .iter()
+            .filter_map(|h| h.die_wear.as_ref())
+            .map(|w| w.balance())
+            .fold(1.0f64, f64::min);
+        if worst_balance < c.wear_balance_floor {
+            let rows = top_accessed_rows(&frame.row_accesses, c.reinterleave_rows);
+            if !rows.is_empty() {
+                actions.push(ControlAction::Reinterleave { rows });
+                self.cooldown_left = c.cooldown;
+            }
+        }
+        actions
+    }
+}
+
+/// Knobs of [`SloFeedbackControl`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloFeedbackConfig {
+    /// The p99 latency target, µs.
+    pub p99_target_us: f64,
+    /// Consecutive windows over target before the batch policy tightens.
+    pub over_streak: u32,
+    /// Consecutive windows under `relax_fraction × target` before the
+    /// batch policy relaxes back toward throughput.
+    pub under_streak: u32,
+    /// The under-target fraction that counts as comfortable headroom
+    /// (the gap between it and 1.0 is the hysteresis band).
+    pub relax_fraction: f64,
+    /// Initial / smallest / largest `max_batch` the policy will set.
+    pub batch_initial: usize,
+    /// Lower clamp on `max_batch`.
+    pub batch_min: usize,
+    /// Upper clamp on `max_batch`.
+    pub batch_max: usize,
+    /// Initial batch max-wait, µs (halved/doubled with the batch size).
+    pub wait_initial_us: u64,
+    /// Lower clamp on max-wait, µs.
+    pub wait_min_us: u64,
+    /// Upper clamp on max-wait, µs.
+    pub wait_max_us: u64,
+    /// Grow the cache while the window hit rate sits below this floor.
+    pub hit_rate_floor: f64,
+    /// Ignore windows with fewer cache lookups than this.
+    pub min_window_lookups: u64,
+    /// Cache growth increment, bytes.
+    pub cache_step_bytes: u64,
+    /// Never grow the per-shard cache beyond this.
+    pub cache_max_bytes: u64,
+    /// Cap on rows re-placed per drift recovery.
+    pub max_reinterleave_rows: usize,
+    /// Hotness-estimator knobs (group size, EWMA, sticky transitions).
+    pub estimator: EstimatorConfig,
+    /// Drift-detector knobs (threshold, persistence, cooldown).
+    pub drift: DriftConfig,
+}
+
+impl Default for SloFeedbackConfig {
+    fn default() -> Self {
+        SloFeedbackConfig {
+            p99_target_us: 2_000.0,
+            over_streak: 2,
+            under_streak: 4,
+            relax_fraction: 0.6,
+            batch_initial: 8,
+            batch_min: 1,
+            batch_max: 32,
+            wait_initial_us: 200,
+            wait_min_us: 25,
+            wait_max_us: 800,
+            hit_rate_floor: 0.5,
+            min_window_lookups: 64,
+            cache_step_bytes: 1 << 20,
+            cache_max_bytes: 16 << 20,
+            max_reinterleave_rows: 1024,
+            estimator: EstimatorConfig::default(),
+            drift: DriftConfig::default(),
+        }
+    }
+}
+
+/// The full feedback policy: an online [`HotnessEstimator`] re-learns the
+/// access distribution, a [`DriftDetector`] decides when the layout's
+/// placement assumptions have rotted (→ `Reinterleave` of the drifted-hot
+/// rows), a hit-rate floor grows the cache, and a p99-vs-target loop with
+/// streak hysteresis tightens or relaxes the batch policy. All state is
+/// internal and deterministic.
+#[derive(Debug, Clone)]
+pub struct SloFeedbackControl {
+    config: SloFeedbackConfig,
+    estimator: HotnessEstimator,
+    drift: DriftDetector,
+    retired: BTreeSet<(usize, usize, usize)>,
+    cur_batch: usize,
+    cur_wait_us: u64,
+    over: u32,
+    under: u32,
+}
+
+impl SloFeedbackControl {
+    /// A feedback policy with the given knobs.
+    pub fn new(config: SloFeedbackConfig) -> Self {
+        SloFeedbackControl {
+            estimator: HotnessEstimator::new(config.estimator),
+            drift: DriftDetector::new(config.drift),
+            retired: BTreeSet::new(),
+            cur_batch: config.batch_initial,
+            cur_wait_us: config.wait_initial_us,
+            over: 0,
+            under: 0,
+            config,
+        }
+    }
+
+    /// The batch policy the controller currently believes is in force.
+    pub fn current_policy(&self) -> (usize, u64) {
+        (self.cur_batch, self.cur_wait_us)
+    }
+
+    /// Read access to the online estimator (e.g. for an updated
+    /// `RowAccessProfile` via
+    /// [`HotnessEstimator::profile_for_rows`]).
+    pub fn estimator(&self) -> &HotnessEstimator {
+        &self.estimator
+    }
+
+    /// Times the drift detector has fired.
+    pub fn drift_firings(&self) -> u64 {
+        self.drift.firings()
+    }
+
+    /// Rows of every currently-hot group, clamped to `total_rows`, capped
+    /// at the configured re-interleave budget.
+    fn hot_rows(&self, total_rows: usize) -> Vec<u64> {
+        let group_rows = self.config.estimator.group_rows.max(1);
+        let mut rows = Vec::new();
+        for g in self.estimator.hot_groups() {
+            let start = g * group_rows;
+            let end = (start + group_rows).min(total_rows);
+            rows.extend((start..end).map(|r| r as u64));
+            if rows.len() >= self.config.max_reinterleave_rows {
+                break;
+            }
+        }
+        rows.truncate(self.config.max_reinterleave_rows);
+        rows
+    }
+}
+
+impl Controller for SloFeedbackControl {
+    fn name(&self) -> &'static str {
+        "slo-feedback"
+    }
+
+    fn observe(&mut self, frame: &TelemetryFrame) -> Vec<ControlAction> {
+        let mut actions = retire_new_dead_dies(frame, &mut self.retired);
+        let c = self.config;
+
+        // Learn: fold the window's histogram into the estimator, then ask
+        // the drift detector whether placement assumptions still hold.
+        self.estimator.observe(&frame.row_accesses);
+        let shares = self.estimator.shares();
+        if self.drift.observe(&shares) {
+            // Re-place the union of the sticky hot groups (the set that
+            // was hot — it is cooling out of its prime slots) and the
+            // window's top-accessed rows (the set getting hot — drift
+            // fires before the sticky machine has promoted it).
+            let mut rows = self.hot_rows(frame.row_accesses.len());
+            rows.extend(top_accessed_rows(
+                &frame.row_accesses,
+                c.max_reinterleave_rows,
+            ));
+            rows.sort_unstable();
+            rows.dedup();
+            rows.truncate(c.max_reinterleave_rows);
+            if !rows.is_empty() {
+                actions.push(ControlAction::Reinterleave { rows });
+            }
+        }
+
+        // Cache: grow while the observed hit rate undershoots the floor.
+        let lookups = frame.cache.hits + frame.cache.misses;
+        let capacity = frame.cache.capacity_bytes;
+        if lookups >= c.min_window_lookups
+            && frame.cache.hit_rate() < c.hit_rate_floor
+            && capacity < c.cache_max_bytes
+        {
+            actions.push(ControlAction::ResizeCache {
+                bytes: (capacity + c.cache_step_bytes).min(c.cache_max_bytes),
+            });
+        }
+
+        // Latency: streak-gated p99 feedback on the batch policy.
+        if frame.queries > 0 {
+            if frame.p99_us > c.p99_target_us {
+                self.over += 1;
+                self.under = 0;
+            } else if frame.p99_us < c.relax_fraction * c.p99_target_us {
+                self.under += 1;
+                self.over = 0;
+            } else {
+                self.over = 0;
+                self.under = 0;
+            }
+            if self.over >= c.over_streak {
+                let batch = (self.cur_batch / 2).max(c.batch_min);
+                let wait = (self.cur_wait_us / 2).max(c.wait_min_us);
+                if batch != self.cur_batch || wait != self.cur_wait_us {
+                    self.cur_batch = batch;
+                    self.cur_wait_us = wait;
+                    actions.push(ControlAction::SetPolicy {
+                        max_batch: batch,
+                        max_wait_us: wait,
+                    });
+                }
+                self.over = 0;
+            } else if self.under >= c.under_streak {
+                let batch = (self.cur_batch * 2).min(c.batch_max);
+                let wait = (self.cur_wait_us * 2).min(c.wait_max_us);
+                if batch != self.cur_batch || wait != self.cur_wait_us {
+                    self.cur_batch = batch;
+                    self.cur_wait_us = wait;
+                    actions.push(ControlAction::SetPolicy {
+                        max_batch: batch,
+                        max_wait_us: wait,
+                    });
+                }
+                self.under = 0;
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecssd_ssd::{CacheStats, DieWearReport, HealthReport};
+    use proptest::prelude::*;
+
+    fn frame(window: u64) -> TelemetryFrame {
+        TelemetryFrame {
+            window,
+            queries: 100,
+            p50_us: 500.0,
+            p99_us: 1_000.0,
+            cache: CacheStats {
+                hits: 80,
+                misses: 20,
+                capacity_bytes: 1 << 20,
+                ..CacheStats::default()
+            },
+            shard_utilization: vec![1.0],
+            row_accesses: vec![10; 16],
+            health: vec![HealthReport::default()],
+            epoch: 1,
+        }
+    }
+
+    #[test]
+    fn static_control_never_acts() {
+        let mut c = StaticControl;
+        for w in 0..32 {
+            let mut f = frame(w);
+            f.p99_us = 1e9;
+            f.cache.hits = 0;
+            f.health[0].dead_dies.push((0, 1));
+            assert!(c.observe(&f).is_empty());
+        }
+    }
+
+    #[test]
+    fn threshold_grows_cache_once_per_cooldown() {
+        let mut c = ThresholdControl::new(ThresholdConfig {
+            cooldown: 2,
+            ..ThresholdConfig::default()
+        });
+        let mut f = frame(0);
+        f.cache.hits = 10;
+        f.cache.misses = 90;
+        let actions = c.observe(&f);
+        assert_eq!(
+            actions,
+            vec![ControlAction::ResizeCache {
+                bytes: (1 << 20) + (1 << 20)
+            }]
+        );
+        // Cooldown: the same bad window must not trigger again yet.
+        assert!(c.observe(&f).is_empty());
+        assert!(c.observe(&f).is_empty());
+        assert_eq!(c.observe(&f).len(), 1, "acts again after cooldown");
+    }
+
+    #[test]
+    fn threshold_ignores_tiny_windows_and_caps_growth() {
+        let mut c = ThresholdControl::new(ThresholdConfig {
+            min_window_lookups: 64,
+            cache_max_bytes: 2 << 20,
+            ..ThresholdConfig::default()
+        });
+        let mut f = frame(0);
+        f.cache.hits = 1;
+        f.cache.misses = 5;
+        assert!(c.observe(&f).is_empty(), "6 lookups is not evidence");
+        f.cache.misses = 500;
+        f.cache.capacity_bytes = 2 << 20;
+        assert!(c.observe(&f).is_empty(), "already at the cap");
+    }
+
+    #[test]
+    fn threshold_retires_each_dead_die_exactly_once() {
+        let mut c = ThresholdControl::new(ThresholdConfig::default());
+        let mut f = frame(0);
+        f.health[0].dead_dies.push((2, 1));
+        assert_eq!(
+            c.observe(&f),
+            vec![ControlAction::RetireDie {
+                shard: 0,
+                channel: 2,
+                die: 1
+            }]
+        );
+        assert!(c.observe(&f).is_empty(), "already retired");
+        f.health[0].dead_dies.push((3, 0));
+        assert_eq!(c.observe(&f).len(), 1, "only the new die");
+    }
+
+    #[test]
+    fn threshold_wear_imbalance_reinterleaves_top_rows() {
+        let mut c = ThresholdControl::new(ThresholdConfig {
+            reinterleave_rows: 3,
+            ..ThresholdConfig::default()
+        });
+        let mut f = frame(0);
+        // One die takes all erases: balance well under the 0.5 floor.
+        f.health[0].die_wear = Some(DieWearReport::from_erase_counts(&[90, 0, 0, 0], 1));
+        f.row_accesses = vec![1, 50, 3, 50, 2, 0, 0, 0];
+        let actions = c.observe(&f);
+        assert_eq!(
+            actions,
+            vec![ControlAction::Reinterleave {
+                rows: vec![1, 2, 3]
+            }],
+            "top-3 by count (ties break to lower row), sorted"
+        );
+    }
+
+    #[test]
+    fn slo_feedback_tightens_then_relaxes_batch_policy() {
+        let mut c = SloFeedbackControl::new(SloFeedbackConfig {
+            p99_target_us: 2_000.0,
+            over_streak: 2,
+            under_streak: 2,
+            batch_initial: 8,
+            wait_initial_us: 200,
+            ..SloFeedbackConfig::default()
+        });
+        let mut f = frame(0);
+        f.p99_us = 5_000.0;
+        assert!(c.observe(&f).is_empty(), "one bad window is noise");
+        assert_eq!(
+            c.observe(&f),
+            vec![ControlAction::SetPolicy {
+                max_batch: 4,
+                max_wait_us: 100
+            }]
+        );
+        // Comfortable headroom for `under_streak` windows relaxes back.
+        f.p99_us = 500.0;
+        assert!(c.observe(&f).is_empty());
+        assert_eq!(
+            c.observe(&f),
+            vec![ControlAction::SetPolicy {
+                max_batch: 8,
+                max_wait_us: 200
+            }]
+        );
+        assert_eq!(c.current_policy(), (8, 200));
+    }
+
+    #[test]
+    fn slo_feedback_dead_band_resets_streaks() {
+        let mut c = SloFeedbackControl::new(SloFeedbackConfig {
+            over_streak: 2,
+            ..SloFeedbackConfig::default()
+        });
+        let mut f = frame(0);
+        f.p99_us = 5_000.0;
+        assert!(c.observe(&f).is_empty());
+        f.p99_us = 1_500.0; // inside the band: neither over nor comfortable
+        assert!(c.observe(&f).is_empty());
+        f.p99_us = 5_000.0;
+        assert!(c.observe(&f).is_empty(), "streak restarted from zero");
+    }
+
+    #[test]
+    fn slo_feedback_drift_triggers_reinterleave_of_new_hot_rows() {
+        let mut c = SloFeedbackControl::new(SloFeedbackConfig {
+            estimator: EstimatorConfig {
+                group_rows: 4,
+                alpha: 0.5,
+                hot_mult: 2.0,
+                warm_mult: 1.25,
+                sticky: 2,
+            },
+            drift: DriftConfig {
+                threshold: 0.5,
+                persistence: 2,
+                cooldown: 4,
+            },
+            ..SloFeedbackConfig::default()
+        });
+        let hot = |g: usize| -> TelemetryFrame {
+            let mut f = frame(0);
+            // Inside the p99 dead band so only drift can produce actions.
+            f.p99_us = 1_500.0;
+            f.row_accesses = vec![0; 16];
+            for r in g * 4..g * 4 + 4 {
+                f.row_accesses[r] = 100;
+            }
+            f
+        };
+        // Settle on group 0, then rotate the hot set to group 3.
+        for _ in 0..6 {
+            assert!(c.observe(&hot(0)).is_empty());
+        }
+        let mut reinterleaved = Vec::new();
+        for _ in 0..6 {
+            for a in c.observe(&hot(3)) {
+                if let ControlAction::Reinterleave { rows } = a {
+                    reinterleaved = rows;
+                }
+            }
+        }
+        assert!(c.drift_firings() >= 1, "rotation must register as drift");
+        assert!(
+            reinterleaved.contains(&12),
+            "re-placement targets the new hot rows, got {reinterleaved:?}"
+        );
+    }
+
+    /// An arbitrary telemetry stream: the determinism contract says two
+    /// identically-configured controllers replaying it emit identical
+    /// action sequences.
+    fn arb_frame(window: u64) -> impl Strategy<Value = TelemetryFrame> {
+        (
+            0u64..500,
+            0.0f64..10_000.0,
+            0u64..1_000,
+            0u64..1_000,
+            proptest::collection::vec(0u64..100, 16),
+            any::<bool>(),
+        )
+            .prop_map(move |(queries, p99, hits, misses, rows, dead)| {
+                let mut health = HealthReport::default();
+                if dead {
+                    health.dead_dies.push((1, 0));
+                }
+                TelemetryFrame {
+                    window,
+                    queries,
+                    p50_us: p99 / 2.0,
+                    p99_us: p99,
+                    cache: CacheStats {
+                        hits,
+                        misses,
+                        capacity_bytes: 1 << 20,
+                        ..CacheStats::default()
+                    },
+                    shard_utilization: vec![1.0],
+                    row_accesses: rows,
+                    health: vec![health],
+                    epoch: 1,
+                }
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn identical_streams_produce_identical_actions(
+            frames in proptest::collection::vec(arb_frame(0), 1..24)
+        ) {
+            let mut a = SloFeedbackControl::new(SloFeedbackConfig::default());
+            let mut b = SloFeedbackControl::new(SloFeedbackConfig::default());
+            let mut ta = ThresholdControl::new(ThresholdConfig::default());
+            let mut tb = ThresholdControl::new(ThresholdConfig::default());
+            for f in &frames {
+                prop_assert_eq!(a.observe(f), b.observe(f));
+                prop_assert_eq!(ta.observe(f), tb.observe(f));
+            }
+        }
+    }
+}

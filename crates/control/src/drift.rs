@@ -1,0 +1,182 @@
+//! Workload drift detection against a rebaseable reference distribution.
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the [`DriftDetector`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// L1 distance between the observed and baseline access shares above
+    /// which a window counts as drifted (total variation distance is half
+    /// of this; 2.0 means fully disjoint distributions).
+    pub threshold: f64,
+    /// Consecutive over-threshold windows required before the detector
+    /// fires — one bursty window is not a regime change.
+    pub persistence: u32,
+    /// Windows after a firing during which the detector stays quiet, so a
+    /// triggered re-layout has time to land before it can be blamed for
+    /// "drift" again.
+    pub cooldown: u32,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            threshold: 0.5,
+            persistence: 2,
+            cooldown: 4,
+        }
+    }
+}
+
+/// Detects sustained shifts of the access distribution away from the
+/// layout's baseline. Feed it the estimator's per-group shares each
+/// window; it compares them (L1) against the baseline captured at the
+/// last [`DriftDetector::rebase`]. Fires only after
+/// [`DriftConfig::persistence`] consecutive windows over threshold, then
+/// rebases itself onto the drifted distribution and cools down.
+/// Deterministic: no clocks, no randomness.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    config: DriftConfig,
+    baseline: Vec<f64>,
+    streak: u32,
+    cooldown_left: u32,
+    firings: u64,
+}
+
+impl DriftDetector {
+    /// A detector with no baseline yet: the first observation becomes the
+    /// baseline and can never fire.
+    pub fn new(config: DriftConfig) -> Self {
+        DriftDetector {
+            config,
+            baseline: Vec::new(),
+            streak: 0,
+            cooldown_left: 0,
+            firings: 0,
+        }
+    }
+
+    /// Times the detector has fired.
+    pub fn firings(&self) -> u64 {
+        self.firings
+    }
+
+    /// L1 distance of `shares` from the current baseline (0 when no
+    /// baseline exists yet).
+    pub fn distance(&self, shares: &[f64]) -> f64 {
+        if self.baseline.is_empty() {
+            return 0.0;
+        }
+        let n = shares.len().max(self.baseline.len());
+        (0..n)
+            .map(|i| {
+                let a = shares.get(i).copied().unwrap_or(0.0);
+                let b = self.baseline.get(i).copied().unwrap_or(0.0);
+                (a - b).abs()
+            })
+            .sum()
+    }
+
+    /// Adopts `shares` as the new reference distribution (call after a
+    /// re-layout lands) and clears any pending streak.
+    pub fn rebase(&mut self, shares: &[f64]) {
+        self.baseline = shares.to_vec();
+        self.streak = 0;
+    }
+
+    /// Folds one window's observed shares in; returns `true` when drift
+    /// has persisted long enough to warrant acting. On `true` the
+    /// detector rebases onto `shares` and enters cooldown.
+    pub fn observe(&mut self, shares: &[f64]) -> bool {
+        if self.baseline.is_empty() {
+            self.rebase(shares);
+            return false;
+        }
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return false;
+        }
+        if self.distance(shares) > self.config.threshold {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        if self.streak >= self.config.persistence {
+            self.firings += 1;
+            self.rebase(shares);
+            self.cooldown_left = self.config.cooldown;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> DriftDetector {
+        DriftDetector::new(DriftConfig {
+            threshold: 0.5,
+            persistence: 2,
+            cooldown: 3,
+        })
+    }
+
+    const A: [f64; 4] = [0.7, 0.1, 0.1, 0.1];
+    const B: [f64; 4] = [0.1, 0.1, 0.1, 0.7];
+
+    #[test]
+    fn first_observation_becomes_baseline() {
+        let mut d = detector();
+        assert!(!d.observe(&A));
+        assert_eq!(d.distance(&A), 0.0);
+        assert!(d.distance(&B) > 1.0);
+    }
+
+    #[test]
+    fn fires_only_after_persistence_then_rebases() {
+        let mut d = detector();
+        d.observe(&A);
+        assert!(
+            !d.observe(&B),
+            "first drifted window only starts the streak"
+        );
+        assert!(d.observe(&B), "second consecutive drifted window fires");
+        assert_eq!(d.firings(), 1);
+        assert_eq!(d.distance(&B), 0.0, "fired detector rebases onto the shift");
+    }
+
+    #[test]
+    fn transient_blip_resets_the_streak() {
+        let mut d = detector();
+        d.observe(&A);
+        assert!(!d.observe(&B));
+        assert!(!d.observe(&A), "returning traffic clears the streak");
+        assert!(!d.observe(&B), "streak restarts from one");
+        assert_eq!(d.firings(), 0);
+    }
+
+    #[test]
+    fn cooldown_suppresses_back_to_back_firings() {
+        let mut d = detector();
+        d.observe(&A);
+        d.observe(&B);
+        assert!(d.observe(&B));
+        // Swing straight back: cooldown (3 windows) must hold it quiet.
+        for _ in 0..3 {
+            assert!(!d.observe(&A));
+        }
+        assert!(!d.observe(&A), "first live window restarts the streak");
+        assert!(d.observe(&A), "persists past cooldown, fires again");
+        assert_eq!(d.firings(), 2);
+    }
+
+    #[test]
+    fn length_mismatch_treats_missing_groups_as_zero() {
+        let mut d = detector();
+        d.observe(&[0.5, 0.5]);
+        assert!((d.distance(&[0.5, 0.25, 0.25]) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,305 @@
+//! Online per-tile hotness estimation: EWMA shares + a sticky
+//! Cold/Warm/Hot state machine.
+
+use serde::{Deserialize, Serialize};
+
+/// Heat classification of one row group (tile).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeatState {
+    /// At or below its uniform share of the traffic.
+    #[default]
+    Cold,
+    /// Above uniform, below the hot threshold.
+    Warm,
+    /// Concentrating traffic well above its uniform share.
+    Hot,
+}
+
+/// Knobs of the [`HotnessEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// Rows aggregated into one estimation group (the layout tile size is
+    /// the natural choice).
+    pub group_rows: usize,
+    /// EWMA smoothing factor in `(0, 1]`: the weight of the newest
+    /// window's observed share.
+    pub alpha: f64,
+    /// A group is hot when its EWMA share exceeds `hot_mult ×` the
+    /// uniform share.
+    pub hot_mult: f64,
+    /// A group is warm when its EWMA share exceeds `warm_mult ×` the
+    /// uniform share (must be below `hot_mult` — the gap is the
+    /// hysteresis band).
+    pub warm_mult: f64,
+    /// Consecutive windows a *different* classification must persist
+    /// before the state flips (sticky transitions: one noisy window never
+    /// re-layouts).
+    pub sticky: u32,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            group_rows: 512,
+            alpha: 0.3,
+            hot_mult: 2.0,
+            warm_mult: 1.25,
+            sticky: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct GroupState {
+    ewma_share: f64,
+    state: HeatState,
+    /// The classification the raw EWMA currently argues for, plus how
+    /// many consecutive windows it has argued for it.
+    pending: HeatState,
+    streak: u32,
+}
+
+/// Re-learns row hotness online from the per-row access histograms the
+/// devices already count. Rows are aggregated into fixed-size groups
+/// (tiles); each group carries an EWMA of its observed share of the
+/// window's accesses and a sticky [`HeatState`]. The EWMA vector doubles
+/// as an updated `predicted` hotness profile for the layout framework
+/// ([`HotnessEstimator::profile_for_rows`]).
+#[derive(Debug, Clone)]
+pub struct HotnessEstimator {
+    config: EstimatorConfig,
+    groups: Vec<GroupState>,
+    /// Groups promoted to `Hot` by the most recent observation.
+    just_promoted: Vec<usize>,
+    windows: u64,
+}
+
+impl HotnessEstimator {
+    /// An estimator with the given knobs (groups materialize lazily from
+    /// the first observed histogram).
+    pub fn new(config: EstimatorConfig) -> Self {
+        HotnessEstimator {
+            config,
+            groups: Vec::new(),
+            just_promoted: Vec::new(),
+            windows: 0,
+        }
+    }
+
+    /// Number of row groups tracked so far.
+    pub fn groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Observation windows consumed.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Folds one window's per-row access histogram in: updates every
+    /// group's EWMA share and advances the sticky state machine. A window
+    /// with no accesses leaves the estimate untouched (no traffic is no
+    /// evidence). Deterministic: same histogram sequence, same states.
+    pub fn observe(&mut self, row_accesses: &[u64]) {
+        self.windows += 1;
+        self.just_promoted.clear();
+        let group_rows = self.config.group_rows.max(1);
+        let want = row_accesses.len().div_ceil(group_rows);
+        if self.groups.len() < want {
+            self.groups.resize_with(want, GroupState::default);
+        }
+        let total: u64 = row_accesses.iter().sum();
+        if total == 0 || self.groups.is_empty() {
+            return;
+        }
+        let uniform = 1.0 / self.groups.len() as f64;
+        let alpha = self.config.alpha;
+        for (g, group) in self.groups.iter_mut().enumerate() {
+            let start = g * group_rows;
+            let end = (start + group_rows).min(row_accesses.len());
+            let count: u64 = row_accesses.get(start..end).map_or(0, |s| s.iter().sum());
+            let share = count as f64 / total as f64;
+            group.ewma_share = alpha * share + (1.0 - alpha) * group.ewma_share;
+            let target = if group.ewma_share > self.config.hot_mult * uniform {
+                HeatState::Hot
+            } else if group.ewma_share > self.config.warm_mult * uniform {
+                HeatState::Warm
+            } else {
+                HeatState::Cold
+            };
+            if target == group.state {
+                group.streak = 0;
+                group.pending = target;
+                continue;
+            }
+            if target == group.pending {
+                group.streak += 1;
+            } else {
+                group.pending = target;
+                group.streak = 1;
+            }
+            if group.streak >= self.config.sticky {
+                if target == HeatState::Hot {
+                    self.just_promoted.push(g);
+                }
+                group.state = target;
+                group.streak = 0;
+            }
+        }
+    }
+
+    /// Current classification per group.
+    pub fn states(&self) -> Vec<HeatState> {
+        self.groups.iter().map(|g| g.state).collect()
+    }
+
+    /// EWMA access share per group (sums to ≤ 1 once traffic was seen).
+    pub fn shares(&self) -> Vec<f64> {
+        self.groups.iter().map(|g| g.ewma_share).collect()
+    }
+
+    /// Groups currently classified hot.
+    pub fn hot_groups(&self) -> Vec<usize> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.state == HeatState::Hot)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Groups whose sticky state machine flipped to hot on the most
+    /// recent [`HotnessEstimator::observe`] — the drifted-hot set a
+    /// controller re-interleaves.
+    pub fn just_promoted(&self) -> &[usize] {
+        &self.just_promoted
+    }
+
+    /// An updated per-row `predicted` hotness vector for the layout
+    /// framework (`ecssd_layout::RowAccessProfile`): every row inherits
+    /// its group's EWMA share, floored at a small epsilon so cold rows
+    /// keep nonzero placement weight.
+    pub fn profile_for_rows(&self, rows: usize) -> Vec<f32> {
+        let group_rows = self.config.group_rows.max(1);
+        (0..rows)
+            .map(|r| {
+                let share = self
+                    .groups
+                    .get(r / group_rows)
+                    .map_or(0.0, |g| g.ewma_share);
+                (share as f32).max(1e-6)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimator(sticky: u32) -> HotnessEstimator {
+        HotnessEstimator::new(EstimatorConfig {
+            group_rows: 4,
+            alpha: 0.5,
+            hot_mult: 2.0,
+            warm_mult: 1.25,
+            sticky,
+        })
+    }
+
+    /// 16 rows / 4 groups; all traffic on group `g`.
+    fn burst(g: usize) -> Vec<u64> {
+        let mut h = vec![0u64; 16];
+        h[g * 4..g * 4 + 4].fill(100);
+        h
+    }
+
+    #[test]
+    fn concentrated_traffic_promotes_after_sticky_windows() {
+        let mut e = estimator(2);
+        // EWMA warm-up: window 1 lands in the warm band, windows 2-3 argue
+        // Hot; the sticky machine promotes once two windows agree.
+        e.observe(&burst(1));
+        assert_eq!(e.states()[1], HeatState::Cold, "one window is not enough");
+        e.observe(&burst(1));
+        assert_eq!(e.states()[1], HeatState::Cold, "Hot streak is only 1");
+        e.observe(&burst(1));
+        assert_eq!(e.states()[1], HeatState::Hot);
+        assert_eq!(e.just_promoted(), &[1]);
+        assert_eq!(e.hot_groups(), vec![1]);
+    }
+
+    #[test]
+    fn single_window_blip_never_flaps() {
+        let mut e = estimator(2);
+        for _ in 0..4 {
+            e.observe(&burst(0));
+        }
+        assert_eq!(e.states()[0], HeatState::Hot);
+        // One window of rotated traffic: group 0's state must hold.
+        e.observe(&burst(2));
+        assert_eq!(e.states()[0], HeatState::Hot);
+        assert_eq!(e.states()[2], HeatState::Cold);
+        // Returning traffic resets the pending streak.
+        e.observe(&burst(0));
+        e.observe(&burst(0));
+        assert_eq!(e.states()[0], HeatState::Hot);
+        assert_eq!(e.states()[2], HeatState::Cold);
+    }
+
+    #[test]
+    fn sustained_rotation_demotes_and_promotes() {
+        let mut e = estimator(2);
+        for _ in 0..4 {
+            e.observe(&burst(0));
+        }
+        for _ in 0..8 {
+            e.observe(&burst(3));
+        }
+        assert_eq!(e.states()[0], HeatState::Cold, "old hot set decays out");
+        assert_eq!(e.states()[3], HeatState::Hot, "new hot set promoted");
+    }
+
+    #[test]
+    fn empty_window_is_no_evidence() {
+        let mut e = estimator(1);
+        e.observe(&burst(1));
+        let shares = e.shares();
+        e.observe(&[0u64; 16]);
+        assert_eq!(e.shares(), shares);
+    }
+
+    #[test]
+    fn profile_feeds_learned_interleaving() {
+        use ecssd_layout::{InterleavingStrategy, RowAccessProfile};
+        // The estimator's online profile is a drop-in `predicted` vector:
+        // once group 1 runs hot, the learned strategy deals its rows one
+        // per channel so no single channel carries the whole hot set.
+        let mut e = estimator(1);
+        for _ in 0..3 {
+            e.observe(&burst(1));
+        }
+        let profile = e.profile_for_rows(16);
+        let layout = InterleavingStrategy::Learned(Default::default()).assign_rows(
+            0,
+            1,
+            0,
+            &RowAccessProfile::predicted(&profile),
+            4,
+        );
+        let mut hot_channels: Vec<usize> = (4..8).map(|r| layout.channel_of(r)).collect();
+        hot_channels.sort_unstable();
+        assert_eq!(hot_channels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn profile_expands_groups_to_rows() {
+        let mut e = estimator(1);
+        e.observe(&burst(1));
+        let profile = e.profile_for_rows(16);
+        assert_eq!(profile.len(), 16);
+        assert!(profile[4] > profile[0], "hot group outweighs cold");
+        assert!(profile[0] > 0.0, "cold rows keep a placement floor");
+        assert_eq!(profile[4], profile[7], "rows share their group weight");
+    }
+}

@@ -1,0 +1,52 @@
+//! The adaptive control plane: an online controller that closes the
+//! observability loop.
+//!
+//! ECSSD's learned interleaving is train-once: deployment places rows by
+//! *predicted* hotness and nothing re-learns while the system runs, even
+//! though the serving stack emits rich telemetry (stage breakdowns, cache
+//! counters, latency percentiles, wear histograms) and owns the machinery
+//! to move rows at runtime (the PR 5 update path's placement versions).
+//! This crate supplies the missing piece — a deterministic, seed-free
+//! control loop over three components:
+//!
+//! 1. [`HotnessEstimator`] — per-tile EWMA of the observed access share
+//!    with a sticky Cold/Warm/Hot state machine (a classification only
+//!    flips after `sticky` consecutive windows agree, so one noisy window
+//!    never flaps the layout). Its [`HotnessEstimator::profile_for_rows`]
+//!    output is a drop-in `predicted` vector for
+//!    `ecssd_layout::RowAccessProfile`.
+//! 2. [`DriftDetector`] — L1 distance between the current access
+//!    distribution and a baseline captured at the last re-layout; fires
+//!    only after `persistence` consecutive windows over threshold, then
+//!    cools down.
+//! 3. [`Controller`] — the pluggable policy trait. Per telemetry window
+//!    ([`TelemetryFrame`]) a controller returns typed [`ControlAction`]s;
+//!    the serving layer applies them through existing actuation surfaces
+//!    (cache resize, batch-policy retune, update-path re-interleave, die
+//!    retirement) on batch boundaries. Policies:
+//!    [`StaticControl`] (never acts — the zero-cost baseline),
+//!    [`ThresholdControl`] (rule-based floors), and
+//!    [`SloFeedbackControl`] (p99-target feedback with hysteresis plus
+//!    estimator-driven drift recovery).
+//!
+//! Everything is deterministic: controllers hold no clocks and draw no
+//! randomness, so the same telemetry stream always produces the same
+//! action sequence — a property the test-suite pins with a randomized
+//! stream replay.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+mod controller;
+mod drift;
+mod estimator;
+mod telemetry;
+
+pub use controller::{
+    ControlAction, Controller, SloFeedbackConfig, SloFeedbackControl, StaticControl,
+    ThresholdConfig, ThresholdControl,
+};
+pub use drift::{DriftConfig, DriftDetector};
+pub use estimator::{EstimatorConfig, HeatState, HotnessEstimator};
+pub use telemetry::{cache_window, TelemetryFrame};

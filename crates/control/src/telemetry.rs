@@ -1,0 +1,87 @@
+//! The per-window telemetry snapshot controllers observe.
+
+use ecssd_ssd::{CacheStats, HealthReport};
+use serde::{Deserialize, Serialize};
+
+/// One control window's telemetry, assembled by the serving layer from
+/// counters that already exist: latency percentiles from the serve
+/// report, cache counters from the shard devices, health/wear from the
+/// FTL, and the per-row access histogram the devices accumulate.
+///
+/// Latency and cache fields are *window deltas* (see [`cache_window`]),
+/// not lifetime cumulatives, so a controller reasons about the traffic
+/// since its last tick.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryFrame {
+    /// Monotone control-window index (0 for the first tick).
+    pub window: u64,
+    /// Queries answered during the window.
+    pub queries: u64,
+    /// Simulated p50 latency over the window's queries, µs.
+    pub p50_us: f64,
+    /// Simulated p99 latency over the window's queries, µs.
+    pub p99_us: f64,
+    /// Merged shard cache counters, as a window delta.
+    pub cache: CacheStats,
+    /// Relative busy-time utilization per shard (1.0 = the busiest).
+    pub shard_utilization: Vec<f64>,
+    /// Global per-row candidate-access counts for the window (shard
+    /// histograms concatenated in shard order).
+    pub row_accesses: Vec<u64>,
+    /// Per-shard device health (wear, GC, dead dies, die-erase spread).
+    pub health: Vec<HealthReport>,
+    /// Deployment epoch the window was served at.
+    pub epoch: u64,
+}
+
+/// Window delta of two cumulative cache snapshots: monotone counters
+/// subtract; `resident_bytes`/`capacity_bytes` are point-in-time values
+/// and carry over from `current`.
+pub fn cache_window(current: &CacheStats, previous: &CacheStats) -> CacheStats {
+    CacheStats {
+        hits: current.hits.saturating_sub(previous.hits),
+        misses: current.misses.saturating_sub(previous.misses),
+        bytes_saved: current.bytes_saved.saturating_sub(previous.bytes_saved),
+        insertions: current.insertions.saturating_sub(previous.insertions),
+        evictions: current.evictions.saturating_sub(previous.evictions),
+        invalidations: current.invalidations.saturating_sub(previous.invalidations),
+        resident_bytes: current.resident_bytes,
+        capacity_bytes: current.capacity_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_window_subtracts_counters_keeps_occupancy() {
+        let prev = CacheStats {
+            hits: 10,
+            misses: 5,
+            bytes_saved: 1000,
+            insertions: 4,
+            evictions: 1,
+            invalidations: 0,
+            resident_bytes: 800,
+            capacity_bytes: 1 << 20,
+        };
+        let cur = CacheStats {
+            hits: 25,
+            misses: 9,
+            bytes_saved: 2500,
+            insertions: 6,
+            evictions: 3,
+            invalidations: 2,
+            resident_bytes: 1600,
+            capacity_bytes: 2 << 20,
+        };
+        let w = cache_window(&cur, &prev);
+        assert_eq!((w.hits, w.misses), (15, 4));
+        assert_eq!(w.bytes_saved, 1500);
+        assert_eq!((w.insertions, w.evictions, w.invalidations), (2, 2, 2));
+        assert_eq!(w.resident_bytes, 1600);
+        assert_eq!(w.capacity_bytes, 2 << 20);
+        assert!((w.hit_rate() - 15.0 / 19.0).abs() < 1e-12);
+    }
+}

@@ -13,6 +13,7 @@ use ecssd_screen::{
     ScreenError, Screener, ThresholdPolicy,
 };
 use ecssd_ssd::{HotRowCache, SimTime, SsdDevice, SsdError};
+use ecssd_update::{UpdateBatch, UpdateReport};
 
 use crate::{Classifier, ClassifierStats, EcssdConfig, GatherRequest};
 
@@ -212,6 +213,11 @@ pub struct Ecssd {
     pub(crate) crash_bound: Option<u64>,
     /// Cumulative data+parity pages programmed by applied updates.
     pub(crate) update_programs: u64,
+    /// Per-row candidate-access counts since the last
+    /// [`Ecssd::take_row_accesses`] — the observed-hotness telemetry a
+    /// control plane's estimator consumes. Sized at deployment, resized
+    /// by committed `Add` ops.
+    pub(crate) row_accesses: Vec<u64>,
 }
 
 impl Ecssd {
@@ -247,6 +253,7 @@ impl Ecssd {
             commit_log: Vec::new(),
             crash_bound: None,
             update_programs: 0,
+            row_accesses: Vec::new(),
         }
     }
 
@@ -376,6 +383,7 @@ impl Ecssd {
         }
         self.clock = t;
         self.weights = Some(weights.clone());
+        self.row_accesses = vec![0; weights.rows()];
         self.screener = Some(screener);
         self.next_lpn = lpn;
         self.free_lpns.clear();
@@ -466,6 +474,9 @@ impl Ecssd {
             let mut fetched: Vec<usize> = Vec::new();
             let mut hit_done = t;
             for &c in cands {
+                if let Some(count) = self.row_accesses.get_mut(c) {
+                    *count += 1;
+                }
                 if self.hot_cache.lookup(c as u64) {
                     hit_done = hit_done.max(self.device.dram_mut().transfer(row_bytes, t));
                     continue;
@@ -694,8 +705,100 @@ impl Ecssd {
     pub fn health_report(&self) -> ecssd_ssd::HealthReport {
         let mut health = self.device.flash().health_report();
         health.absorb_wear(&self.device.ftl().wear(), &self.device.ftl().gc_totals());
+        health.die_wear = Some(self.device.ftl().die_wear());
         health.update_programs = self.update_programs;
         health
+    }
+
+    /// Per-row candidate-access counts accumulated since the last
+    /// [`Ecssd::take_row_accesses`] (indexed by global row id of this
+    /// device; empty before deployment). Every candidate the CFP32 stage
+    /// touches counts, hit or miss — the observed-hotness signal a
+    /// control plane's estimator consumes.
+    pub fn row_accesses(&self) -> &[u64] {
+        &self.row_accesses
+    }
+
+    /// Drains the per-row access histogram: returns the counts since the
+    /// previous take and resets them, so each control window observes its
+    /// own traffic.
+    pub fn take_row_accesses(&mut self) -> Vec<u64> {
+        let drained = self.row_accesses.clone();
+        for count in &mut self.row_accesses {
+            *count = 0;
+        }
+        drained
+    }
+
+    /// Retunes the hot-row cache capacity at runtime, adjusting the DRAM
+    /// reservation to match and evicting least-recently-used rows until
+    /// the resident set fits (evictions are counted in
+    /// [`ecssd_ssd::CacheStats`]). The control plane's cache-resize
+    /// actuator.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::Ssd`] when DRAM cannot fit the grown reservation;
+    /// the cache keeps its previous capacity in that case.
+    pub fn set_cache_capacity(&mut self, bytes: u64) -> Result<(), EcssdError> {
+        let current = self.hot_cache.capacity_bytes();
+        if self.cache_reserved {
+            if bytes > current {
+                self.device.dram_mut().reserve(bytes - current)?;
+            } else {
+                self.device.dram_mut().release(current - bytes);
+            }
+        } else if bytes > 0 {
+            self.device.dram_mut().reserve(bytes)?;
+            self.cache_reserved = true;
+        }
+        self.hot_cache.set_capacity(bytes);
+        Ok(())
+    }
+
+    /// Stages a placement-only rewrite of `rows` as version N+1: each row
+    /// keeps its current values but is programmed into fresh pages through
+    /// the PR 5 update path, so the re-placement's program/GC/parity
+    /// traffic genuinely contends with version-N query reads on the flash
+    /// timelines. Rows are deduplicated and staged in ascending order so
+    /// identically-seeded runs stage identically. An empty `rows` still
+    /// creates a (no-op) staged version, so a sharded engine can commit
+    /// every shard in lockstep. Commit with [`Ecssd::commit_update`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Ecssd::stage_update`]; out-of-range rows fail
+    /// validation there.
+    pub fn reinterleave_stage(&mut self, rows: &[u64]) -> Result<UpdateReport, EcssdError> {
+        let weights = self.weights.as_ref().ok_or(EcssdError::NoWeights)?;
+        let source = self.staged.as_ref().map_or(weights, |s| &s.weights);
+        let mut targets: Vec<u64> = rows.to_vec();
+        targets.sort_unstable();
+        targets.dedup();
+        let mut batch = UpdateBatch::new(source.cols());
+        for &row in &targets {
+            let idx = usize::try_from(row).unwrap_or(usize::MAX);
+            if idx >= source.rows() {
+                return Err(EcssdError::Update(
+                    ecssd_update::UpdateError::RowOutOfRange {
+                        row: idx,
+                        rows: source.rows(),
+                    },
+                ));
+            }
+            batch = batch
+                .replace(idx, source.row(idx).to_vec())
+                .map_err(EcssdError::Update)?;
+        }
+        self.stage_update(&batch)
+    }
+
+    /// Marks a detected-dead die as retired so reads to it fail fast
+    /// instead of burning the full retry-ladder timeout — the control
+    /// plane's die-retirement actuator (forwards to
+    /// [`ecssd_ssd::FlashSim::retire_die`]; no-op without a fault plan).
+    pub fn retire_die(&mut self, channel: usize, die: usize) {
+        self.device.flash_mut().retire_die(channel, die);
     }
 }
 

@@ -265,8 +265,10 @@ impl Ecssd {
             consistent = false;
         }
         self.row_lpns = row_lpns;
+        let rows = img.weights.rows();
         self.weights = Some(img.weights);
         self.screener = Some(img.screener);
+        self.row_accesses.resize(rows, 0);
 
         // Rows-lost audit: a commit whose group flush preceded the crash
         // instant was durable and must have been recovered.
@@ -352,6 +354,8 @@ impl Ecssd {
         }
         self.weights = snap.weights;
         self.screener = snap.screener;
+        self.row_accesses
+            .resize(self.weights.as_ref().map_or(0, DenseMatrix::rows), 0);
         self.row_lpns = snap.row_lpns;
         self.pages_per_row = snap.pages_per_row;
         self.next_lpn = snap.next_lpn;

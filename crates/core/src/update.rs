@@ -319,6 +319,10 @@ impl Ecssd {
         self.weights = Some(staged.weights);
         self.screener = Some(staged.screener);
         self.row_lpns = staged.row_lpns;
+        // Committed `Add` ops grow the hotness histogram; removed rows
+        // keep their slot (tombstoned, never accessed again).
+        let rows = self.weights.as_ref().map_or(0, DenseMatrix::rows);
+        self.row_accesses.resize(rows, 0);
         // Staleness barrier: a committed query can never be served a
         // pre-update cached row image.
         let inv_before = self.hot_cache.stats().invalidations;

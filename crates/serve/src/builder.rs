@@ -2,6 +2,7 @@
 //! the `new` / `with_tracing` + post-hoc `enable_journal` /
 //! `filter_threshold` constructor sprawl.
 
+use ecssd_control::Controller;
 use ecssd_core::{EcssdConfig, EcssdError, SloTargets};
 use ecssd_screen::ThresholdPolicy;
 use ecssd_ssd::JournalConfig;
@@ -33,7 +34,6 @@ use crate::engine::{EngineOptions, ServeEngine, ServePolicy};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 #[must_use = "a builder does nothing until .build()"]
 pub struct ServeEngineBuilder {
     config: EcssdConfig,
@@ -44,6 +44,18 @@ pub struct ServeEngineBuilder {
     threshold: Option<ThresholdPolicy>,
     queue_limit: Option<usize>,
     slo: Option<SloTargets>,
+    controller: Option<Box<dyn Controller>>,
+}
+
+impl std::fmt::Debug for ServeEngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngineBuilder")
+            .field("shards", &self.shards)
+            .field("policy", &self.policy)
+            .field("tracing", &self.tracing)
+            .field("controller", &self.controller.as_ref().map(|c| c.name()))
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServeEngine {
@@ -59,6 +71,7 @@ impl ServeEngine {
             threshold: None,
             queue_limit: None,
             slo: None,
+            controller: None,
         }
     }
 }
@@ -123,6 +136,16 @@ impl ServeEngineBuilder {
         self
     }
 
+    /// Attaches an adaptive control policy. The engine itself only
+    /// gathers telemetry and applies actions when the host calls
+    /// [`ServeEngine::control_tick`] — an attached-but-never-ticked (or
+    /// absent) controller costs nothing and changes nothing. Default:
+    /// none.
+    pub fn controller(mut self, controller: impl Controller + 'static) -> Self {
+        self.controller = Some(Box::new(controller));
+        self
+    }
+
     /// Validates every knob and spawns the engine threads.
     ///
     /// # Errors
@@ -135,6 +158,7 @@ impl ServeEngineBuilder {
             tracer: self.tracing.then(Tracer::enabled),
             queue_limit: self.queue_limit,
             slo: self.slo,
+            controller: self.controller,
         };
         let mut engine = ServeEngine::build(self.config, self.shards, self.policy, opts)?;
         if let Some(journal) = self.journal {

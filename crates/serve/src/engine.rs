@@ -30,13 +30,14 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ecssd_control::{cache_window, ControlAction, Controller, TelemetryFrame};
 use ecssd_core::{
     sort_scores, Classifier, ClassifierStats, Ecssd, EcssdConfig, EcssdError, EcssdMode,
     GatherRequest, QueryClass, RecoveryOutcome, RejectReason, Request, SloTargets, UpdateBatch,
     UpdateReport,
 };
 use ecssd_screen::{DenseMatrix, Score, ThresholdPolicy};
-use ecssd_ssd::{CacheStats, JournalConfig, SimTime};
+use ecssd_ssd::{CacheStats, HealthReport, JournalConfig, SimTime};
 use ecssd_trace::{percentile_us, StageBreakdown, Tracer};
 use serde::{Deserialize, Serialize};
 
@@ -346,6 +347,32 @@ enum Job {
         epoch: u64,
         ack: Sender<(usize, Result<RecoveryOutcome, String>)>,
     },
+    /// Control-plane snapshot: drain this shard's per-row access
+    /// histogram (so each window observes a delta) and report device
+    /// health. Sent only by [`ServeEngine::control_tick`] — an engine
+    /// without a controller never pays for telemetry.
+    Telemetry {
+        ack: Sender<(usize, Vec<u64>, HealthReport)>,
+    },
+    /// Resize this shard's hot-row cache at runtime (LRU evict-down when
+    /// shrinking).
+    SetCacheCapacity {
+        bytes: u64,
+        ack: Sender<Result<(), String>>,
+    },
+    /// Stage a re-placement of the given shard-local rows as version N+1
+    /// (same mechanics as [`Job::Stage`]: the program/GC traffic contends
+    /// with query reads; visibility waits for the commit barrier).
+    Reinterleave {
+        rows: Vec<u64>,
+        ack: Sender<Result<UpdateReport, String>>,
+    },
+    /// Fail-fast a detected-dead die on this shard's device.
+    RetireDie {
+        channel: usize,
+        die: usize,
+        ack: Sender<Result<(), String>>,
+    },
 }
 
 /// A barrier the dispatcher must place between two batches: an update
@@ -359,12 +386,16 @@ enum Barrier {
 }
 
 /// What flows into the dispatcher: queries to batch, a pre-formed batch to
-/// dispatch atomically, or a barrier to forward to every shard between two
-/// batches.
+/// dispatch atomically, a barrier to forward to every shard between two
+/// batches, or a batch-policy retune applied between two batches.
 enum Submission {
     Query(Query),
     Formed(Vec<Query>),
     Barrier(Barrier),
+    /// Replace the batch-formation policy. Ordered like a barrier: the
+    /// open batch closes under the old policy, every later batch forms
+    /// under the new one — no batch ever forms under mixed knobs.
+    Retune(ServePolicy),
 }
 
 /// One query's bookkeeping inside a batch ticket.
@@ -441,6 +472,23 @@ impl Metrics {
 
 /// Locks a mutex, recovering the data if a worker panicked while holding
 /// it (the metrics stay usable for a final report).
+/// Splits `rows` into `n` contiguous `(start, end)` spans whose sizes
+/// differ by at most one, so every shard owns at least one row whenever
+/// `rows >= n`. A naive `div_ceil` stride can starve trailing shards
+/// entirely (5 rows over 4 shards puts shard 3's start past the table).
+fn shard_spans(rows: usize, n: usize) -> Vec<(usize, usize)> {
+    let base = rows / n;
+    let extra = rows % n;
+    let mut spans = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < extra);
+        spans.push((start, start + len));
+        start += len;
+    }
+    spans
+}
+
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex
         .lock()
@@ -454,6 +502,7 @@ pub(crate) struct EngineOptions {
     pub(crate) tracer: Option<Tracer>,
     pub(crate) queue_limit: Option<usize>,
     pub(crate) slo: Option<SloTargets>,
+    pub(crate) controller: Option<Box<dyn Controller>>,
 }
 
 /// The sharded batched serving engine (see the crate docs for the thread
@@ -483,6 +532,23 @@ pub struct ServeEngine {
     /// Default per-class deadlines stamped onto [`ServeEngine::submit`]
     /// requests that carry none.
     slo: Option<SloTargets>,
+    /// Batch-formation policy currently in force (host-side copy; the
+    /// dispatcher holds the authoritative one and both move together via
+    /// [`ServeEngine::set_policy`]).
+    policy: ServePolicy,
+    /// The attached control policy. `None` means no control plane: no
+    /// telemetry jobs are ever sent and serving is byte-identical to an
+    /// engine built without one.
+    controller: Option<Box<dyn Controller>>,
+    /// Every applied control action, tagged with its window index.
+    control_log: Vec<(u64, ControlAction)>,
+    /// Next control-window index.
+    control_window: u64,
+    /// Cumulative per-shard cache counters at the last tick (window
+    /// deltas are computed against these).
+    control_prev_cache: Vec<CacheStats>,
+    /// Latency samples already consumed by previous ticks.
+    control_prev_latency: usize,
 }
 
 impl std::fmt::Debug for ServeEngine {
@@ -577,6 +643,12 @@ impl ServeEngine {
             outstanding,
             queue_limit: opts.queue_limit,
             slo: opts.slo,
+            policy,
+            controller: opts.controller,
+            control_log: Vec::new(),
+            control_window: 0,
+            control_prev_cache: vec![CacheStats::default(); shards],
+            control_prev_latency: 0,
         })
     }
 
@@ -628,12 +700,10 @@ impl ServeEngine {
                 "fewer weight rows ({rows}) than shards ({n})"
             )));
         }
-        let per = rows.div_ceil(n);
+        let spans = shard_spans(rows, n);
         let mut starts = Vec::with_capacity(n + 1);
         let mut acks = Vec::with_capacity(n);
-        for (i, worker) in self.worker_tx.iter().enumerate() {
-            let start = i * per;
-            let end = ((i + 1) * per).min(rows);
+        for ((i, worker), &(start, end)) in self.worker_tx.iter().enumerate().zip(&spans) {
             starts.push(start);
             let mut data = Vec::with_capacity((end - start) * weights.cols());
             for r in start..end {
@@ -695,12 +765,10 @@ impl ServeEngine {
                 "fewer table rows ({rows}) than shards ({n})"
             )));
         }
-        let per = rows.div_ceil(n);
+        let spans = shard_spans(rows, n);
         let mut starts = Vec::with_capacity(n + 1);
         let mut acks = Vec::with_capacity(n);
-        for (i, worker) in self.worker_tx.iter().enumerate() {
-            let start = i * per;
-            let end = ((i + 1) * per).min(rows);
+        for ((i, worker), &(start, end)) in self.worker_tx.iter().enumerate().zip(&spans) {
             starts.push(start);
             let mut data = Vec::with_capacity((end - start) * table.cols());
             for r in start..end {
@@ -1333,6 +1401,281 @@ impl ServeEngine {
         Ok(out)
     }
 
+    /// The batch-formation policy currently in force (the engine's copy;
+    /// it moves in lockstep with the dispatcher's via
+    /// [`ServeEngine::set_policy`]).
+    pub fn policy(&self) -> ServePolicy {
+        self.policy
+    }
+
+    /// Replaces the batch-formation policy. The retune flows through the
+    /// dispatcher ordered like a barrier: the open batch closes under the
+    /// old policy, every later batch forms under the new one, so no batch
+    /// ever forms under mixed knobs.
+    ///
+    /// # Errors
+    ///
+    /// A zero `max_batch` and a stopped engine surface as
+    /// [`EcssdError::Serve`].
+    pub fn set_policy(&mut self, policy: ServePolicy) -> Result<(), EcssdError> {
+        if policy.max_batch == 0 {
+            return Err(EcssdError::Serve("max_batch must be nonzero".into()));
+        }
+        let tx = self
+            .submit_tx
+            .as_ref()
+            .ok_or_else(|| EcssdError::Serve("engine stopped".into()))?;
+        tx.send(Submission::Retune(policy))
+            .map_err(|_| EcssdError::Serve("dispatcher exited".into()))?;
+        self.policy = policy;
+        Ok(())
+    }
+
+    /// Sets every shard's hot-row cache capacity (bytes; 0 disables).
+    /// Shrinking evicts down in LRU order immediately.
+    ///
+    /// # Errors
+    ///
+    /// Shard failures (e.g. DRAM budget exhausted) as
+    /// [`EcssdError::Serve`].
+    pub fn set_cache_capacity(&mut self, bytes: u64) -> Result<(), EcssdError> {
+        let mut acks = Vec::with_capacity(self.worker_tx.len());
+        for (i, worker) in self.worker_tx.iter().enumerate() {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::SetCacheCapacity { bytes, ack: ack_tx })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            acks.push(ack_rx);
+        }
+        for (i, ack) in acks.into_iter().enumerate() {
+            ack.recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited during resize")))?
+                .map_err(|e| EcssdError::Serve(format!("shard {i} cache resize failed: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Re-places the given global rows through the online update path:
+    /// each shard stages a same-value replace of its slice (the program/GC
+    /// traffic contends with query reads on the flash timelines), then one
+    /// commit barrier swaps every shard on the same batch boundary — so
+    /// re-interleaving never produces a mixed-version batch.
+    ///
+    /// # Errors
+    ///
+    /// [`EcssdError::NoWeights`] before deployment, an out-of-range row
+    /// and shard failures as [`EcssdError::Serve`].
+    pub fn reinterleave(&mut self, rows: &[u64]) -> Result<UpdateReport, EcssdError> {
+        if self.shard_starts.is_empty() {
+            return Err(EcssdError::NoWeights);
+        }
+        let shards = self.worker_tx.len();
+        let total = self.shard_starts.last().copied().unwrap_or(0) as u64;
+        let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); shards];
+        for &row in rows {
+            if row >= total {
+                return Err(EcssdError::Serve(format!(
+                    "reinterleave row {row} out of range ({total} rows)"
+                )));
+            }
+            let shard = self
+                .shard_starts
+                .partition_point(|&s| (s as u64) <= row)
+                .saturating_sub(1)
+                .min(shards - 1);
+            per_shard[shard].push(row - self.shard_starts[shard] as u64);
+        }
+        // Every shard stages — even an empty slice — so the commit bumps
+        // every device epoch in lockstep.
+        let mut acks = Vec::with_capacity(shards);
+        for (i, (worker, local)) in self.worker_tx.iter().zip(per_shard).enumerate() {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            worker
+                .send(Job::Reinterleave {
+                    rows: local,
+                    ack: ack_tx,
+                })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+            acks.push(ack_rx);
+        }
+        let mut merged = UpdateReport::default();
+        for (i, ack) in acks.into_iter().enumerate() {
+            let report = ack
+                .recv()
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited during reinterleave")))?
+                .map_err(|e| EcssdError::Serve(format!("shard {i} reinterleave failed: {e}")))?;
+            merged = merged.merge(&report);
+        }
+        Ok(merged.merge(&self.commit_update()?))
+    }
+
+    /// Fail-fasts a detected-dead die on one shard's device.
+    ///
+    /// # Errors
+    ///
+    /// An unknown shard and worker failures as [`EcssdError::Serve`].
+    pub fn retire_die(
+        &mut self,
+        shard: usize,
+        channel: usize,
+        die: usize,
+    ) -> Result<(), EcssdError> {
+        let worker = self
+            .worker_tx
+            .get(shard)
+            .ok_or_else(|| EcssdError::Serve(format!("no shard {shard}")))?;
+        let (ack_tx, ack_rx) = mpsc::channel();
+        worker
+            .send(Job::RetireDie {
+                channel,
+                die,
+                ack: ack_tx,
+            })
+            .map_err(|_| EcssdError::Serve(format!("worker {shard} exited")))?;
+        ack_rx
+            .recv()
+            .map_err(|_| EcssdError::Serve(format!("worker {shard} exited during retire")))?
+            .map_err(|e| EcssdError::Serve(format!("shard {shard} retire failed: {e}")))
+    }
+
+    /// Every control action applied so far, tagged with its window index.
+    pub fn control_log(&self) -> &[(u64, ControlAction)] {
+        &self.control_log
+    }
+
+    /// Runs one control-loop iteration: snapshots a [`TelemetryFrame`]
+    /// from the per-shard counters (cache/latency fields are deltas since
+    /// the previous tick), hands it to the attached controller, and
+    /// applies every returned action through the engine's actuation
+    /// surfaces. A no-op returning an empty list when no controller is
+    /// attached.
+    ///
+    /// Call it on batch boundaries — after the in-flight work you want
+    /// the window to cover has been answered. Actions that change serving
+    /// state (re-interleave commits, policy retunes) are themselves
+    /// ordered on batch boundaries, so a tick can never produce a
+    /// mixed-version or mixed-policy batch.
+    ///
+    /// # Errors
+    ///
+    /// Worker/actuation failures as [`EcssdError::Serve`] (the telemetry
+    /// snapshot itself cannot fail while workers live).
+    pub fn control_tick(&mut self) -> Result<Vec<ControlAction>, EcssdError> {
+        let Some(mut controller) = self.controller.take() else {
+            return Ok(Vec::new());
+        };
+        let outcome = self.control_tick_with(controller.as_mut());
+        self.controller = Some(controller);
+        outcome
+    }
+
+    fn control_tick_with(
+        &mut self,
+        controller: &mut dyn Controller,
+    ) -> Result<Vec<ControlAction>, EcssdError> {
+        // Per-shard snapshot: drained row histograms + health.
+        let shards = self.worker_tx.len();
+        let (ack_tx, ack_rx) = mpsc::channel();
+        for (i, worker) in self.worker_tx.iter().enumerate() {
+            worker
+                .send(Job::Telemetry {
+                    ack: ack_tx.clone(),
+                })
+                .map_err(|_| EcssdError::Serve(format!("worker {i} exited")))?;
+        }
+        drop(ack_tx);
+        let mut slots: Vec<Option<(Vec<u64>, HealthReport)>> = (0..shards).map(|_| None).collect();
+        for _ in 0..shards {
+            let (shard, rows, health) = ack_rx
+                .recv()
+                .map_err(|_| EcssdError::Serve("worker exited during telemetry".into()))?;
+            slots[shard] = Some((rows, health));
+        }
+        let total_rows = self.shard_starts.last().copied().unwrap_or(0);
+        let mut row_accesses = vec![0u64; total_rows];
+        let mut health = Vec::with_capacity(shards);
+        for (i, slot) in slots.into_iter().enumerate() {
+            let Some((local, h)) = slot else { continue };
+            let start = self.shard_starts.get(i).copied().unwrap_or(0);
+            for (j, count) in local.into_iter().enumerate() {
+                if let Some(global) = row_accesses.get_mut(start + j) {
+                    *global += count;
+                }
+            }
+            health.push(h);
+        }
+        // Window metrics: latency/query/cache deltas since the last tick.
+        let (queries, p50_us, p99_us, cache, shard_utilization, epoch) = {
+            let m = lock(&self.metrics);
+            let consumed = self.control_prev_latency.min(m.sim_latencies_ns.len());
+            let mut window: Vec<u64> = m.sim_latencies_ns[consumed..].to_vec();
+            window.sort_unstable();
+            let merged_now = m
+                .cache
+                .iter()
+                .fold(CacheStats::default(), |acc, c| acc.merge(c));
+            let merged_prev = self
+                .control_prev_cache
+                .iter()
+                .fold(CacheStats::default(), |acc, c| acc.merge(c));
+            self.control_prev_latency = m.sim_latencies_ns.len();
+            self.control_prev_cache = m.cache.clone();
+            let busy_max = m.shard_busy_ns.iter().copied().max().unwrap_or(0);
+            (
+                window.len() as u64,
+                percentile_us(&window, 0.50),
+                percentile_us(&window, 0.99),
+                cache_window(&merged_now, &merged_prev),
+                m.shard_busy_ns
+                    .iter()
+                    .map(|&busy| {
+                        if busy_max == 0 {
+                            0.0
+                        } else {
+                            busy as f64 / busy_max as f64
+                        }
+                    })
+                    .collect(),
+                m.epochs.iter().copied().max().unwrap_or(0),
+            )
+        };
+        let frame = TelemetryFrame {
+            window: self.control_window,
+            queries,
+            p50_us,
+            p99_us,
+            cache,
+            shard_utilization,
+            row_accesses,
+            health,
+            epoch,
+        };
+        let actions = controller.observe(&frame);
+        for action in &actions {
+            match action {
+                ControlAction::ResizeCache { bytes } => self.set_cache_capacity(*bytes)?,
+                ControlAction::SetPolicy {
+                    max_batch,
+                    max_wait_us,
+                } => self.set_policy(ServePolicy {
+                    max_batch: (*max_batch).max(1),
+                    max_wait: Duration::from_micros(*max_wait_us),
+                })?,
+                ControlAction::Reinterleave { rows } => {
+                    self.reinterleave(rows)?;
+                }
+                ControlAction::RetireDie {
+                    shard,
+                    channel,
+                    die,
+                } => self.retire_die(*shard, *channel, *die)?,
+            }
+            self.control_log.push((self.control_window, action.clone()));
+        }
+        self.control_window += 1;
+        Ok(actions)
+    }
+
     /// Serving metrics so far.
     pub fn report(&self) -> ServeReport {
         let m = lock(&self.metrics);
@@ -1590,6 +1933,32 @@ fn worker_loop(
                     result,
                 });
             }
+            Job::Telemetry { ack } => {
+                // Draining the histogram makes each control window a
+                // delta; health is a cheap counter snapshot.
+                let _ = ack.send((shard, device.take_row_accesses(), device.health_report()));
+            }
+            Job::SetCacheCapacity { bytes, ack } => {
+                let outcome = device.set_cache_capacity(bytes).map_err(|e| e.to_string());
+                let mut m = lock(&metrics);
+                m.cache[shard] = device.cache_stats();
+                drop(m);
+                let _ = ack.send(outcome);
+            }
+            Job::Reinterleave { rows, ack } => {
+                let outcome = device.reinterleave_stage(&rows).map_err(|e| e.to_string());
+                // Re-placement advances the device clock like any staged
+                // update: its program/GC traffic shares the timelines
+                // queries read from.
+                let mut m = lock(&metrics);
+                m.shard_elapsed[shard] = Classifier::elapsed(&device);
+                drop(m);
+                let _ = ack.send(outcome);
+            }
+            Job::RetireDie { channel, die, ack } => {
+                device.retire_die(channel, die);
+                let _ = ack.send(Ok(()));
+            }
         }
     }
 }
@@ -1663,17 +2032,19 @@ fn dispatcher_loop(
     submissions: Receiver<Submission>,
     workers: Vec<Sender<Job>>,
     merge: Sender<MergeMsg>,
-    policy: ServePolicy,
+    mut policy: ServePolicy,
     tracer: Tracer,
 ) {
     let mut next_id = 0u64;
     // A query whose `k` differs from the open batch closes that batch and
     // seeds the next one.
     let mut carry: Option<Query> = None;
-    // A barrier or pre-formed batch that arrived while a batch was open:
-    // the open batch is closed and dispatched first, then they follow.
+    // A barrier, pre-formed batch or retune that arrived while a batch was
+    // open: the open batch is closed and dispatched first, then they
+    // follow.
     let mut pending_barrier: Option<Barrier> = None;
     let mut pending_formed: Option<Vec<Query>> = None;
+    let mut pending_retune: Option<ServePolicy> = None;
     loop {
         let first = match carry.take() {
             Some(q) => q,
@@ -1689,6 +2060,12 @@ fn dispatcher_loop(
                     forward_barrier(&workers, b, &tracer);
                     continue;
                 }
+                Ok(Submission::Retune(p)) => {
+                    // Idle retune: no open batch, applies immediately.
+                    tracer.count("serve.policy_retunes", 1);
+                    policy = p;
+                    continue;
+                }
                 Err(_) => return,
             },
         };
@@ -1699,6 +2076,7 @@ fn dispatcher_loop(
             && carry.is_none()
             && pending_barrier.is_none()
             && pending_formed.is_none()
+            && pending_retune.is_none()
         {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
@@ -1709,6 +2087,7 @@ fn dispatcher_loop(
                 Ok(Submission::Query(q)) => carry = Some(q),
                 Ok(Submission::Formed(f)) => pending_formed = Some(f),
                 Ok(Submission::Barrier(b)) => pending_barrier = Some(b),
+                Ok(Submission::Retune(p)) => pending_retune = Some(p),
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
@@ -1718,6 +2097,12 @@ fn dispatcher_loop(
         }
         if let Some(b) = pending_barrier.take() {
             forward_barrier(&workers, b, &tracer);
+        }
+        if let Some(p) = pending_retune.take() {
+            // The open batch (and anything queued behind it) went out
+            // under the old policy; everything later forms under the new.
+            tracer.count("serve.policy_retunes", 1);
+            policy = p;
         }
     }
 }

@@ -29,6 +29,7 @@
 
 use std::collections::VecDeque;
 
+use ecssd_control::{ControlAction, Controller};
 use ecssd_core::{
     Classifier, EcssdConfig, EcssdError, QueryClass, RejectReason, Request, SloTargets,
     UpdateBatch, UpdateReport,
@@ -95,9 +96,13 @@ impl Default for AdmissionControl {
     }
 }
 
+/// A factory producing one fresh controller per replica engine (each
+/// replica runs its own independent control loop).
+type ControllerFactory = Box<dyn Fn() -> Box<dyn Controller>>;
+
 /// Builds a [`Fleet`]: replica count, per-replica sharding, balancer
-/// policy, SLO targets, admission control, journaling, affinity routing.
-#[derive(Debug)]
+/// policy, SLO targets, admission control, journaling, affinity routing,
+/// optional per-replica adaptive control.
 #[must_use = "a builder does nothing until .build()"]
 pub struct FleetBuilder {
     config: EcssdConfig,
@@ -108,6 +113,18 @@ pub struct FleetBuilder {
     admission: AdmissionControl,
     journal: Option<JournalConfig>,
     affinity_routing: bool,
+    controller: Option<ControllerFactory>,
+}
+
+impl std::fmt::Debug for FleetBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetBuilder")
+            .field("replicas", &self.replicas)
+            .field("shards_per_replica", &self.shards_per_replica)
+            .field("policy", &self.policy)
+            .field("controller", &self.controller.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Fleet {
@@ -123,6 +140,7 @@ impl Fleet {
             admission: AdmissionControl::default(),
             journal: None,
             affinity_routing: true,
+            controller: None,
         }
     }
 }
@@ -174,6 +192,19 @@ impl FleetBuilder {
         self
     }
 
+    /// Attach an adaptive control policy to every replica engine: the
+    /// factory is called once per replica so each runs an independent
+    /// controller over its own telemetry. The loops advance only when the
+    /// host calls [`Fleet::control_tick`]. Default: none.
+    pub fn controller<C, F>(mut self, factory: F) -> Self
+    where
+        C: Controller + 'static,
+        F: Fn() -> C + 'static,
+    {
+        self.controller = Some(Box::new(move || Box::new(factory())));
+        self
+    }
+
     /// Validates the knobs and spawns every replica engine.
     ///
     /// # Errors
@@ -194,6 +225,9 @@ impl FleetBuilder {
                 .policy(ServePolicy::default());
             if let Some(journal) = self.journal {
                 b = b.journal(journal);
+            }
+            if let Some(factory) = &self.controller {
+                b = b.controller(factory());
             }
             engines.push(b.build()?);
         }
@@ -604,6 +638,37 @@ impl Fleet {
         self.rolling_update_begin(batch)?;
         while self.rolling_update_step()? {}
         Ok(())
+    }
+
+    /// Runs one control-loop iteration on every replica engine (see
+    /// [`ServeEngine::control_tick`]): each replica's controller observes
+    /// its own telemetry window and actuates on its own devices. Queues
+    /// are flushed first so every window covers fully-answered work, and
+    /// replica epochs are refreshed afterwards (a controller-triggered
+    /// re-interleave commits like any update, and routing must not treat
+    /// ticked replicas as stale). Returns the actions per replica; all
+    /// empty when no controller is attached.
+    ///
+    /// # Errors
+    ///
+    /// Queue-flush and engine actuation failures propagate.
+    pub fn control_tick(&mut self) -> Result<Vec<Vec<ControlAction>>, EcssdError> {
+        self.drain()?;
+        let mut all = Vec::with_capacity(self.engines.len());
+        for replica in 0..self.engines.len() {
+            let before = Classifier::elapsed(&self.engines[replica]).as_ns();
+            let actions = self.engines[replica].control_tick()?;
+            // Actuation (re-interleave staging/commit) advances the
+            // device clock; charge it like an update step.
+            let delta = Classifier::elapsed(&self.engines[replica])
+                .as_ns()
+                .saturating_sub(before);
+            self.free_at_ns[replica] = self.free_at_ns[replica].max(self.now_ns) + delta;
+            self.epochs[replica] = self.engines[replica].epoch();
+            self.fleet_epoch = self.fleet_epoch.max(self.epochs[replica]);
+            all.push(actions);
+        }
+        Ok(all)
     }
 
     /// Merged update report from staging on one replica, for callers that

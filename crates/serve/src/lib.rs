@@ -55,6 +55,9 @@ mod engine;
 mod fleet;
 
 pub use builder::ServeEngineBuilder;
+// Control-plane vocabulary re-exported so engine/fleet callers can attach
+// controllers without a direct `ecssd-control` dependency.
+pub use ecssd_control::{ControlAction, Controller, TelemetryFrame};
 pub use engine::{
     BatchOutcome, GatherOutcome, Pending, PendingBatch, RecoverySummary, ServeEngine, ServePolicy,
     ServeReport,

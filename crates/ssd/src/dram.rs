@@ -297,6 +297,31 @@ impl HotRowCache {
         }
     }
 
+    /// Retunes the capacity at runtime, evicting least-recently-used rows
+    /// until the resident set fits the new bound. Evictions are counted in
+    /// [`CacheStats::evictions`] like insert-driven ones, and the LRU order
+    /// is the same deterministic recency order `insert` evicts in, so two
+    /// identically-seeded runs resize identically. Growing never drops
+    /// rows; resizing to 0 disables the cache and drops everything
+    /// resident. Hit/miss history is preserved either way.
+    pub fn set_capacity(&mut self, capacity_bytes: u64) {
+        self.capacity_bytes = capacity_bytes;
+        while self.resident_bytes > self.capacity_bytes {
+            let Some((victim, seq)) = self.order.pop_front() else {
+                break;
+            };
+            if self
+                .entries
+                .get(&victim)
+                .is_some_and(|&(_, live)| live == seq)
+            {
+                let (vbytes, _) = self.entries.remove(&victim).unwrap_or((0, 0));
+                self.resident_bytes -= vbytes;
+                self.evictions += 1;
+            }
+        }
+    }
+
     /// A snapshot of the cache counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -415,6 +440,44 @@ mod tests {
         assert!(c.lookup(0) && c.lookup(2) && c.lookup(3));
         assert_eq!(c.stats().evictions, 1);
         assert_eq!(c.resident_bytes(), 3 * 4096);
+    }
+
+    #[test]
+    fn set_capacity_evicts_down_in_lru_order() {
+        let mut c = HotRowCache::new(4 * 4096);
+        for row in 0..4 {
+            c.insert(row, 4096);
+        }
+        assert!(c.lookup(0)); // refresh row 0: rows 1, 2 are now coldest
+        c.set_capacity(2 * 4096);
+        assert_eq!(c.resident_bytes(), 2 * 4096);
+        assert_eq!(c.stats().evictions, 2, "evictions are counted");
+        assert!(c.lookup(0) && c.lookup(3), "warmest rows survive");
+        assert!(!c.lookup(1) && !c.lookup(2), "coldest rows were dropped");
+    }
+
+    #[test]
+    fn set_capacity_growth_drops_nothing() {
+        let mut c = HotRowCache::new(2 * 4096);
+        c.insert(0, 4096);
+        c.insert(1, 4096);
+        c.set_capacity(8 * 4096);
+        assert_eq!(c.capacity_bytes(), 8 * 4096);
+        assert_eq!(c.stats().evictions, 0);
+        assert!(c.lookup(0) && c.lookup(1));
+    }
+
+    #[test]
+    fn set_capacity_zero_disables_and_empties() {
+        let mut c = HotRowCache::new(2 * 4096);
+        c.insert(0, 4096);
+        let hits_before = c.stats().hits;
+        c.set_capacity(0);
+        assert!(!c.is_enabled());
+        assert!(c.is_empty());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().hits, hits_before, "history is preserved");
+        assert!(!c.lookup(0));
     }
 
     #[test]

@@ -514,6 +514,17 @@ impl Ftl {
         self.blocks.iter().map(|b| b.erase_count).collect()
     }
 
+    /// Per-die erase totals with their max/mean spread, aggregated from
+    /// [`Ftl::erase_counts`] using this FTL's geometry. The ready-made
+    /// input to a wear-leveling trigger: a low
+    /// [`crate::DieWearReport::balance`] means update-driven GC
+    /// concentrated erases on few dies.
+    pub fn die_wear(&self) -> crate::DieWearReport {
+        let g = &self.geometry;
+        let counts: Vec<u32> = self.blocks.iter().map(|b| b.erase_count).collect();
+        crate::DieWearReport::from_erase_counts(&counts, g.planes_per_die * g.blocks_per_plane)
+    }
+
     /// Full cross-check of the mapping tables, for tests and debugging:
     /// every mapped LPN's physical page must map back to it, every mapped
     /// physical page must be claimed by exactly the LPN it names, and each

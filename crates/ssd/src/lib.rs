@@ -68,7 +68,9 @@ pub use journal::{
     ReplayCounts, ReplayedState, JOURNAL_RECORD_BYTES,
 };
 pub use ssd::{QueueReport, SsdConfig, SsdDevice};
-pub use stats::{CacheStats, ChannelStats, HealthReport, ImbalanceReport, ScrubReport};
+pub use stats::{
+    CacheStats, ChannelStats, DieWearReport, HealthReport, ImbalanceReport, ScrubReport,
+};
 // Time primitives moved to `ecssd-trace` (the root of the dependency graph,
 // so the device model can emit trace spans); re-exported here so existing
 // `ecssd_ssd::SimTime` users keep working.

@@ -115,7 +115,7 @@ impl ChannelStats {
 
 /// Max/mean analysis of a per-channel load vector; "the final data access
 /// time is decided by the busiest flash channel" (§5.2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ImbalanceReport {
     /// Largest per-channel load.
     pub max: u64,
@@ -204,14 +204,50 @@ impl CacheStats {
     }
 }
 
+/// Per-die erase totals aggregated from the FTL's per-block histogram
+/// ([`crate::Ftl::erase_counts`] is flat block order, channel-major, so
+/// chunking by blocks-per-die yields one bucket per die). The wear-leveling
+/// trigger of a control plane reads [`DieWearReport::spread`] — a
+/// max/mean [`ImbalanceReport`] over the dies — instead of re-aggregating
+/// the raw histogram.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DieWearReport {
+    /// Total erases per die, in `channel → die` order.
+    pub per_die: Vec<u64>,
+    /// Max/mean imbalance over the per-die totals.
+    pub spread: ImbalanceReport,
+}
+
+impl DieWearReport {
+    /// Aggregates a flat channel-major per-block erase histogram into
+    /// per-die totals (`blocks_per_die` = planes-per-die × blocks-per-plane).
+    pub fn from_erase_counts(erase_counts: &[u32], blocks_per_die: usize) -> Self {
+        let per_die: Vec<u64> = erase_counts
+            .chunks(blocks_per_die.max(1))
+            .map(|die| die.iter().map(|&e| u64::from(e)).sum())
+            .collect();
+        let spread = ImbalanceReport::from_loads(&per_die);
+        DieWearReport { per_die, spread }
+    }
+
+    /// Balance factor `mean / max` in `[0, 1]` of the per-die totals (1.0
+    /// when erases spread evenly or nothing was erased).
+    pub fn balance(&self) -> f64 {
+        self.spread.balance()
+    }
+}
+
 /// Device-health summary accumulated by the fault-injection machinery:
 /// retry/UECC/dead-die counters from [`crate::FlashSim`], plus the
 /// degradation-policy outcomes (reconstructions, skips) filled in by the
 /// pipeline layer.
 ///
 /// All fields are plain counters so two reports from identically-seeded
-/// runs compare byte-for-byte with `==` (or via `{:?}` formatting).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// runs compare byte-for-byte with `==` (or via `{:?}` formatting). The
+/// `Debug` impl is hand-written: `die_wear` is printed only when present,
+/// so the golden-report fixtures (timing-plane runs, which have no FTL and
+/// therefore no die histogram) stay byte-identical.
+#[derive(Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HealthReport {
     /// Extra senses charged by the read-retry ladder, per channel.
     pub read_retries: Vec<u64>,
@@ -250,6 +286,38 @@ pub struct HealthReport {
     pub wear_max_erases: u64,
     /// Mean per-block erase count over all blocks.
     pub wear_mean_erases: f64,
+    /// Per-die erase spread, populated by the functional-device path
+    /// (where an FTL exists); `None` on the timing-plane machine path.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub die_wear: Option<DieWearReport>,
+}
+
+impl std::fmt::Debug for HealthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("HealthReport");
+        s.field("read_retries", &self.read_retries)
+            .field("capped_senses", &self.capped_senses)
+            .field("uecc_events", &self.uecc_events)
+            .field("dead_die_reads", &self.dead_die_reads)
+            .field("retried_reads", &self.retried_reads)
+            .field("reconstructed_rows", &self.reconstructed_rows)
+            .field("reconstruction_page_reads", &self.reconstruction_page_reads)
+            .field("skipped_rows", &self.skipped_rows)
+            .field("unrecovered_rows", &self.unrecovered_rows)
+            .field("dead_dies", &self.dead_dies)
+            .field("degraded_channels", &self.degraded_channels)
+            .field("update_programs", &self.update_programs)
+            .field("gc_moved_pages", &self.gc_moved_pages)
+            .field("gc_erased_blocks", &self.gc_erased_blocks)
+            .field("wear_max_erases", &self.wear_max_erases)
+            .field("wear_mean_erases", &self.wear_mean_erases);
+        // Printed only when present so golden fixtures (machine runs,
+        // where no FTL exists) keep their exact pre-existing rendering.
+        if let Some(die_wear) = &self.die_wear {
+            s.field("die_wear", die_wear);
+        }
+        s.finish()
+    }
 }
 
 impl HealthReport {
@@ -373,5 +441,29 @@ mod tests {
         let r = ImbalanceReport::from_loads(&[]);
         assert_eq!(r.balance(), 1.0);
         assert_eq!(r.max, 0);
+    }
+
+    #[test]
+    fn die_wear_chunks_channel_major() {
+        // 2 dies × 3 blocks-per-die, flat channel-major.
+        let r = DieWearReport::from_erase_counts(&[1, 2, 3, 10, 0, 0], 3);
+        assert_eq!(r.per_die, vec![6, 10]);
+        assert_eq!(r.spread.max, 10);
+        assert!((r.spread.mean - 8.0).abs() < 1e-12);
+        assert!((r.balance() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn health_debug_omits_absent_die_wear() {
+        // The golden fixtures rely on an unpopulated report rendering
+        // exactly as it did before the field existed.
+        let h = HealthReport::default();
+        let rendered = format!("{h:?}");
+        assert!(!rendered.contains("die_wear"));
+        let with = HealthReport {
+            die_wear: Some(DieWearReport::from_erase_counts(&[1], 1)),
+            ..HealthReport::default()
+        };
+        assert!(format!("{with:?}").contains("die_wear"));
     }
 }
